@@ -1,0 +1,45 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every file regenerates one table or figure of the paper.  Shapes and search
+budgets are scaled down so the whole suite runs in minutes on a laptop; set
+``REPRO_BENCH_SCALE=paper`` to use the paper's budgets (hours).  Absolute
+latencies come from the simulated machine model, so only *relative* numbers
+(who wins, by what factor) are comparable with the paper -- see
+EXPERIMENTS.md for the side-by-side record.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Sequence
+
+import pytest
+
+PAPER_SCALE = os.environ.get("REPRO_BENCH_SCALE", "").lower() == "paper"
+
+
+def budget(small: int, paper: int) -> int:
+    return paper if PAPER_SCALE else small
+
+
+def print_table(title: str, header: Sequence[str], rows: List[Sequence]) -> None:
+    """Uniform plain-text tables for the benchmark logs."""
+    print(f"\n=== {title} ===")
+    widths = [
+        max(len(str(header[i])), *(len(str(r[i])) for r in rows)) if rows else len(str(header[i]))
+        for i in range(len(header))
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print(line)
+    print("-" * len(line))
+    for r in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(r, widths)))
+
+
+def fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.4f}"
+
+
+@pytest.fixture
+def table():
+    return print_table

@@ -1,0 +1,110 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Not a single paper figure, but the knobs the paper discusses and the repo
+exposes:
+
+- **cost model on/off** (Section 5.2.3 vs FlexTensor's no-model design):
+  with the model, only the predicted top-k of each 64-candidate batch is
+  measured, so the same budget covers ~8x more candidates;
+- **searcher class** (Section 5.2: PPO vs heuristic GA vs random) on the
+  *joint* space, where layout changes reconstruct the loop space and
+  invalidate population knowledge;
+- **layout propagation mode** (Section 4.2): full ALT vs ALT-WP
+  (no replication -> fusion conflicts) vs conversion-only.
+"""
+
+import math
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.ir.tensor import Tensor
+from repro.machine.spec import get_machine
+from repro.ops.conv import conv2d
+from repro.pipeline import CompileOptions, compile_graph
+from repro.tuning.baselines import tune_alt, tune_random_layout
+from repro.tuning.genetic import tune_genetic
+
+from conftest import budget, fmt_ms, print_table
+
+BUDGET = budget(96, 1000)
+
+
+def workload():
+    inp = Tensor("abi", (1, 32, 30, 30))
+    ker = Tensor("abk", (64, 32, 3, 3))
+    return conv2d(inp, ker, name="ablate")
+
+
+def run_cost_model_ablation(machine):
+    rows = []
+    out = {}
+    for label, use_model in (("with cost model", True), ("without", False)):
+        lats = [
+            tune_alt(workload(), machine, budget=BUDGET, seed=s,
+                     use_cost_model=use_model).best_latency
+            for s in (0, 1)
+        ]
+        out[label] = min(lats)
+        rows.append([label, fmt_ms(min(lats)), fmt_ms(max(lats))])
+    print_table("ablation: cost model", ["setting", "best ms", "worst seed ms"], rows)
+    return out
+
+
+def run_searcher_ablation(machine):
+    rows = []
+    out = {}
+    for label, fn in (
+        ("PPO (ALT)", lambda s: tune_alt(workload(), machine, budget=BUDGET, seed=s)),
+        ("genetic", lambda s: tune_genetic(workload(), machine, budget=BUDGET, seed=s)),
+        ("random", lambda s: tune_random_layout(workload(), machine, budget=BUDGET,
+                                                joint_fraction=0.4, seed=s)),
+    ):
+        lats = [fn(s).best_latency for s in (0, 1)]
+        out[label] = min(lats)
+        rows.append([label, fmt_ms(min(lats)), fmt_ms(max(lats))])
+    print_table("ablation: joint-space searcher", ["searcher", "best ms", "worst seed ms"], rows)
+    return out
+
+
+def run_propagation_ablation(machine):
+    def net():
+        b = GraphBuilder("prop_net")
+        x = b.input((1, 16, 18, 18))
+        x = b.conv_bn_act(x, 32, 3)
+        x = b.conv_bn_act(x, 32, 3)
+        x = b.global_avg_pool(x)
+        return b.build()
+
+    rows = []
+    out = {}
+    for mode in ("alt", "alt-wp", "alt-ol"):
+        model = compile_graph(
+            net(), machine, CompileOptions(mode=mode, total_budget=BUDGET, seed=0)
+        )
+        out[mode] = (model.latency_s, len(model.fuse_groups))
+        rows.append([mode, fmt_ms(model.latency_s), len(model.fuse_groups)])
+    print_table("ablation: propagation mode", ["mode", "latency ms", "fused stages"], rows)
+    return out
+
+
+def test_ablations(benchmark):
+    machine = get_machine("intel_cpu")
+
+    def run():
+        return (
+            run_cost_model_ablation(machine),
+            run_searcher_ablation(machine),
+            run_propagation_ablation(machine),
+        )
+
+    cost_model, searchers, propagation = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    # the cost model never hurts the achievable quality materially
+    assert cost_model["with cost model"] <= cost_model["without"] * 1.5
+    # PPO is competitive with GA and random on the joint space
+    assert searchers["PPO (ALT)"] <= 1.5 * min(searchers.values())
+    # replication preserves at least as much fusion as its absence
+    assert propagation["alt"][1] >= propagation["alt-wp"][1]
+    assert all(math.isfinite(v[0]) for v in propagation.values())

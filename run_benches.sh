@@ -1,0 +1,13 @@
+#!/bin/bash
+# Regenerates every paper table/figure; appends to bench_output.txt per file
+# so partial runs still record results.
+OUT=/root/repo/bench_output.txt
+: > $OUT
+for f in test_table2_prefetch test_motivating_example test_fig13_sensitivity \
+         test_fig12_propagation test_fig11_search_methods test_fig1_layout_sensitivity \
+         test_fig9_single_op test_ablation_design test_table3_layout_profile \
+         test_fig10_end_to_end; do
+  echo "=== benchmarks/$f.py ===" >> $OUT
+  python -m pytest benchmarks/$f.py --benchmark-only -q -s 2>&1 >> $OUT
+done
+echo "ALL BENCH FILES DONE" >> $OUT

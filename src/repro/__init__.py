@@ -1,0 +1,85 @@
+"""ALT reproduction: joint data-layout and loop optimization for deep
+learning compilation (EuroSys 2023).
+
+Public API tour
+---------------
+
+- **IR**: :mod:`repro.ir` -- index expressions, tensors, compute
+  definitions, lowered loop nests.
+- **Layouts** (the paper's transformation module): :class:`repro.Layout`
+  with ``split/reorder/fuse/unfold/pad/store_at`` primitives;
+  :mod:`repro.layout.propagation` for Algorithm 1.
+- **Loops**: :class:`repro.LoopSchedule` with TVM-style primitives.
+- **Lowering**: :func:`repro.lower_compute` rewrites every tensor access for
+  the chosen layouts (paper Section 6) and applies the loop schedule.
+- **Machines**: :func:`repro.get_machine` -- simulated Intel CPU / NVIDIA
+  GPU / ARM CPU targets; :func:`repro.estimate_program` prices programs.
+- **Auto-tuning**: :func:`repro.tune_alt` (joint stage + loop-only stage,
+  PPO + cost model) and the baseline tuners in :mod:`repro.tuning.baselines`.
+- **End to end**: :func:`repro.compile_graph` tunes, propagates, fuses and
+  lowers a whole model graph; the zoo lives in :mod:`repro.graph.models`.
+
+Quickstart::
+
+    from repro import Tensor, conv2d, get_machine, tune_alt
+
+    inp = Tensor("inp", (1, 64, 58, 58))
+    ker = Tensor("ker", (64, 64, 3, 3), role="const")
+    op = conv2d(inp, ker, stride=1)
+    result = tune_alt(op, get_machine("intel_cpu"), budget=200)
+    print(result.best_latency, result.best_layouts)
+"""
+
+from .exec.graph_runner import random_inputs, run_compiled, run_graph_reference
+from .exec.reference import evaluate_compute
+from .exec.single_op import run_compute
+from .graph.builder import GraphBuilder
+from .graph.graph import Graph
+from .ir.compute import Access, Axis, ComputeDef
+from .ir.expr import Var
+from .ir.nest import Program, Stage
+from .ir.tensor import Tensor
+from .layout.layout import Layout
+from .layout.presets import fixed_scheme_layouts
+from .layout.propagation import PropagationEngine, PropagationState
+from .layout.templates import template_for
+from .loops.schedule import LoopSchedule
+from .lower.lower import LoweringError, lower_compute
+from .machine.latency import estimate_program, estimate_stage
+from .machine.spec import get_machine
+from .machine.trace import profile_program, profile_stage
+from .ops.conv import conv1d, conv2d, conv3d, depthwise_conv2d
+from .ops.gemm import batch_gemm, dense, gemm
+from .pipeline import CompileOptions, CompiledModel, compile_graph
+from .tuning.baselines import (
+    tune_alt,
+    tune_alt_ol,
+    tune_ansor_like,
+    tune_autotvm_like,
+    tune_flextensor_like,
+    tune_random_layout,
+    vendor_library,
+)
+from .report import full_report, layout_report, stage_cost_report, tuning_report
+from .tuning.genetic import tune_genetic
+from .tuning.pretrain import pretrain
+from .tuning.records import RecordStore, TuneRecord, apply_record, record_from_result
+from .tuning.task import TuningTask
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Access", "Axis", "CompileOptions", "CompiledModel", "ComputeDef",
+    "Graph", "GraphBuilder", "Layout", "LoopSchedule", "LoweringError",
+    "Program", "PropagationEngine", "PropagationState", "Stage", "Tensor",
+    "TuningTask", "Var", "batch_gemm", "compile_graph", "conv1d", "conv2d",
+    "conv3d", "dense", "depthwise_conv2d", "estimate_program",
+    "estimate_stage", "evaluate_compute", "fixed_scheme_layouts", "gemm",
+    "get_machine", "lower_compute", "pretrain", "profile_program",
+    "profile_stage", "random_inputs", "run_compiled", "run_compute",
+    "run_graph_reference", "template_for", "tune_alt", "tune_alt_ol",
+    "tune_ansor_like", "tune_autotvm_like", "tune_flextensor_like",
+    "tune_genetic", "tune_random_layout", "vendor_library",
+    "RecordStore", "TuneRecord", "apply_record", "record_from_result",
+    "full_report", "layout_report", "stage_cost_report", "tuning_report",
+]

@@ -1,0 +1,171 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``tune``      tune a single operator and print the result/layouts
+``compile``   compile a model-zoo network end to end and print the report
+``machines``  list the simulated hardware targets
+``models``    list the model zoo
+
+Examples::
+
+    python -m repro tune c2d --machine intel_cpu --budget 200
+    python -m repro compile resnet18 --mode alt --budget 500 --image 64
+    python -m repro compile bert_tiny --mode ansor
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from .graph.models import bert_base, bert_tiny, mobilenet_v2, resnet18, resnet3d18
+from .ir.tensor import Tensor
+from .machine.spec import PRESETS, get_machine
+from .ops.conv import conv1d, conv2d, conv3d, depthwise_conv2d
+from .ops.gemm import gemm
+from .pipeline import CompileOptions, compile_graph
+from .report import full_report
+from .tuning.baselines import BASELINE_TUNERS, tune_alt
+
+
+def _single_op(kind: str, channels: int, size: int):
+    if kind == "c2d":
+        return conv2d(
+            Tensor("inp", (1, channels, size + 2, size + 2)),
+            Tensor("ker", (channels, channels, 3, 3)),
+            name="c2d",
+        )
+    if kind == "dep":
+        return depthwise_conv2d(
+            Tensor("inp", (1, channels, size + 2, size + 2)),
+            Tensor("ker", (channels, 3, 3)),
+            name="dep",
+        )
+    if kind == "c1d":
+        return conv1d(
+            Tensor("inp", (1, channels, size + 2)),
+            Tensor("ker", (channels, channels, 3)),
+            name="c1d",
+        )
+    if kind == "c3d":
+        return conv3d(
+            Tensor("inp", (1, channels, 10, size + 2, size + 2)),
+            Tensor("ker", (channels, channels, 3, 3, 3)),
+            name="c3d",
+        )
+    if kind == "gmm":
+        return gemm(
+            Tensor("a", (size, size)), Tensor("b", (size, size)), name="gmm"
+        )
+    raise SystemExit(f"unknown operator kind {kind!r}")
+
+
+_MODELS = {
+    "resnet18": lambda args: resnet18(
+        batch=args.batch, image=args.image, width=args.width or 64
+    ),
+    "mobilenet_v2": lambda args: mobilenet_v2(batch=args.batch, image=args.image),
+    "bert_tiny": lambda args: bert_tiny(batch=args.batch, seq=args.seq),
+    "bert_base": lambda args: bert_base(batch=args.batch, seq=args.seq),
+    "resnet3d18": lambda args: resnet3d18(
+        batch=args.batch, image=max(args.image // 2, 16), width=args.width or 64
+    ),
+}
+
+
+def cmd_tune(args) -> int:
+    machine = get_machine(args.machine)
+    comp = _single_op(args.op, args.channels, args.size)
+    tuner = BASELINE_TUNERS.get(args.tuner, tune_alt)
+    if args.tuner == "vendor":
+        result = tuner(comp, machine)
+    else:
+        result = tuner(comp, machine, budget=args.budget, seed=args.seed)
+    print(f"operator {args.op} on {machine.name} via {args.tuner}:")
+    print(f"  best latency: {result.best_latency * 1e3:.4f} ms "
+          f"({result.measurements} simulated measurements)")
+    for name, layout in sorted(result.best_layouts.items()):
+        print(f"  {name:10s} {layout}")
+    if result.best_schedule is not None:
+        print(f"  schedule: {result.best_schedule}")
+    return 0
+
+
+def cmd_compile(args) -> int:
+    machine = get_machine(args.machine)
+    builder = _MODELS.get(args.model)
+    if builder is None:
+        raise SystemExit(
+            f"unknown model {args.model!r}; choose from {sorted(_MODELS)}"
+        )
+    graph = builder(args)
+    model = compile_graph(
+        graph,
+        machine,
+        CompileOptions(mode=args.mode, total_budget=args.budget, seed=args.seed),
+    )
+    print(full_report(model))
+    return 0
+
+
+def cmd_machines(_args) -> int:
+    for name in sorted(PRESETS):
+        m = get_machine(name)
+        caches = " / ".join(f"{c.name} {c.size_bytes // 1024}K" for c in m.caches)
+        print(f"{name:12s} {m.cores:5d} cores  {m.vector_lanes:3d}-lane SIMD  "
+              f"{m.freq_ghz:.1f} GHz  caches: {caches}")
+    return 0
+
+
+def cmd_models(_args) -> int:
+    for name in sorted(_MODELS):
+        print(name)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ALT reproduction command-line interface"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("tune", help="tune one operator")
+    p.add_argument("op", choices=["c2d", "dep", "c1d", "c3d", "gmm"])
+    p.add_argument("--machine", default="intel_cpu")
+    p.add_argument("--tuner", default="alt",
+                   choices=sorted(BASELINE_TUNERS) + ["alt"])
+    p.add_argument("--budget", type=int, default=200)
+    p.add_argument("--channels", type=int, default=64)
+    p.add_argument("--size", type=int, default=28)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_tune)
+
+    p = sub.add_parser("compile", help="compile a model-zoo network")
+    p.add_argument("model")
+    p.add_argument("--machine", default="intel_cpu")
+    p.add_argument("--mode", default="alt")
+    p.add_argument("--budget", type=int, default=400)
+    p.add_argument("--batch", type=int, default=1)
+    p.add_argument("--image", type=int, default=64)
+    p.add_argument("--seq", type=int, default=32)
+    p.add_argument("--width", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_compile)
+
+    p = sub.add_parser("machines", help="list simulated machines")
+    p.set_defaults(fn=cmd_machines)
+    p = sub.add_parser("models", help="list model zoo entries")
+    p.set_defaults(fn=cmd_models)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

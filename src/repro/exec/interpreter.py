@@ -1,0 +1,184 @@
+"""Reference interpreter for lowered programs.
+
+Compiles each :class:`~repro.ir.nest.Stage` into a Python nested-loop
+function (via ``compile``/``exec``) and runs it over numpy buffers.  This is
+the correctness oracle for the whole transformation stack: whatever layouts
+and loop schedules were applied, running the lowered program must reproduce
+the numpy reference bit-for-bit (up to float associativity).
+
+It is deliberately scalar and simple -- use small shapes.  Performance
+numbers come from ``repro.machine``, never from here.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping
+
+import numpy as np
+
+from ..ir.compute import All, BinOp, Call, Cond, ConstF, DivisibleBy, InBounds, Select, Value
+from ..ir.expr import (
+    Add,
+    Const,
+    Expr,
+    FloorDiv,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    Sub,
+    Var,
+)
+from ..ir.nest import BufRead, Program, Stage
+
+_INTRINSICS = {
+    "exp": "math.exp",
+    "sqrt": "math.sqrt",
+    "tanh": "math.tanh",
+    "erf": "math.erf",
+    "abs": "abs",
+    "log": "math.log",
+}
+
+
+class _Namer:
+    """Maps IR names (which may contain dots/parens) to Python identifiers."""
+
+    def __init__(self, prefix: str):
+        self.prefix = prefix
+        self.mapping: Dict[str, str] = {}
+
+    def __getitem__(self, name: str) -> str:
+        if name not in self.mapping:
+            self.mapping[name] = f"{self.prefix}{len(self.mapping)}"
+        return self.mapping[name]
+
+
+def _expr_src(e: Expr, names: _Namer) -> str:
+    if isinstance(e, Const):
+        return str(e.value)
+    if isinstance(e, Var):
+        return names[e.name]
+    if isinstance(e, Add):
+        return f"({_expr_src(e.a, names)} + {_expr_src(e.b, names)})"
+    if isinstance(e, Sub):
+        return f"({_expr_src(e.a, names)} - {_expr_src(e.b, names)})"
+    if isinstance(e, Mul):
+        return f"({_expr_src(e.a, names)} * {_expr_src(e.b, names)})"
+    if isinstance(e, FloorDiv):
+        return f"({_expr_src(e.a, names)} // {_expr_src(e.b, names)})"
+    if isinstance(e, Mod):
+        return f"({_expr_src(e.a, names)} % {_expr_src(e.b, names)})"
+    if isinstance(e, Min):
+        return f"min({_expr_src(e.a, names)}, {_expr_src(e.b, names)})"
+    if isinstance(e, Max):
+        return f"max({_expr_src(e.a, names)}, {_expr_src(e.b, names)})"
+    raise TypeError(f"cannot compile expression {e!r}")
+
+
+def _cond_src(c: Cond, names: _Namer) -> str:
+    if isinstance(c, InBounds):
+        return f"({c.lo} <= {_expr_src(c.expr, names)} < {c.hi})"
+    if isinstance(c, DivisibleBy):
+        return f"({_expr_src(c.expr, names)} % {c.k} == 0)"
+    if isinstance(c, All):
+        return "(" + " and ".join(_cond_src(x, names) for x in c.conds) + ")"
+    raise TypeError(f"cannot compile condition {c!r}")
+
+
+def _value_src(v: Value, vnames: _Namer, bnames: _Namer) -> str:
+    if isinstance(v, ConstF):
+        return repr(v.value)
+    if isinstance(v, BufRead):
+        idx = ", ".join(_expr_src(i, vnames) for i in v.indices)
+        return f"{bnames[v.buffer.name]}[{idx}]"
+    if isinstance(v, BinOp):
+        return f"({_value_src(v.a, vnames, bnames)} {v.op} {_value_src(v.b, vnames, bnames)})"
+    if isinstance(v, Call):
+        args = ", ".join(_value_src(a, vnames, bnames) for a in v.args)
+        fn = _INTRINSICS.get(v.fn)
+        if fn is None:
+            if v.fn == "max":
+                return f"max({args})"
+            if v.fn == "min":
+                return f"min({args})"
+            if v.fn == "sigmoid":
+                inner = _value_src(v.args[0], vnames, bnames)
+                return f"(1.0 / (1.0 + math.exp(-({inner}))))"
+            raise TypeError(f"cannot compile intrinsic {v.fn}")
+        return f"{fn}({args})"
+    if isinstance(v, Select):
+        return (
+            f"({_value_src(v.then_value, vnames, bnames)} "
+            f"if {_cond_src(v.cond, vnames)} "
+            f"else {_value_src(v.else_value, vnames, bnames)})"
+        )
+    raise TypeError(f"cannot compile value {v!r}")
+
+
+def compile_stage(stage: Stage):
+    """Compile a stage into ``fn(buffers: dict) -> None``."""
+    vnames = _Namer("v")
+    bnames = _Namer("B")
+    lines = ["def _stage(bufs):", "    import math"]
+    for name in stage.buffers():
+        lines.append(f"    {bnames[name]} = bufs[{name!r}]")
+    indent = "    "
+    for loop in stage.loops:
+        lines.append(f"{indent}for {vnames[loop.var]} in range({loop.extent}):")
+        indent += "    "
+    out_idx = ", ".join(_expr_src(e, vnames) for e in stage.out_indices)
+    out_ref = f"{bnames[stage.out.name]}[{out_idx}]"
+    rhs = _value_src(stage.update, vnames, bnames)
+    if stage.reduce_op == "sum":
+        lines.append(f"{indent}{out_ref} += {rhs}")
+    elif stage.reduce_op == "max":
+        lines.append(f"{indent}{out_ref} = max({out_ref}, {rhs})")
+    else:
+        lines.append(f"{indent}{out_ref} = {rhs}")
+    src = "\n".join(lines)
+    namespace: Dict = {"math": math}
+    exec(compile(src, f"<stage:{stage.name}>", "exec"), namespace)
+    fn = namespace["_stage"]
+    fn.__source__ = src
+    return fn
+
+
+def run_stage(stage: Stage, buffers: Dict[str, np.ndarray]) -> None:
+    """Execute one stage in place over ``buffers``."""
+    for name, buf in stage.buffers().items():
+        arr = buffers.get(name)
+        if arr is None:
+            raise KeyError(f"missing buffer {name}")
+        if tuple(arr.shape) != buf.shape:
+            raise ValueError(
+                f"buffer {name}: array shape {arr.shape} != {buf.shape}"
+            )
+    if stage.init_value is not None:
+        buffers[stage.out.name].fill(stage.init_value)
+    compile_stage(stage)(buffers)
+
+
+def run_program(
+    program: Program, inputs: Mapping[str, np.ndarray], dtype=np.float64
+) -> Dict[str, np.ndarray]:
+    """Run all stages in order; returns the full buffer dict.
+
+    ``inputs`` holds *physical* arrays for graph inputs and constants; every
+    other buffer is allocated as zeros.
+    """
+    buffers: Dict[str, np.ndarray] = {}
+    for name, buf in program.buffers().items():
+        if name in inputs:
+            arr = np.asarray(inputs[name], dtype=dtype)
+            if tuple(arr.shape) != buf.shape:
+                raise ValueError(
+                    f"input {name}: shape {arr.shape} != physical {buf.shape}"
+                )
+            buffers[name] = arr.copy()
+        else:
+            buffers[name] = np.zeros(buf.shape, dtype=dtype)
+    for stage in program.stages:
+        run_stage(stage, buffers)
+    return buffers

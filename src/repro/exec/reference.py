@@ -1,0 +1,224 @@
+"""Numpy reference implementations and a generic logical-space evaluator.
+
+Two independent oracles:
+
+- :func:`evaluate_compute` interprets a :class:`ComputeDef` directly in
+  logical space (no layouts, no lowering) -- it validates the lowering and
+  layout pipeline.
+- The ``*_ref`` functions are hand-written vectorized numpy kernels -- they
+  validate that the :class:`ComputeDef` constructions themselves encode the
+  intended operator.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping
+
+import numpy as np
+
+from ..ir.compute import ComputeDef
+from .interpreter import _Namer, _value_src, _expr_src
+
+
+def evaluate_compute(
+    comp: ComputeDef, inputs: Mapping[str, np.ndarray], dtype=np.float64
+) -> np.ndarray:
+    """Naive logical-space evaluation of one operator (small shapes only)."""
+    comp.validate()
+    for t in comp.inputs:
+        arr = inputs.get(t.name)
+        if arr is None:
+            raise KeyError(f"missing input {t.name}")
+        if tuple(arr.shape) != t.shape:
+            raise ValueError(f"{t.name}: shape {arr.shape} != {t.shape}")
+
+    vnames = _Namer("v")
+    bnames = _Namer("B")
+
+    # Build source directly from the logical compute definition.
+    class _TensorReadShim:
+        pass
+
+    # Reuse _value_src by treating Access.tensor like BufRead.buffer.
+    from ..ir.compute import Access, BinOp, Call, ConstF, Select, Value
+
+    def value_src(v: Value) -> str:
+        if isinstance(v, ConstF):
+            return repr(v.value)
+        if isinstance(v, Access):
+            idx = ", ".join(_expr_src(i, vnames) for i in v.indices)
+            return f"{bnames[v.tensor.name]}[{idx}]"
+        if isinstance(v, BinOp):
+            return f"({value_src(v.a)} {v.op} {value_src(v.b)})"
+        if isinstance(v, Call):
+            args = ", ".join(value_src(a) for a in v.args)
+            table = {
+                "exp": "math.exp", "sqrt": "math.sqrt", "tanh": "math.tanh",
+                "erf": "math.erf", "abs": "abs", "log": "math.log",
+                "max": "max", "min": "min",
+            }
+            if v.fn == "sigmoid":
+                return f"(1.0 / (1.0 + math.exp(-({value_src(v.args[0])}))))"
+            return f"{table[v.fn]}({args})"
+        if isinstance(v, Select):
+            from .interpreter import _cond_src
+
+            return (
+                f"({value_src(v.then_value)} if {_cond_src(v.cond, vnames)} "
+                f"else {value_src(v.else_value)})"
+            )
+        raise TypeError(type(v))
+
+    lines = ["def _run(out, bufs):", "    import math"]
+    for t in comp.inputs:
+        lines.append(f"    {bnames[t.name]} = bufs[{t.name!r}]")
+    indent = "    "
+    for axis in comp.all_axes:
+        lines.append(f"{indent}for {vnames[axis.name]} in range({axis.extent}):")
+        indent += "    "
+    out_idx = ", ".join(vnames[a.name] for a in comp.axes)
+    rhs = value_src(comp.body)
+    if comp.reduce_op == "sum":
+        lines.append(f"{indent}out[{out_idx}] += {rhs}")
+    elif comp.reduce_op == "max":
+        lines.append(f"{indent}out[{out_idx}] = max(out[{out_idx}], {rhs})")
+    else:
+        lines.append(f"{indent}out[{out_idx}] = {rhs}")
+    namespace: Dict = {"math": math}
+    exec(compile("\n".join(lines), f"<ref:{comp.name}>", "exec"), namespace)
+
+    out = np.full(
+        comp.output.shape, comp.init if comp.reduce_op else 0.0, dtype=dtype
+    )
+    namespace["_run"](out, {t.name: np.asarray(inputs[t.name], dtype=dtype) for t in comp.inputs})
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Vectorized numpy kernels
+# ---------------------------------------------------------------------------
+
+def conv2d_ref(inp, ker, stride=1, dilation=1, groups=1):
+    n, i, h, w = inp.shape
+    o, ig, kh, kw = ker.shape
+    oh = (h - ((kh - 1) * dilation + 1)) // stride + 1
+    ow = (w - ((kw - 1) * dilation + 1)) // stride + 1
+    og = o // groups
+    out = np.zeros((n, o, oh, ow), dtype=inp.dtype)
+    for g in range(groups):
+        xin = inp[:, g * ig : (g + 1) * ig]
+        kg = ker[g * og : (g + 1) * og]
+        for rh in range(kh):
+            for rw in range(kw):
+                window = xin[
+                    :,
+                    :,
+                    rh * dilation : rh * dilation + oh * stride : stride,
+                    rw * dilation : rw * dilation + ow * stride : stride,
+                ]
+                out[:, g * og : (g + 1) * og] += np.einsum(
+                    "nihw,oi->nohw", window, kg[:, :, rh, rw]
+                )
+    return out
+
+
+def depthwise_conv2d_ref(inp, ker, stride=1, dilation=1):
+    n, c, h, w = inp.shape
+    kc, kh, kw = ker.shape
+    oh = (h - ((kh - 1) * dilation + 1)) // stride + 1
+    ow = (w - ((kw - 1) * dilation + 1)) // stride + 1
+    out = np.zeros((n, c, oh, ow), dtype=inp.dtype)
+    for rh in range(kh):
+        for rw in range(kw):
+            window = inp[
+                :,
+                :,
+                rh * dilation : rh * dilation + oh * stride : stride,
+                rw * dilation : rw * dilation + ow * stride : stride,
+            ]
+            out += window * ker[None, :, rh, rw, None, None]
+    return out
+
+
+def conv1d_ref(inp, ker, stride=1, dilation=1):
+    n, i, w = inp.shape
+    o, _, k = ker.shape
+    ow = (w - ((k - 1) * dilation + 1)) // stride + 1
+    out = np.zeros((n, o, ow), dtype=inp.dtype)
+    for r in range(k):
+        window = inp[:, :, r * dilation : r * dilation + ow * stride : stride]
+        out += np.einsum("niw,oi->now", window, ker[:, :, r])
+    return out
+
+
+def conv3d_ref(inp, ker, stride=1, dilation=1):
+    n, i, d, h, w = inp.shape
+    o, _, kd, kh, kw = ker.shape
+    od = (d - ((kd - 1) * dilation + 1)) // stride + 1
+    oh = (h - ((kh - 1) * dilation + 1)) // stride + 1
+    ow = (w - ((kw - 1) * dilation + 1)) // stride + 1
+    out = np.zeros((n, o, od, oh, ow), dtype=inp.dtype)
+    for rd in range(kd):
+        for rh in range(kh):
+            for rw in range(kw):
+                window = inp[
+                    :,
+                    :,
+                    rd * dilation : rd * dilation + od * stride : stride,
+                    rh * dilation : rh * dilation + oh * stride : stride,
+                    rw * dilation : rw * dilation + ow * stride : stride,
+                ]
+                out += np.einsum("nidhw,oi->nodhw", window, ker[:, :, rd, rh, rw])
+    return out
+
+
+def pad_spatial_ref(inp, pad):
+    widths = [(0, 0), (0, 0)] + [(p, p) for p in pad]
+    return np.pad(inp, widths)
+
+
+def zero_stuff_ref(inp, stride):
+    if stride == 1:
+        return inp.copy()
+    out_shape = list(inp.shape[:2]) + [(s - 1) * stride + 1 for s in inp.shape[2:]]
+    out = np.zeros(out_shape, dtype=inp.dtype)
+    slices = [slice(None), slice(None)] + [slice(None, None, stride)] * (inp.ndim - 2)
+    out[tuple(slices)] = inp
+    return out
+
+
+def max_pool2d_ref(inp, window, stride):
+    n, c, h, w = inp.shape
+    oh = (h - window) // stride + 1
+    ow = (w - window) // stride + 1
+    out = np.full((n, c, oh, ow), -np.inf, dtype=inp.dtype)
+    for rh in range(window):
+        for rw in range(window):
+            out = np.maximum(
+                out, inp[:, :, rh : rh + oh * stride : stride, rw : rw + ow * stride : stride]
+            )
+    return out
+
+
+def avg_pool2d_ref(inp, window, stride):
+    n, c, h, w = inp.shape
+    oh = (h - window) // stride + 1
+    ow = (w - window) // stride + 1
+    out = np.zeros((n, c, oh, ow), dtype=inp.dtype)
+    for rh in range(window):
+        for rw in range(window):
+            out += inp[:, :, rh : rh + oh * stride : stride, rw : rw + ow * stride : stride]
+    return out / (window * window)
+
+
+def softmax_last_ref(inp):
+    shifted = inp - inp.max(axis=-1, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=-1, keepdims=True)
+
+
+def layer_norm_last_ref(inp, gamma, beta, eps=1e-5):
+    mu = inp.mean(axis=-1, keepdims=True)
+    var = inp.var(axis=-1, keepdims=True)
+    return (inp - mu) / np.sqrt(var + eps) * gamma + beta

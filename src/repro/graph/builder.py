@@ -1,0 +1,258 @@
+"""Fluent graph construction for model definitions.
+
+Wraps :class:`~repro.graph.graph.Graph` with layer-level helpers that take
+care of tensor naming, explicit padding operators (padding is a first-class
+node so layout propagation can absorb conversions into it), inference-time
+batch-norm folding (``scale_shift``) and activation insertion.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Sequence, Tuple
+
+from ..ir.compute import ComputeDef
+from ..ir.tensor import Tensor
+from ..ops import conv as conv_ops
+from ..ops import elementwise as ew
+from ..ops import gemm as gemm_ops
+from ..ops import pool as pool_ops
+from ..ops import reduce as reduce_ops
+from ..ops import transform as tf_ops
+from .graph import Graph
+
+
+class GraphBuilder:
+    """Builds a :class:`Graph` layer by layer."""
+
+    def __init__(self, name: str):
+        self.graph = Graph(name)
+        self._counter = itertools.count()
+
+    def _name(self, base: str) -> str:
+        return f"{base}_{next(self._counter)}"
+
+    # -- graph I/O -----------------------------------------------------------------
+    def input(self, shape: Sequence[int], name: str = "input") -> Tensor:
+        t = Tensor(name, shape, role="input")
+        self.graph.add_tensor(t)
+        return t
+
+    def const(self, base: str, shape: Sequence[int]) -> Tensor:
+        t = Tensor(self._name(base), shape, role="const")
+        self.graph.add_tensor(t)
+        return t
+
+    def _emit(self, comp: ComputeDef) -> Tensor:
+        self.graph.add(comp)
+        return comp.output
+
+    def build(self) -> Graph:
+        self.graph.validate()
+        return self.graph
+
+    # -- convolution blocks -------------------------------------------------------
+    def pad(self, x: Tensor, pad: Sequence[int]) -> Tensor:
+        if all(p == 0 for p in pad):
+            return x
+        return self._emit(tf_ops.pad_spatial(x, pad, name=self._name("pad")))
+
+    def conv2d(
+        self,
+        x: Tensor,
+        out_channels: int,
+        kernel: int,
+        stride: int = 1,
+        pad: Optional[int] = None,
+        groups: int = 1,
+        dilation: int = 1,
+    ) -> Tensor:
+        if pad is None:
+            pad = ((kernel - 1) * dilation) // 2
+        x = self.pad(x, (pad, pad))
+        ker = self.const("w", (out_channels, x.shape[1] // groups, kernel, kernel))
+        return self._emit(
+            conv_ops.conv2d(
+                x, ker, stride=stride, dilation=dilation, groups=groups,
+                name=self._name("conv2d"),
+            )
+        )
+
+    def depthwise_conv2d(
+        self, x: Tensor, kernel: int, stride: int = 1, pad: Optional[int] = None
+    ) -> Tensor:
+        if pad is None:
+            pad = (kernel - 1) // 2
+        x = self.pad(x, (pad, pad))
+        ker = self.const("dw", (x.shape[1], kernel, kernel))
+        return self._emit(
+            conv_ops.depthwise_conv2d(x, ker, stride=stride, name=self._name("dwconv"))
+        )
+
+    def conv3d(
+        self, x: Tensor, out_channels: int, kernel: int, stride: int = 1,
+        pad: Optional[int] = None,
+    ) -> Tensor:
+        if pad is None:
+            pad = (kernel - 1) // 2
+        x = self.pad(x, (pad, pad, pad))
+        ker = self.const(
+            "w3", (out_channels, x.shape[1], kernel, kernel, kernel)
+        )
+        return self._emit(
+            conv_ops.conv3d(x, ker, stride=stride, name=self._name("conv3d"))
+        )
+
+    def batch_norm(self, x: Tensor) -> Tensor:
+        scale = self.const("bn_s", (x.shape[1],))
+        shift = self.const("bn_b", (x.shape[1],))
+        return self._emit(
+            ew.scale_shift(x, scale, shift, name=self._name("bn"))
+        )
+
+    def conv_bn_act(
+        self,
+        x: Tensor,
+        out_channels: int,
+        kernel: int,
+        stride: int = 1,
+        groups: int = 1,
+        act: Optional[str] = "relu",
+        dilation: int = 1,
+    ) -> Tensor:
+        x = self.conv2d(x, out_channels, kernel, stride, groups=groups, dilation=dilation)
+        x = self.batch_norm(x)
+        return self.activate(x, act)
+
+    def activate(self, x: Tensor, act: Optional[str]) -> Tensor:
+        if act is None:
+            return x
+        fns = {
+            "relu": ew.relu, "relu6": ew.relu6, "sigmoid": ew.sigmoid,
+            "tanh": ew.tanh, "gelu": ew.gelu,
+        }
+        return self._emit(fns[act](x, name=self._name(act)))
+
+    # -- elementwise / pooling ---------------------------------------------------------
+    def add(self, a: Tensor, b: Tensor) -> Tensor:
+        return self._emit(ew.add(a, b, name=self._name("add")))
+
+    def relu(self, x: Tensor) -> Tensor:
+        return self.activate(x, "relu")
+
+    def bias_add(self, x: Tensor, channel_dim: str = "last") -> Tensor:
+        if channel_dim == "last":
+            bias = self.const("b", (x.shape[-1],))
+            return self._emit(ew.bias_add_last(x, bias, name=self._name("bias")))
+        bias = self.const("b", (x.shape[1],))
+        return self._emit(ew.bias_add_channel(x, bias, name=self._name("bias")))
+
+    def max_pool2d(self, x: Tensor, window: int, stride: int, pad: int = 0) -> Tensor:
+        x = self.pad(x, (pad, pad))
+        return self._emit(
+            pool_ops.max_pool2d(x, window, stride, name=self._name("maxpool"))
+        )
+
+    def global_avg_pool(self, x: Tensor) -> Tensor:
+        return self._emit(pool_ops.global_avg_pool(x, name=self._name("gap")))
+
+    # -- dense / attention ----------------------------------------------------------------
+    def dense(
+        self, x: Tensor, units: int, bias: bool = True, act: Optional[str] = None
+    ) -> Tensor:
+        w = self.const("fc_w", (x.shape[-1], units))
+        if x.ndim != 2:
+            raise ValueError("dense expects a 2-D input; reshape first")
+        out = self._emit(gemm_ops.dense(x, w, name=self._name("dense")))
+        if bias:
+            out = self.bias_add(out, "last")
+        return self.activate(out, act)
+
+    def batch_gemm(self, a: Tensor, b: Tensor) -> Tensor:
+        return self._emit(gemm_ops.batch_gemm(a, b, name=self._name("bgemm")))
+
+    def softmax_last(self, x: Tensor) -> Tensor:
+        comps = reduce_ops.softmax_last(x, name=self._name("softmax"))
+        self.graph.add_all(comps)
+        return comps[-1].output
+
+    def layer_norm(self, x: Tensor) -> Tensor:
+        gamma = self.const("ln_g", (x.shape[-1],))
+        beta = self.const("ln_b", (x.shape[-1],))
+        comps = reduce_ops.layer_norm_last(x, gamma, beta, name=self._name("ln"))
+        self.graph.add_all(comps)
+        return comps[-1].output
+
+    def reshape_heads(self, x: Tensor, heads: int, seq: int) -> Tensor:
+        """``[N*L, H] -> [N*heads, L, H/heads]`` multi-head split (copy op)."""
+        from ..ir.compute import Access, Axis
+        from ..ir.expr import Var
+
+        nl, hidden = x.shape
+        n = nl // seq
+        dh = hidden // heads
+        out = Tensor(self._name("heads") + ".out", (n * heads, seq, dh))
+        b, l, d = Var("b"), Var("l"), Var("d")
+        body = Access(x, [(b // heads) * seq + l, (b % heads) * dh + d])
+        comp = ComputeDef(
+            name=self._name("split_heads"),
+            output=out,
+            axes=[Axis("b", n * heads), Axis("l", seq), Axis("d", dh)],
+            reduce_axes=[],
+            body=body,
+            tags=("data_movement", "reshape"),
+        )
+        return self._emit(comp)
+
+    def merge_heads(self, x: Tensor, heads: int, seq: int) -> Tensor:
+        """``[N*heads, L, dh] -> [N*L, heads*dh]`` (copy op)."""
+        from ..ir.compute import Access, Axis
+        from ..ir.expr import Var
+
+        bh, l_, dh = x.shape
+        n = bh // heads
+        out = Tensor(self._name("merged") + ".out", (n * seq, heads * dh))
+        i, j = Var("i"), Var("j")
+        body = Access(x, [(i // seq) * heads + j // dh, i % seq, j % dh])
+        comp = ComputeDef(
+            name=self._name("merge_heads"),
+            output=out,
+            axes=[Axis("i", n * seq), Axis("j", heads * dh)],
+            reduce_axes=[],
+            body=body,
+            tags=("data_movement", "reshape"),
+        )
+        return self._emit(comp)
+
+    def transpose_last(self, x: Tensor) -> Tensor:
+        """``[B, M, N] -> [B, N, M]`` copy (for K^T in attention)."""
+        from ..ir.compute import Access, Axis
+        from ..ir.expr import Var
+
+        b_, m_, n_ = x.shape
+        out = Tensor(self._name("transposed") + ".out", (b_, n_, m_))
+        b, i, j = Var("b"), Var("i"), Var("j")
+        comp = ComputeDef(
+            name=self._name("transpose"),
+            output=out,
+            axes=[Axis("b", b_), Axis("i", n_), Axis("j", m_)],
+            reduce_axes=[],
+            body=Access(x, [b, j, i]),
+            tags=("data_movement", "transpose"),
+        )
+        return self._emit(comp)
+
+    def scale(self, x: Tensor, factor: float) -> Tensor:
+        from ..ir.compute import Access, ConstF
+
+        axes, vars_ = ew._axes_for(x)
+        out = Tensor(self._name("scaled") + ".out", x.shape)
+        comp = ComputeDef(
+            name=self._name("scale"),
+            output=out,
+            axes=axes,
+            reduce_axes=[],
+            body=Access(x, vars_) * ConstF(factor),
+            tags=("elementwise",),
+        )
+        return self._emit(comp)

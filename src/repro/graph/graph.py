@@ -1,0 +1,156 @@
+"""Computational graph: operators as nodes, tensors as edges.
+
+Kept deliberately close to the paper's model (Section 2): a directed acyclic
+graph whose nodes are :class:`~repro.ir.compute.ComputeDef` operators and
+whose edges are :class:`~repro.ir.tensor.Tensor` objects.  Layouts are edge
+attributes managed outside the graph (``repro.layout``); the graph itself
+only provides structure, topological order and rewiring support for
+conversion-operator insertion.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set
+
+from ..ir.compute import Access, ComputeDef
+from ..ir.tensor import Tensor
+
+
+class GraphError(ValueError):
+    pass
+
+
+class Graph:
+    """A DAG of compute definitions in topological (insertion) order."""
+
+    def __init__(self, name: str = "graph"):
+        self.name = name
+        self.nodes: List[ComputeDef] = []
+        self.tensors: Dict[str, Tensor] = {}
+        self._producer: Dict[str, str] = {}  # tensor -> node name
+        self._node_by_name: Dict[str, ComputeDef] = {}
+
+    # -- construction -------------------------------------------------------------
+    def add_tensor(self, tensor: Tensor) -> Tensor:
+        existing = self.tensors.get(tensor.name)
+        if existing is not None and existing is not tensor:
+            raise GraphError(f"duplicate tensor name {tensor.name!r}")
+        self.tensors[tensor.name] = tensor
+        return tensor
+
+    def add(self, comp: ComputeDef) -> ComputeDef:
+        if comp.name in self._node_by_name:
+            raise GraphError(f"duplicate node name {comp.name!r}")
+        for t in comp.inputs:
+            if t.name not in self.tensors:
+                self.add_tensor(t)
+        if comp.output.name in self._producer:
+            raise GraphError(f"tensor {comp.output.name!r} already produced")
+        self.add_tensor(comp.output)
+        self.nodes.append(comp)
+        self._node_by_name[comp.name] = comp
+        self._producer[comp.output.name] = comp.name
+        return comp
+
+    def add_all(self, comps: Iterable[ComputeDef]) -> None:
+        for c in comps:
+            self.add(c)
+
+    # -- queries ---------------------------------------------------------------------
+    def node(self, name: str) -> ComputeDef:
+        try:
+            return self._node_by_name[name]
+        except KeyError:
+            raise KeyError(f"no node {name!r}") from None
+
+    def producer_of(self, tensor_name: str) -> Optional[ComputeDef]:
+        node = self._producer.get(tensor_name)
+        return self._node_by_name[node] if node else None
+
+    def consumers_of(self, tensor_name: str) -> List[ComputeDef]:
+        return [
+            n for n in self.nodes if any(t.name == tensor_name for t in n.inputs)
+        ]
+
+    def graph_inputs(self) -> List[Tensor]:
+        """Tensors consumed but never produced, excluding constants."""
+        return [
+            t
+            for name, t in self.tensors.items()
+            if name not in self._producer and t.role in ("input", "intermediate")
+            and self.consumers_of(name)
+        ]
+
+    def constants(self) -> List[Tensor]:
+        return [
+            t
+            for name, t in self.tensors.items()
+            if name not in self._producer and t.role == "const"
+        ]
+
+    def graph_outputs(self) -> List[Tensor]:
+        """Produced tensors with no consumer."""
+        return [
+            self.tensors[name]
+            for name in self._producer
+            if not self.consumers_of(name)
+        ]
+
+    def complex_nodes(self) -> List[ComputeDef]:
+        return [n for n in self.nodes if n.is_complex]
+
+    # -- rewiring (conversion-operator insertion) ---------------------------------
+    def insert_before(
+        self, comp: ComputeDef, consumer: ComputeDef, replaced_tensor: str
+    ) -> None:
+        """Insert ``comp`` (producing a fresh tensor) so that ``consumer``
+        reads ``comp.output`` where it used to read ``replaced_tensor``."""
+        if replaced_tensor not in {t.name for t in consumer.inputs}:
+            raise GraphError(
+                f"{consumer.name} does not read {replaced_tensor!r}"
+            )
+        pos = self.nodes.index(consumer)
+        # register new node
+        if comp.name in self._node_by_name:
+            raise GraphError(f"duplicate node name {comp.name!r}")
+        for t in comp.inputs:
+            if t.name not in self.tensors:
+                self.add_tensor(t)
+        self.add_tensor(comp.output)
+        self.nodes.insert(pos, comp)
+        self._node_by_name[comp.name] = comp
+        self._producer[comp.output.name] = comp.name
+
+        new_tensor = comp.output
+
+        def rewire(acc: Access):
+            if acc.tensor.name == replaced_tensor:
+                return Access(new_tensor, acc.indices)
+            return acc
+
+        consumer.body = consumer.body.map_accesses(rewire)
+
+    def validate(self) -> None:
+        seen: Set[str] = set()
+        for node in self.nodes:
+            for t in node.inputs:
+                if t.name in self._producer and t.name not in seen:
+                    raise GraphError(
+                        f"{node.name} reads {t.name} before it is produced"
+                    )
+            node.validate()
+            seen.add(node.output.name)
+
+    def flops(self) -> int:
+        return sum(n.flops() for n in self.nodes)
+
+    def __repr__(self) -> str:
+        return f"Graph({self.name!r}, {len(self.nodes)} nodes)"
+
+    def summary(self) -> str:
+        lines = [f"graph {self.name}:"]
+        for n in self.nodes:
+            ins = ", ".join(t.name for t in n.inputs)
+            tag = "*" if n.is_complex else " "
+            lines.append(f" {tag} {n.name}({ins}) -> {n.output}")
+        return "\n".join(lines)

@@ -1,0 +1,8 @@
+"""Model zoo: the paper's end-to-end workloads (Section 7.2)."""
+
+from .bert import bert, bert_base, bert_tiny
+from .mobilenet_v2 import mobilenet_v2
+from .resnet18 import resnet18
+from .resnet3d import resnet3d18
+
+__all__ = ["bert", "bert_base", "bert_tiny", "mobilenet_v2", "resnet18", "resnet3d18"]

@@ -1,0 +1,63 @@
+"""BERT encoder stack (Devlin et al.) -- the paper's BB/BT workloads.
+
+The embedding lookup is outside the compiled region (as in the paper's
+setting, where the compiler sees the ``N x 128`` encoded input); the graph
+covers the transformer layers: QKV projections, scaled dot-product
+attention (batched GMM + softmax), output projection, layer norms and the
+feed-forward block.  Dense layers dominate -- these are the GMM workloads
+layout tuning targets.
+"""
+
+from __future__ import annotations
+
+from ..builder import GraphBuilder
+from ..graph import Graph
+
+
+def _encoder_layer(b: GraphBuilder, x, hidden: int, heads: int, ff: int, seq: int):
+    dh = hidden // heads
+    q = b.dense(x, hidden)
+    k = b.dense(x, hidden)
+    v = b.dense(x, hidden)
+    qh = b.reshape_heads(q, heads, seq)
+    kh = b.reshape_heads(k, heads, seq)
+    vh = b.reshape_heads(v, heads, seq)
+    scores = b.batch_gemm(qh, b.transpose_last(kh))       # [N*h, L, L]
+    scores = b.scale(scores, dh ** -0.5)
+    probs = b.softmax_last(scores)
+    context = b.batch_gemm(probs, vh)                     # [N*h, L, dh]
+    merged = b.merge_heads(context, heads, seq)           # [N*L, H]
+    attn_out = b.dense(merged, hidden)
+    x = b.layer_norm(b.add(x, attn_out))
+    ffn = b.dense(x, ff, act="gelu")
+    ffn = b.dense(ffn, hidden)
+    return b.layer_norm(b.add(x, ffn))
+
+
+def bert(
+    batch: int = 1,
+    seq: int = 128,
+    hidden: int = 768,
+    layers: int = 12,
+    heads: int = 12,
+    ff: int = 3072,
+    name: str = "bert",
+) -> Graph:
+    """Generic BERT encoder; see :func:`bert_base` / :func:`bert_tiny`."""
+    if hidden % heads:
+        raise ValueError("hidden size must divide by head count")
+    b = GraphBuilder(name)
+    x = b.input((batch * seq, hidden))
+    for _ in range(layers):
+        x = _encoder_layer(b, x, hidden, heads, ff, seq)
+    return b.build()
+
+
+def bert_base(batch: int = 1, seq: int = 128) -> Graph:
+    """BERT-base (BB): 12 layers, hidden 768, 12 heads, FF 3072."""
+    return bert(batch, seq, 768, 12, 12, 3072, name="bert_base")
+
+
+def bert_tiny(batch: int = 1, seq: int = 128) -> Graph:
+    """BERT-tiny (BT): 2 layers, hidden 128, 2 heads, FF 512."""
+    return bert(batch, seq, 128, 2, 2, 512, name="bert_tiny")

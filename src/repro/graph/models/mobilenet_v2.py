@@ -1,0 +1,71 @@
+"""MobileNet-V2 (Sandler et al., CVPR 2018) -- the paper's MV2 workload.
+
+Inverted residual bottlenecks exercise depthwise convolution (DEP) and
+1x1 convolutions, the memory-bound operators where the paper reports ALT's
+largest wins.
+"""
+
+from __future__ import annotations
+
+from ..builder import GraphBuilder
+from ..graph import Graph
+
+#: (expansion t, output channels c, repeats n, first stride s)
+_SETTINGS = [
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+]
+
+
+def _make_divisible(v: float, divisor: int = 8) -> int:
+    out = max(divisor, int(v + divisor / 2) // divisor * divisor)
+    if out < 0.9 * v:
+        out += divisor
+    return out
+
+
+def _inverted_residual(b: GraphBuilder, x, out_ch: int, stride: int, expand: int):
+    in_ch = x.shape[1]
+    hidden = in_ch * expand
+    identity = x
+    out = x
+    if expand != 1:
+        out = b.conv_bn_act(out, hidden, 1, act="relu6")
+    out = b.depthwise_conv2d(out, 3, stride=stride)
+    out = b.batch_norm(out)
+    out = b.activate(out, "relu6")
+    out = b.conv2d(out, out_ch, 1)
+    out = b.batch_norm(out)
+    if stride == 1 and in_ch == out_ch:
+        out = b.add(out, identity)
+    return out
+
+
+def mobilenet_v2(
+    batch: int = 1,
+    image: int = 224,
+    width_mult: float = 1.0,
+    num_classes: int = 1000,
+    name: str = "mobilenet_v2",
+) -> Graph:
+    """Build the MobileNet-V2 inference graph."""
+    if image % 32:
+        raise ValueError("image size must be divisible by 32")
+    b = GraphBuilder(name)
+    x = b.input((batch, 3, image, image))
+    first = _make_divisible(32 * width_mult)
+    x = b.conv_bn_act(x, first, 3, stride=2, act="relu6")
+    for t, c, n, s in _SETTINGS:
+        out_ch = _make_divisible(c * width_mult)
+        for i in range(n):
+            x = _inverted_residual(b, x, out_ch, s if i == 0 else 1, t)
+    last = _make_divisible(1280 * max(1.0, width_mult))
+    x = b.conv_bn_act(x, last, 1, act="relu6")
+    x = b.global_avg_pool(x)
+    x = b.dense(x, num_classes)
+    return b.build()

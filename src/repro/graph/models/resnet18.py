@@ -1,0 +1,46 @@
+"""ResNet-18 (He et al., CVPR 2016) -- the paper's R18 workload.
+
+``width`` and ``image`` let tests build scaled-down variants with the same
+topology; defaults match the paper's input (``N x 3 x 224 x 224``).
+"""
+
+from __future__ import annotations
+
+from ..builder import GraphBuilder
+from ..graph import Graph
+
+
+def _basic_block(b: GraphBuilder, x, channels: int, stride: int):
+    identity = x
+    out = b.conv_bn_act(x, channels, 3, stride=stride)
+    out = b.conv2d(out, channels, 3, stride=1)
+    out = b.batch_norm(out)
+    if stride != 1 or identity.shape[1] != channels:
+        identity = b.conv2d(identity, channels, 1, stride=stride, pad=0)
+        identity = b.batch_norm(identity)
+    out = b.add(out, identity)
+    return b.relu(out)
+
+
+def resnet18(
+    batch: int = 1,
+    image: int = 224,
+    width: int = 64,
+    num_classes: int = 1000,
+    name: str = "resnet18",
+) -> Graph:
+    """Build the ResNet-18 inference graph."""
+    if image % 32:
+        raise ValueError("image size must be divisible by 32")
+    b = GraphBuilder(name)
+    x = b.input((batch, 3, image, image))
+    x = b.conv_bn_act(x, width, 7, stride=2)
+    x = b.max_pool2d(x, 3, 2, pad=1)
+    for i, (channels, blocks, stride) in enumerate(
+        [(width, 2, 1), (width * 2, 2, 2), (width * 4, 2, 2), (width * 8, 2, 2)]
+    ):
+        for j in range(blocks):
+            x = _basic_block(b, x, channels, stride if j == 0 else 1)
+    x = b.global_avg_pool(x)
+    x = b.dense(x, num_classes)
+    return b.build()

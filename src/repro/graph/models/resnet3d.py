@@ -1,0 +1,70 @@
+"""ResNet3D-18 (Hara et al., ICCV workshops 2017) -- the paper's R3D workload.
+
+3-D convolutions over video clips (``N x 3 x 16 x 112 x 112`` in the paper);
+the C3D layers exercise the 5-D layout templates.
+"""
+
+from __future__ import annotations
+
+from ..builder import GraphBuilder
+from ..graph import Graph
+from ...ops import pool as pool_ops
+from ...ir.compute import Access, Axis, ComputeDef, ConstF
+from ...ir.expr import Var
+from ...ir.tensor import Tensor
+
+
+def _gap3d(b: GraphBuilder, x):
+    """Global average pool over (D, H, W)."""
+    n, c, d, h, w = x.shape
+    out = Tensor(b._name("gap3d") + ".out", (n, c))
+    vn, vc = Var("n"), Var("c")
+    rd, rh, rw = Var("rd"), Var("rh"), Var("rw")
+    comp = ComputeDef(
+        name=b._name("gap3d"),
+        output=out,
+        axes=[Axis("n", n), Axis("c", c)],
+        reduce_axes=[Axis("rd", d), Axis("rh", h), Axis("rw", w)],
+        body=Access(x, [vn, vc, rd, rh, rw]) * ConstF(1.0 / (d * h * w)),
+        reduce_op="sum",
+        tags=("pool", "reduce"),
+    )
+    return b._emit(comp)
+
+
+def _basic_block3d(b: GraphBuilder, x, channels: int, stride: int):
+    identity = x
+    out = b.conv3d(x, channels, 3, stride=stride)
+    out = b.batch_norm(out)
+    out = b.relu(out)
+    out = b.conv3d(out, channels, 3, stride=1)
+    out = b.batch_norm(out)
+    if stride != 1 or identity.shape[1] != channels:
+        identity = b.conv3d(identity, channels, 1, stride=stride, pad=0)
+        identity = b.batch_norm(identity)
+    out = b.add(out, identity)
+    return b.relu(out)
+
+
+def resnet3d18(
+    batch: int = 1,
+    frames: int = 16,
+    image: int = 112,
+    width: int = 64,
+    num_classes: int = 400,
+    name: str = "resnet3d18",
+) -> Graph:
+    """Build the ResNet3D-18 inference graph."""
+    b = GraphBuilder(name)
+    x = b.input((batch, 3, frames, image, image))
+    x = b.conv3d(x, width, 3, stride=2)
+    x = b.batch_norm(x)
+    x = b.relu(x)
+    for channels, blocks, stride in [
+        (width, 2, 1), (width * 2, 2, 2), (width * 4, 2, 2), (width * 8, 2, 2),
+    ]:
+        for j in range(blocks):
+            x = _basic_block3d(b, x, channels, stride if j == 0 else 1)
+    x = _gap3d(b, x)
+    x = b.dense(x, num_classes)
+    return b.build()

@@ -1,0 +1,459 @@
+"""Declarative operator definitions (tensor-expression style).
+
+A :class:`ComputeDef` describes one operator the way TVM's ``te.compute``
+does: the output tensor owns one *spatial axis per logical dimension*
+(one-to-one mapping, relied on by the lowering pass in paper Section 6),
+plus optional *reduction axes*, and a scalar body built from input accesses.
+
+Example -- 2-D convolution::
+
+    out[n, o, oh, ow] = sum_{i, rh, rw} inp[n, i, oh*s + rh, ow*s + rw]
+                                        * ker[o, i, rh, rw]
+
+is expressed with four spatial axes, three reduction axes and a body of
+``Access(inp, ...) * Access(ker, ...)`` with ``reduce_op='sum'``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .expr import Expr, Var, simplify, to_expr
+from .tensor import Tensor
+
+
+class Axis:
+    """A named iteration axis with a fixed extent."""
+
+    __slots__ = ("name", "extent")
+
+    def __init__(self, name: str, extent: int):
+        extent = int(extent)
+        if extent <= 0:
+            raise ValueError(f"axis {name!r} needs positive extent, got {extent}")
+        self.name = name
+        self.extent = extent
+
+    @property
+    def var(self) -> Var:
+        return Var(self.name)
+
+    def __str__(self) -> str:
+        return f"{self.name}:{self.extent}"
+
+    def __repr__(self) -> str:
+        return f"Axis({self.name!r}, {self.extent})"
+
+
+# ---------------------------------------------------------------------------
+# Scalar body expressions
+# ---------------------------------------------------------------------------
+
+class Value:
+    """Base class of scalar (float-valued) body expressions."""
+
+    __slots__ = ()
+
+    def __add__(self, other):
+        return BinOp("+", self, _to_value(other))
+
+    def __sub__(self, other):
+        return BinOp("-", self, _to_value(other))
+
+    def __mul__(self, other):
+        return BinOp("*", self, _to_value(other))
+
+    def __truediv__(self, other):
+        return BinOp("/", self, _to_value(other))
+
+    def accesses(self) -> List["Access"]:
+        raise NotImplementedError
+
+    def map_accesses(self, fn) -> "Value":
+        """Return a copy with every :class:`Access` replaced by ``fn(access)``."""
+        raise NotImplementedError
+
+
+class Access(Value):
+    """Read of one tensor element at logical indices."""
+
+    __slots__ = ("tensor", "indices")
+
+    def __init__(self, tensor: Tensor, indices: Sequence):
+        indices = tuple(to_expr(i) for i in indices)
+        if len(indices) != tensor.ndim:
+            raise ValueError(
+                f"{tensor.name} is {tensor.ndim}-D but access has {len(indices)} indices"
+            )
+        self.tensor = tensor
+        self.indices: Tuple[Expr, ...] = indices
+
+    def accesses(self) -> List["Access"]:
+        return [self]
+
+    def map_accesses(self, fn) -> Value:
+        return fn(self)
+
+    def __str__(self) -> str:
+        idx = "][".join(str(i) for i in self.indices)
+        return f"{self.tensor.name}[{idx}]"
+
+
+class ConstF(Value):
+    """Floating-point literal in the body."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float):
+        self.value = float(value)
+
+    def accesses(self) -> List[Access]:
+        return []
+
+    def map_accesses(self, fn) -> Value:
+        return self
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+class BinOp(Value):
+    __slots__ = ("op", "a", "b")
+    _OPS = ("+", "-", "*", "/")
+
+    def __init__(self, op: str, a: Value, b: Value):
+        if op not in self._OPS:
+            raise ValueError(f"unsupported op {op!r}")
+        self.op = op
+        self.a = a
+        self.b = b
+
+    def accesses(self) -> List[Access]:
+        return self.a.accesses() + self.b.accesses()
+
+    def map_accesses(self, fn) -> Value:
+        return BinOp(self.op, self.a.map_accesses(fn), self.b.map_accesses(fn))
+
+    def __str__(self) -> str:
+        return f"({self.a} {self.op} {self.b})"
+
+
+class Call(Value):
+    """Intrinsic call: max, min, exp, sqrt, tanh, erf, sigmoid, relu..."""
+
+    __slots__ = ("fn", "args")
+    _FNS = ("max", "min", "exp", "sqrt", "tanh", "erf", "sigmoid", "abs", "log")
+
+    def __init__(self, fn: str, args: Sequence[Value]):
+        if fn not in self._FNS:
+            raise ValueError(f"unsupported intrinsic {fn!r}")
+        self.fn = fn
+        self.args = tuple(args)
+
+    def accesses(self) -> List[Access]:
+        out: List[Access] = []
+        for a in self.args:
+            out.extend(a.accesses())
+        return out
+
+    def map_accesses(self, fn) -> Value:
+        return Call(self.fn, tuple(a.map_accesses(fn) for a in self.args))
+
+    def __str__(self) -> str:
+        return f"{self.fn}({', '.join(str(a) for a in self.args)})"
+
+
+class Cond:
+    """Integer predicate over index expressions.
+
+    Two forms cover every operator in the repo:
+
+    - ``InBounds(e, lo, hi)``  ->  ``lo <= e < hi``
+    - ``DivisibleBy(e, k)``    ->  ``e % k == 0``
+
+    Conjunction via ``All([...])``.
+    """
+
+    __slots__ = ()
+
+    def evaluate(self, env: Mapping[str, int]) -> bool:
+        raise NotImplementedError
+
+    def exprs(self) -> List[Expr]:
+        raise NotImplementedError
+
+    def map_exprs(self, fn) -> "Cond":
+        raise NotImplementedError
+
+
+class InBounds(Cond):
+    __slots__ = ("expr", "lo", "hi")
+
+    def __init__(self, expr, lo: int, hi: int):
+        self.expr = to_expr(expr)
+        self.lo = int(lo)
+        self.hi = int(hi)
+
+    def evaluate(self, env: Mapping[str, int]) -> bool:
+        return self.lo <= self.expr.evaluate(env) < self.hi
+
+    def exprs(self) -> List[Expr]:
+        return [self.expr]
+
+    def map_exprs(self, fn) -> Cond:
+        return InBounds(fn(self.expr), self.lo, self.hi)
+
+    def __str__(self) -> str:
+        return f"({self.lo} <= {self.expr} < {self.hi})"
+
+
+class DivisibleBy(Cond):
+    __slots__ = ("expr", "k")
+
+    def __init__(self, expr, k: int):
+        self.expr = to_expr(expr)
+        self.k = int(k)
+
+    def evaluate(self, env: Mapping[str, int]) -> bool:
+        return self.expr.evaluate(env) % self.k == 0
+
+    def exprs(self) -> List[Expr]:
+        return [self.expr]
+
+    def map_exprs(self, fn) -> Cond:
+        return DivisibleBy(fn(self.expr), self.k)
+
+    def __str__(self) -> str:
+        return f"({self.expr} % {self.k} == 0)"
+
+
+class All(Cond):
+    __slots__ = ("conds",)
+
+    def __init__(self, conds: Sequence[Cond]):
+        self.conds = tuple(conds)
+
+    def evaluate(self, env: Mapping[str, int]) -> bool:
+        return all(c.evaluate(env) for c in self.conds)
+
+    def exprs(self) -> List[Expr]:
+        out: List[Expr] = []
+        for c in self.conds:
+            out.extend(c.exprs())
+        return out
+
+    def map_exprs(self, fn) -> Cond:
+        return All(tuple(c.map_exprs(fn) for c in self.conds))
+
+    def __str__(self) -> str:
+        return " and ".join(str(c) for c in self.conds)
+
+
+class Select(Value):
+    """``cond ? then_value : else_value``.
+
+    Used for boundary-guarded operators (padding, zero-stuffing in transposed
+    convolutions).  Accesses inside ``then_value`` must be in-bounds for every
+    iteration (clamp indices with Min/Max if needed); the guard decides which
+    *value* is used, not whether memory is touched.
+    """
+
+    __slots__ = ("cond", "then_value", "else_value")
+
+    def __init__(self, cond: Cond, then_value: Value, else_value):
+        self.cond = cond
+        self.then_value = then_value
+        self.else_value = _to_value(else_value)
+
+    def accesses(self) -> List[Access]:
+        return self.then_value.accesses() + self.else_value.accesses()
+
+    def map_accesses(self, fn) -> Value:
+        return Select(
+            self.cond, self.then_value.map_accesses(fn), self.else_value.map_accesses(fn)
+        )
+
+    def __str__(self) -> str:
+        return f"({self.cond} ? {self.then_value} : {self.else_value})"
+
+
+def _to_value(v) -> Value:
+    if isinstance(v, Value):
+        return v
+    if isinstance(v, (int, float)):
+        return ConstF(float(v))
+    raise TypeError(f"cannot convert {type(v).__name__} to Value")
+
+
+# ---------------------------------------------------------------------------
+# Compute definition
+# ---------------------------------------------------------------------------
+
+class ComputeDef:
+    """One operator: output axes, reduction axes, and a scalar body.
+
+    Parameters
+    ----------
+    name:
+        Operator (node) name, unique within a graph.
+    output:
+        The produced :class:`Tensor`; ``len(axes) == output.ndim``.
+    axes:
+        Spatial axes, one per output dimension, in output-dimension order.
+    reduce_axes:
+        Reduction axes (empty for elementwise operators).
+    body:
+        Scalar expression over input accesses; free index variables must be
+        axis variables.
+    reduce_op:
+        ``'sum'``, ``'max'`` or ``None`` (pure elementwise).
+    init:
+        Initial accumulator value for reductions.
+    tags:
+        Free-form classification used by layout propagation: ``'complex'``
+        (convolutions and GMM, paper Section 5.1), ``'elementwise'``,
+        ``'broadcast'``, etc.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        output: Tensor,
+        axes: Sequence[Axis],
+        reduce_axes: Sequence[Axis],
+        body: Value,
+        reduce_op: Optional[str] = None,
+        init: float = 0.0,
+        tags: Sequence[str] = (),
+        flops_per_point: Optional[int] = None,
+        attrs: Optional[Dict] = None,
+    ):
+        axes = list(axes)
+        if len(axes) != output.ndim:
+            raise ValueError(
+                f"{name}: output is {output.ndim}-D but {len(axes)} spatial axes given"
+            )
+        for axis, extent in zip(axes, output.shape):
+            if axis.extent != extent:
+                raise ValueError(
+                    f"{name}: axis {axis.name} extent {axis.extent} != output dim {extent}"
+                )
+        if reduce_op not in (None, "sum", "max"):
+            raise ValueError(f"{name}: unsupported reduce_op {reduce_op!r}")
+        if reduce_axes and reduce_op is None:
+            raise ValueError(f"{name}: reduction axes given without reduce_op")
+        self.name = name
+        self.output = output
+        self.axes = axes
+        self.reduce_axes = list(reduce_axes)
+        self.body = body
+        self.reduce_op = reduce_op
+        self.init = float(init)
+        self.tags = tuple(tags)
+        self._flops_per_point = flops_per_point
+        #: operator attributes (stride, dilation, groups...) used by layout
+        #: templates; not semantically load-bearing
+        self.attrs: Dict = dict(attrs or {})
+
+    # -- helpers --------------------------------------------------------------
+    @property
+    def all_axes(self) -> List[Axis]:
+        return self.axes + self.reduce_axes
+
+    @property
+    def inputs(self) -> List[Tensor]:
+        seen: Dict[str, Tensor] = {}
+        for acc in self.body.accesses():
+            seen.setdefault(acc.tensor.name, acc.tensor)
+        return list(seen.values())
+
+    @property
+    def is_complex(self) -> bool:
+        """Complex operators get their own layout tuning task (Sec. 5.1)."""
+        return "complex" in self.tags
+
+    @property
+    def is_elementwise(self) -> bool:
+        return "elementwise" in self.tags
+
+    def iteration_count(self) -> int:
+        n = 1
+        for axis in self.all_axes:
+            n *= axis.extent
+        return n
+
+    def flops(self) -> int:
+        """Approximate floating-point operations executed by this operator."""
+        if self._flops_per_point is not None:
+            per_point = self._flops_per_point
+        else:
+            per_point = _count_flops(self.body) + (1 if self.reduce_op else 0)
+        return self.iteration_count() * per_point
+
+    def accesses_of(self, tensor_name: str) -> List[Access]:
+        return [a for a in self.body.accesses() if a.tensor.name == tensor_name]
+
+    def validate(self) -> None:
+        """Check that body accesses only use axis variables and stay in bounds
+        at the corner points (0 and extent-1 of every axis)."""
+        axis_names = {a.name for a in self.all_axes}
+        for acc in self.body.accesses():
+            for expr in acc.indices:
+                extra = expr.free_vars() - axis_names
+                if extra:
+                    raise ValueError(
+                        f"{self.name}: access {acc} uses unknown variables {sorted(extra)}"
+                    )
+        # Corner-point bounds check (sufficient for monotone affine accesses).
+        lo = {a.name: 0 for a in self.all_axes}
+        hi = {a.name: a.extent - 1 for a in self.all_axes}
+        for acc in self.body.accesses():
+            for dim, expr in enumerate(acc.indices):
+                for env in (lo, hi):
+                    val = simplify(expr).evaluate(env)
+                    if not 0 <= val < acc.tensor.shape[dim]:
+                        raise ValueError(
+                            f"{self.name}: access {acc} dim {dim} out of bounds "
+                            f"({val} not in [0, {acc.tensor.shape[dim]}))"
+                        )
+
+    def __repr__(self) -> str:
+        return f"ComputeDef({self.name!r}, out={self.output}, tags={self.tags})"
+
+
+def _count_flops(v: Value) -> int:
+    if isinstance(v, BinOp):
+        return 1 + _count_flops(v.a) + _count_flops(v.b)
+    if isinstance(v, Call):
+        return 4 + sum(_count_flops(a) for a in v.args)  # transcendental ~ 4 flops
+    if isinstance(v, Select):
+        return 1 + max(_count_flops(v.then_value), _count_flops(v.else_value))
+    return 0
+
+
+def substitute_value(value: Value, mapping: Mapping[str, Expr]) -> Value:
+    """Substitute loop variables throughout a body: access indices *and*
+    guard conditions (a plain ``map_accesses`` would miss the guards)."""
+
+    def rewrite_access(acc):
+        new_idx = tuple(simplify(e.substitute(mapping)) for e in acc.indices)
+        return type(acc)(getattr(acc, "tensor", None) or acc.buffer, new_idx)
+
+    if isinstance(value, Select):
+        return Select(
+            value.cond.map_exprs(lambda e: simplify(e.substitute(mapping))),
+            substitute_value(value.then_value, mapping),
+            substitute_value(value.else_value, mapping),
+        )
+    if isinstance(value, BinOp):
+        return BinOp(
+            value.op,
+            substitute_value(value.a, mapping),
+            substitute_value(value.b, mapping),
+        )
+    if isinstance(value, Call):
+        return Call(value.fn, tuple(substitute_value(a, mapping) for a in value.args))
+    if isinstance(value, ConstF):
+        return value
+    # Access / BufRead leaf.
+    return rewrite_access(value)

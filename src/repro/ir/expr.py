@@ -1,0 +1,475 @@
+"""Integer index expressions used in tensor access statements.
+
+The transformation module of ALT rewrites the *accessing expressions* of every
+tensor whenever a layout primitive is applied (paper Table 1 and Eq. 1).  This
+module provides the small expression language those rewrites operate on:
+variables, integer constants and the arithmetic that appears in affine tensor
+accesses (``+ - * // %  min  max``).
+
+Expressions are immutable.  Construction goes through the helper functions or
+Python operators; ``simplify`` performs constant folding and the algebraic
+identities needed to keep rewritten accesses readable and analyzable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Set, Tuple, Union
+
+ExprLike = Union["Expr", int]
+
+
+class Expr:
+    """Base class for all index expressions."""
+
+    __slots__ = ()
+
+    # -- construction sugar -------------------------------------------------
+    def __add__(self, other: ExprLike) -> "Expr":
+        return Add(self, to_expr(other))
+
+    def __radd__(self, other: ExprLike) -> "Expr":
+        return Add(to_expr(other), self)
+
+    def __sub__(self, other: ExprLike) -> "Expr":
+        return Sub(self, to_expr(other))
+
+    def __rsub__(self, other: ExprLike) -> "Expr":
+        return Sub(to_expr(other), self)
+
+    def __mul__(self, other: ExprLike) -> "Expr":
+        return Mul(self, to_expr(other))
+
+    def __rmul__(self, other: ExprLike) -> "Expr":
+        return Mul(to_expr(other), self)
+
+    def __floordiv__(self, other: ExprLike) -> "Expr":
+        return FloorDiv(self, to_expr(other))
+
+    def __mod__(self, other: ExprLike) -> "Expr":
+        return Mod(self, to_expr(other))
+
+    def __neg__(self) -> "Expr":
+        return Sub(Const(0), self)
+
+    # -- interface -----------------------------------------------------------
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        """Evaluate to an integer given a binding for every free variable."""
+        raise NotImplementedError
+
+    def substitute(self, mapping: Mapping[str, "Expr"]) -> "Expr":
+        """Return a copy with variables replaced by expressions."""
+        raise NotImplementedError
+
+    def free_vars(self) -> Set[str]:
+        raise NotImplementedError
+
+    def children(self) -> Iterable["Expr"]:
+        return ()
+
+    # -- equality (structural) ------------------------------------------------
+    def same_as(self, other: "Expr") -> bool:
+        return _key(self) == _key(other)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return str(self)
+
+
+class Const(Expr):
+    """Integer literal."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int):
+        if not isinstance(value, int):
+            raise TypeError(f"Const expects int, got {type(value).__name__}")
+        self.value = value
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return self.value
+
+    def substitute(self, mapping: Mapping[str, Expr]) -> Expr:
+        return self
+
+    def free_vars(self) -> Set[str]:
+        return set()
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+class Var(Expr):
+    """Named loop or dimension variable."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("Var requires a non-empty name")
+        self.name = name
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        try:
+            return env[self.name]
+        except KeyError:
+            raise KeyError(f"unbound variable {self.name!r}") from None
+
+    def substitute(self, mapping: Mapping[str, Expr]) -> Expr:
+        return mapping.get(self.name, self)
+
+    def free_vars(self) -> Set[str]:
+        return {self.name}
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class _Binary(Expr):
+    __slots__ = ("a", "b")
+    op = "?"
+
+    def __init__(self, a: ExprLike, b: ExprLike):
+        self.a = to_expr(a)
+        self.b = to_expr(b)
+
+    def substitute(self, mapping: Mapping[str, Expr]) -> Expr:
+        return type(self)(self.a.substitute(mapping), self.b.substitute(mapping))
+
+    def free_vars(self) -> Set[str]:
+        return self.a.free_vars() | self.b.free_vars()
+
+    def children(self) -> Iterable[Expr]:
+        return (self.a, self.b)
+
+    def __str__(self) -> str:
+        return f"({self.a} {self.op} {self.b})"
+
+
+class Add(_Binary):
+    __slots__ = ()
+    op = "+"
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return self.a.evaluate(env) + self.b.evaluate(env)
+
+
+class Sub(_Binary):
+    __slots__ = ()
+    op = "-"
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return self.a.evaluate(env) - self.b.evaluate(env)
+
+
+class Mul(_Binary):
+    __slots__ = ()
+    op = "*"
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return self.a.evaluate(env) * self.b.evaluate(env)
+
+
+class FloorDiv(_Binary):
+    __slots__ = ()
+    op = "//"
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return self.a.evaluate(env) // self.b.evaluate(env)
+
+
+class Mod(_Binary):
+    __slots__ = ()
+    op = "%"
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return self.a.evaluate(env) % self.b.evaluate(env)
+
+
+class Min(_Binary):
+    __slots__ = ()
+    op = "min"
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return min(self.a.evaluate(env), self.b.evaluate(env))
+
+    def __str__(self) -> str:
+        return f"min({self.a}, {self.b})"
+
+
+class Max(_Binary):
+    __slots__ = ()
+    op = "max"
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return max(self.a.evaluate(env), self.b.evaluate(env))
+
+    def __str__(self) -> str:
+        return f"max({self.a}, {self.b})"
+
+
+def to_expr(value: ExprLike) -> Expr:
+    """Coerce an int (or expression) into an :class:`Expr`."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, (int,)):
+        return Const(int(value))
+    raise TypeError(f"cannot convert {type(value).__name__} to Expr")
+
+
+def _key(e: Expr):
+    if isinstance(e, Const):
+        return ("c", e.value)
+    if isinstance(e, Var):
+        return ("v", e.name)
+    return (type(e).__name__,) + tuple(_key(c) for c in e.children())
+
+
+# ---------------------------------------------------------------------------
+# Simplification
+# ---------------------------------------------------------------------------
+
+def simplify(e: Expr) -> Expr:
+    """Constant-fold and apply cheap algebraic identities, bottom-up."""
+    if isinstance(e, (Const, Var)):
+        return e
+    assert isinstance(e, _Binary)
+    a = simplify(e.a)
+    b = simplify(e.b)
+
+    ca = a.value if isinstance(a, Const) else None
+    cb = b.value if isinstance(b, Const) else None
+
+    if isinstance(e, Add):
+        if ca == 0:
+            return b
+        if cb == 0:
+            return a
+        if ca is not None and cb is not None:
+            return Const(ca + cb)
+        return Add(a, b)
+    if isinstance(e, Sub):
+        if cb == 0:
+            return a
+        if ca is not None and cb is not None:
+            return Const(ca - cb)
+        if a.same_as(b):
+            return Const(0)
+        return Sub(a, b)
+    if isinstance(e, Mul):
+        if ca == 0 or cb == 0:
+            return Const(0)
+        if ca == 1:
+            return b
+        if cb == 1:
+            return a
+        if ca is not None and cb is not None:
+            return Const(ca * cb)
+        return Mul(a, b)
+    if isinstance(e, FloorDiv):
+        if cb == 1:
+            return a
+        if ca is not None and cb is not None and cb != 0:
+            return Const(ca // cb)
+        if ca == 0:
+            return Const(0)
+        return FloorDiv(a, b)
+    if isinstance(e, Mod):
+        if cb == 1:
+            return Const(0)
+        if ca is not None and cb is not None and cb != 0:
+            return Const(ca % cb)
+        if ca == 0:
+            return Const(0)
+        return Mod(a, b)
+    if isinstance(e, Min):
+        if ca is not None and cb is not None:
+            return Const(min(ca, cb))
+        if a.same_as(b):
+            return a
+        return Min(a, b)
+    if isinstance(e, Max):
+        if ca is not None and cb is not None:
+            return Const(max(ca, cb))
+        if a.same_as(b):
+            return a
+        return Max(a, b)
+    raise AssertionError(f"unhandled expression type {type(e)}")
+
+
+# ---------------------------------------------------------------------------
+# Affine analysis
+# ---------------------------------------------------------------------------
+
+def affine_coefficients(e: Expr) -> Optional[Dict[str, int]]:
+    """Decompose ``e`` as ``sum(coeff[v] * v) + coeff['']``.
+
+    Returns ``None`` when the expression is not affine in its variables
+    (contains ``//``, ``%``, ``min``, ``max`` over variables, or products of
+    two variables).  The constant term is stored under the empty-string key.
+    """
+    e = simplify(e)
+    if isinstance(e, Const):
+        return {"": e.value}
+    if isinstance(e, Var):
+        return {e.name: 1, "": 0}
+    if isinstance(e, Add) or isinstance(e, Sub):
+        left = affine_coefficients(e.a)
+        right = affine_coefficients(e.b)
+        if left is None or right is None:
+            return None
+        sign = 1 if isinstance(e, Add) else -1
+        out = dict(left)
+        out.setdefault("", 0)
+        for key, coeff in right.items():
+            out[key] = out.get(key, 0) + sign * coeff
+        return out
+    if isinstance(e, Mul):
+        if isinstance(e.a, Const):
+            scalar, term = e.a.value, e.b
+        elif isinstance(e.b, Const):
+            scalar, term = e.b.value, e.a
+        else:
+            return None
+        inner = affine_coefficients(term)
+        if inner is None:
+            return None
+        return {key: coeff * scalar for key, coeff in inner.items()}
+    return None
+
+
+def stride_of(e: Expr, var: str) -> Optional[int]:
+    """Coefficient of ``var`` in an affine expression, or ``None``.
+
+    The stride of the innermost loop variable inside a flattened tensor
+    access determines SIMD friendliness and cache-line behaviour; both the
+    latency model and the vectorization legality check rely on it.
+    """
+    coeffs = affine_coefficients(e)
+    if coeffs is None:
+        # Non-affine overall; the variable may still not appear at all.
+        if var not in e.free_vars():
+            return 0
+        return None
+    return coeffs.get(var, 0)
+
+
+def is_affine(e: Expr) -> bool:
+    return affine_coefficients(e) is not None
+
+
+# ---------------------------------------------------------------------------
+# Interval analysis and range-aware simplification
+# ---------------------------------------------------------------------------
+
+Range = Tuple[int, int]  # inclusive [lo, hi]
+
+
+def bounds(e: Expr, ranges: Mapping[str, Range]) -> Range:
+    """Conservative interval of ``e`` given inclusive variable ranges."""
+    if isinstance(e, Const):
+        return (e.value, e.value)
+    if isinstance(e, Var):
+        try:
+            return ranges[e.name]
+        except KeyError:
+            raise KeyError(f"no range for variable {e.name!r}") from None
+    assert isinstance(e, _Binary)
+    alo, ahi = bounds(e.a, ranges)
+    blo, bhi = bounds(e.b, ranges)
+    if isinstance(e, Add):
+        return (alo + blo, ahi + bhi)
+    if isinstance(e, Sub):
+        return (alo - bhi, ahi - blo)
+    if isinstance(e, Mul):
+        corners = (alo * blo, alo * bhi, ahi * blo, ahi * bhi)
+        return (min(corners), max(corners))
+    if isinstance(e, FloorDiv):
+        if blo <= 0 <= bhi:
+            raise ZeroDivisionError(f"divisor range of {e} contains zero")
+        corners = (alo // blo, alo // bhi, ahi // blo, ahi // bhi)
+        return (min(corners), max(corners))
+    if isinstance(e, Mod):
+        if blo <= 0:
+            raise ZeroDivisionError(f"modulus range of {e} is not positive")
+        if alo >= 0 and ahi < blo:
+            return (alo, ahi)  # modulus never triggers
+        return (0, bhi - 1) if alo >= 0 else (-(bhi - 1), bhi - 1)
+    if isinstance(e, Min):
+        return (min(alo, blo), min(ahi, bhi))
+    if isinstance(e, Max):
+        return (max(alo, blo), max(ahi, bhi))
+    raise AssertionError(type(e))
+
+
+def canonicalize(e: Expr) -> Expr:
+    """Rebuild an affine expression as ``c1*v1 + ... + ck*vk + c0`` with
+    variables in sorted order; non-affine expressions are returned as-is.
+
+    Cancelling terms (e.g. ``(a*2 + b) - a*2 -> b``) is what keeps stride
+    analysis exact after layout/schedule rewrites compose."""
+    coeffs = affine_coefficients(e)
+    if coeffs is None:
+        return e
+    const = coeffs.pop("", 0)
+    terms = [(name, c) for name, c in sorted(coeffs.items()) if c != 0]
+    out: Optional[Expr] = None
+    for name, c in terms:
+        term: Expr = Var(name) if c == 1 else Mul(Var(name), Const(c))
+        out = term if out is None else Add(out, term)
+    if out is None:
+        return Const(const)
+    if const:
+        out = Add(out, Const(const))
+    return out
+
+
+def simplify_ranges(e: Expr, ranges: Mapping[str, Range]) -> Expr:
+    """Simplify using variable ranges.
+
+    The key rewrites -- beyond :func:`simplify` -- are the ones that undo
+    split/fuse round-trips produced by layout composition::
+
+        (a*c + b) // c  ->  a      when 0 <= b < c
+        (a*c + b) %  c  ->  b      when 0 <= b < c
+
+    Both are justified by interval analysis of the non-multiple remainder.
+    """
+    e = simplify(e)
+    if isinstance(e, (Const, Var)):
+        return e
+    assert isinstance(e, _Binary)
+    a = simplify_ranges(e.a, ranges)
+    b = simplify_ranges(e.b, ranges)
+    e = simplify(type(e)(a, b))
+    e = canonicalize(e)
+    if not isinstance(e, (FloorDiv, Mod)):
+        return e
+    if not isinstance(e.b, Const):
+        return e
+    d = e.b.value
+    if d <= 0:
+        return e
+    coeffs = affine_coefficients(e.a)
+    if coeffs is None:
+        return e
+    const = coeffs.pop("", 0)
+    multiple: Expr = Const(0)
+    remainder: Expr = Const(0)
+    for name, coeff in sorted(coeffs.items()):
+        if coeff % d == 0:
+            multiple = multiple + Var(name) * (coeff // d)
+        else:
+            remainder = remainder + Var(name) * coeff
+    if const % d == 0:
+        multiple = multiple + (const // d)
+    else:
+        remainder = remainder + const
+    remainder = simplify(remainder)
+    try:
+        rlo, rhi = bounds(remainder, ranges)
+    except (KeyError, ZeroDivisionError):
+        return e
+    if not (0 <= rlo and rhi < d):
+        return e
+    if isinstance(e, FloorDiv):
+        return simplify(multiple)
+    return remainder

@@ -1,0 +1,250 @@
+"""Lowered loop-nest programs.
+
+The lowering pass turns ``(ComputeDef, per-tensor Layout, LoopSchedule)`` into
+a :class:`Program`: a sequence of :class:`Stage` objects, each a perfectly
+nested loop band around one update statement over *physical* buffers.
+
+Operator fusion (``compute_at``) is recorded as an annotation on the fused
+stages (``fuse_group``) rather than by literally interleaving loop bodies:
+execution semantics are unchanged by fusion, only the memory behaviour is,
+and the machine model consumes the annotation analytically.
+
+Splits are restricted to exact divisors of the loop extent, so rewritten
+index arithmetic needs no min/max guards.  All auto-tuners in this repo pick
+factors from the divisor set, matching Ansor's perfect-split spaces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from .compute import BinOp, Call, ConstF, Value
+from .expr import Expr, to_expr
+
+SERIAL = "serial"
+PARALLEL = "parallel"
+VECTORIZE = "vectorize"
+UNROLL = "unroll"
+_KINDS = (SERIAL, PARALLEL, VECTORIZE, UNROLL)
+
+
+class Loop:
+    """One loop level: a variable, its extent and an execution annotation."""
+
+    __slots__ = ("var", "extent", "kind")
+
+    def __init__(self, var: str, extent: int, kind: str = SERIAL):
+        if kind not in _KINDS:
+            raise ValueError(f"bad loop kind {kind!r}")
+        extent = int(extent)
+        if extent <= 0:
+            raise ValueError(f"loop {var} needs positive extent, got {extent}")
+        self.var = var
+        self.extent = extent
+        self.kind = kind
+
+    def with_kind(self, kind: str) -> "Loop":
+        return Loop(self.var, self.extent, kind)
+
+    def __repr__(self) -> str:
+        tag = "" if self.kind == SERIAL else f" [{self.kind}]"
+        return f"for {self.var} in {self.extent}{tag}"
+
+
+class Buffer:
+    """A physical, row-major allocation (what a Tensor becomes after layout)."""
+
+    __slots__ = ("name", "shape", "itemsize")
+
+    def __init__(self, name: str, shape: Sequence[int], itemsize: int = 4):
+        shape = tuple(int(s) for s in shape)
+        if any(s <= 0 for s in shape):
+            raise ValueError(f"buffer {name!r} has bad shape {shape}")
+        self.name = name
+        self.shape = shape
+        self.itemsize = itemsize
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+    @property
+    def nbytes(self) -> int:
+        return self.size * self.itemsize
+
+    def strides(self) -> Tuple[int, ...]:
+        """Row-major element strides."""
+        strides = [1] * len(self.shape)
+        for i in range(len(self.shape) - 2, -1, -1):
+            strides[i] = strides[i + 1] * self.shape[i + 1]
+        return tuple(strides)
+
+    def flat_index(self, indices: Sequence[Expr]) -> Expr:
+        """Linearized element offset as an expression of the loop variables."""
+        if len(indices) != len(self.shape):
+            raise ValueError(
+                f"buffer {self.name} is {len(self.shape)}-D, got {len(indices)} indices"
+            )
+        strides = self.strides()
+        flat: Expr = to_expr(0)
+        for idx, stride in zip(indices, strides):
+            flat = flat + to_expr(idx) * stride
+        return flat
+
+    def __repr__(self) -> str:
+        return f"Buffer({self.name!r}, {list(self.shape)})"
+
+
+class BufRead(Value):
+    """Read of a physical buffer element (leaf of a lowered body)."""
+
+    __slots__ = ("buffer", "indices")
+
+    def __init__(self, buffer: Buffer, indices: Sequence):
+        indices = tuple(to_expr(i) for i in indices)
+        if len(indices) != len(buffer.shape):
+            raise ValueError(
+                f"{buffer.name} is {len(buffer.shape)}-D but got {len(indices)} indices"
+            )
+        self.buffer = buffer
+        self.indices: Tuple[Expr, ...] = indices
+
+    def accesses(self):
+        return [self]
+
+    def map_accesses(self, fn) -> Value:
+        return fn(self)
+
+    def __str__(self) -> str:
+        idx = "][".join(str(i) for i in self.indices)
+        return f"{self.buffer.name}[{idx}]"
+
+
+class Stage:
+    """A perfectly nested loop band computing one buffer.
+
+    ``loops`` runs outer-to-inner.  Reduction loops are identified by name in
+    ``reduce_vars``; ``init_value`` (if not ``None``) initializes the output
+    element before the reduction loops run.  ``update`` is the right-hand
+    side; for ``reduce_op='sum'`` the statement is ``out += update``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        loops: Sequence[Loop],
+        out: Buffer,
+        out_indices: Sequence[Expr],
+        update: Value,
+        reduce_op: Optional[str] = None,
+        reduce_vars: Sequence[str] = (),
+        init_value: Optional[float] = None,
+        annotations: Optional[Dict] = None,
+    ):
+        self.name = name
+        self.loops = list(loops)
+        self.out = out
+        self.out_indices = tuple(to_expr(i) for i in out_indices)
+        self.update = update
+        self.reduce_op = reduce_op
+        self.reduce_vars: Set[str] = set(reduce_vars)
+        self.init_value = init_value
+        self.annotations: Dict = dict(annotations or {})
+        self._validate()
+
+    def _validate(self) -> None:
+        loop_vars = {l.var for l in self.loops}
+        if len(loop_vars) != len(self.loops):
+            raise ValueError(f"stage {self.name}: duplicate loop variables")
+        used: Set[str] = set()
+        for e in self.out_indices:
+            used |= e.free_vars()
+        for acc in self.update.accesses():
+            for e in acc.indices:
+                used |= e.free_vars()
+        missing = used - loop_vars
+        if missing:
+            raise ValueError(f"stage {self.name}: unbound variables {sorted(missing)}")
+        if self.reduce_op not in (None, "sum", "max"):
+            raise ValueError(f"stage {self.name}: bad reduce_op {self.reduce_op!r}")
+        bad = self.reduce_vars - loop_vars
+        if bad:
+            raise ValueError(f"stage {self.name}: unknown reduce vars {sorted(bad)}")
+
+    # -- queries used by the machine model and schedulers ----------------------
+    @property
+    def spatial_loops(self) -> List[Loop]:
+        return [l for l in self.loops if l.var not in self.reduce_vars]
+
+    @property
+    def reduction_loops(self) -> List[Loop]:
+        return [l for l in self.loops if l.var in self.reduce_vars]
+
+    def trip_count(self) -> int:
+        n = 1
+        for l in self.loops:
+            n *= l.extent
+        return n
+
+    def innermost(self) -> Loop:
+        return self.loops[-1]
+
+    def reads(self) -> List[BufRead]:
+        return list(self.update.accesses())
+
+    def buffers(self) -> Dict[str, Buffer]:
+        out = {self.out.name: self.out}
+        for r in self.reads():
+            out.setdefault(r.buffer.name, r.buffer)
+        return out
+
+    def __repr__(self) -> str:
+        return f"Stage({self.name!r}, {len(self.loops)} loops, out={self.out.name})"
+
+    def pretty(self) -> str:
+        lines = []
+        if self.init_value is not None:
+            lines.append(f"{self.out.name}[...] = {self.init_value}  # init, before the nest")
+        indent = ""
+        for l in self.loops:
+            lines.append(f"{indent}{l!r}:")
+            indent += "  "
+        idx = "][".join(str(i) for i in self.out_indices)
+        op = {"sum": "+=", "max": "max=", None: "="}[self.reduce_op]
+        lines.append(f"{indent}{self.out.name}[{idx}] {op} {self.update}")
+        return "\n".join(lines)
+
+
+class Program:
+    """An ordered list of stages plus conversion/bookkeeping metadata."""
+
+    def __init__(self, stages: Sequence[Stage], name: str = "program"):
+        self.name = name
+        self.stages = list(stages)
+
+    def buffers(self) -> Dict[str, Buffer]:
+        out: Dict[str, Buffer] = {}
+        for s in self.stages:
+            for name, buf in s.buffers().items():
+                if name in out and out[name].shape != buf.shape:
+                    raise ValueError(
+                        f"buffer {name} has conflicting shapes "
+                        f"{out[name].shape} vs {buf.shape}"
+                    )
+                out.setdefault(name, buf)
+        return out
+
+    def stage(self, name: str) -> Stage:
+        for s in self.stages:
+            if s.name == name:
+                return s
+        raise KeyError(name)
+
+    def pretty(self) -> str:
+        return "\n\n".join(f"# stage {s.name}\n{s.pretty()}" for s in self.stages)
+
+    def __repr__(self) -> str:
+        return f"Program({self.name!r}, {len(self.stages)} stages)"

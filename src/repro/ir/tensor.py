@@ -1,0 +1,60 @@
+"""Logical tensors.
+
+A :class:`Tensor` is an edge in the computational graph: a name, a logical
+shape, a dtype and a *role*.  The role matters for layout optimization
+(paper Section 4.2): ``const`` tensors (weights) can be re-laid-out offline at
+zero runtime cost, while ``input``/``intermediate`` tensors need either a
+conversion operator or layout propagation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Tuple
+
+_ROLE_VALUES = ("input", "const", "intermediate", "output")
+
+_counter = itertools.count()
+
+
+class Tensor:
+    """A logically-shaped tensor; physical layout lives in ``repro.layout``."""
+
+    __slots__ = ("name", "shape", "dtype", "role", "uid")
+
+    def __init__(self, name: str, shape, dtype: str = "float32", role: str = "intermediate"):
+        if role not in _ROLE_VALUES:
+            raise ValueError(f"role must be one of {_ROLE_VALUES}, got {role!r}")
+        shape = tuple(int(s) for s in shape)
+        if any(s <= 0 for s in shape):
+            raise ValueError(f"tensor {name!r} has non-positive extent in shape {shape}")
+        self.name = name
+        self.shape: Tuple[int, ...] = shape
+        self.dtype = dtype
+        self.role = role
+        self.uid = next(_counter)
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+    @property
+    def itemsize(self) -> int:
+        return {"float32": 4, "float64": 8, "float16": 2, "int32": 4, "int8": 1}[self.dtype]
+
+    @property
+    def nbytes(self) -> int:
+        return self.size * self.itemsize
+
+    def __str__(self) -> str:
+        return f"{self.name}{list(self.shape)}"
+
+    def __repr__(self) -> str:
+        return f"Tensor({self.name!r}, shape={self.shape}, role={self.role!r})"

@@ -1,0 +1,239 @@
+"""Per-tensor layout: an ordered primitive sequence over a logical shape.
+
+A :class:`Layout` is what the paper calls the "cached primitive sequence" of
+a tensor (Section 4.1): applying a primitive never touches operator code --
+it is recorded here and realized later by the lowering pass (shape rewrite +
+access-expression rewrite) and/or by ``materialize`` for constant data.
+
+Layouts are immutable; every builder method returns a new Layout, so tuners
+can branch cheaply from a common prefix.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..ir.expr import Expr, simplify, to_expr
+from .primitives import (
+    Dim,
+    Fuse,
+    LayoutError,
+    Pad,
+    Primitive,
+    Reorder,
+    RewriteContext,
+    Split,
+    StoreAt,
+    Unfold,
+)
+
+DimRef = Union[int, str]
+
+
+class Layout:
+    """Layout of one tensor: logical dims plus an applied primitive chain."""
+
+    def __init__(
+        self,
+        shape: Sequence[int],
+        names: Optional[Sequence[str]] = None,
+        _primitives: Optional[List[Primitive]] = None,
+        _history: Optional[List[List[Dim]]] = None,
+        _dims: Optional[List[Dim]] = None,
+    ):
+        shape = tuple(int(s) for s in shape)
+        if names is None:
+            names = [f"d{i}" for i in range(len(shape))]
+        if len(names) != len(shape):
+            raise LayoutError("names/shape length mismatch")
+        self.logical_shape = shape
+        self.logical_names = tuple(names)
+        initial = [Dim(n, s) for n, s in zip(names, shape)]
+        self.primitives: List[Primitive] = list(_primitives or [])
+        # _history[i] = dims *before* primitive i applied.
+        self._history: List[List[Dim]] = list(_history or [])
+        self._dims: List[Dim] = list(_dims) if _dims is not None else initial
+
+    # -- inspection -----------------------------------------------------------
+    @property
+    def dims(self) -> List[Dim]:
+        return list(self._dims)
+
+    @property
+    def ndim(self) -> int:
+        return len(self._dims)
+
+    def physical_shape(self) -> Tuple[int, ...]:
+        return tuple(d.size for d in self._dims)
+
+    def dim_names(self) -> Tuple[str, ...]:
+        return tuple(d.name for d in self._dims)
+
+    def index_of(self, ref: DimRef) -> int:
+        if isinstance(ref, int):
+            if not -self.ndim <= ref < self.ndim:
+                raise LayoutError(f"dim index {ref} out of range for {self}")
+            return ref % self.ndim
+        for i, d in enumerate(self._dims):
+            if d.name == ref:
+                return i
+        raise LayoutError(f"no dim named {ref!r} in {self.dim_names()}")
+
+    @property
+    def is_identity(self) -> bool:
+        return not self.primitives
+
+    def expansion_ratio(self) -> float:
+        """Physical size relative to logical size (>1 for unfold/pad)."""
+        logical = math.prod(self.logical_shape) or 1
+        return math.prod(self.physical_shape()) / logical
+
+    def has_nontrivial_advanced(self) -> bool:
+        """Propagation constraint 1 (Algorithm 1 line 3)."""
+        return any(p.is_nontrivial() for p in self.primitives)
+
+    def store_at_binding(self) -> Optional[StoreAt]:
+        for p in self.primitives:
+            if isinstance(p, StoreAt):
+                return p
+        return None
+
+    def signature(self) -> Tuple[str, ...]:
+        return tuple(repr(p) for p in self.primitives)
+
+    # -- builders ---------------------------------------------------------------
+    def _extend(self, prim: Primitive) -> "Layout":
+        new_dims = prim.apply_dims(self._dims)
+        clone = Layout(
+            self.logical_shape,
+            self.logical_names,
+            _primitives=self.primitives + [prim],
+            _history=self._history + [list(self._dims)],
+            _dims=new_dims,
+        )
+        return clone
+
+    def split(self, dim: DimRef, factors: Sequence[int]) -> "Layout":
+        return self._extend(Split(self.index_of(dim), factors))
+
+    def reorder(self, perm: Sequence[DimRef]) -> "Layout":
+        return self._extend(Reorder([self.index_of(p) for p in perm]))
+
+    def fuse(self, dims: Sequence[DimRef]) -> "Layout":
+        idx = sorted(self.index_of(d) for d in dims)
+        if idx != list(range(idx[0], idx[0] + len(idx))):
+            raise LayoutError(f"fuse requires consecutive dims, got {idx}")
+        return self._extend(Fuse(idx[0], len(idx)))
+
+    def unfold(self, dim: DimRef, tile_size: int, stride: int) -> "Layout":
+        return self._extend(Unfold(self.index_of(dim), tile_size, stride))
+
+    def pad(self, dim: DimRef, before: int = 0, after: int = 0) -> "Layout":
+        return self._extend(Pad(self.index_of(dim), before, after))
+
+    def store_at(self, host: str, host_dim: int) -> "Layout":
+        return self._extend(StoreAt(host, host_dim))
+
+    # -- inverse primitives (paper Sec. 4.1.2: fold / unpad / decouple_at) -----
+    def _undo(self, expected: type, name: str) -> "Layout":
+        if not self.primitives:
+            raise LayoutError(f"{name}: no primitive to undo")
+        last = self.primitives[-1]
+        if not isinstance(last, expected):
+            raise LayoutError(
+                f"{name}: last primitive is {last!r}, not a "
+                f"{expected.__name__.lower()}"
+            )
+        return Layout(
+            self.logical_shape,
+            self.logical_names,
+            _primitives=self.primitives[:-1],
+            _history=self._history[:-1],
+            _dims=list(self._history[-1]),
+        )
+
+    def fold(self) -> "Layout":
+        """Undo the most recent :meth:`unfold` (merge the tile dims back)."""
+        return self._undo(Unfold, "fold")
+
+    def unpad(self) -> "Layout":
+        """Undo the most recent :meth:`pad` (drop the appended zeros)."""
+        return self._undo(Pad, "unpad")
+
+    def decouple_at(self) -> "Layout":
+        """Undo the most recent :meth:`store_at` (detach from the host)."""
+        return self._undo(StoreAt, "decouple_at")
+
+    def replay_onto(self, other: "Layout") -> "Layout":
+        """Duplicate this layout's primitive sequence onto another tensor
+        (the propagation copy of Algorithm 1 line 11). Shapes must match."""
+        if other.logical_shape != self.logical_shape:
+            raise LayoutError(
+                f"cannot replay layout of shape {self.logical_shape} onto "
+                f"{other.logical_shape}"
+            )
+        out = other
+        for prim in self.primitives:
+            out = out._extend(prim)
+        return out
+
+    # -- access-expression rewriting (the Section 6 compiler pass) -------------
+    def rewrite_access(
+        self, exprs: Sequence, ctx: Optional[RewriteContext] = None
+    ) -> List[Expr]:
+        """Map logical accessing expressions to physical ones (Table 1/Eq. 1)."""
+        out = [to_expr(e) for e in exprs]
+        if len(out) != len(self.logical_shape):
+            raise LayoutError(
+                f"access has {len(out)} indices for {len(self.logical_shape)}-D tensor"
+            )
+        for prim, dims_before in zip(self.primitives, self._history):
+            out = prim.forward_exprs(out, dims_before, ctx)
+        return [simplify(e) for e in out]
+
+    def inverse_access(self, exprs: Sequence) -> List[Expr]:
+        """Map physical index expressions back to logical coordinates.
+
+        This is ``S_Y^{-1}`` from Section 6: the lowering pass remaps every
+        input access through the inverse of the *output* tensor's layout.
+        """
+        out = [to_expr(e) for e in exprs]
+        if len(out) != self.ndim:
+            raise LayoutError(
+                f"physical access has {len(out)} indices for {self.ndim}-D layout"
+            )
+        for prim, dims_before in zip(
+            reversed(self.primitives), reversed(self._history)
+        ):
+            out = prim.inverse_exprs(out, dims_before)
+        return [simplify(e) for e in out]
+
+    # -- data movement ------------------------------------------------------------
+    def materialize(self, array: np.ndarray) -> np.ndarray:
+        """Physically re-lay-out a logical numpy array."""
+        if tuple(array.shape) != self.logical_shape:
+            raise LayoutError(
+                f"array shape {array.shape} != logical shape {self.logical_shape}"
+            )
+        for prim in self.primitives:
+            array = prim.materialize(array)
+        return np.ascontiguousarray(array)
+
+    def unmaterialize(self, array: np.ndarray) -> np.ndarray:
+        """Recover the logical array from physical data."""
+        if tuple(array.shape) != self.physical_shape():
+            raise LayoutError(
+                f"array shape {array.shape} != physical shape {self.physical_shape()}"
+            )
+        for prim, dims_before in zip(
+            reversed(self.primitives), reversed(self._history)
+        ):
+            array = prim.unmaterialize(array, dims_before)
+        return np.ascontiguousarray(array)
+
+    def __repr__(self) -> str:
+        dims = " ".join(f"{d.name}:{d.size}" for d in self._dims)
+        return f"Layout[{dims}]"

@@ -1,0 +1,146 @@
+"""Fixed layout schemes used by baselines and the motivation experiments.
+
+These are the layouts prior systems choose *before* loop tuning (paper
+Section 2): ``NOHW`` (framework default on GPU), ``NHWO`` (TensorFlow CPU
+default), ``HWON`` (DSP style), NeoCPU's packed ``N O/ot H W ot``
+(``NCHWc``), and for GMM the ``KN`` / ``NK`` / ``NKn`` variants of Fig. 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..ir.compute import ComputeDef
+from .layout import Layout
+
+CONV_SCHEMES = ("NOHW", "NHWO", "HWON", "NCHWc")
+GEMM_SCHEMES = ("KN", "NK", "NKn")
+
+
+def _conv_tensors(comp: ComputeDef):
+    inp, ker = comp.inputs[0], comp.inputs[1]
+    return comp.output, inp, ker
+
+
+def conv_scheme_layouts(
+    comp: ComputeDef, scheme: str, ot: Optional[int] = None, it: Optional[int] = None
+) -> Dict[str, Layout]:
+    """Layouts for a convolution under a named fixed scheme.
+
+    Works for C1D/C2D/C3D and variants; "O" in the scheme names generalizes
+    to the channel dimension (``NOW``, ``NOHW``, ``NODHW``...).
+    """
+    if scheme not in CONV_SCHEMES:
+        raise ValueError(f"unknown conv scheme {scheme!r}; choose from {CONV_SCHEMES}")
+    out, inp, ker = _conv_tensors(comp)
+    depthwise = "depthwise" in comp.tags
+    n_spatial = out.ndim - 2
+    s_names = ["D", "H", "W"][-n_spatial:]
+    out_names = ["N", "O"] + s_names
+    in_names = ["N", "I"] + s_names
+    if depthwise:
+        ker_names = ["O"] + ["KD", "KH", "KW"][-len(ker.shape) + 1 :]
+    else:
+        ker_names = ["O", "I"] + ["KD", "KH", "KW"][-len(ker.shape) + 2 :]
+
+    out_lay = Layout(out.shape, out_names)
+    in_lay = Layout(inp.shape, in_names)
+    ker_lay = Layout(ker.shape, ker_names)
+
+    if scheme == "NOHW":
+        pass  # identity logical layout; kernel stays OIRS
+    elif scheme == "NHWO":
+        out_lay = out_lay.reorder(["N"] + s_names + ["O"])
+        in_lay = in_lay.reorder(["N"] + s_names + ["I"])
+        if depthwise:
+            ker_lay = ker_lay.reorder(ker_names[1:] + ["O"])
+        else:
+            ker_lay = ker_lay.reorder(ker_names[2:] + ["I", "O"])
+    elif scheme == "HWON":
+        out_lay = out_lay.reorder(s_names + ["O", "N"])
+        in_lay = in_lay.reorder(s_names + ["I", "N"])
+        if not depthwise:
+            ker_lay = ker_lay.reorder(ker_names[2:] + ["O", "I"])
+    elif scheme == "NCHWc":
+        o_size = out.shape[1]
+        i_size = inp.shape[1]
+        ot = min(ot or 16, o_size)
+        while o_size % ot:
+            ot -= 1
+        it = min(it or ot, i_size)
+        while i_size % it:
+            it -= 1
+        out_lay = out_lay.split("O", [o_size // ot, ot]).reorder(
+            ["N", "O.0"] + s_names + ["O.1"]
+        )
+        in_lay = in_lay.split("I", [i_size // it, it]).reorder(
+            ["N", "I.0"] + s_names + ["I.1"]
+        )
+        if depthwise:
+            ker_lay = ker_lay.split("O", [o_size // ot, ot]).reorder(
+                ["O.0"] + ker_names[1:] + ["O.1"]
+            )
+        else:
+            ig = ker.shape[1]
+            kit = min(it, ig)
+            while ig % kit:
+                kit -= 1
+            ker_lay = (
+                ker_lay.split("O", [o_size // ot, ot])
+                .split("I", [ig // kit, kit])
+                .reorder(["O.0", "I.0"] + ker_names[2:] + ["I.1", "O.1"])
+            )
+    return {out.name: out_lay, inp.name: in_lay, ker.name: ker_lay}
+
+
+def gemm_scheme_layouts(
+    comp: ComputeDef, scheme: str, mt: int = 16, nt: int = 16, kt: int = 16
+) -> Dict[str, Layout]:
+    """Layouts for GMM under ``KN`` / ``NK`` / ``NKn`` (paper Fig. 1c/1d)."""
+    if scheme not in GEMM_SCHEMES:
+        raise ValueError(f"unknown gemm scheme {scheme!r}; choose from {GEMM_SCHEMES}")
+    a, b = comp.inputs[0], comp.inputs[1]
+    out = comp.output
+    batched = "batch_gemm" in comp.tags
+    lead = ["B"] if batched else []
+    la = Layout(a.shape, lead + ["M", "K"])
+    lb = Layout(b.shape, lead + ["K", "N"])
+    lc = Layout(out.shape, lead + ["M", "N"])
+    if scheme == "KN":
+        pass
+    elif scheme == "NK":
+        lb = lb.reorder(lead + ["N", "K"])
+    else:  # NKn: M/m N/n m n ; M/m K m ; N/n K n  (paper's custom tiling)
+        m, n, k = comp.attrs["mnk"]
+        mt = _snap(m, mt)
+        nt = _snap(n, nt)
+        lc = lc.split("M", [m // mt, mt]).split("N", [n // nt, nt]).reorder(
+            lead + ["M.0", "N.0", "M.1", "N.1"]
+        )
+        la = la.split("M", [m // mt, mt]).reorder(lead + ["M.0", "K", "M.1"])
+        lb = lb.split("N", [n // nt, nt]).reorder(lead + ["N.0", "K", "N.1"])
+    return {out.name: lc, a.name: la, b.name: lb}
+
+
+def _snap(size: int, factor: int) -> int:
+    factor = min(factor, size)
+    while size % factor:
+        factor -= 1
+    return factor
+
+
+def fixed_scheme_layouts(comp: ComputeDef, scheme: str, **kw) -> Dict[str, Layout]:
+    """Dispatch on operator family."""
+    if "conv" in comp.tags:
+        return conv_scheme_layouts(comp, scheme, **kw)
+    if "gemm" in comp.tags:
+        return gemm_scheme_layouts(comp, scheme, **kw)
+    return {}
+
+
+def default_schemes_for(comp: ComputeDef):
+    if "conv" in comp.tags:
+        return CONV_SCHEMES
+    if "gemm" in comp.tags:
+        return GEMM_SCHEMES
+    return ()

@@ -1,0 +1,471 @@
+"""Layout primitive functions (paper Section 4.1, Table 1 and Eq. 1).
+
+Six primitives manipulate tensor storage formats:
+
+====================  ========================================================
+``split``             one dimension -> several tiled dimensions
+``reorder``           permute dimensions
+``fuse``              merge consecutive dimensions
+``unfold``            *overlapped* tiling of one dimension (advanced)
+``pad``               append zeros along one dimension (advanced)
+``store_at``          attach one tensor into another's buffer (advanced)
+====================  ========================================================
+
+Every primitive provides four views of itself:
+
+- ``apply_dims``      the transformed shape (Table 1, column 3);
+- ``forward_exprs``   the transformed accessing expressions (column 4 / Eq. 1);
+- ``inverse_exprs``   the physical->logical index map (``fold`` / ``unpad`` /
+  inverse-split...; always well defined even for ``unfold``, because the
+  overlap only makes the *forward* map one-to-many);
+- ``materialize`` / ``unmaterialize``   the same transform on numpy data, used
+  by the reference executor and by offline re-layout of constant tensors.
+
+Rewritten accesses are exactly what the compiler pass of Section 6 injects, so
+no operator is ever re-implemented by hand when a layout changes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..ir.expr import Expr, Var, affine_coefficients, simplify, to_expr
+
+
+class Dim:
+    """One physical dimension: a provenance-tracking name and a size."""
+
+    __slots__ = ("name", "size")
+
+    def __init__(self, name: str, size: int):
+        size = int(size)
+        if size <= 0:
+            raise ValueError(f"dim {name!r} must have positive size, got {size}")
+        self.name = name
+        self.size = size
+
+    def __repr__(self) -> str:
+        return f"{self.name}:{self.size}"
+
+
+class RewriteContext:
+    """Information the unfold rewrite needs about the surrounding loop nest.
+
+    ``var_extents`` maps loop-variable name -> extent; ``reduce_vars`` names
+    the reduction variables.  Both come from the operator being lowered.
+    """
+
+    def __init__(self, var_extents: Dict[str, int], reduce_vars: Set[str]):
+        self.var_extents = dict(var_extents)
+        self.reduce_vars = set(reduce_vars)
+
+
+class LayoutError(ValueError):
+    """Raised when a primitive cannot legally apply."""
+
+
+class Primitive:
+    """Base class for layout primitives."""
+
+    #: advanced primitives may duplicate or extend data (paper Sec. 4.2,
+    #: propagation constraint 1)
+    advanced = False
+
+    def apply_dims(self, dims: List[Dim]) -> List[Dim]:
+        raise NotImplementedError
+
+    def forward_exprs(
+        self, exprs: List[Expr], dims: List[Dim], ctx: Optional[RewriteContext]
+    ) -> List[Expr]:
+        """Rewrite logical accessing expressions into the new layout."""
+        raise NotImplementedError
+
+    def inverse_exprs(self, exprs: List[Expr], dims: List[Dim]) -> List[Expr]:
+        """Map physical index expressions back to the pre-primitive layout.
+
+        ``dims`` is the dimension list *before* this primitive applied.
+        """
+        raise NotImplementedError
+
+    def materialize(self, array: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def unmaterialize(self, array: np.ndarray, dims: List[Dim]) -> np.ndarray:
+        raise NotImplementedError
+
+    def is_nontrivial(self) -> bool:
+        """Whether this primitive expands data (blocks layout propagation)."""
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Basic primitives
+# ---------------------------------------------------------------------------
+
+class Split(Primitive):
+    """Split dimension ``dim`` into ``len(factors)`` new dimensions.
+
+    ``prod(factors)`` must equal the dimension size (perfect split), so the
+    rewritten arithmetic needs no boundary guards.
+    """
+
+    def __init__(self, dim: int, factors: Sequence[int]):
+        factors = tuple(int(f) for f in factors)
+        if len(factors) < 2:
+            raise LayoutError("split needs at least two factors")
+        if any(f <= 0 for f in factors):
+            raise LayoutError(f"split factors must be positive, got {factors}")
+        self.dim = int(dim)
+        self.factors = factors
+
+    def apply_dims(self, dims: List[Dim]) -> List[Dim]:
+        d = dims[self.dim]
+        prod = math.prod(self.factors)
+        if prod != d.size:
+            raise LayoutError(
+                f"split of {d.name} (size {d.size}) by factors {self.factors} "
+                f"is not exact (product {prod})"
+            )
+        new = [Dim(f"{d.name}.{j}", f) for j, f in enumerate(self.factors)]
+        return dims[: self.dim] + new + dims[self.dim + 1 :]
+
+    def forward_exprs(self, exprs, dims, ctx):
+        # index_j = (e // suffix_j) % F_j; the leading index needs no mod.
+        e = exprs[self.dim]
+        pieces: List[Expr] = []
+        suffix = math.prod(self.factors)
+        for j, f in enumerate(self.factors):
+            suffix //= f
+            piece: Expr = e
+            if suffix > 1:
+                piece = piece // suffix
+            if j > 0:
+                piece = piece % f
+            pieces.append(simplify(piece))
+        return exprs[: self.dim] + pieces + exprs[self.dim + 1 :]
+
+    def inverse_exprs(self, exprs, dims):
+        m = len(self.factors)
+        parts = exprs[self.dim : self.dim + m]
+        suffix = math.prod(self.factors)
+        total: Expr = to_expr(0)
+        for part, f in zip(parts, self.factors):
+            suffix //= f
+            total = total + part * suffix
+        return exprs[: self.dim] + [simplify(total)] + exprs[self.dim + m :]
+
+    def materialize(self, array: np.ndarray) -> np.ndarray:
+        shape = array.shape
+        return array.reshape(shape[: self.dim] + self.factors + shape[self.dim + 1 :])
+
+    def unmaterialize(self, array: np.ndarray, dims: List[Dim]) -> np.ndarray:
+        shape = array.shape
+        m = len(self.factors)
+        merged = math.prod(self.factors)
+        return array.reshape(shape[: self.dim] + (merged,) + shape[self.dim + m :])
+
+    def __repr__(self) -> str:
+        return f"split(dim={self.dim}, factors={list(self.factors)})"
+
+
+class Reorder(Primitive):
+    """Permute dimensions by ``perm`` (new position j holds old dim perm[j])."""
+
+    def __init__(self, perm: Sequence[int]):
+        perm = tuple(int(p) for p in perm)
+        if sorted(perm) != list(range(len(perm))):
+            raise LayoutError(f"reorder perm {perm} is not a permutation")
+        self.perm = perm
+
+    def apply_dims(self, dims: List[Dim]) -> List[Dim]:
+        if len(self.perm) != len(dims):
+            raise LayoutError(
+                f"reorder perm has {len(self.perm)} entries for {len(dims)} dims"
+            )
+        return [dims[p] for p in self.perm]
+
+    def forward_exprs(self, exprs, dims, ctx):
+        return [exprs[p] for p in self.perm]
+
+    def inverse_exprs(self, exprs, dims):
+        inv = [0] * len(self.perm)
+        for new_pos, old_pos in enumerate(self.perm):
+            inv[old_pos] = new_pos
+        return [exprs[i] for i in inv]
+
+    def materialize(self, array: np.ndarray) -> np.ndarray:
+        return np.transpose(array, self.perm)
+
+    def unmaterialize(self, array: np.ndarray, dims: List[Dim]) -> np.ndarray:
+        return np.transpose(array, np.argsort(self.perm))
+
+    def __repr__(self) -> str:
+        return f"reorder(perm={list(self.perm)})"
+
+
+class Fuse(Primitive):
+    """Merge the consecutive dimensions ``dims_range`` into one."""
+
+    def __init__(self, start: int, count: int):
+        if count < 2:
+            raise LayoutError("fuse needs at least two dimensions")
+        self.start = int(start)
+        self.count = int(count)
+        self._sizes: Tuple[int, ...] = ()
+
+    def apply_dims(self, dims: List[Dim]) -> List[Dim]:
+        group = dims[self.start : self.start + self.count]
+        if len(group) != self.count:
+            raise LayoutError(
+                f"fuse range [{self.start}, {self.start + self.count}) out of bounds"
+            )
+        self._sizes = tuple(d.size for d in group)
+        name = "(" + "*".join(d.name for d in group) + ")"
+        size = math.prod(self._sizes)
+        return dims[: self.start] + [Dim(name, size)] + dims[self.start + self.count :]
+
+    def forward_exprs(self, exprs, dims, ctx):
+        sizes = [dims[self.start + j].size for j in range(self.count)]
+        total: Expr = to_expr(0)
+        suffix = math.prod(sizes)
+        for j in range(self.count):
+            suffix //= sizes[j]
+            total = total + exprs[self.start + j] * suffix
+        return (
+            exprs[: self.start]
+            + [simplify(total)]
+            + exprs[self.start + self.count :]
+        )
+
+    def inverse_exprs(self, exprs, dims):
+        sizes = [dims[self.start + j].size for j in range(self.count)]
+        e = exprs[self.start]
+        parts: List[Expr] = []
+        suffix = math.prod(sizes)
+        for j, size in enumerate(sizes):
+            suffix //= size
+            piece: Expr = e
+            if suffix > 1:
+                piece = piece // suffix
+            if j > 0:
+                piece = piece % size
+            parts.append(simplify(piece))
+        return exprs[: self.start] + parts + exprs[self.start + 1 :]
+
+    def materialize(self, array: np.ndarray) -> np.ndarray:
+        shape = array.shape
+        merged = math.prod(shape[self.start : self.start + self.count])
+        return array.reshape(
+            shape[: self.start] + (merged,) + shape[self.start + self.count :]
+        )
+
+    def unmaterialize(self, array: np.ndarray, dims: List[Dim]) -> np.ndarray:
+        sizes = tuple(dims[self.start + j].size for j in range(self.count))
+        shape = array.shape
+        return array.reshape(shape[: self.start] + sizes + shape[self.start + 1 :])
+
+    def __repr__(self) -> str:
+        return f"fuse(start={self.start}, count={self.count})"
+
+
+# ---------------------------------------------------------------------------
+# Advanced primitives
+# ---------------------------------------------------------------------------
+
+class Unfold(Primitive):
+    """Overlapped tiling: size-``D`` dim -> ``(ceil((D-B)/S)+1, B)`` dims.
+
+    ``B`` is the tile size, ``S`` the stride between tile starts (Fig. 2).
+    Elements shared by neighbouring tiles are *duplicated* in memory, which
+    is what buys contiguity for sliding-window consumers.
+
+    The forward access rewrite implements Eq. 1: the access expression along
+    this dimension must have the sliding-window shape ``V*i + r`` with ``i``
+    built from spatial loop variables and ``r`` from reduction variables
+    (plus a constant).  The tile index is then ``i // w`` with
+    ``w = floor((B - M) / V) + 1`` windows per tile.
+    """
+
+    advanced = True
+
+    def __init__(self, dim: int, tile_size: int, stride: int):
+        tile_size = int(tile_size)
+        stride = int(stride)
+        if tile_size <= 0 or stride <= 0:
+            raise LayoutError("unfold needs positive tile_size and stride")
+        self.dim = int(dim)
+        self.tile_size = tile_size
+        self.stride = stride
+
+    def n_tiles(self, size: int) -> int:
+        if self.tile_size > size:
+            raise LayoutError(
+                f"unfold tile_size {self.tile_size} exceeds dimension size {size}"
+            )
+        return (size - self.tile_size + self.stride - 1) // self.stride + 1
+
+    def apply_dims(self, dims: List[Dim]) -> List[Dim]:
+        d = dims[self.dim]
+        tiles = self.n_tiles(d.size)
+        new = [Dim(f"{d.name}.t", tiles), Dim(f"{d.name}.b", self.tile_size)]
+        return dims[: self.dim] + new + dims[self.dim + 1 :]
+
+    def forward_exprs(self, exprs, dims, ctx):
+        if ctx is None:
+            raise LayoutError("unfold access rewrite requires a RewriteContext")
+        e = simplify(exprs[self.dim])
+        coeffs = affine_coefficients(e)
+        if coeffs is None:
+            raise LayoutError(f"unfold requires an affine access, got {e}")
+        const = coeffs.pop("", 0)
+        spatial = {v: c for v, c in coeffs.items() if v not in ctx.reduce_vars and c}
+        reduction = {v: c for v, c in coeffs.items() if v in ctx.reduce_vars and c}
+        if any(c < 0 for c in reduction.values()) or const < 0:
+            raise LayoutError(f"unfold does not support negative offsets in {e}")
+        if not spatial:
+            raise LayoutError(f"unfold access {e} has no spatial component")
+        # Window stride V: gcd of the spatial coefficients.
+        conv_stride = 0
+        for c in spatial.values():
+            conv_stride = math.gcd(conv_stride, abs(c))
+        # Window index i such that spatial part == V * i.
+        i_expr: Expr = to_expr(0)
+        for v, c in sorted(spatial.items()):
+            i_expr = i_expr + Var(v) * (c // conv_stride)
+        i_expr = simplify(i_expr)
+        # Window size M: max of the reduction part + const, plus one.
+        window = const + 1
+        for v, c in reduction.items():
+            window += c * (ctx.var_extents[v] - 1)
+        per_tile = (self.tile_size - window) // conv_stride + 1
+        if per_tile <= 0:
+            raise LayoutError(
+                f"unfold tile_size {self.tile_size} smaller than window {window}"
+            )
+        if self.stride != conv_stride * per_tile:
+            raise LayoutError(
+                f"unfold stride {self.stride} incompatible with access {e}: "
+                f"expected V*w = {conv_stride}*{per_tile}"
+            )
+        tile = simplify(i_expr // per_tile)
+        offset = simplify(e - tile * self.stride)
+        return exprs[: self.dim] + [tile, offset] + exprs[self.dim + 1 :]
+
+    def inverse_exprs(self, exprs, dims):
+        t, b = exprs[self.dim], exprs[self.dim + 1]
+        flat = simplify(t * self.stride + b)
+        return exprs[: self.dim] + [flat] + exprs[self.dim + 2 :]
+
+    def materialize(self, array: np.ndarray) -> np.ndarray:
+        size = array.shape[self.dim]
+        tiles = self.n_tiles(size)
+        moved = np.moveaxis(array, self.dim, 0)
+        out = np.zeros((tiles, self.tile_size) + moved.shape[1:], dtype=array.dtype)
+        for t in range(tiles):
+            start = t * self.stride
+            stop = min(start + self.tile_size, size)
+            out[t, : stop - start] = moved[start:stop]
+        return np.moveaxis(out, (0, 1), (self.dim, self.dim + 1))
+
+    def unmaterialize(self, array: np.ndarray, dims: List[Dim]) -> np.ndarray:
+        size = dims[self.dim].size
+        moved = np.moveaxis(array, (self.dim, self.dim + 1), (0, 1))
+        out = np.empty((size,) + moved.shape[2:], dtype=array.dtype)
+        tiles = moved.shape[0]
+        for x in range(size):
+            t = min(x // self.stride, tiles - 1)
+            out[x] = moved[t, x - t * self.stride]
+        return np.moveaxis(out, 0, self.dim)
+
+    def is_nontrivial(self) -> bool:
+        # Overlapped tiling duplicates data whenever tiles overlap.
+        return self.tile_size != self.stride
+
+    def __repr__(self) -> str:
+        return f"unfold(dim={self.dim}, tile_size={self.tile_size}, stride={self.stride})"
+
+
+class Pad(Primitive):
+    """Append ``after`` zeros (and prepend ``before``) along one dimension.
+
+    Used to align rows to cache-line/bank boundaries (paper Sec. 4.1.2).
+    """
+
+    advanced = True
+
+    def __init__(self, dim: int, before: int = 0, after: int = 0):
+        if before < 0 or after < 0 or (before == 0 and after == 0):
+            raise LayoutError("pad needs non-negative padding with at least one side")
+        self.dim = int(dim)
+        self.before = int(before)
+        self.after = int(after)
+
+    def apply_dims(self, dims: List[Dim]) -> List[Dim]:
+        d = dims[self.dim]
+        new = Dim(f"{d.name}+p", d.size + self.before + self.after)
+        return dims[: self.dim] + [new] + dims[self.dim + 1 :]
+
+    def forward_exprs(self, exprs, dims, ctx):
+        e = simplify(exprs[self.dim] + self.before)
+        return exprs[: self.dim] + [e] + exprs[self.dim + 1 :]
+
+    def inverse_exprs(self, exprs, dims):
+        e = simplify(exprs[self.dim] - self.before)
+        return exprs[: self.dim] + [e] + exprs[self.dim + 1 :]
+
+    def materialize(self, array: np.ndarray) -> np.ndarray:
+        pads = [(0, 0)] * array.ndim
+        pads[self.dim] = (self.before, self.after)
+        return np.pad(array, pads)
+
+    def unmaterialize(self, array: np.ndarray, dims: List[Dim]) -> np.ndarray:
+        sl = [slice(None)] * array.ndim
+        sl[self.dim] = slice(self.before, self.before + dims[self.dim].size)
+        return array[tuple(sl)]
+
+    def is_nontrivial(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"pad(dim={self.dim}, before={self.before}, after={self.after})"
+
+
+class StoreAt(Primitive):
+    """Attach this tensor into a host tensor's buffer (paper Sec. 4.1.2).
+
+    The supported pattern is the paper's example: a rank-(n-1) tensor (e.g. a
+    bias vector) appended at the end of one dimension of a rank-n host (e.g.
+    one extra row of a weight matrix), so the pair can be streamed through the
+    same cache lines.  The actual buffer merge happens in the lowering pass,
+    which can see both tensors; this record carries the binding.
+    """
+
+    advanced = True
+
+    def __init__(self, host: str, host_dim: int):
+        self.host = host
+        self.host_dim = int(host_dim)
+
+    def apply_dims(self, dims: List[Dim]) -> List[Dim]:
+        return list(dims)  # logical dims unchanged; merge happens at lowering
+
+    def forward_exprs(self, exprs, dims, ctx):
+        return list(exprs)
+
+    def inverse_exprs(self, exprs, dims):
+        return list(exprs)
+
+    def materialize(self, array: np.ndarray) -> np.ndarray:
+        return array
+
+    def unmaterialize(self, array: np.ndarray, dims: List[Dim]) -> np.ndarray:
+        return array
+
+    def is_nontrivial(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"store_at(host={self.host!r}, host_dim={self.host_dim})"

@@ -1,0 +1,176 @@
+"""Layout propagation (paper Section 4.2, Algorithm 1).
+
+Changing a tensor's layout can incur two kinds of overhead:
+
+- **layout-conversion overhead** -- a runtime conversion operator copying the
+  tensor into the new layout (Fig. 5a);
+- **fusion-conflict overhead** -- a transformed output layout reconstructs
+  the producer's loop nest so elementwise consumers no longer align for
+  fusion (Fig. 6).
+
+Propagation eliminates both when legal: the *producer absorbs* a requested
+input layout (Fig. 5b -- e.g. the padding operator pads and converts in one
+pass), and an output layout is *replicated* onto downstream elementwise
+operators so their loop nests reconstruct identically and fusion survives
+(Fig. 7).  Algorithm 1's three constraints bound the propagation:
+
+1. non-trivial advanced primitives (overlapped unfold, pad, store_at) are
+   never replicated -- they expand data;
+2. complex operators tune their own layouts -- propagation never crosses
+   them; a conversion operator is inserted between two complex operators;
+3. replication requires an elementwise operator with equal shapes, since
+   primitive parameters are shape-dependent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..graph.graph import Graph
+from ..ir.compute import ComputeDef
+from ..ir.tensor import Tensor
+from ..ops.transform import layout_conversion
+from .layout import Layout
+
+
+@dataclass
+class PropagationState:
+    """Tracks per-tensor layouts and what propagation did to get them."""
+
+    layouts: Dict[str, Layout] = field(default_factory=dict)
+    locked: Set[str] = field(default_factory=set)
+    conversions: List[str] = field(default_factory=list)  # inserted node names
+    replicated: Dict[str, str] = field(default_factory=dict)  # tensor -> source
+
+    def layout_of(self, tensor: Tensor) -> Layout:
+        lay = self.layouts.get(tensor.name)
+        if lay is None:
+            lay = Layout(tensor.shape)
+            self.layouts[tensor.name] = lay
+        return lay
+
+
+class PropagationEngine:
+    """Applies a complex operator's tuned layouts to the graph.
+
+    ``enable_replication=False`` gives the paper's **ALT-WP** ablation:
+    conversions between adjacent operators are still absorbed by producers,
+    but layouts are not replicated downstream, so fusion conflicts remain.
+    ``enable_absorption=False`` additionally inserts explicit conversion
+    operators everywhere (the naive Fig. 5a strategy).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        state: Optional[PropagationState] = None,
+        enable_replication: bool = True,
+        enable_absorption: bool = True,
+    ):
+        self.graph = graph
+        self.state = state or PropagationState()
+        self.enable_replication = enable_replication
+        self.enable_absorption = enable_absorption
+        self._conversion_count = 0
+
+    # -- public API -------------------------------------------------------------
+    def assign_operator_layouts(
+        self, op: ComputeDef, chosen: Dict[str, Layout]
+    ) -> None:
+        """Install tuned layouts for one complex operator's tensors.
+
+        ``chosen`` maps tensor names (inputs and/or output of ``op``) to the
+        tuned layouts.  Input layouts are absorbed, converted, or taken
+        as-is; the output layout is replicated downstream per Algorithm 1.
+        """
+        for t in op.inputs:
+            lay = chosen.get(t.name)
+            if lay is not None:
+                self._assign_input(op, t, lay)
+        out_lay = chosen.get(op.output.name)
+        if out_lay is not None:
+            self._assign_output(op, out_lay)
+
+    # -- input side ----------------------------------------------------------------
+    def _assign_input(self, op: ComputeDef, tensor: Tensor, layout: Layout) -> None:
+        state = self.state
+        current = state.layouts.get(tensor.name)
+        if current is not None and current.signature() == layout.signature():
+            return
+        if tensor.role == "const":
+            # weights re-laid-out offline at zero runtime cost
+            state.layouts[tensor.name] = layout
+            state.locked.add(tensor.name)
+            return
+        producer = self.graph.producer_of(tensor.name)
+        absorbable = (
+            self.enable_absorption
+            and tensor.name not in state.locked
+            and producer is not None
+            and not producer.is_complex
+        )
+        if absorbable:
+            # Fig. 5b: the simple producer yields the new layout directly.
+            state.layouts[tensor.name] = layout
+            state.locked.add(tensor.name)
+            return
+        self._insert_conversion(op, tensor, layout)
+
+    def _insert_conversion(
+        self, consumer: ComputeDef, tensor: Tensor, layout: Layout
+    ) -> None:
+        """Fig. 5a: explicit conversion operator before ``consumer``."""
+        self._conversion_count += 1
+        conv = layout_conversion(
+            tensor, name=f"convert{self._conversion_count}.{tensor.name}"
+        )
+        self.graph.insert_before(conv, consumer, tensor.name)
+        self.state.layouts[conv.output.name] = layout
+        self.state.locked.add(conv.output.name)
+        self.state.conversions.append(conv.name)
+
+    # -- output side -----------------------------------------------------------------
+    def _assign_output(self, op: ComputeDef, layout: Layout) -> None:
+        state = self.state
+        out_name = op.output.name
+        if out_name in state.locked:
+            existing = state.layouts.get(out_name)
+            if existing is not None and existing.signature() != layout.signature():
+                raise ValueError(
+                    f"output layout of {op.name} already locked to a "
+                    "different layout"
+                )
+        state.layouts[out_name] = layout
+        state.locked.add(out_name)
+        if self.enable_replication:
+            self._replicate_downstream(op.output, layout)
+
+    def _replicate_downstream(self, tensor: Tensor, layout: Layout) -> None:
+        """Algorithm 1 main loop: BFS through elementwise consumers."""
+        if layout.is_identity:
+            return
+        if layout.has_nontrivial_advanced():
+            return  # constraint 1
+        state = self.state
+        queue: List[Tensor] = [tensor]
+        visited: Set[str] = set()
+        while queue:
+            src = queue.pop(0)
+            if src.name in visited:
+                continue
+            visited.add(src.name)
+            for consumer in self.graph.consumers_of(src.name):
+                if consumer.is_complex:
+                    continue  # constraint 2: stop silently (line 10)
+                out = consumer.output
+                if out.shape != src.shape:
+                    continue  # constraint 3: shape-dependent parameters
+                if not consumer.is_elementwise:
+                    continue
+                if out.name in state.locked:
+                    continue
+                state.layouts[out.name] = layout.replay_onto(Layout(out.shape))
+                state.locked.add(out.name)
+                state.replicated[out.name] = tensor.name
+                queue.append(out)

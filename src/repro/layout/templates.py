@@ -1,0 +1,321 @@
+"""Layout tuning templates (paper Section 5.1).
+
+Layout spaces are pruned two ways, exactly as in the paper: only *complex*
+operators (convolutions, GMM) get layout tuning tasks, and each tensor's
+space is a tiling template exposing a handful of split parameters.  Template
+structure encodes the two observations of Section 5.1:
+
+1. the tiled channel dimension goes last so an input element is reused
+   across many output channels while channels load with SIMD;
+2. spatial tiling uses *layout* tiling (contiguous tiles, via ``unfold``
+   with overlap for convolution inputs) rather than plain loop tiling, to
+   exploit hardware prefetching.
+
+For C2D (one level) the template is the paper's:
+
+- output ``N  H/ht  W/wt  O/ot  ht wt ot``          (tunable ht, wt, ot)
+- input  ``N  H/ht  W/wt  I/it  (V(ht-1)+KH') (V(wt-1)+KW')  it``  (tunable it)
+- weight ``O/ot'  I/it'  KH KW  it' ot'``           (tunable it', ot')
+
+Two-level templates split each tiled dimension once more (Section 7.3.3).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ir.compute import ComputeDef
+from ..tuning.space import Config, ConfigSpace, ParamSpec, divisors, nearest_choice
+from .layout import Layout
+
+
+class LayoutTemplate:
+    """Base class: a pruned, parameterized layout space for one operator."""
+
+    def space(self) -> ConfigSpace:
+        raise NotImplementedError
+
+    def instantiate(self, config: Config) -> Dict[str, Layout]:
+        """Decode a configuration into per-tensor layouts."""
+        raise NotImplementedError
+
+
+def _tile_chain(lay: Layout, dim_name: str, factors: Sequence[int]) -> Layout:
+    """Split ``dim_name`` by the trailing ``factors`` (inner tiles)."""
+    size = lay.dims[lay.index_of(dim_name)].size
+    inner = math.prod(factors)
+    return lay.split(dim_name, [size // inner] + list(factors))
+
+
+class _TiledDim:
+    """Bookkeeping for one optionally-tiled dimension.
+
+    A tile factor of 1 means *no primitive is applied* (the dim stays where
+    it is), and a factor equal to the size moves the whole dim into the
+    tile block without splitting.  This keeps classic layouts -- NOHW
+    (``ot=1``), NHWO (``ot=O``), NeoCPU's NCHWc (``ht=wt=1, ot=16``) -- as
+    exact points of the template space.
+    """
+
+    def __init__(self, lay: Layout, name: str, size: int, factors: Sequence[int]):
+        self.name = name
+        self.size = size
+        inner = math.prod(factors)
+        self.outer_parts: List[str] = []
+        self.inner_parts: List[str] = []
+        if inner <= 1:
+            self.layout = lay
+            self.outer_parts = [name]
+        elif inner >= size:
+            if len(factors) > 1 and factors[0] > 1 and factors[0] < size:
+                self.layout = lay.split(name, [size // factors[-1], factors[-1]])
+                self.inner_parts = [f"{name}.0", f"{name}.1"]
+            else:
+                self.layout = lay
+                self.inner_parts = [name]
+        else:
+            live = [f for f in factors if f > 1]
+            self.layout = lay.split(name, [size // math.prod(live)] + live)
+            self.outer_parts = [f"{name}.0"]
+            self.inner_parts = [f"{name}.{j+1}" for j in range(len(live))]
+
+
+def _level_factors(size: int, config: Config, base: str, levels: int) -> List[int]:
+    """Read one or two tile factors for a dimension from the config.
+
+    Two-level factors are snapped so their product divides the size.
+    """
+    f1 = int(config[f"{base}"])
+    if levels == 1:
+        return [f1]
+    f2 = int(config[f"{base}2"])
+    f2 = nearest_choice(divisors(size // f1), f2)
+    return [f2, f1]
+
+
+class ConvLayoutTemplate(LayoutTemplate):
+    """Template for C1D/C2D/C3D and the grouped/dilated/depthwise variants."""
+
+    def __init__(self, comp: ComputeDef, levels: int = 1):
+        if "conv" not in comp.tags:
+            raise ValueError(f"{comp.name} is not a convolution")
+        if levels not in (1, 2):
+            raise ValueError("levels must be 1 or 2")
+        self.comp = comp
+        self.levels = levels
+        attrs = comp.attrs
+        self.stride = attrs["stride"]
+        self.dilation = attrs["dilation"]
+        self.kernel: Tuple[int, ...] = tuple(attrs["kernel"])
+        self.spatial_axes: Tuple[str, ...] = tuple(attrs["spatial_axes"])
+        self.depthwise = "depthwise" in comp.tags
+
+        inputs = comp.inputs
+        self.inp, self.ker = inputs[0], inputs[1]
+        self.out = comp.output
+        # logical dim names for building layouts
+        self.spatial_names = ["D", "H", "W"][-len(self.spatial_axes):]
+        self.out_names = ["N", "O"] + self.spatial_names
+        self.in_names = ["N", "I"] + self.spatial_names
+        if self.depthwise:
+            self.ker_names = ["O"] + ["KD", "KH", "KW"][-len(self.kernel):]
+        else:
+            self.ker_names = ["O", "I"] + ["KD", "KH", "KW"][-len(self.kernel):]
+
+        axes = {a.name: a.extent for a in comp.axes}
+        self.out_channels = self.out.shape[1]
+        self.in_channels = self.inp.shape[1]
+        self.ker_in_channels = 1 if self.depthwise else self.ker.shape[1]
+        self.spatial_sizes = [axes[a] for a in self.spatial_axes]
+
+        params: List[ParamSpec] = []
+        prefix = f"{comp.name}."
+        for name, size in zip(self.spatial_names, self.spatial_sizes):
+            params.append(ParamSpec(prefix + f"{name.lower()}t", divisors(size), default=1))
+        params.append(
+            ParamSpec(prefix + "ot", divisors(self.out_channels),
+                      default=min(self.out_channels, 8))
+        )
+        params.append(
+            ParamSpec(prefix + "it", divisors(self.in_channels),
+                      default=min(self.in_channels, 4))
+        )
+        if not self.depthwise:
+            params.append(ParamSpec(prefix + "kot", divisors(self.out_channels),
+                                    default=min(self.out_channels, 8)))
+            params.append(ParamSpec(prefix + "kit", divisors(self.ker_in_channels),
+                                    default=min(self.ker_in_channels, 4)))
+        if self.levels == 2:
+            extra: List[ParamSpec] = []
+            for p in params:
+                base_size = max(p.choices)
+                extra.append(ParamSpec(p.name + "2", divisors(base_size), default=1))
+            params += extra
+        # Template extension over the paper: the coarse channel block may be
+        # placed before the spatial dims (co=1, NCHWc-style) or after them
+        # (co=0, the paper's fixed order).  One bit doubles the space but
+        # lets the template subsume NeoCPU's packed layout exactly.
+        params.append(ParamSpec(prefix + "co", [0, 1], default=0))
+        self._space = ConfigSpace(params, name=f"layout:{comp.name}")
+        self.prefix = prefix
+
+    def space(self) -> ConfigSpace:
+        return self._space
+
+    # -- decoding ---------------------------------------------------------------
+    def instantiate(self, config: Config) -> Dict[str, Layout]:
+        p = self.prefix
+        cfg = config
+        spatial_factors = [
+            _level_factors(size, cfg, p + f"{name.lower()}t", self.levels)
+            for name, size in zip(self.spatial_names, self.spatial_sizes)
+        ]
+        ot = _level_factors(self.out_channels, cfg, p + "ot", self.levels)
+        it = _level_factors(self.in_channels, cfg, p + "it", self.levels)
+
+        # output: N [coarse spatial][coarse O][fine spatial][fine O]
+        lay = Layout(self.out.shape, self.out_names)
+        outer: List[str] = ["N"]
+        tiles: List[_TiledDim] = []
+        for name, factors in zip(self.spatial_names, spatial_factors):
+            td = _TiledDim(lay, name, lay.dims[lay.index_of(name)].size, factors)
+            lay = td.layout
+            tiles.append(td)
+        o_td = _TiledDim(lay, "O", self.out_channels, ot)
+        lay = o_td.layout
+        channel_outer = bool(cfg.get(p + "co", 0))
+        order: List[str] = ["N"]
+        if not o_td.inner_parts:
+            order.append("O")  # untouched channel dim keeps its position
+        if channel_outer and o_td.inner_parts:
+            order += o_td.outer_parts
+            order += [part for td in tiles for part in td.outer_parts]
+        else:
+            order += [part for td in tiles for part in td.outer_parts]
+            order += o_td.outer_parts if o_td.inner_parts else []
+        # inner parts interleave level-major with the channel tile last per
+        # level (paper's  N H/h'h W/w'w O/o'o  h' w' o'  h w o)
+        groups = [td.inner_parts for td in tiles] + [o_td.inner_parts]
+        max_levels = max((len(g) for g in groups), default=0)
+        for lvl in range(max_levels):
+            for g in groups:
+                idx = len(g) - max_levels + lvl
+                if idx >= 0:
+                    order.append(g[idx])
+        out_lay = lay.reorder(order)
+
+        in_lay = self._input_layout(spatial_factors, it)
+        ker_lay = self._kernel_layout(cfg)
+        return {
+            self.out.name: out_lay,
+            self.inp.name: in_lay,
+            self.ker.name: ker_lay,
+        }
+
+    def _input_layout(self, spatial_factors, it) -> Layout:
+        lay = Layout(self.inp.shape, self.in_names)
+        stride, dil = self.stride, self.dilation
+        tile_parts: List[str] = []
+        plain_parts: List[str] = []
+        block_parts: List[str] = []
+        for name, k, factors in zip(self.spatial_names, self.kernel, spatial_factors):
+            f = math.prod(factors)  # windows per tile
+            if f <= 1:
+                plain_parts.append(name)
+                continue
+            window = (k - 1) * dil + 1
+            tile = stride * (f - 1) + window
+            lay = lay.unfold(name, tile, stride * f)
+            tile_parts.append(f"{name}.t")
+            block_parts.append(f"{name}.b")
+        i_td = _TiledDim(lay, "I", self.in_channels, it)
+        lay = i_td.layout
+        order = ["N"] + tile_parts
+        if not i_td.inner_parts:
+            order.append("I")
+        order += i_td.outer_parts if i_td.inner_parts else []
+        order += plain_parts + block_parts + i_td.inner_parts
+        return lay.reorder(order)
+
+    def _kernel_layout(self, cfg: Config) -> Layout:
+        lay = Layout(self.ker.shape, self.ker_names)
+        knames = [n for n in self.ker_names if n.startswith("K")]
+        if self.depthwise:
+            ct = _level_factors(self.out_channels, cfg, self.prefix + "ot", self.levels)
+            td = _TiledDim(lay, "O", self.out_channels, ct)
+            order = (td.outer_parts if td.inner_parts else ["O"]) + knames
+            order += td.inner_parts
+            return td.layout.reorder(order)
+        kot = _level_factors(self.out_channels, cfg, self.prefix + "kot", self.levels)
+        kit = _level_factors(self.ker_in_channels, cfg, self.prefix + "kit", self.levels)
+        o_td = _TiledDim(lay, "O", self.out_channels, kot)
+        lay = o_td.layout
+        i_td = _TiledDim(lay, "I", self.ker_in_channels, kit)
+        lay = i_td.layout
+        order = (o_td.outer_parts if o_td.inner_parts else ["O"]) + (
+            i_td.outer_parts if i_td.inner_parts else ["I"]
+        )
+        order += knames + i_td.inner_parts + o_td.inner_parts
+        return lay.reorder(order)
+
+
+class GemmLayoutTemplate(LayoutTemplate):
+    """Template for GMM / batched GMM: tunable ``mt, nt, kt`` (Section 5.1)."""
+
+    def __init__(self, comp: ComputeDef, levels: int = 1):
+        if "gemm" not in comp.tags:
+            raise ValueError(f"{comp.name} is not a GMM")
+        self.comp = comp
+        self.levels = 1 if levels == 1 else 2
+        self.batched = "batch_gemm" in comp.tags
+        self.a, self.b = comp.inputs[0], comp.inputs[1]
+        self.out = comp.output
+        m, n, k = comp.attrs["mnk"]
+        self.m, self.n, self.k = m, n, k
+        prefix = f"{comp.name}."
+        params = [
+            ParamSpec(prefix + "mt", divisors(m), default=min(m, 4)),
+            ParamSpec(prefix + "nt", divisors(n), default=min(n, 8)),
+            ParamSpec(prefix + "kt", divisors(k), default=min(k, 4)),
+        ]
+        if self.levels == 2:
+            params += [
+                ParamSpec(p.name + "2", list(p.choices), default=1) for p in params
+            ]
+        self._space = ConfigSpace(params, name=f"layout:{comp.name}")
+        self.prefix = prefix
+
+    def space(self) -> ConfigSpace:
+        return self._space
+
+    def instantiate(self, config: Config) -> Dict[str, Layout]:
+        p = self.prefix
+        mt = _level_factors(self.m, config, p + "mt", self.levels)
+        nt = _level_factors(self.n, config, p + "nt", self.levels)
+        kt = _level_factors(self.k, config, p + "kt", self.levels)
+        lead = ["B"] if self.batched else []
+
+        def tiled(shape, names, d1, f1, d2, f2):
+            lay = Layout(shape, lead + names)
+            lay = _tile_chain(lay, d1, f1)
+            lay = _tile_chain(lay, d2, f2)
+            order = list(lead) + [f"{d1}.0", f"{d2}.0"]
+            for part in range(1, self.levels + 1):
+                order += [f"{d1}.{part}", f"{d2}.{part}"]
+            return lay.reorder(order)
+
+        return {
+            self.out.name: tiled(self.out.shape, ["M", "N"], "M", mt, "N", nt),
+            self.a.name: tiled(self.a.shape, ["M", "K"], "M", mt, "K", kt),
+            self.b.name: tiled(self.b.shape, ["K", "N"], "K", kt, "N", nt),
+        }
+
+
+def template_for(comp: ComputeDef, levels: int = 1) -> Optional[LayoutTemplate]:
+    """The layout template for a complex operator, or ``None``."""
+    if "conv" in comp.tags:
+        return ConvLayoutTemplate(comp, levels)
+    if "gemm" in comp.tags:
+        return GemmLayoutTemplate(comp, levels)
+    return None

@@ -1,0 +1,102 @@
+"""Loop schedules (paper Section 4.3).
+
+A :class:`LoopSchedule` records the loop transformations to apply to one
+operator's loop nest, mirroring TVM's schedule primitives: ``split``,
+``reorder``, ``vectorize``, ``unroll``, ``parallel`` and ``compute_at``
+(operator fusion).  ``cache_read``/``cache_write`` and ``inline`` are
+subsumed by the machine model's fusion handling: an inlined or fused stage's
+intermediate traffic is served from cache.
+
+The schedule is pure data; the lowering pass (``repro.lower``) validates and
+applies it.  Loop variables are referred to by name.  Splitting variable
+``v`` with ``m`` factors produces ``v.0`` (outermost) ... ``v.{m-1}``
+(innermost); subsequent directives address the split children.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class LoopSchedule:
+    """An ordered recipe of loop transformations for a single stage."""
+
+    def __init__(self):
+        self.splits: List[Tuple[str, Tuple[int, ...]]] = []
+        self.order: Optional[List[str]] = None
+        self.vectorize_var: Optional[str] = None
+        self.unroll_vars: List[str] = []
+        self.parallel_vars: List[str] = []
+        self.compute_at: Optional[Tuple[str, str]] = None  # (consumer stage, loop var)
+        self.fuse_group: Optional[str] = None
+
+    # -- builders (chainable) ---------------------------------------------------
+    def split(self, var: str, factors: Sequence[int]) -> "LoopSchedule":
+        factors = tuple(int(f) for f in factors)
+        if len(factors) < 2 or any(f <= 0 for f in factors):
+            raise ValueError(f"bad split factors {factors} for {var}")
+        self.splits.append((var, factors))
+        return self
+
+    def reorder(self, order: Sequence[str]) -> "LoopSchedule":
+        self.order = list(order)
+        return self
+
+    def vectorize(self, var: str) -> "LoopSchedule":
+        self.vectorize_var = var
+        return self
+
+    def unroll(self, var: str) -> "LoopSchedule":
+        self.unroll_vars.append(var)
+        return self
+
+    def parallel(self, var: str) -> "LoopSchedule":
+        self.parallel_vars.append(var)
+        return self
+
+    def compute_at_of(self, consumer: str, var: str) -> "LoopSchedule":
+        """Fuse this stage into ``consumer`` at loop ``var`` of the consumer."""
+        self.compute_at = (consumer, var)
+        return self
+
+    def set_fuse_group(self, group: str) -> "LoopSchedule":
+        self.fuse_group = group
+        return self
+
+    # -- misc ---------------------------------------------------------------------
+    def copy(self) -> "LoopSchedule":
+        out = LoopSchedule()
+        out.splits = list(self.splits)
+        out.order = list(self.order) if self.order is not None else None
+        out.vectorize_var = self.vectorize_var
+        out.unroll_vars = list(self.unroll_vars)
+        out.parallel_vars = list(self.parallel_vars)
+        out.compute_at = self.compute_at
+        out.fuse_group = self.fuse_group
+        return out
+
+    def signature(self) -> Tuple:
+        return (
+            tuple(self.splits),
+            tuple(self.order) if self.order is not None else None,
+            self.vectorize_var,
+            tuple(self.unroll_vars),
+            tuple(self.parallel_vars),
+            self.compute_at,
+        )
+
+    def __repr__(self) -> str:
+        bits = []
+        for var, factors in self.splits:
+            bits.append(f"split({var},{list(factors)})")
+        if self.order:
+            bits.append(f"reorder({self.order})")
+        if self.parallel_vars:
+            bits.append(f"parallel({self.parallel_vars})")
+        if self.vectorize_var:
+            bits.append(f"vectorize({self.vectorize_var})")
+        if self.unroll_vars:
+            bits.append(f"unroll({self.unroll_vars})")
+        if self.compute_at:
+            bits.append(f"compute_at{self.compute_at}")
+        return "LoopSchedule(" + "; ".join(bits) + ")"

@@ -1,0 +1,314 @@
+"""Lowering: (ComputeDef, layouts, loop schedule) -> executable loop nest.
+
+This is the compiler pass described in paper Section 6.  For an operator
+``Y = F(X)``:
+
+1. The output tensor's layout ``S_Y`` is applied to deduce the final physical
+   shape; the loop nest is reconstructed with **one spatial loop per physical
+   output dimension** (the one-to-one mapping between output dims and loops).
+2. Every access of an input ``X`` is remapped in two steps:
+   ``S_X(S_Y^{-1}(L'))`` -- old logical coordinates are recovered through the
+   *inverse* of the output layout, then pushed through the *forward* layout
+   of the input tensor.
+3. The loop schedule (splits/reorder/annotations) is applied on top.
+
+No operator is ever re-implemented by hand: any layout expressible with the
+primitive chain lowers through this one code path.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..ir.compute import Access, ComputeDef, substitute_value
+from ..ir.expr import Expr, Var, simplify, simplify_ranges, to_expr
+from ..ir.nest import (
+    PARALLEL,
+    SERIAL,
+    UNROLL,
+    VECTORIZE,
+    BufRead,
+    Buffer,
+    Loop,
+    Program,
+    Stage,
+)
+from ..layout.layout import Layout
+from ..layout.primitives import RewriteContext, StoreAt
+from ..loops.schedule import LoopSchedule
+
+
+class LoweringError(ValueError):
+    """Raised when a layout or schedule cannot be lowered legally."""
+
+
+def identity_layout(tensor) -> Layout:
+    return Layout(tensor.shape, [f"d{i}" for i in range(tensor.ndim)])
+
+
+def _layout_of(tensor, layouts: Mapping[str, Layout]) -> Layout:
+    lay = layouts.get(tensor.name)
+    if lay is None:
+        return identity_layout(tensor)
+    if lay.logical_shape != tensor.shape:
+        raise LoweringError(
+            f"layout for {tensor.name} built for shape {lay.logical_shape}, "
+            f"tensor has {tensor.shape}"
+        )
+    return lay
+
+
+def _merged_buffers(
+    comp_tensors, layouts: Mapping[str, Layout]
+) -> Tuple[Dict[str, Buffer], Dict[str, Tuple[str, int]]]:
+    """Resolve store_at bindings into merged physical buffers.
+
+    Returns ``(buffers, merges)`` where ``merges[attached] = (host, host_dim)``.
+    The merged buffer keeps the host's name with ``host_dim`` extended by one
+    slot per attached tensor; attached data lives in the extra trailing slots.
+    """
+    merges: Dict[str, Tuple[str, int]] = {}
+    extensions: Dict[Tuple[str, int], List[str]] = {}
+    by_name = {t.name: t for t in comp_tensors}
+    for t in comp_tensors:
+        binding = _layout_of(t, layouts).store_at_binding()
+        if binding is None:
+            continue
+        if binding.host not in by_name:
+            raise LoweringError(
+                f"store_at host {binding.host!r} of {t.name} not visible here"
+            )
+        merges[t.name] = (binding.host, binding.host_dim)
+        extensions.setdefault((binding.host, binding.host_dim), []).append(t.name)
+
+    buffers: Dict[str, Buffer] = {}
+    for t in comp_tensors:
+        if t.name in merges:
+            continue  # attached tensors share the host buffer
+        shape = list(_layout_of(t, layouts).physical_shape())
+        for (host, dim), attached in extensions.items():
+            if host == t.name:
+                if dim >= len(shape):
+                    raise LoweringError(
+                        f"store_at host dim {dim} out of range for {t.name}"
+                    )
+                shape[dim] += len(attached)
+        buffers[t.name] = Buffer(t.name, shape, t.itemsize)
+    return buffers, merges
+
+
+def lower_compute(
+    comp: ComputeDef,
+    layouts: Optional[Mapping[str, Layout]] = None,
+    schedule: Optional[LoopSchedule] = None,
+) -> Stage:
+    """Lower one operator to a :class:`Stage`."""
+    layouts = dict(layouts or {})
+    comp.validate()
+    out_layout = _layout_of(comp.output, layouts)
+    for prim in out_layout.primitives:
+        from ..layout.primitives import Pad
+
+        if isinstance(prim, Pad):
+            raise LoweringError(
+                f"{comp.name}: pad on the *output* layout would compute "
+                "out-of-domain elements; pad input/weight tensors instead"
+            )
+
+    # 1. spatial loops: one per physical output dimension.
+    phys_dims = out_layout.dims
+    spatial_vars = [f"s{i}" for i in range(len(phys_dims))]
+    loops = [Loop(v, d.size) for v, d in zip(spatial_vars, phys_dims)]
+    spatial_names = {v: d.name for v, d in zip(spatial_vars, phys_dims)}
+
+    # 2. recover logical coordinates: L = S_Y^{-1}(L').
+    logical_exprs = out_layout.inverse_access([Var(v) for v in spatial_vars])
+    axis_map: Dict[str, Expr] = {
+        axis.name: expr for axis, expr in zip(comp.axes, logical_exprs)
+    }
+
+    # 3. reduction loops keep their axis names.
+    reduce_vars = {a.name for a in comp.reduce_axes}
+    loops += [Loop(a.name, a.extent) for a in comp.reduce_axes]
+
+    var_extents = {l.var: l.extent for l in loops}
+    ranges = {l.var: (0, l.extent - 1) for l in loops}
+
+    # 4. substitute logical axis variables throughout the body.
+    body = substitute_value(comp.body, axis_map)
+
+    # 5. rewrite every access through its tensor's forward layout.
+    tensors = [comp.output] + comp.inputs
+    buffers, merges = _merged_buffers(tensors, layouts)
+    ctx = RewriteContext(var_extents, reduce_vars)
+
+    def to_bufread(acc: Access) -> BufRead:
+        t = acc.tensor
+        lay = _layout_of(t, layouts)
+        idx = lay.rewrite_access(list(acc.indices), ctx)
+        idx = [simplify_ranges(e, ranges) for e in idx]
+        if t.name in merges:
+            host, host_dim = merges[t.name]
+            host_buf = buffers[host]
+            # Attached tensor occupies the trailing slot along host_dim.
+            slot = host_buf.shape[host_dim] - 1
+            idx = idx[:host_dim] + [to_expr(slot)] + idx[host_dim:]
+            if len(idx) != len(host_buf.shape):
+                raise LoweringError(
+                    f"store_at of {t.name} onto {host}: rank mismatch "
+                    f"({len(idx)} vs {len(host_buf.shape)})"
+                )
+            return BufRead(host_buf, idx)
+        return BufRead(buffers[t.name], idx)
+
+    body = body.map_accesses(to_bufread)
+    out_indices: List[Expr] = [Var(v) for v in spatial_vars]
+
+    stage = Stage(
+        name=comp.name,
+        loops=loops,
+        out=buffers[comp.output.name],
+        out_indices=out_indices,
+        update=body,
+        reduce_op=comp.reduce_op,
+        reduce_vars=reduce_vars,
+        init_value=comp.init if comp.reduce_op else None,
+        annotations={
+            "op_tags": comp.tags,
+            "spatial_names": spatial_names,
+            "flops": comp.flops(),
+            "layout_signature": out_layout.signature(),
+        },
+    )
+    if schedule is not None:
+        stage = apply_schedule(stage, schedule)
+    return stage
+
+
+# ---------------------------------------------------------------------------
+# Loop schedule application
+# ---------------------------------------------------------------------------
+
+def apply_schedule(stage: Stage, schedule: LoopSchedule) -> Stage:
+    loops = list(stage.loops)
+    out_indices = list(stage.out_indices)
+    update = stage.update
+    reduce_vars = set(stage.reduce_vars)
+
+    # splits
+    for var, factors in schedule.splits:
+        pos = _find_loop(loops, var)
+        extent = loops[pos].extent
+        if math.prod(factors) != extent:
+            raise LoweringError(
+                f"split of {var} (extent {extent}) by {factors} is not exact"
+            )
+        children = [Loop(f"{var}.{j}", f) for j, f in enumerate(factors)]
+        loops[pos : pos + 1] = children
+        # var = sum(child_j * suffix_j)
+        repl: Expr = to_expr(0)
+        suffix = extent
+        for child in children:
+            suffix //= child.extent
+            repl = repl + Var(child.var) * suffix
+        mapping = {var: simplify(repl)}
+        out_indices = [simplify(e.substitute(mapping)) for e in out_indices]
+        update = substitute_value(update, mapping)
+        if var in reduce_vars:
+            reduce_vars.discard(var)
+            reduce_vars.update(c.var for c in children)
+
+    ranges = {l.var: (0, l.extent - 1) for l in loops}
+    out_indices = [simplify_ranges(e, ranges) for e in out_indices]
+    update = _simplify_value(update, ranges)
+
+    # reorder
+    if schedule.order is not None:
+        current = {l.var: l for l in loops}
+        if sorted(schedule.order) != sorted(current):
+            raise LoweringError(
+                f"reorder {schedule.order} does not match loops "
+                f"{sorted(current)}"
+            )
+        loops = [current[v] for v in schedule.order]
+
+    # annotations
+    for v in schedule.parallel_vars:
+        pos = _find_loop(loops, v)
+        if loops[pos].var in reduce_vars:
+            raise LoweringError(f"cannot parallelize reduction loop {v}")
+        loops[pos] = loops[pos].with_kind(PARALLEL)
+    prefix = [l.kind == PARALLEL for l in loops]
+    if any(prefix) and not all(
+        prefix[i] for i in range(sum(prefix))
+    ):
+        raise LoweringError("parallel loops must form an outermost prefix")
+
+    if schedule.vectorize_var is not None:
+        pos = _find_loop(loops, schedule.vectorize_var)
+        if pos != len(loops) - 1:
+            raise LoweringError(
+                f"vectorize target {schedule.vectorize_var} must be the "
+                "innermost loop"
+            )
+        if loops[pos].var in reduce_vars:
+            raise LoweringError("cannot vectorize a reduction loop")
+        loops[pos] = loops[pos].with_kind(VECTORIZE)
+
+    for v in schedule.unroll_vars:
+        pos = _find_loop(loops, v)
+        if loops[pos].kind == SERIAL:
+            loops[pos] = loops[pos].with_kind(UNROLL)
+
+    annotations = dict(stage.annotations)
+    if schedule.compute_at is not None:
+        annotations["compute_at"] = schedule.compute_at
+    if schedule.fuse_group is not None:
+        annotations["fuse_group"] = schedule.fuse_group
+    annotations["schedule_signature"] = schedule.signature()
+
+    return Stage(
+        name=stage.name,
+        loops=loops,
+        out=stage.out,
+        out_indices=out_indices,
+        update=update,
+        reduce_op=stage.reduce_op,
+        reduce_vars=reduce_vars,
+        init_value=stage.init_value,
+        annotations=annotations,
+    )
+
+
+def _find_loop(loops: List[Loop], var: str) -> int:
+    for i, l in enumerate(loops):
+        if l.var == var:
+            return i
+    raise LoweringError(f"no loop named {var!r}; have {[l.var for l in loops]}")
+
+
+def _simplify_value(value, ranges):
+    from ..ir.compute import BinOp, Call, ConstF, Select
+
+    if isinstance(value, Select):
+        return Select(
+            value.cond.map_exprs(lambda e: simplify_ranges(e, ranges)),
+            _simplify_value(value.then_value, ranges),
+            _simplify_value(value.else_value, ranges),
+        )
+    if isinstance(value, BinOp):
+        return BinOp(
+            value.op,
+            _simplify_value(value.a, ranges),
+            _simplify_value(value.b, ranges),
+        )
+    if isinstance(value, Call):
+        return Call(value.fn, tuple(_simplify_value(a, ranges) for a in value.args))
+    if isinstance(value, ConstF):
+        return value
+    acc = value
+    new_idx = tuple(simplify_ranges(e, ranges) for e in acc.indices)
+    if isinstance(acc, BufRead):
+        return BufRead(acc.buffer, new_idx)
+    return Access(acc.tensor, new_idx)

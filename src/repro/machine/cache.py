@@ -1,0 +1,149 @@
+"""Trace-driven set-associative cache simulator with hardware prefetch.
+
+Used for the micro-profiling experiments (paper Table 2 and Table 3): the
+analytical model in ``latency.py`` is what tuners call, but when the paper
+*counts cache misses*, we count them for real by replaying address traces
+through this simulator.
+
+The prefetcher models what the paper measured on a Cortex-A76: a miss on a
+sequential stream pulls the missed line plus the next ``prefetch_lines - 1``
+lines.  Prefetched lines that are later touched count as hits.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from .spec import CacheLevel, MachineSpec
+
+
+@dataclass
+class CacheStats:
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    prefetch_hits: int = 0  # hits on lines brought in by the prefetcher
+    lines_fetched: int = 0  # includes prefetch traffic
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """One set-associative LRU cache level."""
+
+    def __init__(self, level: CacheLevel):
+        self.level = level
+        self.stats = CacheStats()
+        # set index -> OrderedDict[tag -> was_prefetched]
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(level.n_sets)]
+        self._last_miss_line: Optional[int] = None
+
+    def reset(self) -> None:
+        self.stats = CacheStats()
+        for s in self._sets:
+            s.clear()
+        self._last_miss_line = None
+
+    def _lookup(self, line: int) -> Optional[bool]:
+        """Return was_prefetched if present (and refresh LRU), else None."""
+        s = self._sets[line % self.level.n_sets]
+        if line in s:
+            was_prefetched = s.pop(line)
+            s[line] = False  # touched now; recency refreshed
+            return was_prefetched
+        return None
+
+    def _install(self, line: int, prefetched: bool) -> None:
+        s = self._sets[line % self.level.n_sets]
+        if line in s:
+            s.pop(line)
+        elif len(s) >= self.level.assoc:
+            s.popitem(last=False)  # evict LRU
+        s[line] = prefetched
+        self.stats.lines_fetched += 1
+
+    def access_line(self, line: int) -> bool:
+        """Touch a cache line; returns True on hit."""
+        self.stats.accesses += 1
+        found = self._lookup(line)
+        if found is not None:
+            self.stats.hits += 1
+            if found:
+                self.stats.prefetch_hits += 1
+            return True
+        self.stats.misses += 1
+        self._install(line, prefetched=False)
+        # Block prefetch: a miss pulls the aligned ``prefetch_lines`` block
+        # containing the line (the paper's Cortex-A76 observation: "the CPU
+        # is very likely to fetch four contiguous cache lines on a miss").
+        n = self.level.prefetch_lines
+        if n > 1:
+            start = (line // n) * n
+            for nxt in range(start, start + n):
+                if nxt != line and self._lookup(nxt) is None:
+                    self._install(nxt, prefetched=True)
+        self._last_miss_line = line
+        return False
+
+    def access_addr(self, addr: int) -> bool:
+        return self.access_line(addr // self.level.line_bytes)
+
+
+class CacheHierarchy:
+    """L1 -> L2 -> ... -> DRAM; an access cascades on miss.
+
+    Address space convention: every buffer gets a disjoint, line-aligned
+    base address (see :class:`AddressMap`).
+    """
+
+    def __init__(self, machine: MachineSpec):
+        self.machine = machine
+        self.levels = [Cache(lvl) for lvl in machine.caches]
+        self.dram_accesses = 0
+
+    def reset(self) -> None:
+        for c in self.levels:
+            c.reset()
+        self.dram_accesses = 0
+
+    def access(self, addr: int) -> int:
+        """Touch a byte address; returns the level index that served it
+        (``len(levels)`` means DRAM)."""
+        for i, cache in enumerate(self.levels):
+            if cache.access_addr(addr):
+                return i
+        self.dram_accesses += 1
+        return len(self.levels)
+
+    def total_cycles(self) -> float:
+        """Aggregate memory cycles implied by the recorded hits/misses."""
+        cycles = 0.0
+        for i, cache in enumerate(self.levels):
+            served_here = cache.stats.hits
+            cycles += served_here * cache.level.latency_cycles
+        cycles += self.dram_accesses * self.machine.dram_latency_cycles
+        return cycles
+
+    def stats(self) -> Dict[str, CacheStats]:
+        return {c.level.name: c.stats for c in self.levels}
+
+
+class AddressMap:
+    """Assigns disjoint line-aligned base addresses to named buffers."""
+
+    def __init__(self, line_bytes: int = 64):
+        self.line_bytes = line_bytes
+        self._bases: Dict[str, int] = {}
+        self._next = line_bytes  # avoid address 0 for clarity
+
+    def base(self, name: str, nbytes: int) -> int:
+        if name not in self._bases:
+            self._bases[name] = self._next
+            aligned = (nbytes + self.line_bytes - 1) // self.line_bytes
+            # pad one extra line between buffers to avoid false sharing
+            self._next += (aligned + 1) * self.line_bytes
+        return self._bases[name]

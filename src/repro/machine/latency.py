@@ -1,0 +1,352 @@
+"""Analytical latency model: the stand-in for on-device measurement.
+
+Every auto-tuner in this repo "measures" a candidate program by calling
+:func:`estimate_program`.  The model is a deterministic function of the
+lowered loop nest and a :class:`MachineSpec`, sensitive to exactly the
+mechanisms the paper attributes layout/loop performance to (Section 5.1):
+
+- **SIMD friendliness** -- unit-stride innermost accesses vectorize; strided
+  or irregular ones pay a gather penalty;
+- **data reuse** -- a loop-footprint walk (inner to outer) finds, per access
+  and per cache level, the loop depth at which the working set spills, which
+  yields per-level miss counts;
+- **hardware prefetching** -- dense streams amortize miss latency over the
+  prefetch degree, so *layout-tiled* (contiguous) data beats loop-tiled data
+  with identical miss counts (paper Table 2);
+- **parallelism** -- outer parallel loops divide time by effective cores;
+  GPUs additionally require enough parallelism to saturate SMs;
+- **operator fusion** -- stages in one fuse group exchange intermediate
+  tensors through cache, not DRAM, and save per-stage launch overhead.
+
+Absolute numbers are synthetic; orderings and ratios are what we reproduce.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..ir.compute import BinOp, Call, ConstF, Select, Value
+from ..ir.expr import Expr, stride_of
+from ..ir.nest import PARALLEL, UNROLL, VECTORIZE, BufRead, Loop, Program, Stage
+
+#: fraction of a cache level usable before conflict misses dominate
+_CACHE_UTILIZATION = 0.5
+#: register-file pseudo-cache: 32 vector registers
+_REGISTER_FILE_VECTORS = 32
+#: cycles of loop bookkeeping per innermost iteration (serial loops)
+_LOOP_OVERHEAD = 0.6
+#: per-stage launch overhead, cycles (CPU call / GPU kernel launch)
+_LAUNCH_CYCLES_CPU = 600.0
+_LAUNCH_CYCLES_GPU = 6000.0
+
+
+@dataclass
+class AccessProfile:
+    """Footprint walk result for one buffer access."""
+
+    buffer: str
+    nbytes_total: int
+    #: per loop depth (innermost-first): (iters, distinct_lines, dense)
+    levels: List[Tuple[int, int, bool]] = field(default_factory=list)
+    vector_stride: Optional[int] = None  # elements, wrt the vectorized loop
+
+
+@dataclass
+class StageCost:
+    name: str
+    compute_cycles: float = 0.0
+    memory_cycles: float = 0.0
+    overhead_cycles: float = 0.0
+    launch_cycles: float = 0.0
+    parallelism: float = 1.0
+    #: instruction estimate and per-level misses for Table-3 style reporting
+    instructions: float = 0.0
+    loads: float = 0.0
+    stores: float = 0.0
+    level_misses: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def serial_cycles(self) -> float:
+        return self.compute_cycles + self.memory_cycles + self.overhead_cycles
+
+    @property
+    def total_cycles(self) -> float:
+        return self.serial_cycles / self.parallelism + self.launch_cycles
+
+
+def _strip_clamps(e: Expr) -> Expr:
+    """Drop boundary clamps (``Min``/``Max`` against constants) for stride
+    and footprint analysis: a clamp only bends the access at the edges, the
+    steady-state stream follows the unclamped expression."""
+    from ..ir.expr import Const, Max as MaxE, Min as MinE
+
+    if isinstance(e, (MinE, MaxE)):
+        if isinstance(e.a, Const):
+            return _strip_clamps(e.b)
+        return _strip_clamps(e.a)
+    return e
+
+
+def _count_ops(v: Value) -> float:
+    if isinstance(v, BinOp):
+        return 1 + _count_ops(v.a) + _count_ops(v.b)
+    if isinstance(v, Call):
+        return 4 + sum(_count_ops(a) for a in v.args)
+    if isinstance(v, Select):
+        return 1 + max(_count_ops(v.then_value), _count_ops(v.else_value))
+    return 0
+
+
+def _access_profile(
+    read_indices: Sequence[Expr],
+    buffer,
+    loops: Sequence[Loop],
+    line_bytes: int,
+    vec_var: Optional[str],
+) -> AccessProfile:
+    """Walk loops innermost-first accumulating footprint for one access."""
+    from ..ir.expr import affine_coefficients
+
+    flat = buffer.flat_index([_strip_clamps(e) for e in read_indices])
+    itemsize = buffer.itemsize
+    prof = AccessProfile(buffer=buffer.name, nbytes_total=buffer.nbytes)
+
+    coeffs = affine_coefficients(flat)
+
+    def stride_for(var: str) -> Optional[int]:
+        if coeffs is not None:
+            return coeffs.get(var, 0)
+        return stride_of(flat, var)
+
+    span_bytes = float(itemsize)
+    lines = 1.0
+    iters = 1
+    dense = True
+    if vec_var is not None:
+        prof.vector_stride = stride_for(vec_var)
+    for loop in reversed(loops):
+        stride = stride_for(loop.var)
+        extent = loop.extent
+        if stride is None:
+            # irregular access: every iteration may land on a new line
+            lines *= extent
+            span_bytes = lines * line_bytes
+            dense = False
+        elif stride == 0:
+            pass  # pure temporal reuse: footprint unchanged
+        else:
+            step = abs(stride) * itemsize
+            if step <= line_bytes:
+                span_bytes += (extent - 1) * step
+                lines = max(lines, math.ceil(span_bytes / line_bytes))
+            else:
+                lines *= extent
+                span_bytes += (extent - 1) * step
+                dense = False
+        iters *= extent
+        prof.levels.append((iters, min(lines, span_bytes / line_bytes + 1), dense))
+    return prof
+
+
+def _misses_at_capacity(
+    profiles: List[AccessProfile], capacity_bytes: float, line_bytes: int, total_iters: int
+) -> Dict[int, float]:
+    """Per-access miss count for one cache capacity.
+
+    Finds the deepest loop prefix whose combined footprint fits, then
+    charges each access its distinct lines once per execution of that
+    subnest.
+    """
+    n_levels = len(profiles[0].levels) if profiles else 0
+    fit_level = -1  # -1 means not even one iteration's lines fit
+    for k in range(n_levels):
+        footprint = sum(p.levels[k][1] * line_bytes for p in profiles)
+        if footprint <= capacity_bytes * _CACHE_UTILIZATION:
+            fit_level = k
+        else:
+            break
+    misses: Dict[int, float] = {}
+    for idx, p in enumerate(profiles):
+        if fit_level < 0:
+            misses[idx] = float(p.levels[-1][0]) if p.levels else 0.0
+            continue
+        iters_k, lines_k, _dense = p.levels[fit_level]
+        subnest_execs = total_iters / iters_k if iters_k else 1.0
+        per_access = lines_k * subnest_execs
+        # Never more misses than total touches, never fewer than cold lines.
+        cold = min(p.nbytes_total / line_bytes, lines_k * subnest_execs)
+        misses[idx] = min(max(per_access, 0.0), float(total_iters))
+        misses[idx] = max(misses[idx], 0.0)
+        misses[idx] = min(misses[idx], float(total_iters))
+        misses[idx] = max(misses[idx], min(cold, misses[idx]))
+    return misses
+
+
+def estimate_stage(
+    stage: Stage,
+    machine,
+    hot_buffers: Optional[Set[str]] = None,
+) -> StageCost:
+    """Estimate one stage's cost on a machine.
+
+    ``hot_buffers`` names tensors known to be cache-resident because of
+    operator fusion (produced or consumed in the same fuse group): their
+    traffic is served from the innermost cache that can hold a tile.
+    """
+    hot_buffers = hot_buffers or set()
+    cost = StageCost(stage.name)
+    loops = stage.loops
+    total_iters = stage.trip_count()
+    if total_iters == 0:
+        return cost
+
+    innermost = loops[-1]
+    vec_var = innermost.var if innermost.kind == VECTORIZE else None
+    line = machine.line_bytes
+
+    # ---- gather access profiles -------------------------------------------------
+    reads: List[Tuple[BufRead, AccessProfile]] = []
+    for r in stage.reads():
+        prof = _access_profile(r.indices, r.buffer, loops, line, vec_var)
+        reads.append((r, prof))
+    write_prof = _access_profile(stage.out_indices, stage.out, loops, line, vec_var)
+
+    # ---- vectorization quality --------------------------------------------------
+    lanes = 1.0
+    gather_penalty = 1.0
+    if vec_var is not None:
+        lanes = float(min(innermost.extent, machine.vector_lanes))
+        out_stride = write_prof.vector_stride
+        if out_stride not in (0, 1):
+            gather_penalty *= 4.0  # scatter on the store stream
+        bad_reads = sum(
+            1 for _, p in reads if p.vector_stride not in (0, 1)
+        )
+        if reads and bad_reads:
+            gather_penalty *= 1.0 + 3.0 * bad_reads / len(reads)
+
+    # ---- compute cycles -----------------------------------------------------------
+    ops_per_iter = _count_ops(stage.update) + (1.0 if stage.reduce_op else 0.0)
+    vec_speedup = max(lanes / gather_penalty, 1.0)
+    cost.compute_cycles = (
+        total_iters * max(ops_per_iter, 1.0) / (machine.flops_per_cycle * vec_speedup)
+    )
+    cost.instructions = total_iters * (max(ops_per_iter, 1.0) + len(reads) + 1) / max(
+        lanes / gather_penalty, 1.0
+    )
+    cost.loads = total_iters * len(reads) / max(lanes / gather_penalty, 1.0)
+    cost.stores = total_iters / max(lanes / gather_penalty, 1.0)
+
+    # ---- loop overhead --------------------------------------------------------------
+    inner_kind = innermost.kind
+    overhead = _LOOP_OVERHEAD
+    if inner_kind in (VECTORIZE, UNROLL):
+        overhead *= 0.2
+    cost.overhead_cycles = total_iters * overhead / max(lanes, 1.0)
+
+    # ---- memory cycles ---------------------------------------------------------------
+    # Capacity ladder: register file, then each cache level.  Accesses that
+    # hit in registers or L1 are assumed hidden by the compute pipeline
+    # (charged ~0); misses at capacity k are served by level k+1 at that
+    # level's latency, discounted by the prefetch degree for dense streams.
+    profiles = [p for _, p in reads] + [write_prof]
+    register_bytes = _REGISTER_FILE_VECTORS * machine.vector_lanes * 4
+    capacities = [register_bytes] + [c.size_bytes for c in machine.caches]
+    #: cost of a hit at the level *behind* capacity k (k=0 -> L1 hit cost)
+    serve_latency = [0.5] + [c.latency_cycles for c in machine.caches[1:]] + [
+        machine.dram_latency_cycles
+    ]
+    serve_prefetch = [1] + [c.prefetch_lines for c in machine.caches[1:]] + [
+        machine.caches[-1].prefetch_lines
+    ]
+
+    miss_tables = [
+        _misses_at_capacity(profiles, cap, line, total_iters) for cap in capacities
+    ]
+    mem_cycles = 0.0
+    dram_bytes = 0.0
+    for idx, prof in enumerate(profiles):
+        hot = prof.buffer in hot_buffers
+        bundle = lanes if prof.vector_stride in (0, 1) and vec_var else 1.0
+        accesses = total_iters / max(bundle, 1.0)
+        dense = prof.levels[-1][2] if prof.levels else True
+        prev = accesses
+        for lvl in range(len(capacities)):
+            m = min(float(miss_tables[lvl][idx]), prev)
+            if hot and lvl >= 1:
+                m = 0.0  # fused intermediate stays within L1/L2
+            served = prev - m  # requests absorbed at this capacity
+            if lvl > 0:
+                lat = serve_latency[lvl - 1]
+                mem_cycles += served * (lat / serve_prefetch[lvl - 1] if dense else lat)
+            prev = m
+        lat = serve_latency[-1]
+        mem_cycles += prev * (lat / serve_prefetch[-1] if dense else lat)
+        dram_bytes += prev * line
+        cost.level_misses["DRAM"] = cost.level_misses.get("DRAM", 0.0) + prev
+        if len(miss_tables) > 1:
+            l1m = 0.0 if hot else min(float(miss_tables[1][idx]), accesses)
+            cost.level_misses["L1"] = cost.level_misses.get("L1", 0.0) + l1m
+
+    bw_cycles = dram_bytes / machine.dram_bw_bytes_per_cycle
+    cost.memory_cycles = max(mem_cycles, bw_cycles)
+
+    # ---- parallelism -----------------------------------------------------------------
+    par = 1
+    for loop in loops:
+        if loop.kind == PARALLEL:
+            par *= loop.extent
+        else:
+            break
+    eff = min(par, machine.cores)
+    if machine.is_gpu:
+        thread_par = par * (lanes if vec_var is not None else 1)
+        saturation = machine.saturation_parallelism or machine.cores
+        occupancy = min(1.0, thread_par / saturation)
+        eff = max(machine.cores * occupancy, 1.0)
+    else:
+        if par > 1:
+            eff = min(par, machine.cores) * 0.95
+    cost.parallelism = max(eff, 1.0)
+
+    cost.launch_cycles = _LAUNCH_CYCLES_GPU if machine.is_gpu else _LAUNCH_CYCLES_CPU
+    return cost
+
+
+def fuse_groups(program: Program) -> Dict[str, List[Stage]]:
+    groups: Dict[str, List[Stage]] = {}
+    for s in program.stages:
+        g = s.annotations.get("fuse_group")
+        if g is not None:
+            groups.setdefault(g, []).append(s)
+    return groups
+
+
+def estimate_program(program: Program, machine) -> float:
+    """Latency (seconds) of a lowered program on a machine."""
+    groups = fuse_groups(program)
+    hot: Dict[str, Set[str]] = {}
+    for gname, stages in groups.items():
+        produced = {s.out.name for s in stages}
+        for s in stages:
+            touched = {r.buffer.name for r in s.reads()} | {s.out.name}
+            hot[s.name] = touched & produced
+    total_cycles = 0.0
+    seen_groups: Set[str] = set()
+    for s in program.stages:
+        cost = estimate_stage(s, machine, hot.get(s.name, set()))
+        g = s.annotations.get("fuse_group")
+        cycles = cost.total_cycles
+        if g is not None:
+            # one launch per fused group, not per stage
+            if g in seen_groups:
+                cycles -= cost.launch_cycles
+            seen_groups.add(g)
+        total_cycles += cycles
+    return machine.cycles_to_seconds(total_cycles)
+
+
+def estimate_stage_seconds(stage: Stage, machine) -> float:
+    return machine.cycles_to_seconds(estimate_stage(stage, machine).total_cycles)

@@ -1,0 +1,166 @@
+"""Trace-driven profiling of lowered stages (paper Tables 2 and 3).
+
+Where the paper runs ``perf``/PMU counters, we replay the exact memory
+trace of a lowered loop nest through the set-associative cache hierarchy of
+``repro.machine.cache``.  This is slow (every access is simulated), so the
+profiling benchmarks use scaled-down shapes; the analytical model in
+``latency.py`` remains the tuner-facing oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..ir.compute import BinOp, Call, ConstF, Select, Value
+from ..ir.nest import BufRead, Program, Stage
+from .cache import AddressMap, CacheHierarchy, CacheStats
+from .latency import _count_ops
+from .spec import MachineSpec
+from ..exec.interpreter import _Namer, _cond_src, _expr_src
+
+
+@dataclass
+class TraceProfile:
+    """PMU-style counters for one stage or program."""
+
+    iterations: int = 0
+    instructions: float = 0.0
+    loads: int = 0
+    stores: int = 0
+    level_stats: Dict[str, CacheStats] = field(default_factory=dict)
+    dram_accesses: int = 0
+    latency_cycles: float = 0.0
+
+    @property
+    def l1_misses(self) -> int:
+        stats = self.level_stats.get("L1")
+        return stats.misses if stats else 0
+
+    @property
+    def l1_loads(self) -> int:
+        stats = self.level_stats.get("L1")
+        return stats.accesses if stats else 0
+
+    def merged_with(self, other: "TraceProfile") -> "TraceProfile":
+        out = TraceProfile(
+            iterations=self.iterations + other.iterations,
+            instructions=self.instructions + other.instructions,
+            loads=self.loads + other.loads,
+            stores=self.stores + other.stores,
+            dram_accesses=self.dram_accesses + other.dram_accesses,
+            latency_cycles=self.latency_cycles + other.latency_cycles,
+        )
+        out.level_stats = dict(self.level_stats)
+        for name, st in other.level_stats.items():
+            if name in out.level_stats:
+                prev = out.level_stats[name]
+                out.level_stats[name] = CacheStats(
+                    prev.accesses + st.accesses,
+                    prev.hits + st.hits,
+                    prev.misses + st.misses,
+                    prev.prefetch_hits + st.prefetch_hits,
+                    prev.lines_fetched + st.lines_fetched,
+                )
+            else:
+                out.level_stats[name] = st
+        return out
+
+
+def _collect_reads(value: Value, out: List[BufRead]) -> None:
+    if isinstance(value, BufRead):
+        out.append(value)
+    elif isinstance(value, BinOp):
+        _collect_reads(value.a, out)
+        _collect_reads(value.b, out)
+    elif isinstance(value, Call):
+        for a in value.args:
+            _collect_reads(a, out)
+    elif isinstance(value, Select):
+        # profile the taken branch only when guards are compile-time simple;
+        # otherwise touch the then-branch (the common path)
+        _collect_reads(value.then_value, out)
+
+
+def profile_stage(
+    stage: Stage,
+    machine: MachineSpec,
+    hierarchy: Optional[CacheHierarchy] = None,
+    addr_map: Optional[AddressMap] = None,
+) -> TraceProfile:
+    """Replay one stage's memory trace through the cache hierarchy."""
+    hier = hierarchy or CacheHierarchy(machine)
+    amap = addr_map or AddressMap(machine.line_bytes)
+
+    vnames = _Namer("v")
+    reads: List[BufRead] = []
+    _collect_reads(stage.update, reads)
+
+    lines = ["def _trace(access):"]
+    indent = "    "
+    for loop in stage.loops:
+        lines.append(f"{indent}for {vnames[loop.var]} in range({loop.extent}):")
+        indent += "    "
+    for r in reads:
+        base = amap.base(r.buffer.name, r.buffer.nbytes)
+        flat = r.buffer.flat_index(r.indices)
+        lines.append(
+            f"{indent}access({base} + ({_expr_src(flat, vnames)}) * {r.buffer.itemsize})"
+        )
+    out_base = amap.base(stage.out.name, stage.out.nbytes)
+    out_flat = stage.out.flat_index(stage.out_indices)
+    lines.append(
+        f"{indent}access({out_base} + ({_expr_src(out_flat, vnames)}) * {stage.out.itemsize})"
+    )
+    namespace: Dict = {}
+    exec(compile("\n".join(lines), f"<trace:{stage.name}>", "exec"), namespace)
+    namespace["_trace"](hier.access)
+
+    total = stage.trip_count()
+    ops = max(_count_ops(stage.update) + (1 if stage.reduce_op else 0), 1)
+    prof = TraceProfile(
+        iterations=total,
+        instructions=total * (ops + len(reads) + 1),
+        loads=total * len(reads),
+        stores=total,
+        level_stats={k: v for k, v in hier.stats().items()},
+        dram_accesses=hier.dram_accesses,
+        latency_cycles=hier.total_cycles() + total * ops / machine.flops_per_cycle,
+    )
+    return prof
+
+
+def profile_program(program: Program, machine: MachineSpec) -> Dict[str, TraceProfile]:
+    """Profile every stage, sharing one cache hierarchy and address space
+    (so inter-stage reuse through the cache is captured)."""
+    hier = CacheHierarchy(machine)
+    amap = AddressMap(machine.line_bytes)
+    out: Dict[str, TraceProfile] = {}
+    for stage in program.stages:
+        before = {k: _copy_stats(v) for k, v in hier.stats().items()}
+        before_dram = hier.dram_accesses
+        profile_stage(stage, machine, hier, amap)
+        after = hier.stats()
+        delta = TraceProfile(iterations=stage.trip_count())
+        reads: List[BufRead] = []
+        _collect_reads(stage.update, reads)
+        ops = max(_count_ops(stage.update) + (1 if stage.reduce_op else 0), 1)
+        delta.instructions = delta.iterations * (ops + len(reads) + 1)
+        delta.loads = delta.iterations * len(reads)
+        delta.stores = delta.iterations
+        delta.dram_accesses = hier.dram_accesses - before_dram
+        for name, st in after.items():
+            prev = before.get(name, CacheStats())
+            delta.level_stats[name] = CacheStats(
+                st.accesses - prev.accesses,
+                st.hits - prev.hits,
+                st.misses - prev.misses,
+                st.prefetch_hits - prev.prefetch_hits,
+                st.lines_fetched - prev.lines_fetched,
+            )
+        out[stage.name] = delta
+    return out
+
+
+def _copy_stats(st: CacheStats) -> CacheStats:
+    return CacheStats(st.accesses, st.hits, st.misses, st.prefetch_hits, st.lines_fetched)

@@ -1,0 +1,39 @@
+"""Shared helpers for operator constructors.
+
+Every operator factory returns a :class:`~repro.ir.compute.ComputeDef` whose
+inputs/output are :class:`~repro.ir.tensor.Tensor` objects.  Convolutions
+take *pre-padded* inputs: padding is its own graph operator (paper Fig. 5),
+which is exactly what makes layout propagation interesting -- the padding
+operator absorbs the layout conversion.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Sequence, Tuple
+
+from ..ir.tensor import Tensor
+
+_name_counter = itertools.count()
+
+
+def fresh_name(base: str) -> str:
+    return f"{base}{next(_name_counter)}"
+
+
+def out_size(in_size: int, window: int, stride: int, dilation: int = 1) -> int:
+    """Output extent of a sliding window over a pre-padded input."""
+    effective = (window - 1) * dilation + 1
+    size = (in_size - effective) // stride + 1
+    if size <= 0:
+        raise ValueError(
+            f"window {window} (dilation {dilation}, stride {stride}) too large "
+            f"for input extent {in_size}"
+        )
+    return size
+
+
+def check_positive(**kwargs: int) -> None:
+    for key, value in kwargs.items():
+        if value <= 0:
+            raise ValueError(f"{key} must be positive, got {value}")

@@ -1,0 +1,158 @@
+"""Convolution operators: C2D and its grouped/depthwise/dilated variants.
+
+All convolutions consume *pre-padded* inputs (padding is a separate graph
+operator, see ``repro.ops.elementwise.pad_spatial``).  Layout conventions
+follow the paper: the logical shapes are ``NIHW`` for data, ``OIRS`` for
+weights and ``NOHW`` for outputs; everything else is a *layout* applied on
+top, never a different operator.
+"""
+
+from __future__ import annotations
+
+from ..ir.compute import Access, Axis, ComputeDef
+from ..ir.expr import Var
+from ..ir.tensor import Tensor
+from .common import check_positive, out_size
+
+
+def conv2d(
+    inp: Tensor,
+    ker: Tensor,
+    stride: int = 1,
+    dilation: int = 1,
+    groups: int = 1,
+    name: str = "conv2d",
+) -> ComputeDef:
+    """2-D convolution (C2D); ``groups > 1`` gives GRP, ``dilation > 1`` DIL.
+
+    ``inp``: ``[N, I, H, W]`` (pre-padded); ``ker``: ``[O, I/groups, KH, KW]``.
+    Output: ``[N, O, OH, OW]``.
+    """
+    check_positive(stride=stride, dilation=dilation, groups=groups)
+    n, i, h, w = inp.shape
+    o, ig, kh, kw = ker.shape
+    if i % groups or o % groups:
+        raise ValueError(f"{name}: channels ({i}, {o}) not divisible by groups {groups}")
+    if ig != i // groups:
+        raise ValueError(
+            f"{name}: kernel input channels {ig} != {i}//{groups}"
+        )
+    oh = out_size(h, kh, stride, dilation)
+    ow = out_size(w, kw, stride, dilation)
+    out = Tensor(f"{name}.out", (n, o, oh, ow))
+
+    vn, vo, vh, vw = Var("n"), Var("o"), Var("oh"), Var("ow")
+    ri, rh, rw = Var("ri"), Var("rh"), Var("rw")
+    if groups == 1:
+        in_channel = ri
+    else:
+        # channel o belongs to group o // (o_per_group)
+        in_channel = (vo // (o // groups)) * ig + ri
+    body = Access(inp, [vn, in_channel, vh * stride + rh * dilation, vw * stride + rw * dilation]) * Access(
+        ker, [vo, ri, rh, rw]
+    )
+    return ComputeDef(
+        name=name,
+        output=out,
+        axes=[Axis("n", n), Axis("o", o), Axis("oh", oh), Axis("ow", ow)],
+        reduce_axes=[Axis("ri", ig), Axis("rh", kh), Axis("rw", kw)],
+        body=body,
+        reduce_op="sum",
+        tags=("complex", "conv", "conv2d"),
+        attrs={"stride": stride, "dilation": dilation, "groups": groups, "kernel": (kh, kw), "spatial_axes": ("oh", "ow"), "channel_axis": "o", "reduce_channel": "ri"},
+    )
+
+
+def depthwise_conv2d(
+    inp: Tensor, ker: Tensor, stride: int = 1, dilation: int = 1, name: str = "depthwise"
+) -> ComputeDef:
+    """Depth-wise C2D (DEP): one filter per channel.
+
+    ``inp``: ``[N, C, H, W]``; ``ker``: ``[C, KH, KW]``; output ``[N, C, OH, OW]``.
+    """
+    check_positive(stride=stride, dilation=dilation)
+    n, c, h, w = inp.shape
+    kc, kh, kw = ker.shape
+    if kc != c:
+        raise ValueError(f"{name}: kernel channels {kc} != input channels {c}")
+    oh = out_size(h, kh, stride, dilation)
+    ow = out_size(w, kw, stride, dilation)
+    out = Tensor(f"{name}.out", (n, c, oh, ow))
+    vn, vc, vh, vw = Var("n"), Var("c"), Var("oh"), Var("ow")
+    rh, rw = Var("rh"), Var("rw")
+    body = Access(inp, [vn, vc, vh * stride + rh * dilation, vw * stride + rw * dilation]) * Access(
+        ker, [vc, rh, rw]
+    )
+    return ComputeDef(
+        name=name,
+        output=out,
+        axes=[Axis("n", n), Axis("c", c), Axis("oh", oh), Axis("ow", ow)],
+        reduce_axes=[Axis("rh", kh), Axis("rw", kw)],
+        body=body,
+        reduce_op="sum",
+        tags=("complex", "conv", "depthwise"),
+        attrs={"stride": stride, "dilation": dilation, "kernel": (kh, kw), "spatial_axes": ("oh", "ow"), "channel_axis": "c"},
+    )
+
+
+def conv1d(
+    inp: Tensor, ker: Tensor, stride: int = 1, dilation: int = 1, name: str = "conv1d"
+) -> ComputeDef:
+    """1-D convolution (C1D). ``inp``: ``[N, I, W]``; ``ker``: ``[O, I, K]``."""
+    check_positive(stride=stride, dilation=dilation)
+    n, i, w = inp.shape
+    o, ik, k = ker.shape
+    if ik != i:
+        raise ValueError(f"{name}: kernel input channels {ik} != {i}")
+    ow = out_size(w, k, stride, dilation)
+    out = Tensor(f"{name}.out", (n, o, ow))
+    vn, vo, vw = Var("n"), Var("o"), Var("ow")
+    ri, rw = Var("ri"), Var("rw")
+    body = Access(inp, [vn, ri, vw * stride + rw * dilation]) * Access(ker, [vo, ri, rw])
+    return ComputeDef(
+        name=name,
+        output=out,
+        axes=[Axis("n", n), Axis("o", o), Axis("ow", ow)],
+        reduce_axes=[Axis("ri", i), Axis("rw", k)],
+        body=body,
+        reduce_op="sum",
+        tags=("complex", "conv", "conv1d"),
+        attrs={"stride": stride, "dilation": dilation, "kernel": (k,), "spatial_axes": ("ow",), "channel_axis": "o", "reduce_channel": "ri"},
+    )
+
+
+def conv3d(
+    inp: Tensor, ker: Tensor, stride: int = 1, dilation: int = 1, name: str = "conv3d"
+) -> ComputeDef:
+    """3-D convolution (C3D). ``inp``: ``[N, I, D, H, W]``; ``ker``: ``[O, I, KD, KH, KW]``."""
+    check_positive(stride=stride, dilation=dilation)
+    n, i, d, h, w = inp.shape
+    o, ik, kd, kh, kw = ker.shape
+    if ik != i:
+        raise ValueError(f"{name}: kernel input channels {ik} != {i}")
+    od = out_size(d, kd, stride, dilation)
+    oh = out_size(h, kh, stride, dilation)
+    ow = out_size(w, kw, stride, dilation)
+    out = Tensor(f"{name}.out", (n, o, od, oh, ow))
+    vn, vo, vd, vh, vw = Var("n"), Var("o"), Var("od"), Var("oh"), Var("ow")
+    ri, rd, rh, rw = Var("ri"), Var("rd"), Var("rh"), Var("rw")
+    body = Access(
+        inp,
+        [
+            vn,
+            ri,
+            vd * stride + rd * dilation,
+            vh * stride + rh * dilation,
+            vw * stride + rw * dilation,
+        ],
+    ) * Access(ker, [vo, ri, rd, rh, rw])
+    return ComputeDef(
+        name=name,
+        output=out,
+        axes=[Axis("n", n), Axis("o", o), Axis("od", od), Axis("oh", oh), Axis("ow", ow)],
+        reduce_axes=[Axis("ri", i), Axis("rd", kd), Axis("rh", kh), Axis("rw", kw)],
+        body=body,
+        reduce_op="sum",
+        tags=("complex", "conv", "conv3d"),
+        attrs={"stride": stride, "dilation": dilation, "kernel": (kd, kh, kw), "spatial_axes": ("od", "oh", "ow"), "channel_axis": "o", "reduce_channel": "ri"},
+    )

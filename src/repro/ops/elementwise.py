@@ -1,0 +1,125 @@
+"""Elementwise and broadcast operators.
+
+These are the "simple" operators of Algorithm 1: layout primitives propagate
+*through* them (same-shape elementwise) or terminate at them gracefully.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir.compute import Access, Axis, Call, ComputeDef, ConstF, Value
+from ..ir.expr import Var
+from ..ir.tensor import Tensor
+
+
+def _axes_for(t: Tensor):
+    names = ["n", "c", "h", "w", "u", "v"][: t.ndim]
+    return [Axis(nm, s) for nm, s in zip(names, t.shape)], [Var(nm) for nm in names]
+
+
+def _unary(inp: Tensor, fn, name: str, tags=("elementwise",)) -> ComputeDef:
+    axes, vars_ = _axes_for(inp)
+    out = Tensor(f"{name}.out", inp.shape)
+    return ComputeDef(
+        name=name, output=out, axes=axes, reduce_axes=[], body=fn(Access(inp, vars_)),
+        tags=tags,
+    )
+
+
+def relu(inp: Tensor, name: str = "relu") -> ComputeDef:
+    return _unary(inp, lambda x: Call("max", [x, ConstF(0.0)]), name)
+
+
+def sigmoid(inp: Tensor, name: str = "sigmoid") -> ComputeDef:
+    return _unary(inp, lambda x: Call("sigmoid", [x]), name)
+
+
+def tanh(inp: Tensor, name: str = "tanh") -> ComputeDef:
+    return _unary(inp, lambda x: Call("tanh", [x]), name)
+
+
+def gelu(inp: Tensor, name: str = "gelu") -> ComputeDef:
+    # 0.5 * x * (1 + erf(x / sqrt(2)))
+    def body(x: Value) -> Value:
+        return ConstF(0.5) * x * (ConstF(1.0) + Call("erf", [x * ConstF(0.7071067811865475)]))
+
+    return _unary(inp, body, name)
+
+
+def relu6(inp: Tensor, name: str = "relu6") -> ComputeDef:
+    return _unary(
+        inp, lambda x: Call("min", [Call("max", [x, ConstF(0.0)]), ConstF(6.0)]), name
+    )
+
+
+def identity(inp: Tensor, name: str = "identity") -> ComputeDef:
+    return _unary(inp, lambda x: x, name)
+
+
+def scale_shift(inp: Tensor, scale: Tensor, shift: Tensor, name: str = "scale_shift") -> ComputeDef:
+    """Per-channel ``x * scale[c] + shift[c]`` -- inference-time batchnorm.
+
+    ``inp`` is ``[N, C, ...]``; ``scale``/``shift`` are ``[C]``.
+    """
+    if scale.shape != (inp.shape[1],) or shift.shape != (inp.shape[1],):
+        raise ValueError(f"{name}: scale/shift must be [C]={inp.shape[1]}")
+    axes, vars_ = _axes_for(inp)
+    out = Tensor(f"{name}.out", inp.shape)
+    c = vars_[1]
+    body = Access(inp, vars_) * Access(scale, [c]) + Access(shift, [c])
+    return ComputeDef(
+        name=name, output=out, axes=axes, reduce_axes=[], body=body,
+        tags=("elementwise", "broadcast"),
+    )
+
+
+def bias_add_channel(inp: Tensor, bias: Tensor, name: str = "bias") -> ComputeDef:
+    """``out[n, c, ...] = inp[n, c, ...] + bias[c]`` (conv bias)."""
+    if bias.shape != (inp.shape[1],):
+        raise ValueError(f"{name}: bias must be [C]={inp.shape[1]}")
+    axes, vars_ = _axes_for(inp)
+    out = Tensor(f"{name}.out", inp.shape)
+    body = Access(inp, vars_) + Access(bias, [vars_[1]])
+    return ComputeDef(
+        name=name, output=out, axes=axes, reduce_axes=[], body=body,
+        tags=("elementwise", "broadcast"),
+    )
+
+
+def bias_add_last(inp: Tensor, bias: Tensor, name: str = "bias") -> ComputeDef:
+    """``out[..., j] = inp[..., j] + bias[j]`` (dense bias)."""
+    if bias.shape != (inp.shape[-1],):
+        raise ValueError(f"{name}: bias must be [{inp.shape[-1]}]")
+    axes, vars_ = _axes_for(inp)
+    out = Tensor(f"{name}.out", inp.shape)
+    body = Access(inp, vars_) + Access(bias, [vars_[-1]])
+    return ComputeDef(
+        name=name, output=out, axes=axes, reduce_axes=[], body=body,
+        tags=("elementwise", "broadcast"),
+    )
+
+
+def add(a: Tensor, b: Tensor, name: str = "add") -> ComputeDef:
+    """Elementwise sum of two same-shape tensors (residual connections)."""
+    if a.shape != b.shape:
+        raise ValueError(f"{name}: shape mismatch {a.shape} vs {b.shape}")
+    axes, vars_ = _axes_for(a)
+    out = Tensor(f"{name}.out", a.shape)
+    body = Access(a, vars_) + Access(b, vars_)
+    return ComputeDef(
+        name=name, output=out, axes=axes, reduce_axes=[], body=body,
+        tags=("elementwise", "binary"),
+    )
+
+
+def multiply(a: Tensor, b: Tensor, name: str = "mul") -> ComputeDef:
+    if a.shape != b.shape:
+        raise ValueError(f"{name}: shape mismatch {a.shape} vs {b.shape}")
+    axes, vars_ = _axes_for(a)
+    out = Tensor(f"{name}.out", a.shape)
+    body = Access(a, vars_) * Access(b, vars_)
+    return ComputeDef(
+        name=name, output=out, axes=axes, reduce_axes=[], body=body,
+        tags=("elementwise", "binary"),
+    )

@@ -1,0 +1,66 @@
+"""General matrix multiplication (GMM) and batched variants.
+
+Logical layouts follow the paper's defaults: ``C[M, N] = A[M, K] @ B[K, N]``
+("KN").  The "NK" alternative (transposed B) and the custom "NKn" tiled
+layout are *layouts* applied on top of the same compute definition, which is
+the whole point of the layout-transformation infrastructure.
+"""
+
+from __future__ import annotations
+
+from ..ir.compute import Access, Axis, ComputeDef
+from ..ir.expr import Var
+from ..ir.tensor import Tensor
+
+
+def gemm(a: Tensor, b: Tensor, name: str = "gemm") -> ComputeDef:
+    """``C[m, n] = sum_k A[m, k] * B[k, n]``."""
+    m, k = a.shape
+    kb, n = b.shape
+    if kb != k:
+        raise ValueError(f"{name}: inner dims differ ({k} vs {kb})")
+    out = Tensor(f"{name}.out", (m, n))
+    vm, vn, vk = Var("m"), Var("n"), Var("k")
+    body = Access(a, [vm, vk]) * Access(b, [vk, vn])
+    return ComputeDef(
+        name=name,
+        output=out,
+        axes=[Axis("m", m), Axis("n", n)],
+        reduce_axes=[Axis("k", k)],
+        body=body,
+        reduce_op="sum",
+        tags=("complex", "gemm"),
+        attrs={"mnk": (m, n, k)},
+    )
+
+
+def batch_gemm(a: Tensor, b: Tensor, name: str = "batch_gemm") -> ComputeDef:
+    """``C[b, m, n] = sum_k A[b, m, k] * B[b, k, n]`` (attention score/context)."""
+    ba, m, k = a.shape
+    bb, kb, n = b.shape
+    if ba != bb or kb != k:
+        raise ValueError(f"{name}: shape mismatch {a.shape} x {b.shape}")
+    out = Tensor(f"{name}.out", (ba, m, n))
+    vb, vm, vn, vk = Var("b"), Var("m"), Var("n"), Var("k")
+    body = Access(a, [vb, vm, vk]) * Access(b, [vb, vk, vn])
+    return ComputeDef(
+        name=name,
+        output=out,
+        axes=[Axis("b", ba), Axis("m", m), Axis("n", n)],
+        reduce_axes=[Axis("k", k)],
+        body=body,
+        reduce_op="sum",
+        tags=("complex", "gemm", "batch_gemm"),
+        attrs={"mnk": (m, n, k)},
+    )
+
+
+def dense(inp: Tensor, weight: Tensor, name: str = "dense") -> ComputeDef:
+    """Fully connected layer: ``out[m, n] = sum_k inp[m, k] * W[k, n]``.
+
+    Identical compute to :func:`gemm`; tagged separately so graph builders
+    can attach a bias via ``store_at`` (the paper's Section 4.1.2 example).
+    """
+    comp = gemm(inp, weight, name=name)
+    comp.tags = comp.tags + ("dense",)
+    return comp

@@ -1,0 +1,70 @@
+"""Pooling operators."""
+
+from __future__ import annotations
+
+from ..ir.compute import Access, Axis, ComputeDef, ConstF
+from ..ir.expr import Var
+from ..ir.tensor import Tensor
+from .common import check_positive, out_size
+
+
+def max_pool2d(inp: Tensor, window: int, stride: int, name: str = "maxpool") -> ComputeDef:
+    """``[N, C, H, W]`` max pooling over ``window x window`` with ``stride``."""
+    check_positive(window=window, stride=stride)
+    n, c, h, w = inp.shape
+    oh = out_size(h, window, stride)
+    ow = out_size(w, window, stride)
+    out = Tensor(f"{name}.out", (n, c, oh, ow))
+    vn, vc, vh, vw = Var("n"), Var("c"), Var("oh"), Var("ow")
+    rh, rw = Var("rh"), Var("rw")
+    body = Access(inp, [vn, vc, vh * stride + rh, vw * stride + rw])
+    return ComputeDef(
+        name=name,
+        output=out,
+        axes=[Axis("n", n), Axis("c", c), Axis("oh", oh), Axis("ow", ow)],
+        reduce_axes=[Axis("rh", window), Axis("rw", window)],
+        body=body,
+        reduce_op="max",
+        init=float("-inf"),
+        tags=("pool",),
+    )
+
+
+def avg_pool2d(inp: Tensor, window: int, stride: int, name: str = "avgpool") -> ComputeDef:
+    check_positive(window=window, stride=stride)
+    n, c, h, w = inp.shape
+    oh = out_size(h, window, stride)
+    ow = out_size(w, window, stride)
+    out = Tensor(f"{name}.out", (n, c, oh, ow))
+    vn, vc, vh, vw = Var("n"), Var("c"), Var("oh"), Var("ow")
+    rh, rw = Var("rh"), Var("rw")
+    body = Access(inp, [vn, vc, vh * stride + rh, vw * stride + rw]) * ConstF(
+        1.0 / (window * window)
+    )
+    return ComputeDef(
+        name=name,
+        output=out,
+        axes=[Axis("n", n), Axis("c", c), Axis("oh", oh), Axis("ow", ow)],
+        reduce_axes=[Axis("rh", window), Axis("rw", window)],
+        body=body,
+        reduce_op="sum",
+        tags=("pool",),
+    )
+
+
+def global_avg_pool(inp: Tensor, name: str = "gap") -> ComputeDef:
+    """``[N, C, H, W] -> [N, C]`` spatial mean."""
+    n, c, h, w = inp.shape
+    out = Tensor(f"{name}.out", (n, c))
+    vn, vc = Var("n"), Var("c")
+    rh, rw = Var("rh"), Var("rw")
+    body = Access(inp, [vn, vc, rh, rw]) * ConstF(1.0 / (h * w))
+    return ComputeDef(
+        name=name,
+        output=out,
+        axes=[Axis("n", n), Axis("c", c)],
+        reduce_axes=[Axis("rh", h), Axis("rw", w)],
+        body=body,
+        reduce_op="sum",
+        tags=("pool", "reduce"),
+    )

@@ -1,0 +1,121 @@
+"""Reduction-based composite operators: softmax, layer norm.
+
+Each composite returns a list of :class:`ComputeDef` stages in dataflow
+order; graph builders chain them.  Decomposing into single-reduction stages
+keeps every stage a perfectly nested loop band, which is all the lowering
+pass needs to support.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ir.compute import Access, Axis, Call, ComputeDef, ConstF
+from ..ir.expr import Var
+from ..ir.tensor import Tensor
+
+
+def softmax_last(inp: Tensor, name: str = "softmax") -> List[ComputeDef]:
+    """Numerically stable softmax over the last dimension of a 2-D/3-D tensor."""
+    lead = inp.shape[:-1]
+    n = inp.shape[-1]
+    lead_names = ["i", "j", "z"][: len(lead)]
+    lead_axes = [Axis(nm, s) for nm, s in zip(lead_names, lead)]
+    lead_vars = [Var(nm) for nm in lead_names]
+    r = Var("r")
+    last = Var("l")
+
+    mx = Tensor(f"{name}.max", lead)
+    red_max = ComputeDef(
+        name=f"{name}.reduce_max",
+        output=mx,
+        axes=lead_axes,
+        reduce_axes=[Axis("r", n)],
+        body=Access(inp, lead_vars + [r]),
+        reduce_op="max",
+        init=float("-inf"),
+        tags=("reduce",),
+    )
+    ex = Tensor(f"{name}.exp", inp.shape)
+    exp_stage = ComputeDef(
+        name=f"{name}.exp",
+        output=ex,
+        axes=lead_axes + [Axis("l", n)],
+        reduce_axes=[],
+        body=Call("exp", [Access(inp, lead_vars + [last]) - Access(mx, lead_vars)]),
+        tags=("map",),
+    )
+    sm = Tensor(f"{name}.sum", lead)
+    red_sum = ComputeDef(
+        name=f"{name}.reduce_sum",
+        output=sm,
+        axes=lead_axes,
+        reduce_axes=[Axis("r", n)],
+        body=Access(ex, lead_vars + [r]),
+        reduce_op="sum",
+        tags=("reduce",),
+    )
+    out = Tensor(f"{name}.out", inp.shape)
+    norm = ComputeDef(
+        name=f"{name}.norm",
+        output=out,
+        axes=lead_axes + [Axis("l", n)],
+        reduce_axes=[],
+        body=Access(ex, lead_vars + [last]) / Access(sm, lead_vars),
+        tags=("map",),
+    )
+    return [red_max, exp_stage, red_sum, norm]
+
+
+def layer_norm_last(
+    inp: Tensor, gamma: Tensor, beta: Tensor, eps: float = 1e-5, name: str = "ln"
+) -> List[ComputeDef]:
+    """Layer normalization over the last dimension."""
+    lead = inp.shape[:-1]
+    n = inp.shape[-1]
+    if gamma.shape != (n,) or beta.shape != (n,):
+        raise ValueError(f"{name}: gamma/beta must be [{n}]")
+    lead_names = ["i", "j", "z"][: len(lead)]
+    lead_axes = [Axis(nm, s) for nm, s in zip(lead_names, lead)]
+    lead_vars = [Var(nm) for nm in lead_names]
+    r = Var("r")
+    last = Var("l")
+
+    mean = Tensor(f"{name}.mean", lead)
+    mean_stage = ComputeDef(
+        name=f"{name}.mean",
+        output=mean,
+        axes=lead_axes,
+        reduce_axes=[Axis("r", n)],
+        body=Access(inp, lead_vars + [r]) * ConstF(1.0 / n),
+        reduce_op="sum",
+        tags=("reduce",),
+    )
+    sq = Tensor(f"{name}.sqsum", lead)
+    sq_stage = ComputeDef(
+        name=f"{name}.sqsum",
+        output=sq,
+        axes=lead_axes,
+        reduce_axes=[Axis("r", n)],
+        body=(
+            Access(inp, lead_vars + [r]) * Access(inp, lead_vars + [r]) * ConstF(1.0 / n)
+        ),
+        reduce_op="sum",
+        tags=("reduce",),
+    )
+    out = Tensor(f"{name}.out", inp.shape)
+    x = Access(inp, lead_vars + [last])
+    mu = Access(mean, lead_vars)
+    var = Access(sq, lead_vars) - mu * mu
+    norm_stage = ComputeDef(
+        name=f"{name}.norm",
+        output=out,
+        axes=lead_axes + [Axis("l", n)],
+        reduce_axes=[],
+        body=(x - mu)
+        / Call("sqrt", [var + ConstF(eps)])
+        * Access(gamma, [last])
+        + Access(beta, [last]),
+        tags=("map",),
+    )
+    return [mean_stage, sq_stage, norm_stage]

@@ -1,0 +1,114 @@
+"""Data-movement operators: spatial padding, zero-stuffing, transposed convs.
+
+Padding is a first-class graph operator (paper Fig. 5): when a downstream
+convolution requests an exotic input layout, layout propagation re-targets
+*this* operator's output, so the padding loop performs the conversion for
+free instead of a dedicated conversion operator.
+
+Transposed convolutions (T2D/T3D) are built as ``zero-stuff -> pad -> conv``
+with an offline-flipped kernel, which keeps every access affine.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..ir.compute import (
+    Access,
+    All,
+    Axis,
+    ComputeDef,
+    ConstF,
+    DivisibleBy,
+    InBounds,
+    Select,
+)
+from ..ir.expr import Max, Min, Var
+from ..ir.tensor import Tensor
+
+
+def _spatial_pad_body(inp: Tensor, vars_, pads) -> Select:
+    """Guarded body: inside the original extent read input, else 0."""
+    conds = []
+    clamped = []
+    for v, (before, size) in zip(vars_, pads):
+        if before == 0:
+            clamped.append(v)
+            continue
+        shifted = v - before
+        conds.append(InBounds(shifted, 0, size))
+        clamped.append(Max(Min(shifted, size - 1), 0))
+    if not conds:
+        raise ValueError("pad operator with no padding")
+    return Select(All(conds), Access(inp, clamped), ConstF(0.0))
+
+
+def pad_spatial(inp: Tensor, pad: Sequence[int], name: str = "pad") -> ComputeDef:
+    """Symmetric zero padding of the trailing spatial dims of an NC... tensor.
+
+    ``pad`` gives the per-side padding for each spatial dim (after the first
+    two channel dims), e.g. ``pad=(3, 3)`` turns ``[N,C,H,W]`` into
+    ``[N, C, H+6, W+6]``.
+    """
+    n_spatial = len(pad)
+    if n_spatial != inp.ndim - 2:
+        raise ValueError(
+            f"{name}: got {n_spatial} pad values for {inp.ndim - 2} spatial dims"
+        )
+    out_shape = list(inp.shape[:2]) + [
+        s + 2 * p for s, p in zip(inp.shape[2:], pad)
+    ]
+    out = Tensor(f"{name}.out", out_shape)
+    names = ["n", "c", "z", "y", "x"][: inp.ndim]
+    axes = [Axis(nm, s) for nm, s in zip(names, out_shape)]
+    vars_ = [Var(nm) for nm in names]
+    pads = [(0, inp.shape[0]), (0, inp.shape[1])] + [
+        (p, s) for p, s in zip(pad, inp.shape[2:])
+    ]
+    body = _spatial_pad_body(inp, vars_, pads)
+    return ComputeDef(
+        name=name, output=out, axes=axes, reduce_axes=[], body=body,
+        tags=("data_movement", "pad"),
+    )
+
+
+def zero_stuff(inp: Tensor, stride: int, name: str = "stuff") -> ComputeDef:
+    """Insert ``stride - 1`` zeros between spatial elements (for T2D/T3D).
+
+    ``[N, C, H, W] -> [N, C, (H-1)*s + 1, (W-1)*s + 1]``.
+    """
+    if stride < 1:
+        raise ValueError(f"{name}: stride must be >= 1")
+    out_shape = list(inp.shape[:2]) + [(s - 1) * stride + 1 for s in inp.shape[2:]]
+    out = Tensor(f"{name}.out", out_shape)
+    names = ["n", "c", "z", "y", "x"][: inp.ndim]
+    axes = [Axis(nm, s) for nm, s in zip(names, out_shape)]
+    vars_ = [Var(nm) for nm in names]
+    if stride == 1:
+        body = Access(inp, vars_)
+    else:
+        conds = [DivisibleBy(v, stride) for v in vars_[2:]]
+        src = vars_[:2] + [v // stride for v in vars_[2:]]
+        body = Select(All(conds), Access(inp, src), ConstF(0.0))
+    return ComputeDef(
+        name=name, output=out, axes=axes, reduce_axes=[], body=body,
+        tags=("data_movement", "zero_stuff"),
+    )
+
+
+def layout_conversion(inp: Tensor, name: str = "convert") -> ComputeDef:
+    """Explicit layout-conversion operator (paper Fig. 5a).
+
+    A pure copy in logical space; the *layouts* attached to its input and
+    output tensors by the tuner are what make it a physical re-layout.
+    Inserted by layout propagation when a layout cannot be propagated
+    (Algorithm 1 line 4).
+    """
+    names = ["n", "c", "z", "y", "x", "u"][: inp.ndim]
+    axes = [Axis(nm, s) for nm, s in zip(names, inp.shape)]
+    vars_ = [Var(nm) for nm in names]
+    out = Tensor(f"{name}.out", inp.shape)
+    return ComputeDef(
+        name=name, output=out, axes=axes, reduce_axes=[], body=Access(inp, vars_),
+        tags=("data_movement", "conversion", "elementwise"),
+    )

@@ -1,0 +1,169 @@
+"""Transposed convolutions (T2D / T3D) as affine composites.
+
+A transposed convolution with stride ``s`` is lowered to::
+
+    zero-stuff(s)  ->  pad(K-1-p)  ->  stride-1 convolution with the
+                                       spatially flipped kernel
+
+which keeps every tensor access affine (the direct formulation needs
+``(oh - rh + p) / s`` guards).  The kernel flip is folded into the
+convolution's accessing expressions -- weights are constants, so no runtime
+cost -- and the stride-1 convolution is a *complex* operator that gets the
+full layout template treatment.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..ir.compute import Access, Axis, ComputeDef
+from ..ir.expr import Var
+from ..ir.tensor import Tensor
+from .common import check_positive
+from .transform import pad_spatial, zero_stuff
+
+
+def _flipped_conv2d(inp: Tensor, ker: Tensor, name: str) -> ComputeDef:
+    """Stride-1 C2D that reads the kernel flipped along its spatial dims."""
+    n, i, h, w = inp.shape
+    o, ik, kh, kw = ker.shape
+    if ik != i:
+        raise ValueError(f"{name}: kernel input channels {ik} != {i}")
+    oh, ow = h - kh + 1, w - kw + 1
+    out = Tensor(f"{name}.out", (n, o, oh, ow))
+    vn, vo, vh, vw = Var("n"), Var("o"), Var("oh"), Var("ow")
+    ri, rh, rw = Var("ri"), Var("rh"), Var("rw")
+    body = Access(inp, [vn, ri, vh + rh, vw + rw]) * Access(
+        ker, [vo, ri, (kh - 1) - rh, (kw - 1) - rw]
+    )
+    return ComputeDef(
+        name=name,
+        output=out,
+        axes=[Axis("n", n), Axis("o", o), Axis("oh", oh), Axis("ow", ow)],
+        reduce_axes=[Axis("ri", i), Axis("rh", kh), Axis("rw", kw)],
+        body=body,
+        reduce_op="sum",
+        tags=("complex", "conv", "conv2d", "transposed"),
+        attrs={
+            "stride": 1, "dilation": 1, "groups": 1, "kernel": (kh, kw),
+            "spatial_axes": ("oh", "ow"), "channel_axis": "o",
+            "reduce_channel": "ri",
+        },
+    )
+
+
+def _flipped_conv3d(inp: Tensor, ker: Tensor, name: str) -> ComputeDef:
+    n, i, d, h, w = inp.shape
+    o, ik, kd, kh, kw = ker.shape
+    if ik != i:
+        raise ValueError(f"{name}: kernel input channels {ik} != {i}")
+    od, oh, ow = d - kd + 1, h - kh + 1, w - kw + 1
+    out = Tensor(f"{name}.out", (n, o, od, oh, ow))
+    vn, vo, vd, vh, vw = Var("n"), Var("o"), Var("od"), Var("oh"), Var("ow")
+    ri, rd, rh, rw = Var("ri"), Var("rd"), Var("rh"), Var("rw")
+    body = Access(inp, [vn, ri, vd + rd, vh + rh, vw + rw]) * Access(
+        ker, [vo, ri, (kd - 1) - rd, (kh - 1) - rh, (kw - 1) - rw]
+    )
+    return ComputeDef(
+        name=name,
+        output=out,
+        axes=[Axis("n", n), Axis("o", o), Axis("od", od), Axis("oh", oh), Axis("ow", ow)],
+        reduce_axes=[Axis("ri", i), Axis("rd", kd), Axis("rh", kh), Axis("rw", kw)],
+        body=body,
+        reduce_op="sum",
+        tags=("complex", "conv", "conv3d", "transposed"),
+        attrs={
+            "stride": 1, "dilation": 1, "kernel": (kd, kh, kw),
+            "spatial_axes": ("od", "oh", "ow"), "channel_axis": "o",
+            "reduce_channel": "ri",
+        },
+    )
+
+
+def transposed_conv2d(
+    inp: Tensor, ker: Tensor, stride: int = 2, pad: int = 0, name: str = "t2d"
+) -> List[ComputeDef]:
+    """T2D composite.  ``inp``: ``[N, I, H, W]``; ``ker``: ``[I->O]`` as
+    ``[O, I, KH, KW]``.  Output: ``[N, O, (H-1)s + KH - 2p, ...]``."""
+    check_positive(stride=stride)
+    o, i, kh, kw = ker.shape
+    if pad >= kh or pad >= kw:
+        raise ValueError(f"{name}: pad must be < kernel size")
+    comps: List[ComputeDef] = []
+    x = inp
+    if stride > 1:
+        stuff = zero_stuff(x, stride, name=f"{name}.stuff")
+        comps.append(stuff)
+        x = stuff.output
+    border = (kh - 1 - pad, kw - 1 - pad)
+    if any(border):
+        padded = pad_spatial(x, border, name=f"{name}.pad")
+        comps.append(padded)
+        x = padded.output
+    comps.append(_flipped_conv2d(x, ker, name=f"{name}.conv"))
+    return comps
+
+
+def transposed_conv3d(
+    inp: Tensor, ker: Tensor, stride: int = 2, pad: int = 0, name: str = "t3d"
+) -> List[ComputeDef]:
+    """T3D composite; see :func:`transposed_conv2d`."""
+    check_positive(stride=stride)
+    o, i, kd, kh, kw = ker.shape
+    if pad >= min(kd, kh, kw):
+        raise ValueError(f"{name}: pad must be < kernel size")
+    comps: List[ComputeDef] = []
+    x = inp
+    if stride > 1:
+        stuff = zero_stuff(x, stride, name=f"{name}.stuff")
+        comps.append(stuff)
+        x = stuff.output
+    border = (kd - 1 - pad, kh - 1 - pad, kw - 1 - pad)
+    if any(border):
+        padded = pad_spatial(x, border, name=f"{name}.pad")
+        comps.append(padded)
+        x = padded.output
+    comps.append(_flipped_conv3d(x, ker, name=f"{name}.conv"))
+    return comps
+
+
+# ---------------------------------------------------------------------------
+# Numpy references
+# ---------------------------------------------------------------------------
+
+def transposed_conv2d_ref(inp, ker, stride=2, pad=0):
+    n, i, h, w = inp.shape
+    o, _, kh, kw = ker.shape
+    oh = (h - 1) * stride + kh - 2 * pad
+    ow = (w - 1) * stride + kw - 2 * pad
+    full = np.zeros((n, o, (h - 1) * stride + kh, (w - 1) * stride + kw))
+    for y in range(h):
+        for x in range(w):
+            contrib = np.einsum("ni,oirs->nors", inp[:, :, y, x], ker)
+            full[:, :, y * stride : y * stride + kh, x * stride : x * stride + kw] += contrib
+    return full[:, :, pad : pad + oh, pad : pad + ow]
+
+
+def transposed_conv3d_ref(inp, ker, stride=2, pad=0):
+    n, i, d, h, w = inp.shape
+    o, _, kd, kh, kw = ker.shape
+    od = (d - 1) * stride + kd - 2 * pad
+    oh = (h - 1) * stride + kh - 2 * pad
+    ow = (w - 1) * stride + kw - 2 * pad
+    full = np.zeros(
+        (n, o, (d - 1) * stride + kd, (h - 1) * stride + kh, (w - 1) * stride + kw)
+    )
+    for z in range(d):
+        for y in range(h):
+            for x in range(w):
+                contrib = np.einsum("ni,oidrs->nodrs", inp[:, :, z, y, x], ker)
+                full[
+                    :,
+                    :,
+                    z * stride : z * stride + kd,
+                    y * stride : y * stride + kh,
+                    x * stride : x * stride + kw,
+                ] += contrib
+    return full[:, :, pad : pad + od, pad : pad + oh, pad : pad + ow]

@@ -1,0 +1,361 @@
+"""End-to-end compilation: graph -> tuned, fused, lowered program.
+
+This is ALT's outer loop (paper Section 6): the joint stage tunes each
+complex operator **in topological order** and propagates the resulting
+layouts; simple operators inherit layouts (or absorb conversions); loop
+schedules come from the per-task tuning results; elementwise consumers whose
+loop nests align with their producers are fused; finally every node lowers
+to a stage and the machine model prices the program.
+
+``mode`` selects the system being emulated:
+
+=============  ==============================================================
+``alt``        full ALT: joint tuning + absorption + replication (fusion OK)
+``alt-wp``     ablation: absorption only, no replication (fusion conflicts)
+``alt-ol``     ablation: loop tuning only on fixed channel-last layouts
+``ansor``      loop tuning w/ cost model, fixed packed layouts (NeoCPU-style)
+``autotvm``    template-restricted loop tuning, fixed packed layouts
+``vendor``     fixed expert kernels (OpenVINO / TensorRT / Torch stand-in)
+=============  ==============================================================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from .graph.graph import Graph
+from .ir.compute import ComputeDef
+from .ir.nest import Program, Stage
+from .layout.layout import Layout
+from .layout.presets import fixed_scheme_layouts
+from .layout.propagation import PropagationEngine, PropagationState
+from .loops.schedule import LoopSchedule
+from .lower.lower import LoweringError, lower_compute
+from .machine.latency import estimate_program
+from .machine.spec import MachineSpec
+from .tuning.baselines import (
+    tune_alt,
+    tune_alt_ol,
+    tune_ansor_like,
+    tune_autotvm_like,
+    tune_flextensor_like,
+    vendor_library,
+)
+from .tuning.explorer import TuneResult
+
+MODES = ("alt", "alt-wp", "alt-ol", "ansor", "autotvm", "flextensor", "vendor")
+
+
+@dataclass
+class CompileOptions:
+    mode: str = "alt"
+    total_budget: int = 2000
+    joint_fraction: float = 0.3
+    levels: int = 1
+    seed: int = 0
+    searcher: str = "ppo"
+    use_cost_model: bool = True
+    pretrained: Optional[Dict] = None
+    #: optional cross-compile tuning cache; matching tasks reuse records
+    #: instead of re-searching (and deposit their results back)
+    records: Optional[object] = None
+
+    def __post_init__(self):
+        if self.mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {self.mode!r}")
+
+
+@dataclass
+class CompiledModel:
+    graph: Graph
+    program: Program
+    machine: MachineSpec
+    latency_s: float
+    layouts: Dict[str, Layout]
+    schedules: Dict[str, LoopSchedule]
+    task_results: Dict[str, TuneResult]
+    n_conversions: int
+    fuse_groups: Dict[str, str] = field(default_factory=dict)
+
+
+def task_signature(comp: ComputeDef) -> Tuple:
+    """Workload class key: identical ops share one tuning task (Ansor-style)."""
+    return (
+        comp.tags,
+        comp.output.shape,
+        tuple(t.shape for t in comp.inputs),
+        tuple(sorted((k, str(v)) for k, v in comp.attrs.items())),
+    )
+
+
+def _tune_representative(
+    comp: ComputeDef, machine: MachineSpec, budget: int, opts: CompileOptions
+) -> TuneResult:
+    mode = opts.mode
+    if mode == "alt" or mode == "alt-wp":
+        return tune_alt(
+            comp,
+            machine,
+            budget=budget,
+            joint_fraction=opts.joint_fraction,
+            seed=opts.seed,
+            levels=opts.levels,
+            searcher=opts.searcher,
+            use_cost_model=opts.use_cost_model,
+            pretrained=opts.pretrained,
+        )
+    if mode == "alt-ol":
+        return tune_alt_ol(comp, machine, budget=budget, seed=opts.seed)
+    if mode == "ansor":
+        return tune_ansor_like(comp, machine, budget=budget, seed=opts.seed)
+    if mode == "autotvm":
+        return tune_autotvm_like(comp, machine, budget=budget, seed=opts.seed)
+    if mode == "flextensor":
+        return tune_flextensor_like(comp, machine, budget=budget, seed=opts.seed)
+    return vendor_library(comp, machine, seed=opts.seed)
+
+
+def _cached_or_tuned(
+    rep: ComputeDef, machine: MachineSpec, budget: int, opts: CompileOptions
+) -> TuneResult:
+    """Serve a tuning task from the record store when possible."""
+    store = opts.records
+    if store is not None:
+        cached = store.lookup(rep, machine.name)
+        if cached is not None:
+            from .tuning.records import apply_record
+
+            layouts, schedule = apply_record(cached, rep)
+            return TuneResult(
+                task_name=rep.name,
+                best_latency=cached.latency_s,
+                best_layouts=layouts,
+                best_schedule=schedule,
+                measurements=0,
+            )
+    result = _tune_representative(rep, machine, budget, opts)
+    if store is not None and result.best_schedule is not None:
+        from .tuning.records import record_from_result
+
+        store.add(record_from_result(rep, machine.name, result))
+    return result
+
+
+def _remap_layouts(
+    result_layouts: Mapping[str, Layout], source: ComputeDef, target: ComputeDef
+) -> Dict[str, Layout]:
+    """Re-key a representative's tuned layouts onto an identical node."""
+    out: Dict[str, Layout] = {}
+    pairs = [(source.output, target.output)] + list(zip(source.inputs, target.inputs))
+    for src_t, dst_t in pairs:
+        lay = result_layouts.get(src_t.name)
+        if lay is None:
+            continue
+        out[dst_t.name] = lay.replay_onto(Layout(dst_t.shape))
+    return out
+
+
+def default_schedule(stage: Stage, machine: MachineSpec) -> LoopSchedule:
+    """Untuned schedule for simple operators: the best of a few standard
+    shapes (parallel outers + vectorized inner, with or without splitting
+    the innermost loop) as priced by the machine model.
+
+    Splitting the innermost loop matters when a tensor was channel-packed:
+    a ``C`` loop over an ``N C/16 H W 16`` layout only becomes an affine,
+    parallel-friendly access pattern once it is split by the tile size.
+    """
+    from .machine.latency import estimate_stage
+    from .lower.lower import apply_schedule
+
+    best_sched: Optional[LoopSchedule] = None
+    best_cost = math.inf
+    for sched in _default_candidates(stage, machine):
+        try:
+            cost = estimate_stage(apply_schedule(stage, sched), machine)
+        except (LoweringError, ValueError):
+            continue
+        if cost.total_cycles < best_cost:
+            best_cost = cost.total_cycles
+            best_sched = sched
+    return best_sched if best_sched is not None else LoopSchedule()
+
+
+def _default_candidates(stage: Stage, machine: MachineSpec) -> List[LoopSchedule]:
+    spatial = [l for l in stage.loops if l.var not in stage.reduce_vars]
+    red = [l.var for l in stage.loops if l.var in stage.reduce_vars]
+    if not spatial:
+        return [LoopSchedule()]
+    outer_vars = [l.var for l in spatial[:-1]]
+    inner = spatial[-1]
+
+    def parallel_prefix(sched: LoopSchedule, order: List[str], extents: Dict[str, int]):
+        par = 1
+        for v in order:
+            if v not in extents:
+                break  # reached the reductions
+            sched.parallel(v)
+            par *= extents[v]
+            if par >= 2 * machine.cores:
+                break
+
+    candidates: List[LoopSchedule] = []
+
+    # (a) plain: outers parallel, inner vectorized
+    sched = LoopSchedule()
+    order = outer_vars + red + [inner.var]
+    sched.reorder(order)
+    if inner.extent > 1:
+        sched.vectorize(inner.var)
+    parallel_prefix(sched, order, {l.var: l.extent for l in spatial[:-1]})
+    candidates.append(sched)
+
+    # (b/c) split the innermost loop so its outer half parallelizes and its
+    # inner half matches a SIMD/layout tile
+    for target in (machine.vector_lanes, 16):
+        if inner.extent < 2 * target:
+            continue
+        f = max(d for d in _divisors(inner.extent) if d <= target)
+        if f <= 1 or f == inner.extent:
+            continue
+        sched = LoopSchedule()
+        sched.split(inner.var, [inner.extent // f, f])
+        order = outer_vars + [f"{inner.var}.0"] + red + [f"{inner.var}.1"]
+        sched.reorder(order)
+        sched.vectorize(f"{inner.var}.1")
+        extents = {l.var: l.extent for l in spatial[:-1]}
+        extents[f"{inner.var}.0"] = inner.extent // f
+        parallel_prefix(sched, order, extents)
+        candidates.append(sched)
+
+    return candidates
+
+
+def _divisors(n: int) -> List[int]:
+    from .tuning.space import divisors
+
+    return divisors(n)
+
+
+def compile_graph(
+    graph: Graph, machine: MachineSpec, options: Optional[CompileOptions] = None
+) -> CompiledModel:
+    """Tune, propagate, fuse and lower a whole model graph.
+
+    Mutates ``graph`` (conversion-operator insertion); build a fresh graph
+    per compile call.
+    """
+    opts = options or CompileOptions()
+    graph.validate()
+
+    # ---- 1. deduplicated tuning tasks over complex operators ------------------
+    complex_nodes = graph.complex_nodes()
+    classes: Dict[Tuple, List[ComputeDef]] = {}
+    for node in complex_nodes:
+        classes.setdefault(task_signature(node), []).append(node)
+    n_tasks = max(len(classes), 1)
+    per_task_budget = max(opts.total_budget // n_tasks, 16)
+
+    task_results: Dict[str, TuneResult] = {}
+    class_of: Dict[str, Tuple[ComputeDef, TuneResult]] = {}
+    for sig, nodes in classes.items():
+        rep = nodes[0]
+        result = _cached_or_tuned(rep, machine, per_task_budget, opts)
+        task_results[rep.name] = result
+        for node in nodes:
+            class_of[node.name] = (rep, result)
+
+    # ---- 2. layout assignment + propagation (topological order) ----------------
+    state = PropagationState()
+    engine = PropagationEngine(
+        graph,
+        state,
+        enable_replication=(opts.mode != "alt-wp"),
+        enable_absorption=True,
+    )
+    schedules: Dict[str, LoopSchedule] = {}
+    for node in list(graph.nodes):  # conversion inserts mutate graph.nodes
+        pair = class_of.get(node.name)
+        if pair is None:
+            continue
+        rep, result = pair
+        chosen = _remap_layouts(result.best_layouts, rep, node)
+        engine.assign_operator_layouts(node, chosen)
+        if result.best_schedule is not None:
+            schedules[node.name] = result.best_schedule
+
+    # ---- 3. fusion grouping ---------------------------------------------------------
+    fuse_groups = _assign_fuse_groups(graph, state.layouts)
+
+    # ---- 4. lowering ------------------------------------------------------------------
+    stages: List[Stage] = []
+    for node in graph.nodes:
+        sched = schedules.get(node.name)
+        if sched is None:
+            bare = lower_compute(node, state.layouts)
+            sched = default_schedule(bare, machine)
+        else:
+            sched = sched.copy()
+        group = fuse_groups.get(node.name)
+        if group is not None:
+            sched.set_fuse_group(group)
+        try:
+            stages.append(lower_compute(node, state.layouts, sched))
+        except LoweringError:
+            # tuned schedule may not transfer (rare); fall back to default
+            bare = lower_compute(node, state.layouts)
+            sched = default_schedule(bare, machine)
+            if group is not None:
+                sched.set_fuse_group(group)
+            stages.append(lower_compute(node, state.layouts, sched))
+
+    program = Program(stages, name=graph.name)
+    latency = estimate_program(program, machine)
+    return CompiledModel(
+        graph=graph,
+        program=program,
+        machine=machine,
+        latency_s=latency,
+        layouts=dict(state.layouts),
+        schedules=schedules,
+        task_results=task_results,
+        n_conversions=len(state.conversions),
+        fuse_groups=fuse_groups,
+    )
+
+
+def _assign_fuse_groups(
+    graph: Graph, layouts: Mapping[str, Layout]
+) -> Dict[str, str]:
+    """Fuse elementwise consumers whose loop nests align with the producer.
+
+    Alignment requires the consumer's *output* layout to replay the exact
+    primitive signature of the producer's output layout on the same shape --
+    precisely what layout replication guarantees and what its absence
+    (ALT-WP) breaks, reproducing the fusion-conflict overhead of Fig. 6.
+    """
+
+    def sig(tname: str) -> Tuple:
+        lay = layouts.get(tname)
+        return lay.signature() if lay is not None else ()
+
+    groups: Dict[str, str] = {}
+    for node in graph.nodes:
+        if "conversion" in node.tags:
+            continue
+        out_name = node.output.name
+        consumers = graph.consumers_of(out_name)
+        if len(consumers) != 1:
+            continue
+        consumer = consumers[0]
+        if not consumer.is_elementwise or "conversion" in consumer.tags:
+            continue
+        if consumer.output.shape != node.output.shape:
+            continue
+        if sig(consumer.output.name) != sig(out_name):
+            continue  # fusion conflict: loop nests no longer align
+        group = groups.get(node.name, f"fuse:{node.name}")
+        groups[node.name] = group
+        groups[consumer.name] = group
+    return groups

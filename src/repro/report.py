@@ -1,0 +1,92 @@
+"""Human-readable reports for compiled models and tuning results.
+
+Real compiler stacks ship introspection; this module renders what ALT
+decided -- per-tensor layouts, per-stage cost breakdowns, fusion groups and
+conversion operators -- as plain text for logs and notebooks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .machine.latency import estimate_stage
+from .pipeline import CompiledModel
+
+
+def _fmt_us(seconds: float) -> str:
+    return f"{seconds * 1e6:9.2f} us"
+
+
+def layout_report(model: CompiledModel, include_identity: bool = False) -> str:
+    """Per-tensor physical layouts chosen by the tuner/propagation."""
+    lines = [f"layouts for {model.graph.name} on {model.machine.name}:"]
+    for name in sorted(model.layouts):
+        lay = model.layouts[name]
+        if lay.is_identity and not include_identity:
+            continue
+        tags = []
+        if lay.has_nontrivial_advanced():
+            tags.append("advanced")
+        if lay.expansion_ratio() > 1.0:
+            tags.append(f"{lay.expansion_ratio():.2f}x data")
+        suffix = f"  [{', '.join(tags)}]" if tags else ""
+        lines.append(f"  {name:28s} {lay}{suffix}")
+    if len(lines) == 1:
+        lines.append("  (all tensors keep their logical layout)")
+    return "\n".join(lines)
+
+
+def stage_cost_report(model: CompiledModel, top: int = 0) -> str:
+    """Per-stage latency breakdown, most expensive first."""
+    machine = model.machine
+    rows: List = []
+    for stage in model.program.stages:
+        cost = estimate_stage(stage, machine)
+        rows.append(
+            (
+                machine.cycles_to_seconds(cost.total_cycles),
+                stage.name,
+                cost.parallelism,
+                stage.innermost().kind,
+                model.fuse_groups.get(stage.name, "-"),
+            )
+        )
+    rows.sort(reverse=True)
+    if top:
+        rows = rows[:top]
+    lines = [
+        f"stage costs for {model.graph.name} "
+        f"(total {model.latency_s * 1e3:.4f} ms):",
+        f"  {'stage':24s} {'latency':>12s} {'par':>6s} {'inner':>10s} fuse",
+    ]
+    for seconds, name, par, kind, group in rows:
+        lines.append(
+            f"  {name:24s} {_fmt_us(seconds):>12s} {par:6.1f} {kind:>10s} {group}"
+        )
+    return "\n".join(lines)
+
+
+def tuning_report(model: CompiledModel) -> str:
+    """Summary of the tuning tasks behind a compiled model."""
+    lines = [f"tuning tasks for {model.graph.name}:"]
+    for name, result in model.task_results.items():
+        lines.append(
+            f"  {name:24s} best {result.best_latency * 1e6:9.2f} us "
+            f"after {result.measurements} measurements"
+        )
+        if result.best_layout_config:
+            pretty = {
+                k.split(".", 1)[-1]: v for k, v in result.best_layout_config.items()
+            }
+            lines.append(f"    layout config: {pretty}")
+    lines.append(
+        f"  conversions inserted: {model.n_conversions}; "
+        f"fused stages: {len(model.fuse_groups)}"
+    )
+    return "\n".join(lines)
+
+
+def full_report(model: CompiledModel) -> str:
+    return "\n\n".join(
+        [layout_report(model), stage_cost_report(model, top=12), tuning_report(model)]
+    )

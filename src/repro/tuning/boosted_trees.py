@@ -1,0 +1,131 @@
+"""Gradient-boosted regression trees (the paper's XGBoost stand-in).
+
+A compact, dependency-free GBRT: squared-error boosting over exact-split
+regression trees.  Feature matrices in this repo are tiny (hundreds of rows,
+~30 columns), so exact split search is fast enough and deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    value: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class RegressionTree:
+    """Exact greedy CART regression tree."""
+
+    def __init__(self, max_depth: int = 4, min_samples_leaf: int = 3):
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.root: Optional[_Node] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RegressionTree":
+        self.root = self._build(X, y, depth=0)
+        return self
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(value=float(y.mean()))
+        if depth >= self.max_depth or len(y) < 2 * self.min_samples_leaf:
+            return node
+        best_gain, best = 0.0, None
+        total_sum, total_sq, n = y.sum(), (y**2).sum(), len(y)
+        parent_err = total_sq - total_sum**2 / n
+        lo, hi = self.min_samples_leaf, n - self.min_samples_leaf
+        if lo >= hi:
+            return node
+        for f in range(X.shape[1]):
+            order = np.argsort(X[:, f], kind="stable")
+            xs, ys = X[order, f], y[order]
+            csum = np.cumsum(ys)
+            csq = np.cumsum(ys**2)
+            idx = np.arange(lo, hi)
+            valid = xs[idx] != xs[idx - 1]
+            if not valid.any():
+                continue
+            nl = idx.astype(np.float64)
+            left_err = csq[idx - 1] - csum[idx - 1] ** 2 / nl
+            right_sum = total_sum - csum[idx - 1]
+            right_err = (total_sq - csq[idx - 1]) - right_sum**2 / (n - nl)
+            gain = np.where(valid, parent_err - left_err - right_err, -np.inf)
+            j = int(np.argmax(gain))
+            if gain[j] > best_gain + 1e-12:
+                best_gain = float(gain[j])
+                i = idx[j]
+                best = (f, (xs[i] + xs[i - 1]) / 2.0)
+        if best is None:
+            return node
+        f, thr = best
+        mask = X[:, f] <= thr
+        node.feature, node.threshold = f, thr
+        node.left = self._build(X[mask], y[mask], depth + 1)
+        node.right = self._build(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        out = np.empty(len(X))
+        for i, row in enumerate(X):
+            node = self.root
+            while node is not None and not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.value if node is not None else 0.0
+        return out
+
+
+class GradientBoostedTrees:
+    """Squared-error gradient boosting, XGBoost-style shrinkage."""
+
+    def __init__(
+        self,
+        n_trees: int = 50,
+        learning_rate: float = 0.15,
+        max_depth: int = 4,
+        min_samples_leaf: int = 3,
+    ):
+        self.n_trees = n_trees
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.base: float = 0.0
+        self.trees: List[RegressionTree] = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GradientBoostedTrees":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if len(X) == 0:
+            raise ValueError("cannot fit on empty data")
+        self.base = float(y.mean())
+        self.trees = []
+        pred = np.full(len(y), self.base)
+        for _ in range(self.n_trees):
+            residual = y - pred
+            if np.allclose(residual, 0.0):
+                break
+            tree = RegressionTree(self.max_depth, self.min_samples_leaf).fit(
+                X, residual
+            )
+            step = tree.predict(X)
+            pred += self.learning_rate * step
+            self.trees.append(tree)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        out = np.full(len(X), self.base)
+        for tree in self.trees:
+            out += self.learning_rate * tree.predict(X)
+        return out

@@ -1,0 +1,76 @@
+"""Learned cost model (paper Section 5.2.3).
+
+Wraps the GBRT over program features: tuners ask it to *rank* a batch of
+candidate programs, then spend real measurements only on the predicted
+top-k, exactly the paper's measurement-saving loop.  The model retrains
+incrementally as measurements accumulate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..ir.nest import Stage
+from .boosted_trees import GradientBoostedTrees
+from .features import stage_features
+
+
+class CostModel:
+    """Predicts a throughput score (higher is better) for lowered stages."""
+
+    def __init__(self, retrain_every: int = 32, min_samples: int = 16):
+        self.retrain_every = retrain_every
+        self.min_samples = min_samples
+        self._X: List[np.ndarray] = []
+        self._y: List[float] = []
+        self._model: Optional[GradientBoostedTrees] = None
+        self._since_retrain = 0
+
+    # -- training data ------------------------------------------------------------
+    def update(self, stage: Stage, latency_s: float) -> None:
+        if not math.isfinite(latency_s) or latency_s <= 0:
+            return
+        self._X.append(stage_features(stage))
+        self._y.append(-math.log2(latency_s))  # throughput-like score
+        self._since_retrain += 1
+        if (
+            len(self._y) >= self.min_samples
+            and self._since_retrain >= self.retrain_every
+        ):
+            self._fit()
+
+    #: most-recent window used for training (keeps refits O(1) over a run)
+    MAX_TRAIN = 1024
+
+    def _fit(self) -> None:
+        X = np.vstack(self._X[-self.MAX_TRAIN:])
+        y = np.asarray(self._y[-self.MAX_TRAIN:])
+        self._model = GradientBoostedTrees().fit(X, y)
+        self._since_retrain = 0
+
+    @property
+    def trained(self) -> bool:
+        return self._model is not None
+
+    @property
+    def n_samples(self) -> int:
+        return len(self._y)
+
+    # -- inference ------------------------------------------------------------------
+    def predict(self, stages: Sequence[Stage]) -> np.ndarray:
+        """Throughput scores (higher = predicted faster)."""
+        if not stages:
+            return np.empty(0)
+        if self._model is None:
+            return np.zeros(len(stages))
+        X = np.vstack([stage_features(s) for s in stages])
+        return self._model.predict(X)
+
+    def top_k(self, stages: Sequence[Stage], k: int) -> List[int]:
+        """Indices of the predicted-best ``k`` stages."""
+        scores = self.predict(stages)
+        order = np.argsort(-scores, kind="stable")
+        return [int(i) for i in order[:k]]

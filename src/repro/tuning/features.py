@@ -1,0 +1,102 @@
+"""Program feature extraction for the learned cost model.
+
+Following Ansor's recipe: a fixed-length numeric vector summarizing loop
+structure and per-access memory behaviour of a lowered stage.  Features are
+computed from the program alone (no measurement), so the cost model can rank
+thousands of candidates before any "on-device" run.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from ..ir.expr import affine_coefficients
+from ..ir.nest import PARALLEL, UNROLL, VECTORIZE, Stage
+
+#: number of access slots encoded (stage reads beyond this are aggregated)
+_N_ACCESS_SLOTS = 4
+_PER_ACCESS = 5
+N_FEATURES = 12 + _N_ACCESS_SLOTS * _PER_ACCESS
+
+
+def _log(x: float) -> float:
+    return math.log2(max(float(x), 1.0))
+
+
+def stage_features(stage: Stage) -> np.ndarray:
+    """Fixed-length feature vector of one lowered stage."""
+    loops = stage.loops
+    total = stage.trip_count()
+    inner = loops[-1]
+
+    parallel_extent = 1
+    for l in loops:
+        if l.kind == PARALLEL:
+            parallel_extent *= l.extent
+        else:
+            break
+    reduce_extent = 1
+    for l in loops:
+        if l.var in stage.reduce_vars:
+            reduce_extent *= l.extent
+
+    feats: List[float] = [
+        _log(total),
+        float(len(loops)),
+        _log(inner.extent),
+        1.0 if inner.kind == VECTORIZE else 0.0,
+        1.0 if any(l.kind == UNROLL for l in loops) else 0.0,
+        _log(parallel_extent),
+        _log(reduce_extent),
+        float(len(stage.reads())),
+        _log(stage.out.nbytes),
+        1.0 if stage.reduce_op else 0.0,
+        _log(stage.annotations.get("flops", total)),
+        float(sum(1 for l in loops if l.extent == 1)),
+    ]
+
+    # Per-access features: innermost stride class, touched bytes, locality.
+    accesses = list(stage.reads()) + [None]  # None marks the write
+    slots = []
+    for acc in accesses[: _N_ACCESS_SLOTS]:
+        if acc is None:
+            buffer, indices = stage.out, stage.out_indices
+        else:
+            buffer, indices = acc.buffer, acc.indices
+        flat = buffer.flat_index(indices)
+        coeffs = affine_coefficients(flat) or {}
+        inner_stride = coeffs.get(inner.var, None if not coeffs else 0)
+        if inner_stride is None:
+            stride_class = 3.0  # irregular
+        elif inner_stride == 0:
+            stride_class = 0.0  # broadcast
+        elif abs(inner_stride) == 1:
+            stride_class = 1.0  # contiguous
+        else:
+            stride_class = 2.0  # strided
+        # bytes touched in the innermost 3 loops (register/L1 tile proxy)
+        tile_bytes = buffer.itemsize
+        for l in loops[-3:]:
+            s = coeffs.get(l.var, 0) if coeffs else None
+            if s is None:
+                tile_bytes *= l.extent
+            elif s != 0:
+                tile_bytes *= l.extent
+        reuse = sum(1 for l in loops if coeffs.get(l.var, 1 if not coeffs else 0) == 0)
+        slots.append(
+            [
+                stride_class,
+                _log(buffer.nbytes),
+                _log(tile_bytes),
+                float(reuse),
+                _log(abs(inner_stride)) if inner_stride else 0.0,
+            ]
+        )
+    while len(slots) < _N_ACCESS_SLOTS:
+        slots.append([0.0] * _PER_ACCESS)
+    for s in slots:
+        feats.extend(s)
+    return np.asarray(feats, dtype=np.float64)

@@ -1,0 +1,121 @@
+"""Genetic-algorithm searcher (the paper's Section 5.2 foil for PPO).
+
+The paper argues PPO is preferable to heuristic searchers like genetic
+algorithms for the *joint* problem because a GA's accumulated population
+knowledge lives inside one search-space structure -- exactly what layout
+changes invalidate (Challenge 2).  This module provides a GA over the joint
+space so the claim can be tested as an ablation: the GA treats the layout
+and loop parameters as one flat genome, re-seeding its loop genes whenever
+the layout genes (and hence the loop space) change.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..layout.layout import Layout
+from ..layout.primitives import LayoutError
+from ..lower.lower import LoweringError
+from .explorer import TOP_K, TuneResult
+from .space import Config, ConfigSpace
+from .task import BudgetExhausted, TuningTask
+
+
+class GeneticTuner:
+    """(mu + lambda) evolutionary search over layout x loop configurations."""
+
+    def __init__(
+        self,
+        task: TuningTask,
+        seed: int = 0,
+        population: int = 16,
+        elite: int = 4,
+        mutation_rate: float = 0.3,
+    ):
+        self.task = task
+        self.rng = random.Random(seed)
+        self.population_size = population
+        self.elite = elite
+        self.mutation_rate = mutation_rate
+
+    # -- genome handling -----------------------------------------------------------
+    def _evaluate(self, layout_cfg: Optional[Config], loop_cfg: Optional[Config]):
+        """Returns (latency, layouts, schedule, loop_space)."""
+        task = self.task
+        try:
+            layouts = task.layouts_from(layout_cfg) if layout_cfg else {}
+            loop_space = task.loop_space_for(layouts)
+            space = loop_space.space()
+            if loop_cfg is None:
+                loop_cfg = space.sample(self.rng)
+            else:
+                # the loop space may have been rebuilt for a new layout:
+                # keep genes that still exist, re-seed the rest
+                fixed = {}
+                for p in space.params:
+                    val = loop_cfg.get(p.name)
+                    fixed[p.name] = val if val in p.choices else p.sample(self.rng)
+                loop_cfg = fixed
+            sched = loop_space.schedule(loop_cfg)
+            lat = task.measure(layouts, sched)
+            return lat, layout_cfg, loop_cfg, sched
+        except BudgetExhausted:
+            raise
+        except (LayoutError, LoweringError, ValueError):
+            return math.inf, layout_cfg, loop_cfg, None
+
+    def tune(self, budget: int) -> TuneResult:
+        task = self.task
+        layout_space = task.layout_space()
+        has_layouts = len(layout_space) > 0
+
+        population: List[Tuple[float, Optional[Config], Optional[Config]]] = []
+        try:
+            while len(population) < self.population_size:
+                lcfg = layout_space.sample(self.rng) if has_layouts else None
+                lat, lcfg, loop_cfg, _ = self._evaluate(lcfg, None)
+                population.append((lat, lcfg, loop_cfg))
+            while task.measurements < budget:
+                population.sort(key=lambda p: p[0])
+                parents = population[: self.elite]
+                children = []
+                while (
+                    len(children) < self.population_size - self.elite
+                    and task.measurements < budget
+                ):
+                    a = self.rng.choice(parents)
+                    b = self.rng.choice(parents)
+                    child_layout = None
+                    if has_layouts:
+                        child_layout = layout_space.crossover(
+                            a[1] or layout_space.default(),
+                            b[1] or layout_space.default(),
+                            self.rng,
+                        )
+                        if self.rng.random() < self.mutation_rate:
+                            child_layout = layout_space.mutate(
+                                child_layout, self.rng, n=1
+                            )
+                    seed_loop = a[2] if self.rng.random() < 0.5 else b[2]
+                    lat, lcfg, loop_cfg, _ = self._evaluate(child_layout, seed_loop)
+                    children.append((lat, lcfg, loop_cfg))
+                population = parents + children
+        except BudgetExhausted:
+            pass
+
+        return TuneResult(
+            task_name=task.comp.name,
+            best_latency=task.best_latency,
+            best_layouts=task.best_record[0] if task.best_record else {},
+            best_schedule=task.best_record[1] if task.best_record else None,
+            measurements=task.measurements,
+            history=list(task.history),
+        )
+
+
+def tune_genetic(comp, machine, budget: int = 1000, seed: int = 0) -> TuneResult:
+    """Joint layout+loop tuning with a genetic algorithm (ablation)."""
+    task = TuningTask(comp, machine, budget)
+    return GeneticTuner(task, seed=seed).tune(budget)

@@ -1,0 +1,153 @@
+"""Generic loop-tuning space for one lowered stage.
+
+Built in the spirit of FlexTensor/Ansor spaces (the paper reuses their loop
+spaces): per-loop tiling factors restricted to divisors, a small set of
+order patterns, a parallelization degree, vectorization and unrolling flags.
+
+The space is a function of the *loop structure*, which is itself a function
+of the output layout -- this is exactly the space-reconstruction problem of
+paper Challenge 2: every new layout yields a new :class:`LoopSpace`.  The
+cross-exploration architecture in ``repro.tuning.explorer`` rebuilds it per
+candidate layout.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..ir.nest import Stage
+from ..loops.schedule import LoopSchedule
+from .space import Config, ConfigSpace, ParamSpec, divisors
+
+#: loop-order patterns (see :meth:`LoopSpace.schedule`)
+N_PATTERNS = 3
+
+
+class LoopSpace:
+    """Tuning space over the loop nest of one (unscheduled) stage."""
+
+    def __init__(self, stage: Stage, max_parallel_loops: int = 3):
+        self.stage = stage
+        self.spatial = [l for l in stage.loops if l.var not in stage.reduce_vars]
+        self.reduction = [l for l in stage.loops if l.var in stage.reduce_vars]
+        params: List[ParamSpec] = []
+        self._tiled_spatial: List[str] = []
+        self._tiled_reduce: List[str] = []
+        for l in self.spatial:
+            if l.extent > 1:
+                params.append(ParamSpec(f"tile_{l.var}", divisors(l.extent), default=1))
+                self._tiled_spatial.append(l.var)
+        for l in self.reduction:
+            if l.extent > 1:
+                params.append(ParamSpec(f"tile_{l.var}", divisors(l.extent), default=1))
+                self._tiled_reduce.append(l.var)
+        params.append(ParamSpec("pattern", list(range(N_PATTERNS)), default=0))
+        max_par = min(max_parallel_loops, len(self.spatial))
+        params.append(ParamSpec("parallel", list(range(max_par + 1)), default=min(1, max_par)))
+        params.append(ParamSpec("vectorize", [0, 1], default=1))
+        params.append(ParamSpec("unroll", [0, 1], default=0))
+        self._space = ConfigSpace(params, name=f"loops:{stage.name}")
+
+    def space(self) -> ConfigSpace:
+        return self._space
+
+    # -- decoding ------------------------------------------------------------------
+    def schedule(self, config: Config) -> LoopSchedule:
+        """Decode a configuration into a :class:`LoopSchedule`.
+
+        Patterns (S = spatial, R = reduction, o/i = split outer/inner):
+
+        - 0: ``So  Ro  Si[:-1]  Ri  Si[-1]``  -- reduction strip-mined around
+          the innermost spatial (vectorizable) loop;
+        - 1: ``So  Ro  Ri  Si``               -- whole spatial tile innermost;
+        - 2: ``So  Si[:-1]  Ro  Ri  Si[-1]``  -- reduction innermost around
+          the vector loop (maximum accumulator reuse).
+        """
+        sched = LoopSchedule()
+        s_outer: List[str] = []
+        s_inner: List[str] = []
+        for l in self.spatial:
+            f = int(config.get(f"tile_{l.var}", 1))
+            if l.var in self._tiled_spatial and 1 < f < l.extent:
+                sched.split(l.var, [l.extent // f, f])
+                s_outer.append(f"{l.var}.0")
+                s_inner.append(f"{l.var}.1")
+            elif l.var in self._tiled_spatial and f == l.extent:
+                s_inner.append(l.var)  # whole loop inside the tile
+            else:
+                s_outer.append(l.var)
+        r_outer: List[str] = []
+        r_inner: List[str] = []
+        for l in self.reduction:
+            f = int(config.get(f"tile_{l.var}", 1))
+            if l.var in self._tiled_reduce and 1 < f < l.extent:
+                sched.split(l.var, [l.extent // f, f])
+                r_outer.append(f"{l.var}.0")
+                r_inner.append(f"{l.var}.1")
+            elif l.var in self._tiled_reduce and f == l.extent:
+                r_inner.append(l.var)
+            else:
+                r_outer.append(l.var)
+
+        if not s_inner:
+            # ensure the innermost physical dim is available for vectorization
+            s_inner = [s_outer.pop()] if s_outer else []
+
+        pattern = int(config.get("pattern", 0))
+        vec = bool(config.get("vectorize", 0)) and bool(s_inner)
+        if pattern == 0:
+            order = s_outer + r_outer + s_inner[:-1] + r_inner + s_inner[-1:]
+        elif pattern == 1:
+            order = s_outer + r_outer + r_inner + s_inner
+        else:
+            order = s_outer + s_inner[:-1] + r_outer + r_inner + s_inner[-1:]
+        sched.reorder(order)
+
+        if vec and order and order[-1] in s_inner:
+            sched.vectorize(order[-1])
+        n_par = int(config.get("parallel", 0))
+        for v in order[:n_par]:
+            if v in s_outer:
+                sched.parallel(v)
+            else:
+                break
+        if config.get("unroll") and len(order) >= 2:
+            sched.unroll(order[-2])
+        return sched
+
+    # -- heuristic sketches -----------------------------------------------------
+    def heuristic_configs(self) -> List[Config]:
+        """Expert starting points (Ansor-sketch-like priors).
+
+        The recipe that works on every platform model: fully move the
+        innermost (usually channel-tile) spatial loop inside and vectorize
+        it, modestly tile the other spatial loops so their outer parts
+        parallelize, and strip-mine the leading reduction loop.
+        """
+        spatial_tiled = self._tiled_spatial
+        reduce_tiled = self._tiled_reduce
+        configs: List[Config] = []
+        for pattern, mid_tile, red_tile, unroll in (
+            (0, 4, 16, 0), (1, 4, 16, 1), (0, 1, 4, 0), (2, 8, 16, 0),
+        ):
+            cfg: Config = {}
+            for p in self._space.params:
+                cfg[p.name] = p.default
+            for i, var in enumerate(spatial_tiled):
+                extent = next(l.extent for l in self.spatial if l.var == var)
+                p = self._space.param(f"tile_{var}")
+                if var == spatial_tiled[-1]:
+                    target = min(extent, 16)  # vector loop: whole tile inner
+                else:
+                    target = mid_tile
+                cfg[p.name] = min(p.choices, key=lambda c: abs(c - target))
+            for i, var in enumerate(reduce_tiled):
+                p = self._space.param(f"tile_{var}")
+                target = red_tile if i == 0 else 1
+                cfg[p.name] = min(p.choices, key=lambda c: abs(c - target))
+            cfg["pattern"] = pattern if pattern in self._space.param("pattern").choices else 0
+            cfg["parallel"] = max(self._space.param("parallel").choices)
+            cfg["vectorize"] = 1 if 1 in self._space.param("vectorize").choices else 0
+            cfg["unroll"] = unroll if unroll in self._space.param("unroll").choices else 0
+            configs.append(cfg)
+        return configs

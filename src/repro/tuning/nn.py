@@ -1,0 +1,85 @@
+"""Minimal numpy neural-network layer for the PPO agents.
+
+A two-hidden-layer tanh MLP with manual backprop and Adam.  Sized for the
+tiny state/action vectors of schedule tuning; no external dependency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+class MLP:
+    """``in_dim -> hidden -> hidden -> out_dim`` with tanh activations."""
+
+    def __init__(self, in_dim: int, hidden: int, out_dim: int, rng: np.random.Generator):
+        def init(fan_in, fan_out):
+            scale = np.sqrt(2.0 / (fan_in + fan_out))
+            return rng.normal(0.0, scale, size=(fan_in, fan_out))
+
+        self.params = [
+            init(in_dim, hidden), np.zeros(hidden),
+            init(hidden, hidden), np.zeros(hidden),
+            init(hidden, out_dim), np.zeros(out_dim),
+        ]
+        self._adam_m = [np.zeros_like(p) for p in self.params]
+        self._adam_v = [np.zeros_like(p) for p in self.params]
+        self._adam_t = 0
+        self._cache: Optional[Tuple] = None
+
+    def forward(self, X: np.ndarray) -> np.ndarray:
+        W1, b1, W2, b2, W3, b3 = self.params
+        Z1 = X @ W1 + b1
+        A1 = np.tanh(Z1)
+        Z2 = A1 @ W2 + b2
+        A2 = np.tanh(Z2)
+        out = A2 @ W3 + b3
+        self._cache = (X, A1, A2)
+        return out
+
+    def backward(self, dOut: np.ndarray) -> List[np.ndarray]:
+        """Gradients of the last forward pass w.r.t. parameters."""
+        if self._cache is None:
+            raise RuntimeError("backward before forward")
+        X, A1, A2 = self._cache
+        W1, b1, W2, b2, W3, b3 = self.params
+        dW3 = A2.T @ dOut
+        db3 = dOut.sum(axis=0)
+        dA2 = dOut @ W3.T
+        dZ2 = dA2 * (1 - A2**2)
+        dW2 = A1.T @ dZ2
+        db2 = dZ2.sum(axis=0)
+        dA1 = dZ2 @ W2.T
+        dZ1 = dA1 * (1 - A1**2)
+        dW1 = X.T @ dZ1
+        db1 = dZ1.sum(axis=0)
+        return [dW1, db1, dW2, db2, dW3, db3]
+
+    def adam_step(self, grads: List[np.ndarray], lr: float = 3e-3,
+                  beta1: float = 0.9, beta2: float = 0.999, eps: float = 1e-8,
+                  clip: float = 5.0) -> None:
+        norm = np.sqrt(sum(float((g**2).sum()) for g in grads))
+        if norm > clip:
+            grads = [g * (clip / norm) for g in grads]
+        self._adam_t += 1
+        t = self._adam_t
+        for i, g in enumerate(grads):
+            self._adam_m[i] = beta1 * self._adam_m[i] + (1 - beta1) * g
+            self._adam_v[i] = beta2 * self._adam_v[i] + (1 - beta2) * g**2
+            mhat = self._adam_m[i] / (1 - beta1**t)
+            vhat = self._adam_v[i] / (1 - beta2**t)
+            self.params[i] -= lr * mhat / (np.sqrt(vhat) + eps)
+
+    # -- (de)serialization for pretrained weights --------------------------------
+    def state_dict(self) -> List[np.ndarray]:
+        return [p.copy() for p in self.params]
+
+    def load_state_dict(self, params: List[np.ndarray]) -> None:
+        if len(params) != len(self.params):
+            raise ValueError("state dict size mismatch")
+        for mine, theirs in zip(self.params, params):
+            if mine.shape != np.asarray(theirs).shape:
+                raise ValueError("state dict shape mismatch")
+        self.params = [np.asarray(p, dtype=np.float64).copy() for p in params]

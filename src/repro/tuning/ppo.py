@@ -1,0 +1,174 @@
+"""PPO agents for schedule-space exploration (paper Section 5.2).
+
+The paper drives both layout and loop exploration with proximal policy
+optimization: a *generic split actor* emits a continuous action per tunable
+parameter which Eq. 2 maps to a concrete split factor (``F = R(D * a)``),
+and a *global shared critic* models interference between the subspaces.
+
+This module implements:
+
+- :class:`SharedCritic` -- one value network shared by every actor;
+- :class:`PPOActor` -- Gaussian policy over ``[0, 1]^k`` actions (squashed
+  through a sigmoid), updated with the clipped PPO objective;
+- :class:`encode_space_state` -- the state encoding: the "concatenation of
+  the current states of all primitives" (current factor vs. dimension size
+  per tunable parameter), padded to a fixed slot count so one pretrained
+  agent generalizes across operators.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .nn import MLP
+from .space import Config, ConfigSpace
+
+#: fixed number of parameter slots in states/actions
+MAX_SLOTS = 24
+#: per-slot state features
+_SLOT_FEATS = 3
+STATE_DIM = MAX_SLOTS * _SLOT_FEATS + 2
+
+
+def encode_space_state(space: ConfigSpace, config: Optional[Config]) -> np.ndarray:
+    """Encode the current primitive states for a config space.
+
+    Per slot: log2(current choice) / log2(max choice), log2(max choice),
+    and the number of choices (log-scaled).  Two globals: parameter count
+    and total log-space-size.
+    """
+    state = np.zeros(STATE_DIM)
+    for i, p in enumerate(space.params[:MAX_SLOTS]):
+        numeric = [c for c in p.choices if isinstance(c, (int, float))]
+        hi = max(numeric) if numeric else len(p.choices)
+        cur = (config or {}).get(p.name, p.default)
+        cur_val = cur if isinstance(cur, (int, float)) else p.choices.index(cur)
+        base = i * _SLOT_FEATS
+        state[base] = math.log2(max(cur_val, 1)) / max(math.log2(max(hi, 2)), 1.0)
+        state[base + 1] = math.log2(max(hi, 1))
+        state[base + 2] = math.log2(len(p.choices))
+    state[-2] = len(space.params)
+    state[-1] = math.log2(max(space.size(), 1))
+    return state
+
+
+def decode_actions(space: ConfigSpace, actions: np.ndarray) -> Config:
+    """Map actions in (0, 1) onto the space via Eq. 2's rounding."""
+    cfg: Config = {}
+    for i, p in enumerate(space.params):
+        a = float(actions[i]) if i < len(actions) else 0.5
+        cfg[p.name] = p.from_unit(a)
+    return cfg
+
+
+@dataclass
+class Transition:
+    state: np.ndarray
+    raw_action: np.ndarray  # pre-squash Gaussian sample
+    logp: float
+    reward: float
+
+
+class SharedCritic:
+    """Global value network shared by all actors (paper Section 5.2.2)."""
+
+    def __init__(self, rng: np.random.Generator, hidden: int = 64):
+        self.net = MLP(STATE_DIM, hidden, 1, rng)
+
+    def value(self, state: np.ndarray) -> float:
+        return float(self.net.forward(state[None, :])[0, 0])
+
+    def update(self, states: np.ndarray, targets: np.ndarray, lr: float = 3e-3) -> float:
+        pred = self.net.forward(states)[:, 0]
+        err = pred - targets
+        loss = float((err**2).mean())
+        dOut = (2 * err / len(err))[:, None]
+        self.net.adam_step(self.net.backward(dOut), lr=lr)
+        return loss
+
+
+class PPOActor:
+    """Gaussian policy over ``MAX_SLOTS`` continuous actions in (0, 1)."""
+
+    def __init__(
+        self,
+        critic: SharedCritic,
+        rng: np.random.Generator,
+        hidden: int = 64,
+        clip_eps: float = 0.2,
+        init_std: float = 0.6,
+    ):
+        self.net = MLP(STATE_DIM, hidden, MAX_SLOTS, rng)
+        self.critic = critic
+        self.rng = rng
+        self.clip_eps = clip_eps
+        self.log_std = math.log(init_std)
+        self.buffer: List[Transition] = []
+
+    # -- acting -----------------------------------------------------------------
+    def act(self, state: np.ndarray, explore: bool = True) -> np.ndarray:
+        """Sample raw Gaussian actions; squash with sigmoid for the caller."""
+        mean = self.net.forward(state[None, :])[0]
+        std = math.exp(self.log_std)
+        raw = mean + (self.rng.standard_normal(MAX_SLOTS) * std if explore else 0.0)
+        logp = float(
+            -0.5 * (((raw - mean) / std) ** 2).sum()
+            - MAX_SLOTS * (self.log_std + 0.5 * math.log(2 * math.pi))
+        )
+        self._last = (state, raw, logp)
+        return 1.0 / (1.0 + np.exp(-raw))
+
+    def record(self, reward: float) -> None:
+        state, raw, logp = self._last
+        self.buffer.append(Transition(state, raw, logp, reward))
+
+    # -- learning -------------------------------------------------------------------
+    def update(self, epochs: int = 4, lr: float = 3e-3) -> None:
+        """Clipped PPO update over the buffered transitions."""
+        if len(self.buffer) < 4:
+            return
+        states = np.vstack([t.state for t in self.buffer])
+        raws = np.vstack([t.raw_action for t in self.buffer])
+        logp_old = np.array([t.logp for t in self.buffer])
+        rewards = np.array([t.reward for t in self.buffer])
+
+        values = self.critic.net.forward(states)[:, 0]
+        adv = rewards - values
+        if adv.std() > 1e-8:
+            adv = (adv - adv.mean()) / (adv.std() + 1e-8)
+
+        std = math.exp(self.log_std)
+        for _ in range(epochs):
+            mean = self.net.forward(states)
+            diff = (raws - mean) / std
+            logp = (
+                -0.5 * (diff**2).sum(axis=1)
+                - MAX_SLOTS * (self.log_std + 0.5 * math.log(2 * math.pi))
+            )
+            ratio = np.exp(np.clip(logp - logp_old, -20, 20))
+            clipped = np.clip(ratio, 1 - self.clip_eps, 1 + self.clip_eps)
+            use_raw = (ratio * adv) <= (clipped * adv)
+            # d surrogate / d mean: only unclipped samples contribute
+            dlogp_dmean = diff / std  # (N, MAX_SLOTS)
+            grad_coeff = np.where(use_raw, ratio * adv, 0.0)[:, None]
+            dOut = -(grad_coeff * dlogp_dmean) / len(self.buffer)
+            self.net.adam_step(self.net.backward(dOut), lr=lr)
+        self.critic.update(states, rewards)
+        self.buffer.clear()
+
+    # -- pretrained weights -----------------------------------------------------------
+    def state_dict(self) -> Dict:
+        return {
+            "actor": self.net.state_dict(),
+            "critic": self.critic.net.state_dict(),
+            "log_std": self.log_std,
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        self.net.load_state_dict(state["actor"])
+        self.critic.net.load_state_dict(state["critic"])
+        self.log_std = float(state["log_std"])

@@ -1,0 +1,60 @@
+"""PPO pretraining (paper Section 6, Fig. 11's PPO-Pret).
+
+The paper pretrains its PPO agent on several C2D/GMM workloads for half a
+day on a V100; we pretrain on small workloads for seconds.  The returned
+state dict plugs into :class:`~repro.tuning.explorer.JointTuner` through the
+``pretrained`` argument and transfers search knowledge to new operators.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..ir.compute import ComputeDef
+from ..ir.tensor import Tensor
+from ..machine.spec import MachineSpec
+from ..ops.conv import conv2d
+from ..ops.gemm import gemm
+from .explorer import JointTuner
+from .task import TuningTask
+
+
+def default_pretrain_workloads() -> List[ComputeDef]:
+    """Small C2D and GMM workloads (the paper pretrains on these classes)."""
+    comps: List[ComputeDef] = []
+    for i, (ch_in, ch_out, hw, k, stride) in enumerate(
+        [(16, 32, 18, 3, 1), (32, 32, 16, 3, 2), (8, 64, 20, 5, 1)]
+    ):
+        inp = Tensor(f"pi{i}", (1, ch_in, hw, hw))
+        ker = Tensor(f"pk{i}", (ch_out, ch_in, k, k))
+        comps.append(conv2d(inp, ker, stride=stride, name=f"pre_c2d{i}"))
+    for i, (m, k, n) in enumerate([(64, 64, 64), (32, 128, 96)]):
+        a = Tensor(f"pa{i}", (m, k))
+        b = Tensor(f"pb{i}", (k, n))
+        comps.append(gemm(a, b, name=f"pre_gmm{i}"))
+    return comps
+
+
+def pretrain(
+    machine: MachineSpec,
+    workloads: Optional[Sequence[ComputeDef]] = None,
+    budget_per_workload: int = 64,
+    seed: int = 0,
+) -> Dict:
+    """Train the layout/loop PPO agents across workloads; returns the state
+    dict to pass as ``pretrained=`` to later tuners."""
+    workloads = list(workloads or default_pretrain_workloads())
+    state: Optional[Dict] = None
+    for comp in workloads:
+        task = TuningTask(comp, machine, budget=budget_per_workload)
+        tuner = JointTuner(task, seed=seed, searcher="ppo", use_cost_model=True,
+                           pretrained=state)
+        joint = int(budget_per_workload * 0.5)
+        tuner.tune(joint, budget_per_workload - joint)
+        state = {
+            "layout": tuner.layout_actor.state_dict(),
+            "loop": tuner.loop_actor.state_dict(),
+        }
+    if state is None:
+        raise ValueError("no pretraining workloads given")
+    return state

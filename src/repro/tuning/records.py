@@ -1,0 +1,250 @@
+"""Tuning-record serialization (the equivalent of Ansor's log files).
+
+A :class:`TuneRecord` captures everything needed to re-apply a tuning
+result without re-searching: the operator's task signature, the layout
+primitive sequences per tensor, and the loop schedule.  Records round-trip
+through JSON, so a tuned model can be shipped, cached, or inspected.
+
+Layout primitives serialize by constructor name + arguments; schedules by
+their directive lists.  ``apply_record`` rebuilds ``(layouts, schedule)``
+against a compatible operator.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.compute import ComputeDef
+from ..layout.layout import Layout
+from ..layout.primitives import Fuse, Pad, Primitive, Reorder, Split, StoreAt, Unfold
+from ..loops.schedule import LoopSchedule
+
+
+class RecordError(ValueError):
+    pass
+
+
+# -- primitive (de)serialization -------------------------------------------------
+
+def primitive_to_dict(prim: Primitive) -> Dict:
+    if isinstance(prim, Split):
+        return {"op": "split", "dim": prim.dim, "factors": list(prim.factors)}
+    if isinstance(prim, Reorder):
+        return {"op": "reorder", "perm": list(prim.perm)}
+    if isinstance(prim, Fuse):
+        return {"op": "fuse", "start": prim.start, "count": prim.count}
+    if isinstance(prim, Unfold):
+        return {
+            "op": "unfold", "dim": prim.dim,
+            "tile_size": prim.tile_size, "stride": prim.stride,
+        }
+    if isinstance(prim, Pad):
+        return {"op": "pad", "dim": prim.dim, "before": prim.before, "after": prim.after}
+    if isinstance(prim, StoreAt):
+        return {"op": "store_at", "host": prim.host, "host_dim": prim.host_dim}
+    raise RecordError(f"cannot serialize primitive {prim!r}")
+
+
+def primitive_from_dict(d: Dict) -> Primitive:
+    op = d.get("op")
+    if op == "split":
+        return Split(d["dim"], d["factors"])
+    if op == "reorder":
+        return Reorder(d["perm"])
+    if op == "fuse":
+        return Fuse(d["start"], d["count"])
+    if op == "unfold":
+        return Unfold(d["dim"], d["tile_size"], d["stride"])
+    if op == "pad":
+        return Pad(d["dim"], d["before"], d["after"])
+    if op == "store_at":
+        return StoreAt(d["host"], d["host_dim"])
+    raise RecordError(f"unknown primitive kind {op!r}")
+
+
+def layout_to_dict(layout: Layout) -> Dict:
+    return {
+        "shape": list(layout.logical_shape),
+        "names": list(layout.logical_names),
+        "primitives": [primitive_to_dict(p) for p in layout.primitives],
+    }
+
+
+def layout_from_dict(d: Dict) -> Layout:
+    lay = Layout(d["shape"], d.get("names"))
+    for pd in d["primitives"]:
+        lay = lay._extend(primitive_from_dict(pd))
+    return lay
+
+
+# -- schedule (de)serialization ---------------------------------------------------
+
+def schedule_to_dict(sched: LoopSchedule) -> Dict:
+    return {
+        "splits": [[var, list(factors)] for var, factors in sched.splits],
+        "order": sched.order,
+        "vectorize": sched.vectorize_var,
+        "unroll": list(sched.unroll_vars),
+        "parallel": list(sched.parallel_vars),
+        "fuse_group": sched.fuse_group,
+    }
+
+
+def schedule_from_dict(d: Dict) -> LoopSchedule:
+    sched = LoopSchedule()
+    for var, factors in d.get("splits", []):
+        sched.split(var, factors)
+    if d.get("order") is not None:
+        sched.reorder(d["order"])
+    if d.get("vectorize"):
+        sched.vectorize(d["vectorize"])
+    for v in d.get("unroll", []):
+        sched.unroll(v)
+    for v in d.get("parallel", []):
+        sched.parallel(v)
+    if d.get("fuse_group"):
+        sched.set_fuse_group(d["fuse_group"])
+    return sched
+
+
+# -- records ------------------------------------------------------------------------
+
+@dataclass
+class TuneRecord:
+    """One tuned operator: task identity + layouts + schedule + metadata."""
+
+    task: Tuple
+    machine: str
+    latency_s: float
+    layouts: Dict[str, Dict]
+    schedule: Optional[Dict]
+    measurements: int = 0
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "task": _jsonable(self.task),
+                "machine": self.machine,
+                "latency_s": self.latency_s,
+                "layouts": self.layouts,
+                "schedule": self.schedule,
+                "measurements": self.measurements,
+            }
+        )
+
+    @staticmethod
+    def from_json(text: str) -> "TuneRecord":
+        d = json.loads(text)
+        return TuneRecord(
+            task=_tupled(d["task"]),
+            machine=d["machine"],
+            latency_s=d["latency_s"],
+            layouts=d["layouts"],
+            schedule=d.get("schedule"),
+            measurements=d.get("measurements", 0),
+        )
+
+
+def _jsonable(x):
+    if isinstance(x, tuple):
+        return ["__tuple__"] + [_jsonable(v) for v in x]
+    if isinstance(x, list):
+        return [_jsonable(v) for v in x]
+    return x
+
+
+def _tupled(x):
+    if isinstance(x, list):
+        if x and x[0] == "__tuple__":
+            return tuple(_tupled(v) for v in x[1:])
+        return [_tupled(v) for v in x]
+    return x
+
+
+def record_from_result(comp: ComputeDef, machine_name: str, result) -> TuneRecord:
+    """Build a record from a :class:`~repro.tuning.explorer.TuneResult`."""
+    from ..pipeline import task_signature
+
+    return TuneRecord(
+        task=task_signature(comp),
+        machine=machine_name,
+        latency_s=result.best_latency,
+        layouts={
+            name: layout_to_dict(lay) for name, lay in result.best_layouts.items()
+        },
+        schedule=(
+            schedule_to_dict(result.best_schedule)
+            if result.best_schedule is not None
+            else None
+        ),
+        measurements=result.measurements,
+    )
+
+
+def apply_record(
+    record: TuneRecord, comp: ComputeDef
+) -> Tuple[Dict[str, Layout], Optional[LoopSchedule]]:
+    """Rebuild (layouts, schedule) for an operator matching the record.
+
+    Tensor names are matched positionally (output first, then inputs), so a
+    record taken from one instance applies to any identically-shaped clone.
+    """
+    from ..pipeline import task_signature
+
+    if task_signature(comp) != record.task:
+        raise RecordError(
+            f"record was tuned for a different task than {comp.name}"
+        )
+    recorded_names = list(record.layouts)
+    layouts: Dict[str, Layout] = {}
+    # positional remap: the recorded dict preserves insertion order
+    tensors = [comp.output] + comp.inputs
+    by_shape: Dict[Tuple[int, ...], List[str]] = {}
+    for name, lay_d in record.layouts.items():
+        by_shape.setdefault(tuple(lay_d["shape"]), []).append(name)
+    for t in tensors:
+        bucket = by_shape.get(t.shape)
+        if bucket:
+            layouts[t.name] = layout_from_dict(record.layouts[bucket.pop(0)])
+    schedule = (
+        schedule_from_dict(record.schedule) if record.schedule is not None else None
+    )
+    return layouts, schedule
+
+
+class RecordStore:
+    """A simple JSONL store of tuning records keyed by (task, machine)."""
+
+    def __init__(self):
+        self._records: Dict[Tuple, TuneRecord] = {}
+
+    def add(self, record: TuneRecord) -> None:
+        key = (record.task, record.machine)
+        existing = self._records.get(key)
+        if existing is None or record.latency_s < existing.latency_s:
+            self._records[key] = record
+
+    def lookup(self, comp: ComputeDef, machine_name: str) -> Optional[TuneRecord]:
+        from ..pipeline import task_signature
+
+        return self._records.get((task_signature(comp), machine_name))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def dump(self, path: str) -> None:
+        with open(path, "w") as f:
+            for record in self._records.values():
+                f.write(record.to_json() + "\n")
+
+    @staticmethod
+    def load(path: str) -> "RecordStore":
+        store = RecordStore()
+        with open(path) as f:
+            for line in f:
+                line = line.strip()
+                if line:
+                    store.add(TuneRecord.from_json(line))
+        return store

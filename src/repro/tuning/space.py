@@ -1,0 +1,146 @@
+"""Search-space abstractions shared by all tuners.
+
+A :class:`ConfigSpace` is an ordered list of named discrete parameters
+(split factors restricted to exact divisors, order-pattern indices, on/off
+flags).  Layout templates and the generic loop space both produce
+ConfigSpaces; the joint space of a workload is their concatenation, which is
+what the paper's joint stage explores.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+def divisors(n: int) -> List[int]:
+    """All positive divisors of ``n``, ascending."""
+    if n <= 0:
+        raise ValueError(f"divisors of non-positive {n}")
+    small, large = [], []
+    i = 1
+    while i * i <= n:
+        if n % i == 0:
+            small.append(i)
+            if i != n // i:
+                large.append(n // i)
+        i += 1
+    return small + large[::-1]
+
+
+def nearest_choice(choices: Sequence[int], target: float) -> int:
+    """Choice closest to ``target`` -- realizes the paper's Eq. 2 rounding
+    ``F = R(D * a)`` onto the divisor set."""
+    return min(choices, key=lambda c: (abs(c - target), c))
+
+
+class ParamSpec:
+    """One tunable parameter with a finite choice list."""
+
+    __slots__ = ("name", "choices", "default")
+
+    def __init__(self, name: str, choices: Sequence, default=None):
+        choices = list(choices)
+        if not choices:
+            raise ValueError(f"parameter {name} has no choices")
+        self.name = name
+        self.choices = choices
+        self.default = default if default is not None else choices[0]
+
+    def sample(self, rng: random.Random):
+        return rng.choice(self.choices)
+
+    def from_unit(self, a: float):
+        """Map a continuous action in [0, 1] onto the choice list.
+
+        For integer choices the action scales the largest choice (Eq. 2);
+        otherwise it indexes the list.
+        """
+        if all(isinstance(c, int) for c in self.choices):
+            hi = max(self.choices)
+            return nearest_choice(self.choices, a * hi)
+        idx = min(int(a * len(self.choices)), len(self.choices) - 1)
+        return self.choices[idx]
+
+    def neighbors(self, value) -> List:
+        """Adjacent choices (for random-walk exploration)."""
+        try:
+            i = self.choices.index(value)
+        except ValueError:
+            return list(self.choices)
+        out = []
+        if i > 0:
+            out.append(self.choices[i - 1])
+        if i + 1 < len(self.choices):
+            out.append(self.choices[i + 1])
+        return out
+
+    def __repr__(self) -> str:
+        return f"ParamSpec({self.name!r}, {self.choices})"
+
+
+Config = Dict[str, object]
+
+
+class ConfigSpace:
+    """Ordered collection of :class:`ParamSpec`."""
+
+    def __init__(self, params: Sequence[ParamSpec] = (), name: str = "space"):
+        self.name = name
+        self.params: List[ParamSpec] = list(params)
+        self._by_name = {p.name: p for p in self.params}
+        if len(self._by_name) != len(self.params):
+            raise ValueError("duplicate parameter names")
+
+    def __len__(self) -> int:
+        return len(self.params)
+
+    def __iter__(self):
+        return iter(self.params)
+
+    def param(self, name: str) -> ParamSpec:
+        return self._by_name[name]
+
+    def size(self) -> int:
+        n = 1
+        for p in self.params:
+            n *= len(p.choices)
+        return n
+
+    def default(self) -> Config:
+        return {p.name: p.default for p in self.params}
+
+    def sample(self, rng: random.Random) -> Config:
+        return {p.name: p.sample(rng) for p in self.params}
+
+    def validate(self, config: Config) -> None:
+        for p in self.params:
+            if p.name not in config:
+                raise KeyError(f"missing parameter {p.name}")
+            if config[p.name] not in p.choices:
+                raise ValueError(
+                    f"{p.name}={config[p.name]!r} not in {p.choices}"
+                )
+
+    def mutate(self, config: Config, rng: random.Random, n: int = 1) -> Config:
+        """Random-walk step: move ``n`` parameters to a neighboring choice."""
+        out = dict(config)
+        if not self.params:
+            return out
+        for p in rng.sample(self.params, min(n, len(self.params))):
+            options = p.neighbors(out[p.name]) or p.choices
+            out[p.name] = rng.choice(options)
+        return out
+
+    def crossover(self, a: Config, b: Config, rng: random.Random) -> Config:
+        return {p.name: (a if rng.random() < 0.5 else b)[p.name] for p in self.params}
+
+    def concat(self, other: "ConfigSpace", name: Optional[str] = None) -> "ConfigSpace":
+        return ConfigSpace(self.params + other.params, name or f"{self.name}+{other.name}")
+
+    def signature(self, config: Config) -> Tuple:
+        return tuple(config[p.name] for p in self.params)
+
+    def __repr__(self) -> str:
+        return f"ConfigSpace({self.name!r}, {len(self.params)} params, size~{self.size():.3g})"

@@ -1,0 +1,140 @@
+"""Tuning tasks: the measurement interface between tuners and the machine.
+
+A :class:`TuningTask` binds one operator to one machine and offers
+``measure(layouts, schedule)``, the stand-in for the paper's on-device
+measurement.  It counts invocations (the *search budget* -- the paper caps
+all tuners by the number of on-device measurements), caches repeated
+configurations, and turns lowering failures into ``inf`` latencies the way
+a real harness turns compile errors into failed measurements.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..ir.compute import ComputeDef
+from ..ir.nest import Stage
+from ..layout.layout import Layout
+from ..layout.templates import LayoutTemplate, template_for
+from ..loops.schedule import LoopSchedule
+from ..lower.lower import LoweringError, lower_compute
+from ..machine.latency import estimate_stage
+from ..machine.spec import MachineSpec
+from .loop_space import LoopSpace
+from .space import Config, ConfigSpace
+
+
+class BudgetExhausted(RuntimeError):
+    pass
+
+
+class TuningTask:
+    """One operator on one machine."""
+
+    def __init__(
+        self,
+        comp: ComputeDef,
+        machine: MachineSpec,
+        budget: Optional[int] = None,
+        levels: int = 1,
+    ):
+        self.comp = comp
+        self.machine = machine
+        self.budget = budget
+        self.levels = levels
+        self.template: Optional[LayoutTemplate] = (
+            template_for(comp, levels) if comp.is_complex else None
+        )
+        self.measurements = 0
+        self.best_latency = math.inf
+        self.best_record: Optional[Tuple[Dict[str, Layout], LoopSchedule]] = None
+        self._cache: Dict[Tuple, float] = {}
+        self.history: list = []  # (measurement index, best-so-far latency)
+
+    # -- spaces -----------------------------------------------------------------
+    def layout_space(self) -> ConfigSpace:
+        if self.template is None:
+            return ConfigSpace([], name=f"layout:{self.comp.name}")
+        return self.template.space()
+
+    def layouts_from(self, layout_cfg: Config) -> Dict[str, Layout]:
+        if self.template is None:
+            return {}
+        return self.template.instantiate(layout_cfg)
+
+    def loop_space_for(self, layouts: Mapping[str, Layout]) -> LoopSpace:
+        """Reconstruct the loop space for a candidate layout (Challenge 2)."""
+        stage = lower_compute(self.comp, layouts)
+        return LoopSpace(stage)
+
+    # -- measurement -----------------------------------------------------------------
+    def _signature(self, layouts: Mapping[str, Layout], schedule: LoopSchedule) -> Tuple:
+        lay_sig = tuple(sorted((k, v.signature()) for k, v in layouts.items()))
+        return (lay_sig, schedule.signature())
+
+    def lower(
+        self, layouts: Mapping[str, Layout], schedule: Optional[LoopSchedule]
+    ) -> Stage:
+        return lower_compute(self.comp, layouts, schedule)
+
+    def measure(
+        self, layouts: Mapping[str, Layout], schedule: LoopSchedule
+    ) -> float:
+        """Simulated on-device measurement; returns latency in seconds."""
+        sig = self._signature(layouts, schedule)
+        if sig in self._cache:
+            return self._cache[sig]
+        if self.budget is not None and self.measurements >= self.budget:
+            raise BudgetExhausted(
+                f"task {self.comp.name}: budget {self.budget} exhausted"
+            )
+        self.measurements += 1
+        try:
+            stage = lower_compute(self.comp, layouts, schedule)
+            cost = estimate_stage(stage, self.machine)
+            latency = self.machine.cycles_to_seconds(cost.total_cycles)
+            latency += self._expansion_penalty(layouts)
+        except (LoweringError, ValueError):
+            latency = math.inf
+        self._cache[sig] = latency
+        if latency < self.best_latency:
+            self.best_latency = latency
+            self.best_record = (dict(layouts), schedule.copy())
+        self.history.append((self.measurements, self.best_latency))
+        return latency
+
+    def _expansion_penalty(self, layouts: Mapping[str, Layout]) -> float:
+        """Producer-side cost of data-expanding input layouts.
+
+        Overlapped ``unfold`` and ``pad`` duplicate data; the upstream
+        operator that absorbs the layout (paper Fig. 5b) must write the
+        extra bytes.  Charging that write traffic here keeps the per-op
+        greedy joint tuning honest about whole-graph cost -- without it the
+        tuner happily im2row-expands every input.  Constant tensors are
+        exempt (re-laid-out offline).
+        """
+        by_name = {t.name: t for t in self.comp.inputs}
+        extra_bytes = 0.0
+        for name, lay in layouts.items():
+            t = by_name.get(name)
+            if t is None or t.role == "const":
+                continue
+            ratio = lay.expansion_ratio()
+            if ratio > 1.0:
+                extra_bytes += (ratio - 1.0) * t.nbytes
+        if not extra_bytes:
+            return 0.0
+        cycles = extra_bytes / self.machine.dram_bw_bytes_per_cycle
+        return self.machine.cycles_to_seconds(cycles)
+
+    def remaining_budget(self) -> Optional[int]:
+        if self.budget is None:
+            return None
+        return max(self.budget - self.measurements, 0)
+
+    def __repr__(self) -> str:
+        return (
+            f"TuningTask({self.comp.name!r}, {self.machine.name}, "
+            f"measured={self.measurements}, best={self.best_latency:.3e}s)"
+        )

@@ -1,0 +1,292 @@
+"""Compute definitions and the operator library vs. numpy references."""
+
+import numpy as np
+import pytest
+
+from repro.exec.reference import (
+    avg_pool2d_ref,
+    conv1d_ref,
+    conv2d_ref,
+    conv3d_ref,
+    depthwise_conv2d_ref,
+    evaluate_compute,
+    layer_norm_last_ref,
+    max_pool2d_ref,
+    pad_spatial_ref,
+    softmax_last_ref,
+    zero_stuff_ref,
+)
+from repro.ir.compute import Access, Axis, ComputeDef, ConstF
+from repro.ir.expr import Var
+from repro.ir.tensor import Tensor
+from repro.ops import elementwise as ew
+from repro.ops.conv import conv1d, conv2d, conv3d, depthwise_conv2d
+from repro.ops.gemm import batch_gemm, dense, gemm
+from repro.ops.pool import avg_pool2d, global_avg_pool, max_pool2d
+from repro.ops.reduce import layer_norm_last, softmax_last
+from repro.ops.transform import layout_conversion, pad_spatial, zero_stuff
+
+rng = np.random.default_rng(42)
+
+
+def run_chain(comps, inputs):
+    values = dict(inputs)
+    for comp in comps:
+        values[comp.output.name] = evaluate_compute(
+            comp, {t.name: values[t.name] for t in comp.inputs}
+        )
+    return values[comps[-1].output.name]
+
+
+class TestTensor:
+    def test_properties(self):
+        t = Tensor("x", (2, 3, 4))
+        assert t.size == 24 and t.nbytes == 96 and t.ndim == 3
+
+    def test_bad_role(self):
+        with pytest.raises(ValueError):
+            Tensor("x", (2,), role="wat")
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            Tensor("x", (0, 3))
+
+
+class TestComputeDefValidation:
+    def test_axis_extent_mismatch(self):
+        out = Tensor("o", (4,))
+        with pytest.raises(ValueError, match="extent"):
+            ComputeDef("bad", out, [Axis("i", 5)], [], ConstF(0.0))
+
+    def test_unknown_variable(self):
+        src = Tensor("s", (4,))
+        out = Tensor("o", (4,))
+        comp = ComputeDef(
+            "bad", out, [Axis("i", 4)], [], Access(src, [Var("zz")])
+        )
+        with pytest.raises(ValueError, match="unknown variables"):
+            comp.validate()
+
+    def test_out_of_bounds_access(self):
+        src = Tensor("s", (4,))
+        out = Tensor("o", (4,))
+        comp = ComputeDef(
+            "bad", out, [Axis("i", 4)], [], Access(src, [Var("i") + 1])
+        )
+        with pytest.raises(ValueError, match="out of bounds"):
+            comp.validate()
+
+    def test_reduce_axes_require_op(self):
+        src = Tensor("s", (4,))
+        out = Tensor("o", (4,))
+        with pytest.raises(ValueError, match="without reduce_op"):
+            ComputeDef(
+                "bad", out, [Axis("i", 4)], [Axis("r", 2)],
+                Access(src, [Var("i")]),
+            )
+
+    def test_flops_positive(self):
+        inp = Tensor("i", (1, 2, 6, 6))
+        ker = Tensor("k", (4, 2, 3, 3))
+        comp = conv2d(inp, ker)
+        assert comp.flops() > 0
+        assert comp.iteration_count() == 1 * 4 * 4 * 4 * 2 * 3 * 3
+
+
+class TestConvolutions:
+    @pytest.mark.parametrize("stride,dilation", [(1, 1), (2, 1), (1, 2), (2, 2)])
+    def test_conv2d(self, stride, dilation):
+        x = rng.standard_normal((2, 3, 12, 12))
+        k = rng.standard_normal((4, 3, 3, 3))
+        comp = conv2d(Tensor("x", x.shape), Tensor("k", k.shape), stride, dilation)
+        got = evaluate_compute(comp, {"x": x, "k": k})
+        assert np.allclose(got, conv2d_ref(x, k, stride, dilation))
+
+    def test_grouped(self):
+        x = rng.standard_normal((1, 8, 9, 9))
+        k = rng.standard_normal((8, 4, 3, 3))
+        comp = conv2d(Tensor("x", x.shape), Tensor("k", k.shape), groups=2)
+        got = evaluate_compute(comp, {"x": x, "k": k})
+        assert np.allclose(got, conv2d_ref(x, k, groups=2))
+
+    def test_group_divisibility_check(self):
+        with pytest.raises(ValueError, match="groups"):
+            conv2d(Tensor("x", (1, 7, 9, 9)), Tensor("k", (8, 3, 3, 3)), groups=2)
+
+    def test_depthwise(self):
+        x = rng.standard_normal((2, 5, 10, 10))
+        k = rng.standard_normal((5, 3, 3))
+        comp = depthwise_conv2d(Tensor("x", x.shape), Tensor("k", k.shape), 2)
+        got = evaluate_compute(comp, {"x": x, "k": k})
+        assert np.allclose(got, depthwise_conv2d_ref(x, k, 2))
+
+    def test_conv1d(self):
+        x = rng.standard_normal((2, 4, 16))
+        k = rng.standard_normal((6, 4, 5))
+        comp = conv1d(Tensor("x", x.shape), Tensor("k", k.shape), 2)
+        got = evaluate_compute(comp, {"x": x, "k": k})
+        assert np.allclose(got, conv1d_ref(x, k, 2))
+
+    def test_conv3d(self):
+        x = rng.standard_normal((1, 2, 6, 7, 7))
+        k = rng.standard_normal((3, 2, 2, 3, 3))
+        comp = conv3d(Tensor("x", x.shape), Tensor("k", k.shape))
+        got = evaluate_compute(comp, {"x": x, "k": k})
+        assert np.allclose(got, conv3d_ref(x, k))
+
+    def test_window_too_large(self):
+        with pytest.raises(ValueError):
+            conv2d(Tensor("x", (1, 2, 2, 2)), Tensor("k", (3, 2, 3, 3)))
+
+
+class TestGemm:
+    def test_gemm(self):
+        a = rng.standard_normal((7, 5))
+        b = rng.standard_normal((5, 9))
+        comp = gemm(Tensor("a", a.shape), Tensor("b", b.shape))
+        assert np.allclose(evaluate_compute(comp, {"a": a, "b": b}), a @ b)
+
+    def test_batch_gemm(self):
+        a = rng.standard_normal((3, 4, 5))
+        b = rng.standard_normal((3, 5, 6))
+        comp = batch_gemm(Tensor("a", a.shape), Tensor("b", b.shape))
+        assert np.allclose(evaluate_compute(comp, {"a": a, "b": b}), a @ b)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            gemm(Tensor("a", (3, 4)), Tensor("b", (5, 6)))
+
+    def test_dense_tagged(self):
+        comp = dense(Tensor("a", (3, 4)), Tensor("b", (4, 6)))
+        assert "dense" in comp.tags and comp.is_complex
+
+
+class TestElementwise:
+    def test_relu_sigmoid_tanh_gelu(self):
+        x = rng.standard_normal((2, 3, 4, 5))
+        t = Tensor("x", x.shape)
+        assert np.allclose(
+            evaluate_compute(ew.relu(t), {"x": x}), np.maximum(x, 0)
+        )
+        assert np.allclose(
+            evaluate_compute(ew.sigmoid(t), {"x": x}), 1 / (1 + np.exp(-x))
+        )
+        assert np.allclose(evaluate_compute(ew.tanh(t), {"x": x}), np.tanh(x))
+        from math import erf
+
+        gelu_ref = 0.5 * x * (1 + np.vectorize(erf)(x / np.sqrt(2)))
+        assert np.allclose(evaluate_compute(ew.gelu(t), {"x": x}), gelu_ref)
+
+    def test_relu6(self):
+        x = rng.standard_normal((3, 4)) * 10
+        got = evaluate_compute(ew.relu6(Tensor("x", x.shape)), {"x": x})
+        assert np.allclose(got, np.clip(x, 0, 6))
+
+    def test_scale_shift(self):
+        x = rng.standard_normal((2, 3, 4, 4))
+        s = rng.standard_normal(3)
+        h = rng.standard_normal(3)
+        comp = ew.scale_shift(Tensor("x", x.shape), Tensor("s", (3,)), Tensor("h", (3,)))
+        got = evaluate_compute(comp, {"x": x, "s": s, "h": h})
+        assert np.allclose(got, x * s[None, :, None, None] + h[None, :, None, None])
+
+    def test_bias_add_variants(self):
+        x = rng.standard_normal((2, 3, 4, 4))
+        bias = rng.standard_normal(3)
+        comp = ew.bias_add_channel(Tensor("x", x.shape), Tensor("b", (3,)))
+        got = evaluate_compute(comp, {"x": x, "b": bias})
+        assert np.allclose(got, x + bias[None, :, None, None])
+
+        y = rng.standard_normal((5, 7))
+        bias2 = rng.standard_normal(7)
+        comp2 = ew.bias_add_last(Tensor("y", y.shape), Tensor("b2", (7,)))
+        assert np.allclose(
+            evaluate_compute(comp2, {"y": y, "b2": bias2}), y + bias2
+        )
+
+    def test_add_multiply(self):
+        a = rng.standard_normal((3, 4))
+        b = rng.standard_normal((3, 4))
+        ta, tb = Tensor("a", a.shape), Tensor("b", b.shape)
+        assert np.allclose(
+            evaluate_compute(ew.add(ta, tb), {"a": a, "b": b}), a + b
+        )
+        assert np.allclose(
+            evaluate_compute(ew.multiply(ta, tb), {"a": a, "b": b}), a * b
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            ew.add(Tensor("a", (3, 4)), Tensor("b", (4, 3)))
+
+
+class TestDataMovement:
+    def test_pad_spatial(self):
+        x = rng.standard_normal((1, 2, 5, 5))
+        comp = pad_spatial(Tensor("x", x.shape), (2, 1))
+        got = evaluate_compute(comp, {"x": x})
+        ref = np.pad(x, [(0, 0), (0, 0), (2, 2), (1, 1)])
+        assert np.allclose(got, ref)
+
+    def test_zero_stuff(self):
+        x = rng.standard_normal((1, 2, 3, 4))
+        comp = zero_stuff(Tensor("x", x.shape), 3)
+        got = evaluate_compute(comp, {"x": x})
+        assert np.allclose(got, zero_stuff_ref(x, 3))
+
+    def test_zero_stuff_stride1_is_copy(self):
+        x = rng.standard_normal((1, 2, 3, 3))
+        comp = zero_stuff(Tensor("x", x.shape), 1)
+        assert np.allclose(evaluate_compute(comp, {"x": x}), x)
+
+    def test_layout_conversion_is_identity(self):
+        x = rng.standard_normal((2, 3, 4))
+        comp = layout_conversion(Tensor("x", x.shape))
+        assert np.allclose(evaluate_compute(comp, {"x": x}), x)
+        assert "conversion" in comp.tags and comp.is_elementwise
+
+
+class TestPooling:
+    def test_max_pool(self):
+        x = rng.standard_normal((1, 2, 8, 8))
+        comp = max_pool2d(Tensor("x", x.shape), 2, 2)
+        assert np.allclose(
+            evaluate_compute(comp, {"x": x}), max_pool2d_ref(x, 2, 2)
+        )
+
+    def test_avg_pool(self):
+        x = rng.standard_normal((1, 2, 9, 9))
+        comp = avg_pool2d(Tensor("x", x.shape), 3, 2)
+        assert np.allclose(
+            evaluate_compute(comp, {"x": x}), avg_pool2d_ref(x, 3, 2)
+        )
+
+    def test_global_avg_pool(self):
+        x = rng.standard_normal((2, 3, 5, 5))
+        comp = global_avg_pool(Tensor("x", x.shape))
+        assert np.allclose(
+            evaluate_compute(comp, {"x": x}), x.mean(axis=(2, 3))
+        )
+
+
+class TestComposites:
+    def test_softmax(self):
+        x = rng.standard_normal((3, 7))
+        comps = softmax_last(Tensor("x", x.shape))
+        got = run_chain(comps, {"x": x})
+        assert np.allclose(got, softmax_last_ref(x))
+
+    def test_softmax_3d(self):
+        x = rng.standard_normal((2, 3, 5))
+        comps = softmax_last(Tensor("x", x.shape))
+        assert np.allclose(run_chain(comps, {"x": x}), softmax_last_ref(x))
+
+    def test_layer_norm(self):
+        x = rng.standard_normal((4, 6))
+        g = rng.standard_normal(6)
+        beta = rng.standard_normal(6)
+        comps = layer_norm_last(
+            Tensor("x", x.shape), Tensor("g", (6,)), Tensor("be", (6,))
+        )
+        got = run_chain(comps, {"x": x, "g": g, "be": beta})
+        assert np.allclose(got, layer_norm_last_ref(x, g, beta), atol=1e-6)

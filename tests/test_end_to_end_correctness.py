@@ -1,0 +1,74 @@
+"""Numeric end-to-end correctness of compiled model-zoo graphs.
+
+Scaled-down model-zoo variants are compiled with ALT and executed; outputs
+must match the logical-space reference bit-for-bit (up to accumulation
+order).  This exercises the full chain -- layout templates with unfold,
+propagation with absorption and replication, conversion insertion, tuned
+schedules, fusion annotations, lowering, and interpretation -- on real
+network topologies (residual junctions, depthwise chains, attention).
+"""
+
+import numpy as np
+import pytest
+
+from repro.exec.graph_runner import random_inputs, run_compiled, run_graph_reference
+from repro.graph.models import bert, mobilenet_v2, resnet18, resnet3d18
+from repro.machine.spec import get_machine
+from repro.pipeline import CompileOptions, compile_graph
+
+MACHINE = get_machine("intel_cpu")
+
+
+def compile_and_compare(graph, budget=100, seed=0, atol=1e-7):
+    model = compile_graph(
+        graph, MACHINE, CompileOptions(mode="alt", total_budget=budget, seed=seed)
+    )
+    inputs = random_inputs(model.graph, seed=seed + 10)
+    ref = run_graph_reference(model.graph, inputs)
+    got = run_compiled(model, inputs)
+    for name, arr in got.items():
+        assert np.allclose(arr, ref[name], atol=atol), name
+    return model
+
+
+@pytest.mark.slow
+def test_resnet18_micro():
+    model = compile_and_compare(resnet18(batch=1, image=32, width=4, num_classes=8))
+    assert model.latency_s > 0
+
+
+@pytest.mark.slow
+def test_mobilenet_v2_micro():
+    model = compile_and_compare(
+        mobilenet_v2(batch=1, image=32, width_mult=0.125, num_classes=8)
+    )
+    # depthwise chains survive layout replication
+    assert any("dwconv" in n.name for n in model.graph.nodes)
+
+
+@pytest.mark.slow
+def test_bert_micro():
+    compile_and_compare(
+        bert(batch=1, seq=4, hidden=8, layers=1, heads=2, ff=16, name="bert_micro"),
+        atol=1e-6,
+    )
+
+
+@pytest.mark.slow
+def test_resnet3d_micro():
+    compile_and_compare(
+        resnet3d18(batch=1, frames=4, image=8, width=4, num_classes=4)
+    )
+
+
+def test_alt_wp_mode_also_correct():
+    """The ablation path (no replication, more conversions) stays correct."""
+    graph = resnet18(batch=1, image=32, width=4, num_classes=8)
+    model = compile_graph(
+        graph, MACHINE, CompileOptions(mode="alt-wp", total_budget=80, seed=1)
+    )
+    inputs = random_inputs(model.graph, seed=5)
+    ref = run_graph_reference(model.graph, inputs)
+    got = run_compiled(model, inputs)
+    for name, arr in got.items():
+        assert np.allclose(arr, ref[name], atol=1e-7), name

@@ -1,0 +1,216 @@
+"""Index-expression IR: evaluation, simplification, affine/interval analysis."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.expr import (
+    Add,
+    Const,
+    FloorDiv,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    Sub,
+    Var,
+    affine_coefficients,
+    bounds,
+    canonicalize,
+    is_affine,
+    simplify,
+    simplify_ranges,
+    stride_of,
+    to_expr,
+)
+
+
+class TestConstruction:
+    def test_operator_overloads(self):
+        a = Var("a")
+        e = (a + 1) * 3 - a // 2 + a % 5
+        assert e.evaluate({"a": 7}) == (7 + 1) * 3 - 7 // 2 + 7 % 5
+
+    def test_to_expr_coerces_int(self):
+        assert isinstance(to_expr(5), Const)
+        assert to_expr(5).value == 5
+
+    def test_to_expr_rejects_float(self):
+        with pytest.raises(TypeError):
+            to_expr(1.5)
+
+    def test_var_requires_name(self):
+        with pytest.raises(ValueError):
+            Var("")
+
+    def test_const_requires_int(self):
+        with pytest.raises(TypeError):
+            Const(2.5)
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(KeyError, match="unbound"):
+            Var("x").evaluate({})
+
+    def test_rsub_rmul_radd(self):
+        a = Var("a")
+        assert (3 - a).evaluate({"a": 1}) == 2
+        assert (3 * a).evaluate({"a": 2}) == 6
+        assert (3 + a).evaluate({"a": 2}) == 5
+
+    def test_neg(self):
+        assert (-Var("a")).evaluate({"a": 4}) == -4
+
+    def test_free_vars(self):
+        e = Var("a") * 2 + Var("b") % 3
+        assert e.free_vars() == {"a", "b"}
+
+    def test_substitute(self):
+        e = Var("a") + Var("b")
+        e2 = e.substitute({"a": Var("c") * 2})
+        assert e2.evaluate({"c": 3, "b": 1}) == 7
+
+
+class TestSimplify:
+    def test_constant_folding(self):
+        e = (Const(3) + 4) * 2 - 1
+        assert simplify(e).value == 13
+
+    def test_identities(self):
+        a = Var("a")
+        assert simplify(a + 0).same_as(a)
+        assert simplify(a * 1).same_as(a)
+        assert simplify(a * 0).same_as(Const(0))
+        assert simplify(a // 1).same_as(a)
+        assert simplify(a % 1).same_as(Const(0))
+        assert simplify(a - a).same_as(Const(0))
+
+    def test_min_max_folding(self):
+        assert simplify(Min(Const(2), Const(5))).value == 2
+        assert simplify(Max(Const(2), Const(5))).value == 5
+        a = Var("a")
+        assert simplify(Min(a, a)).same_as(a)
+
+    @given(st.integers(0, 100), st.integers(0, 100))
+    def test_simplify_preserves_value(self, x, y):
+        a, b = Var("a"), Var("b")
+        e = (a * 3 + b) // 4 % 7 + Max(a, b) - Min(a - b, 2)
+        env = {"a": x, "b": y}
+        assert simplify(e).evaluate(env) == e.evaluate(env)
+
+
+class TestAffine:
+    def test_coefficients(self):
+        a, b = Var("a"), Var("b")
+        coeffs = affine_coefficients(a * 3 + b * 2 + 5 - a)
+        assert coeffs == {"a": 2, "b": 2, "": 5}
+
+    def test_non_affine(self):
+        a, b = Var("a"), Var("b")
+        assert affine_coefficients(a * b) is None
+        assert affine_coefficients(a // 2) is None
+        assert affine_coefficients(a % 3) is None
+
+    def test_stride_of(self):
+        a, b = Var("a"), Var("b")
+        e = a * 12 + b
+        assert stride_of(e, "a") == 12
+        assert stride_of(e, "b") == 1
+        assert stride_of(e, "c") == 0
+
+    def test_stride_of_nonaffine_unused_var(self):
+        a = Var("a")
+        assert stride_of(a // 2, "b") == 0
+        assert stride_of(a // 2, "a") is None
+
+    def test_is_affine(self):
+        assert is_affine(Var("a") * 2 + 1)
+        assert not is_affine(Var("a") % 2)
+
+
+class TestBounds:
+    def test_linear(self):
+        a = Var("a")
+        assert bounds(a * 2 + 1, {"a": (0, 5)}) == (1, 11)
+
+    def test_sub_mul(self):
+        a, b = Var("a"), Var("b")
+        lo, hi = bounds(a - b * 2, {"a": (0, 3), "b": (1, 2)})
+        assert lo == -4 and hi == 1
+
+    def test_floordiv_mod(self):
+        a = Var("a")
+        assert bounds(a // 3, {"a": (0, 10)}) == (0, 3)
+        assert bounds(a % 4, {"a": (0, 3)}) == (0, 3)  # modulus never fires
+        assert bounds(a % 4, {"a": (0, 100)}) == (0, 3)
+
+    def test_div_by_zero_range(self):
+        a, b = Var("a"), Var("b")
+        with pytest.raises(ZeroDivisionError):
+            bounds(a // b, {"a": (0, 3), "b": (-1, 1)})
+
+    def test_missing_range(self):
+        with pytest.raises(KeyError):
+            bounds(Var("q"), {})
+
+    @given(st.integers(0, 20), st.integers(0, 20))
+    def test_bounds_contain_value(self, x, y):
+        a, b = Var("a"), Var("b")
+        e = (a * 3 - b) // 4 + Max(a, b) % 5
+        lo, hi = bounds(e, {"a": (0, 20), "b": (0, 20)})
+        val = e.evaluate({"a": x, "b": y})
+        assert lo <= val <= hi
+
+
+class TestRangeSimplify:
+    def test_split_fuse_roundtrip(self):
+        a, b = Var("a"), Var("b")
+        ranges = {"a": (0, 7), "b": (0, 3)}
+        assert simplify_ranges((a * 4 + b) // 4, ranges).same_as(a)
+        assert simplify_ranges((a * 4 + b) % 4, ranges).same_as(b)
+
+    def test_keeps_when_unsafe(self):
+        a, b = Var("a"), Var("b")
+        e = (a * 4 + b) // 4
+        out = simplify_ranges(e, {"a": (0, 7), "b": (0, 5)})
+        assert "//" in str(out)
+
+    def test_mixed_coefficients(self):
+        a, b = Var("a"), Var("b")
+        out = simplify_ranges((a * 8 + b * 4) // 4, {"a": (0, 7), "b": (0, 3)})
+        assert affine_coefficients(out) == {"a": 2, "b": 1, "": 0}
+
+    def test_cancellation(self):
+        a, b = Var("s1"), Var("s4")
+        e = (a * 2 + b + Var("rh")) - a * 2
+        out = simplify_ranges(e, {"s1": (0, 3), "s4": (0, 1), "rh": (0, 2)})
+        assert affine_coefficients(out) == {"s4": 1, "rh": 1, "": 0}
+
+    @given(
+        st.integers(2, 8),
+        st.integers(0, 30),
+        st.integers(0, 30),
+    )
+    @settings(max_examples=60)
+    def test_value_preserved(self, d, x, y):
+        a, b = Var("a"), Var("b")
+        e = (a * d + b) // d + (a * d + b) % d
+        ranges = {"a": (0, 30), "b": (0, 30)}
+        out = simplify_ranges(e, ranges)
+        env = {"a": x, "b": y}
+        assert out.evaluate(env) == e.evaluate(env)
+
+
+class TestCanonicalize:
+    def test_sorts_and_merges(self):
+        a, b = Var("a"), Var("b")
+        e = b + a * 2 + b + 3
+        out = canonicalize(e)
+        assert affine_coefficients(out) == {"a": 2, "b": 2, "": 3}
+
+    def test_zero_result(self):
+        a = Var("a")
+        assert canonicalize(a - a).same_as(Const(0))
+
+    def test_non_affine_unchanged(self):
+        e = Var("a") % 3
+        assert canonicalize(e) is e

@@ -1,0 +1,163 @@
+"""Graph structure, builder, model zoo."""
+
+import numpy as np
+import pytest
+
+from repro.exec.graph_runner import random_inputs, run_graph_reference
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph, GraphError
+from repro.graph.models import bert_tiny, mobilenet_v2, resnet18, resnet3d18
+from repro.ir.tensor import Tensor
+from repro.ops.elementwise import relu
+from repro.ops.transform import layout_conversion
+
+
+class TestGraph:
+    def test_add_and_queries(self):
+        g = Graph("g")
+        t = Tensor("x", (2, 3), role="input")
+        g.add_tensor(t)
+        r = relu(t, name="r")
+        g.add(r)
+        assert g.producer_of(r.output.name) is r
+        assert g.consumers_of("x") == [r]
+        assert [x.name for x in g.graph_inputs()] == ["x"]
+        assert [x.name for x in g.graph_outputs()] == [r.output.name]
+
+    def test_duplicate_node_rejected(self):
+        g = Graph("g")
+        t = Tensor("x", (2,), role="input")
+        g.add(relu(t, name="r"))
+        with pytest.raises(GraphError):
+            g.add(relu(t, name="r"))
+
+    def test_insert_before_rewires(self):
+        g = Graph("g")
+        t = Tensor("x", (2, 3), role="input")
+        g.add_tensor(t)
+        r = relu(t, name="r")
+        g.add(r)
+        conv = layout_conversion(t, name="cv")
+        g.insert_before(conv, r, "x")
+        assert g.nodes[0] is conv
+        assert {i.name for i in r.inputs} == {conv.output.name}
+        g.validate()
+
+    def test_insert_before_wrong_tensor(self):
+        g = Graph("g")
+        t = Tensor("x", (2, 3), role="input")
+        g.add_tensor(t)
+        r = relu(t, name="r")
+        g.add(r)
+        with pytest.raises(GraphError):
+            g.insert_before(layout_conversion(t, name="cv"), r, "nope")
+
+    def test_validate_order(self):
+        g = Graph("g")
+        a = Tensor("a", (2,), role="input")
+        r1 = relu(a, name="r1")
+        r2 = relu(r1.output, name="r2")
+        g.add_tensor(a)
+        # insert out of order by hand
+        g.add(r1)
+        g.add(r2)
+        g.validate()
+
+    def test_summary_and_flops(self):
+        b = GraphBuilder("s")
+        x = b.input((1, 2, 8, 8))
+        b.conv2d(x, 4, 3)
+        g = b.build()
+        assert "conv2d" in g.summary()
+        assert g.flops() > 0
+
+
+class TestBuilder:
+    def test_pad_skipped_when_zero(self):
+        b = GraphBuilder("g")
+        x = b.input((1, 2, 8, 8))
+        y = b.conv2d(x, 4, 1, pad=0)
+        g = b.build()
+        assert not any("pad" in n.name for n in g.nodes)
+
+    def test_conv_bn_act_chain(self):
+        b = GraphBuilder("g")
+        x = b.input((1, 2, 8, 8))
+        b.conv_bn_act(x, 4, 3, act="relu6")
+        g = b.build()
+        kinds = [n.name.split("_")[0] for n in g.nodes]
+        assert kinds == ["pad", "conv2d", "bn", "relu6"]
+
+    def test_residual_numerics(self):
+        b = GraphBuilder("g")
+        x = b.input((1, 4, 6, 6))
+        y = b.conv2d(x, 4, 3)
+        z = b.add(y, x)
+        b.relu(z)
+        g = b.build()
+        inputs = random_inputs(g, 0)
+        vals = run_graph_reference(g, inputs)
+        out = g.graph_outputs()[0]
+        assert np.isfinite(vals[out.name]).all()
+
+    def test_attention_shapes(self):
+        b = GraphBuilder("g")
+        seq, hidden, heads = 4, 8, 2
+        x = b.input((seq, hidden))
+        q = b.reshape_heads(x, heads, seq)
+        assert q.shape == (heads, seq, hidden // heads)
+        back = b.merge_heads(q, heads, seq)
+        assert back.shape == (seq, hidden)
+        g = b.build()
+        inputs = random_inputs(g, 1)
+        vals = run_graph_reference(g, inputs)
+        # split followed by merge is the identity
+        assert np.allclose(vals[back.name], inputs["input"])
+
+    def test_transpose_last(self):
+        b = GraphBuilder("g")
+        x = b.input((2, 3, 5))
+        y = b.transpose_last(x)
+        g = b.build()
+        vals = run_graph_reference(g, random_inputs(g, 2))
+        ref = np.swapaxes(vals["input"], 1, 2)
+        assert np.allclose(vals[y.name], ref)
+
+
+class TestModelZoo:
+    def test_resnet18_scaled(self):
+        g = resnet18(batch=1, image=32, width=8, num_classes=10)
+        g.validate()
+        out = g.graph_outputs()[0]
+        assert out.shape == (1, 10)
+        assert len(g.complex_nodes()) == 21
+
+    def test_mobilenet_v2_scaled(self):
+        g = mobilenet_v2(batch=1, image=32, width_mult=0.25, num_classes=10)
+        g.validate()
+        assert g.graph_outputs()[0].shape == (1, 10)
+        assert any("dwconv" in n.name for n in g.nodes)
+
+    def test_bert_tiny_structure(self):
+        g = bert_tiny(batch=1, seq=8)
+        g.validate()
+        assert g.graph_outputs()[0].shape == (8, 128)
+        assert sum(1 for n in g.nodes if "gemm" in n.tags) >= 4
+
+    def test_resnet3d_scaled(self):
+        g = resnet3d18(batch=1, frames=4, image=16, width=4, num_classes=5)
+        g.validate()
+        assert g.graph_outputs()[0].shape == (1, 5)
+
+    def test_bert_numerics_small(self):
+        """A 1-layer tiny-BERT forward pass evaluates without NaN."""
+        from repro.graph.models import bert
+
+        g = bert(batch=1, seq=4, hidden=8, layers=1, heads=2, ff=16)
+        vals = run_graph_reference(g, random_inputs(g, 0))
+        out = g.graph_outputs()[0]
+        assert np.isfinite(vals[out.name]).all()
+
+    def test_resnet_image_check(self):
+        with pytest.raises(ValueError):
+            resnet18(image=100)

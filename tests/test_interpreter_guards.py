@@ -1,0 +1,80 @@
+"""Guarded bodies (Select/InBounds/DivisibleBy) through lowering and layouts."""
+
+import numpy as np
+import pytest
+
+from repro.exec.reference import evaluate_compute, pad_spatial_ref, zero_stuff_ref
+from repro.exec.single_op import run_compute
+from repro.ir.tensor import Tensor
+from repro.layout.layout import Layout
+from repro.loops.schedule import LoopSchedule
+from repro.ops.transform import pad_spatial, zero_stuff
+
+rng = np.random.default_rng(11)
+
+
+class TestPadLowering:
+    def test_identity(self):
+        x = rng.standard_normal((1, 2, 5, 5))
+        comp = pad_spatial(Tensor("x", x.shape), (1, 2), name="p")
+        got = run_compute(comp, {"x": x})
+        assert np.allclose(got, pad_spatial_ref(x, (1, 2)))
+
+    def test_pad_with_transformed_output_layout(self):
+        """Propagation target case: the pad *computes* the exotic layout."""
+        x = rng.standard_normal((1, 4, 5, 5))
+        comp = pad_spatial(Tensor("x", x.shape), (1, 1), name="p")
+        out_shape = comp.output.shape  # (1, 4, 7, 7)
+        lay = (
+            Layout(out_shape, ["N", "C", "H", "W"])
+            .split("C", [2, 2])
+            .reorder(["N", "C.0", "H", "W", "C.1"])
+        )
+        got = run_compute(comp, {"x": x}, {comp.output.name: lay})
+        assert np.allclose(got, pad_spatial_ref(x, (1, 1)))
+
+    def test_pad_with_unfolded_output_layout(self):
+        """The padding operator absorbing an *unfold* layout (Fig. 5b):
+        it pads, converts and duplicates the overlap in one pass."""
+        x = rng.standard_normal((1, 2, 6, 6))
+        comp = pad_spatial(Tensor("x", x.shape), (1, 1), name="p")
+        out_shape = comp.output.shape  # (1, 2, 8, 8)
+        lay = (
+            Layout(out_shape, ["N", "C", "H", "W"])
+            .unfold("H", 5, 3)
+            .reorder(["N", "H.t", "C", "H.b", "W"])
+        )
+        got = run_compute(comp, {"x": x}, {comp.output.name: lay})
+        assert np.allclose(got, pad_spatial_ref(x, (1, 1)))
+
+    def test_pad_with_schedule(self):
+        x = rng.standard_normal((1, 2, 6, 6))
+        comp = pad_spatial(Tensor("x", x.shape), (2, 2), name="p")
+        sched = LoopSchedule().split("s3", [5, 2]).reorder(
+            ["s0", "s1", "s2", "s3.0", "s3.1"]
+        ).vectorize("s3.1").parallel("s0")
+        got = run_compute(comp, {"x": x}, {}, sched)
+        assert np.allclose(got, pad_spatial_ref(x, (2, 2)))
+
+
+class TestZeroStuffLowering:
+    @pytest.mark.parametrize("stride", [2, 3])
+    def test_identity(self, stride):
+        x = rng.standard_normal((1, 2, 4, 4))
+        comp = zero_stuff(Tensor("x", x.shape), stride, name="z")
+        got = run_compute(comp, {"x": x})
+        assert np.allclose(got, zero_stuff_ref(x, stride))
+
+    def test_with_layout(self):
+        x = rng.standard_normal((1, 4, 3, 3))
+        comp = zero_stuff(Tensor("x", x.shape), 2, name="z")
+        out_shape = comp.output.shape
+        lay = Layout(out_shape).reorder([0, 2, 3, 1])
+        got = run_compute(comp, {"x": x}, {comp.output.name: lay})
+        assert np.allclose(got, zero_stuff_ref(x, 2))
+
+    def test_guard_semantics_in_reference(self):
+        x = np.ones((1, 1, 2, 2))
+        out = evaluate_compute(zero_stuff(Tensor("x", x.shape), 2, name="z"), {"x": x})
+        assert out.sum() == 4  # original elements only, zeros in between
+        assert out[0, 0, 1, 1] == 0

@@ -1,0 +1,281 @@
+"""Layout primitives: shapes, access rewrites, materialization (Table 1, Eq. 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.expr import Var
+from repro.layout.layout import Layout
+from repro.layout.primitives import (
+    Dim,
+    Fuse,
+    LayoutError,
+    Pad,
+    Reorder,
+    RewriteContext,
+    Split,
+    StoreAt,
+    Unfold,
+)
+
+
+def roundtrip_check(lay: Layout, rng=None):
+    """Materialize/unmaterialize round trip plus access-expression agreement."""
+    rng = rng or np.random.default_rng(0)
+    arr = rng.standard_normal(lay.logical_shape)
+    phys = lay.materialize(arr)
+    assert phys.shape == lay.physical_shape()
+    back = lay.unmaterialize(phys)
+    assert np.array_equal(back, arr)
+    # forward accesses agree with materialized data (sample positions)
+    names = [f"i{k}" for k in range(len(lay.logical_shape))]
+    exprs = lay.rewrite_access([Var(n) for n in names])
+    idx_rng = np.random.default_rng(1)
+    for _ in range(50):
+        logical = tuple(int(idx_rng.integers(0, s)) for s in lay.logical_shape)
+        env = dict(zip(names, logical))
+        physical = tuple(e.evaluate(env) for e in exprs)
+        assert phys[physical] == arr[logical]
+    # inverse accesses agree too
+    pnames = [f"p{k}" for k in range(lay.ndim)]
+    inv = lay.inverse_access([Var(n) for n in pnames])
+    for _ in range(50):
+        physical = tuple(int(idx_rng.integers(0, s)) for s in lay.physical_shape())
+        env = dict(zip(pnames, physical))
+        logical = tuple(e.evaluate(env) for e in inv)
+        assert phys[physical] == arr[logical]
+
+
+class TestSplit:
+    def test_shape(self):
+        lay = Layout((2, 12), ["A", "B"]).split("B", [3, 4])
+        assert lay.physical_shape() == (2, 3, 4)
+        assert lay.dim_names() == ("A", "B.0", "B.1")
+
+    def test_inexact_split_rejected(self):
+        with pytest.raises(LayoutError, match="not exact"):
+            Layout((2, 12)).split(1, [5, 2])
+
+    def test_single_factor_rejected(self):
+        with pytest.raises(LayoutError):
+            Split(0, [12])
+
+    def test_three_way(self):
+        lay = Layout((24,), ["X"]).split("X", [2, 3, 4])
+        assert lay.physical_shape() == (2, 3, 4)
+        roundtrip_check(lay)
+
+    def test_roundtrip(self):
+        roundtrip_check(Layout((6, 8), ["A", "B"]).split("B", [2, 4]))
+
+
+class TestReorder:
+    def test_shape(self):
+        lay = Layout((2, 3, 4), ["A", "B", "C"]).reorder(["C", "A", "B"])
+        assert lay.physical_shape() == (4, 2, 3)
+
+    def test_bad_perm(self):
+        with pytest.raises(LayoutError):
+            Reorder([0, 0, 1])
+
+    def test_roundtrip(self):
+        roundtrip_check(Layout((2, 3, 4)).reorder([2, 0, 1]))
+
+
+class TestFuse:
+    def test_shape(self):
+        lay = Layout((2, 3, 4), ["A", "B", "C"]).fuse(["B", "C"])
+        assert lay.physical_shape() == (2, 12)
+
+    def test_non_consecutive_rejected(self):
+        with pytest.raises(LayoutError, match="consecutive"):
+            Layout((2, 3, 4)).fuse([0, 2])
+
+    def test_roundtrip(self):
+        roundtrip_check(Layout((2, 3, 4)).fuse([0, 1]))
+
+    def test_paper_packing_example(self):
+        """NHWO -> fuse(H,W,O) -> split -> reorder (Section 4.1.1)."""
+        N, H, W, O = 2, 4, 6, 8
+        lay = (
+            Layout((N, H, W, O), ["N", "H", "W", "O"])
+            .fuse(["H", "W", "O"])
+            .split(1, [O // 4, 4, H * W])
+            .reorder([0, 1, 3, 2])
+        )
+        assert lay.physical_shape() == (N, O // 4, H * W, 4)
+        roundtrip_check(lay)
+
+
+class TestUnfold:
+    def test_shape_overlapped(self):
+        lay = Layout((10,), ["H"]).unfold("H", 6, 4)
+        assert lay.physical_shape() == (2, 6)
+
+    def test_shape_non_divisible(self):
+        # D=11, B=6, S=4 -> ceil((11-6)/4)+1 = 3 tiles
+        lay = Layout((11,), ["H"]).unfold("H", 6, 4)
+        assert lay.physical_shape() == (3, 6)
+
+    def test_tile_too_large(self):
+        with pytest.raises(LayoutError):
+            Layout((4,), ["H"]).unfold("H", 6, 4).physical_shape()
+
+    def test_materialize_duplicates_overlap(self):
+        lay = Layout((5,), ["H"]).unfold("H", 3, 2)
+        arr = np.arange(5.0)
+        phys = lay.materialize(arr)
+        assert phys.tolist() == [[0, 1, 2], [2, 3, 4]]
+        assert np.array_equal(lay.unmaterialize(phys), arr)
+
+    def test_access_rewrite_eq1(self):
+        """The sliding-window rewrite of Eq. 1 for stride-1 convolution."""
+        H, KH, ht = 10, 3, 4
+        lay = Layout((H,), ["H"]).unfold("H", ht + KH - 1, ht)
+        ctx = RewriteContext({"oh": H - KH + 1, "rh": KH}, {"rh"})
+        t, b = lay.rewrite_access([Var("oh") + Var("rh")], ctx)
+        arr = np.arange(float(H))
+        phys = lay.materialize(arr)
+        for oh in range(H - KH + 1):
+            for rh in range(KH):
+                env = {"oh": oh, "rh": rh}
+                assert phys[t.evaluate(env), b.evaluate(env)] == arr[oh + rh]
+
+    def test_access_rewrite_strided_dilated(self):
+        V, dil, KH, ht, OH = 2, 2, 3, 2, 4
+        window = (KH - 1) * dil + 1
+        Hin = V * (OH - 1) + window
+        lay = Layout((Hin,), ["H"]).unfold("H", V * (ht - 1) + window, V * ht)
+        ctx = RewriteContext({"oh": OH, "rh": KH}, {"rh"})
+        t, b = lay.rewrite_access([Var("oh") * V + Var("rh") * dil], ctx)
+        arr = np.arange(float(Hin))
+        phys = lay.materialize(arr)
+        for oh in range(OH):
+            for rh in range(KH):
+                env = {"oh": oh, "rh": rh}
+                assert phys[t.evaluate(env), b.evaluate(env)] == arr[oh * V + rh * dil]
+
+    def test_rewrite_requires_context(self):
+        lay = Layout((10,), ["H"]).unfold("H", 6, 4)
+        with pytest.raises(LayoutError, match="RewriteContext"):
+            lay.rewrite_access([Var("x")])
+
+    def test_rewrite_rejects_non_affine(self):
+        lay = Layout((10,), ["H"]).unfold("H", 6, 4)
+        ctx = RewriteContext({"x": 10}, set())
+        with pytest.raises(LayoutError, match="affine"):
+            lay.rewrite_access([Var("x") % 3], ctx)
+
+    def test_rewrite_rejects_incompatible_stride(self):
+        lay = Layout((10,), ["H"]).unfold("H", 6, 3)  # S != V*w
+        ctx = RewriteContext({"oh": 8, "rh": 3}, {"rh"})
+        with pytest.raises(LayoutError, match="incompatible"):
+            lay.rewrite_access([Var("oh") + Var("rh")], ctx)
+
+    def test_nontrivial_detection(self):
+        assert Unfold(0, 6, 4).is_nontrivial()       # overlapped
+        assert not Unfold(0, 4, 4).is_nontrivial()   # disjoint tiles
+
+    @given(st.integers(1, 6), st.integers(1, 6), st.integers(5, 30))
+    @settings(max_examples=40)
+    def test_unmaterialize_inverts(self, b_extra, s, d):
+        b = s + b_extra  # overlapping tiles
+        if b > d:
+            return
+        lay = Layout((d,), ["H"]).unfold("H", b, s)
+        arr = np.random.default_rng(0).standard_normal(d)
+        assert np.allclose(lay.unmaterialize(lay.materialize(arr)), arr)
+
+
+class TestPad:
+    def test_shape_and_access(self):
+        lay = Layout((4, 5), ["A", "B"]).pad("B", before=1, after=2)
+        assert lay.physical_shape() == (4, 8)
+        exprs = lay.rewrite_access([Var("a"), Var("b")])
+        assert exprs[1].evaluate({"a": 0, "b": 3}) == 4
+
+    def test_materialize_zeros(self):
+        lay = Layout((3,), ["A"]).pad("A", after=2)
+        phys = lay.materialize(np.ones(3))
+        assert phys.tolist() == [1, 1, 1, 0, 0]
+        assert lay.unmaterialize(phys).tolist() == [1, 1, 1]
+
+    def test_no_padding_rejected(self):
+        with pytest.raises(LayoutError):
+            Pad(0, 0, 0)
+
+    def test_expansion_ratio(self):
+        lay = Layout((10,)).pad(0, after=6)
+        assert lay.expansion_ratio() == pytest.approx(1.6)
+
+
+class TestStoreAt:
+    def test_binding_recorded(self):
+        lay = Layout((8,), ["B"]).store_at("W", 0)
+        binding = lay.store_at_binding()
+        assert binding is not None
+        assert binding.host == "W" and binding.host_dim == 0
+        assert lay.has_nontrivial_advanced()
+
+    def test_shape_unchanged(self):
+        lay = Layout((8,)).store_at("W", 0)
+        assert lay.physical_shape() == (8,)
+
+
+class TestLayoutChains:
+    def test_signature_distinguishes(self):
+        a = Layout((4, 6)).split(1, [2, 3])
+        b = Layout((4, 6)).split(1, [3, 2])
+        assert a.signature() != b.signature()
+
+    def test_replay_onto(self):
+        src = Layout((4, 6), ["A", "B"]).split("B", [2, 3]).reorder([1, 0, 2])
+        dst = src.replay_onto(Layout((4, 6)))
+        assert dst.physical_shape() == src.physical_shape()
+        assert dst.signature() == src.signature()
+
+    def test_replay_shape_mismatch(self):
+        src = Layout((4, 6)).split(1, [2, 3])
+        with pytest.raises(LayoutError):
+            src.replay_onto(Layout((4, 7)))
+
+    def test_immutability(self):
+        base = Layout((4, 6))
+        derived = base.split(1, [2, 3])
+        assert base.physical_shape() == (4, 6)
+        assert derived.physical_shape() == (4, 2, 3)
+
+    def test_index_of_by_name_and_int(self):
+        lay = Layout((4, 6), ["A", "B"])
+        assert lay.index_of("B") == 1
+        assert lay.index_of(-1) == 1
+        with pytest.raises(LayoutError):
+            lay.index_of("Z")
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_random_basic_chains_roundtrip(self, data):
+        """Any chain of basic primitives is a bijection on the data."""
+        shape = data.draw(
+            st.lists(st.sampled_from([2, 3, 4, 6]), min_size=2, max_size=4)
+        )
+        lay = Layout(shape)
+        for _ in range(data.draw(st.integers(1, 4))):
+            choice = data.draw(st.sampled_from(["split", "reorder", "fuse"]))
+            dims = lay.dims
+            if choice == "split":
+                cands = [i for i, d in enumerate(dims) if d.size >= 4 and d.size % 2 == 0]
+                if not cands:
+                    continue
+                i = data.draw(st.sampled_from(cands))
+                lay = lay.split(i, [dims[i].size // 2, 2])
+            elif choice == "reorder":
+                perm = data.draw(st.permutations(range(len(dims))))
+                lay = lay.reorder(list(perm))
+            else:
+                if len(dims) < 2:
+                    continue
+                i = data.draw(st.integers(0, len(dims) - 2))
+                lay = lay.fuse([i, i + 1])
+        roundtrip_check(lay)

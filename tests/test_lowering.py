@@ -1,0 +1,178 @@
+"""The lowering pass: loop reconstruction, access remapping, schedules."""
+
+import numpy as np
+import pytest
+
+from repro.exec.reference import conv2d_ref
+from repro.exec.single_op import run_compute
+from repro.ir.expr import Var
+from repro.ir.nest import PARALLEL, SERIAL, UNROLL, VECTORIZE
+from repro.ir.tensor import Tensor
+from repro.layout.layout import Layout
+from repro.loops.schedule import LoopSchedule
+from repro.lower.lower import LoweringError, lower_compute
+from repro.ops.conv import conv2d
+from repro.ops.gemm import gemm
+
+rng = np.random.default_rng(0)
+
+
+def small_conv():
+    inp = Tensor("Inp", (1, 3, 8, 8), role="input")
+    ker = Tensor("Ker", (4, 3, 3, 3), role="const")
+    return conv2d(inp, ker, name="c")
+
+
+class TestLoopReconstruction:
+    def test_identity_layout_one_loop_per_dim(self):
+        comp = small_conv()
+        stage = lower_compute(comp)
+        spatial = stage.spatial_loops
+        assert [l.extent for l in spatial] == [1, 4, 6, 6]
+        assert {l.var for l in stage.reduction_loops} == {"ri", "rh", "rw"}
+
+    def test_transformed_output_reconstructs_loops(self):
+        comp = small_conv()
+        lay = (
+            Layout((1, 4, 6, 6), ["N", "O", "H", "W"])
+            .split("H", [3, 2])
+            .reorder(["N", "H.0", "W", "O", "H.1"])
+        )
+        stage = lower_compute(comp, {"c.out": lay})
+        assert [l.extent for l in stage.spatial_loops] == [1, 3, 6, 4, 2]
+
+    def test_input_remap_via_inverse(self):
+        """Accesses are S_X(S_Y^{-1}(L')): transformed output layout feeds
+        back into input accessing expressions."""
+        comp = small_conv()
+        lay = Layout((1, 4, 6, 6), ["N", "O", "H", "W"]).reorder(
+            ["N", "H", "W", "O"]
+        )
+        stage = lower_compute(comp, {"c.out": lay})
+        inp_reads = [r for r in stage.reads() if r.buffer.name == "Inp"]
+        # the H index of the input must now depend on the 2nd loop (s1)
+        h_expr = inp_reads[0].indices[2]
+        assert "s1" in {v for v in h_expr.free_vars()}
+
+    def test_pad_on_output_rejected(self):
+        comp = small_conv()
+        lay = Layout((1, 4, 6, 6)).pad(1, after=4)
+        with pytest.raises(LoweringError, match="pad"):
+            lower_compute(comp, {"c.out": lay})
+
+    def test_layout_shape_mismatch_rejected(self):
+        comp = small_conv()
+        with pytest.raises(LoweringError, match="shape"):
+            lower_compute(comp, {"c.out": Layout((1, 4, 7, 7))})
+
+
+class TestScheduleApplication:
+    def test_split_reorder_annotations(self):
+        comp = small_conv()
+        sched = (
+            LoopSchedule()
+            .split("s2", [3, 2])
+            .reorder(["s0", "s1", "s2.0", "ri", "rh", "rw", "s2.1", "s3"])
+            .parallel("s0")
+            .vectorize("s3")
+            .unroll("s2.1")
+        )
+        stage = lower_compute(comp, {}, sched)
+        kinds = {l.var: l.kind for l in stage.loops}
+        assert kinds["s0"] == PARALLEL
+        assert kinds["s3"] == VECTORIZE
+        assert kinds["s2.1"] == UNROLL
+        assert [l.var for l in stage.loops][2] == "s2.0"
+
+    def test_split_must_be_exact(self):
+        comp = small_conv()
+        with pytest.raises(LoweringError, match="not exact"):
+            lower_compute(comp, {}, LoopSchedule().split("s2", [4, 2]))
+
+    def test_reduction_split_tracks_membership(self):
+        comp = small_conv()
+        sched = LoopSchedule().split("ri", [3, 1])
+        stage = lower_compute(comp, {}, sched)
+        assert "ri.0" in stage.reduce_vars and "ri.1" in stage.reduce_vars
+
+    def test_vectorize_must_be_innermost(self):
+        comp = small_conv()
+        with pytest.raises(LoweringError, match="innermost"):
+            lower_compute(comp, {}, LoopSchedule().vectorize("s0"))
+
+    def test_vectorize_reduction_rejected(self):
+        comp = small_conv()
+        sched = LoopSchedule().reorder(
+            ["s0", "s1", "s2", "s3", "ri", "rh", "rw"]
+        ).vectorize("rw")
+        with pytest.raises(LoweringError, match="reduction"):
+            lower_compute(comp, {}, sched)
+
+    def test_parallel_reduction_rejected(self):
+        comp = small_conv()
+        with pytest.raises(LoweringError, match="reduction"):
+            lower_compute(comp, {}, LoopSchedule().parallel("ri"))
+
+    def test_parallel_must_be_prefix(self):
+        comp = small_conv()
+        with pytest.raises(LoweringError, match="prefix"):
+            lower_compute(comp, {}, LoopSchedule().parallel("s1"))
+
+    def test_reorder_must_cover_all(self):
+        comp = small_conv()
+        with pytest.raises(LoweringError):
+            lower_compute(comp, {}, LoopSchedule().reorder(["s0", "s1"]))
+
+    def test_unknown_loop_rejected(self):
+        comp = small_conv()
+        with pytest.raises(LoweringError, match="no loop"):
+            lower_compute(comp, {}, LoopSchedule().split("zz", [2, 2]))
+
+    def test_split_preserves_semantics(self):
+        comp = small_conv()
+        x = rng.standard_normal((1, 3, 8, 8))
+        k = rng.standard_normal((4, 3, 3, 3))
+        ref = conv2d_ref(x, k)
+        sched = (
+            LoopSchedule()
+            .split("s2", [2, 3])
+            .split("ri", [3, 1])
+            .reorder(["s0", "s2.0", "s1", "ri.0", "rh", "s2.1", "rw", "ri.1", "s3"])
+            .vectorize("s3")
+        )
+        got = run_compute(comp, {"Inp": x, "Ker": k}, {}, sched)
+        assert np.allclose(got, ref)
+
+
+class TestStoreAtLowering:
+    def test_bias_attached_to_weight(self):
+        """The paper's store_at example: bias vector rides in the weight
+        matrix's buffer, one extra row."""
+        from repro.ir.compute import Access, Axis, ComputeDef
+        from repro.ir.expr import Var as V
+
+        a = Tensor("A", (4, 6), role="input")
+        w = Tensor("W", (6, 8), role="const")
+        bias = Tensor("B", (8,), role="const")
+        out = Tensor("out", (4, 8))
+        m, n, k = V("m"), V("n"), V("k")
+        comp = ComputeDef(
+            "fc",
+            out,
+            [Axis("m", 4), Axis("n", 8)],
+            [Axis("k", 6)],
+            Access(a, [m, k]) * Access(w, [k, n]) + Access(bias, [n]) * (1.0 / 6),
+            reduce_op="sum",
+            tags=("complex", "gemm"),
+        )
+        layouts = {"B": Layout((8,)).store_at("W", 0)}
+        stage = lower_compute(comp, layouts)
+        # bias reads must target the W buffer's extra row
+        w_buf = [r.buffer for r in stage.reads() if r.buffer.name == "W"]
+        assert w_buf and w_buf[0].shape == (7, 8)
+
+        av = rng.standard_normal((4, 6))
+        wv = rng.standard_normal((6, 8))
+        bv = rng.standard_normal(8)
+        got = run_compute(comp, {"A": av, "W": wv, "B": bv}, layouts)
+        assert np.allclose(got, av @ wv + bv)

@@ -1,0 +1,205 @@
+"""Machine substrate: cache simulator invariants + analytical latency model."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.tensor import Tensor
+from repro.layout.layout import Layout
+from repro.loops.schedule import LoopSchedule
+from repro.lower.lower import lower_compute
+from repro.machine.cache import AddressMap, Cache, CacheHierarchy
+from repro.machine.latency import estimate_program, estimate_stage
+from repro.machine.spec import CacheLevel, MachineSpec, get_machine
+from repro.ir.nest import Program
+from repro.ops.conv import conv2d
+from repro.ops.elementwise import relu
+
+
+def small_l1(prefetch=4):
+    return CacheLevel("L1", 4 * 1024, 64, 4, 4, prefetch_lines=prefetch)
+
+
+class TestCache:
+    def test_cold_miss_then_hit(self):
+        c = Cache(small_l1(prefetch=1))
+        assert not c.access_addr(0)
+        assert c.access_addr(4)  # same line
+        assert c.stats.misses == 1 and c.stats.hits == 1
+
+    def test_prefetch_brings_next_lines(self):
+        c = Cache(small_l1(prefetch=4))
+        c.access_addr(0)  # miss, prefetches lines 1..3
+        assert c.access_addr(64) and c.access_addr(128) and c.access_addr(192)
+        assert c.stats.prefetch_hits == 3
+        assert not c.access_addr(64 * 4)  # beyond prefetch window
+
+    def test_sequential_stream_miss_rate(self):
+        """Sequential access misses once per prefetch window (Table 2's
+        layout-tiling case: misses = lines / prefetch_lines)."""
+        c = Cache(small_l1(prefetch=4))
+        n_lines = 32
+        for addr in range(0, n_lines * 64, 4):
+            c.access_addr(addr)
+        assert c.stats.misses == n_lines // 4
+
+    def test_strided_stream_misses_every_line(self):
+        """Large-stride access defeats the sequential prefetcher (Table 2's
+        loop-tiling case)."""
+        c = Cache(small_l1(prefetch=4))
+        for i in range(32):
+            c.access_addr(i * 64 * 16)  # 1 KiB stride
+        assert c.stats.misses == 32
+
+    def test_lru_eviction(self):
+        level = CacheLevel("L1", 2 * 64, 64, 2, 4, prefetch_lines=1)  # 2 lines
+        c = Cache(level)
+        c.access_line(0)
+        c.access_line(2)  # same set (1 set total? size/(line*assoc)=1)
+        c.access_line(0)  # refresh 0
+        c.access_line(4)  # evicts 2 (LRU)
+        assert c.access_line(0)
+        assert not c.access_line(2)
+
+    def test_capacity_working_set(self):
+        c = Cache(small_l1(prefetch=1))  # 4 KiB = 64 lines
+        for _ in range(3):
+            for line in range(32):
+                c.access_line(line)
+        assert c.stats.misses == 32  # fits: only cold misses
+
+    @given(st.lists(st.integers(0, 4096), min_size=1, max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_invariants(self, addrs):
+        c = Cache(small_l1())
+        for a in addrs:
+            c.access_addr(a)
+        s = c.stats
+        assert s.hits + s.misses == s.accesses == len(addrs)
+        assert s.prefetch_hits <= s.hits
+        assert s.lines_fetched >= s.misses
+
+    def test_hierarchy_cascade(self):
+        m = get_machine("intel_cpu")
+        h = CacheHierarchy(m)
+        lvl = h.access(0)
+        assert lvl == len(h.levels)  # cold -> DRAM
+        assert h.access(0) == 0      # now in L1
+        assert h.dram_accesses == 1
+
+    def test_address_map_disjoint(self):
+        amap = AddressMap(64)
+        a = amap.base("a", 100)
+        b = amap.base("b", 100)
+        assert a != b and abs(a - b) >= 128
+        assert amap.base("a", 100) == a  # stable
+
+
+def conv_stage(machine, schedule=None, layouts=None, channels=32, hw=30):
+    inp = Tensor("I", (1, channels, hw, hw))
+    ker = Tensor("K", (channels, channels, 3, 3))
+    comp = conv2d(inp, ker, name="c")
+    return lower_compute(comp, layouts or {}, schedule)
+
+
+class TestLatencyModel:
+    def setup_method(self):
+        self.m = get_machine("intel_cpu")
+
+    def test_deterministic(self):
+        s = conv_stage(self.m)
+        a = estimate_stage(s, self.m).total_cycles
+        b = estimate_stage(s, self.m).total_cycles
+        assert a == b
+
+    def test_more_work_costs_more(self):
+        small = conv_stage(self.m, channels=16)
+        big = conv_stage(self.m, channels=32)
+        assert (
+            estimate_stage(big, self.m).total_cycles
+            > estimate_stage(small, self.m).total_cycles
+        )
+
+    def test_parallel_speedup(self):
+        base = conv_stage(self.m)
+        par = conv_stage(
+            self.m,
+            LoopSchedule().split("s1", [8, 4]).reorder(
+                ["s0", "s1.0", "s2", "s3", "ri", "rh", "rw", "s1.1"]
+            ).parallel("s0").parallel("s1.0"),
+        )
+        c_base = estimate_stage(base, self.m)
+        c_par = estimate_stage(par, self.m)
+        assert c_par.parallelism > 1
+        assert c_par.total_cycles < c_base.total_cycles
+
+    def test_vectorize_helps_contiguous(self):
+        lay = Layout((1, 32, 28, 28), ["N", "O", "H", "W"]).reorder(
+            ["N", "H", "W", "O"]
+        )
+        ker_lay = Layout((32, 32, 3, 3), ["O", "I", "R", "S"]).reorder(
+            ["R", "S", "I", "O"]  # RSIO pairs with NHWO (paper Table 3)
+        )
+        layouts = {"c.out": lay, "K": ker_lay}
+        plain = conv_stage(self.m, None, layouts)
+        sched = LoopSchedule().reorder(
+            ["s0", "s1", "s2", "ri", "rh", "rw", "s3"]
+        ).vectorize("s3")
+        vec = conv_stage(self.m, sched, layouts)
+        assert (
+            estimate_stage(vec, self.m).total_cycles
+            < estimate_stage(plain, self.m).total_cycles
+        )
+
+    def test_gpu_requires_parallelism(self):
+        gpu = get_machine("nvidia_gpu")
+        serial = conv_stage(gpu)
+        par = conv_stage(
+            gpu,
+            LoopSchedule().split("s2", [14, 2]).reorder(
+                ["s1", "s2.0", "s0", "s3", "ri", "rh", "rw", "s2.1"]
+            ).parallel("s1").parallel("s2.0"),
+        )
+        assert (
+            estimate_stage(par, gpu).total_cycles
+            < estimate_stage(serial, gpu).total_cycles / 4
+        )
+
+    def test_fusion_reduces_program_latency(self):
+        inp = Tensor("I", (1, 32, 30, 30))
+        ker = Tensor("K", (32, 32, 3, 3))
+        comp = conv2d(inp, ker, name="c")
+        act = relu(comp.output, name="r")
+        conv_stage_ = lower_compute(comp)
+        relu_stage = lower_compute(act)
+        unfused = Program([conv_stage_, relu_stage])
+
+        fused_sched = LoopSchedule().set_fuse_group("g")
+        conv_f = lower_compute(comp, {}, fused_sched)
+        relu_f = lower_compute(act, {}, fused_sched)
+        fused = Program([conv_f, relu_f])
+        assert estimate_program(fused, self.m) < estimate_program(unfused, self.m)
+
+    def test_counters_populated(self):
+        cost = estimate_stage(conv_stage(self.m), self.m)
+        assert cost.instructions > 0
+        assert cost.loads > 0
+        assert cost.level_misses.get("DRAM", 0) >= 0
+        assert cost.serial_cycles == pytest.approx(
+            cost.compute_cycles + cost.memory_cycles + cost.overhead_cycles
+        )
+
+    def test_machine_presets(self):
+        for name in ("intel_cpu", "nvidia_gpu", "arm_cpu"):
+            m = get_machine(name)
+            assert m.cores >= 1 and m.vector_lanes >= 1
+            assert m.caches[0].line_bytes in (64, 128)
+        with pytest.raises(KeyError):
+            get_machine("tpu")
+
+    def test_seconds_conversion(self):
+        m = get_machine("arm_cpu")
+        assert m.cycles_to_seconds(m.freq_ghz * 1e9) == pytest.approx(1.0)

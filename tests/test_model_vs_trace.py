@@ -1,0 +1,100 @@
+"""Cross-validation: the analytical latency model against the trace-driven
+cache simulator.
+
+The analytical model is the tuner's oracle; the trace simulator replays
+real address streams.  They will not agree in absolute terms (the model
+approximates footprints), but on *directional* questions -- which of two
+programs touches memory worse -- they must usually agree, or tuning
+conclusions would not transfer to the profiled tables.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ir.compute import Access, Axis, ComputeDef
+from repro.ir.expr import Var
+from repro.ir.nest import Program
+from repro.ir.tensor import Tensor
+from repro.layout.layout import Layout
+from repro.loops.schedule import LoopSchedule
+from repro.lower.lower import lower_compute
+from repro.machine.latency import estimate_stage
+from repro.machine.spec import get_machine
+from repro.machine.trace import profile_stage
+
+MACHINE = get_machine("arm_cpu")
+
+
+def copy_kernel(rows, cols, transposed=False):
+    src = Tensor(f"S{rows}x{cols}{transposed}", (rows, cols))
+    i, j = Var("i"), Var("j")
+    if transposed:
+        out = Tensor(f"O{rows}x{cols}t", (cols, rows))
+        return ComputeDef(
+            "copyT", out, [Axis("j", cols), Axis("i", rows)], [],
+            Access(src, [i, j]),
+        )
+    out = Tensor(f"O{rows}x{cols}", (rows, cols))
+    return ComputeDef(
+        "copy", out, [Axis("i", rows), Axis("j", cols)], [],
+        Access(src, [i, j]),
+    )
+
+
+class TestDirectionalAgreement:
+    def test_row_vs_column_walk(self):
+        """Both oracles prefer the row-major walk of a big matrix."""
+        good = lower_compute(copy_kernel(2048, 16))
+        bad = lower_compute(copy_kernel(2048, 16, transposed=True))
+        model_good = estimate_stage(good, MACHINE).memory_cycles
+        model_bad = estimate_stage(bad, MACHINE).memory_cycles
+        trace_good = profile_stage(good, MACHINE).l1_misses
+        trace_bad = profile_stage(bad, MACHINE).l1_misses
+        assert model_good < model_bad
+        assert trace_good < trace_bad
+
+    def test_tiled_conv_beats_naive_in_both(self):
+        inp = Tensor("I", (1, 16, 20, 20))
+        ker = Tensor("K", (16, 16, 3, 3))
+        comp = lambda: None
+        from repro.ops.conv import conv2d
+
+        op = conv2d(inp, ker, name="c")
+        naive = lower_compute(op)
+        sched = (
+            LoopSchedule()
+            .split("s2", [6, 3]).split("s3", [6, 3]).split("ri", [4, 4])
+            .reorder(["s0", "s1", "s2.0", "s3.0", "ri.0", "rh", "rw",
+                      "ri.1", "s2.1", "s3.1"])
+        )
+        tiled = lower_compute(op, {}, sched)
+        m_naive = estimate_stage(naive, MACHINE)
+        m_tiled = estimate_stage(tiled, MACHINE)
+        t_naive = profile_stage(naive, MACHINE)
+        t_tiled = profile_stage(tiled, MACHINE)
+        model_ratio = m_tiled.memory_cycles / max(m_naive.memory_cycles, 1.0)
+        trace_ratio = t_tiled.level_stats["L1"].misses / max(
+            t_naive.level_stats["L1"].misses, 1
+        )
+        # directional agreement is only required when the difference is
+        # decisive in both oracles; near-ties may break either way
+        if (model_ratio < 0.8 or model_ratio > 1.25) and (
+            trace_ratio < 0.8 or trace_ratio > 1.25
+        ):
+            assert (model_ratio < 1) == (trace_ratio < 1), (
+                model_ratio, trace_ratio
+            )
+
+    def test_trace_misses_bounded_by_accesses(self):
+        op = lower_compute(copy_kernel(256, 16))
+        prof = profile_stage(op, MACHINE)
+        l1 = prof.level_stats["L1"]
+        assert 0 < l1.misses <= l1.accesses
+        assert prof.dram_accesses <= l1.misses
+
+    def test_cold_footprint_lower_bound(self):
+        """The trace must miss at least once per distinct line touched."""
+        op = lower_compute(copy_kernel(128, 16))
+        prof = profile_stage(op, MACHINE)
+        distinct_lines = (128 * 16 * 4 * 2) // 64  # src + dst bytes / line
+        assert prof.level_stats["L1"].lines_fetched >= distinct_lines // 4

@@ -1,0 +1,115 @@
+"""Whole-graph compilation: every mode compiles, runs, and stays correct."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exec.graph_runner import random_inputs, run_compiled, run_graph_reference
+from repro.graph.builder import GraphBuilder
+from repro.machine.spec import get_machine
+from repro.pipeline import CompileOptions, compile_graph, default_schedule, task_signature
+from repro.lower.lower import lower_compute
+
+
+def tiny_cnn():
+    b = GraphBuilder("tiny_cnn")
+    x = b.input((1, 4, 12, 12))
+    x = b.conv_bn_act(x, 8, 3)
+    x = b.conv_bn_act(x, 8, 3, stride=2)
+    x = b.max_pool2d(x, 2, 2)
+    x = b.global_avg_pool(x)
+    x = b.dense(x, 10)
+    return b.build()
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return get_machine("intel_cpu")
+
+
+@pytest.mark.parametrize("mode", ["alt", "alt-wp", "alt-ol", "ansor", "autotvm", "vendor"])
+def test_compile_and_execute_all_modes(mode, machine):
+    g = tiny_cnn()
+    model = compile_graph(g, machine, CompileOptions(mode=mode, total_budget=96, seed=0))
+    assert math.isfinite(model.latency_s) and model.latency_s > 0
+    inputs = random_inputs(model.graph, seed=7)
+    ref = run_graph_reference(model.graph, inputs)
+    got = run_compiled(model, inputs)
+    for name, arr in got.items():
+        assert np.allclose(arr, ref[name], atol=1e-8), (mode, name)
+
+
+def test_alt_wp_fuses_less_than_alt(machine):
+    """Without replication (ALT-WP) fusion conflicts shrink the fuse set
+    whenever layouts were actually transformed."""
+    alt = compile_graph(
+        tiny_cnn(), machine, CompileOptions(mode="alt", total_budget=96, seed=0)
+    )
+    wp = compile_graph(
+        tiny_cnn(), machine, CompileOptions(mode="alt-wp", total_budget=96, seed=0)
+    )
+    transformed = any(
+        not lay.is_identity
+        for name, lay in alt.layouts.items()
+        if name.endswith(".out")
+    )
+    if transformed:
+        assert len(wp.fuse_groups) <= len(alt.fuse_groups)
+
+
+def test_task_dedup(machine):
+    """Two identical convs share one tuning task."""
+    b = GraphBuilder("dedup")
+    x = b.input((1, 4, 10, 10))
+    x = b.conv2d(x, 4, 3)
+    x = b.relu(x)
+    x = b.conv2d(x, 4, 3)
+    g = b.build()
+    convs = [n for n in g.nodes if "conv" in n.tags]
+    assert task_signature(convs[0]) == task_signature(convs[1])
+    model = compile_graph(g, machine, CompileOptions(total_budget=64, seed=0))
+    assert len(model.task_results) == 1
+
+
+def test_conversion_inserted_between_complex_ops(machine):
+    """Two back-to-back convs with different tuned layouts trigger a
+    conversion operator (Algorithm 1 line 4) -- forced here by locking."""
+    b = GraphBuilder("conv_chain")
+    x = b.input((1, 8, 10, 10))
+    x = b.conv2d(x, 8, 3, pad=0)   # conv reads graph input directly
+    g = b.build()
+    from repro.layout.layout import Layout
+    from repro.layout.propagation import PropagationEngine
+
+    conv = next(n for n in g.nodes if "conv" in n.tags)
+    engine = PropagationEngine(g)
+    in_t = conv.inputs[0]
+    lay = Layout(in_t.shape).reorder([0, 2, 3, 1])
+    engine.assign_operator_layouts(conv, {in_t.name: lay})
+    assert engine.state.conversions
+    g.validate()
+
+
+def test_default_schedule_legal_for_all_nodes(machine):
+    g = tiny_cnn()
+    for node in g.nodes:
+        bare = lower_compute(node, {})
+        sched = default_schedule(bare, machine)
+        lower_compute(node, {}, sched)  # must not raise
+
+
+def test_compiled_latency_scales_with_budget_quality(machine):
+    """More tuning budget should not make the compiled model slower."""
+    small = compile_graph(
+        tiny_cnn(), machine, CompileOptions(mode="ansor", total_budget=32, seed=0)
+    ).latency_s
+    big = compile_graph(
+        tiny_cnn(), machine, CompileOptions(mode="ansor", total_budget=128, seed=0)
+    ).latency_s
+    assert big <= small * 1.05
+
+
+def test_bad_mode_rejected():
+    with pytest.raises(ValueError):
+        CompileOptions(mode="wat")

@@ -1,0 +1,143 @@
+"""Fixed layout schemes and transposed-convolution composites."""
+
+import numpy as np
+import pytest
+
+from repro.exec.reference import conv2d_ref, evaluate_compute
+from repro.exec.single_op import run_compute
+from repro.ir.tensor import Tensor
+from repro.layout.presets import (
+    conv_scheme_layouts,
+    fixed_scheme_layouts,
+    gemm_scheme_layouts,
+)
+from repro.ops.conv import conv2d, conv3d, depthwise_conv2d
+from repro.ops.gemm import gemm
+from repro.ops.transposed import (
+    transposed_conv2d,
+    transposed_conv2d_ref,
+    transposed_conv3d,
+    transposed_conv3d_ref,
+)
+
+rng = np.random.default_rng(3)
+
+
+def run_chain(comps, inputs):
+    vals = dict(inputs)
+    for c in comps:
+        vals[c.output.name] = evaluate_compute(
+            c, {t.name: vals[t.name] for t in c.inputs}
+        )
+    return vals[comps[-1].output.name]
+
+
+class TestConvSchemes:
+    @pytest.mark.parametrize("scheme", ["NOHW", "NHWO", "HWON", "NCHWc"])
+    def test_conv2d_scheme_correct(self, scheme):
+        x = rng.standard_normal((1, 4, 10, 10))
+        k = rng.standard_normal((8, 4, 3, 3))
+        comp = conv2d(Tensor("x", x.shape), Tensor("k", k.shape), name="c")
+        layouts = conv_scheme_layouts(comp, scheme, ot=4)
+        got = run_compute(comp, {"x": x, "k": k}, layouts)
+        assert np.allclose(got, conv2d_ref(x, k))
+
+    def test_nhwo_shapes(self):
+        comp = conv2d(Tensor("x2", (1, 4, 10, 10)), Tensor("k2", (8, 4, 3, 3)), name="c")
+        layouts = conv_scheme_layouts(comp, "NHWO")
+        assert layouts["c.out"].physical_shape() == (1, 8, 8, 8)
+        assert layouts["k2"].physical_shape() == (3, 3, 4, 8)  # rsIO
+
+    def test_nchwc_snaps_to_divisor(self):
+        comp = conv2d(Tensor("x3", (1, 6, 10, 10)), Tensor("k3", (10, 6, 3, 3)), name="c")
+        layouts = conv_scheme_layouts(comp, "NCHWc", ot=16)  # 16 !| 10 -> snaps
+        out_shape = layouts["c.out"].physical_shape()
+        assert out_shape[1] * out_shape[-1] == 10
+
+    def test_depthwise_schemes(self):
+        x = rng.standard_normal((1, 4, 10, 10))
+        k = rng.standard_normal((4, 3, 3))
+        comp = depthwise_conv2d(Tensor("x4", x.shape), Tensor("k4", k.shape), name="d")
+        from repro.exec.reference import depthwise_conv2d_ref
+
+        for scheme in ("NHWO", "NCHWc"):
+            layouts = conv_scheme_layouts(comp, scheme, ot=2)
+            got = run_compute(comp, {"x4": x, "k4": k}, layouts)
+            assert np.allclose(got, depthwise_conv2d_ref(x, k))
+
+    def test_conv3d_scheme(self):
+        x = rng.standard_normal((1, 2, 5, 7, 7))
+        k = rng.standard_normal((4, 2, 2, 3, 3))
+        comp = conv3d(Tensor("x5", x.shape), Tensor("k5", k.shape), name="c3")
+        from repro.exec.reference import conv3d_ref
+
+        layouts = conv_scheme_layouts(comp, "NHWO")  # generalizes to NDHWO
+        got = run_compute(comp, {"x5": x, "k5": k}, layouts)
+        assert np.allclose(got, conv3d_ref(x, k))
+
+    def test_unknown_scheme(self):
+        comp = conv2d(Tensor("x6", (1, 2, 6, 6)), Tensor("k6", (2, 2, 3, 3)), name="c")
+        with pytest.raises(ValueError):
+            conv_scheme_layouts(comp, "ZZZ")
+
+
+class TestGemmSchemes:
+    @pytest.mark.parametrize("scheme", ["KN", "NK", "NKn"])
+    def test_gemm_scheme_correct(self, scheme):
+        a = rng.standard_normal((12, 8))
+        b = rng.standard_normal((8, 20))
+        comp = gemm(Tensor("a", a.shape), Tensor("b", b.shape), name="g")
+        layouts = gemm_scheme_layouts(comp, scheme, mt=4, nt=5)
+        got = run_compute(comp, {"a": a, "b": b}, layouts)
+        assert np.allclose(got, a @ b)
+
+    def test_nk_transposes_b(self):
+        comp = gemm(Tensor("a2", (4, 6)), Tensor("b2", (6, 10)), name="g")
+        layouts = gemm_scheme_layouts(comp, "NK")
+        assert layouts["b2"].physical_shape() == (10, 6)
+
+    def test_dispatcher(self):
+        comp = gemm(Tensor("a3", (4, 6)), Tensor("b3", (6, 10)), name="g")
+        assert fixed_scheme_layouts(comp, "KN")
+        conv = conv2d(Tensor("x7", (1, 2, 6, 6)), Tensor("k7", (2, 2, 3, 3)), name="c")
+        assert fixed_scheme_layouts(conv, "NHWO")
+
+
+class TestTransposed:
+    @pytest.mark.parametrize("stride,pad", [(1, 0), (2, 0), (2, 1), (3, 2)])
+    def test_t2d_matches_reference(self, stride, pad):
+        x = rng.standard_normal((1, 3, 5, 5))
+        k = rng.standard_normal((4, 3, 3, 3))
+        comps = transposed_conv2d(
+            Tensor("x", x.shape), Tensor("k", k.shape), stride, pad, name="t"
+        )
+        got = run_chain(comps, {"x": x, "k": k})
+        ref = transposed_conv2d_ref(x, k, stride, pad)
+        assert got.shape == ref.shape
+        assert np.allclose(got, ref)
+
+    def test_t3d_matches_reference(self):
+        x = rng.standard_normal((1, 2, 3, 4, 4))
+        k = rng.standard_normal((3, 2, 2, 2, 2))
+        comps = transposed_conv3d(
+            Tensor("x", x.shape), Tensor("k", k.shape), 2, 0, name="t3"
+        )
+        got = run_chain(comps, {"x": x, "k": k})
+        ref = transposed_conv3d_ref(x, k, 2, 0)
+        assert got.shape == ref.shape and np.allclose(got, ref)
+
+    def test_t2d_complex_part_is_tunable(self):
+        comps = transposed_conv2d(
+            Tensor("x", (1, 2, 4, 4)), Tensor("k", (2, 2, 4, 4)), 2, 1, name="t"
+        )
+        conv = comps[-1]
+        assert conv.is_complex
+        from repro.layout.templates import template_for
+
+        assert template_for(conv) is not None
+
+    def test_bad_pad_rejected(self):
+        with pytest.raises(ValueError):
+            transposed_conv2d(
+                Tensor("x", (1, 2, 4, 4)), Tensor("k", (2, 2, 3, 3)), 2, 3
+            )

@@ -1,0 +1,192 @@
+"""Layout propagation: Algorithm 1's absorption, replication, constraints."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.layout.layout import Layout
+from repro.layout.propagation import PropagationEngine, PropagationState
+
+
+def pad_conv_relu():
+    """padding -> C2D -> bias -> ReLU (the paper's running example)."""
+    b = GraphBuilder("g")
+    x = b.input((1, 4, 8, 8))
+    x = b.conv2d(x, 8, 3)       # inserts a pad node
+    x = b.bias_add(x, "channel")
+    x = b.relu(x)
+    return b.build()
+
+
+def graph_pieces(graph):
+    conv = next(n for n in graph.nodes if "conv" in n.tags)
+    pad = graph.producer_of(conv.inputs[0].name)
+    return conv, pad
+
+
+def tiled_layout(shape):
+    names = ["N", "O", "H", "W"]
+    lay = Layout(shape, names)
+    return lay.split("O", [shape[1] // 2, 2]).reorder(["N", "O.0", "H", "W", "O.1"])
+
+
+class TestAbsorption:
+    def test_pad_absorbs_input_layout(self):
+        """Fig. 5b: the padding producer yields the new layout directly --
+        no conversion operator appears."""
+        g = pad_conv_relu()
+        conv, pad = graph_pieces(g)
+        n_nodes = len(g.nodes)
+        engine = PropagationEngine(g)
+        in_t = conv.inputs[0]
+        lay = Layout(in_t.shape).split(1, [2, 2]).reorder([0, 1, 2, 3, 4])
+        engine.assign_operator_layouts(conv, {in_t.name: lay})
+        assert len(g.nodes) == n_nodes  # nothing inserted
+        assert engine.state.layouts[in_t.name].signature() == lay.signature()
+        assert in_t.name in engine.state.locked
+
+    def test_const_weight_relaid_offline(self):
+        g = pad_conv_relu()
+        conv, _ = graph_pieces(g)
+        ker = conv.inputs[1]
+        engine = PropagationEngine(g)
+        lay = Layout(ker.shape).reorder([2, 3, 1, 0])
+        engine.assign_operator_layouts(conv, {ker.name: lay})
+        assert not engine.state.conversions
+        assert engine.state.layouts[ker.name].signature() == lay.signature()
+
+    def test_locked_input_gets_conversion(self):
+        """A graph input (no producer) cannot absorb: Fig. 5a conversion."""
+        b = GraphBuilder("g2")
+        x = b.input((1, 4, 6, 6))
+        x = b.conv2d(x, 8, 1, pad=0)  # no padding node -> conv reads input
+        g = b.build()
+        conv = next(n for n in g.nodes if "conv" in n.tags)
+        in_t = conv.inputs[0]
+        engine = PropagationEngine(g)
+        lay = Layout(in_t.shape).reorder([0, 2, 3, 1])
+        n_nodes = len(g.nodes)
+        engine.assign_operator_layouts(conv, {in_t.name: lay})
+        assert len(g.nodes) == n_nodes + 1
+        assert len(engine.state.conversions) == 1
+        conv_node = g.node(engine.state.conversions[0])
+        # consumer now reads the converted tensor with the new layout
+        assert conv_node.output.name in {t.name for t in conv.inputs}
+        assert (
+            engine.state.layouts[conv_node.output.name].signature()
+            == lay.signature()
+        )
+
+    def test_absorption_disabled_forces_conversion(self):
+        g = pad_conv_relu()
+        conv, _ = graph_pieces(g)
+        in_t = conv.inputs[0]
+        engine = PropagationEngine(g, enable_absorption=False)
+        lay = Layout(in_t.shape).reorder([0, 2, 3, 1])
+        engine.assign_operator_layouts(conv, {in_t.name: lay})
+        assert len(engine.state.conversions) == 1
+
+
+class TestReplication:
+    def test_output_layout_replicates_downstream(self):
+        """Fig. 7: bias and relu reconstruct the same loop nest, so fusion
+        alignment survives the conv's output layout change."""
+        g = pad_conv_relu()
+        conv, _ = graph_pieces(g)
+        engine = PropagationEngine(g)
+        lay = tiled_layout(conv.output.shape)
+        engine.assign_operator_layouts(conv, {conv.output.name: lay})
+        bias = g.consumers_of(conv.output.name)[0]
+        relu = g.consumers_of(bias.output.name)[0]
+        for node in (bias, relu):
+            assert (
+                engine.state.layouts[node.output.name].signature()
+                == lay.signature()
+            ), node.name
+            assert engine.state.replicated.get(node.output.name) is not None
+
+    def test_replication_disabled_alt_wp(self):
+        g = pad_conv_relu()
+        conv, _ = graph_pieces(g)
+        engine = PropagationEngine(g, enable_replication=False)
+        lay = tiled_layout(conv.output.shape)
+        engine.assign_operator_layouts(conv, {conv.output.name: lay})
+        bias = g.consumers_of(conv.output.name)[0]
+        assert bias.output.name not in engine.state.layouts
+
+    def test_stops_at_complex_consumer(self):
+        """Constraint 2 / line 10: propagation crosses simple ops but stops
+        silently at the next complex operator."""
+        b = GraphBuilder("g3")
+        x = b.input((1, 4, 10, 10))
+        x = b.conv2d(x, 8, 3, pad=0)
+        x = b.relu(x)
+        y = b.conv2d(x, 8, 1, pad=0)
+        g = b.build()
+        convs = [n for n in g.nodes if "conv" in n.tags]
+        relu = next(n for n in g.nodes if n.name.startswith("relu"))
+        engine = PropagationEngine(g)
+        lay = tiled_layout(convs[0].output.shape)
+        engine.assign_operator_layouts(convs[0], {convs[0].output.name: lay})
+        assert engine.state.layouts[relu.output.name].signature() == lay.signature()
+        assert convs[1].output.name not in engine.state.layouts
+        assert not engine.state.conversions
+
+    def test_nontrivial_advanced_not_replicated(self):
+        """Constraint 1: overlapped unfold layouts never propagate."""
+        g = pad_conv_relu()
+        conv, _ = graph_pieces(g)
+        engine = PropagationEngine(g)
+        shape = conv.output.shape
+        lay = Layout(shape, ["N", "O", "H", "W"]).unfold("H", 4, 2)
+        engine.assign_operator_layouts(conv, {conv.output.name: lay})
+        bias = g.consumers_of(conv.output.name)[0]
+        assert bias.output.name not in engine.state.layouts
+
+    def test_shape_mismatch_not_replicated(self):
+        """Constraint 3: primitive parameters are shape-dependent."""
+        b = GraphBuilder("g4")
+        x = b.input((1, 4, 10, 10))
+        x = b.conv2d(x, 8, 3, pad=0)
+        x = b.max_pool2d(x, 2, 2)  # not elementwise, different shape
+        g = b.build()
+        conv = next(n for n in g.nodes if "conv" in n.tags)
+        pool = g.consumers_of(conv.output.name)[0]
+        engine = PropagationEngine(g)
+        lay = tiled_layout(conv.output.shape)
+        engine.assign_operator_layouts(conv, {conv.output.name: lay})
+        assert pool.output.name not in engine.state.layouts
+
+    def test_identity_layout_not_replicated(self):
+        g = pad_conv_relu()
+        conv, _ = graph_pieces(g)
+        engine = PropagationEngine(g)
+        engine.assign_operator_layouts(
+            conv, {conv.output.name: Layout(conv.output.shape)}
+        )
+        bias = g.consumers_of(conv.output.name)[0]
+        assert bias.output.name not in engine.state.replicated
+
+
+class TestConflicts:
+    def test_two_convs_same_layout_no_conflict(self):
+        g = pad_conv_relu()
+        conv, _ = graph_pieces(g)
+        engine = PropagationEngine(g)
+        lay = tiled_layout(conv.output.shape)
+        engine.assign_operator_layouts(conv, {conv.output.name: lay})
+        # assigning the same signature again is a no-op
+        engine.assign_operator_layouts(
+            conv, {conv.output.name: lay.replay_onto(Layout(conv.output.shape))}
+        )
+
+    def test_conflicting_output_layout_raises(self):
+        g = pad_conv_relu()
+        conv, _ = graph_pieces(g)
+        engine = PropagationEngine(g)
+        engine.assign_operator_layouts(
+            conv, {conv.output.name: tiled_layout(conv.output.shape)}
+        )
+        other = Layout(conv.output.shape).reorder([0, 2, 3, 1])
+        with pytest.raises(ValueError, match="locked"):
+            engine.assign_operator_layouts(conv, {conv.output.name: other})

@@ -1,0 +1,111 @@
+"""Search-space abstractions: divisors, ParamSpec, ConfigSpace."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tuning.space import ConfigSpace, ParamSpec, divisors, nearest_choice
+
+
+class TestDivisors:
+    def test_basic(self):
+        assert divisors(12) == [1, 2, 3, 4, 6, 12]
+        assert divisors(1) == [1]
+        assert divisors(7) == [1, 7]
+
+    def test_square(self):
+        assert divisors(16) == [1, 2, 4, 8, 16]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            divisors(0)
+
+    @given(st.integers(1, 2000))
+    def test_all_divide(self, n):
+        ds = divisors(n)
+        assert all(n % d == 0 for d in ds)
+        assert ds == sorted(set(ds))
+        assert ds[0] == 1 and ds[-1] == n
+
+
+class TestParamSpec:
+    def test_from_unit_eq2(self):
+        """Eq. 2: F = R(D * a) rounded onto the divisor set."""
+        p = ParamSpec("f", divisors(32))
+        assert p.from_unit(0.0) == 1
+        assert p.from_unit(1.0) == 32
+        assert p.from_unit(0.5) == 16
+
+    def test_from_unit_non_numeric(self):
+        p = ParamSpec("x", ["a", "b", "c"])
+        assert p.from_unit(0.0) == "a"
+        assert p.from_unit(0.99) == "c"
+
+    def test_neighbors(self):
+        p = ParamSpec("f", [1, 2, 4, 8])
+        assert p.neighbors(2) == [1, 4]
+        assert p.neighbors(1) == [2]
+        assert p.neighbors(8) == [4]
+
+    def test_empty_choices_rejected(self):
+        with pytest.raises(ValueError):
+            ParamSpec("x", [])
+
+    def test_nearest_choice(self):
+        assert nearest_choice([1, 2, 4, 8], 5) == 4
+        assert nearest_choice([1, 2, 4, 8], 6) == 4  # ties break low
+
+
+class TestConfigSpace:
+    def make(self):
+        return ConfigSpace(
+            [ParamSpec("a", [1, 2, 4]), ParamSpec("b", [0, 1]), ParamSpec("c", [3])]
+        )
+
+    def test_size_default(self):
+        sp = self.make()
+        assert sp.size() == 6
+        assert sp.default() == {"a": 1, "b": 0, "c": 3}
+
+    def test_sample_valid(self):
+        sp = self.make()
+        rng = random.Random(0)
+        for _ in range(20):
+            sp.validate(sp.sample(rng))
+
+    def test_validate_rejects(self):
+        sp = self.make()
+        with pytest.raises(KeyError):
+            sp.validate({"a": 1})
+        with pytest.raises(ValueError):
+            sp.validate({"a": 5, "b": 0, "c": 3})
+
+    def test_mutate_stays_valid(self):
+        sp = self.make()
+        rng = random.Random(1)
+        cfg = sp.default()
+        for _ in range(30):
+            cfg = sp.mutate(cfg, rng, n=2)
+            sp.validate(cfg)
+
+    def test_crossover(self):
+        sp = self.make()
+        rng = random.Random(2)
+        a = {"a": 1, "b": 0, "c": 3}
+        b = {"a": 4, "b": 1, "c": 3}
+        child = sp.crossover(a, b, rng)
+        sp.validate(child)
+
+    def test_concat_and_signature(self):
+        sp = self.make()
+        sp2 = ConfigSpace([ParamSpec("d", [9])])
+        joint = sp.concat(sp2)
+        assert len(joint) == 4
+        cfg = joint.default()
+        assert joint.signature(cfg) == (1, 0, 3, 9)
+
+    def test_duplicate_param_rejected(self):
+        with pytest.raises(ValueError):
+            ConfigSpace([ParamSpec("a", [1]), ParamSpec("a", [2])])

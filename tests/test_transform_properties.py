@@ -1,0 +1,158 @@
+"""Property-based tests of the big invariant: *any* legal combination of
+layouts and loop schedules preserves operator semantics.
+
+This is the guarantee the paper's transformation module rests on -- layout
+changes are compiled, not hand-ported, so they must never change results.
+Hypothesis drives randomized layout chains, template configurations and
+loop schedules through the full lower+execute pipeline against the numpy
+reference.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.exec.reference import conv2d_ref, evaluate_compute
+from repro.exec.single_op import run_compute
+from repro.ir.tensor import Tensor
+from repro.layout.layout import Layout
+from repro.layout.templates import template_for
+from repro.lower.lower import lower_compute
+from repro.ops.conv import conv2d
+from repro.ops.gemm import gemm
+from repro.tuning.loop_space import LoopSpace
+
+rng = np.random.default_rng(0)
+
+_X = rng.standard_normal((1, 4, 10, 10))
+_K = rng.standard_normal((8, 4, 3, 3))
+_REF = conv2d_ref(_X, _K, 1)
+
+
+def _conv():
+    return conv2d(Tensor("X", (1, 4, 10, 10)), Tensor("K", (8, 4, 3, 3)), name="pc")
+
+
+def _random_basic_layout(data, shape):
+    lay = Layout(shape)
+    for _ in range(data.draw(st.integers(0, 3))):
+        kind = data.draw(st.sampled_from(["split", "reorder"]))
+        dims = lay.dims
+        if kind == "split":
+            cands = [i for i, d in enumerate(dims) if d.size >= 4 and d.size % 2 == 0]
+            if not cands:
+                continue
+            i = data.draw(st.sampled_from(cands))
+            lay = lay.split(i, [dims[i].size // 2, 2])
+        else:
+            perm = data.draw(st.permutations(range(len(dims))))
+            lay = lay.reorder(list(perm))
+    return lay
+
+
+@given(st.data())
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_random_basic_layouts_preserve_conv(data):
+    comp = _conv()
+    layouts = {
+        "pc.out": _random_basic_layout(data, comp.output.shape),
+        "X": _random_basic_layout(data, (1, 4, 10, 10)),
+        "K": _random_basic_layout(data, (8, 4, 3, 3)),
+    }
+    got = run_compute(comp, {"X": _X, "K": _K}, layouts)
+    assert np.allclose(got, _REF)
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None)
+def test_random_template_configs_preserve_conv(seed):
+    comp = _conv()
+    tpl = template_for(comp)
+    cfg = tpl.space().sample(random.Random(seed))
+    got = run_compute(comp, {"X": _X, "K": _K}, tpl.instantiate(cfg))
+    assert np.allclose(got, _REF)
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None)
+def test_random_schedules_preserve_conv(seed):
+    comp = _conv()
+    space = LoopSpace(lower_compute(comp))
+    cfg = space.space().sample(random.Random(seed))
+    got = run_compute(comp, {"X": _X, "K": _K}, {}, space.schedule(cfg))
+    assert np.allclose(got, _REF)
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=15, deadline=None)
+def test_random_joint_configs_preserve_conv(seed):
+    """Layout AND schedule randomized together (the joint space)."""
+    r = random.Random(seed)
+    comp = _conv()
+    tpl = template_for(comp)
+    layouts = tpl.instantiate(tpl.space().sample(r))
+    space = LoopSpace(lower_compute(comp, layouts))
+    sched = space.schedule(space.space().sample(r))
+    got = run_compute(comp, {"X": _X, "K": _K}, layouts, sched)
+    assert np.allclose(got, _REF)
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=15, deadline=None)
+def test_random_gemm_joint_configs(seed):
+    r = random.Random(seed)
+    a = rng.standard_normal((8, 12))
+    b = rng.standard_normal((12, 16))
+    comp = gemm(Tensor("A", (8, 12)), Tensor("B", (12, 16)), name="pg")
+    tpl = template_for(comp)
+    layouts = tpl.instantiate(tpl.space().sample(r))
+    space = LoopSpace(lower_compute(comp, layouts))
+    sched = space.schedule(space.space().sample(r))
+    got = run_compute(comp, {"A": a, "B": b}, layouts, sched)
+    assert np.allclose(got, a @ b)
+
+
+@given(st.integers(2, 5), st.integers(1, 4), st.integers(1, 3))
+@settings(max_examples=20, deadline=None)
+def test_unfold_covers_all_windows(tile_windows, stride, kernel_minus1):
+    """Every sliding window lands inside its unfold tile (Eq. 1 coverage)."""
+    kernel = kernel_minus1 + 1
+    windows = tile_windows * 3
+    size = stride * (windows - 1) + kernel
+    lay = Layout((size,), ["H"]).unfold(
+        "H", stride * (tile_windows - 1) + kernel, stride * tile_windows
+    )
+    from repro.layout.primitives import RewriteContext
+    from repro.ir.expr import Var
+
+    ctx = RewriteContext({"i": windows, "r": kernel}, {"r"})
+    t_expr, b_expr = lay.rewrite_access([Var("i") * stride + Var("r")], ctx)
+    arr = np.arange(float(size))
+    phys = lay.materialize(arr)
+    for i in range(windows):
+        for r in range(kernel):
+            env = {"i": i, "r": r}
+            t, b = t_expr.evaluate(env), b_expr.evaluate(env)
+            assert 0 <= t < phys.shape[0] and 0 <= b < phys.shape[1]
+            assert phys[t, b] == arr[i * stride + r]
+
+
+@given(st.data())
+@settings(max_examples=20, deadline=None)
+def test_evaluate_compute_matches_lowered_identity(data):
+    """The two oracles agree on elementwise chains with random shapes."""
+    from repro.ops.elementwise import relu, scale_shift
+
+    n = data.draw(st.integers(1, 3))
+    c = data.draw(st.sampled_from([2, 4, 6]))
+    h = data.draw(st.integers(2, 6))
+    t = Tensor("t", (n, c, h, h))
+    comp = relu(t, name="r")
+    x = np.asarray(data.draw(st.just(0))) + rng.standard_normal((n, c, h, h))
+    a = evaluate_compute(comp, {"t": x})
+    b = run_compute(comp, {"t": x})
+    assert np.allclose(a, b)

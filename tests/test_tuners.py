@@ -1,0 +1,105 @@
+"""End-to-end behaviour of the tuners (ALT + baselines)."""
+
+import math
+
+import pytest
+
+from repro.ir.tensor import Tensor
+from repro.machine.spec import get_machine
+from repro.ops.conv import conv2d, depthwise_conv2d
+from repro.ops.gemm import gemm
+from repro.tuning.baselines import (
+    tune_alt,
+    tune_alt_ol,
+    tune_ansor_like,
+    tune_autotvm_like,
+    tune_flextensor_like,
+    tune_random_layout,
+    vendor_library,
+)
+from repro.tuning.pretrain import pretrain
+
+BUDGET = 64
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return get_machine("intel_cpu")
+
+
+@pytest.fixture(scope="module")
+def conv_op():
+    inp = Tensor("I", (1, 16, 20, 20))
+    ker = Tensor("K", (16, 16, 3, 3))
+    return conv2d(inp, ker, name="c")
+
+
+@pytest.mark.parametrize(
+    "tuner",
+    [tune_alt, tune_alt_ol, tune_ansor_like, tune_autotvm_like,
+     tune_flextensor_like, tune_random_layout],
+)
+def test_tuner_returns_finite_result(tuner, machine, conv_op):
+    res = tuner(conv_op, machine, budget=BUDGET, seed=0)
+    assert math.isfinite(res.best_latency) and res.best_latency > 0
+    assert res.measurements <= BUDGET
+    assert res.best_schedule is not None
+    bests = [b for _, b in res.history]
+    assert all(x >= y for x, y in zip(bests, bests[1:]))
+
+
+def test_vendor_library(machine, conv_op):
+    res = vendor_library(conv_op, machine)
+    assert math.isfinite(res.best_latency)
+    assert res.measurements <= 64
+
+
+def test_alt_layouts_are_recorded(machine, conv_op):
+    res = tune_alt(conv_op, machine, budget=BUDGET, seed=0)
+    assert res.best_layouts  # layout assignments for the conv tensors
+    assert any(name == conv_op.output.name for name in res.best_layouts)
+
+
+def test_alt_beats_or_matches_fixed_layout_baseline(machine):
+    """ALT's space contains the baselines' layouts, so with the same budget
+    it must land within a small factor of Ansor (and usually at or below)."""
+    inp = Tensor("I2", (1, 32, 30, 30))
+    ker = Tensor("K2", (32, 32, 3, 3))
+    comp = conv2d(inp, ker, name="c2")
+    alt = tune_alt(comp, machine, budget=150, seed=0).best_latency
+    ansor = tune_ansor_like(comp, machine, budget=150, seed=0).best_latency
+    assert alt <= ansor * 1.15
+
+
+def test_gemm_tuning(machine):
+    a = Tensor("A", (64, 32))
+    b = Tensor("B", (32, 48))
+    comp = gemm(a, b, "g")
+    res = tune_alt(comp, machine, budget=BUDGET, seed=0)
+    assert math.isfinite(res.best_latency)
+
+
+def test_depthwise_tuning(machine):
+    inp = Tensor("I3", (1, 16, 18, 18))
+    ker = Tensor("K3", (16, 3, 3))
+    comp = depthwise_conv2d(inp, ker, name="d")
+    res = tune_alt(comp, machine, budget=BUDGET, seed=0)
+    assert math.isfinite(res.best_latency)
+
+
+def test_random_layout_searcher(machine, conv_op):
+    res = tune_random_layout(conv_op, machine, budget=BUDGET, joint_fraction=0.5, seed=1)
+    assert math.isfinite(res.best_latency)
+
+
+def test_pretrain_produces_loadable_state(machine, conv_op):
+    state = pretrain(machine, budget_per_workload=24, seed=0)
+    assert "layout" in state and "loop" in state
+    res = tune_alt(conv_op, machine, budget=BUDGET, seed=0, pretrained=state)
+    assert math.isfinite(res.best_latency)
+
+
+def test_gpu_and_arm_targets(conv_op):
+    for name in ("nvidia_gpu", "arm_cpu"):
+        res = tune_alt(conv_op, get_machine(name), budget=48, seed=0)
+        assert math.isfinite(res.best_latency), name

@@ -1,0 +1,279 @@
+"""Cost model, boosted trees, PPO, features, loop space, tasks."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.tensor import Tensor
+from repro.lower.lower import lower_compute
+from repro.machine.spec import get_machine
+from repro.ops.conv import conv2d
+from repro.ops.gemm import gemm
+from repro.tuning.boosted_trees import GradientBoostedTrees, RegressionTree
+from repro.tuning.cost_model import CostModel
+from repro.tuning.features import N_FEATURES, stage_features
+from repro.tuning.loop_space import LoopSpace
+from repro.tuning.nn import MLP
+from repro.tuning.ppo import (
+    MAX_SLOTS,
+    PPOActor,
+    SharedCritic,
+    decode_actions,
+    encode_space_state,
+)
+from repro.tuning.space import ConfigSpace, ParamSpec, divisors
+from repro.tuning.task import BudgetExhausted, TuningTask
+
+
+def small_conv():
+    inp = Tensor("I", (1, 8, 12, 12))
+    ker = Tensor("K", (8, 8, 3, 3))
+    return conv2d(inp, ker, name="c")
+
+
+class TestBoostedTrees:
+    def test_tree_fits_step_function(self):
+        X = np.linspace(0, 1, 200)[:, None]
+        y = (X[:, 0] > 0.5).astype(float)
+        tree = RegressionTree(max_depth=2).fit(X, y)
+        pred = tree.predict(X)
+        assert np.abs(pred - y).mean() < 0.05
+
+    def test_gbrt_fits_smooth_function(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(0, 1, size=(300, 3))
+        y = 2 * X[:, 0] + np.sin(4 * X[:, 1]) - X[:, 2] ** 2
+        model = GradientBoostedTrees(n_trees=60).fit(X, y)
+        resid = model.predict(X) - y
+        assert np.sqrt((resid**2).mean()) < 0.15
+
+    def test_gbrt_ranks_monotone(self):
+        X = np.linspace(0, 1, 100)[:, None]
+        y = X[:, 0]
+        model = GradientBoostedTrees().fit(X, y)
+        pred = model.predict(np.array([[0.1], [0.9]]))
+        assert pred[1] > pred[0]
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(ValueError):
+            GradientBoostedTrees().fit(np.empty((0, 2)), np.empty(0))
+
+    def test_constant_target(self):
+        X = np.random.default_rng(1).uniform(size=(50, 2))
+        model = GradientBoostedTrees().fit(X, np.full(50, 3.0))
+        assert np.allclose(model.predict(X), 3.0)
+
+
+class TestFeatures:
+    def test_fixed_length(self):
+        stage = lower_compute(small_conv())
+        f = stage_features(stage)
+        assert f.shape == (N_FEATURES,)
+        assert np.isfinite(f).all()
+
+    def test_distinguishes_schedules(self):
+        from repro.loops.schedule import LoopSchedule
+
+        comp = small_conv()
+        a = stage_features(lower_compute(comp))
+        sched = LoopSchedule().reorder(
+            ["s0", "s1", "s2", "ri", "rh", "rw", "s3"]
+        ).vectorize("s3").parallel("s0")
+        b = stage_features(lower_compute(comp, {}, sched))
+        assert not np.array_equal(a, b)
+
+
+class TestCostModel:
+    def test_learns_to_rank(self):
+        """After updates, the model must rank a clearly-faster stage first."""
+        m = get_machine("intel_cpu")
+        from repro.loops.schedule import LoopSchedule
+        from repro.machine.latency import estimate_stage
+
+        comp = small_conv()
+        cm = CostModel(retrain_every=8, min_samples=8)
+        stages = []
+        rng = random.Random(0)
+        task = TuningTask(comp, m)
+        space = task.loop_space_for({})
+        for _ in range(40):
+            cfg = space.space().sample(rng)
+            try:
+                stage = lower_compute(comp, {}, space.schedule(cfg))
+            except Exception:
+                continue
+            lat = m.cycles_to_seconds(estimate_stage(stage, m).total_cycles)
+            cm.update(stage, lat)
+            stages.append((stage, lat))
+        assert cm.trained
+        sample = stages[:16]
+        scores = cm.predict([s for s, _ in sample])
+        lats = np.array([l for _, l in sample])
+        # rank correlation between score and -latency should be positive
+        order_score = np.argsort(-scores)
+        order_true = np.argsort(lats)
+        top_true = set(order_true[:5])
+        assert len(top_true & set(order_score[:8])) >= 2
+
+    def test_ignores_bad_latencies(self):
+        cm = CostModel()
+        stage = lower_compute(small_conv())
+        cm.update(stage, math.inf)
+        cm.update(stage, -1.0)
+        assert cm.n_samples == 0
+
+    def test_untrained_predicts_zeros(self):
+        cm = CostModel()
+        stage = lower_compute(small_conv())
+        assert np.allclose(cm.predict([stage]), 0.0)
+        assert cm.top_k([stage, stage], 1) == [0]
+
+
+class TestMLPAndPPO:
+    def test_mlp_learns_regression(self):
+        rng = np.random.default_rng(0)
+        net = MLP(2, 32, 1, rng)
+        X = rng.uniform(-1, 1, size=(256, 2))
+        y = (X[:, 0] * 0.5 - X[:, 1] * 0.3)[:, None]
+        for _ in range(300):
+            pred = net.forward(X)
+            grad = 2 * (pred - y) / len(X)
+            net.adam_step(net.backward(grad), lr=1e-2)
+        final = float(((net.forward(X) - y) ** 2).mean())
+        assert final < 0.01
+
+    def test_state_dict_roundtrip(self):
+        rng = np.random.default_rng(0)
+        net = MLP(4, 8, 2, rng)
+        state = net.state_dict()
+        net2 = MLP(4, 8, 2, np.random.default_rng(1))
+        net2.load_state_dict(state)
+        x = rng.uniform(size=(3, 4))
+        assert np.allclose(net.forward(x), net2.forward(x))
+
+    def test_state_dict_shape_check(self):
+        rng = np.random.default_rng(0)
+        net = MLP(4, 8, 2, rng)
+        with pytest.raises(ValueError):
+            MLP(4, 8, 3, rng).load_state_dict(net.state_dict())
+
+    def test_ppo_learns_bandit(self):
+        """The actor should shift its action toward the rewarded region."""
+        rng = np.random.default_rng(0)
+        critic = SharedCritic(rng)
+        actor = PPOActor(critic, rng)
+        state = np.zeros(encode_space_state(ConfigSpace([]), None).shape)
+        target = 0.8
+        for _ in range(30):
+            for _ in range(8):
+                a = actor.act(state)
+                reward = -abs(float(a[0]) - target) * 10
+                actor.record(reward)
+            actor.update()
+        final_actions = [float(actor.act(state, explore=False)[0]) for _ in range(3)]
+        assert abs(np.mean(final_actions) - target) < 0.25
+
+    def test_encode_decode(self):
+        space = ConfigSpace(
+            [ParamSpec("f1", divisors(32)), ParamSpec("f2", divisors(8))]
+        )
+        state = encode_space_state(space, {"f1": 8, "f2": 2})
+        assert np.isfinite(state).all()
+        cfg = decode_actions(space, np.array([0.5, 1.0]))
+        assert cfg["f1"] == 16 and cfg["f2"] == 8
+
+    def test_actor_state_dict(self):
+        rng = np.random.default_rng(0)
+        actor = PPOActor(SharedCritic(rng), rng)
+        sd = actor.state_dict()
+        actor2 = PPOActor(SharedCritic(rng), rng)
+        actor2.load_state_dict(sd)
+        s = np.zeros(MAX_SLOTS * 3 + 2)
+        assert np.allclose(actor.act(s, explore=False), actor2.act(s, explore=False))
+
+
+class TestLoopSpace:
+    def test_schedules_decode_and_lower(self):
+        comp = small_conv()
+        stage = lower_compute(comp)
+        space = LoopSpace(stage)
+        rng = random.Random(0)
+        ok = 0
+        for _ in range(40):
+            cfg = space.space().sample(rng)
+            sched = space.schedule(cfg)
+            lower_compute(comp, {}, sched)  # must not raise
+            ok += 1
+        assert ok == 40
+
+    def test_heuristics_valid(self):
+        comp = small_conv()
+        stage = lower_compute(comp)
+        space = LoopSpace(stage)
+        for cfg in space.heuristic_configs():
+            space.space().validate(cfg)
+            lower_compute(comp, {}, space.schedule(cfg))
+
+    def test_vectorize_lands_innermost_spatial(self):
+        comp = small_conv()
+        space = LoopSpace(lower_compute(comp))
+        cfg = space.space().default()
+        cfg.update({"vectorize": 1, "pattern": 0})
+        sched = space.schedule(cfg)
+        assert sched.vectorize_var is not None
+
+
+class TestTask:
+    def test_budget_enforced(self):
+        m = get_machine("intel_cpu")
+        task = TuningTask(small_conv(), m, budget=3)
+        space = task.loop_space_for({})
+        rng = random.Random(0)
+        seen = 0
+        with pytest.raises(BudgetExhausted):
+            for _ in range(20):
+                cfg = space.space().sample(rng)
+                task.measure({}, space.schedule(cfg))
+                seen += 1
+        assert task.measurements == 3
+
+    def test_cache_does_not_consume_budget(self):
+        m = get_machine("intel_cpu")
+        task = TuningTask(small_conv(), m, budget=5)
+        space = task.loop_space_for({})
+        sched = space.schedule(space.space().default())
+        a = task.measure({}, sched)
+        b = task.measure({}, sched)
+        assert a == b and task.measurements == 1
+
+    def test_history_monotone(self):
+        m = get_machine("intel_cpu")
+        task = TuningTask(small_conv(), m, budget=20)
+        space = task.loop_space_for({})
+        rng = random.Random(1)
+        for _ in range(15):
+            try:
+                task.measure({}, space.schedule(space.space().sample(rng)))
+            except BudgetExhausted:
+                break
+        bests = [b for _, b in task.history]
+        assert all(x >= y for x, y in zip(bests, bests[1:]))
+
+    def test_expansion_penalty_charged(self):
+        """Overlapped-unfold input layouts must cost more than their
+        stage-only estimate (producer writes the duplicated data)."""
+        from repro.layout.templates import template_for
+
+        m = get_machine("intel_cpu")
+        comp = small_conv()
+        task = TuningTask(comp, m)
+        tpl = template_for(comp)
+        cfg = tpl.space().default()
+        cfg.update({"c.ht": 5, "c.wt": 5})  # overlapped tiles
+        layouts = tpl.instantiate(cfg)
+        assert task._expansion_penalty(layouts) > 0
+        assert task._expansion_penalty({}) == 0
