@@ -29,6 +29,7 @@ from .ops.gemm import gemm
 from .pipeline import CompileOptions, compile_graph
 from .report import full_report
 from .tuning.baselines import BASELINE_TUNERS, tune_alt
+from .tuning.measurer import MeasureOptions
 
 
 def _single_op(kind: str, channels: int, size: int):
@@ -76,17 +77,41 @@ _MODELS = {
 }
 
 
+def _measure_options(args) -> MeasureOptions:
+    """Build measurement-engine options from the shared CLI flags."""
+    opts = MeasureOptions()
+    if args.jobs is not None:
+        opts.jobs = max(args.jobs, 1)
+    if args.no_measure_cache:
+        opts.cache_dir = None
+    elif args.measure_cache_dir is not None:
+        opts.cache_dir = args.measure_cache_dir
+    if args.measure_timeout is not None:
+        opts.timeout_s = args.measure_timeout if args.measure_timeout > 0 else None
+    return opts
+
+
 def cmd_tune(args) -> int:
     machine = get_machine(args.machine)
     comp = _single_op(args.op, args.channels, args.size)
     tuner = BASELINE_TUNERS.get(args.tuner, tune_alt)
+    measure = _measure_options(args)
     if args.tuner == "vendor":
-        result = tuner(comp, machine)
+        result = tuner(comp, machine, measure=measure)
     else:
-        result = tuner(comp, machine, budget=args.budget, seed=args.seed)
+        result = tuner(
+            comp, machine, budget=args.budget, seed=args.seed, measure=measure
+        )
     print(f"operator {args.op} on {machine.name} via {args.tuner}:")
     print(f"  best latency: {result.best_latency * 1e3:.4f} ms "
           f"({result.measurements} simulated measurements)")
+    telemetry = result.telemetry or {}
+    if telemetry:
+        print(
+            f"  measure engine: {telemetry.get('fresh_evaluations', 0)} fresh "
+            f"evaluations, {telemetry.get('cache_hit_rate', 0.0) * 100:.0f}% "
+            f"cache hits, {telemetry.get('wall_time_s', 0.0):.2f}s wall"
+        )
     for name, layout in sorted(result.best_layouts.items()):
         print(f"  {name:10s} {layout}")
     if result.best_schedule is not None:
@@ -105,7 +130,12 @@ def cmd_compile(args) -> int:
     model = compile_graph(
         graph,
         machine,
-        CompileOptions(mode=args.mode, total_budget=args.budget, seed=args.seed),
+        CompileOptions(
+            mode=args.mode,
+            total_budget=args.budget,
+            seed=args.seed,
+            measure=_measure_options(args),
+        ),
     )
     print(full_report(model))
     return 0
@@ -132,7 +162,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("tune", help="tune one operator")
+    measure_flags = argparse.ArgumentParser(add_help=False)
+    measure_flags.add_argument(
+        "--jobs", type=int, default=None,
+        help="parallel measurement workers (default: REPRO_MEASURE_JOBS or 1)",
+    )
+    measure_flags.add_argument(
+        "--measure-cache-dir", default=None,
+        help="persistent evaluation cache directory (default: ~/.cache/repro)",
+    )
+    measure_flags.add_argument(
+        "--no-measure-cache", action="store_true",
+        help="disable the persistent on-disk evaluation cache",
+    )
+    measure_flags.add_argument(
+        "--measure-timeout", type=float, default=None,
+        help="per-candidate measurement timeout in seconds (0 disables)",
+    )
+
+    p = sub.add_parser("tune", help="tune one operator", parents=[measure_flags])
     p.add_argument("op", choices=["c2d", "dep", "c1d", "c3d", "gmm"])
     p.add_argument("--machine", default="intel_cpu")
     p.add_argument("--tuner", default="alt",
@@ -143,7 +191,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_tune)
 
-    p = sub.add_parser("compile", help="compile a model-zoo network")
+    p = sub.add_parser(
+        "compile", help="compile a model-zoo network", parents=[measure_flags]
+    )
     p.add_argument("model")
     p.add_argument("--machine", default="intel_cpu")
     p.add_argument("--mode", default="alt")

@@ -40,13 +40,11 @@ class Cache:
         self.stats = CacheStats()
         # set index -> OrderedDict[tag -> was_prefetched]
         self._sets: List[OrderedDict] = [OrderedDict() for _ in range(level.n_sets)]
-        self._last_miss_line: Optional[int] = None
 
     def reset(self) -> None:
         self.stats = CacheStats()
         for s in self._sets:
             s.clear()
-        self._last_miss_line = None
 
     def _lookup(self, line: int) -> Optional[bool]:
         """Return was_prefetched if present (and refresh LRU), else None."""
@@ -86,7 +84,6 @@ class Cache:
             for nxt in range(start, start + n):
                 if nxt != line and self._lookup(nxt) is None:
                     self._install(nxt, prefetched=True)
-        self._last_miss_line = line
         return False
 
     def access_addr(self, addr: int) -> bool:

@@ -44,6 +44,7 @@ from .tuning.baselines import (
     vendor_library,
 )
 from .tuning.explorer import TuneResult
+from .tuning.measurer import MeasureOptions
 
 MODES = ("alt", "alt-wp", "alt-ol", "ansor", "autotvm", "flextensor", "vendor")
 
@@ -61,6 +62,9 @@ class CompileOptions:
     #: optional cross-compile tuning cache; matching tasks reuse records
     #: instead of re-searching (and deposit their results back)
     records: Optional[object] = None
+    #: measurement-engine knobs (jobs, disk cache, timeouts); ``None`` uses
+    #: the environment defaults (``REPRO_MEASURE_JOBS`` etc.)
+    measure: Optional[MeasureOptions] = None
 
     def __post_init__(self):
         if self.mode not in MODES:
@@ -94,6 +98,7 @@ def _tune_representative(
     comp: ComputeDef, machine: MachineSpec, budget: int, opts: CompileOptions
 ) -> TuneResult:
     mode = opts.mode
+    measure = opts.measure
     if mode == "alt" or mode == "alt-wp":
         return tune_alt(
             comp,
@@ -105,16 +110,23 @@ def _tune_representative(
             searcher=opts.searcher,
             use_cost_model=opts.use_cost_model,
             pretrained=opts.pretrained,
+            measure=measure,
         )
     if mode == "alt-ol":
-        return tune_alt_ol(comp, machine, budget=budget, seed=opts.seed)
+        return tune_alt_ol(comp, machine, budget=budget, seed=opts.seed, measure=measure)
     if mode == "ansor":
-        return tune_ansor_like(comp, machine, budget=budget, seed=opts.seed)
+        return tune_ansor_like(
+            comp, machine, budget=budget, seed=opts.seed, measure=measure
+        )
     if mode == "autotvm":
-        return tune_autotvm_like(comp, machine, budget=budget, seed=opts.seed)
+        return tune_autotvm_like(
+            comp, machine, budget=budget, seed=opts.seed, measure=measure
+        )
     if mode == "flextensor":
-        return tune_flextensor_like(comp, machine, budget=budget, seed=opts.seed)
-    return vendor_library(comp, machine, seed=opts.seed)
+        return tune_flextensor_like(
+            comp, machine, budget=budget, seed=opts.seed, measure=measure
+        )
+    return vendor_library(comp, machine, seed=opts.seed, measure=measure)
 
 
 def _cached_or_tuned(

@@ -79,6 +79,14 @@ def tuning_report(model: CompiledModel) -> str:
                 k.split(".", 1)[-1]: v for k, v in result.best_layout_config.items()
             }
             lines.append(f"    layout config: {pretty}")
+        telemetry = getattr(result, "telemetry", None)
+        if telemetry:
+            lines.append(
+                "    measure: "
+                f"{telemetry.get('fresh_evaluations', 0)} fresh evals, "
+                f"{telemetry.get('cache_hit_rate', 0.0) * 100:.0f}% cache hits, "
+                f"{telemetry.get('wall_time_s', 0.0):.2f}s wall"
+            )
     lines.append(
         f"  conversions inserted: {model.n_conversions}; "
         f"fused stages: {len(model.fuse_groups)}"

@@ -33,6 +33,7 @@ from .cost_model import CostModel
 from .explorer import TOP_K, JointTuner, LoopTuner, TuneResult
 from .loop_space import LoopSpace
 from .ppo import PPOActor, SharedCritic
+from .measurer import MeasureOptions
 from .space import ConfigSpace, ParamSpec
 from .task import BudgetExhausted, TuningTask
 
@@ -84,6 +85,7 @@ def _loop_only(
         measurements=task.measurements,
         history=list(task.history),
         best_loop_config=best[1],
+        telemetry=task.measurer.stats.as_dict(),
     )
 
 
@@ -127,8 +129,9 @@ def tune_ansor_like(
     budget: int = 1000,
     seed: int = 0,
     scheme: Optional[str] = None,
+    measure: Optional[MeasureOptions] = None,
 ) -> TuneResult:
-    task = TuningTask(comp, machine, budget)
+    task = TuningTask(comp, machine, budget, measure=measure)
     layouts = _best_fixed_scheme(comp, machine, scheme)
     return _loop_only(
         task, layouts, budget, seed, use_cost_model=True, use_ppo_walk=False
@@ -141,8 +144,9 @@ def tune_autotvm_like(
     budget: int = 1000,
     seed: int = 0,
     scheme: Optional[str] = None,
+    measure: Optional[MeasureOptions] = None,
 ) -> TuneResult:
-    task = TuningTask(comp, machine, budget)
+    task = TuningTask(comp, machine, budget, measure=measure)
     layouts = _best_fixed_scheme(comp, machine, scheme)
     return _loop_only(
         task,
@@ -162,8 +166,9 @@ def tune_flextensor_like(
     budget: int = 1000,
     seed: int = 0,
     scheme: Optional[str] = None,
+    measure: Optional[MeasureOptions] = None,
 ) -> TuneResult:
-    task = TuningTask(comp, machine, budget)
+    task = TuningTask(comp, machine, budget, measure=measure)
     layouts = _best_fixed_scheme(comp, machine, scheme)
     return _loop_only(
         task, layouts, budget, seed, use_cost_model=False, use_ppo_walk=True
@@ -180,6 +185,7 @@ def tune_alt(
     searcher: str = "ppo",
     use_cost_model: bool = True,
     pretrained: Optional[Dict] = None,
+    measure: Optional[MeasureOptions] = None,
 ) -> TuneResult:
     """Full ALT: joint stage (30% of budget by default) + loop-only stage.
 
@@ -188,7 +194,7 @@ def tune_alt(
     noise, so ALT degenerates gracefully to loop tuning on its packed
     anchor (the same predetermined layout the strongest baselines use).
     """
-    task = TuningTask(comp, machine, budget, levels=levels)
+    task = TuningTask(comp, machine, budget, levels=levels, measure=measure)
     tuner = JointTuner(
         task,
         seed=seed,
@@ -207,9 +213,10 @@ def tune_alt_ol(
     machine: MachineSpec,
     budget: int = 1000,
     seed: int = 0,
+    measure: Optional[MeasureOptions] = None,
 ) -> TuneResult:
     """ALT-OL ablation: loop optimization only, channel-last fixed layout."""
-    task = TuningTask(comp, machine, budget)
+    task = TuningTask(comp, machine, budget, measure=measure)
     if "conv" in comp.tags:
         layouts = fixed_scheme_layouts(comp, "NHWO")
     elif "gemm" in comp.tags:
@@ -227,23 +234,27 @@ def tune_random_layout(
     budget: int = 1000,
     joint_fraction: float = 1.0,
     seed: int = 0,
+    measure: Optional[MeasureOptions] = None,
 ) -> TuneResult:
     """Random layout sampling with loop rounds (Fig. 11 'Random')."""
-    task = TuningTask(comp, machine, budget)
+    task = TuningTask(comp, machine, budget, measure=measure)
     tuner = JointTuner(task, seed=seed, searcher="random", use_cost_model=True)
     joint_budget = int(budget * joint_fraction)
     return tuner.tune(joint_budget, budget - joint_budget)
 
 
 def vendor_library(
-    comp: ComputeDef, machine: MachineSpec, seed: int = 0
+    comp: ComputeDef,
+    machine: MachineSpec,
+    seed: int = 0,
+    measure: Optional[MeasureOptions] = None,
 ) -> TuneResult:
     """Expert fixed-layout kernels: try a few hand-style variants, keep best.
 
     Emulates MKL-DNN/cuDNN/XNNPACK: excellent engineering within one
     predetermined layout family, zero layout search.
     """
-    task = TuningTask(comp, machine, budget=64)
+    task = TuningTask(comp, machine, budget=64, measure=measure)
     schemes = (
         ["NCHWc", "NHWO"] if not machine.is_gpu else ["NOHW", "NCHWc"]
     )
@@ -267,11 +278,13 @@ def vendor_library(
                 if p.name.startswith("tile_") and not p.name.startswith("tile_r"):
                     cfg[p.name] = min(p.choices, key=lambda c: abs(c - tile))
             candidates.append(cfg)
+        batch = []
         for cfg in candidates:
             try:
-                task.measure(layouts, loop_space.schedule(cfg))
-            except (BudgetExhausted, LoweringError, ValueError):
+                batch.append((layouts, loop_space.schedule(cfg)))
+            except (LoweringError, ValueError):
                 continue
+        task.measure_batch(batch)  # kernel variants evaluate concurrently
     return TuneResult(
         task_name=comp.name,
         best_latency=task.best_latency,
@@ -279,6 +292,7 @@ def vendor_library(
         best_schedule=task.best_record[1] if task.best_record else None,
         measurements=task.measurements,
         history=list(task.history),
+        telemetry=task.measurer.stats.as_dict(),
     )
 
 

@@ -52,6 +52,8 @@ class TuneResult:
     history: List[Tuple[int, float]] = field(default_factory=list)
     best_layout_config: Optional[Config] = None
     best_loop_config: Optional[Config] = None
+    #: measurement-engine telemetry (``MeasureStats.as_dict``)
+    telemetry: Optional[Dict] = None
 
 
 class LoopTuner:
@@ -102,18 +104,23 @@ class LoopTuner:
         if self.loop_actor is not None and best_cfg is not None:
             walk_budget = max(n_measure // 2, 2)
             cur = best_cfg
-            for _ in range(walk_budget):
-                state = encode_space_state(space, cur)
-                actions = self.loop_actor.act(state)
-                stepped = self._step(space, cur, actions)
-                lat = self._measure(layouts, loop_space, stepped)
-                reward = -math.log2(lat) if math.isfinite(lat) else -60.0
-                self.loop_actor.record(reward)
-                if lat < best_lat:
-                    best_lat, best_cfg = lat, stepped
-                    best_sched = loop_space.schedule(stepped)
-                    cur = stepped
-            self.loop_actor.update()
+            try:
+                for _ in range(walk_budget):
+                    state = encode_space_state(space, cur)
+                    actions = self.loop_actor.act(state)
+                    stepped = self._step(space, cur, actions)
+                    lat = self._measure(layouts, loop_space, stepped)
+                    reward = -math.log2(lat) if math.isfinite(lat) else -60.0
+                    self.loop_actor.record(reward)
+                    if lat < best_lat:
+                        best_lat, best_cfg = lat, stepped
+                        best_sched = loop_space.schedule(stepped)
+                        cur = stepped
+            finally:
+                # flush even when BudgetExhausted aborts the walk mid-episode:
+                # otherwise the recorded transitions survive into the next
+                # episode and contaminate its policy update with stale rewards
+                self.loop_actor.update()
         return best_lat, best_cfg, best_sched
 
     # -- helpers -----------------------------------------------------------------
@@ -170,24 +177,29 @@ class LoopTuner:
         if self.cost_model is not None and self.cost_model.trained:
             top = self.cost_model.top_k(stages, n_measure)
             # the seed / first heuristic is always worth a measurement: it
-            # anchors the layout's assessment even if the model dislikes it
-            if 0 not in top:
+            # anchors the layout's assessment even if the model dislikes it.
+            # The guaranteed slot belongs to candidate 0 specifically -- when
+            # it failed to lower (valid_idx[0] != 0) no stage is the seed and
+            # nothing gets anchored (stage index 0 would be an arbitrary
+            # candidate, not the seed).
+            if valid_idx[0] == 0 and 0 not in top:
                 top = [0] + top[: max(n_measure - 1, 0)]
         else:
             # untrained model: measure in candidate order, which leads with
             # the seed and the heuristic sketches
             top = list(range(min(len(stages), n_measure)))
+        # one batch for the whole top-k: the measurer evaluates concurrently
+        # and merges in submission order, so results (and the budget cut on
+        # exhaustion) are identical to measuring one by one
+        batch = self.task.measure_batch(
+            [(layouts, schedules[valid_idx[j]]) for j in top]
+        )
         results = []
-        for j in top:
+        for j, lat in zip(top, batch.latencies):
             i = valid_idx[j]
-            cfg, sched = candidates[i], schedules[i]
-            try:
-                lat = self.task.measure(layouts, sched)
-            except BudgetExhausted:
-                break
             if self.cost_model is not None and math.isfinite(lat):
                 self.cost_model.update(stages[j], lat)
-            results.append((lat, cfg, sched))
+            results.append((lat, candidates[i], schedules[i]))
         return results
 
 
@@ -240,6 +252,7 @@ class JointTuner:
             history=list(self.task.history),
             best_layout_config=layout_cfg,
             best_loop_config=loop_cfg,
+            telemetry=self.task.measurer.stats.as_dict(),
         )
 
     # -- stages ---------------------------------------------------------------------
@@ -254,51 +267,60 @@ class JointTuner:
         start = task.measurements
         episode = 0
         stalls = 0
-        while task.measurements - start < budget and stalls < 8:
-            before = task.measurements
-            layout_cfg, from_actor = self._propose_layout(layout_space, best[1])
-            try:
-                layouts = task.layouts_from(layout_cfg)
-                loop_space = task.loop_space_for(layouts)
-            except (LayoutError, LoweringError, ValueError):
-                if self.layout_actor is not None and from_actor:
-                    self.layout_actor.record(-60.0)
-                continue
-            layout_best = math.inf
-            remaining = budget - (task.measurements - start)
-            # size per-layout assessment so that at least ~5 candidate
-            # layouts (the anchors plus exploration) fit in the joint budget
-            per_layout = max(budget // 5, 2)
-            per_round = min(
-                TOP_K,
-                max(remaining // self.loop_rounds_per_layout, 1),
-                max(per_layout // self.loop_rounds_per_layout, 1),
-            )
-            seed_cfg = None
-            for _ in range(self.loop_rounds_per_layout):
+        try:
+            while task.measurements - start < budget and stalls < 8:
+                before = task.measurements
+                layout_cfg, from_actor = self._propose_layout(layout_space, best[1])
                 try:
-                    lat, cfg, sched = self._loop_tuner.run_round(
-                        layouts, loop_space, per_round, seed_cfg
+                    layouts = task.layouts_from(layout_cfg)
+                    loop_space = task.loop_space_for(layouts)
+                except (LayoutError, LoweringError, ValueError):
+                    if self.layout_actor is not None and from_actor:
+                        self.layout_actor.record(-60.0)
+                    continue
+                layout_best = math.inf
+                remaining = budget - (task.measurements - start)
+                # size per-layout assessment so that at least ~5 candidate
+                # layouts (the anchors plus exploration) fit in the joint budget
+                per_layout = max(budget // 5, 2)
+                per_round = min(
+                    TOP_K,
+                    max(remaining // self.loop_rounds_per_layout, 1),
+                    max(per_layout // self.loop_rounds_per_layout, 1),
+                )
+                seed_cfg = None
+                for _ in range(self.loop_rounds_per_layout):
+                    try:
+                        lat, cfg, sched = self._loop_tuner.run_round(
+                            layouts, loop_space, per_round, seed_cfg
+                        )
+                    except BudgetExhausted:
+                        break
+                    if lat < layout_best:
+                        layout_best = lat
+                    if cfg is not None:
+                        seed_cfg = cfg
+                    if lat < best[0]:
+                        best = (lat, layout_cfg, cfg, layouts, sched)
+                    sig = layout_space.signature(layout_cfg)
+                    prev = self._candidates.get(sig)
+                    if prev is None or lat < prev[0]:
+                        self._candidates[sig] = (lat, layout_cfg, seed_cfg, layouts)
+                if self.layout_actor is not None and from_actor:
+                    reward = (
+                        -math.log2(layout_best) if math.isfinite(layout_best) else -60.0
                     )
-                except BudgetExhausted:
-                    break
-                if lat < layout_best:
-                    layout_best = lat
-                if cfg is not None:
-                    seed_cfg = cfg
-                if lat < best[0]:
-                    best = (lat, layout_cfg, cfg, layouts, sched)
-                sig = layout_space.signature(layout_cfg)
-                prev = self._candidates.get(sig)
-                if prev is None or lat < prev[0]:
-                    self._candidates[sig] = (lat, layout_cfg, seed_cfg, layouts)
-            if self.layout_actor is not None and from_actor:
-                reward = -math.log2(layout_best) if math.isfinite(layout_best) else -60.0
-                self.layout_actor.record(reward)
-                episode += 1
-                if episode % 4 == 0:
-                    self.layout_actor.update()
-            stalls = stalls + 1 if task.measurements == before else 0
+                    self.layout_actor.record(reward)
+                    episode += 1
+                    if episode % 4 == 0:
+                        self.layout_actor.update()
+                stalls = stalls + 1 if task.measurements == before else 0
+        finally:
+            # flush the tail episodes (episode % 4 != 0) and any trajectory a
+            # mid-walk BudgetExhausted left behind, so stale rewards cannot
+            # leak into the loop-only stage's updates
+            if self.layout_actor is not None:
+                self.layout_actor.update()
         return best
 
     def _loop_only_stage(self, budget: int, best):

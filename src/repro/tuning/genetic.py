@@ -18,9 +18,9 @@ from typing import Dict, List, Optional, Tuple
 from ..layout.layout import Layout
 from ..layout.primitives import LayoutError
 from ..lower.lower import LoweringError
-from .explorer import TOP_K, TuneResult
+from .explorer import TuneResult
 from .space import Config, ConfigSpace
-from .task import BudgetExhausted, TuningTask
+from .task import TuningTask
 
 
 class GeneticTuner:
@@ -41,8 +41,14 @@ class GeneticTuner:
         self.mutation_rate = mutation_rate
 
     # -- genome handling -----------------------------------------------------------
-    def _evaluate(self, layout_cfg: Optional[Config], loop_cfg: Optional[Config]):
-        """Returns (latency, layouts, schedule, loop_space)."""
+    def _prepare(self, layout_cfg: Optional[Config], loop_cfg: Optional[Config]):
+        """Decode a genome into a measurable candidate.
+
+        Returns ``(layout_cfg, loop_cfg, layouts, schedule)``; ``schedule``
+        is ``None`` when the genome does not decode.  All rng consumption
+        happens here, before measurement, so a generation can be measured
+        as one batch without perturbing the random stream.
+        """
         task = self.task
         try:
             layouts = task.layouts_from(layout_cfg) if layout_cfg else {}
@@ -59,51 +65,73 @@ class GeneticTuner:
                     fixed[p.name] = val if val in p.choices else p.sample(self.rng)
                 loop_cfg = fixed
             sched = loop_space.schedule(loop_cfg)
-            lat = task.measure(layouts, sched)
-            return lat, layout_cfg, loop_cfg, sched
-        except BudgetExhausted:
-            raise
+            return layout_cfg, loop_cfg, layouts, sched
         except (LayoutError, LoweringError, ValueError):
-            return math.inf, layout_cfg, loop_cfg, None
+            return layout_cfg, loop_cfg, None, None
+
+    def _measure_genomes(self, genomes):
+        """Batch-measure prepared genomes.
+
+        Returns ``(population entries, exhausted)``; genomes past a budget
+        cut are dropped, undecodable genomes score ``inf`` without costing
+        a measurement.
+        """
+        measurable = [(g[2], g[3]) for g in genomes if g[3] is not None]
+        result = self.task.measure_batch(measurable)
+        entries: List[Tuple[float, Optional[Config], Optional[Config]]] = []
+        latencies = iter(result.latencies)
+        for layout_cfg, loop_cfg, _layouts, sched in genomes:
+            if sched is None:
+                entries.append((math.inf, layout_cfg, loop_cfg))
+                continue
+            try:
+                lat = next(latencies)
+            except StopIteration:
+                break  # budget cut the batch short
+            entries.append((lat, layout_cfg, loop_cfg))
+        return entries, result.exhausted
 
     def tune(self, budget: int) -> TuneResult:
         task = self.task
         layout_space = task.layout_space()
         has_layouts = len(layout_space) > 0
 
-        population: List[Tuple[float, Optional[Config], Optional[Config]]] = []
-        try:
-            while len(population) < self.population_size:
-                lcfg = layout_space.sample(self.rng) if has_layouts else None
-                lat, lcfg, loop_cfg, _ = self._evaluate(lcfg, None)
-                population.append((lat, lcfg, loop_cfg))
-            while task.measurements < budget:
-                population.sort(key=lambda p: p[0])
-                parents = population[: self.elite]
-                children = []
-                while (
-                    len(children) < self.population_size - self.elite
-                    and task.measurements < budget
-                ):
-                    a = self.rng.choice(parents)
-                    b = self.rng.choice(parents)
-                    child_layout = None
-                    if has_layouts:
-                        child_layout = layout_space.crossover(
-                            a[1] or layout_space.default(),
-                            b[1] or layout_space.default(),
-                            self.rng,
+        genomes = [
+            self._prepare(
+                layout_space.sample(self.rng) if has_layouts else None, None
+            )
+            for _ in range(self.population_size)
+        ]
+        population, exhausted = self._measure_genomes(genomes)
+        stalls = 0
+        while not exhausted and task.measurements < budget and stalls < 4:
+            before = task.measurements
+            population.sort(key=lambda p: p[0])
+            parents = population[: self.elite]
+            if not parents:
+                break
+            child_genomes = []
+            while len(child_genomes) < self.population_size - self.elite:
+                a = self.rng.choice(parents)
+                b = self.rng.choice(parents)
+                child_layout = None
+                if has_layouts:
+                    child_layout = layout_space.crossover(
+                        a[1] or layout_space.default(),
+                        b[1] or layout_space.default(),
+                        self.rng,
+                    )
+                    if self.rng.random() < self.mutation_rate:
+                        child_layout = layout_space.mutate(
+                            child_layout, self.rng, n=1
                         )
-                        if self.rng.random() < self.mutation_rate:
-                            child_layout = layout_space.mutate(
-                                child_layout, self.rng, n=1
-                            )
-                    seed_loop = a[2] if self.rng.random() < 0.5 else b[2]
-                    lat, lcfg, loop_cfg, _ = self._evaluate(child_layout, seed_loop)
-                    children.append((lat, lcfg, loop_cfg))
-                population = parents + children
-        except BudgetExhausted:
-            pass
+                seed_loop = a[2] if self.rng.random() < 0.5 else b[2]
+                child_genomes.append(self._prepare(child_layout, seed_loop))
+            children, exhausted = self._measure_genomes(child_genomes)
+            population = parents + children
+            # converged populations stop consuming budget (everything is a
+            # task-cache hit); stop instead of spinning
+            stalls = stalls + 1 if task.measurements == before else 0
 
         return TuneResult(
             task_name=task.comp.name,
@@ -112,10 +140,13 @@ class GeneticTuner:
             best_schedule=task.best_record[1] if task.best_record else None,
             measurements=task.measurements,
             history=list(task.history),
+            telemetry=task.measurer.stats.as_dict(),
         )
 
 
-def tune_genetic(comp, machine, budget: int = 1000, seed: int = 0) -> TuneResult:
+def tune_genetic(
+    comp, machine, budget: int = 1000, seed: int = 0, measure=None
+) -> TuneResult:
     """Joint layout+loop tuning with a genetic algorithm (ablation)."""
-    task = TuningTask(comp, machine, budget)
+    task = TuningTask(comp, machine, budget, measure=measure)
     return GeneticTuner(task, seed=seed).tune(budget)

@@ -1,0 +1,508 @@
+"""Batched parallel measurement engine (the builder/runner layer).
+
+Real auto-tuners (TVM/Ansor's ``LocalBuilder``/``LocalRunner``) evaluate
+candidate programs in batches: the searcher proposes a batch, a pool of
+workers builds and measures every candidate concurrently, and the results
+merge back into the search state.  The simulated measurement chain here
+(``lower_compute`` -> ``estimate_stage``) is a pure function of
+``(machine, layouts, schedule)``, so it parallelizes the same way.
+
+The :class:`Measurer` sits between the tuners and :class:`TuningTask`:
+
+- ``measure_batch`` accepts a list of ``(layouts, schedule)`` candidates and
+  evaluates the ones that need fresh work concurrently via a
+  ``concurrent.futures`` process pool, then merges results back into the
+  task's budget / cache / history / best-record bookkeeping **in submission
+  order** -- tuned results are bit-identical to serial mode because the
+  evaluation is pure and the bookkeeping replay is order-preserving.
+- A persistent on-disk cache under ``~/.cache/repro`` (override with
+  ``REPRO_CACHE_DIR`` / ``MeasureOptions.cache_dir``, disable with
+  ``REPRO_NO_DISK_CACHE``) is keyed by the machine description, the
+  operator fingerprint, the layout/schedule signatures and a hash of the
+  latency-model sources, so repeated bench runs skip recomputation and
+  model changes invalidate stale entries automatically.
+- Degradation is graceful: ``jobs <= 1`` or an unavailable pool falls back
+  to in-process serial execution, a worker crash yields an ``inf`` latency
+  for the affected candidates instead of aborting the run, and every pooled
+  candidate has a timeout.
+- :class:`MeasureStats` exposes telemetry (evaluations, cache hit rates,
+  wall time, budget consumed) that is threaded through ``TuneResult``,
+  ``report.py`` and the CLI.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import math
+import os
+import time
+from concurrent.futures import TimeoutError as PoolTimeout
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..ir.compute import ComputeDef
+from ..layout.layout import Layout
+from ..loops.schedule import LoopSchedule
+from ..lower.lower import LoweringError, lower_compute
+from ..machine.latency import estimate_stage
+from ..machine.spec import MachineSpec
+
+
+class BudgetExhausted(RuntimeError):
+    """Raised when a fresh measurement is requested past the task budget."""
+
+
+#: bump when the meaning of a cached latency changes in a way the source
+#: hash of the latency model does not capture (e.g. key-scheme changes)
+CACHE_SCHEMA_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Options / telemetry
+# ---------------------------------------------------------------------------
+
+def _default_jobs() -> int:
+    try:
+        return max(int(os.environ.get("REPRO_MEASURE_JOBS", "1")), 1)
+    except ValueError:
+        return 1
+
+
+def _default_cache_dir() -> Optional[str]:
+    if os.environ.get("REPRO_NO_DISK_CACHE"):
+        return None
+    return os.environ.get("REPRO_CACHE_DIR") or os.path.join(
+        os.path.expanduser("~"), ".cache", "repro"
+    )
+
+
+@dataclass
+class MeasureOptions:
+    """Knobs for the measurement engine.
+
+    ``jobs``      worker processes (1 = in-process serial; env default
+                  ``REPRO_MEASURE_JOBS``)
+    ``cache_dir`` root of the persistent evaluation cache; ``None`` disables
+    ``timeout_s`` per-candidate timeout for pooled evaluations
+    """
+
+    jobs: int = field(default_factory=_default_jobs)
+    cache_dir: Optional[str] = field(default_factory=_default_cache_dir)
+    timeout_s: Optional[float] = 60.0
+
+
+@dataclass
+class MeasureStats:
+    """Measurement telemetry for one task (surfaces in ``TuneResult``)."""
+
+    batches: int = 0
+    requests: int = 0  # candidates submitted (incl. cache hits)
+    fresh_evaluations: int = 0  # estimate_stage actually executed
+    task_cache_hits: int = 0
+    disk_cache_hits: int = 0
+    pool_evaluations: int = 0
+    serial_evaluations: int = 0
+    timeouts: int = 0
+    pool_failures: int = 0
+    budget_consumed: int = 0
+    wall_time_s: float = 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        hits = self.task_cache_hits + self.disk_cache_hits
+        return hits / self.requests if self.requests else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        d = {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+        d["cache_hit_rate"] = self.cache_hit_rate
+        return d
+
+
+@dataclass
+class BatchResult:
+    """Latencies for the submission-order prefix that fit in the budget."""
+
+    latencies: List[float]
+    exhausted: bool = False  # True if the budget cut the batch short
+
+
+# ---------------------------------------------------------------------------
+# Pure evaluation (runs in-process or inside pool workers)
+# ---------------------------------------------------------------------------
+
+def expansion_penalty(
+    comp: ComputeDef, machine: MachineSpec, layouts: Mapping[str, Layout]
+) -> float:
+    """Producer-side cost of data-expanding input layouts.
+
+    Overlapped ``unfold`` and ``pad`` duplicate data; the upstream operator
+    that absorbs the layout (paper Fig. 5b) must write the extra bytes.
+    Charging that write traffic here keeps the per-op greedy joint tuning
+    honest about whole-graph cost -- without it the tuner happily
+    im2row-expands every input.  Constant tensors are exempt (re-laid-out
+    offline).
+    """
+    by_name = {t.name: t for t in comp.inputs}
+    extra_bytes = 0.0
+    for name, lay in layouts.items():
+        t = by_name.get(name)
+        if t is None or t.role == "const":
+            continue
+        ratio = lay.expansion_ratio()
+        if ratio > 1.0:
+            extra_bytes += (ratio - 1.0) * t.nbytes
+    if not extra_bytes:
+        return 0.0
+    cycles = extra_bytes / machine.dram_bw_bytes_per_cycle
+    return machine.cycles_to_seconds(cycles)
+
+
+def evaluate_candidate(
+    comp: ComputeDef,
+    machine: MachineSpec,
+    layouts: Mapping[str, Layout],
+    schedule: Optional[LoopSchedule],
+) -> float:
+    """Simulated on-device measurement of one candidate.
+
+    Pure function of its arguments; lowering failures become ``inf`` the way
+    a real harness turns compile errors into failed measurements.
+    """
+    try:
+        stage = lower_compute(comp, layouts, schedule)
+        cost = estimate_stage(stage, machine)
+        latency = machine.cycles_to_seconds(cost.total_cycles)
+        latency += expansion_penalty(comp, machine, layouts)
+    except (LoweringError, ValueError):
+        latency = math.inf
+    return latency
+
+
+# ---------------------------------------------------------------------------
+# Shared process pools
+# ---------------------------------------------------------------------------
+
+_POOLS: Dict[int, object] = {}
+
+
+def _shared_pool(jobs: int):
+    """One process pool per worker count, shared across tasks in a run."""
+    pool = _POOLS.get(jobs)
+    if pool is None:
+        from concurrent.futures import ProcessPoolExecutor
+
+        pool = ProcessPoolExecutor(max_workers=jobs)
+        _POOLS[jobs] = pool
+    return pool
+
+
+def _discard_pool(jobs: int) -> None:
+    pool = _POOLS.pop(jobs, None)
+    if pool is not None:
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+
+
+def shutdown_pools() -> None:
+    """Shut down the shared measurement pools (tests / embedding hosts)."""
+    for jobs in list(_POOLS):
+        _discard_pool(jobs)
+
+
+# ---------------------------------------------------------------------------
+# Persistent on-disk evaluation cache
+# ---------------------------------------------------------------------------
+
+_CODE_FINGERPRINT: Optional[str] = None
+
+
+def _code_fingerprint() -> str:
+    """Hash of the measurement-chain sources: editing the latency model or
+    the lowering pass invalidates every previously cached latency."""
+    global _CODE_FINGERPRINT
+    if _CODE_FINGERPRINT is None:
+        from ..lower import lower as lower_mod
+        from ..machine import latency as latency_mod
+
+        h = hashlib.sha256()
+        for mod in (lower_mod, latency_mod):
+            try:
+                with open(mod.__file__, "rb") as f:
+                    h.update(f.read())
+            except OSError:
+                h.update(b"unknown")
+        _CODE_FINGERPRINT = h.hexdigest()[:16]
+    return _CODE_FINGERPRINT
+
+
+def machine_fingerprint(machine: MachineSpec) -> str:
+    # frozen dataclass repr covers every field incl. the cache hierarchy
+    return repr(machine)
+
+
+def comp_fingerprint(comp: ComputeDef) -> str:
+    """Workload-class fingerprint: independent of node/tensor names so that
+    identical operators across models share cache entries (the same keying
+    idea as ``pipeline.task_signature``, plus dtypes and roles because the
+    expansion penalty depends on them)."""
+    return repr(
+        (
+            comp.tags,
+            (comp.output.shape, comp.output.dtype),
+            tuple((t.shape, t.dtype, t.role) for t in comp.inputs),
+            tuple(sorted((k, str(v)) for k, v in comp.attrs.items())),
+        )
+    )
+
+
+class DiskCache:
+    """Append-only JSONL shard of ``key -> latency`` for one (machine, op).
+
+    Best-effort by design: unreadable files or lines are skipped, write
+    failures are swallowed -- the cache accelerates, never gates, a run.
+    """
+
+    def __init__(self, root: str, machine: MachineSpec, comp: ComputeDef):
+        shard = hashlib.sha256(
+            "|".join(
+                (
+                    str(CACHE_SCHEMA_VERSION),
+                    _code_fingerprint(),
+                    machine_fingerprint(machine),
+                    comp_fingerprint(comp),
+                )
+            ).encode("utf-8")
+        ).hexdigest()[:24]
+        self.path = os.path.join(root, "measure", f"{shard}.jsonl")
+        self._entries: Optional[Dict[str, float]] = None
+
+    def _load(self) -> Dict[str, float]:
+        if self._entries is None:
+            self._entries = {}
+            try:
+                with open(self.path) as f:
+                    for line in f:
+                        try:
+                            d = json.loads(line)
+                            self._entries[d["k"]] = float(d["v"])
+                        except (ValueError, KeyError, TypeError):
+                            continue
+            except OSError:
+                pass
+        return self._entries
+
+    def __len__(self) -> int:
+        return len(self._load())
+
+    def get(self, key: str) -> Optional[float]:
+        return self._load().get(key)
+
+    def put(self, key: str, value: float) -> None:
+        entries = self._load()
+        if key in entries:
+            return
+        entries[key] = value
+        try:
+            os.makedirs(os.path.dirname(self.path), exist_ok=True)
+            with open(self.path, "a") as f:
+                f.write(json.dumps({"k": key, "v": value}) + "\n")
+        except OSError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# The measurer
+# ---------------------------------------------------------------------------
+
+Candidate = Tuple[Mapping[str, Layout], LoopSchedule]
+
+
+class Measurer:
+    """Batched measurement layer bound to one :class:`TuningTask`."""
+
+    def __init__(self, task, options: Optional[MeasureOptions] = None):
+        self.task = task
+        self.options = options or MeasureOptions()
+        self.stats = MeasureStats()
+        self._pool_broken = False
+        self._disk: Optional[DiskCache] = (
+            DiskCache(self.options.cache_dir, task.machine, task.comp)
+            if self.options.cache_dir
+            else None
+        )
+
+    # -- public API ---------------------------------------------------------
+    def measure(self, layouts: Mapping[str, Layout], schedule: LoopSchedule) -> float:
+        """Single-candidate measurement with the serial contract: raises
+        :class:`BudgetExhausted` when a fresh measurement no longer fits."""
+        result = self.measure_batch([(layouts, schedule)])
+        if not result.latencies:
+            raise BudgetExhausted(
+                f"task {self.task.comp.name}: budget {self.task.budget} exhausted"
+            )
+        return result.latencies[0]
+
+    def measure_batch(self, candidates: Sequence[Candidate]) -> BatchResult:
+        """Measure a batch; merge results in submission order.
+
+        Returns latencies for the longest submission-order prefix the budget
+        allows (``exhausted`` flags a cut).  The merge replays exactly what
+        serial measurement would have done -- cache hits are free and leave
+        no history entry, each novel signature consumes one budget unit,
+        appends to ``history`` and may advance ``best_record`` -- so a batch
+        is bit-identical to measuring its candidates one by one.
+        """
+        task = self.task
+        if not candidates:
+            return BatchResult([])
+        t0 = time.perf_counter()
+        self.stats.batches += 1
+        self.stats.requests += len(candidates)
+
+        sigs = [task._signature(lay, sched) for lay, sched in candidates]
+        # plan in submission order, replaying the serial budget accounting
+        budget_left = (
+            math.inf if task.budget is None else task.budget - task.measurements
+        )
+        fresh: List[int] = []
+        fresh_sigs = set()
+        n = len(candidates)
+        exhausted = False
+        for i, sig in enumerate(sigs):
+            if sig in task._cache or sig in fresh_sigs:
+                continue
+            if budget_left <= 0:
+                n = i
+                exhausted = True
+                break
+            budget_left -= 1
+            fresh_sigs.add(sig)
+            fresh.append(i)
+
+        values = self._resolve(candidates, fresh)
+
+        latencies: List[float] = []
+        for i in range(n):
+            layouts, schedule = candidates[i]
+            sig = sigs[i]
+            if sig in task._cache:
+                self.stats.task_cache_hits += 1
+                latencies.append(task._cache[sig])
+                continue
+            lat = values[i]
+            task.measurements += 1
+            self.stats.budget_consumed += 1
+            task._cache[sig] = lat
+            if lat < task.best_latency:
+                task.best_latency = lat
+                task.best_record = (dict(layouts), schedule.copy())
+            task.history.append((task.measurements, task.best_latency))
+            latencies.append(lat)
+        self.stats.wall_time_s += time.perf_counter() - t0
+        return BatchResult(latencies, exhausted)
+
+    # -- evaluation ---------------------------------------------------------
+    def _resolve(
+        self, candidates: Sequence[Candidate], fresh: List[int]
+    ) -> Dict[int, float]:
+        """Latency per fresh index: disk cache first, then evaluation."""
+        if not fresh:
+            return {}
+        out: Dict[int, float] = {}
+        keys: Dict[int, str] = {}
+        to_eval: List[int] = []
+        for i in fresh:
+            if self._disk is not None:
+                keys[i] = self._candidate_key(*candidates[i])
+                hit = self._disk.get(keys[i])
+                if hit is not None:
+                    self.stats.disk_cache_hits += 1
+                    out[i] = hit
+                    continue
+            to_eval.append(i)
+        self.stats.fresh_evaluations += len(to_eval)
+        for i, lat in self._evaluate(candidates, to_eval).items():
+            out[i] = lat
+            if self._disk is not None:
+                self._disk.put(keys.get(i) or self._candidate_key(*candidates[i]), lat)
+        return out
+
+    def _evaluate(
+        self, candidates: Sequence[Candidate], idxs: List[int]
+    ) -> Dict[int, float]:
+        comp, machine = self.task.comp, self.task.machine
+        out: Dict[int, float] = {}
+        # a single candidate never amortizes pool round-trips
+        pool = self._pool() if len(idxs) > 1 else None
+        if pool is not None:
+            futures = []
+            try:
+                for i in idxs:
+                    lay, sched = candidates[i]
+                    futures.append(
+                        (i, pool.submit(evaluate_candidate, comp, machine, lay, sched))
+                    )
+            except Exception:
+                # pool unavailable at submit time: serial fallback below
+                self._mark_pool_broken()
+                futures = []
+            for i, fut in futures:
+                if self._pool_broken:
+                    # an earlier crash poisoned the pool; this candidate's
+                    # result is an inf latency, not a lost run
+                    out[i] = math.inf
+                    continue
+                try:
+                    out[i] = fut.result(timeout=self.options.timeout_s)
+                    self.stats.pool_evaluations += 1
+                except PoolTimeout:
+                    self.stats.timeouts += 1
+                    out[i] = math.inf
+                except Exception:
+                    self._mark_pool_broken()
+                    out[i] = math.inf
+        for i in idxs:
+            if i not in out:
+                lay, sched = candidates[i]
+                out[i] = evaluate_candidate(comp, machine, lay, sched)
+                self.stats.serial_evaluations += 1
+        return out
+
+    def _pool(self):
+        if self._pool_broken or self.options.jobs <= 1:
+            return None
+        try:
+            return _shared_pool(self.options.jobs)
+        except Exception:
+            self._mark_pool_broken()
+            return None
+
+    def _mark_pool_broken(self) -> None:
+        if not self._pool_broken:
+            self._pool_broken = True
+            self.stats.pool_failures += 1
+        _discard_pool(self.options.jobs)
+
+    # -- disk-cache keys ----------------------------------------------------
+    def _candidate_key(
+        self, layouts: Mapping[str, Layout], schedule: Optional[LoopSchedule]
+    ) -> str:
+        """Positional layout signatures + schedule signature: tensor-name
+        independent, so identical ops across graphs share entries."""
+        comp = self.task.comp
+        tensors = [comp.output] + comp.inputs
+        names = {t.name for t in tensors}
+        lay_sigs = tuple(
+            layouts[t.name].signature() if t.name in layouts else None
+            for t in tensors
+        )
+        extra = tuple(
+            sorted((k, layouts[k].signature()) for k in layouts if k not in names)
+        )
+        sched_sig = schedule.signature() if schedule is not None else None
+        blob = repr((lay_sigs, extra, sched_sig))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -121,6 +121,8 @@ class TuneRecord:
     layouts: Dict[str, Dict]
     schedule: Optional[Dict]
     measurements: int = 0
+    #: measurement-engine telemetry captured at record time (optional)
+    telemetry: Optional[Dict] = None
 
     def to_json(self) -> str:
         return json.dumps(
@@ -131,6 +133,7 @@ class TuneRecord:
                 "layouts": self.layouts,
                 "schedule": self.schedule,
                 "measurements": self.measurements,
+                "telemetry": self.telemetry,
             }
         )
 
@@ -144,6 +147,7 @@ class TuneRecord:
             layouts=d["layouts"],
             schedule=d.get("schedule"),
             measurements=d.get("measurements", 0),
+            telemetry=d.get("telemetry"),
         )
 
 
@@ -180,6 +184,7 @@ def record_from_result(comp: ComputeDef, machine_name: str, result) -> TuneRecor
             else None
         ),
         measurements=result.measurements,
+        telemetry=getattr(result, "telemetry", None),
     )
 
 

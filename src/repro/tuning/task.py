@@ -6,27 +6,33 @@ measurement.  It counts invocations (the *search budget* -- the paper caps
 all tuners by the number of on-device measurements), caches repeated
 configurations, and turns lowering failures into ``inf`` latencies the way
 a real harness turns compile errors into failed measurements.
+
+The measurement itself is delegated to a :class:`~.measurer.Measurer`,
+which adds batching, a process pool, a persistent on-disk evaluation cache
+and telemetry; ``measure_batch`` exposes the batched path to tuners.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from ..ir.compute import ComputeDef
 from ..ir.nest import Stage
 from ..layout.layout import Layout
 from ..layout.templates import LayoutTemplate, template_for
 from ..loops.schedule import LoopSchedule
-from ..lower.lower import LoweringError, lower_compute
-from ..machine.latency import estimate_stage
+from ..lower.lower import lower_compute
 from ..machine.spec import MachineSpec
 from .loop_space import LoopSpace
+from .measurer import (  # noqa: F401  (BudgetExhausted re-exported)
+    BatchResult,
+    BudgetExhausted,
+    Measurer,
+    MeasureOptions,
+    expansion_penalty,
+)
 from .space import Config, ConfigSpace
-
-
-class BudgetExhausted(RuntimeError):
-    pass
 
 
 class TuningTask:
@@ -38,6 +44,7 @@ class TuningTask:
         machine: MachineSpec,
         budget: Optional[int] = None,
         levels: int = 1,
+        measure: Optional[MeasureOptions] = None,
     ):
         self.comp = comp
         self.machine = machine
@@ -51,6 +58,7 @@ class TuningTask:
         self.best_record: Optional[Tuple[Dict[str, Layout], LoopSchedule]] = None
         self._cache: Dict[Tuple, float] = {}
         self.history: list = []  # (measurement index, best-so-far latency)
+        self.measurer = Measurer(self, measure)
 
     # -- spaces -----------------------------------------------------------------
     def layout_space(self) -> ConfigSpace:
@@ -82,51 +90,16 @@ class TuningTask:
         self, layouts: Mapping[str, Layout], schedule: LoopSchedule
     ) -> float:
         """Simulated on-device measurement; returns latency in seconds."""
-        sig = self._signature(layouts, schedule)
-        if sig in self._cache:
-            return self._cache[sig]
-        if self.budget is not None and self.measurements >= self.budget:
-            raise BudgetExhausted(
-                f"task {self.comp.name}: budget {self.budget} exhausted"
-            )
-        self.measurements += 1
-        try:
-            stage = lower_compute(self.comp, layouts, schedule)
-            cost = estimate_stage(stage, self.machine)
-            latency = self.machine.cycles_to_seconds(cost.total_cycles)
-            latency += self._expansion_penalty(layouts)
-        except (LoweringError, ValueError):
-            latency = math.inf
-        self._cache[sig] = latency
-        if latency < self.best_latency:
-            self.best_latency = latency
-            self.best_record = (dict(layouts), schedule.copy())
-        self.history.append((self.measurements, self.best_latency))
-        return latency
+        return self.measurer.measure(layouts, schedule)
+
+    def measure_batch(
+        self, candidates: Sequence[Tuple[Mapping[str, Layout], LoopSchedule]]
+    ) -> BatchResult:
+        """Batched measurement; see :meth:`Measurer.measure_batch`."""
+        return self.measurer.measure_batch(candidates)
 
     def _expansion_penalty(self, layouts: Mapping[str, Layout]) -> float:
-        """Producer-side cost of data-expanding input layouts.
-
-        Overlapped ``unfold`` and ``pad`` duplicate data; the upstream
-        operator that absorbs the layout (paper Fig. 5b) must write the
-        extra bytes.  Charging that write traffic here keeps the per-op
-        greedy joint tuning honest about whole-graph cost -- without it the
-        tuner happily im2row-expands every input.  Constant tensors are
-        exempt (re-laid-out offline).
-        """
-        by_name = {t.name: t for t in self.comp.inputs}
-        extra_bytes = 0.0
-        for name, lay in layouts.items():
-            t = by_name.get(name)
-            if t is None or t.role == "const":
-                continue
-            ratio = lay.expansion_ratio()
-            if ratio > 1.0:
-                extra_bytes += (ratio - 1.0) * t.nbytes
-        if not extra_bytes:
-            return 0.0
-        cycles = extra_bytes / self.machine.dram_bw_bytes_per_cycle
-        return self.machine.cycles_to_seconds(cycles)
+        return expansion_penalty(self.comp, self.machine, layouts)
 
     def remaining_budget(self) -> Optional[int]:
         if self.budget is None:

@@ -1,0 +1,25 @@
+"""Shared test fixtures.
+
+The measurement engine persists evaluations under ``~/.cache/repro`` by
+default; the suite redirects that to a per-session temporary directory so
+tests never touch (or depend on) the user's real cache, while still
+exercising the disk-cache code path.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _measure_cache_sandbox(tmp_path_factory):
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("measure-cache"))
+    yield
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old
+    from repro.tuning.measurer import shutdown_pools
+
+    shutdown_pools()

@@ -1,0 +1,253 @@
+"""Measurement engine: batching, budget accounting, caching, degradation."""
+
+import math
+
+import pytest
+
+from repro.ir.tensor import Tensor
+from repro.machine.spec import get_machine
+from repro.ops.conv import conv2d
+from repro.tuning.baselines import tune_alt, tune_ansor_like
+from repro.tuning.measurer import (
+    DiskCache,
+    MeasureOptions,
+    Measurer,
+    evaluate_candidate,
+)
+from repro.tuning.records import record_from_result
+from repro.tuning.task import BudgetExhausted, TuningTask
+
+
+def small_conv():
+    inp = Tensor("I", (1, 8, 12, 12))
+    ker = Tensor("K", (8, 8, 3, 3))
+    return conv2d(inp, ker, name="c")
+
+
+def make_task(budget, **kw):
+    kw.setdefault("measure", MeasureOptions(jobs=1, cache_dir=None))
+    return TuningTask(small_conv(), get_machine("intel_cpu"), budget, **kw)
+
+
+def distinct_candidates(task, n):
+    """n candidates with distinct signatures in the task's default layout."""
+    loop_space = task.loop_space_for({})
+    out, seen = [], set()
+    for cfg in loop_space.heuristic_configs():
+        sched = loop_space.schedule(cfg)
+        sig = task._signature({}, sched)
+        if sig not in seen:
+            seen.add(sig)
+            out.append(({}, sched))
+    import random
+
+    rng = random.Random(0)
+    space = loop_space.space()
+    while len(out) < n:
+        sched = loop_space.schedule(space.sample(rng))
+        sig = task._signature({}, sched)
+        if sig not in seen:
+            seen.add(sig)
+            out.append(({}, sched))
+    return out[:n]
+
+
+class TestBudgetAccounting:
+    def test_cache_hits_are_free_and_leave_no_history(self):
+        task = make_task(budget=10)
+        (c0, c1) = distinct_candidates(task, 2)
+        batch = task.measure_batch([c0, c0, c1])
+        assert len(batch.latencies) == 3
+        assert batch.latencies[0] == batch.latencies[1]
+        assert not batch.exhausted
+        assert task.measurements == 2
+        assert len(task.history) == 2
+        assert task.measurer.stats.task_cache_hits == 1
+        assert task.measurer.stats.budget_consumed == 2
+        # re-measuring is free: no new history, no budget
+        again = task.measure_batch([c0, c1])
+        assert again.latencies == batch.latencies[1:]
+        assert task.measurements == 2
+        assert len(task.history) == 2
+
+    def test_budget_cut_mid_batch_keeps_state_consistent(self):
+        task = make_task(budget=2)
+        cands = distinct_candidates(task, 4)
+        batch = task.measure_batch(cands)
+        assert batch.exhausted
+        assert len(batch.latencies) == 2
+        assert task.measurements == 2
+        assert len(task.history) == 2
+        assert task.best_latency == min(batch.latencies)
+        assert task.best_record is not None
+        # history indices follow the serial convention
+        assert [i for i, _ in task.history] == [1, 2]
+        # best-so-far column is monotone non-increasing
+        bests = [b for _, b in task.history]
+        assert bests == sorted(bests, reverse=True)
+
+    def test_single_measure_raises_when_exhausted(self):
+        task = make_task(budget=1)
+        (c0, c1) = distinct_candidates(task, 2)
+        task.measure(*c0)
+        with pytest.raises(BudgetExhausted):
+            task.measure(*c1)
+        # cached candidates stay free even past exhaustion
+        assert math.isfinite(task.measure(*c0))
+
+    def test_empty_batch_is_a_noop(self):
+        task = make_task(budget=2)
+        batch = task.measure_batch([])
+        assert batch.latencies == [] and not batch.exhausted
+        assert task.measurements == 0
+
+
+class TestParallelDeterminism:
+    def test_jobs_do_not_change_tuned_results(self):
+        comp = small_conv()
+        machine = get_machine("intel_cpu")
+        serial = tune_alt(
+            comp, machine, budget=48, seed=0,
+            measure=MeasureOptions(jobs=1, cache_dir=None),
+        )
+        pooled = tune_alt(
+            comp, machine, budget=48, seed=0,
+            measure=MeasureOptions(jobs=2, cache_dir=None),
+        )
+        assert serial.best_latency == pooled.best_latency
+        assert serial.history == pooled.history
+        assert serial.measurements == pooled.measurements
+
+    def test_pool_unavailable_falls_back_to_serial(self, monkeypatch):
+        from repro.tuning import measurer as measurer_mod
+
+        def broken_pool(jobs):
+            raise OSError("no processes for you")
+
+        monkeypatch.setattr(measurer_mod, "_shared_pool", broken_pool)
+        result = tune_ansor_like(
+            small_conv(), get_machine("intel_cpu"), budget=16, seed=0,
+            measure=MeasureOptions(jobs=2, cache_dir=None),
+        )
+        assert math.isfinite(result.best_latency)
+        assert result.telemetry["pool_evaluations"] == 0
+        assert result.telemetry["serial_evaluations"] > 0
+        assert result.telemetry["pool_failures"] >= 1
+
+    def test_worker_crash_becomes_inf_not_abort(self):
+        task = make_task(budget=8, measure=MeasureOptions(jobs=2, cache_dir=None))
+        cands = distinct_candidates(task, 3)
+
+        class CrashFuture:
+            def result(self, timeout=None):
+                raise RuntimeError("worker died")
+
+        class CrashPool:
+            def submit(self, fn, *args):
+                return CrashFuture()
+
+        task.measurer._pool = lambda: CrashPool()
+        batch = task.measure_batch(cands)
+        assert len(batch.latencies) == 3
+        assert all(lat == math.inf for lat in batch.latencies)
+        assert task.measurer.stats.pool_failures == 1
+        # the pool is poisoned; later batches go serial and still work
+        task.measurer._pool = lambda: None
+        more = task.measure_batch(distinct_candidates(task, 5)[3:])
+        assert all(math.isfinite(lat) for lat in more.latencies)
+
+
+class TestDiskCache:
+    def test_warm_cache_skips_all_fresh_evaluations(self, tmp_path):
+        comp = small_conv()
+        machine = get_machine("intel_cpu")
+        opts = dict(budget=24, seed=0)
+        cold = tune_ansor_like(
+            comp, machine,
+            measure=MeasureOptions(jobs=1, cache_dir=str(tmp_path)), **opts,
+        )
+        assert cold.telemetry["fresh_evaluations"] > 0
+        assert cold.telemetry["disk_cache_hits"] == 0
+        warm = tune_ansor_like(
+            comp, machine,
+            measure=MeasureOptions(jobs=1, cache_dir=str(tmp_path)), **opts,
+        )
+        assert warm.telemetry["fresh_evaluations"] == 0
+        assert warm.telemetry["disk_cache_hits"] > 0
+        assert warm.best_latency == cold.best_latency
+        assert warm.history == cold.history
+
+    def test_cached_values_match_direct_evaluation(self, tmp_path):
+        task = make_task(
+            budget=4, measure=MeasureOptions(jobs=1, cache_dir=str(tmp_path))
+        )
+        cands = distinct_candidates(task, 2)
+        batch = task.measure_batch(cands)
+        for (lay, sched), lat in zip(cands, batch.latencies):
+            assert lat == evaluate_candidate(task.comp, task.machine, lay, sched)
+
+    def test_inf_round_trips_through_jsonl(self, tmp_path):
+        comp = small_conv()
+        machine = get_machine("intel_cpu")
+        cache = DiskCache(str(tmp_path), machine, comp)
+        cache.put("k-inf", math.inf)
+        cache.put("k-fin", 1.5e-6)
+        fresh = DiskCache(str(tmp_path), machine, comp)
+        assert fresh.get("k-inf") == math.inf
+        assert fresh.get("k-fin") == 1.5e-6
+
+    def test_corrupt_lines_are_skipped(self, tmp_path):
+        comp = small_conv()
+        machine = get_machine("intel_cpu")
+        cache = DiskCache(str(tmp_path), machine, comp)
+        cache.put("good", 2.0e-6)
+        with open(cache.path, "a") as f:
+            f.write("{not json}\n")
+            f.write('{"k": "no-value"}\n')
+        fresh = DiskCache(str(tmp_path), machine, comp)
+        assert fresh.get("good") == 2.0e-6
+        assert len(fresh) == 1
+
+    def test_disabled_cache_never_touches_disk(self, tmp_path):
+        task = TuningTask(
+            small_conv(), get_machine("intel_cpu"), budget=2,
+            measure=MeasureOptions(jobs=1, cache_dir=None),
+        )
+        assert task.measurer._disk is None
+        task.measure_batch(distinct_candidates(task, 2))
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestTelemetry:
+    def test_tune_result_carries_stats(self):
+        result = tune_ansor_like(
+            small_conv(), get_machine("intel_cpu"), budget=12, seed=0,
+            measure=MeasureOptions(jobs=1, cache_dir=None),
+        )
+        t = result.telemetry
+        assert t["fresh_evaluations"] + t["disk_cache_hits"] >= t["budget_consumed"]
+        assert t["budget_consumed"] == result.measurements
+        assert 0.0 <= t["cache_hit_rate"] <= 1.0
+        assert t["wall_time_s"] >= 0.0
+
+    def test_record_round_trips_telemetry(self):
+        result = tune_ansor_like(
+            small_conv(), get_machine("intel_cpu"), budget=8, seed=0,
+            measure=MeasureOptions(jobs=1, cache_dir=None),
+        )
+        record = record_from_result(small_conv(), "intel_cpu", result)
+        from repro.tuning.records import TuneRecord
+
+        back = TuneRecord.from_json(record.to_json())
+        assert back.telemetry == record.telemetry
+        assert back.telemetry["budget_consumed"] == result.measurements
+
+
+class TestMeasurerUnit:
+    def test_measurer_bound_to_task_shares_bookkeeping(self):
+        task = make_task(budget=4)
+        assert isinstance(task.measurer, Measurer)
+        (c0,) = distinct_candidates(task, 1)
+        lat = task.measure(*c0)
+        assert task.measurer.stats.requests == 1
+        assert task._cache[task._signature(*c0)] == lat
