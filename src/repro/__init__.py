@@ -18,16 +18,24 @@ Public API tour
   PPO + cost model) and the baseline tuners in :mod:`repro.tuning.baselines`.
 - **End to end**: :func:`repro.compile_graph` tunes, propagates, fuses and
   lowers a whole model graph; the zoo lives in :mod:`repro.graph.models`.
+- **Observability**: :mod:`repro.obs` -- span tracer, metrics registry,
+  per-task tuning timelines, the shared ``repro`` logger.  Library code
+  logs (never prints); renderers live in :func:`repro.trace_report` /
+  :func:`repro.timeline_report`.
 
 Quickstart::
 
-    from repro import Tensor, conv2d, get_machine, tune_alt
+    from repro import Tensor, Trace, conv2d, get_machine, tune_alt
+    from repro.obs import log, setup_logging
 
+    setup_logging()                      # route the "repro" logger to stderr
     inp = Tensor("inp", (1, 64, 58, 58))
     ker = Tensor("ker", (64, 64, 3, 3), role="const")
     op = conv2d(inp, ker, stride=1)
-    result = tune_alt(op, get_machine("intel_cpu"), budget=200)
-    print(result.best_latency, result.best_layouts)
+    trace = Trace(name="quickstart")     # optional: record spans + timeline
+    result = tune_alt(op, get_machine("intel_cpu"), budget=200, trace=trace)
+    log.info("best %.3e s via %s", result.best_latency, result.best_layouts)
+    trace.save("quickstart.jsonl")       # render: python -m repro trace ...
 """
 
 from .exec.graph_runner import random_inputs, run_compiled, run_graph_reference
@@ -48,6 +56,8 @@ from .lower.lower import LoweringError, lower_compute
 from .machine.latency import estimate_program, estimate_stage
 from .machine.spec import get_machine
 from .machine.trace import profile_program, profile_stage
+from .obs import MetricsRegistry, Trace, load_trace
+from .obs.log import log, setup_logging
 from .ops.conv import conv1d, conv2d, conv3d, depthwise_conv2d
 from .ops.gemm import batch_gemm, dense, gemm
 from .pipeline import CompileOptions, CompiledModel, compile_graph
@@ -60,7 +70,14 @@ from .tuning.baselines import (
     tune_random_layout,
     vendor_library,
 )
-from .report import full_report, layout_report, stage_cost_report, tuning_report
+from .report import (
+    full_report,
+    layout_report,
+    stage_cost_report,
+    timeline_report,
+    trace_report,
+    tuning_report,
+)
 from .tuning.genetic import tune_genetic
 from .tuning.pretrain import pretrain
 from .tuning.records import RecordStore, TuneRecord, apply_record, record_from_result
@@ -71,15 +88,17 @@ __version__ = "0.1.0"
 __all__ = [
     "Access", "Axis", "CompileOptions", "CompiledModel", "ComputeDef",
     "Graph", "GraphBuilder", "Layout", "LoopSchedule", "LoweringError",
-    "Program", "PropagationEngine", "PropagationState", "Stage", "Tensor",
-    "TuningTask", "Var", "batch_gemm", "compile_graph", "conv1d", "conv2d",
-    "conv3d", "dense", "depthwise_conv2d", "estimate_program",
-    "estimate_stage", "evaluate_compute", "fixed_scheme_layouts", "gemm",
-    "get_machine", "lower_compute", "pretrain", "profile_program",
+    "MetricsRegistry", "Program", "PropagationEngine", "PropagationState",
+    "Stage", "Tensor", "Trace", "TuningTask", "Var", "batch_gemm",
+    "compile_graph", "conv1d", "conv2d", "conv3d", "dense",
+    "depthwise_conv2d", "estimate_program", "estimate_stage",
+    "evaluate_compute", "fixed_scheme_layouts", "gemm", "get_machine",
+    "load_trace", "log", "lower_compute", "pretrain", "profile_program",
     "profile_stage", "random_inputs", "run_compiled", "run_compute",
-    "run_graph_reference", "template_for", "tune_alt", "tune_alt_ol",
-    "tune_ansor_like", "tune_autotvm_like", "tune_flextensor_like",
-    "tune_genetic", "tune_random_layout", "vendor_library",
-    "RecordStore", "TuneRecord", "apply_record", "record_from_result",
-    "full_report", "layout_report", "stage_cost_report", "tuning_report",
+    "run_graph_reference", "setup_logging", "template_for", "tune_alt",
+    "tune_alt_ol", "tune_ansor_like", "tune_autotvm_like",
+    "tune_flextensor_like", "tune_genetic", "tune_random_layout",
+    "vendor_library", "RecordStore", "TuneRecord", "apply_record",
+    "record_from_result", "full_report", "layout_report",
+    "stage_cost_report", "timeline_report", "trace_report", "tuning_report",
 ]

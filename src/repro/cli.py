@@ -5,6 +5,7 @@ Commands
 
 ``tune``      tune a single operator and print the result/layouts
 ``compile``   compile a model-zoo network end to end and print the report
+``trace``     render a saved JSONL trace (flamegraph + tuning timeline)
 ``machines``  list the simulated hardware targets
 ``models``    list the model zoo
 
@@ -13,6 +14,8 @@ Examples::
     python -m repro tune c2d --machine intel_cpu --budget 200
     python -m repro compile resnet18 --mode alt --budget 500 --image 64
     python -m repro compile bert_tiny --mode ansor
+    python -m repro tune gmm --budget 64 --trace-out run.jsonl
+    python -m repro trace run.jsonl
 """
 
 from __future__ import annotations
@@ -24,6 +27,9 @@ from typing import Dict, List, Optional
 from .graph.models import bert_base, bert_tiny, mobilenet_v2, resnet18, resnet3d18
 from .ir.tensor import Tensor
 from .machine.spec import PRESETS, get_machine
+from .obs.log import log, setup_logging
+from .obs.render import timeline_report, trace_report
+from .obs.trace import Trace, load_trace
 from .ops.conv import conv1d, conv2d, conv3d, depthwise_conv2d
 from .ops.gemm import gemm
 from .pipeline import CompileOptions, compile_graph
@@ -91,17 +97,34 @@ def _measure_options(args) -> MeasureOptions:
     return opts
 
 
+def _make_trace(args, name: str) -> Optional[Trace]:
+    """An enabled Trace when ``--trace-out`` was given, else None."""
+    if getattr(args, "trace_out", None) is None:
+        return None
+    return Trace(name=name)
+
+
+def _finish_trace(trace: Optional[Trace], args) -> None:
+    if trace is not None:
+        trace.save(args.trace_out)
+        log.info("trace written to %s (%d events)", args.trace_out,
+                 len(trace.events))
+
+
 def cmd_tune(args) -> int:
     machine = get_machine(args.machine)
     comp = _single_op(args.op, args.channels, args.size)
     tuner = BASELINE_TUNERS.get(args.tuner, tune_alt)
     measure = _measure_options(args)
+    trace = _make_trace(args, f"tune:{args.op}")
     if args.tuner == "vendor":
-        result = tuner(comp, machine, measure=measure)
+        result = tuner(comp, machine, measure=measure, trace=trace)
     else:
         result = tuner(
-            comp, machine, budget=args.budget, seed=args.seed, measure=measure
+            comp, machine, budget=args.budget, seed=args.seed, measure=measure,
+            trace=trace,
         )
+    _finish_trace(trace, args)
     print(f"operator {args.op} on {machine.name} via {args.tuner}:")
     print(f"  best latency: {result.best_latency * 1e3:.4f} ms "
           f"({result.measurements} simulated measurements)")
@@ -127,6 +150,7 @@ def cmd_compile(args) -> int:
             f"unknown model {args.model!r}; choose from {sorted(_MODELS)}"
         )
     graph = builder(args)
+    trace = _make_trace(args, f"compile:{args.model}")
     model = compile_graph(
         graph,
         machine,
@@ -135,9 +159,19 @@ def cmd_compile(args) -> int:
             total_budget=args.budget,
             seed=args.seed,
             measure=_measure_options(args),
+            trace=trace,
         ),
     )
-    print(full_report(model))
+    _finish_trace(trace, args)
+    print(full_report(model, trace=trace))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    data = load_trace(args.trace_file)
+    print(trace_report(data))
+    print()
+    print(timeline_report(data, task=args.task))
     return 0
 
 
@@ -160,6 +194,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="ALT reproduction command-line interface"
     )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="verbose logging (repeat for debug output)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="only log warnings and errors",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     measure_flags = argparse.ArgumentParser(add_help=False)
@@ -178,6 +220,11 @@ def build_parser() -> argparse.ArgumentParser:
     measure_flags.add_argument(
         "--measure-timeout", type=float, default=None,
         help="per-candidate measurement timeout in seconds (0 disables)",
+    )
+    measure_flags.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="record a structured trace of the run and save it as JSONL "
+             "(render with `python -m repro trace FILE`)",
     )
 
     p = sub.add_parser("tune", help="tune one operator", parents=[measure_flags])
@@ -205,6 +252,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_compile)
 
+    p = sub.add_parser("trace", help="render a saved JSONL trace")
+    p.add_argument("trace_file", help="path to a trace written by --trace-out")
+    p.add_argument("--task", default=None,
+                   help="restrict the tuning timeline to one task")
+    p.set_defaults(fn=cmd_trace)
+
     p = sub.add_parser("machines", help="list simulated machines")
     p.set_defaults(fn=cmd_machines)
     p = sub.add_parser("models", help="list model zoo entries")
@@ -214,6 +267,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    setup_logging(-1 if args.quiet else args.verbose)
     return args.fn(args)
 
 

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from ..graph.graph import Graph
 from ..ir.compute import ComputeDef
 from ..ir.tensor import Tensor
+from ..obs.trace import NULL_TRACE, Trace
 from ..ops.transform import layout_conversion
 from .layout import Layout
 
@@ -67,11 +68,13 @@ class PropagationEngine:
         state: Optional[PropagationState] = None,
         enable_replication: bool = True,
         enable_absorption: bool = True,
+        trace: Optional[Trace] = None,
     ):
         self.graph = graph
         self.state = state or PropagationState()
         self.enable_replication = enable_replication
         self.enable_absorption = enable_absorption
+        self.trace = trace if trace is not None else NULL_TRACE
         self._conversion_count = 0
 
     # -- public API -------------------------------------------------------------
@@ -114,6 +117,7 @@ class PropagationEngine:
             # Fig. 5b: the simple producer yields the new layout directly.
             state.layouts[tensor.name] = layout
             state.locked.add(tensor.name)
+            self.trace.metrics.counter("propagation.absorptions").inc()
             return
         self._insert_conversion(op, tensor, layout)
 
@@ -129,6 +133,13 @@ class PropagationEngine:
         self.state.layouts[conv.output.name] = layout
         self.state.locked.add(conv.output.name)
         self.state.conversions.append(conv.name)
+        self.trace.metrics.counter("propagation.conversions").inc()
+        self.trace.event(
+            "conversion_inserted",
+            tensor=tensor.name,
+            consumer=consumer.name,
+            node=conv.name,
+        )
 
     # -- output side -----------------------------------------------------------------
     def _assign_output(self, op: ComputeDef, layout: Layout) -> None:
@@ -173,4 +184,5 @@ class PropagationEngine:
                 state.layouts[out.name] = layout.replay_onto(Layout(out.shape))
                 state.locked.add(out.name)
                 state.replicated[out.name] = tensor.name
+                self.trace.metrics.counter("propagation.replications").inc()
                 queue.append(out)

@@ -1,0 +1,50 @@
+"""Observability subsystem: structured tracing, metrics, timelines, logging.
+
+The compile/tune pipeline threads a single :class:`Trace` through
+``CompileOptions`` (and the tuner entry points); everything downstream --
+the per-task tuners, the PPO agents, the cost model, layout propagation and
+the measurement engine -- records spans, events and metrics into it.  A
+disabled trace (the default) records nothing and leaves tuned results
+bit-identical.
+
+Quick tour::
+
+    from repro.obs import Trace, trace_report, timeline_report
+
+    trace = Trace(name="resnet18")
+    model = compile_graph(graph, machine, CompileOptions(trace=trace))
+    trace.save("run.jsonl")          # JSONL: spans + rounds + metrics
+    print(trace_report(trace))       # span flamegraph (text)
+    print(timeline_report(trace))    # per-task reward / latency curves
+
+Or from the CLI: ``python -m repro compile resnet18 --trace-out run.jsonl``
+then ``python -m repro trace run.jsonl``.
+"""
+
+from .log import log, setup_logging
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .render import span_coverage, timeline_report, trace_report
+from .timeline import TimelineRecorder, best_so_far_curve, timeline_from_events
+from .trace import (
+    NULL_TRACE,
+    TRACE_SCHEMA_VERSION,
+    Span,
+    Trace,
+    TraceData,
+    build_span_tree,
+    load_trace,
+)
+
+__all__ = [
+    "Counter", "DEFAULT_BUCKETS", "Gauge", "Histogram", "MetricsRegistry",
+    "NULL_TRACE", "Span", "TimelineRecorder", "Trace", "TraceData",
+    "TRACE_SCHEMA_VERSION", "best_so_far_curve", "build_span_tree",
+    "load_trace", "log", "setup_logging", "span_coverage",
+    "timeline_from_events", "timeline_report", "trace_report",
+]

@@ -1,0 +1,44 @@
+"""Shared logger for the whole package.
+
+Library code logs through ``repro.obs.log.log`` (the ``"repro"`` logger)
+instead of printing; only the CLI prints to stdout.  ``setup_logging``
+wires a stderr handler and maps the CLI's ``--verbose``/``--quiet`` flags
+onto levels.
+"""
+
+from __future__ import annotations
+
+import logging
+
+#: the package logger -- ``from repro.obs.log import log; log.info(...)``
+log = logging.getLogger("repro")
+log.addHandler(logging.NullHandler())  # silent unless the host configures us
+
+
+def setup_logging(verbosity: int = 0) -> logging.Logger:
+    """Configure the ``repro`` logger for CLI use.
+
+    ``verbosity``: negative = warnings only (``-q``), 0 = info, positive =
+    debug (``-v``).  Idempotent: reconfigures the same stream handler.
+    """
+    level = (
+        logging.WARNING if verbosity < 0
+        else logging.DEBUG if verbosity > 0
+        else logging.INFO
+    )
+    handler = None
+    for h in log.handlers:
+        if isinstance(h, logging.StreamHandler) and not isinstance(
+            h, logging.NullHandler
+        ):
+            handler = h
+            break
+    if handler is None:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(levelname).1s %(name)s: %(message)s")
+        )
+        log.addHandler(handler)
+    handler.setLevel(level)
+    log.setLevel(level)
+    return log

@@ -1,0 +1,193 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+The registry is the structured-telemetry substrate for the whole stack: the
+measurement engine, the PPO agents, the cost model and layout propagation
+all record into one of these instead of growing ad-hoc stat fields.  A
+registry is plain in-memory state -- cheap to create per task or per trace,
+snapshot-able to a JSON-friendly dict, and mergeable for aggregation.
+
+Conventions
+-----------
+
+- Metric names are dotted paths (``measure.batches``, ``ppo.policy_loss``).
+- Counters only go up; gauges hold the last value (or accumulate with
+  ``add``); histograms bin observations into fixed buckets so percentile
+  summaries never require storing raw samples.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: default histogram bucket upper edges (log-spaced; covers losses and
+#: latencies alike).  Bin i counts observations in (edge[i-1], edge[i]].
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0, 1000.0
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only increase")
+        self.value += n
+
+
+class Gauge:
+    """A last-value (or accumulated) float."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = float(v)
+
+    def add(self, v: float) -> None:
+        self.value += float(v)
+
+
+class Histogram:
+    """Fixed-bucket histogram.
+
+    ``edges`` are strictly increasing upper bounds; an observation ``v``
+    lands in the first bucket with ``v <= edge``, or in the overflow
+    bucket past the last edge.  Non-finite observations are counted
+    separately (``nonfinite``) and excluded from ``sum``.
+    """
+
+    __slots__ = ("edges", "counts", "overflow", "nonfinite", "count", "sum",
+                 "min", "max")
+
+    def __init__(self, edges: Optional[Sequence[float]] = None):
+        edges = tuple(edges) if edges is not None else DEFAULT_BUCKETS
+        if list(edges) != sorted(set(edges)):
+            raise ValueError("histogram edges must be strictly increasing")
+        self.edges = edges
+        self.counts = [0] * len(edges)
+        self.overflow = 0
+        self.nonfinite = 0
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, v: float) -> None:
+        self.count += 1
+        if not math.isfinite(v):
+            self.nonfinite += 1
+            return
+        self.sum += v
+        self.min = min(self.min, v)
+        self.max = max(self.max, v)
+        i = bisect.bisect_left(self.edges, v)
+        if i >= len(self.edges):
+            self.overflow += 1
+        else:
+            self.counts[i] += 1
+
+    @property
+    def mean(self) -> float:
+        finite = self.count - self.nonfinite
+        return self.sum / finite if finite else 0.0
+
+    def as_dict(self) -> Dict:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min if self.count > self.nonfinite else None,
+            "max": self.max if self.count > self.nonfinite else None,
+            "nonfinite": self.nonfinite,
+            "buckets": [
+                [edge, c] for edge, c in zip(self.edges, self.counts)
+            ] + [["inf", self.overflow]],
+        }
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use.
+
+    Re-requesting a name returns the existing instrument; requesting it as
+    a different kind raises, so one name never means two things.
+    """
+
+    def __init__(self):
+        self._metrics: Dict[str, object] = {}
+
+    def _get(self, name: str, cls, *args):
+        m = self._metrics.get(name)
+        if m is None:
+            m = cls(*args)
+            self._metrics[name] = m
+        elif not isinstance(m, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as {type(m).__name__}"
+            )
+        return m
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(
+        self, name: str, edges: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        return self._get(name, Histogram, edges)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def value(self, name: str, default=None):
+        """Scalar value of a counter/gauge (``default`` if unregistered)."""
+        m = self._metrics.get(name)
+        if m is None:
+            return default
+        if isinstance(m, Histogram):
+            return m.as_dict()
+        return m.value
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-friendly view of every metric."""
+        out: Dict[str, object] = {}
+        for name in self.names():
+            m = self._metrics[name]
+            out[name] = m.as_dict() if isinstance(m, Histogram) else m.value
+        return out
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's counters/gauges/histograms into this one
+        (per-task registries aggregate into a run-level view)."""
+        for name, m in other._metrics.items():
+            if isinstance(m, Counter):
+                self.counter(name).inc(m.value)
+            elif isinstance(m, Gauge):
+                self.gauge(name).add(m.value)
+            elif isinstance(m, Histogram):
+                h = self.histogram(name, m.edges)
+                h.count += m.count
+                h.sum += m.sum
+                h.overflow += m.overflow
+                h.nonfinite += m.nonfinite
+                h.min = min(h.min, m.min)
+                h.max = max(h.max, m.max)
+                for i, c in enumerate(m.counts):
+                    h.counts[i] += c

@@ -1,0 +1,172 @@
+"""Text renderers for traces and tuning timelines.
+
+``trace_report`` prints the span tree as a text flamegraph (duration, share
+of parent, bar); ``timeline_report`` prints per-task reward curves and the
+best-latency trajectory.  Both accept a live :class:`~repro.obs.trace.Trace`,
+a parsed :class:`~repro.obs.trace.TraceData`, or a JSONL path.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Union
+
+from .timeline import best_so_far_curve, timeline_from_events
+from .trace import Trace, TraceData, load_trace
+
+_BAR_WIDTH = 20
+
+
+def _fmt_dur(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.3f} s "
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:8.3f} ms"
+    return f"{seconds * 1e6:8.1f} us"
+
+
+def _coerce(source: Union[str, Trace, TraceData]) -> TraceData:
+    if isinstance(source, TraceData):
+        return source
+    if isinstance(source, Trace):
+        spans = [e for e in source.events if e.get("kind") == "span"]
+        events = [e for e in source.events if e.get("kind") == "event"]
+        return TraceData(
+            {"name": source.name}, spans, events, source.metrics.snapshot()
+        )
+    return load_trace(source)
+
+
+# ---------------------------------------------------------------------------
+# Span flamegraph
+# ---------------------------------------------------------------------------
+
+def _render_span(node, total: float, depth: int, lines: List[str],
+                 max_children: int) -> None:
+    frac = node.duration_s / total if total > 0 else 0.0
+    bar = "#" * max(int(round(frac * _BAR_WIDTH)), 1 if frac > 0 else 0)
+    label = "  " * depth + node.name
+    extras = ""
+    attrs = node.attrs or {}
+    shown = {k: v for k, v in attrs.items()
+             if k in ("task", "graph", "mode", "machine", "submitted",
+                      "fresh", "budget", "rounds", "error")}
+    if shown:
+        extras = "  " + " ".join(f"{k}={v}" for k, v in sorted(shown.items()))
+    lines.append(
+        f"  {label:36s} {_fmt_dur(node.duration_s)} {frac * 100:5.1f}%"
+        f" |{bar:<{_BAR_WIDTH}s}|{extras}"
+    )
+    children = node.children
+    if max_children and len(children) > max_children:
+        head = children[:max_children]
+        hidden = children[max_children:]
+        for child in head:
+            _render_span(child, total, depth + 1, lines, max_children)
+        rest = sum(c.duration_s for c in hidden)
+        lines.append(
+            "  " + "  " * (depth + 1)
+            + f"... {len(hidden)} more spans{'':9s}{_fmt_dur(rest)}"
+        )
+    else:
+        for child in children:
+            _render_span(child, total, depth + 1, lines, max_children)
+
+
+def span_coverage(node) -> float:
+    """Fraction of a span's duration covered by its direct children."""
+    if node.duration_s <= 0:
+        return 1.0
+    return min(sum(c.duration_s for c in node.children) / node.duration_s, 1.0)
+
+
+def trace_report(source: Union[str, Trace, TraceData],
+                 max_children: int = 24) -> str:
+    """Text flamegraph of the recorded span tree plus key metrics."""
+    data = _coerce(source)
+    lines = [f"trace {data.name!r}:"]
+    if not data.roots:
+        lines.append("  (no spans recorded)")
+    for root in data.roots:
+        _render_span(root, root.duration_s, 0, lines, max_children)
+    if data.metrics:
+        lines.append("")
+        lines.append("metrics:")
+        for name in sorted(data.metrics):
+            v = data.metrics[name]
+            if isinstance(v, dict):  # histogram snapshot
+                lines.append(
+                    f"  {name:36s} n={v.get('count', 0)}"
+                    f" mean={v.get('mean', 0.0):.4g}"
+                )
+            elif isinstance(v, float):
+                lines.append(f"  {name:36s} {v:.6g}")
+            else:
+                lines.append(f"  {name:36s} {v}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Tuning timeline / reward curve
+# ---------------------------------------------------------------------------
+
+def _spark(values: Sequence[float], width: int = 32) -> str:
+    """Down-sampled text sparkline over finite values."""
+    finite = [v for v in values if v is not None and math.isfinite(v)]
+    if not finite:
+        return "(no finite samples)"
+    lo, hi = min(finite), max(finite)
+    glyphs = ".:-=+*#%@"
+    if len(values) > width:
+        step = len(values) / width
+        values = [values[int(i * step)] for i in range(width)]
+    out = []
+    for v in values:
+        if v is None or not math.isfinite(v):
+            out.append(" ")
+            continue
+        t = 0.0 if hi == lo else (v - lo) / (hi - lo)
+        out.append(glyphs[min(int(t * (len(glyphs) - 1) + 0.5),
+                              len(glyphs) - 1)])
+    return "".join(out)
+
+
+def timeline_report(source: Union[str, Trace, TraceData, Sequence[Dict]],
+                    task: Optional[str] = None) -> str:
+    """Per-task tuning summary: rounds, stages, reward curve, best latency."""
+    if isinstance(source, (list, tuple)):
+        rounds = [dict(r) for r in source]
+    else:
+        data = _coerce(source)
+        rounds = timeline_from_events(data.events)
+    if task is not None:
+        rounds = [r for r in rounds if r.get("task") == task]
+    by_task: Dict[str, List[Dict]] = {}
+    for r in rounds:
+        by_task.setdefault(r.get("task", "?"), []).append(r)
+    lines = ["tuning timeline:"]
+    if not by_task:
+        lines.append("  (no rounds recorded)")
+    for name in sorted(by_task):
+        rs = by_task[name]
+        curve = best_so_far_curve(rs)
+        finite = [v for v in curve if math.isfinite(v)]
+        best = min(finite) if finite else math.inf
+        joint = sum(1 for r in rs if r.get("stage") == "joint")
+        rewards = [r.get("reward") for r in rs if r.get("reward") is not None]
+        lines.append(
+            f"  {name}: {len(rs)} rounds ({joint} joint, "
+            f"{len(rs) - joint} loop), best {best * 1e6:.2f} us"
+        )
+        lines.append(f"    best-so-far  {_spark(curve)}")
+        if rewards:
+            lines.append(
+                f"    reward       {_spark(rewards)}  "
+                f"(last {rewards[-1]:.3f}, max {max(rewards):.3f})"
+            )
+        last = rs[-1]
+        lines.append(
+            f"    measurements {last.get('measurements')}, "
+            f"budget remaining {last.get('budget_remaining')}"
+        )
+    return "\n".join(lines)

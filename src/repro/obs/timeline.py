@@ -1,0 +1,75 @@
+"""Per-task tuning timeline: one record per tuner round.
+
+The two-stage tuner (joint cross-exploration, then loop-only refinement)
+makes hundreds of decisions per task; the timeline captures each round --
+which stage ran, which layout was under assessment, the reward fed back to
+the PPO actor, the latencies actually measured (top-k), the best-so-far
+trajectory and the budget remaining -- so a run can answer "why did this
+layout win" after the fact.
+
+Records are plain dicts: they ride inside :class:`~repro.obs.trace.Trace`
+JSONL streams as ``round`` events, surface on ``TuneResult.timeline``, and
+serialize next to tuning records.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+class TimelineRecorder:
+    """Collects round records for one tuning task.
+
+    Bound to a task duck-typed with ``comp.name``, ``best_latency``,
+    ``measurements``, ``remaining_budget()`` and ``trace``; every record is
+    also emitted as a ``round`` trace event.
+    """
+
+    def __init__(self, task):
+        self.task = task
+        self.rounds: List[Dict] = []
+
+    def record(
+        self,
+        stage: str,
+        layout: Optional[str] = None,
+        round_best: Optional[float] = None,
+        reward: Optional[float] = None,
+        top_k: Optional[Sequence[float]] = None,
+    ) -> Dict:
+        task = self.task
+        entry: Dict = {
+            "round": len(self.rounds),
+            "stage": stage,
+            "task": task.comp.name,
+            "layout": layout,
+            "round_best": round_best,
+            "reward": reward,
+            "top_k": list(top_k) if top_k is not None else None,
+            "best_so_far": task.best_latency,
+            "measurements": task.measurements,
+            "budget_remaining": task.remaining_budget(),
+        }
+        self.rounds.append(entry)
+        task.trace.event("round", **entry)
+        return entry
+
+    def snapshot(self) -> List[Dict]:
+        return [dict(r) for r in self.rounds]
+
+
+def timeline_from_events(events: Sequence[Dict]) -> List[Dict]:
+    """Extract round records from parsed trace events (see ``load_trace``)."""
+    out: List[Dict] = []
+    for e in events:
+        if e.get("name") == "round":
+            out.append(dict(e.get("attrs") or {}))
+    return out
+
+
+def best_so_far_curve(rounds: Sequence[Dict]) -> List[float]:
+    """The best-latency trajectory over a task's rounds (monotone
+    non-increasing by construction of the task bookkeeping)."""
+    return [
+        r["best_so_far"] for r in rounds if r.get("best_so_far") is not None
+    ]

@@ -1,0 +1,280 @@
+"""Span-based tracer for the compile/tune pipeline.
+
+A :class:`Trace` records a tree of timed :class:`Span`\\ s (``compile`` >
+``tune_task`` > ``joint_stage`` > ``measure_batch`` ...) plus point events
+(tuning rounds, conversions inserted), with structured attributes on every
+node.  Everything serializes to JSONL so a run can be shipped and rendered
+later (``python -m repro trace run.jsonl``).
+
+Design rules:
+
+- **Zero observable cost when disabled.**  A disabled trace still hands out
+  ``Span`` objects (callers read durations off them -- the measurement
+  engine's wall-time accounting comes from ``measure_batch`` spans), but it
+  records no events, keeps no tree, and never touches the RNG, so tuned
+  results are bit-identical with tracing on or off.
+- **Monotonic timestamps.**  All times are ``time.perf_counter`` offsets
+  from the trace origin; children always nest within their parents.
+- **One file, append-friendly.**  The JSONL stream is a ``meta`` header,
+  one ``span`` record per finished span, ``event`` records, and a final
+  ``metrics`` snapshot of the trace's registry.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional
+
+from .metrics import MetricsRegistry
+
+#: bump when the JSONL schema changes incompatibly
+TRACE_SCHEMA_VERSION = 1
+
+
+def _json_safe(v):
+    """Best-effort attribute coercion: JSON scalars pass through, container
+    types recurse, everything else becomes ``repr``."""
+    if v is None or isinstance(v, (bool, int, float, str)):
+        return v
+    if isinstance(v, (list, tuple)):
+        return [_json_safe(x) for x in v]
+    if isinstance(v, dict):
+        return {str(k): _json_safe(x) for k, x in v.items()}
+    return repr(v)
+
+
+class Span:
+    """One timed region; build via :meth:`Trace.span`."""
+
+    __slots__ = ("name", "attrs", "span_id", "parent_id", "t_start", "t_end",
+                 "children")
+
+    def __init__(self, name: str, span_id: int, parent_id: Optional[int],
+                 t_start: float):
+        self.name = name
+        self.attrs: Dict = {}
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.t_start = t_start
+        self.t_end: Optional[float] = None
+        self.children: List["Span"] = []
+
+    def set(self, **attrs) -> "Span":
+        """Attach structured attributes (kept on start, merged on end)."""
+        self.attrs.update(attrs)
+        return self
+
+    @property
+    def duration_s(self) -> float:
+        if self.t_end is None:
+            return 0.0
+        return self.t_end - self.t_start
+
+    def to_dict(self) -> Dict:
+        return {
+            "kind": "span",
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+            "attrs": _json_safe(self.attrs),
+        }
+
+    def __repr__(self) -> str:
+        return f"Span({self.name!r}, {self.duration_s * 1e3:.3f} ms)"
+
+
+class _SpanContext:
+    """Context manager tying a span's lifetime to a ``with`` block."""
+
+    __slots__ = ("_trace", "_span")
+
+    def __init__(self, trace: "Trace", span: Span):
+        self._trace = trace
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self._span.attrs.setdefault("error", exc_type.__name__)
+        self._trace._finish(self._span)
+
+
+class Trace:
+    """A run's observability context: span tree + events + metrics.
+
+    ``Trace(enabled=False)`` is the null trace: spans still time themselves
+    (their durations feed the metrics registry) but nothing is recorded.
+    """
+
+    def __init__(self, enabled: bool = True, name: str = "run",
+                 metrics: Optional[MetricsRegistry] = None):
+        self.enabled = enabled
+        self.name = name
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.events: List[Dict] = []  # finished spans + point events, in order
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+        self._next_id = 1
+        self._t0 = time.perf_counter()
+
+    # -- recording -----------------------------------------------------------
+    def _now(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def span(self, name: str, **attrs) -> _SpanContext:
+        """Open a nested timed region::
+
+            with trace.span("measure_batch", task=name) as sp:
+                ...
+                sp.set(fresh=3)
+        """
+        parent = self._stack[-1] if self._stack else None
+        sp = Span(name, self._next_id, parent.span_id if parent else None,
+                  self._now())
+        self._next_id += 1
+        if attrs:
+            sp.attrs.update(attrs)
+        if self.enabled:
+            if parent is not None:
+                parent.children.append(sp)
+            else:
+                self.roots.append(sp)
+        self._stack.append(sp)
+        return _SpanContext(self, sp)
+
+    def _finish(self, span: Span) -> None:
+        span.t_end = self._now()
+        # tolerate mispaired exits: pop back to (and including) this span
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+        if self.enabled:
+            self.events.append(span.to_dict())
+
+    def event(self, name: str, **attrs) -> None:
+        """Record a point event under the current span."""
+        if not self.enabled:
+            return
+        parent = self._stack[-1] if self._stack else None
+        self.events.append({
+            "kind": "event",
+            "name": name,
+            "ts": self._now(),
+            "span": parent.span_id if parent else None,
+            "attrs": _json_safe(attrs),
+        })
+
+    # -- serialization -------------------------------------------------------
+    def lines(self) -> List[str]:
+        """The trace as JSONL lines (header, events, metrics snapshot)."""
+        out = [json.dumps({
+            "kind": "meta",
+            "version": TRACE_SCHEMA_VERSION,
+            "name": self.name,
+        })]
+        out.extend(json.dumps(e) for e in self.events)
+        out.append(json.dumps({
+            "kind": "metrics",
+            "snapshot": self.metrics.snapshot(),
+        }))
+        return out
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as f:
+            for line in self.lines():
+                f.write(line + "\n")
+
+
+#: module-level null trace for instrumentation sites with no caller-provided
+#: trace; records nothing and shares no state with real traces (its registry
+#: is still real, but per-import and never snapshotted)
+NULL_TRACE = Trace(enabled=False, name="null")
+
+
+# ---------------------------------------------------------------------------
+# Loading / reconstruction
+# ---------------------------------------------------------------------------
+
+class TraceData:
+    """A parsed JSONL trace: span tree, point events, metrics snapshot."""
+
+    def __init__(self, meta: Dict, spans: List[Dict], events: List[Dict],
+                 metrics: Dict):
+        self.meta = meta
+        self.spans = spans  # flat span dicts, end order
+        self.events = events  # point events, emit order
+        self.metrics = metrics
+        self.roots = build_span_tree(spans)
+
+    @property
+    def name(self) -> str:
+        return self.meta.get("name", "run")
+
+
+class _SpanNode:
+    """Reconstructed span with children (mirror of :class:`Span`)."""
+
+    __slots__ = ("name", "attrs", "span_id", "parent_id", "t_start", "t_end",
+                 "children")
+
+    def __init__(self, d: Dict):
+        self.name = d.get("name", "?")
+        self.attrs = d.get("attrs") or {}
+        self.span_id = d.get("id")
+        self.parent_id = d.get("parent")
+        self.t_start = d.get("t_start", 0.0)
+        self.t_end = d.get("t_end") or d.get("t_start", 0.0)
+        self.children: List["_SpanNode"] = []
+
+    @property
+    def duration_s(self) -> float:
+        return (self.t_end or 0.0) - (self.t_start or 0.0)
+
+
+def build_span_tree(spans: List[Dict]) -> List[_SpanNode]:
+    """Rebuild the span forest from flat span records."""
+    nodes = {d["id"]: _SpanNode(d) for d in spans if d.get("id") is not None}
+    roots: List[_SpanNode] = []
+    for node in nodes.values():
+        parent = nodes.get(node.parent_id)
+        if parent is not None:
+            parent.children.append(node)
+        else:
+            roots.append(node)
+    for node in nodes.values():
+        node.children.sort(key=lambda n: n.t_start)
+    roots.sort(key=lambda n: n.t_start)
+    return roots
+
+
+def load_trace(path: str) -> TraceData:
+    """Parse a ``Trace.save`` JSONL file (unknown/corrupt lines skipped)."""
+    meta: Dict = {}
+    spans: List[Dict] = []
+    events: List[Dict] = []
+    metrics: Dict = {}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                d = json.loads(line)
+            except ValueError:
+                continue
+            kind = d.get("kind")
+            if kind == "meta":
+                meta = d
+            elif kind == "span":
+                spans.append(d)
+            elif kind == "event":
+                events.append(d)
+            elif kind == "metrics":
+                metrics = d.get("snapshot", {})
+    return TraceData(meta, spans, events, metrics)

@@ -35,6 +35,8 @@ from .loops.schedule import LoopSchedule
 from .lower.lower import LoweringError, lower_compute
 from .machine.latency import estimate_program
 from .machine.spec import MachineSpec
+from .obs.log import log
+from .obs.trace import NULL_TRACE, Trace
 from .tuning.baselines import (
     tune_alt,
     tune_alt_ol,
@@ -65,6 +67,10 @@ class CompileOptions:
     #: measurement-engine knobs (jobs, disk cache, timeouts); ``None`` uses
     #: the environment defaults (``REPRO_MEASURE_JOBS`` etc.)
     measure: Optional[MeasureOptions] = None
+    #: observability context (``repro.obs.Trace``): spans, tuning timelines
+    #: and metrics for the whole compile; ``None`` disables tracing at zero
+    #: cost (results are bit-identical either way)
+    trace: Optional[Trace] = None
 
     def __post_init__(self):
         if self.mode not in MODES:
@@ -99,6 +105,7 @@ def _tune_representative(
 ) -> TuneResult:
     mode = opts.mode
     measure = opts.measure
+    trace = opts.trace
     if mode == "alt" or mode == "alt-wp":
         return tune_alt(
             comp,
@@ -111,22 +118,31 @@ def _tune_representative(
             use_cost_model=opts.use_cost_model,
             pretrained=opts.pretrained,
             measure=measure,
+            trace=trace,
         )
     if mode == "alt-ol":
-        return tune_alt_ol(comp, machine, budget=budget, seed=opts.seed, measure=measure)
+        return tune_alt_ol(
+            comp, machine, budget=budget, seed=opts.seed, measure=measure,
+            trace=trace,
+        )
     if mode == "ansor":
         return tune_ansor_like(
-            comp, machine, budget=budget, seed=opts.seed, measure=measure
+            comp, machine, budget=budget, seed=opts.seed, measure=measure,
+            trace=trace,
         )
     if mode == "autotvm":
         return tune_autotvm_like(
-            comp, machine, budget=budget, seed=opts.seed, measure=measure
+            comp, machine, budget=budget, seed=opts.seed, measure=measure,
+            trace=trace,
         )
     if mode == "flextensor":
         return tune_flextensor_like(
-            comp, machine, budget=budget, seed=opts.seed, measure=measure
+            comp, machine, budget=budget, seed=opts.seed, measure=measure,
+            trace=trace,
         )
-    return vendor_library(comp, machine, seed=opts.seed, measure=measure)
+    return vendor_library(
+        comp, machine, seed=opts.seed, measure=measure, trace=trace
+    )
 
 
 def _cached_or_tuned(
@@ -134,12 +150,17 @@ def _cached_or_tuned(
 ) -> TuneResult:
     """Serve a tuning task from the record store when possible."""
     store = opts.records
+    trace = opts.trace if opts.trace is not None else NULL_TRACE
     if store is not None:
         cached = store.lookup(rep, machine.name)
         if cached is not None:
             from .tuning.records import apply_record
 
             layouts, schedule = apply_record(cached, rep)
+            trace.event(
+                "record_cache_hit", task=rep.name, latency=cached.latency_s
+            )
+            trace.metrics.counter("pipeline.record_cache_hits").inc()
             return TuneResult(
                 task_name=rep.name,
                 best_latency=cached.latency_s,
@@ -259,71 +280,101 @@ def compile_graph(
     per compile call.
     """
     opts = options or CompileOptions()
+    trace = opts.trace if opts.trace is not None else NULL_TRACE
     graph.validate()
 
-    # ---- 1. deduplicated tuning tasks over complex operators ------------------
-    complex_nodes = graph.complex_nodes()
-    classes: Dict[Tuple, List[ComputeDef]] = {}
-    for node in complex_nodes:
-        classes.setdefault(task_signature(node), []).append(node)
-    n_tasks = max(len(classes), 1)
-    per_task_budget = max(opts.total_budget // n_tasks, 16)
+    with trace.span(
+        "compile", graph=graph.name, machine=machine.name, mode=opts.mode,
+        budget=opts.total_budget,
+    ) as compile_sp:
+        # ---- 1. deduplicated tuning tasks over complex operators ------------------
+        complex_nodes = graph.complex_nodes()
+        classes: Dict[Tuple, List[ComputeDef]] = {}
+        for node in complex_nodes:
+            classes.setdefault(task_signature(node), []).append(node)
+        n_tasks = max(len(classes), 1)
+        per_task_budget = max(opts.total_budget // n_tasks, 16)
 
-    task_results: Dict[str, TuneResult] = {}
-    class_of: Dict[str, Tuple[ComputeDef, TuneResult]] = {}
-    for sig, nodes in classes.items():
-        rep = nodes[0]
-        result = _cached_or_tuned(rep, machine, per_task_budget, opts)
-        task_results[rep.name] = result
-        for node in nodes:
-            class_of[node.name] = (rep, result)
+        task_results: Dict[str, TuneResult] = {}
+        class_of: Dict[str, Tuple[ComputeDef, TuneResult]] = {}
+        with trace.span(
+            "tuning", tasks=len(classes), per_task_budget=per_task_budget
+        ):
+            for sig, nodes in classes.items():
+                rep = nodes[0]
+                result = _cached_or_tuned(rep, machine, per_task_budget, opts)
+                log.debug(
+                    "task %s: best %.3e s after %d measurements",
+                    rep.name, result.best_latency, result.measurements,
+                )
+                task_results[rep.name] = result
+                for node in nodes:
+                    class_of[node.name] = (rep, result)
 
-    # ---- 2. layout assignment + propagation (topological order) ----------------
-    state = PropagationState()
-    engine = PropagationEngine(
-        graph,
-        state,
-        enable_replication=(opts.mode != "alt-wp"),
-        enable_absorption=True,
-    )
-    schedules: Dict[str, LoopSchedule] = {}
-    for node in list(graph.nodes):  # conversion inserts mutate graph.nodes
-        pair = class_of.get(node.name)
-        if pair is None:
-            continue
-        rep, result = pair
-        chosen = _remap_layouts(result.best_layouts, rep, node)
-        engine.assign_operator_layouts(node, chosen)
-        if result.best_schedule is not None:
-            schedules[node.name] = result.best_schedule
+        # ---- 2. layout assignment + propagation (topological order) ----------------
+        state = PropagationState()
+        engine = PropagationEngine(
+            graph,
+            state,
+            enable_replication=(opts.mode != "alt-wp"),
+            enable_absorption=True,
+            trace=trace,
+        )
+        schedules: Dict[str, LoopSchedule] = {}
+        with trace.span("propagation") as prop_sp:
+            for node in list(graph.nodes):  # conversion inserts mutate graph.nodes
+                pair = class_of.get(node.name)
+                if pair is None:
+                    continue
+                rep, result = pair
+                chosen = _remap_layouts(result.best_layouts, rep, node)
+                engine.assign_operator_layouts(node, chosen)
+                if result.best_schedule is not None:
+                    schedules[node.name] = result.best_schedule
+            prop_sp.set(
+                conversions=len(state.conversions),
+                replicated=len(state.replicated),
+            )
 
-    # ---- 3. fusion grouping ---------------------------------------------------------
-    fuse_groups = _assign_fuse_groups(graph, state.layouts)
+        # ---- 3. fusion grouping ---------------------------------------------------------
+        with trace.span("fusion") as fuse_sp:
+            fuse_groups = _assign_fuse_groups(graph, state.layouts)
+            fuse_sp.set(fused=len(fuse_groups))
+        trace.metrics.counter("pipeline.fused_stages").inc(len(fuse_groups))
 
-    # ---- 4. lowering ------------------------------------------------------------------
-    stages: List[Stage] = []
-    for node in graph.nodes:
-        sched = schedules.get(node.name)
-        if sched is None:
-            bare = lower_compute(node, state.layouts)
-            sched = default_schedule(bare, machine)
-        else:
-            sched = sched.copy()
-        group = fuse_groups.get(node.name)
-        if group is not None:
-            sched.set_fuse_group(group)
-        try:
-            stages.append(lower_compute(node, state.layouts, sched))
-        except LoweringError:
-            # tuned schedule may not transfer (rare); fall back to default
-            bare = lower_compute(node, state.layouts)
-            sched = default_schedule(bare, machine)
-            if group is not None:
-                sched.set_fuse_group(group)
-            stages.append(lower_compute(node, state.layouts, sched))
+        # ---- 4. lowering ------------------------------------------------------------------
+        with trace.span("lowering") as lower_sp:
+            fallbacks = 0
+            stages: List[Stage] = []
+            for node in graph.nodes:
+                sched = schedules.get(node.name)
+                if sched is None:
+                    bare = lower_compute(node, state.layouts)
+                    sched = default_schedule(bare, machine)
+                else:
+                    sched = sched.copy()
+                group = fuse_groups.get(node.name)
+                if group is not None:
+                    sched.set_fuse_group(group)
+                try:
+                    stages.append(lower_compute(node, state.layouts, sched))
+                except LoweringError:
+                    # tuned schedule may not transfer (rare); fall back to default
+                    fallbacks += 1
+                    log.debug("schedule fallback while lowering %s", node.name)
+                    bare = lower_compute(node, state.layouts)
+                    sched = default_schedule(bare, machine)
+                    if group is not None:
+                        sched.set_fuse_group(group)
+                    stages.append(lower_compute(node, state.layouts, sched))
+            lower_sp.set(stages=len(stages), schedule_fallbacks=fallbacks)
+        trace.metrics.counter("pipeline.schedule_fallbacks").inc(fallbacks)
 
-    program = Program(stages, name=graph.name)
-    latency = estimate_program(program, machine)
+        program = Program(stages, name=graph.name)
+        with trace.span("estimate"):
+            latency = estimate_program(program, machine)
+        compile_sp.set(latency_s=latency, conversions=len(state.conversions))
+        trace.metrics.gauge("pipeline.latency_s").set(latency)
     return CompiledModel(
         graph=graph,
         program=program,

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from .machine.latency import estimate_stage
+from .obs.render import timeline_report, trace_report  # noqa: F401  (re-export)
 from .pipeline import CompiledModel
 
 
@@ -94,7 +95,13 @@ def tuning_report(model: CompiledModel) -> str:
     return "\n".join(lines)
 
 
-def full_report(model: CompiledModel) -> str:
-    return "\n\n".join(
-        [layout_report(model), stage_cost_report(model, top=12), tuning_report(model)]
-    )
+def full_report(model: CompiledModel, trace=None) -> str:
+    """Layout + stage-cost + tuning reports; pass the run's ``Trace`` to
+    append the span flamegraph and per-task tuning timeline."""
+    parts = [
+        layout_report(model), stage_cost_report(model, top=12), tuning_report(model)
+    ]
+    if trace is not None:
+        parts.append(trace_report(trace))
+        parts.append(timeline_report(trace))
+    return "\n\n".join(parts)

@@ -54,29 +54,40 @@ def _loop_only(
     loop_actor = None
     if use_ppo_walk:
         loop_actor = PPOActor(SharedCritic(nprng), nprng)
+    # loss/retrain telemetry goes to the run trace (no-op when disabled)
+    if cost_model is not None:
+        cost_model.metrics = task.trace.metrics
+    if loop_actor is not None:
+        loop_actor.metrics = task.trace.metrics
+        loop_actor.metrics_prefix = "ppo.loop"
     tuner = LoopTuner(task, rng, nprng, cost_model, loop_actor)
     loop_space = task.loop_space_for(layouts)
     if restrict_pow2 or single_pattern:
         loop_space = _restrict_space(loop_space, restrict_pow2, single_pattern)
     best = (math.inf, None, None)
-    cur = None
-    stalls = 0
-    while task.measurements < (task.budget or budget) and stalls < 5:
-        remaining = (task.budget or budget) - task.measurements
-        before = task.measurements
-        try:
-            lat, cfg, sched = tuner.run_round(
-                layouts, loop_space, min(TOP_K, remaining), cur
-            )
-        except BudgetExhausted:
-            break
-        # Small/restricted spaces saturate the measurement cache; stop once
-        # rounds no longer consume budget instead of spinning.
-        stalls = stalls + 1 if task.measurements == before else 0
-        if cfg is not None:
-            cur = cfg
-        if lat < best[0]:
-            best = (lat, cfg, sched)
+    with task.trace.span(
+        "tune_task", task=task.comp.name, machine=task.machine.name,
+        budget=(task.budget or budget),
+    ) as sp:
+        cur = None
+        stalls = 0
+        while task.measurements < (task.budget or budget) and stalls < 5:
+            remaining = (task.budget or budget) - task.measurements
+            before = task.measurements
+            try:
+                lat, cfg, sched = tuner.run_round(
+                    layouts, loop_space, min(TOP_K, remaining), cur
+                )
+            except BudgetExhausted:
+                break
+            # Small/restricted spaces saturate the measurement cache; stop
+            # once rounds no longer consume budget instead of spinning.
+            stalls = stalls + 1 if task.measurements == before else 0
+            if cfg is not None:
+                cur = cfg
+            if lat < best[0]:
+                best = (lat, cfg, sched)
+        sp.set(best_latency=task.best_latency, measurements=task.measurements)
     return TuneResult(
         task_name=task.comp.name,
         best_latency=task.best_latency,
@@ -86,6 +97,7 @@ def _loop_only(
         history=list(task.history),
         best_loop_config=best[1],
         telemetry=task.measurer.stats.as_dict(),
+        timeline=task.timeline.snapshot(),
     )
 
 
@@ -130,8 +142,9 @@ def tune_ansor_like(
     seed: int = 0,
     scheme: Optional[str] = None,
     measure: Optional[MeasureOptions] = None,
+    trace=None,
 ) -> TuneResult:
-    task = TuningTask(comp, machine, budget, measure=measure)
+    task = TuningTask(comp, machine, budget, measure=measure, trace=trace)
     layouts = _best_fixed_scheme(comp, machine, scheme)
     return _loop_only(
         task, layouts, budget, seed, use_cost_model=True, use_ppo_walk=False
@@ -145,8 +158,9 @@ def tune_autotvm_like(
     seed: int = 0,
     scheme: Optional[str] = None,
     measure: Optional[MeasureOptions] = None,
+    trace=None,
 ) -> TuneResult:
-    task = TuningTask(comp, machine, budget, measure=measure)
+    task = TuningTask(comp, machine, budget, measure=measure, trace=trace)
     layouts = _best_fixed_scheme(comp, machine, scheme)
     return _loop_only(
         task,
@@ -167,8 +181,9 @@ def tune_flextensor_like(
     seed: int = 0,
     scheme: Optional[str] = None,
     measure: Optional[MeasureOptions] = None,
+    trace=None,
 ) -> TuneResult:
-    task = TuningTask(comp, machine, budget, measure=measure)
+    task = TuningTask(comp, machine, budget, measure=measure, trace=trace)
     layouts = _best_fixed_scheme(comp, machine, scheme)
     return _loop_only(
         task, layouts, budget, seed, use_cost_model=False, use_ppo_walk=True
@@ -186,6 +201,7 @@ def tune_alt(
     use_cost_model: bool = True,
     pretrained: Optional[Dict] = None,
     measure: Optional[MeasureOptions] = None,
+    trace=None,
 ) -> TuneResult:
     """Full ALT: joint stage (30% of budget by default) + loop-only stage.
 
@@ -194,7 +210,9 @@ def tune_alt(
     noise, so ALT degenerates gracefully to loop tuning on its packed
     anchor (the same predetermined layout the strongest baselines use).
     """
-    task = TuningTask(comp, machine, budget, levels=levels, measure=measure)
+    task = TuningTask(
+        comp, machine, budget, levels=levels, measure=measure, trace=trace
+    )
     tuner = JointTuner(
         task,
         seed=seed,
@@ -214,9 +232,10 @@ def tune_alt_ol(
     budget: int = 1000,
     seed: int = 0,
     measure: Optional[MeasureOptions] = None,
+    trace=None,
 ) -> TuneResult:
     """ALT-OL ablation: loop optimization only, channel-last fixed layout."""
-    task = TuningTask(comp, machine, budget, measure=measure)
+    task = TuningTask(comp, machine, budget, measure=measure, trace=trace)
     if "conv" in comp.tags:
         layouts = fixed_scheme_layouts(comp, "NHWO")
     elif "gemm" in comp.tags:
@@ -235,9 +254,10 @@ def tune_random_layout(
     joint_fraction: float = 1.0,
     seed: int = 0,
     measure: Optional[MeasureOptions] = None,
+    trace=None,
 ) -> TuneResult:
     """Random layout sampling with loop rounds (Fig. 11 'Random')."""
-    task = TuningTask(comp, machine, budget, measure=measure)
+    task = TuningTask(comp, machine, budget, measure=measure, trace=trace)
     tuner = JointTuner(task, seed=seed, searcher="random", use_cost_model=True)
     joint_budget = int(budget * joint_fraction)
     return tuner.tune(joint_budget, budget - joint_budget)
@@ -248,13 +268,14 @@ def vendor_library(
     machine: MachineSpec,
     seed: int = 0,
     measure: Optional[MeasureOptions] = None,
+    trace=None,
 ) -> TuneResult:
     """Expert fixed-layout kernels: try a few hand-style variants, keep best.
 
     Emulates MKL-DNN/cuDNN/XNNPACK: excellent engineering within one
     predetermined layout family, zero layout search.
     """
-    task = TuningTask(comp, machine, budget=64, measure=measure)
+    task = TuningTask(comp, machine, budget=64, measure=measure, trace=trace)
     schemes = (
         ["NCHWc", "NHWO"] if not machine.is_gpu else ["NOHW", "NCHWc"]
     )

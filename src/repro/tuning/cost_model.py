@@ -9,6 +9,7 @@ incrementally as measurements accumulate.
 from __future__ import annotations
 
 import math
+import time
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -28,6 +29,9 @@ class CostModel:
         self._y: List[float] = []
         self._model: Optional[GradientBoostedTrees] = None
         self._since_retrain = 0
+        #: optional ``repro.obs`` metrics registry: retrain count/timing and
+        #: the training-set size are recorded under ``cost_model.*``
+        self.metrics = None
 
     # -- training data ------------------------------------------------------------
     def update(self, stage: Stage, latency_s: float) -> None:
@@ -46,10 +50,17 @@ class CostModel:
     MAX_TRAIN = 1024
 
     def _fit(self) -> None:
+        t0 = time.perf_counter()
         X = np.vstack(self._X[-self.MAX_TRAIN:])
         y = np.asarray(self._y[-self.MAX_TRAIN:])
         self._model = GradientBoostedTrees().fit(X, y)
         self._since_retrain = 0
+        if self.metrics is not None:
+            self.metrics.counter("cost_model.retrains").inc()
+            self.metrics.gauge("cost_model.train_samples").set(len(y))
+            self.metrics.gauge("cost_model.retrain_time_s").add(
+                time.perf_counter() - t0
+            )
 
     @property
     def trained(self) -> bool:

@@ -19,10 +19,11 @@ paper's accounting where a 128-point batch costs a budget of 8.
 
 from __future__ import annotations
 
+import hashlib
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -42,6 +43,14 @@ BATCH_SIZE = 64
 TOP_K = 8
 
 
+def layout_label(layouts: Mapping[str, Layout]) -> str:
+    """Short stable identifier for a layout assignment (timeline records)."""
+    if not layouts:
+        return "identity"
+    sig = repr(tuple(sorted((k, v.signature()) for k, v in layouts.items())))
+    return hashlib.sha256(sig.encode("utf-8")).hexdigest()[:10]
+
+
 @dataclass
 class TuneResult:
     task_name: str
@@ -54,6 +63,8 @@ class TuneResult:
     best_loop_config: Optional[Config] = None
     #: measurement-engine telemetry (``MeasureStats.as_dict``)
     telemetry: Optional[Dict] = None
+    #: per-round tuning timeline (``repro.obs.timeline`` records)
+    timeline: List[Dict] = field(default_factory=list)
 
 
 class LoopTuner:
@@ -72,6 +83,8 @@ class LoopTuner:
         self.nprng = nprng
         self.cost_model = cost_model
         self.loop_actor = loop_actor
+        #: timeline label for rounds run through this tuner ("joint"/"loop")
+        self.stage = "loop"
 
     def run_round(
         self,
@@ -79,6 +92,7 @@ class LoopTuner:
         loop_space: LoopSpace,
         n_measure: int,
         seed_cfg: Optional[Config] = None,
+        layout_tag: Optional[str] = None,
     ) -> Tuple[float, Optional[Config], Optional[LoopSchedule]]:
         """One batch + walk round; returns (best latency, cfg, schedule)."""
         space = loop_space.space()
@@ -94,34 +108,64 @@ class LoopTuner:
         while len(candidates) < BATCH_SIZE:
             candidates.append(space.sample(self.rng))
 
-        ranked = self._rank(layouts, loop_space, candidates, n_measure)
         best_lat, best_cfg, best_sched = math.inf, None, None
-        for lat, cfg, sched in ranked:
-            if lat < best_lat:
-                best_lat, best_cfg, best_sched = lat, cfg, sched
+        top_lats: List[float] = []
+        try:
+            ranked = self._rank(layouts, loop_space, candidates, n_measure)
+            top_lats = [lat for lat, _, _ in ranked]
+            for lat, cfg, sched in ranked:
+                if lat < best_lat:
+                    best_lat, best_cfg, best_sched = lat, cfg, sched
 
-        # PPO random walk from the best point of the batch
-        if self.loop_actor is not None and best_cfg is not None:
-            walk_budget = max(n_measure // 2, 2)
-            cur = best_cfg
-            try:
-                for _ in range(walk_budget):
-                    state = encode_space_state(space, cur)
-                    actions = self.loop_actor.act(state)
-                    stepped = self._step(space, cur, actions)
-                    lat = self._measure(layouts, loop_space, stepped)
-                    reward = -math.log2(lat) if math.isfinite(lat) else -60.0
-                    self.loop_actor.record(reward)
-                    if lat < best_lat:
-                        best_lat, best_cfg = lat, stepped
-                        best_sched = loop_space.schedule(stepped)
-                        cur = stepped
-            finally:
-                # flush even when BudgetExhausted aborts the walk mid-episode:
-                # otherwise the recorded transitions survive into the next
-                # episode and contaminate its policy update with stale rewards
-                self.loop_actor.update()
+            # PPO random walk from the best point of the batch
+            if self.loop_actor is not None and best_cfg is not None:
+                walk_budget = max(n_measure // 2, 2)
+                cur = best_cfg
+                try:
+                    for _ in range(walk_budget):
+                        state = encode_space_state(space, cur)
+                        actions = self.loop_actor.act(state)
+                        stepped = self._step(space, cur, actions)
+                        lat = self._measure(layouts, loop_space, stepped)
+                        reward = -math.log2(lat) if math.isfinite(lat) else -60.0
+                        self.loop_actor.record(reward)
+                        if lat < best_lat:
+                            best_lat, best_cfg = lat, stepped
+                            best_sched = loop_space.schedule(stepped)
+                            cur = stepped
+                finally:
+                    # flush even when BudgetExhausted aborts the walk
+                    # mid-episode: otherwise the recorded transitions survive
+                    # into the next episode and contaminate its policy update
+                    # with stale rewards
+                    self.loop_actor.update()
+        finally:
+            # the timeline keeps even budget-cut rounds: the trajectory must
+            # account for every measurement the round managed to spend
+            self._record_round(layouts, best_lat, top_lats, layout_tag)
         return best_lat, best_cfg, best_sched
+
+    def _record_round(
+        self,
+        layouts: Dict[str, Layout],
+        best_lat: float,
+        top_lats: List[float],
+        layout_tag: Optional[str],
+    ) -> None:
+        task = self.task
+        task.trace.metrics.counter("tuner.rounds").inc()
+        reward = (
+            -math.log2(best_lat)
+            if math.isfinite(best_lat) and best_lat > 0
+            else None
+        )
+        task.timeline.record(
+            stage=self.stage,
+            layout=layout_tag if layout_tag is not None else layout_label(layouts),
+            round_best=best_lat,
+            reward=reward,
+            top_k=top_lats,
+        )
 
     # -- helpers -----------------------------------------------------------------
     def _step(self, space: ConfigSpace, cfg: Config, actions: np.ndarray) -> Config:
@@ -232,12 +276,34 @@ class JointTuner:
         self._loop_tuner = LoopTuner(
             task, self.rng, self.nprng, self.cost_model, self.loop_actor
         )
+        # observability: PPO losses and cost-model retrains record into the
+        # run trace's registry (a no-op sink when tracing is disabled)
+        metrics = task.trace.metrics
+        if self.cost_model is not None:
+            self.cost_model.metrics = metrics
+        if self.layout_actor is not None:
+            self.layout_actor.metrics = metrics
+            self.layout_actor.metrics_prefix = "ppo.layout"
+        if self.loop_actor is not None:
+            self.loop_actor.metrics = metrics
+            self.loop_actor.metrics_prefix = "ppo.loop"
 
     # -- public -----------------------------------------------------------------
     def tune(self, joint_budget: int, loop_budget: int) -> TuneResult:
         """Run the joint stage then the loop-only stage."""
-        best = self._joint_stage(joint_budget)
-        best = self._loop_only_stage(loop_budget, best)
+        task = self.task
+        with task.trace.span(
+            "tune_task",
+            task=task.comp.name,
+            machine=task.machine.name,
+            budget=(task.budget if task.budget is not None else -1),
+        ) as sp:
+            best = self._joint_stage(joint_budget)
+            best = self._loop_only_stage(loop_budget, best)
+            sp.set(
+                best_latency=task.best_latency,
+                measurements=task.measurements,
+            )
         lat, layout_cfg, loop_cfg, layouts, sched = best
         return TuneResult(
             task_name=self.task.comp.name,
@@ -253,28 +319,43 @@ class JointTuner:
             best_layout_config=layout_cfg,
             best_loop_config=loop_cfg,
             telemetry=self.task.measurer.stats.as_dict(),
+            timeline=self.task.timeline.snapshot(),
         )
 
     # -- stages ---------------------------------------------------------------------
     def _joint_stage(self, budget: int):
+        with self.task.trace.span(
+            "joint_stage", task=self.task.comp.name, budget=budget
+        ) as sp:
+            best = self._run_joint(budget, sp)
+        return best
+
+    def _run_joint(self, budget: int, sp):
         task = self.task
         layout_space = task.layout_space()
+        metrics = task.trace.metrics
         best = (math.inf, None, None, None, None)  # lat, layout_cfg, loop_cfg, layouts, sched
         self._candidates: Dict[Tuple, Tuple] = {}
         if len(layout_space) == 0:
             # no layout space (simple op): everything goes to loop tuning
             return best
+        self._loop_tuner.stage = "joint"
         start = task.measurements
         episode = 0
+        proposals = 0
         stalls = 0
         try:
             while task.measurements - start < budget and stalls < 8:
                 before = task.measurements
                 layout_cfg, from_actor = self._propose_layout(layout_space, best[1])
+                proposals += 1
+                metrics.counter("tuner.layouts_proposed").inc()
                 try:
                     layouts = task.layouts_from(layout_cfg)
                     loop_space = task.loop_space_for(layouts)
                 except (LayoutError, LoweringError, ValueError):
+                    # unbuildable layout: pruned before spending any budget
+                    metrics.counter("tuner.layouts_pruned").inc()
                     if self.layout_actor is not None and from_actor:
                         self.layout_actor.record(-60.0)
                     continue
@@ -289,10 +370,12 @@ class JointTuner:
                     max(per_layout // self.loop_rounds_per_layout, 1),
                 )
                 seed_cfg = None
+                tag = self._cfg_tag(layout_cfg)
                 for _ in range(self.loop_rounds_per_layout):
                     try:
                         lat, cfg, sched = self._loop_tuner.run_round(
-                            layouts, loop_space, per_round, seed_cfg
+                            layouts, loop_space, per_round, seed_cfg,
+                            layout_tag=tag,
                         )
                     except BudgetExhausted:
                         break
@@ -306,10 +389,18 @@ class JointTuner:
                     prev = self._candidates.get(sig)
                     if prev is None or lat < prev[0]:
                         self._candidates[sig] = (lat, layout_cfg, seed_cfg, layouts)
+                reward = (
+                    -math.log2(layout_best) if math.isfinite(layout_best) else -60.0
+                )
+                task.trace.event(
+                    "layout_episode",
+                    task=task.comp.name,
+                    layout=tag,
+                    from_actor=from_actor,
+                    best=layout_best,
+                    reward=reward,
+                )
                 if self.layout_actor is not None and from_actor:
-                    reward = (
-                        -math.log2(layout_best) if math.isfinite(layout_best) else -60.0
-                    )
                     self.layout_actor.record(reward)
                     episode += 1
                     if episode % 4 == 0:
@@ -321,9 +412,19 @@ class JointTuner:
             # leak into the loop-only stage's updates
             if self.layout_actor is not None:
                 self.layout_actor.update()
+            sp.set(proposals=proposals, spent=task.measurements - start)
         return best
 
     def _loop_only_stage(self, budget: int, best):
+        with self.task.trace.span(
+            "loop_only_stage", task=self.task.comp.name, budget=budget
+        ) as sp:
+            self._loop_tuner.stage = "loop"
+            best = self._run_loop_only(budget, best)
+            sp.set(best_latency=best[0])
+        return best
+
+    def _run_loop_only(self, budget: int, best):
         """Loop-only tuning by successive halving over the joint stage's
         top layouts: the per-layout assessments in the joint stage are
         noisy (a handful of measurements each), so the runners-up keep a
@@ -431,6 +532,15 @@ class JointTuner:
         state = encode_space_state(space, incumbent)
         actions = self.layout_actor.act(state)
         return decode_actions(space, actions), True
+
+    @staticmethod
+    def _cfg_tag(cfg: Optional[Config]) -> str:
+        """Readable layout-config identity for timeline/trace records."""
+        if not cfg:
+            return "identity"
+        return ",".join(
+            f"{k.rsplit('.', 1)[-1]}={v}" for k, v in sorted(cfg.items())
+        )
 
     @staticmethod
     def _packed_anchor(space: ConfigSpace, channel_tile: Optional[int]) -> Config:

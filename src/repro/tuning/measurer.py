@@ -25,19 +25,19 @@ The :class:`Measurer` sits between the tuners and :class:`TuningTask`:
   to in-process serial execution, a worker crash yields an ``inf`` latency
   for the affected candidates instead of aborting the run, and every pooled
   candidate has a timeout.
-- :class:`MeasureStats` exposes telemetry (evaluations, cache hit rates,
-  wall time, budget consumed) that is threaded through ``TuneResult``,
-  ``report.py`` and the CLI.
+- Telemetry lives in a per-task :class:`~repro.obs.metrics.MetricsRegistry`
+  (``measure.*`` counters, latency histogram, wall time from the tracer's
+  ``measure_batch`` spans); :class:`MeasureStats` is a thin backward-compat
+  view over it that still threads through ``TuneResult``, ``report.py`` and
+  the CLI.
 """
 
 from __future__ import annotations
 
-import dataclasses
 import hashlib
 import json
 import math
 import os
-import time
 from concurrent.futures import TimeoutError as PoolTimeout
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
@@ -48,6 +48,7 @@ from ..loops.schedule import LoopSchedule
 from ..lower.lower import LoweringError, lower_compute
 from ..machine.latency import estimate_stage
 from ..machine.spec import MachineSpec
+from ..obs.metrics import MetricsRegistry
 
 
 class BudgetExhausted(RuntimeError):
@@ -93,31 +94,56 @@ class MeasureOptions:
     timeout_s: Optional[float] = 60.0
 
 
-@dataclass
-class MeasureStats:
-    """Measurement telemetry for one task (surfaces in ``TuneResult``)."""
+#: registry counter names behind each ``MeasureStats`` field
+_STAT_COUNTERS = (
+    "batches",
+    "requests",  # candidates submitted (incl. cache hits)
+    "fresh_evaluations",  # estimate_stage actually executed
+    "task_cache_hits",
+    "disk_cache_hits",
+    "pool_evaluations",
+    "serial_evaluations",
+    "timeouts",
+    "pool_failures",
+    "budget_consumed",
+)
 
-    batches: int = 0
-    requests: int = 0  # candidates submitted (incl. cache hits)
-    fresh_evaluations: int = 0  # estimate_stage actually executed
-    task_cache_hits: int = 0
-    disk_cache_hits: int = 0
-    pool_evaluations: int = 0
-    serial_evaluations: int = 0
-    timeouts: int = 0
-    pool_failures: int = 0
-    budget_consumed: int = 0
-    wall_time_s: float = 0.0
+
+class MeasureStats:
+    """Measurement telemetry for one task (surfaces in ``TuneResult``).
+
+    A thin read-only view over the measurer's :class:`MetricsRegistry` --
+    the registry is the source of truth (the tracer's ``measure_batch``
+    spans feed ``measure.wall_time_s``); this class keeps the historical
+    attribute API stable for records, reports and tests.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+
+    def __getattr__(self, name: str) -> float:
+        if name in _STAT_COUNTERS:
+            return self.registry.value(f"measure.{name}", 0)
+        raise AttributeError(name)
+
+    @property
+    def wall_time_s(self) -> float:
+        return self.registry.value("measure.wall_time_s", 0.0)
 
     @property
     def cache_hit_rate(self) -> float:
         hits = self.task_cache_hits + self.disk_cache_hits
-        return hits / self.requests if self.requests else 0.0
+        requests = self.requests
+        return hits / requests if requests else 0.0
 
     def as_dict(self) -> Dict[str, float]:
-        d = {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+        d = {name: getattr(self, name) for name in _STAT_COUNTERS}
+        d["wall_time_s"] = self.wall_time_s
         d["cache_hit_rate"] = self.cache_hit_rate
         return d
+
+    def __repr__(self) -> str:
+        return f"MeasureStats({self.as_dict()!r})"
 
 
 @dataclass
@@ -327,7 +353,10 @@ class Measurer:
     def __init__(self, task, options: Optional[MeasureOptions] = None):
         self.task = task
         self.options = options or MeasureOptions()
-        self.stats = MeasureStats()
+        #: per-task telemetry registry (``measure.*``); the run-level trace
+        #: only carries spans/events so tasks never mix their counters
+        self.metrics = MetricsRegistry()
+        self.stats = MeasureStats(self.metrics)
         self._pool_broken = False
         self._disk: Optional[DiskCache] = (
             DiskCache(self.options.cache_dir, task.machine, task.comp)
@@ -359,50 +388,57 @@ class Measurer:
         task = self.task
         if not candidates:
             return BatchResult([])
-        t0 = time.perf_counter()
-        self.stats.batches += 1
-        self.stats.requests += len(candidates)
+        counter = self.metrics.counter
+        counter("measure.batches").inc()
+        counter("measure.requests").inc(len(candidates))
+        with task.trace.span(
+            "measure_batch", task=task.comp.name, submitted=len(candidates)
+        ) as sp:
+            sigs = [task._signature(lay, sched) for lay, sched in candidates]
+            # plan in submission order, replaying the serial budget accounting
+            budget_left = (
+                math.inf if task.budget is None else task.budget - task.measurements
+            )
+            fresh: List[int] = []
+            fresh_sigs = set()
+            n = len(candidates)
+            exhausted = False
+            for i, sig in enumerate(sigs):
+                if sig in task._cache or sig in fresh_sigs:
+                    continue
+                if budget_left <= 0:
+                    n = i
+                    exhausted = True
+                    break
+                budget_left -= 1
+                fresh_sigs.add(sig)
+                fresh.append(i)
 
-        sigs = [task._signature(lay, sched) for lay, sched in candidates]
-        # plan in submission order, replaying the serial budget accounting
-        budget_left = (
-            math.inf if task.budget is None else task.budget - task.measurements
-        )
-        fresh: List[int] = []
-        fresh_sigs = set()
-        n = len(candidates)
-        exhausted = False
-        for i, sig in enumerate(sigs):
-            if sig in task._cache or sig in fresh_sigs:
-                continue
-            if budget_left <= 0:
-                n = i
-                exhausted = True
-                break
-            budget_left -= 1
-            fresh_sigs.add(sig)
-            fresh.append(i)
+            values = self._resolve(candidates, fresh)
 
-        values = self._resolve(candidates, fresh)
-
-        latencies: List[float] = []
-        for i in range(n):
-            layouts, schedule = candidates[i]
-            sig = sigs[i]
-            if sig in task._cache:
-                self.stats.task_cache_hits += 1
-                latencies.append(task._cache[sig])
-                continue
-            lat = values[i]
-            task.measurements += 1
-            self.stats.budget_consumed += 1
-            task._cache[sig] = lat
-            if lat < task.best_latency:
-                task.best_latency = lat
-                task.best_record = (dict(layouts), schedule.copy())
-            task.history.append((task.measurements, task.best_latency))
-            latencies.append(lat)
-        self.stats.wall_time_s += time.perf_counter() - t0
+            latencies: List[float] = []
+            hist = self.metrics.histogram("measure.latency_s")
+            for i in range(n):
+                layouts, schedule = candidates[i]
+                sig = sigs[i]
+                if sig in task._cache:
+                    counter("measure.task_cache_hits").inc()
+                    latencies.append(task._cache[sig])
+                    continue
+                lat = values[i]
+                task.measurements += 1
+                counter("measure.budget_consumed").inc()
+                hist.observe(lat)
+                task._cache[sig] = lat
+                if lat < task.best_latency:
+                    task.best_latency = lat
+                    task.best_record = (dict(layouts), schedule.copy())
+                task.history.append((task.measurements, task.best_latency))
+                latencies.append(lat)
+            sp.set(fresh=len(fresh), exhausted=exhausted)
+        # measurer wall time is defined by the span, whether or not the
+        # trace records it (disabled spans still time themselves)
+        self.metrics.gauge("measure.wall_time_s").add(sp.duration_s)
         return BatchResult(latencies, exhausted)
 
     # -- evaluation ---------------------------------------------------------
@@ -420,11 +456,11 @@ class Measurer:
                 keys[i] = self._candidate_key(*candidates[i])
                 hit = self._disk.get(keys[i])
                 if hit is not None:
-                    self.stats.disk_cache_hits += 1
+                    self.metrics.counter("measure.disk_cache_hits").inc()
                     out[i] = hit
                     continue
             to_eval.append(i)
-        self.stats.fresh_evaluations += len(to_eval)
+        self.metrics.counter("measure.fresh_evaluations").inc(len(to_eval))
         for i, lat in self._evaluate(candidates, to_eval).items():
             out[i] = lat
             if self._disk is not None:
@@ -458,9 +494,9 @@ class Measurer:
                     continue
                 try:
                     out[i] = fut.result(timeout=self.options.timeout_s)
-                    self.stats.pool_evaluations += 1
+                    self.metrics.counter("measure.pool_evaluations").inc()
                 except PoolTimeout:
-                    self.stats.timeouts += 1
+                    self.metrics.counter("measure.timeouts").inc()
                     out[i] = math.inf
                 except Exception:
                     self._mark_pool_broken()
@@ -469,7 +505,7 @@ class Measurer:
             if i not in out:
                 lay, sched = candidates[i]
                 out[i] = evaluate_candidate(comp, machine, lay, sched)
-                self.stats.serial_evaluations += 1
+                self.metrics.counter("measure.serial_evaluations").inc()
         return out
 
     def _pool(self):
@@ -484,7 +520,7 @@ class Measurer:
     def _mark_pool_broken(self) -> None:
         if not self._pool_broken:
             self._pool_broken = True
-            self.stats.pool_failures += 1
+            self.metrics.counter("measure.pool_failures").inc()
         _discard_pool(self.options.jobs)
 
     # -- disk-cache keys ----------------------------------------------------

@@ -108,6 +108,11 @@ class PPOActor:
         self.clip_eps = clip_eps
         self.log_std = math.log(init_std)
         self.buffer: List[Transition] = []
+        #: optional ``repro.obs`` metrics registry; when set, every update
+        #: records the clipped-surrogate policy loss and the critic's value
+        #: loss (``<prefix>.policy_loss`` / ``<prefix>.value_loss``)
+        self.metrics = None
+        self.metrics_prefix = "ppo"
 
     # -- acting -----------------------------------------------------------------
     def act(self, state: np.ndarray, explore: bool = True) -> np.ndarray:
@@ -142,6 +147,7 @@ class PPOActor:
             adv = (adv - adv.mean()) / (adv.std() + 1e-8)
 
         std = math.exp(self.log_std)
+        policy_loss = 0.0
         for _ in range(epochs):
             mean = self.net.forward(states)
             diff = (raws - mean) / std
@@ -152,12 +158,21 @@ class PPOActor:
             ratio = np.exp(np.clip(logp - logp_old, -20, 20))
             clipped = np.clip(ratio, 1 - self.clip_eps, 1 + self.clip_eps)
             use_raw = (ratio * adv) <= (clipped * adv)
+            policy_loss = float(-np.minimum(ratio * adv, clipped * adv).mean())
             # d surrogate / d mean: only unclipped samples contribute
             dlogp_dmean = diff / std  # (N, MAX_SLOTS)
             grad_coeff = np.where(use_raw, ratio * adv, 0.0)[:, None]
             dOut = -(grad_coeff * dlogp_dmean) / len(self.buffer)
             self.net.adam_step(self.net.backward(dOut), lr=lr)
-        self.critic.update(states, rewards)
+        value_loss = self.critic.update(states, rewards)
+        if self.metrics is not None:
+            p = self.metrics_prefix
+            self.metrics.counter(f"{p}.updates").inc()
+            self.metrics.counter(f"{p}.transitions").inc(len(self.buffer))
+            self.metrics.histogram(f"{p}.policy_loss").observe(abs(policy_loss))
+            self.metrics.histogram(f"{p}.value_loss").observe(value_loss)
+            self.metrics.gauge(f"{p}.last_policy_loss").set(policy_loss)
+            self.metrics.gauge(f"{p}.last_value_loss").set(value_loss)
         self.buffer.clear()
 
     # -- pretrained weights -----------------------------------------------------------

@@ -24,6 +24,8 @@ from ..layout.templates import LayoutTemplate, template_for
 from ..loops.schedule import LoopSchedule
 from ..lower.lower import lower_compute
 from ..machine.spec import MachineSpec
+from ..obs.timeline import TimelineRecorder
+from ..obs.trace import Trace
 from .loop_space import LoopSpace
 from .measurer import (  # noqa: F401  (BudgetExhausted re-exported)
     BatchResult,
@@ -45,6 +47,7 @@ class TuningTask:
         budget: Optional[int] = None,
         levels: int = 1,
         measure: Optional[MeasureOptions] = None,
+        trace: Optional[Trace] = None,
     ):
         self.comp = comp
         self.machine = machine
@@ -58,6 +61,11 @@ class TuningTask:
         self.best_record: Optional[Tuple[Dict[str, Layout], LoopSchedule]] = None
         self._cache: Dict[Tuple, float] = {}
         self.history: list = []  # (measurement index, best-so-far latency)
+        #: observability context: a caller-provided run trace, or a fresh
+        #: disabled one (spans still time, nothing is recorded)
+        self.trace = trace if trace is not None else Trace(enabled=False)
+        #: per-round tuning timeline (surfaces on ``TuneResult.timeline``)
+        self.timeline = TimelineRecorder(self)
         self.measurer = Measurer(self, measure)
 
     # -- spaces -----------------------------------------------------------------

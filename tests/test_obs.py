@@ -1,0 +1,347 @@
+"""Observability subsystem: tracer, metrics, timelines, renderers, CLI."""
+
+import json
+import math
+
+import pytest
+
+from repro.cli import main
+from repro.graph.builder import GraphBuilder
+from repro.ir.tensor import Tensor
+from repro.machine.spec import get_machine
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.render import span_coverage, timeline_report, trace_report
+from repro.obs.timeline import best_so_far_curve, timeline_from_events
+from repro.obs.trace import Trace, build_span_tree, load_trace
+from repro.ops.gemm import gemm
+from repro.pipeline import CompileOptions, compile_graph
+from repro.tuning.baselines import tune_alt, tune_ansor_like
+from repro.tuning.measurer import MeasureOptions
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return get_machine("intel_cpu")
+
+
+@pytest.fixture(scope="module")
+def gemm_op():
+    return gemm(Tensor("a", (16, 16)), Tensor("b", (16, 16)), name="g")
+
+
+def _no_disk_cache():
+    return MeasureOptions(cache_dir=None)
+
+
+# ---------------------------------------------------------------------------
+# Spans
+# ---------------------------------------------------------------------------
+
+def test_span_nesting_and_timing_monotonicity():
+    trace = Trace(name="t")
+    with trace.span("outer") as outer:
+        with trace.span("child_a") as a:
+            pass
+        with trace.span("child_b", submitted=3) as b:
+            b.set(fresh=2)
+    assert [r.name for r in trace.roots] == ["outer"]
+    assert [c.name for c in outer.children] == ["child_a", "child_b"]
+    # children nest strictly within the parent's window, in order
+    assert outer.t_start <= a.t_start <= a.t_end <= b.t_start
+    assert b.t_end <= outer.t_end
+    for sp in (outer, a, b):
+        assert sp.t_end >= sp.t_start >= 0.0
+        assert sp.duration_s >= 0.0
+    assert b.attrs == {"submitted": 3, "fresh": 2}
+    # spans are recorded innermost-first (finish order)
+    names = [e["name"] for e in trace.events if e["kind"] == "span"]
+    assert names == ["child_a", "child_b", "outer"]
+
+
+def test_span_records_error_attribute():
+    trace = Trace(name="t")
+    with pytest.raises(RuntimeError):
+        with trace.span("boom"):
+            raise RuntimeError("nope")
+    rec = trace.events[-1]
+    assert rec["attrs"]["error"] == "RuntimeError"
+    assert rec["t_end"] is not None
+
+
+def test_disabled_trace_records_nothing_but_still_times():
+    trace = Trace(enabled=False, name="null")
+    with trace.span("a") as sp:
+        with trace.span("b"):
+            pass
+        trace.event("round", x=1)
+    assert trace.events == []
+    assert trace.roots == []
+    assert sp.duration_s > 0.0  # wall-time accounting still works
+
+
+# ---------------------------------------------------------------------------
+# JSONL round-trip
+# ---------------------------------------------------------------------------
+
+def test_jsonl_round_trip(tmp_path):
+    trace = Trace(name="rt")
+    trace.metrics.counter("x.count").inc(3)
+    with trace.span("compile", graph="g"):
+        with trace.span("tuning"):
+            trace.event("round", task="g", best_so_far=1e-6)
+    path = str(tmp_path / "run.jsonl")
+    trace.save(path)
+
+    # every line is valid JSON with a known kind
+    with open(path) as f:
+        kinds = [json.loads(line)["kind"] for line in f]
+    assert kinds[0] == "meta" and kinds[-1] == "metrics"
+
+    data = load_trace(path)
+    assert data.name == "rt"
+    assert data.metrics["x.count"] == 3
+    (root,) = data.roots
+    assert root.name == "compile"
+    assert root.attrs["graph"] == "g"
+    assert [c.name for c in root.children] == ["tuning"]
+    assert timeline_from_events(data.events) == [
+        {"task": "g", "best_so_far": 1e-6}
+    ]
+
+
+def test_load_trace_skips_corrupt_lines(tmp_path):
+    trace = Trace(name="rt")
+    with trace.span("only"):
+        pass
+    path = str(tmp_path / "run.jsonl")
+    trace.save(path)
+    with open(path, "a") as f:
+        f.write("{not json}\n\n")
+    data = load_trace(path)
+    assert [r.name for r in data.roots] == ["only"]
+
+
+def test_build_span_tree_orphans_become_roots():
+    spans = [
+        {"kind": "span", "id": 2, "parent": 99, "name": "orphan",
+         "t_start": 0.0, "t_end": 1.0},
+        {"kind": "span", "id": 1, "parent": None, "name": "root",
+         "t_start": 0.0, "t_end": 2.0},
+    ]
+    roots = build_span_tree(spans)
+    assert sorted(r.name for r in roots) == ["orphan", "root"]
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+# ---------------------------------------------------------------------------
+
+def test_counter_and_gauge():
+    c = Counter()
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+    g = Gauge()
+    g.set(2.5)
+    g.add(0.5)
+    assert g.value == 3.0
+
+
+def test_histogram_bucket_edges():
+    h = Histogram(edges=(1.0, 2.0, 4.0))
+    for v in (0.5, 1.0):   # both land in the first bucket (v <= 1.0)
+        h.observe(v)
+    for v in (1.5, 2.0):   # (1.0, 2.0]
+        h.observe(v)
+    h.observe(3.0)          # (2.0, 4.0]
+    h.observe(5.0)          # overflow
+    h.observe(math.inf)     # nonfinite
+    h.observe(math.nan)
+    assert h.counts == [2, 2, 1]
+    assert h.overflow == 1
+    assert h.nonfinite == 2
+    assert h.count == 8
+    assert h.min == 0.5 and h.max == 5.0
+    assert h.mean == pytest.approx((0.5 + 1.0 + 1.5 + 2.0 + 3.0 + 5.0) / 6)
+    d = h.as_dict()
+    assert d["buckets"] == [[1.0, 2], [2.0, 2], [4.0, 1], ["inf", 1]]
+
+
+def test_histogram_rejects_bad_edges():
+    with pytest.raises(ValueError):
+        Histogram(edges=(2.0, 1.0))
+    with pytest.raises(ValueError):
+        Histogram(edges=(1.0, 1.0))
+
+
+def test_registry_names_types_and_snapshot():
+    reg = MetricsRegistry()
+    reg.counter("a.count").inc(2)
+    reg.gauge("a.gauge").set(1.5)
+    reg.histogram("a.hist").observe(0.5)
+    assert reg.counter("a.count") is reg.counter("a.count")
+    with pytest.raises(ValueError):
+        reg.gauge("a.count")  # same name, different kind
+    assert reg.names() == ["a.count", "a.gauge", "a.hist"]
+    assert reg.value("a.count") == 2
+    assert reg.value("missing", 0) == 0
+    snap = reg.snapshot()
+    assert snap["a.count"] == 2 and snap["a.gauge"] == 1.5
+    assert snap["a.hist"]["count"] == 1
+    json.dumps(snap)  # snapshot must be JSON-serializable
+
+
+def test_registry_merge():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("n").inc(1)
+    b.counter("n").inc(2)
+    b.gauge("g").set(1.0)
+    b.histogram("h").observe(0.5)
+    a.merge(b)
+    assert a.value("n") == 3
+    assert a.value("g") == 1.0
+    assert a.value("h")["count"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Tuning integration: timeline, telemetry, determinism
+# ---------------------------------------------------------------------------
+
+def test_timeline_capture_two_round_tune(machine, gemm_op):
+    trace = Trace(name="tl")
+    result = tune_ansor_like(
+        gemm_op, machine, budget=16, seed=0, measure=_no_disk_cache(),
+        trace=trace,
+    )
+    rounds = result.timeline
+    assert len(rounds) >= 2
+    curve = best_so_far_curve(rounds)
+    finite = [v for v in curve if math.isfinite(v)]
+    assert finite, "no finite best-so-far values recorded"
+    # best-so-far is monotone non-increasing and ends at the reported best
+    assert all(b <= a for a, b in zip(finite, finite[1:]))
+    assert finite[-1] == result.best_latency
+    for i, r in enumerate(rounds):
+        assert r["round"] == i
+        assert r["stage"] in ("joint", "loop")
+        assert r["task"] == gemm_op.name
+    # the same rounds ride in the trace's JSONL events
+    from_events = timeline_from_events(
+        [e for e in trace.events if e.get("kind") == "event"]
+    )
+    assert [r["round"] for r in from_events] == [r["round"] for r in rounds]
+
+
+def test_traced_and_untraced_results_identical(machine, gemm_op):
+    traced = tune_alt(
+        gemm_op, machine, budget=48, seed=3, measure=_no_disk_cache(),
+        trace=Trace(name="t"),
+    )
+    plain = tune_alt(
+        gemm_op, machine, budget=48, seed=3, measure=_no_disk_cache()
+    )
+    assert traced.best_latency == plain.best_latency
+    assert {n: lay.signature() for n, lay in traced.best_layouts.items()} == \
+        {n: lay.signature() for n, lay in plain.best_layouts.items()}
+    assert traced.best_loop_config == plain.best_loop_config
+    assert traced.history == plain.history
+
+
+def test_measure_stats_view_and_wall_time(machine, gemm_op):
+    trace = Trace(name="ms")
+    result = tune_ansor_like(
+        gemm_op, machine, budget=16, seed=0, measure=_no_disk_cache(),
+        trace=trace,
+    )
+    t = result.telemetry
+    assert t["fresh_evaluations"] > 0
+    assert t["wall_time_s"] > 0.0
+    assert 0.0 <= t["cache_hit_rate"] <= 1.0
+    # wall time equals the sum of the task's measure_batch span durations
+    batch_total = sum(
+        e["t_end"] - e["t_start"]
+        for e in trace.events
+        if e.get("kind") == "span" and e.get("name") == "measure_batch"
+    )
+    assert t["wall_time_s"] == pytest.approx(batch_total, rel=1e-6)
+
+
+# ---------------------------------------------------------------------------
+# Pipeline integration: compile spans
+# ---------------------------------------------------------------------------
+
+def _tiny_graph():
+    b = GraphBuilder("tiny")
+    x = b.input((1, 4, 10, 10))
+    x = b.conv_bn_act(x, 8, 3)
+    x = b.global_avg_pool(x)
+    return b.build()
+
+
+def test_compile_graph_span_coverage(machine, tmp_path):
+    trace = Trace(name="compile")
+    compile_graph(
+        _tiny_graph(), machine,
+        CompileOptions(mode="ansor", total_budget=32, seed=0, trace=trace,
+                       measure=_no_disk_cache()),
+    )
+    path = str(tmp_path / "compile.jsonl")
+    trace.save(path)
+    data = load_trace(path)
+    (root,) = [r for r in data.roots if r.name == "compile"]
+    stages = [c.name for c in root.children]
+    assert stages == ["tuning", "propagation", "fusion", "lowering", "estimate"]
+    assert span_coverage(root) >= 0.9
+    assert root.attrs["graph"] == "tiny"
+    assert "latency_s" in root.attrs
+
+
+def test_compile_without_trace_records_nothing(machine):
+    model = compile_graph(
+        _tiny_graph(), machine,
+        CompileOptions(mode="ansor", total_budget=32, seed=0,
+                       measure=_no_disk_cache()),
+    )
+    assert model.latency_s > 0  # opts.trace defaults to None; no crash
+
+
+# ---------------------------------------------------------------------------
+# Renderers + CLI
+# ---------------------------------------------------------------------------
+
+def test_reports_render(machine, gemm_op):
+    trace = Trace(name="r")
+    tune_ansor_like(
+        gemm_op, machine, budget=16, seed=0, measure=_no_disk_cache(),
+        trace=trace,
+    )
+    report = trace_report(trace)
+    assert "tune_task" in report and "measure_batch" in report
+    assert "metrics:" in report
+    tl = timeline_report(trace)
+    assert gemm_op.name in tl and "best-so-far" in tl
+    # filtering by an unknown task yields the empty-timeline message
+    assert "(no rounds recorded)" in timeline_report(trace, task="nope")
+
+
+def test_cli_trace_out_and_trace_subcommand(tmp_path, capsys):
+    path = str(tmp_path / "run.jsonl")
+    rc = main([
+        "tune", "gmm", "--budget", "16", "--size", "16",
+        "--no-measure-cache", "--trace-out", path,
+    ])
+    assert rc == 0
+    capsys.readouterr()
+    rc = main(["trace", path])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "trace 'tune:gmm':" in out
+    assert "tuning timeline:" in out
+
+
+def test_cli_verbosity_flags(capsys):
+    assert main(["-q", "machines"]) == 0
+    assert main(["-v", "models"]) == 0
+    capsys.readouterr()
