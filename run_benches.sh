@@ -3,11 +3,18 @@
 # so partial runs still record results.
 OUT=/root/repo/bench_output.txt
 : > $OUT
+FAILED=0
 for f in test_table2_prefetch test_motivating_example test_fig13_sensitivity \
          test_fig12_propagation test_fig11_search_methods test_fig1_layout_sensitivity \
          test_fig9_single_op test_ablation_design test_table3_layout_profile \
          test_fig10_end_to_end; do
   echo "=== benchmarks/$f.py ===" >> $OUT
-  python -m pytest benchmarks/$f.py --benchmark-only -q -s 2>&1 >> $OUT
+  if python -m pytest benchmarks/$f.py --benchmark-only -q -s >> $OUT 2>&1; then
+    echo "PASS benchmarks/$f.py"
+  else
+    echo "FAIL benchmarks/$f.py (see $OUT)"
+    FAILED=1
+  fi
 done
 echo "ALL BENCH FILES DONE" >> $OUT
+exit $FAILED

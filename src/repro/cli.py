@@ -6,6 +6,7 @@ Commands
 ``tune``      tune a single operator and print the result/layouts
 ``compile``   compile a model-zoo network end to end and print the report
 ``trace``     render a saved JSONL trace (flamegraph + tuning timeline)
+``runs``      inspect/compare the persistent run registry (perf gate)
 ``machines``  list the simulated hardware targets
 ``models``    list the model zoo
 
@@ -16,19 +17,31 @@ Examples::
     python -m repro compile bert_tiny --mode ansor
     python -m repro tune gmm --budget 64 --trace-out run.jsonl
     python -m repro trace run.jsonl
+    python -m repro tune gmm --budget 96 --run-store runs/
+    python -m repro runs list runs/
+    python -m repro runs compare runA runB --store runs/ --out BENCH_compare.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Dict, List, Optional
 
 from .graph.models import bert_base, bert_tiny, mobilenet_v2, resnet18, resnet3d18
 from .ir.tensor import Tensor
 from .machine.spec import PRESETS, get_machine
+from .obs.compare import (
+    DEFAULT_THRESHOLD,
+    compare_summaries,
+    render_compare,
+    write_compare,
+)
+from .obs.diagnostics import render_diagnostics
 from .obs.log import log, setup_logging
 from .obs.render import timeline_report, trace_report
+from .obs.runstore import RunStore, load_summary, task_result_dict, trace_meta
 from .obs.trace import Trace, load_trace
 from .ops.conv import conv1d, conv2d, conv3d, depthwise_conv2d
 from .ops.gemm import gemm
@@ -98,17 +111,37 @@ def _measure_options(args) -> MeasureOptions:
 
 
 def _make_trace(args, name: str) -> Optional[Trace]:
-    """An enabled Trace when ``--trace-out`` was given, else None."""
-    if getattr(args, "trace_out", None) is None:
+    """An enabled Trace when ``--trace-out`` or ``--run-store`` was given,
+    else None; the trace meta carries seed/git SHA/version attribution."""
+    if (getattr(args, "trace_out", None) is None
+            and getattr(args, "run_store", None) is None):
         return None
-    return Trace(name=name)
+    return Trace(name=name, meta=trace_meta(getattr(args, "seed", None)))
 
 
 def _finish_trace(trace: Optional[Trace], args) -> None:
-    if trace is not None:
+    if trace is not None and getattr(args, "trace_out", None) is not None:
         trace.save(args.trace_out)
         log.info("trace written to %s (%d events)", args.trace_out,
                  len(trace.events))
+
+
+def _record_run(args, trace, name, workload, tasks, model=None) -> None:
+    """Persist a run directory when ``--run-store`` was given."""
+    if getattr(args, "run_store", None) is None:
+        return
+    store = RunStore(args.run_store)
+    config = {
+        k: v for k, v in sorted(vars(args).items())
+        if k not in ("fn", "verbose", "quiet") and v is not None
+        and not callable(v)
+    }
+    writer = store.create(
+        name, machine=args.machine, seed=getattr(args, "seed", None),
+        workload=workload, config=config,
+    )
+    record = writer.finish(trace, tasks, model=model)
+    print(f"run recorded: {record.run_id} ({record.path})")
 
 
 def cmd_tune(args) -> int:
@@ -125,6 +158,15 @@ def cmd_tune(args) -> int:
             trace=trace,
         )
     _finish_trace(trace, args)
+    if trace is not None:
+        _record_run(
+            args, trace, f"tune-{args.op}",
+            workload=(
+                f"tune:{args.op}:ch{args.channels}:s{args.size}:"
+                f"{args.tuner}:b{args.budget}:{machine.name}"
+            ),
+            tasks={comp.name: task_result_dict(result)},
+        )
     print(f"operator {args.op} on {machine.name} via {args.tuner}:")
     print(f"  best latency: {result.best_latency * 1e3:.4f} ms "
           f"({result.measurements} simulated measurements)")
@@ -163,6 +205,25 @@ def cmd_compile(args) -> int:
         ),
     )
     _finish_trace(trace, args)
+    if trace is not None:
+        _record_run(
+            args, trace, f"compile-{args.model}",
+            workload=(
+                f"compile:{args.model}:{args.mode}:b{args.budget}:"
+                f"batch{args.batch}:{machine.name}"
+            ),
+            tasks={
+                name: task_result_dict(res)
+                for name, res in model.task_results.items()
+            },
+            model={
+                "graph": graph.name,
+                "mode": args.mode,
+                "latency_s": model.latency_s,
+                "n_conversions": model.n_conversions,
+                "fused_stages": len(model.fuse_groups),
+            },
+        )
     print(full_report(model, trace=trace))
     return 0
 
@@ -173,6 +234,74 @@ def cmd_trace(args) -> int:
     print()
     print(timeline_report(data, task=args.task))
     return 0
+
+
+def cmd_runs_list(args) -> int:
+    store = RunStore(args.store)
+    ids = store.run_ids()
+    if not ids:
+        print(f"(no runs in {store.root})")
+        return 0
+    for rid in ids:
+        manifest = store.load(rid).manifest
+        print(
+            f"{rid}  machine={manifest.get('machine')} "
+            f"seed={manifest.get('seed')} "
+            f"workload={manifest.get('workload')}"
+        )
+    return 0
+
+
+def cmd_runs_show(args) -> int:
+    summary = load_summary(args.run, store=args.store)
+    print(f"run {summary.get('run_id')}:")
+    for key in ("name", "machine", "seed", "git_sha", "repro_version"):
+        if summary.get(key) is not None:
+            print(f"  {key}: {summary[key]}")
+    for name, t in sorted((summary.get("tasks") or {}).items()):
+        lat = t.get("best_latency")
+        lat_s = f"{lat * 1e6:9.2f} us" if isinstance(lat, (int, float)) else "?"
+        print(
+            f"  task {name}: best {lat_s} after {t.get('measurements')} "
+            f"measurements (noise ~{(t.get('noise_rel') or 0) * 100:.1f}%)"
+        )
+    model = summary.get("model")
+    if model:
+        print(
+            f"  model: {model.get('graph')} [{model.get('mode')}] "
+            f"{model.get('latency_s', 0) * 1e3:.4f} ms, "
+            f"{model.get('n_conversions')} conversions"
+        )
+    diag = summary.get("diagnostics")
+    if diag:
+        print(render_diagnostics(diag))
+    return 0
+
+
+def cmd_runs_export(args) -> int:
+    from .obs.runstore import merge_summaries
+
+    summaries = [load_summary(ref, store=args.store) for ref in args.runs]
+    merged = (
+        summaries[0] if len(summaries) == 1
+        else merge_summaries(summaries, source=args.out)
+    )
+    with open(args.out, "w") as f:
+        json.dump(merged, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"summary written to {args.out}")
+    return 0
+
+
+def cmd_runs_compare(args) -> int:
+    base = load_summary(args.baseline, store=args.store)
+    cand = load_summary(args.candidate, store=args.store)
+    result = compare_summaries(base, cand, threshold=args.threshold)
+    print(render_compare(result))
+    if args.out:
+        write_compare(result, args.out)
+        print(f"comparison written to {args.out}")
+    return 0 if result["verdict"] in ("pass", "identical") else 1
 
 
 def cmd_machines(_args) -> int:
@@ -226,6 +355,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="record a structured trace of the run and save it as JSONL "
              "(render with `python -m repro trace FILE`)",
     )
+    measure_flags.add_argument(
+        "--run-store", default=None, metavar="DIR",
+        help="persist this run into a run-registry directory (manifest, "
+             "trace, rounds, results; inspect with `python -m repro runs`)",
+    )
 
     p = sub.add_parser("tune", help="tune one operator", parents=[measure_flags])
     p.add_argument("op", choices=["c2d", "dep", "c1d", "c3d", "gmm"])
@@ -257,6 +391,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--task", default=None,
                    help="restrict the tuning timeline to one task")
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser("runs", help="inspect/compare the run registry")
+    runs_sub = p.add_subparsers(dest="runs_command", required=True)
+
+    rp = runs_sub.add_parser("list", help="list runs in a store")
+    rp.add_argument("store", help="run-store directory (see --run-store)")
+    rp.set_defaults(fn=cmd_runs_list)
+
+    rp = runs_sub.add_parser(
+        "show", help="manifest + results + search-quality diagnostics"
+    )
+    rp.add_argument("run", help="run directory, run id, prefix, or 'latest'")
+    rp.add_argument("--store", default=None,
+                    help="run-store directory for resolving run ids")
+    rp.set_defaults(fn=cmd_runs_show)
+
+    rp = runs_sub.add_parser(
+        "export", help="write a comparable summary JSON (baseline authoring)"
+    )
+    rp.add_argument("runs", nargs="+",
+                    help="runs to merge into one summary")
+    rp.add_argument("--store", default=None,
+                    help="run-store directory for resolving run ids")
+    rp.add_argument("--out", default="BENCH_baseline.json",
+                    help="output file (default: BENCH_baseline.json)")
+    rp.set_defaults(fn=cmd_runs_export)
+
+    rp = runs_sub.add_parser(
+        "compare",
+        help="noise-aware diff of two runs / a run against a baseline; "
+             "exit code 1 on regression",
+    )
+    rp.add_argument("baseline",
+                    help="baseline: run dir, id, store dir, or summary JSON")
+    rp.add_argument("candidate",
+                    help="candidate: run dir, id, store dir, or summary JSON")
+    rp.add_argument("--store", default=None,
+                    help="run-store directory for resolving run ids")
+    rp.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                    help="relative regression threshold (default 0.05)")
+    rp.add_argument("--out", default="BENCH_compare.json",
+                    help="machine-readable comparison output "
+                         "(default: BENCH_compare.json; '' disables)")
+    rp.set_defaults(fn=cmd_runs_compare)
 
     p = sub.add_parser("machines", help="list simulated machines")
     p.set_defaults(fn=cmd_machines)

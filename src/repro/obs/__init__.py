@@ -21,6 +21,16 @@ Or from the CLI: ``python -m repro compile resnet18 --trace-out run.jsonl``
 then ``python -m repro trace run.jsonl``.
 """
 
+from .compare import compare_summaries, render_compare, write_compare
+from .diagnostics import (
+    cost_model_diagnostics,
+    layout_episode_table,
+    pairwise_rank_accuracy,
+    ppo_curves,
+    render_diagnostics,
+    run_diagnostics,
+    top_k_recall,
+)
 from .log import log, setup_logging
 from .metrics import (
     DEFAULT_BUCKETS,
@@ -30,6 +40,15 @@ from .metrics import (
     MetricsRegistry,
 )
 from .render import span_coverage, timeline_report, trace_report
+from .runstore import (
+    RunRecord,
+    RunStore,
+    RunWriter,
+    git_sha,
+    load_summary,
+    merge_summaries,
+    trace_meta,
+)
 from .timeline import TimelineRecorder, best_so_far_curve, timeline_from_events
 from .trace import (
     NULL_TRACE,
@@ -43,8 +62,13 @@ from .trace import (
 
 __all__ = [
     "Counter", "DEFAULT_BUCKETS", "Gauge", "Histogram", "MetricsRegistry",
-    "NULL_TRACE", "Span", "TimelineRecorder", "Trace", "TraceData",
-    "TRACE_SCHEMA_VERSION", "best_so_far_curve", "build_span_tree",
-    "load_trace", "log", "setup_logging", "span_coverage",
-    "timeline_from_events", "timeline_report", "trace_report",
+    "NULL_TRACE", "RunRecord", "RunStore", "RunWriter", "Span",
+    "TimelineRecorder", "Trace", "TraceData", "TRACE_SCHEMA_VERSION",
+    "best_so_far_curve", "build_span_tree", "compare_summaries",
+    "cost_model_diagnostics", "git_sha", "layout_episode_table",
+    "load_summary", "load_trace", "log", "merge_summaries",
+    "pairwise_rank_accuracy", "ppo_curves", "render_compare",
+    "render_diagnostics", "run_diagnostics", "setup_logging",
+    "span_coverage", "timeline_from_events", "timeline_report", "top_k_recall",
+    "trace_meta", "trace_report", "write_compare",
 ]

@@ -1,0 +1,225 @@
+"""Noise-aware comparison of two persisted runs (the perf-regression gate).
+
+``compare_summaries`` diffs two run summaries (see
+:meth:`repro.obs.runstore.RunRecord.summary`) task by task and produces the
+machine-readable verdict CI gates on (``BENCH_compare.json``):
+
+- **best-latency delta** per shared task, with a per-task tolerance that is
+  the larger of the caller's relative threshold and the task's own
+  *search-noise* estimate (the spread of the run's best round results --
+  two healthy runs of a stochastic tuner legitimately land anywhere on
+  that plateau, so the gate must not fire inside it);
+- **cost-model rank accuracy** on both sides (a search-quality regression
+  is reported even when the final latency happens to survive);
+- an overall verdict: ``identical`` (bit-equal outcomes, e.g. two runs
+  with the same seed), ``pass``, or ``fail`` (any task regressed beyond
+  tolerance, or a task disappeared).
+
+The baseline side can be a committed summary JSON -- the comparator never
+needs the full run directory of the reference.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List, Optional, Sequence
+
+COMPARE_SCHEMA_VERSION = 1
+
+#: default relative regression threshold (5%)
+DEFAULT_THRESHOLD = 0.05
+#: absolute latency floor below which deltas are numerical noise
+ABS_NOISE_FLOOR_S = 1e-12
+#: rank-accuracy drop (absolute) that flags a search-quality regression
+RANK_ACCURACY_DROP = 0.10
+
+
+def task_noise_rel(rounds: Sequence[Dict]) -> float:
+    """Relative search-noise estimate for one task from its round records.
+
+    The spread between the best and the 5th-best round result approximates
+    the plateau the search walks near its optimum; a re-run with another
+    seed typically lands within it.  Clamped to [0, 0.5] so a noisy task
+    can widen the gate's tolerance but never disable it.
+    """
+    bests = sorted(
+        float(r["round_best"]) for r in rounds
+        if isinstance(r.get("round_best"), (int, float))
+        and math.isfinite(r["round_best"]) and r["round_best"] > 0
+    )
+    if len(bests) < 2:
+        return 0.0
+    top = bests[: min(5, len(bests))]
+    spread = (top[-1] - top[0]) / top[0]
+    return min(max(spread, 0.0), 0.5)
+
+
+def _rank_accuracy(summary: Optional[Dict]) -> Optional[float]:
+    try:
+        return summary["diagnostics"]["cost_model"]["overall"]["rank_accuracy"]
+    except (KeyError, TypeError):
+        return None
+
+
+def _geomean(ratios: List[float]) -> Optional[float]:
+    finite = [r for r in ratios if r > 0 and math.isfinite(r)]
+    if not finite:
+        return None
+    return math.exp(sum(math.log(r) for r in finite) / len(finite))
+
+
+def compare_summaries(
+    base: Dict,
+    cand: Dict,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Dict:
+    """Diff two run summaries; see the module docstring for semantics."""
+    base_tasks: Dict[str, Dict] = base.get("tasks") or {}
+    cand_tasks: Dict[str, Dict] = cand.get("tasks") or {}
+    rows: List[Dict] = []
+    ratios: List[float] = []
+    identical = True
+    failures: List[str] = []
+
+    for name in sorted(set(base_tasks) | set(cand_tasks)):
+        b = base_tasks.get(name)
+        c = cand_tasks.get(name)
+        if b is None or c is None:
+            identical = False
+            status = "missing-in-baseline" if b is None else "missing-in-candidate"
+            if c is None:
+                failures.append(f"{name}: task missing from candidate run")
+            rows.append({
+                "task": name,
+                "base_latency": b and b.get("best_latency"),
+                "cand_latency": c and c.get("best_latency"),
+                "delta_rel": None,
+                "tolerance": threshold,
+                "status": status,
+            })
+            continue
+        b_lat = b.get("best_latency")
+        c_lat = c.get("best_latency")
+        noise = max(b.get("noise_rel") or 0.0, c.get("noise_rel") or 0.0)
+        tolerance = max(threshold, noise)
+        row = {
+            "task": name,
+            "base_latency": b_lat,
+            "cand_latency": c_lat,
+            "base_measurements": b.get("measurements"),
+            "cand_measurements": c.get("measurements"),
+            "noise_rel": noise,
+            "tolerance": tolerance,
+        }
+        if not (
+            isinstance(b_lat, (int, float)) and isinstance(c_lat, (int, float))
+            and b_lat > 0 and c_lat > 0
+            and math.isfinite(b_lat) and math.isfinite(c_lat)
+        ):
+            identical = identical and b_lat == c_lat
+            row.update(delta_rel=None, status="not-comparable")
+            rows.append(row)
+            continue
+        delta = c_lat / b_lat - 1.0
+        row["delta_rel"] = delta
+        ratios.append(c_lat / b_lat)
+        if b_lat != c_lat or b.get("measurements") != c.get("measurements"):
+            identical = False
+        if delta > tolerance and (c_lat - b_lat) > ABS_NOISE_FLOOR_S:
+            row["status"] = "regressed"
+            failures.append(
+                f"{name}: best latency regressed {delta * 100:+.1f}% "
+                f"(tolerance {tolerance * 100:.1f}%)"
+            )
+        elif delta < -tolerance:
+            row["status"] = "improved"
+        else:
+            row["status"] = "unchanged"
+        rows.append(row)
+
+    acc_base = _rank_accuracy(base)
+    acc_cand = _rank_accuracy(cand)
+    rank_delta = (
+        acc_cand - acc_base
+        if acc_base is not None and acc_cand is not None else None
+    )
+    if rank_delta is not None and rank_delta < -RANK_ACCURACY_DROP:
+        identical = False
+        failures.append(
+            f"cost-model rank accuracy dropped "
+            f"{acc_base * 100:.1f}% -> {acc_cand * 100:.1f}%"
+        )
+    if rank_delta not in (None, 0.0):
+        identical = False
+
+    verdict = (
+        "identical" if identical and not failures
+        else ("fail" if failures else "pass")
+    )
+    return {
+        "schema": COMPARE_SCHEMA_VERSION,
+        "baseline": {
+            "run_id": base.get("run_id"),
+            "git_sha": base.get("git_sha"),
+            "seed": base.get("seed"),
+        },
+        "candidate": {
+            "run_id": cand.get("run_id"),
+            "git_sha": cand.get("git_sha"),
+            "seed": cand.get("seed"),
+        },
+        "threshold": threshold,
+        "tasks": rows,
+        "geomean_latency_ratio": _geomean(ratios),
+        "rank_accuracy": {
+            "baseline": acc_base,
+            "candidate": acc_cand,
+            "delta": rank_delta,
+        },
+        "failures": failures,
+        "verdict": verdict,
+    }
+
+
+def render_compare(result: Dict) -> str:
+    """Plain-text comparison table + verdict."""
+    lines = [
+        "run comparison "
+        f"(baseline {result['baseline'].get('run_id') or '?'} vs "
+        f"candidate {result['candidate'].get('run_id') or '?'}):",
+        f"  {'task':20s} {'baseline':>12s} {'candidate':>12s} "
+        f"{'delta':>8s} {'tol':>6s}  status",
+    ]
+    for row in result["tasks"]:
+        b, c = row.get("base_latency"), row.get("cand_latency")
+        b_s = f"{b * 1e6:9.2f} us" if isinstance(b, (int, float)) else "      -"
+        c_s = f"{c * 1e6:9.2f} us" if isinstance(c, (int, float)) else "      -"
+        d = row.get("delta_rel")
+        d_s = f"{d * 100:+.1f}%" if d is not None else "-"
+        tol = row.get("tolerance")
+        tol_s = f"{tol * 100:.0f}%" if tol is not None else "-"
+        lines.append(
+            f"  {row['task']:20s} {b_s:>12s} {c_s:>12s} {d_s:>8s} "
+            f"{tol_s:>6s}  {row['status']}"
+        )
+    gm = result.get("geomean_latency_ratio")
+    if gm is not None:
+        lines.append(f"  geomean latency ratio: {gm:.4f}")
+    acc = result.get("rank_accuracy") or {}
+    if acc.get("baseline") is not None or acc.get("candidate") is not None:
+        fmt = lambda v: f"{v * 100:.1f}%" if v is not None else "n/a"  # noqa: E731
+        lines.append(
+            f"  cost-model rank accuracy: {fmt(acc.get('baseline'))} -> "
+            f"{fmt(acc.get('candidate'))}"
+        )
+    for failure in result.get("failures", []):
+        lines.append(f"  FAIL: {failure}")
+    lines.append(f"  verdict: {result['verdict'].upper()}")
+    return "\n".join(lines)
+
+
+def write_compare(result: Dict, path: str) -> None:
+    with open(path, "w") as f:
+        json.dump(result, f, indent=2, sort_keys=True)
+        f.write("\n")

@@ -1,0 +1,357 @@
+"""Search-quality diagnostics derived from trace events and metrics.
+
+ALT's measurement-saving loop (paper Section 5.2.3) only works if the
+learned cost model *ranks* candidates well: real measurements are spent on
+the predicted top-k only, so a mis-ranking model silently wastes budget
+without any error surfacing.  This module turns the raw observability
+streams into the quantities that make such regressions visible:
+
+- **Cost-model calibration** -- every ``cost_model_batch`` event carries
+  the model's predicted scores and the measured latencies for one measured
+  batch, tagged with the retrain *generation* that ranked it.  Pooling the
+  pairs per generation yields pairwise rank accuracy, top-k recall and a
+  predicted-vs-measured correlation (the scatter's summary statistic), so
+  "the model got better as it retrained" is a checkable claim.
+- **PPO learning curves** -- ``ppo_update`` events give per-update mean
+  reward and losses for the layout and loop actors.
+- **Layout-episode table** -- ``layout_episode`` events aggregate into a
+  per-layout reward/latency table (which layouts the joint stage tried,
+  what they earned).
+- **Propagation counts** -- conversion / absorption / replication counters
+  from the metrics snapshot.
+
+All functions accept parsed trace events (``TraceData.events`` or live
+``Trace.events``) and plain metric snapshots; nothing here re-runs any
+search.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: default k for top-k recall (the paper measures the predicted top-8)
+DEFAULT_TOP_K = 8
+
+
+def _event_attrs(e: Dict, name: str) -> Optional[Dict]:
+    if e.get("name") != name:
+        return None
+    if e.get("kind") not in (None, "event"):
+        return None
+    return e.get("attrs") or {}
+
+
+# ---------------------------------------------------------------------------
+# Rank-quality primitives
+# ---------------------------------------------------------------------------
+
+def pairwise_rank_accuracy(
+    predicted: Sequence[float], measured: Sequence[float]
+) -> Tuple[int, int]:
+    """(correct, comparable) ordered pairs.
+
+    A pair is comparable when both the predictions and the latencies
+    differ; it is correct when the higher-scored candidate (scores are
+    throughput-like: higher = predicted faster) is the lower-latency one.
+    Non-finite latencies participate: predicting a failing candidate below
+    a working one is a correct ranking.
+    """
+    correct = total = 0
+    n = min(len(predicted), len(measured))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if predicted[i] == predicted[j] or measured[i] == measured[j]:
+                continue
+            total += 1
+            if (predicted[i] > predicted[j]) == (measured[i] < measured[j]):
+                correct += 1
+    return correct, total
+
+
+def top_k_recall(
+    predicted: Sequence[float], measured: Sequence[float], k: int
+) -> Tuple[int, int]:
+    """(hits, k): overlap between the predicted-best and actual-best k."""
+    n = min(len(predicted), len(measured))
+    k = min(k, n)
+    if k <= 0:
+        return 0, 0
+    pred_top = set(
+        sorted(range(n), key=lambda i: (-predicted[i], i))[:k]
+    )
+    meas_top = set(
+        sorted(range(n), key=lambda i: (measured[i], i))[:k]
+    )
+    return len(pred_top & meas_top), k
+
+
+def _pearson(xs: Sequence[float], ys: Sequence[float]) -> Optional[float]:
+    pairs = [
+        (x, y) for x, y in zip(xs, ys)
+        if math.isfinite(x) and math.isfinite(y)
+    ]
+    if len(pairs) < 3:
+        return None
+    mx = sum(p[0] for p in pairs) / len(pairs)
+    my = sum(p[1] for p in pairs) / len(pairs)
+    sxx = sum((p[0] - mx) ** 2 for p in pairs)
+    syy = sum((p[1] - my) ** 2 for p in pairs)
+    sxy = sum((p[0] - mx) * (p[1] - my) for p in pairs)
+    if sxx <= 0 or syy <= 0:
+        return None
+    return sxy / math.sqrt(sxx * syy)
+
+
+# ---------------------------------------------------------------------------
+# Cost-model calibration
+# ---------------------------------------------------------------------------
+
+def cost_model_diagnostics(
+    events: Sequence[Dict], k: int = DEFAULT_TOP_K
+) -> Optional[Dict]:
+    """Per-retrain-generation calibration from ``cost_model_batch`` events.
+
+    Returns ``None`` when the run produced no ranked batches (untrained
+    model or cost model disabled).  Pairs are pooled per generation across
+    batches; counts are kept alongside the ratios so summaries from
+    several runs merge exactly.
+    """
+    pooled: Dict[int, Dict[str, List[float]]] = {}
+    n_batches = 0
+    for e in events:
+        attrs = _event_attrs(e, "cost_model_batch")
+        if attrs is None:
+            continue
+        pred = attrs.get("predicted") or []
+        meas = attrs.get("measured") or []
+        if not pred or not meas:
+            continue
+        n_batches += 1
+        gen = int(attrs.get("generation", 0))
+        bucket = pooled.setdefault(gen, {"pred": [], "meas": []})
+        n = min(len(pred), len(meas))
+        bucket["pred"].extend(float(v) for v in pred[:n])
+        bucket["meas"].extend(float(v) for v in meas[:n])
+    if not pooled:
+        return None
+
+    def _stats(pred: List[float], meas: List[float]) -> Dict:
+        correct, total = pairwise_rank_accuracy(pred, meas)
+        hits, kk = top_k_recall(pred, meas, k)
+        scores = [-math.log2(m) if m > 0 and math.isfinite(m) else None
+                  for m in meas]
+        finite = [(p, s) for p, s in zip(pred, scores) if s is not None]
+        corr = _pearson([p for p, _ in finite], [s for _, s in finite])
+        return {
+            "points": len(pred),
+            "pairs_correct": correct,
+            "pairs_total": total,
+            "rank_accuracy": correct / total if total else None,
+            "topk_hits": hits,
+            "topk_total": kk,
+            "topk_recall": hits / kk if kk else None,
+            "correlation": corr,
+            # the scatter itself, capped: enough to re-plot, never unbounded
+            "scatter": [
+                [round(p, 6), m] for p, m in list(zip(pred, meas))[:256]
+            ],
+        }
+
+    generations = {
+        gen: _stats(b["pred"], b["meas"]) for gen, b in sorted(pooled.items())
+    }
+    # Scores from different retrain generations live on different scales,
+    # so the overall view sums the per-generation *counts* rather than
+    # pooling raw scores (same rule ``merge_summaries`` uses across runs).
+    def _tot(key: str) -> int:
+        return sum(s[key] for s in generations.values())
+
+    pairs_correct, pairs_total = _tot("pairs_correct"), _tot("pairs_total")
+    topk_hits, topk_total = _tot("topk_hits"), _tot("topk_total")
+    weighted = [
+        (s["correlation"], s["points"]) for s in generations.values()
+        if s["correlation"] is not None
+    ]
+    overall = {
+        "points": _tot("points"),
+        "pairs_correct": pairs_correct,
+        "pairs_total": pairs_total,
+        "rank_accuracy": pairs_correct / pairs_total if pairs_total else None,
+        "topk_hits": topk_hits,
+        "topk_total": topk_total,
+        "topk_recall": topk_hits / topk_total if topk_total else None,
+        "correlation": (
+            sum(c * w for c, w in weighted) / sum(w for _, w in weighted)
+            if weighted else None
+        ),
+        "batches": n_batches,
+        "generations": len(generations),
+    }
+    return {"overall": overall, "per_generation": generations}
+
+
+# ---------------------------------------------------------------------------
+# PPO learning curves
+# ---------------------------------------------------------------------------
+
+def ppo_curves(events: Sequence[Dict]) -> Optional[Dict]:
+    """Per-actor update curves from ``ppo_update`` events."""
+    curves: Dict[str, Dict[str, List[float]]] = {}
+    for e in events:
+        attrs = _event_attrs(e, "ppo_update")
+        if attrs is None:
+            continue
+        actor = str(attrs.get("actor", "ppo"))
+        c = curves.setdefault(
+            actor,
+            {"mean_reward": [], "policy_loss": [], "value_loss": [],
+             "transitions": []},
+        )
+        for key in c:
+            v = attrs.get(key)
+            if v is not None:
+                c[key].append(float(v))
+    if not curves:
+        return None
+    out: Dict[str, Dict] = {}
+    for actor, c in sorted(curves.items()):
+        rewards = c["mean_reward"]
+        out[actor] = {
+            "updates": len(rewards),
+            "mean_reward": rewards,
+            "policy_loss": c["policy_loss"],
+            "value_loss": c["value_loss"],
+            "first_reward": rewards[0] if rewards else None,
+            "last_reward": rewards[-1] if rewards else None,
+        }
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Layout episodes / propagation
+# ---------------------------------------------------------------------------
+
+def layout_episode_table(events: Sequence[Dict]) -> List[Dict]:
+    """Per-layout reward table from the joint stage's ``layout_episode``
+    events, best layout first."""
+    by_layout: Dict[Tuple[str, str], Dict] = {}
+    for e in events:
+        attrs = _event_attrs(e, "layout_episode")
+        if attrs is None:
+            continue
+        key = (str(attrs.get("task", "?")), str(attrs.get("layout", "?")))
+        row = by_layout.setdefault(
+            key,
+            {"task": key[0], "layout": key[1], "episodes": 0,
+             "from_actor": 0, "best_latency": math.inf, "rewards": []},
+        )
+        row["episodes"] += 1
+        if attrs.get("from_actor"):
+            row["from_actor"] += 1
+        best = attrs.get("best")
+        if isinstance(best, (int, float)) and best < row["best_latency"]:
+            row["best_latency"] = float(best)
+        reward = attrs.get("reward")
+        if isinstance(reward, (int, float)) and math.isfinite(reward):
+            row["rewards"].append(float(reward))
+    rows = []
+    for row in by_layout.values():
+        rewards = row.pop("rewards")
+        row["mean_reward"] = (
+            sum(rewards) / len(rewards) if rewards else None
+        )
+        if not math.isfinite(row["best_latency"]):
+            row["best_latency"] = None
+        rows.append(row)
+    rows.sort(
+        key=lambda r: (r["best_latency"] is None,
+                       r["best_latency"] if r["best_latency"] is not None
+                       else 0.0)
+    )
+    return rows
+
+
+def propagation_summary(metrics: Dict) -> Dict:
+    """Conversion / absorption / replication counts from a metrics snapshot."""
+    return {
+        "conversions": metrics.get("propagation.conversions", 0),
+        "absorptions": metrics.get("propagation.absorptions", 0),
+        "replications": metrics.get("propagation.replications", 0),
+    }
+
+
+# ---------------------------------------------------------------------------
+# The full bundle + renderer
+# ---------------------------------------------------------------------------
+
+def run_diagnostics(
+    events: Sequence[Dict], metrics: Dict, k: int = DEFAULT_TOP_K
+) -> Dict:
+    """Everything the run registry stores per run under ``diagnostics``."""
+    return {
+        "cost_model": cost_model_diagnostics(events, k=k),
+        "ppo": ppo_curves(events),
+        "layout_episodes": layout_episode_table(events),
+        "propagation": propagation_summary(metrics),
+    }
+
+
+def render_diagnostics(diag: Dict) -> str:
+    """Plain-text view (``repro runs show``)."""
+    lines = ["search-quality diagnostics:"]
+    cm = diag.get("cost_model")
+    if cm:
+        o = cm["overall"]
+        acc = o.get("rank_accuracy")
+        rec = o.get("topk_recall")
+        corr = o.get("correlation")
+        lines.append(
+            f"  cost model: {o['points']} ranked points in {o['batches']} "
+            f"batches over {o['generations']} generation(s)"
+        )
+        lines.append(
+            "    rank accuracy "
+            + (f"{acc * 100:.1f}%" if acc is not None else "n/a")
+            + f" ({o['pairs_correct']}/{o['pairs_total']} pairs), top-k "
+            + (f"recall {rec * 100:.1f}%" if rec is not None else "recall n/a")
+            + (f", corr {corr:+.3f}" if corr is not None else "")
+        )
+        for gen, s in cm["per_generation"].items():
+            acc = s.get("rank_accuracy")
+            lines.append(
+                f"    gen {gen}: {s['points']} pts, rank acc "
+                + (f"{acc * 100:.1f}%" if acc is not None else "n/a")
+            )
+    else:
+        lines.append("  cost model: no ranked batches recorded")
+    ppo = diag.get("ppo")
+    if ppo:
+        for actor, c in ppo.items():
+            line = f"  {actor}: {c['updates']} updates"
+            if c.get("first_reward") is not None:
+                line += (
+                    f", reward {c['first_reward']:.3f} -> "
+                    f"{c['last_reward']:.3f}"
+                )
+            lines.append(line)
+    episodes = diag.get("layout_episodes") or []
+    if episodes:
+        lines.append("  layout episodes (best first):")
+        for row in episodes[:8]:
+            best = row["best_latency"]
+            best_s = f"{best * 1e6:9.2f} us" if best is not None else "   failed"
+            mr = row["mean_reward"]
+            lines.append(
+                f"    {row['layout'][:44]:44s} {best_s}  "
+                f"eps={row['episodes']} actor={row['from_actor']}"
+                + (f" reward={mr:.2f}" if mr is not None else "")
+            )
+    prop = diag.get("propagation") or {}
+    if any(prop.values()):
+        lines.append(
+            f"  propagation: {prop.get('conversions', 0)} conversions, "
+            f"{prop.get('absorptions', 0)} absorptions, "
+            f"{prop.get('replications', 0)} replications"
+        )
+    return "\n".join(lines)

@@ -32,7 +32,8 @@ def _coerce(source: Union[str, Trace, TraceData]) -> TraceData:
         spans = [e for e in source.events if e.get("kind") == "span"]
         events = [e for e in source.events if e.get("kind") == "event"]
         return TraceData(
-            {"name": source.name}, spans, events, source.metrics.snapshot()
+            {"name": source.name, **source.meta}, spans, events,
+            source.metrics.snapshot(),
         )
     return load_trace(source)
 
@@ -85,6 +86,17 @@ def trace_report(source: Union[str, Trace, TraceData],
     """Text flamegraph of the recorded span tree plus key metrics."""
     data = _coerce(source)
     lines = [f"trace {data.name!r}:"]
+    # attribution header: who/what produced this trace (seed, source SHA,
+    # repro version ride in the JSONL meta record)
+    attribution = {
+        k: data.meta[k]
+        for k in ("seed", "git_sha", "repro_version")
+        if data.meta.get(k) is not None
+    }
+    if attribution:
+        lines.append(
+            "  " + "  ".join(f"{k}={v}" for k, v in sorted(attribution.items()))
+        )
     if not data.roots:
         lines.append("  (no spans recorded)")
     for root in data.roots:

@@ -1,0 +1,438 @@
+"""Persistent run registry: one directory per tuning/compile run.
+
+A single run is observable through its JSONL trace, but nothing about a
+trace persists *across* runs -- you cannot ask "did last week's change slow
+down c2d tuning" from a loose file.  Ansor-lineage tuners solve this with a
+durable record store; this module is that layer for the repro stack.
+
+Directory layout (one run directory per ``tune``/``compile`` invocation)::
+
+    <store>/
+      <run_id>/                 20260806T101502-tune-gmm-1a2b3c
+        manifest.json           attribution: workload key, machine, seed,
+                                git SHA, repro version, CLI config, host
+        trace.jsonl             the full repro.obs trace (spans/rounds/metrics)
+        rounds.jsonl            per-round tuning timeline records
+        result.json             per-task outcomes + model-level summary
+        metrics.json            final metrics snapshot
+
+Everything is plain JSON on purpose: runs are diffable with shell tools,
+commit-able as CI baselines, and readable by any future analysis layer.
+``RunRecord.summary()`` condenses a run into the comparable form consumed
+by :mod:`repro.obs.compare` (and by the committed ``BENCH_baseline.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import socket
+import subprocess
+import time
+import uuid
+from typing import Dict, List, Optional
+
+from .log import log
+from .trace import Trace, TraceData, load_trace
+
+#: bump when the on-disk run layout changes incompatibly
+RUNSTORE_SCHEMA_VERSION = 1
+
+MANIFEST_FILE = "manifest.json"
+TRACE_FILE = "trace.jsonl"
+ROUNDS_FILE = "rounds.jsonl"
+RESULT_FILE = "result.json"
+METRICS_FILE = "metrics.json"
+
+
+# ---------------------------------------------------------------------------
+# Attribution helpers
+# ---------------------------------------------------------------------------
+
+def git_sha() -> Optional[str]:
+    """Best-effort git SHA of the source tree this process imported repro
+    from; ``None`` outside a git checkout (e.g. an installed wheel)."""
+    root = os.path.dirname(os.path.abspath(__file__))
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=root, capture_output=True, text=True, timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def repro_version() -> str:
+    from .. import __version__
+
+    return __version__
+
+
+def run_environment() -> Dict:
+    """Where a run happened (manifest ``environment`` block)."""
+    try:
+        host = socket.gethostname()
+    except OSError:
+        host = "unknown"
+    return {
+        "host": host,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
+
+
+def trace_meta(seed: Optional[int] = None) -> Dict:
+    """Attribution fields for ``Trace(meta=...)``: saved traces should say
+    which source tree and seed produced them."""
+    meta: Dict = {"repro_version": repro_version(), "git_sha": git_sha()}
+    if seed is not None:
+        meta["seed"] = seed
+    return meta
+
+
+def _slug(text: str) -> str:
+    keep = [c if c.isalnum() or c in "-_." else "-" for c in text]
+    return "".join(keep).strip("-") or "run"
+
+
+def new_run_id(name: str) -> str:
+    """Sortable unique id: UTC stamp + slug + random suffix (lexical order
+    == creation order, which is what ``RunStore.latest`` relies on)."""
+    stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+    return f"{stamp}-{_slug(name)}-{uuid.uuid4().hex[:6]}"
+
+
+# ---------------------------------------------------------------------------
+# Writing
+# ---------------------------------------------------------------------------
+
+class RunWriter:
+    """Half-open run directory; :meth:`finish` makes it durable."""
+
+    def __init__(self, path: str, manifest: Dict):
+        self.path = path
+        self.manifest = manifest
+
+    def finish(
+        self,
+        trace: Trace,
+        tasks: Dict[str, Dict],
+        model: Optional[Dict] = None,
+    ) -> "RunRecord":
+        """Persist the run: manifest, trace, rounds, results, metrics.
+
+        ``tasks`` maps task name -> result dict (``best_latency``,
+        ``measurements``, optional ``telemetry``/``timeline``); ``model``
+        carries compile-level outcomes (end-to-end latency, conversions).
+        """
+        os.makedirs(self.path, exist_ok=True)
+        trace.save(os.path.join(self.path, TRACE_FILE))
+        rounds: List[Dict] = []
+        for name, res in tasks.items():
+            for r in res.get("timeline") or []:
+                entry = dict(r)
+                entry.setdefault("task", name)
+                rounds.append(entry)
+        with open(os.path.join(self.path, ROUNDS_FILE), "w") as f:
+            for r in rounds:
+                f.write(json.dumps(r) + "\n")
+        result = {
+            "schema": RUNSTORE_SCHEMA_VERSION,
+            "tasks": {
+                name: {k: v for k, v in res.items() if k != "timeline"}
+                for name, res in tasks.items()
+            },
+            "model": model,
+        }
+        with open(os.path.join(self.path, RESULT_FILE), "w") as f:
+            json.dump(result, f, indent=2, sort_keys=True)
+        with open(os.path.join(self.path, METRICS_FILE), "w") as f:
+            json.dump(trace.metrics.snapshot(), f, indent=2, sort_keys=True)
+        with open(os.path.join(self.path, MANIFEST_FILE), "w") as f:
+            json.dump(self.manifest, f, indent=2, sort_keys=True)
+        log.info("run recorded: %s", self.path)
+        return RunRecord(self.path)
+
+
+def task_result_dict(result) -> Dict:
+    """Serialize a :class:`~repro.tuning.explorer.TuneResult` for
+    ``result.json`` (layouts/schedules go in as readable reprs)."""
+    return {
+        "best_latency": result.best_latency,
+        "measurements": result.measurements,
+        "telemetry": result.telemetry,
+        "layouts": {
+            name: str(lay) for name, lay in sorted(result.best_layouts.items())
+        },
+        "schedule": (
+            str(result.best_schedule)
+            if result.best_schedule is not None else None
+        ),
+        "timeline": list(getattr(result, "timeline", []) or []),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Reading
+# ---------------------------------------------------------------------------
+
+class RunRecord:
+    """A persisted run; all file reads are lazy and cached."""
+
+    def __init__(self, path: str):
+        self.path = os.path.abspath(path)
+        self.run_id = os.path.basename(self.path.rstrip(os.sep))
+        self._manifest: Optional[Dict] = None
+        self._result: Optional[Dict] = None
+        self._rounds: Optional[List[Dict]] = None
+        self._metrics: Optional[Dict] = None
+        self._trace: Optional[TraceData] = None
+
+    def _json(self, fname: str) -> Dict:
+        try:
+            with open(os.path.join(self.path, fname)) as f:
+                return json.load(f)
+        except (OSError, ValueError):
+            return {}
+
+    @property
+    def manifest(self) -> Dict:
+        if self._manifest is None:
+            self._manifest = self._json(MANIFEST_FILE)
+        return self._manifest
+
+    @property
+    def result(self) -> Dict:
+        if self._result is None:
+            self._result = self._json(RESULT_FILE)
+        return self._result
+
+    @property
+    def metrics(self) -> Dict:
+        if self._metrics is None:
+            self._metrics = self._json(METRICS_FILE)
+        return self._metrics
+
+    @property
+    def rounds(self) -> List[Dict]:
+        if self._rounds is None:
+            self._rounds = []
+            try:
+                with open(os.path.join(self.path, ROUNDS_FILE)) as f:
+                    for line in f:
+                        line = line.strip()
+                        if not line:
+                            continue
+                        try:
+                            self._rounds.append(json.loads(line))
+                        except ValueError:
+                            continue
+            except OSError:
+                pass
+        return self._rounds
+
+    @property
+    def trace_path(self) -> str:
+        return os.path.join(self.path, TRACE_FILE)
+
+    @property
+    def trace(self) -> TraceData:
+        if self._trace is None:
+            try:
+                self._trace = load_trace(self.trace_path)
+            except OSError:
+                self._trace = TraceData({}, [], [], {})
+        return self._trace
+
+    def summary(self) -> Dict:
+        """The comparable view of a run (what baselines/compare consume)."""
+        from .compare import task_noise_rel
+        from .diagnostics import run_diagnostics
+
+        manifest = self.manifest
+        tasks: Dict[str, Dict] = {}
+        by_task_rounds: Dict[str, List[Dict]] = {}
+        for r in self.rounds:
+            by_task_rounds.setdefault(r.get("task", "?"), []).append(r)
+        for name, res in (self.result.get("tasks") or {}).items():
+            tasks[name] = {
+                "best_latency": res.get("best_latency"),
+                "measurements": res.get("measurements"),
+                "noise_rel": task_noise_rel(by_task_rounds.get(name, [])),
+            }
+        diag = run_diagnostics(self.trace.events, self.metrics)
+        return {
+            "schema": RUNSTORE_SCHEMA_VERSION,
+            "run_id": self.run_id,
+            "name": manifest.get("name"),
+            "machine": manifest.get("machine"),
+            "seed": manifest.get("seed"),
+            "git_sha": manifest.get("git_sha"),
+            "repro_version": manifest.get("repro_version"),
+            "tasks": tasks,
+            "model": self.result.get("model"),
+            "diagnostics": diag,
+        }
+
+
+class RunStore:
+    """A directory of runs; creation, listing and reference resolution."""
+
+    def __init__(self, root: str):
+        self.root = os.path.abspath(root)
+
+    def create(
+        self,
+        name: str,
+        *,
+        machine: str,
+        seed: Optional[int],
+        workload: str,
+        config: Optional[Dict] = None,
+    ) -> RunWriter:
+        run_id = new_run_id(name)
+        manifest = {
+            "schema": RUNSTORE_SCHEMA_VERSION,
+            "run_id": run_id,
+            "name": name,
+            "workload": workload,
+            "machine": machine,
+            "seed": seed,
+            "git_sha": git_sha(),
+            "repro_version": repro_version(),
+            "created": time.time(),
+            "config": dict(config or {}),
+            "environment": run_environment(),
+        }
+        return RunWriter(os.path.join(self.root, run_id), manifest)
+
+    def run_ids(self) -> List[str]:
+        try:
+            entries = sorted(os.listdir(self.root))
+        except OSError:
+            return []
+        return [
+            e for e in entries
+            if os.path.isfile(os.path.join(self.root, e, MANIFEST_FILE))
+        ]
+
+    def runs(self) -> List[RunRecord]:
+        return [RunRecord(os.path.join(self.root, rid)) for rid in self.run_ids()]
+
+    def latest(self) -> Optional[RunRecord]:
+        ids = self.run_ids()
+        return RunRecord(os.path.join(self.root, ids[-1])) if ids else None
+
+    def load(self, ref: str) -> RunRecord:
+        """Resolve ``ref``: exact id, unique id prefix, or ``latest``."""
+        ids = self.run_ids()
+        if ref == "latest":
+            rec = self.latest()
+            if rec is None:
+                raise FileNotFoundError(f"no runs in store {self.root}")
+            return rec
+        if ref in ids:
+            return RunRecord(os.path.join(self.root, ref))
+        matches = [i for i in ids if i.startswith(ref)]
+        if len(matches) == 1:
+            return RunRecord(os.path.join(self.root, matches[0]))
+        if not matches:
+            raise FileNotFoundError(f"no run {ref!r} in store {self.root}")
+        raise FileNotFoundError(
+            f"ambiguous run prefix {ref!r} in {self.root}: {matches}"
+        )
+
+
+def is_run_dir(path: str) -> bool:
+    return os.path.isfile(os.path.join(path, MANIFEST_FILE))
+
+
+def load_summary(ref: str, store: Optional[str] = None) -> Dict:
+    """Resolve anything comparable into a summary dict.
+
+    Accepted forms: a summary JSON file (e.g. a committed baseline), a run
+    directory, a run-store directory (all runs merged, newest run winning a
+    task-name collision), or a run id / unique prefix / ``latest`` inside
+    ``store``.
+    """
+    if os.path.isfile(ref):
+        with open(ref) as f:
+            data = json.load(f)
+        if not isinstance(data, dict) or "tasks" not in data:
+            raise ValueError(f"{ref}: not a run summary (no 'tasks' key)")
+        return data
+    if os.path.isdir(ref):
+        if is_run_dir(ref):
+            return RunRecord(ref).summary()
+        sub = RunStore(ref)
+        if sub.run_ids():
+            return merge_summaries(
+                [r.summary() for r in sub.runs()], source=ref
+            )
+        raise FileNotFoundError(f"{ref}: neither a run nor a run store")
+    if store is not None:
+        return RunStore(store).load(ref).summary()
+    raise FileNotFoundError(
+        f"cannot resolve run reference {ref!r} (pass --store for run ids)"
+    )
+
+
+def merge_summaries(summaries: List[Dict], source: str = "merged") -> Dict:
+    """Fold several run summaries into one comparable view (a store of
+    single-op tuning runs gates like one multi-task run)."""
+    if not summaries:
+        raise ValueError("nothing to merge")
+    out = {
+        "schema": RUNSTORE_SCHEMA_VERSION,
+        "run_id": f"store:{os.path.basename(os.path.abspath(source))}",
+        "name": source,
+        "machine": summaries[0].get("machine"),
+        "seed": summaries[0].get("seed"),
+        "git_sha": summaries[0].get("git_sha"),
+        "repro_version": summaries[0].get("repro_version"),
+        "tasks": {},
+        "model": None,
+        "diagnostics": None,
+    }
+    for s in summaries:  # run_ids sort by creation time: newest wins
+        out["tasks"].update(s.get("tasks") or {})
+        if s.get("model"):
+            out["model"] = s["model"]
+    out["diagnostics"] = _merge_diagnostics(
+        [s.get("diagnostics") for s in summaries]
+    )
+    return out
+
+
+def _merge_diagnostics(diags: List[Optional[Dict]]) -> Optional[Dict]:
+    """Pool cost-model calibration counts across runs (exact: the stored
+    counts, not the ratios, are additive); per-generation detail and the
+    other per-run sections are dropped from a merged view."""
+    counts = {"points": 0, "pairs_correct": 0, "pairs_total": 0,
+              "topk_hits": 0, "topk_total": 0, "batches": 0,
+              "generations": 0}
+    seen = False
+    for d in diags:
+        cm = (d or {}).get("cost_model")
+        if not cm:
+            continue
+        seen = True
+        o = cm.get("overall") or {}
+        for key in counts:
+            counts[key] += int(o.get(key) or 0)
+    if not seen:
+        return None
+    overall = dict(counts)
+    overall["rank_accuracy"] = (
+        counts["pairs_correct"] / counts["pairs_total"]
+        if counts["pairs_total"] else None
+    )
+    overall["topk_recall"] = (
+        counts["topk_hits"] / counts["topk_total"]
+        if counts["topk_total"] else None
+    )
+    overall["correlation"] = None
+    return {"cost_model": {"overall": overall, "per_generation": {}}}

@@ -26,10 +26,15 @@ import json
 import time
 from typing import Dict, List, Optional
 
+from .log import log
 from .metrics import MetricsRegistry
 
 #: bump when the JSONL schema changes incompatibly
 TRACE_SCHEMA_VERSION = 1
+
+#: record kinds this reader understands; anything else is assumed to come
+#: from a newer writer and is skipped (forward compatibility)
+KNOWN_RECORD_KINDS = ("meta", "span", "event", "metrics")
 
 
 def _json_safe(v):
@@ -112,9 +117,14 @@ class Trace:
     """
 
     def __init__(self, enabled: bool = True, name: str = "run",
-                 metrics: Optional[MetricsRegistry] = None):
+                 metrics: Optional[MetricsRegistry] = None,
+                 meta: Optional[Dict] = None):
         self.enabled = enabled
         self.name = name
+        #: extra attribution fields merged into the JSONL ``meta`` header
+        #: (``seed``, ``git_sha``, ``repro_version`` ... -- saved traces
+        #: should say where they came from)
+        self.meta = dict(meta) if meta else {}
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.events: List[Dict] = []  # finished spans + point events, in order
         self.roots: List[Span] = []
@@ -173,11 +183,14 @@ class Trace:
     # -- serialization -------------------------------------------------------
     def lines(self) -> List[str]:
         """The trace as JSONL lines (header, events, metrics snapshot)."""
-        out = [json.dumps({
+        header = {
             "kind": "meta",
             "version": TRACE_SCHEMA_VERSION,
             "name": self.name,
-        })]
+        }
+        for k, v in self.meta.items():
+            header.setdefault(k, _json_safe(v))
+        out = [json.dumps(header)]
         out.extend(json.dumps(e) for e in self.events)
         out.append(json.dumps({
             "kind": "metrics",
@@ -254,11 +267,19 @@ def build_span_tree(spans: List[Dict]) -> List[_SpanNode]:
 
 
 def load_trace(path: str) -> TraceData:
-    """Parse a ``Trace.save`` JSONL file (unknown/corrupt lines skipped)."""
+    """Parse a ``Trace.save`` JSONL file.
+
+    Forward compatible by design: record kinds this reader does not know
+    (e.g. written by a newer repro) are skipped with one summary warning,
+    and corrupt/truncated lines (a killed run's partial last write) are
+    dropped silently -- the renderer never crashes on a foreign trace.
+    """
     meta: Dict = {}
     spans: List[Dict] = []
     events: List[Dict] = []
     metrics: Dict = {}
+    unknown: Dict[str, int] = {}
+    corrupt = 0
     with open(path) as f:
         for line in f:
             line = line.strip()
@@ -267,8 +288,9 @@ def load_trace(path: str) -> TraceData:
             try:
                 d = json.loads(line)
             except ValueError:
+                corrupt += 1
                 continue
-            kind = d.get("kind")
+            kind = d.get("kind") if isinstance(d, dict) else None
             if kind == "meta":
                 meta = d
             elif kind == "span":
@@ -277,4 +299,15 @@ def load_trace(path: str) -> TraceData:
                 events.append(d)
             elif kind == "metrics":
                 metrics = d.get("snapshot", {})
+            else:
+                unknown[str(kind)] = unknown.get(str(kind), 0) + 1
+    if unknown:
+        log.warning(
+            "%s: skipped %d record(s) of unknown kind %s (newer trace "
+            "schema? this reader knows %s)",
+            path, sum(unknown.values()), sorted(unknown),
+            list(KNOWN_RECORD_KINDS),
+        )
+    if corrupt:
+        log.debug("%s: dropped %d corrupt/truncated line(s)", path, corrupt)
     return TraceData(meta, spans, events, metrics)

@@ -307,6 +307,15 @@ def compile_graph(
                     "task %s: best %.3e s after %d measurements",
                     rep.name, result.best_latency, result.measurements,
                 )
+                # one summary event per task: the run registry / comparator
+                # reconstruct per-task results from the trace alone
+                trace.event(
+                    "task_result",
+                    task=rep.name,
+                    best_latency=result.best_latency,
+                    measurements=result.measurements,
+                    instances=len(nodes),
+                )
                 task_results[rep.name] = result
                 for node in nodes:
                     class_of[node.name] = (rep, result)

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from .machine.latency import estimate_stage
+from .obs.diagnostics import render_diagnostics, run_diagnostics
 from .obs.render import timeline_report, trace_report  # noqa: F401  (re-export)
 from .pipeline import CompiledModel
 
@@ -97,11 +98,15 @@ def tuning_report(model: CompiledModel) -> str:
 
 def full_report(model: CompiledModel, trace=None) -> str:
     """Layout + stage-cost + tuning reports; pass the run's ``Trace`` to
-    append the span flamegraph and per-task tuning timeline."""
+    append the span flamegraph, per-task tuning timeline and the
+    search-quality diagnostics (cost-model rank accuracy, PPO curves)."""
     parts = [
         layout_report(model), stage_cost_report(model, top=12), tuning_report(model)
     ]
     if trace is not None:
         parts.append(trace_report(trace))
         parts.append(timeline_report(trace))
+        parts.append(render_diagnostics(
+            run_diagnostics(trace.events, trace.metrics.snapshot())
+        ))
     return "\n\n".join(parts)

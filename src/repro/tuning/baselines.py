@@ -60,6 +60,7 @@ def _loop_only(
     if loop_actor is not None:
         loop_actor.metrics = task.trace.metrics
         loop_actor.metrics_prefix = "ppo.loop"
+        loop_actor.trace = task.trace
     tuner = LoopTuner(task, rng, nprng, cost_model, loop_actor)
     loop_space = task.loop_space_for(layouts)
     if restrict_pow2 or single_pattern:

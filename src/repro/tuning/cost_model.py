@@ -29,6 +29,7 @@ class CostModel:
         self._y: List[float] = []
         self._model: Optional[GradientBoostedTrees] = None
         self._since_retrain = 0
+        self._generation = 0
         #: optional ``repro.obs`` metrics registry: retrain count/timing and
         #: the training-set size are recorded under ``cost_model.*``
         self.metrics = None
@@ -55,6 +56,7 @@ class CostModel:
         y = np.asarray(self._y[-self.MAX_TRAIN:])
         self._model = GradientBoostedTrees().fit(X, y)
         self._since_retrain = 0
+        self._generation += 1
         if self.metrics is not None:
             self.metrics.counter("cost_model.retrains").inc()
             self.metrics.gauge("cost_model.train_samples").set(len(y))
@@ -65,6 +67,11 @@ class CostModel:
     @property
     def trained(self) -> bool:
         return self._model is not None
+
+    @property
+    def generation(self) -> int:
+        """Retrain count: diagnostics bucket rank-accuracy per generation."""
+        return self._generation
 
     @property
     def n_samples(self) -> int:

@@ -218,8 +218,11 @@ class LoopTuner:
             valid_idx.append(i)
         if not stages:
             return []
+        scores = None
         if self.cost_model is not None and self.cost_model.trained:
-            top = self.cost_model.top_k(stages, n_measure)
+            scores = self.cost_model.predict(stages)
+            order = np.argsort(-scores, kind="stable")
+            top = [int(i) for i in order[:n_measure]]
             # the seed / first heuristic is always worth a measurement: it
             # anchors the layout's assessment even if the model dislikes it.
             # The guaranteed slot belongs to candidate 0 specifically -- when
@@ -238,6 +241,19 @@ class LoopTuner:
         batch = self.task.measure_batch(
             [(layouts, schedules[valid_idx[j]]) for j in top]
         )
+        # diagnostics: the model's predictions for the candidates that were
+        # actually measured, tagged with the retrain generation that made
+        # them.  Captured *before* the updates below retrain the model, so
+        # every (predicted, measured) pair is attributed to the generation
+        # that ranked it.
+        if scores is not None and batch.latencies:
+            self.task.trace.event(
+                "cost_model_batch",
+                task=self.task.comp.name,
+                generation=self.cost_model.generation,
+                predicted=[float(scores[j]) for j in top[:len(batch.latencies)]],
+                measured=[float(lat) for lat in batch.latencies],
+            )
         results = []
         for j, lat in zip(top, batch.latencies):
             i = valid_idx[j]
@@ -284,9 +300,11 @@ class JointTuner:
         if self.layout_actor is not None:
             self.layout_actor.metrics = metrics
             self.layout_actor.metrics_prefix = "ppo.layout"
+            self.layout_actor.trace = task.trace
         if self.loop_actor is not None:
             self.loop_actor.metrics = metrics
             self.loop_actor.metrics_prefix = "ppo.loop"
+            self.loop_actor.trace = task.trace
 
     # -- public -----------------------------------------------------------------
     def tune(self, joint_budget: int, loop_budget: int) -> TuneResult:

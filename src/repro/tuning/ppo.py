@@ -113,6 +113,10 @@ class PPOActor:
         #: loss (``<prefix>.policy_loss`` / ``<prefix>.value_loss``)
         self.metrics = None
         self.metrics_prefix = "ppo"
+        #: optional ``repro.obs.Trace``: each update additionally emits a
+        #: ``ppo_update`` event so learning *curves* (not just aggregate
+        #: histograms) can be reconstructed from a saved trace
+        self.trace = None
 
     # -- acting -----------------------------------------------------------------
     def act(self, state: np.ndarray, explore: bool = True) -> np.ndarray:
@@ -173,6 +177,15 @@ class PPOActor:
             self.metrics.histogram(f"{p}.value_loss").observe(value_loss)
             self.metrics.gauge(f"{p}.last_policy_loss").set(policy_loss)
             self.metrics.gauge(f"{p}.last_value_loss").set(value_loss)
+        if self.trace is not None:
+            self.trace.event(
+                "ppo_update",
+                actor=self.metrics_prefix,
+                transitions=len(self.buffer),
+                mean_reward=float(rewards.mean()),
+                policy_loss=policy_loss,
+                value_loss=value_loss,
+            )
         self.buffer.clear()
 
     # -- pretrained weights -----------------------------------------------------------

@@ -121,6 +121,44 @@ def test_load_trace_skips_corrupt_lines(tmp_path):
     assert [r.name for r in data.roots] == ["only"]
 
 
+def test_meta_attribution_round_trip(tmp_path):
+    trace = Trace(name="rt", meta={"seed": 5, "git_sha": "abc123",
+                                   "repro_version": "0.1.0"})
+    with trace.span("only"):
+        pass
+    path = str(tmp_path / "run.jsonl")
+    trace.save(path)
+    with open(path) as f:
+        header = json.loads(f.readline())
+    assert header["kind"] == "meta" and header["version"] == 1
+    assert header["seed"] == 5 and header["git_sha"] == "abc123"
+    data = load_trace(path)
+    assert data.meta["seed"] == 5
+    # meta must never clobber the reserved header fields
+    shadow = Trace(name="real", meta={"name": "fake", "version": 99})
+    assert json.loads(shadow.lines()[0])["name"] == "real"
+    assert json.loads(shadow.lines()[0])["version"] == 1
+
+
+def test_load_trace_skips_unknown_kinds_with_one_warning(tmp_path, caplog):
+    trace = Trace(name="fw")
+    with trace.span("only"):
+        pass
+    path = str(tmp_path / "run.jsonl")
+    trace.save(path)
+    with open(path, "a") as f:
+        f.write(json.dumps({"kind": "hologram", "x": 1}) + "\n")
+        f.write(json.dumps({"kind": "hologram", "x": 2}) + "\n")
+        f.write(json.dumps({"no_kind": True}) + "\n")
+    with caplog.at_level("WARNING", logger="repro"):
+        data = load_trace(path)
+    assert [r.name for r in data.roots] == ["only"]
+    warnings = [r for r in caplog.records if "unknown kind" in r.getMessage()]
+    assert len(warnings) == 1  # one summary line, not one per record
+    assert "3 record(s)" in warnings[0].getMessage()
+    assert "hologram" in warnings[0].getMessage()
+
+
 def test_build_span_tree_orphans_become_roots():
     spans = [
         {"kind": "span", "id": 2, "parent": 99, "name": "orphan",
@@ -339,6 +377,58 @@ def test_cli_trace_out_and_trace_subcommand(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "trace 'tune:gmm':" in out
     assert "tuning timeline:" in out
+
+
+def test_cli_trace_renders_attribution_header(tmp_path, capsys):
+    path = str(tmp_path / "run.jsonl")
+    rc = main([
+        "tune", "gmm", "--budget", "16", "--size", "16", "--seed", "7",
+        "--no-measure-cache", "--trace-out", path,
+    ])
+    assert rc == 0
+    capsys.readouterr()
+    assert main(["trace", path]) == 0
+    out = capsys.readouterr().out
+    assert "seed=7" in out
+    assert "repro_version=" in out
+
+
+def test_cli_trace_empty_file(tmp_path, capsys):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    assert main(["trace", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "(no spans recorded)" in out
+    assert "(no rounds recorded)" in out
+
+
+def test_cli_trace_truncated_last_line(tmp_path, capsys):
+    trace = Trace(name="cut")
+    with trace.span("tune_task"):
+        trace.event("round", task="g", round=0, stage="loop",
+                    best_so_far=1e-6)
+    full = trace.lines()
+    path = tmp_path / "cut.jsonl"
+    # a killed run's partial final write: last line cut mid-JSON
+    path.write_text("\n".join(full[:-1]) + "\n" + full[-1][: len(full[-1]) // 2])
+    assert main(["trace", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "trace 'cut':" in out
+    assert "tune_task" in out
+
+
+def test_cli_trace_metrics_only(tmp_path, capsys):
+    # a trace that recorded metrics but no spans/events still renders
+    lines = [
+        json.dumps({"kind": "meta", "version": 1, "name": "m"}),
+        json.dumps({"kind": "metrics", "snapshot": {"x.count": 4}}),
+    ]
+    path = tmp_path / "metrics.jsonl"
+    path.write_text("\n".join(lines) + "\n")
+    assert main(["trace", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "(no spans recorded)" in out
+    assert "x.count" in out and "4" in out
 
 
 def test_cli_verbosity_flags(capsys):

@@ -1,0 +1,427 @@
+"""Run registry, search-quality diagnostics and the noise-aware comparator."""
+
+import json
+import math
+
+import pytest
+
+from repro.cli import main
+from repro.obs.compare import (
+    DEFAULT_THRESHOLD,
+    compare_summaries,
+    render_compare,
+    task_noise_rel,
+)
+from repro.obs.diagnostics import (
+    cost_model_diagnostics,
+    layout_episode_table,
+    pairwise_rank_accuracy,
+    ppo_curves,
+    render_diagnostics,
+    run_diagnostics,
+    top_k_recall,
+)
+from repro.obs.runstore import (
+    RunRecord,
+    RunStore,
+    load_summary,
+    merge_summaries,
+    new_run_id,
+    trace_meta,
+)
+from repro.obs.trace import Trace
+
+
+# ---------------------------------------------------------------------------
+# Rank-quality primitives
+# ---------------------------------------------------------------------------
+
+def test_pairwise_rank_accuracy_perfect_and_inverted():
+    # higher score must mean lower latency
+    assert pairwise_rank_accuracy([3, 2, 1], [1e-6, 2e-6, 3e-6]) == (3, 3)
+    assert pairwise_rank_accuracy([1, 2, 3], [1e-6, 2e-6, 3e-6]) == (0, 3)
+
+
+def test_pairwise_rank_accuracy_skips_ties():
+    correct, total = pairwise_rank_accuracy([1, 1, 2], [3e-6, 2e-6, 1e-6])
+    assert total == 2  # the (0,1) score tie is not comparable
+    assert correct == 2
+
+
+def test_pairwise_rank_accuracy_ranks_failures():
+    # predicting a failing (inf-latency) candidate below a working one is
+    # a correct ranking
+    assert pairwise_rank_accuracy([2, 1], [1e-6, math.inf]) == (1, 1)
+
+
+def test_top_k_recall():
+    pred = [4, 3, 2, 1]
+    meas = [1e-6, 2e-6, 3e-6, 4e-6]
+    assert top_k_recall(pred, meas, 2) == (2, 2)
+    assert top_k_recall(pred, list(reversed(meas)), 2) == (0, 2)
+    assert top_k_recall([], [], 8) == (0, 0)
+
+
+# ---------------------------------------------------------------------------
+# Cost-model calibration from trace events
+# ---------------------------------------------------------------------------
+
+def _batch_event(gen, predicted, measured):
+    return {
+        "kind": "event", "name": "cost_model_batch",
+        "attrs": {"task": "g", "generation": gen,
+                  "predicted": predicted, "measured": measured},
+    }
+
+
+def test_cost_model_diagnostics_pools_per_generation():
+    events = [
+        _batch_event(1, [3.0, 2.0], [1e-6, 2e-6]),
+        _batch_event(1, [1.0], [3e-6]),
+        _batch_event(2, [1.0, 2.0], [1e-6, 2e-6]),  # inverted ranking
+    ]
+    diag = cost_model_diagnostics(events, k=2)
+    gens = diag["per_generation"]
+    assert sorted(gens) == [1, 2]
+    assert gens[1]["points"] == 3
+    assert gens[1]["rank_accuracy"] == 1.0
+    assert gens[2]["rank_accuracy"] == 0.0
+    # overall sums the per-generation counts -- raw scores from different
+    # retrain generations are not on a comparable scale
+    o = diag["overall"]
+    assert o["pairs_total"] == gens[1]["pairs_total"] + gens[2]["pairs_total"]
+    assert o["pairs_correct"] == 3
+    assert o["rank_accuracy"] == pytest.approx(3 / 4)
+    assert o["batches"] == 3 and o["generations"] == 2
+    assert o["topk_total"] == gens[1]["topk_total"] + gens[2]["topk_total"]
+
+
+def test_cost_model_diagnostics_none_without_batches():
+    assert cost_model_diagnostics([]) is None
+    assert cost_model_diagnostics(
+        [{"kind": "event", "name": "round", "attrs": {}}]
+    ) is None
+
+
+def test_run_diagnostics_bundle_and_render():
+    events = [
+        _batch_event(1, [2.0, 1.0], [1e-6, 2e-6]),
+        {"kind": "event", "name": "ppo_update",
+         "attrs": {"actor": "ppo.loop", "transitions": 8, "mean_reward": 1.0,
+                   "policy_loss": 0.1, "value_loss": 0.2}},
+        {"kind": "event", "name": "ppo_update",
+         "attrs": {"actor": "ppo.loop", "transitions": 8, "mean_reward": 2.0,
+                   "policy_loss": 0.1, "value_loss": 0.2}},
+        {"kind": "event", "name": "layout_episode",
+         "attrs": {"task": "g", "layout": "mt=4", "from_actor": True,
+                   "best": 1e-6, "reward": 20.0}},
+    ]
+    metrics = {"propagation.conversions": 2}
+    diag = run_diagnostics(events, metrics)
+    assert diag["cost_model"]["overall"]["points"] == 2
+    assert diag["ppo"]["ppo.loop"]["updates"] == 2
+    assert diag["ppo"]["ppo.loop"]["first_reward"] == 1.0
+    assert diag["layout_episodes"][0]["layout"] == "mt=4"
+    assert diag["propagation"]["conversions"] == 2
+    text = render_diagnostics(diag)
+    assert "cost model" in text and "ppo.loop" in text and "mt=4" in text
+    json.dumps(diag)  # summaries must be JSON-serializable
+
+
+def test_ppo_curves_and_layout_table_empty():
+    assert ppo_curves([]) is None
+    assert layout_episode_table([]) == []
+
+
+# ---------------------------------------------------------------------------
+# Noise estimate + comparator
+# ---------------------------------------------------------------------------
+
+def _rounds(*bests):
+    return [{"round": i, "round_best": b} for i, b in enumerate(bests)]
+
+
+def test_task_noise_rel_plateau_spread():
+    # spread of the 5 best round results relative to the best
+    assert task_noise_rel(
+        _rounds(1e-6, 1.02e-6, 1.04e-6, 1.06e-6, 1.1e-6, 9e-6)
+    ) == pytest.approx(0.1)
+    assert task_noise_rel(_rounds(1e-6)) == 0.0
+    assert task_noise_rel([]) == 0.0
+    # non-finite / non-positive rounds are ignored, spread is clamped
+    assert task_noise_rel(_rounds(1e-6, math.inf, 1e-5)) == 0.5
+
+
+def _summary(latency, *, noise=0.0, measurements=64, acc=None, run_id="r",
+             seed=0):
+    diag = None
+    if acc is not None:
+        correct = int(round(acc * 100))
+        diag = {"cost_model": {"overall": {
+            "rank_accuracy": acc, "pairs_correct": correct,
+            "pairs_total": 100, "points": 50, "topk_hits": 4,
+            "topk_total": 8, "batches": 5, "generations": 2,
+        }, "per_generation": {}}}
+    return {
+        "schema": 1, "run_id": run_id, "machine": "intel_cpu", "seed": seed,
+        "git_sha": "abc", "repro_version": "0.1.0",
+        "tasks": {"g": {"best_latency": latency, "measurements": measurements,
+                        "noise_rel": noise}},
+        "model": None, "diagnostics": diag,
+    }
+
+
+def test_compare_identical_runs():
+    result = compare_summaries(_summary(1e-6, acc=0.8),
+                               _summary(1e-6, acc=0.8))
+    assert result["verdict"] == "identical"
+    assert result["failures"] == []
+    assert result["tasks"][0]["delta_rel"] == 0.0
+    assert result["geomean_latency_ratio"] == 1.0
+    assert result["rank_accuracy"]["delta"] == 0.0
+
+
+def test_compare_regression_beyond_threshold_fails():
+    result = compare_summaries(_summary(1e-6), _summary(1.2e-6))
+    assert result["verdict"] == "fail"
+    assert result["tasks"][0]["status"] == "regressed"
+    assert "regressed" in result["failures"][0]
+    assert "FAIL" in render_compare(result)
+
+
+def test_compare_within_threshold_passes():
+    result = compare_summaries(_summary(1e-6), _summary(1.03e-6))
+    assert result["verdict"] == "pass"  # not identical: latencies differ
+    assert result["tasks"][0]["status"] == "unchanged"
+
+
+def test_compare_noise_widens_tolerance():
+    # 20% regression but the task's own search noise is 30%: no failure
+    result = compare_summaries(_summary(1e-6, noise=0.3), _summary(1.2e-6))
+    assert result["verdict"] == "pass"
+    assert result["tasks"][0]["tolerance"] == pytest.approx(0.3)
+
+
+def test_compare_improvement_is_not_a_failure():
+    result = compare_summaries(_summary(1e-6), _summary(0.5e-6))
+    assert result["verdict"] == "pass"
+    assert result["tasks"][0]["status"] == "improved"
+
+
+def test_compare_missing_task_fails():
+    cand = _summary(1e-6)
+    cand["tasks"] = {}
+    result = compare_summaries(_summary(1e-6), cand)
+    assert result["verdict"] == "fail"
+    assert result["tasks"][0]["status"] == "missing-in-candidate"
+
+
+def test_compare_rank_accuracy_drop_fails_even_with_equal_latency():
+    result = compare_summaries(_summary(1e-6, acc=0.9),
+                               _summary(1e-6, acc=0.6))
+    assert result["verdict"] == "fail"
+    assert any("rank accuracy" in f for f in result["failures"])
+
+
+def test_compare_handles_nonfinite_latency():
+    result = compare_summaries(_summary(math.inf), _summary(math.inf))
+    assert result["tasks"][0]["status"] == "not-comparable"
+    assert result["verdict"] == "identical"  # equally broken on both sides
+
+
+# ---------------------------------------------------------------------------
+# Run store: write, resolve, summarize, merge
+# ---------------------------------------------------------------------------
+
+def _fake_trace(seed=0):
+    trace = Trace(name="t", meta=trace_meta(seed))
+    with trace.span("tune_task", task="g"):
+        trace.event(
+            "cost_model_batch", task="g", generation=1,
+            predicted=[3.0, 2.0, 1.0], measured=[1e-6, 2e-6, 3e-6],
+        )
+    trace.metrics.counter("propagation.conversions").inc(2)
+    return trace
+
+
+def _fake_tasks(latency=1e-6):
+    return {"g": {
+        "best_latency": latency, "measurements": 12,
+        "telemetry": {"fresh_evaluations": 12},
+        "layouts": {"a": "Layout[...]"}, "schedule": "LoopSchedule(...)",
+        "timeline": _rounds(latency, latency * 1.05, latency * 1.1),
+    }}
+
+
+def _write_run(store, latency=1e-6, seed=0, name="tune-g"):
+    writer = store.create(
+        name, machine="intel_cpu", seed=seed, workload="tune:g",
+        config={"budget": 96},
+    )
+    return writer.finish(_fake_trace(seed), _fake_tasks(latency))
+
+
+def test_run_id_is_sortable_and_sluggy():
+    rid = new_run_id("tune gmm/16")
+    assert "/" not in rid and " " not in rid
+    assert rid.split("-", 1)[0].startswith("20")
+
+
+def test_runstore_round_trip(tmp_path):
+    store = RunStore(str(tmp_path / "rs"))
+    rec = _write_run(store)
+    assert store.run_ids() == [rec.run_id]
+    again = store.load(rec.run_id)
+    assert again.manifest["machine"] == "intel_cpu"
+    assert again.manifest["git_sha"] == rec.manifest["git_sha"]
+    assert again.result["tasks"]["g"]["best_latency"] == 1e-6
+    assert "timeline" not in again.result["tasks"]["g"]  # lives in rounds.jsonl
+    assert [r["round"] for r in again.rounds] == [0, 1, 2]
+    assert again.metrics["propagation.conversions"] == 2
+    assert again.trace.meta.get("seed") == 0
+
+
+def test_runstore_resolves_prefix_and_latest(tmp_path):
+    store = RunStore(str(tmp_path / "rs"))
+    first = _write_run(store, name="aaa")
+    second = _write_run(store, name="zzz")
+    assert store.latest().run_id == max(first.run_id, second.run_id)
+    unique_prefix = first.run_id[:-1]
+    assert store.load(unique_prefix).run_id == first.run_id
+    with pytest.raises(FileNotFoundError):
+        store.load("nope")
+    with pytest.raises(FileNotFoundError):
+        store.load(first.run_id.split("-")[0][:4])  # shared stamp prefix
+
+
+def test_run_summary_contents(tmp_path):
+    rec = _write_run(RunStore(str(tmp_path / "rs")))
+    s = rec.summary()
+    assert s["tasks"]["g"]["best_latency"] == 1e-6
+    assert s["tasks"]["g"]["noise_rel"] == pytest.approx(0.1)  # (1.1-1)/1
+    assert s["diagnostics"]["cost_model"]["overall"]["rank_accuracy"] == 1.0
+    assert s["diagnostics"]["propagation"]["conversions"] == 2
+    assert s["seed"] == 0 and s["machine"] == "intel_cpu"
+    json.dumps(s)
+
+
+def test_load_summary_resolution_forms(tmp_path):
+    root = str(tmp_path / "rs")
+    store = RunStore(root)
+    rec = _write_run(store)
+    by_dir = load_summary(rec.path)
+    by_id = load_summary(rec.run_id, store=root)
+    by_store = load_summary(root)  # whole store, merged
+    assert by_dir["run_id"] == by_id["run_id"] == rec.run_id
+    assert by_store["tasks"] == by_dir["tasks"]
+    # a committed summary JSON file resolves too
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps(by_dir))
+    assert load_summary(str(path))["run_id"] == rec.run_id
+    with pytest.raises(ValueError):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        load_summary(str(bad))
+    with pytest.raises(FileNotFoundError):
+        load_summary("missing-run")
+
+
+def test_merge_summaries_pools_calibration_counts(tmp_path):
+    store = RunStore(str(tmp_path / "rs"))
+    a = _write_run(store, name="one").summary()
+    b = _write_run(store, name="two").summary()
+    b["tasks"] = {"h": b["tasks"]["g"]}
+    merged = merge_summaries([a, b], source="rs")
+    assert sorted(merged["tasks"]) == ["g", "h"]
+    o = merged["diagnostics"]["cost_model"]["overall"]
+    assert o["pairs_total"] == 6  # 3 comparable pairs per run, pooled exactly
+    assert o["rank_accuracy"] == 1.0
+    with pytest.raises(ValueError):
+        merge_summaries([])
+
+
+# ---------------------------------------------------------------------------
+# CLI integration: tune --run-store, runs list/show/export/compare
+# ---------------------------------------------------------------------------
+
+TUNE_ARGS = ["tune", "gmm", "--size", "16", "--budget", "96", "--seed", "0",
+             "--no-measure-cache"]
+
+
+@pytest.fixture(scope="module")
+def seeded_store(tmp_path_factory):
+    """Two identical-seed tuning runs recorded into one store."""
+    root = str(tmp_path_factory.mktemp("registry") / "rs")
+    for _ in range(2):
+        assert main(TUNE_ARGS + ["--run-store", root]) == 0
+    store = RunStore(root)
+    ids = store.run_ids()
+    assert len(ids) == 2
+    return root, ids
+
+
+def test_cli_tune_records_run(seeded_store):
+    root, ids = seeded_store
+    rec = RunStore(root).load(ids[0])
+    assert rec.manifest["seed"] == 0
+    assert rec.manifest["workload"].startswith("tune:gmm")
+    assert rec.manifest["config"]["budget"] == 96
+    assert "gmm" in rec.result["tasks"]
+    # the trace rode along with attribution meta
+    assert rec.trace.meta.get("seed") == 0
+    assert rec.trace.meta.get("repro_version")
+
+
+def test_cli_runs_list_and_show(seeded_store, capsys):
+    root, ids = seeded_store
+    assert main(["runs", "list", root]) == 0
+    out = capsys.readouterr().out
+    for rid in ids:
+        assert rid in out
+    assert main(["runs", "show", "latest", "--store", root]) == 0
+    out = capsys.readouterr().out
+    assert "task gmm" in out
+    assert "search-quality diagnostics" in out
+    assert "rank accuracy" in out
+
+
+def test_cli_identical_seed_runs_compare_identical(seeded_store, tmp_path,
+                                                   capsys):
+    root, ids = seeded_store
+    out_path = str(tmp_path / "BENCH_compare.json")
+    rc = main(["runs", "compare", ids[0], ids[1], "--store", root,
+               "--out", out_path])
+    assert rc == 0
+    assert "verdict: IDENTICAL" in capsys.readouterr().out
+    with open(out_path) as f:
+        result = json.load(f)
+    assert result["verdict"] == "identical"
+    assert result["tasks"][0]["task"] == "gmm"
+    assert result["tasks"][0]["delta_rel"] == 0.0
+    assert result["rank_accuracy"]["baseline"] is not None
+    assert result["rank_accuracy"]["delta"] == 0.0
+    assert result["threshold"] == DEFAULT_THRESHOLD
+
+
+def test_cli_runs_export_and_gate_regression(seeded_store, tmp_path, capsys):
+    root, ids = seeded_store
+    baseline = str(tmp_path / "BENCH_baseline.json")
+    assert main(["runs", "export", ids[0], "--store", root,
+                 "--out", baseline]) == 0
+    capsys.readouterr()
+    # a doctored slower candidate must fail the gate with exit code 1
+    with open(baseline) as f:
+        worse = json.load(f)
+    worse["tasks"]["gmm"]["best_latency"] *= 2.0
+    worse_path = str(tmp_path / "worse.json")
+    with open(worse_path, "w") as f:
+        json.dump(worse, f)
+    rc = main(["runs", "compare", baseline, worse_path,
+               "--out", str(tmp_path / "cmp.json")])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "regressed" in out and "verdict: FAIL" in out
+    # and the committed-baseline direction passes against the live store
+    rc = main(["runs", "compare", baseline, root,
+               "--out", str(tmp_path / "cmp2.json")])
+    assert rc == 0
