@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Dict, List, Optional
 
@@ -41,13 +42,24 @@ from .obs.compare import (
 from .obs.diagnostics import render_diagnostics
 from .obs.log import log, setup_logging
 from .obs.render import timeline_report, trace_report
-from .obs.runstore import RunStore, load_summary, task_result_dict, trace_meta
+from .obs.runstore import (
+    STATUS_COMPLETED,
+    RunRecord,
+    RunStore,
+    RunWriter,
+    is_run_dir,
+    load_summary,
+    task_result_dict,
+    trace_meta,
+)
 from .obs.trace import Trace, load_trace
 from .ops.conv import conv1d, conv2d, conv3d, depthwise_conv2d
 from .ops.gemm import gemm
 from .pipeline import CompileOptions, compile_graph
 from .report import full_report
 from .tuning.baselines import BASELINE_TUNERS, tune_alt
+from .tuning.checkpoint import CheckpointError, CheckpointManager, load_checkpoint
+from .tuning.faults import FaultPlan
 from .tuning.measurer import MeasureOptions
 
 
@@ -107,6 +119,13 @@ def _measure_options(args) -> MeasureOptions:
         opts.cache_dir = args.measure_cache_dir
     if args.measure_timeout is not None:
         opts.timeout_s = args.measure_timeout if args.measure_timeout > 0 else None
+    spec = getattr(args, "inject_faults", None)
+    if spec:
+        try:
+            opts.fault_plan = FaultPlan.parse(spec)
+        except ValueError as exc:
+            raise SystemExit(f"--inject-faults: {exc}") from exc
+        log.warning("fault injection active: %s", opts.fault_plan.describe())
     return opts
 
 
@@ -126,47 +145,123 @@ def _finish_trace(trace: Optional[Trace], args) -> None:
                  len(trace.events))
 
 
-def _record_run(args, trace, name, workload, tasks, model=None) -> None:
-    """Persist a run directory when ``--run-store`` was given."""
-    if getattr(args, "run_store", None) is None:
-        return
-    store = RunStore(args.run_store)
-    config = {
+def _run_config(args) -> Dict:
+    """The CLI invocation as recorded in the run manifest (and restored
+    verbatim by ``--resume``)."""
+    return {
         k: v for k, v in sorted(vars(args).items())
         if k not in ("fn", "verbose", "quiet") and v is not None
         and not callable(v)
     }
+
+
+def _make_writer(args, name, workload) -> Optional[RunWriter]:
+    """Open a run directory (``status: running``) when ``--run-store`` was
+    given; the caller must close it with ``finish``/``fail``."""
+    if getattr(args, "run_store", None) is None:
+        return None
+    store = RunStore(args.run_store)
     writer = store.create(
         name, machine=args.machine, seed=getattr(args, "seed", None),
-        workload=workload, config=config,
+        workload=workload, config=_run_config(args),
     )
-    record = writer.finish(trace, tasks, model=model)
-    print(f"run recorded: {record.run_id} ({record.path})")
+    return writer.begin()
+
+
+def _resume_run(args):
+    """Resolve ``--resume``: reopen the run directory, restore its recorded
+    CLI config into ``args`` and load the tuner checkpoint payload."""
+    ref = args.resume
+    if os.path.isdir(ref) and is_run_dir(ref):
+        rec = RunRecord(ref)
+    elif getattr(args, "run_store", None):
+        try:
+            rec = RunStore(args.run_store).load(ref)
+        except FileNotFoundError as exc:
+            raise SystemExit(str(exc)) from exc
+    else:
+        raise SystemExit(
+            f"--resume: {ref!r} is not a run directory "
+            "(pass a run dir, or a run id with --run-store)"
+        )
+    if rec.status == STATUS_COMPLETED:
+        raise SystemExit(
+            f"run {rec.run_id} already completed; refusing to resume "
+            "(start a fresh run instead)"
+        )
+    config = rec.manifest.get("config") or {}
+    if config.get("tuner", "alt") != "alt":
+        raise SystemExit(
+            f"run {rec.run_id} used tuner {config.get('tuner')!r}; "
+            "only 'alt' runs checkpoint and resume"
+        )
+    try:
+        payload = load_checkpoint(rec.checkpoint_path)
+    except CheckpointError as exc:
+        raise SystemExit(f"cannot resume {rec.run_id}: {exc}") from exc
+    # the recorded invocation wins over whatever flags came with --resume:
+    # resumed-run determinism requires the original seed/budget/op
+    for key, value in config.items():
+        if hasattr(args, key) and key != "resume":
+            setattr(args, key, value)
+    args.run_store = os.path.dirname(rec.path)
+    manifest = dict(rec.manifest)
+    manifest["resumes"] = int(manifest.get("resumes") or 0) + 1
+    writer = RunWriter(rec.path, manifest)
+    writer.begin()
+    log.info("resuming run %s (resume #%d)", rec.run_id, manifest["resumes"])
+    return writer, payload
 
 
 def cmd_tune(args) -> int:
+    writer = None
+    restore = None
+    if getattr(args, "resume", None) is not None:
+        writer, restore = _resume_run(args)
+    if args.op is None:
+        raise SystemExit("operator is required (or pass --resume <run-dir>)")
     machine = get_machine(args.machine)
     comp = _single_op(args.op, args.channels, args.size)
     tuner = BASELINE_TUNERS.get(args.tuner, tune_alt)
     measure = _measure_options(args)
     trace = _make_trace(args, f"tune:{args.op}")
-    if args.tuner == "vendor":
-        result = tuner(comp, machine, measure=measure, trace=trace)
-    else:
-        result = tuner(
-            comp, machine, budget=args.budget, seed=args.seed, measure=measure,
-            trace=trace,
-        )
-    _finish_trace(trace, args)
-    if trace is not None:
-        _record_run(
-            args, trace, f"tune-{args.op}",
+    if writer is None:
+        writer = _make_writer(
+            args, f"tune-{args.op}",
             workload=(
                 f"tune:{args.op}:ch{args.channels}:s{args.size}:"
                 f"{args.tuner}:b{args.budget}:{machine.name}"
             ),
-            tasks={comp.name: task_result_dict(result)},
         )
+    checkpoint = None
+    if writer is not None and args.tuner == "alt":
+        checkpoint = CheckpointManager(
+            writer.checkpoint_path, every=max(args.checkpoint_every, 1)
+        )
+    try:
+        if args.tuner == "vendor":
+            result = tuner(comp, machine, measure=measure, trace=trace)
+        elif args.tuner == "alt":
+            result = tune_alt(
+                comp, machine, budget=args.budget, seed=args.seed,
+                measure=measure, trace=trace, checkpoint=checkpoint,
+                restore=restore,
+            )
+        else:
+            result = tuner(
+                comp, machine, budget=args.budget, seed=args.seed,
+                measure=measure, trace=trace,
+            )
+    except BaseException as exc:
+        if writer is not None:
+            writer.fail(repr(exc))
+        raise
+    _finish_trace(trace, args)
+    if writer is not None:
+        record = writer.finish(
+            trace, tasks={comp.name: task_result_dict(result)}
+        )
+        print(f"run recorded: {record.run_id} ({record.path})")
     print(f"operator {args.op} on {machine.name} via {args.tuner}:")
     print(f"  best latency: {result.best_latency * 1e3:.4f} ms "
           f"({result.measurements} simulated measurements)")
@@ -193,25 +288,33 @@ def cmd_compile(args) -> int:
         )
     graph = builder(args)
     trace = _make_trace(args, f"compile:{args.model}")
-    model = compile_graph(
-        graph,
-        machine,
-        CompileOptions(
-            mode=args.mode,
-            total_budget=args.budget,
-            seed=args.seed,
-            measure=_measure_options(args),
-            trace=trace,
+    writer = _make_writer(
+        args, f"compile-{args.model}",
+        workload=(
+            f"compile:{args.model}:{args.mode}:b{args.budget}:"
+            f"batch{args.batch}:{machine.name}"
         ),
     )
-    _finish_trace(trace, args)
-    if trace is not None:
-        _record_run(
-            args, trace, f"compile-{args.model}",
-            workload=(
-                f"compile:{args.model}:{args.mode}:b{args.budget}:"
-                f"batch{args.batch}:{machine.name}"
+    try:
+        model = compile_graph(
+            graph,
+            machine,
+            CompileOptions(
+                mode=args.mode,
+                total_budget=args.budget,
+                seed=args.seed,
+                measure=_measure_options(args),
+                trace=trace,
             ),
+        )
+    except BaseException as exc:
+        if writer is not None:
+            writer.fail(repr(exc))
+        raise
+    _finish_trace(trace, args)
+    if writer is not None:
+        record = writer.finish(
+            trace,
             tasks={
                 name: task_result_dict(res)
                 for name, res in model.task_results.items()
@@ -224,6 +327,7 @@ def cmd_compile(args) -> int:
                 "fused_stages": len(model.fuse_groups),
             },
         )
+        print(f"run recorded: {record.run_id} ({record.path})")
     print(full_report(model, trace=trace))
     return 0
 
@@ -243,11 +347,18 @@ def cmd_runs_list(args) -> int:
         print(f"(no runs in {store.root})")
         return 0
     for rid in ids:
-        manifest = store.load(rid).manifest
+        rec = store.load(rid)
+        manifest = rec.manifest
+        status = rec.status
+        flag = ""
+        if status != STATUS_COMPLETED:
+            flag = ("  [interrupted -- resumable with `repro tune --resume`]"
+                    if rec.resumable else f"  [{status}]")
         print(
-            f"{rid}  machine={manifest.get('machine')} "
+            f"{rid}  status={status} "
+            f"machine={manifest.get('machine')} "
             f"seed={manifest.get('seed')} "
-            f"workload={manifest.get('workload')}"
+            f"workload={manifest.get('workload')}{flag}"
         )
     return 0
 
@@ -360,9 +471,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist this run into a run-registry directory (manifest, "
              "trace, rounds, results; inspect with `python -m repro runs`)",
     )
+    measure_flags.add_argument(
+        "--inject-faults", default=None, metavar="SPEC",
+        help="deterministic fault injection for chaos testing, e.g. "
+             "'seed=7,crash=0.02,timeout=0.01,oserror=0.04,hang=2' "
+             "(rates per evaluation; see repro.tuning.faults)",
+    )
 
     p = sub.add_parser("tune", help="tune one operator", parents=[measure_flags])
-    p.add_argument("op", choices=["c2d", "dep", "c1d", "c3d", "gmm"])
+    p.add_argument("op", nargs="?", default=None,
+                   choices=["c2d", "dep", "c1d", "c3d", "gmm"])
     p.add_argument("--machine", default="intel_cpu")
     p.add_argument("--tuner", default="alt",
                    choices=sorted(BASELINE_TUNERS) + ["alt"])
@@ -370,6 +488,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--channels", type=int, default=64)
     p.add_argument("--size", type=int, default=28)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--checkpoint-every", type=int, default=1, metavar="N",
+                   help="checkpoint cadence in tuner rounds when a run store "
+                        "is active (default: every round)")
+    p.add_argument("--resume", default=None, metavar="RUN",
+                   help="resume an interrupted run: a run directory, or a "
+                        "run id with --run-store; the recorded seed/budget/"
+                        "operator are restored from the manifest")
     p.set_defaults(fn=cmd_tune)
 
     p = sub.add_parser(

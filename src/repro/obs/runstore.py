@@ -44,6 +44,24 @@ TRACE_FILE = "trace.jsonl"
 ROUNDS_FILE = "rounds.jsonl"
 RESULT_FILE = "result.json"
 METRICS_FILE = "metrics.json"
+#: tuner state snapshot inside a run directory (see repro.tuning.checkpoint)
+CHECKPOINT_FILE = "checkpoint.pkl"
+
+#: run lifecycle states recorded in the manifest.  ``begin`` writes
+#: ``running``; exit flips it to ``completed``/``failed``.  A run that still
+#: says ``running`` after its process died was interrupted -- ``repro runs
+#: list`` flags it and ``repro tune --resume`` will pick it up.
+STATUS_RUNNING = "running"
+STATUS_COMPLETED = "completed"
+STATUS_FAILED = "failed"
+
+
+def _write_json(path: str, obj) -> None:
+    """Atomic write-then-rename so a crash never leaves a torn JSON file."""
+    tmp = path + ".tmp"
+    with open(tmp, "w") as f:
+        json.dump(obj, f, indent=2, sort_keys=True)
+    os.replace(tmp, path)
 
 
 # ---------------------------------------------------------------------------
@@ -110,11 +128,37 @@ def new_run_id(name: str) -> str:
 # ---------------------------------------------------------------------------
 
 class RunWriter:
-    """Half-open run directory; :meth:`finish` makes it durable."""
+    """Half-open run directory; :meth:`finish` makes it durable.
+
+    Lifecycle: :meth:`begin` stakes the directory out with a
+    ``status: running`` manifest (so an interrupted run leaves evidence and
+    a resumable directory), then exactly one of :meth:`finish` (flips to
+    ``completed``) or :meth:`fail` (flips to ``failed``) closes it.
+    """
 
     def __init__(self, path: str, manifest: Dict):
         self.path = path
         self.manifest = manifest
+
+    @property
+    def checkpoint_path(self) -> str:
+        """Where the tuner's periodic state snapshot lives for this run."""
+        return os.path.join(self.path, CHECKPOINT_FILE)
+
+    def begin(self) -> "RunWriter":
+        """Create the directory and persist the manifest as ``running``."""
+        os.makedirs(self.path, exist_ok=True)
+        self.manifest["status"] = STATUS_RUNNING
+        _write_json(os.path.join(self.path, MANIFEST_FILE), self.manifest)
+        return self
+
+    def fail(self, error: Optional[str] = None) -> None:
+        """Mark the run ``failed`` (the exception path of the CLI)."""
+        os.makedirs(self.path, exist_ok=True)
+        self.manifest["status"] = STATUS_FAILED
+        if error:
+            self.manifest["error"] = str(error)[:500]
+        _write_json(os.path.join(self.path, MANIFEST_FILE), self.manifest)
 
     def finish(
         self,
@@ -147,12 +191,12 @@ class RunWriter:
             },
             "model": model,
         }
-        with open(os.path.join(self.path, RESULT_FILE), "w") as f:
-            json.dump(result, f, indent=2, sort_keys=True)
-        with open(os.path.join(self.path, METRICS_FILE), "w") as f:
-            json.dump(trace.metrics.snapshot(), f, indent=2, sort_keys=True)
-        with open(os.path.join(self.path, MANIFEST_FILE), "w") as f:
-            json.dump(self.manifest, f, indent=2, sort_keys=True)
+        _write_json(os.path.join(self.path, RESULT_FILE), result)
+        _write_json(
+            os.path.join(self.path, METRICS_FILE), trace.metrics.snapshot()
+        )
+        self.manifest["status"] = STATUS_COMPLETED
+        _write_json(os.path.join(self.path, MANIFEST_FILE), self.manifest)
         log.info("run recorded: %s", self.path)
         return RunRecord(self.path)
 
@@ -203,6 +247,24 @@ class RunRecord:
         if self._manifest is None:
             self._manifest = self._json(MANIFEST_FILE)
         return self._manifest
+
+    @property
+    def status(self) -> str:
+        """Lifecycle state; manifests predating the field read as
+        ``completed`` (they were only written at successful exit)."""
+        return self.manifest.get("status", STATUS_COMPLETED)
+
+    @property
+    def checkpoint_path(self) -> str:
+        return os.path.join(self.path, CHECKPOINT_FILE)
+
+    @property
+    def resumable(self) -> bool:
+        """An interrupted run with a tuner snapshot to pick up from."""
+        return (
+            self.status != STATUS_COMPLETED
+            and os.path.isfile(self.checkpoint_path)
+        )
 
     @property
     def result(self) -> Dict:

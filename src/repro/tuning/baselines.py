@@ -89,6 +89,7 @@ def _loop_only(
             if lat < best[0]:
                 best = (lat, cfg, sched)
         sp.set(best_latency=task.best_latency, measurements=task.measurements)
+    task.measurer.publish_metrics()
     return TuneResult(
         task_name=task.comp.name,
         best_latency=task.best_latency,
@@ -203,6 +204,8 @@ def tune_alt(
     pretrained: Optional[Dict] = None,
     measure: Optional[MeasureOptions] = None,
     trace=None,
+    checkpoint=None,
+    restore: Optional[Dict] = None,
 ) -> TuneResult:
     """Full ALT: joint stage (30% of budget by default) + loop-only stage.
 
@@ -210,6 +213,11 @@ def tune_alt(
     assess even its anchor layouts; below that the joint stage is pure
     noise, so ALT degenerates gracefully to loop tuning on its packed
     anchor (the same predetermined layout the strongest baselines use).
+
+    ``checkpoint`` (a :class:`~.checkpoint.CheckpointManager`) enables
+    periodic state snapshots; ``restore`` resumes from a previously loaded
+    snapshot payload -- with the same seed and budget the resumed run
+    reproduces the uninterrupted run's result exactly.
     """
     task = TuningTask(
         comp, machine, budget, levels=levels, measure=measure, trace=trace
@@ -220,7 +228,10 @@ def tune_alt(
         searcher=searcher,
         use_cost_model=use_cost_model,
         pretrained=pretrained,
+        checkpoint=checkpoint,
     )
+    if restore is not None:
+        tuner.load_full_state(restore)
     joint_budget = int(budget * joint_fraction) if comp.is_complex else 0
     if budget < 48:
         joint_budget = 0
@@ -307,6 +318,7 @@ def vendor_library(
             except (LoweringError, ValueError):
                 continue
         task.measure_batch(batch)  # kernel variants evaluate concurrently
+    task.measurer.publish_metrics()
     return TuneResult(
         task_name=comp.name,
         best_latency=task.best_latency,

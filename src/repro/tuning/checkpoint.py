@@ -1,0 +1,119 @@
+"""Checkpoint/resume for tuning runs.
+
+A multi-hour tuning run must survive SIGKILL: the tuner periodically
+serializes its *complete* search state -- PPO actor/critic weights with
+their Adam moments and transition buffers, the cost model's training set
+and fitted forest, both RNG states, the task's budget/cache/best-record
+bookkeeping, the measurer telemetry and the joint/loop stage cursors --
+into the run-store directory, and ``repro tune --resume <run-dir>`` picks
+the search back up from the last snapshot.
+
+The invariant (enforced by tests) is that **recovery never changes
+results**: a checkpoint is only taken at an episode/refine boundary where
+the snapshot is consistent, and resuming discards whatever ran after it
+and re-executes deterministically from the restored RNG and task state --
+so a killed-and-resumed run produces a ``TuneResult`` bit-identical to the
+uninterrupted run, and checkpointing on vs. off changes nothing at all.
+
+Snapshots are pickles (exact float/tuple/object round-trip, unlike JSON)
+written atomically: serialize to ``<name>.tmp`` in the same directory,
+fsync, then ``os.replace`` -- a crash mid-write leaves the previous
+checkpoint intact.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Callable, Dict, Optional
+
+from ..obs.log import log
+
+#: bump when the snapshot layout changes incompatibly
+CHECKPOINT_VERSION = 1
+
+#: file name inside a run directory
+CHECKPOINT_NAME = "checkpoint.pkl"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint could not be loaded (missing, corrupt, wrong version)."""
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Write-then-rename so readers never observe a torn file."""
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as f:
+        f.write(data)
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, path)
+
+
+def save_checkpoint(path: str, payload: Dict) -> None:
+    """Atomically persist one snapshot (stamped with the schema version)."""
+    body = dict(payload)
+    body["version"] = CHECKPOINT_VERSION
+    atomic_write_bytes(path, pickle.dumps(body, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def load_checkpoint(path: str) -> Dict:
+    """Load and validate a snapshot; raises :class:`CheckpointError`."""
+    try:
+        with open(path, "rb") as f:
+            payload = pickle.load(f)
+    except FileNotFoundError:
+        raise CheckpointError(f"no checkpoint at {path}") from None
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError) as exc:
+        raise CheckpointError(f"unreadable checkpoint {path}: {exc}") from exc
+    version = payload.get("version") if isinstance(payload, dict) else None
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path} has version {version!r}, "
+            f"expected {CHECKPOINT_VERSION}"
+        )
+    return payload
+
+
+class CheckpointManager:
+    """Periodic checkpoint writer bound to one file.
+
+    ``every`` counts *checkpoint units* -- the tuner ticks once per joint
+    episode or loop refine slice, and every ``every``-th tick persists a
+    snapshot.  Units (not wall time) keep the write points deterministic,
+    which the resume tests rely on.  A final explicit :meth:`save` runs at
+    stage boundaries regardless of the cadence.
+    """
+
+    def __init__(self, path: str, every: int = 1):
+        if every < 1:
+            raise ValueError("checkpoint cadence must be >= 1")
+        self.path = path
+        self.every = every
+        self.saves = 0
+        self._ticks = 0
+
+    def tick(self, payload_fn: Callable[[], Dict]) -> bool:
+        """One unit of work finished; snapshot if the cadence says so."""
+        self._ticks += 1
+        if self._ticks % self.every:
+            return False
+        self.save(payload_fn())
+        return True
+
+    def save(self, payload: Dict) -> None:
+        try:
+            save_checkpoint(self.path, payload)
+            self.saves += 1
+        except (OSError, pickle.PickleError, AttributeError, TypeError) as exc:
+            # checkpointing accelerates recovery; it must never kill the
+            # run it is protecting
+            log.warning("checkpoint save to %s failed: %s", self.path, exc)
+
+    def load(self) -> Optional[Dict]:
+        try:
+            return load_checkpoint(self.path)
+        except CheckpointError:
+            return None

@@ -77,6 +77,25 @@ class CostModel:
     def n_samples(self) -> int:
         return len(self._y)
 
+    # -- exact checkpoint state ------------------------------------------------------
+    def full_state(self) -> dict:
+        """Training set, fitted forest and retrain cursors -- enough to
+        resume with bit-identical rankings and retrain timing."""
+        return {
+            "X": [x.copy() for x in self._X],
+            "y": list(self._y),
+            "model": self._model,
+            "since_retrain": self._since_retrain,
+            "generation": self._generation,
+        }
+
+    def load_full_state(self, state: dict) -> None:
+        self._X = [np.asarray(x) for x in state["X"]]
+        self._y = [float(v) for v in state["y"]]
+        self._model = state["model"]
+        self._since_retrain = int(state["since_retrain"])
+        self._generation = int(state["generation"])
+
     # -- inference ------------------------------------------------------------------
     def predict(self, stages: Sequence[Stage]) -> np.ndarray:
         """Throughput scores (higher = predicted faster)."""

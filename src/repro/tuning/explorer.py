@@ -31,6 +31,7 @@ from ..layout.layout import Layout
 from ..layout.primitives import LayoutError
 from ..loops.schedule import LoopSchedule
 from ..lower.lower import LoweringError
+from .checkpoint import CheckpointError, CheckpointManager
 from .cost_model import CostModel
 from .loop_space import LoopSpace
 from .ppo import PPOActor, SharedCritic, decode_actions, encode_space_state
@@ -49,6 +50,36 @@ def layout_label(layouts: Mapping[str, Layout]) -> str:
         return "identity"
     sig = repr(tuple(sorted((k, v.signature()) for k, v in layouts.items())))
     return hashlib.sha256(sig.encode("utf-8")).hexdigest()[:10]
+
+
+@dataclass
+class _SearchState:
+    """Complete cursor state of the two-stage search.
+
+    Everything the control flow of :class:`JointTuner` keeps between
+    episodes lives here (instead of in loop locals) so a checkpoint taken
+    at an episode or refine boundary is a *consistent* snapshot: restoring
+    it plus the RNG/task/model states re-enters the loops exactly where
+    they stopped.  ``anchor_queue`` is ``None`` before the joint stage
+    primed it (distinct from ``[]`` -- primed and fully consumed).
+    """
+
+    phase: str = "joint"  # "joint" | "loop"
+    #: (latency, layout_cfg, loop_cfg, layouts, schedule)
+    best: Tuple = (math.inf, None, None, None, None)
+    #: layout signature -> (latency, layout_cfg, seed_cfg, layouts)
+    candidates: Dict[Tuple, Tuple] = field(default_factory=dict)
+    anchor_queue: Optional[List[Config]] = None
+    anchor_sigs: set = field(default_factory=set)
+    episode: int = 0
+    proposals: int = 0
+    stalls: int = 0
+    joint_spent: int = 0
+    # loop-only stage cursors
+    loop_idx: int = 0
+    loop_refined: List[Tuple] = field(default_factory=list)
+    loop_spent: int = 0
+    winner_done: bool = False
 
 
 @dataclass
@@ -274,11 +305,15 @@ class JointTuner:
         use_cost_model: bool = True,
         pretrained: Optional[Dict] = None,
         loop_rounds_per_layout: int = 2,
+        checkpoint: Optional[CheckpointManager] = None,
     ):
         if searcher not in ("ppo", "random"):
             raise ValueError(f"unknown searcher {searcher!r}")
         self.task = task
         self.searcher = searcher
+        self.seed = seed
+        self.checkpoint = checkpoint
+        self.state = _SearchState()
         self.rng = random.Random(seed)
         self.nprng = np.random.default_rng(seed)
         self.loop_rounds_per_layout = loop_rounds_per_layout
@@ -308,7 +343,12 @@ class JointTuner:
 
     # -- public -----------------------------------------------------------------
     def tune(self, joint_budget: int, loop_budget: int) -> TuneResult:
-        """Run the joint stage then the loop-only stage."""
+        """Run the joint stage then the loop-only stage.
+
+        After :meth:`load_full_state` restored a checkpoint, the call picks
+        the search back up at the saved stage/episode instead of starting
+        over; same seed, same eventual result.
+        """
         task = self.task
         with task.trace.span(
             "tune_task",
@@ -316,12 +356,18 @@ class JointTuner:
             machine=task.machine.name,
             budget=(task.budget if task.budget is not None else -1),
         ) as sp:
-            best = self._joint_stage(joint_budget)
+            if self.state.phase == "joint":
+                best = self._joint_stage(joint_budget)
+            else:
+                best = self.state.best
             best = self._loop_only_stage(loop_budget, best)
             sp.set(
                 best_latency=task.best_latency,
                 measurements=task.measurements,
             )
+        # fold the per-task measure.* counters (incl. fault/recovery
+        # telemetry) into the run trace's registry for metrics.json
+        task.measurer.publish_metrics()
         lat, layout_cfg, loop_cfg, layouts, sched = best
         return TuneResult(
             task_name=self.task.comp.name,
@@ -346,27 +392,32 @@ class JointTuner:
             "joint_stage", task=self.task.comp.name, budget=budget
         ) as sp:
             best = self._run_joint(budget, sp)
+        # stage boundary: the tail PPO flush above is part of the joint
+        # stage's state, so the phase flip checkpoints *after* it
+        self.state.phase = "loop"
+        if self.checkpoint is not None:
+            self.checkpoint.save(self.full_state())
         return best
 
     def _run_joint(self, budget: int, sp):
         task = self.task
+        st = self.state
         layout_space = task.layout_space()
         metrics = task.trace.metrics
-        best = (math.inf, None, None, None, None)  # lat, layout_cfg, loop_cfg, layouts, sched
-        self._candidates: Dict[Tuple, Tuple] = {}
         if len(layout_space) == 0:
             # no layout space (simple op): everything goes to loop tuning
-            return best
+            return st.best
         self._loop_tuner.stage = "joint"
-        start = task.measurements
-        episode = 0
-        proposals = 0
-        stalls = 0
+        # on resume ``joint_spent`` rebuilds the stage's budget origin from
+        # the restored measurement count
+        start = task.measurements - st.joint_spent
         try:
-            while task.measurements - start < budget and stalls < 8:
+            while task.measurements - start < budget and st.stalls < 8:
                 before = task.measurements
-                layout_cfg, from_actor = self._propose_layout(layout_space, best[1])
-                proposals += 1
+                layout_cfg, from_actor = self._propose_layout(
+                    layout_space, st.best[1]
+                )
+                st.proposals += 1
                 metrics.counter("tuner.layouts_proposed").inc()
                 try:
                     layouts = task.layouts_from(layout_cfg)
@@ -401,12 +452,12 @@ class JointTuner:
                         layout_best = lat
                     if cfg is not None:
                         seed_cfg = cfg
-                    if lat < best[0]:
-                        best = (lat, layout_cfg, cfg, layouts, sched)
+                    if lat < st.best[0]:
+                        st.best = (lat, layout_cfg, cfg, layouts, sched)
                     sig = layout_space.signature(layout_cfg)
-                    prev = self._candidates.get(sig)
+                    prev = st.candidates.get(sig)
                     if prev is None or lat < prev[0]:
-                        self._candidates[sig] = (lat, layout_cfg, seed_cfg, layouts)
+                        st.candidates[sig] = (lat, layout_cfg, seed_cfg, layouts)
                 reward = (
                     -math.log2(layout_best) if math.isfinite(layout_best) else -60.0
                 )
@@ -420,18 +471,24 @@ class JointTuner:
                 )
                 if self.layout_actor is not None and from_actor:
                     self.layout_actor.record(reward)
-                    episode += 1
-                    if episode % 4 == 0:
+                    st.episode += 1
+                    if st.episode % 4 == 0:
                         self.layout_actor.update()
-                stalls = stalls + 1 if task.measurements == before else 0
+                st.stalls = st.stalls + 1 if task.measurements == before else 0
+                st.joint_spent = task.measurements - start
+                # episode boundary: every loop variable lives in ``st``, so
+                # this is a consistent point to snapshot
+                if self.checkpoint is not None:
+                    self.checkpoint.tick(self.full_state)
         finally:
             # flush the tail episodes (episode % 4 != 0) and any trajectory a
             # mid-walk BudgetExhausted left behind, so stale rewards cannot
             # leak into the loop-only stage's updates
             if self.layout_actor is not None:
                 self.layout_actor.update()
-            sp.set(proposals=proposals, spent=task.measurements - start)
-        return best
+            st.joint_spent = task.measurements - start
+            sp.set(proposals=st.proposals, spent=task.measurements - start)
+        return st.best
 
     def _loop_only_stage(self, budget: int, best):
         with self.task.trace.span(
@@ -448,17 +505,52 @@ class JointTuner:
         noisy (a handful of measurements each), so the runners-up keep a
         small share of the remaining budget before the winner takes all."""
         task = self.task
-        lat0, layout_cfg, loop_cfg, layouts, sched = best
-        candidates = getattr(self, "_candidates", {})
+        st = self.state
+        # finalist selection is a pure function of the restored candidate
+        # table, so a resumed run recomputes the identical list
+        finalists = self._select_finalists(budget, best)
+        start = task.measurements - st.loop_spent
+        # round 1: each finalist refines with an equal slice (~1/2 budget)
+        slice_budget = max(budget // (2 * len(finalists)), TOP_K)
+        while st.loop_idx < len(finalists):
+            lat_est, l_cfg, seed, lays = finalists[st.loop_idx]
+            result = self._refine(lays, seed, slice_budget, start, budget)
+            st.loop_refined.append((result[0], l_cfg, result[1], lays, result[2]))
+            if result[0] < best[0]:
+                best = (result[0], l_cfg, result[1], lays, result[2])
+            st.loop_idx += 1
+            st.loop_spent = task.measurements - start
+            st.best = best
+            if self.checkpoint is not None:
+                self.checkpoint.tick(self.full_state)
+        # round 2: the winner takes the rest
+        if not st.winner_done:
+            refined = sorted(st.loop_refined, key=lambda r: r[0])
+            lat_w, cfg_w, loop_w, lays_w, sched_w = refined[0]
+            remaining = budget - (task.measurements - start)
+            if remaining > 0:
+                result = self._refine(lays_w, loop_w, remaining, start, budget)
+                if result[0] < best[0]:
+                    best = (result[0], cfg_w, result[1], lays_w, result[2])
+            st.winner_done = True
+            st.loop_spent = task.measurements - start
+            st.best = best
+            if self.checkpoint is not None:
+                self.checkpoint.save(self.full_state())
+        return best
+
+    def _select_finalists(self, budget: int, best):
+        task = self.task
+        st = self.state
+        _, layout_cfg, loop_cfg, layouts, _ = best
         # how many layouts can afford a meaningful refinement slice
         k = max(1, min(3, budget // 48))
-        finalists = sorted(candidates.values(), key=lambda c: c[0])[:k]
+        finalists = sorted(st.candidates.values(), key=lambda c: c[0])[:k]
         # the best *anchor* (a predetermined prior-art layout) always stays
         # in contention: ALT's space contains the baselines' layouts, so its
         # result should never fall below theirs for lack of refinement
-        anchor_sigs = getattr(self, "_anchor_sigs", set())
         anchors = sorted(
-            (v for k, v in candidates.items() if k in anchor_sigs),
+            (v for sig, v in st.candidates.items() if sig in st.anchor_sigs),
             key=lambda c: c[0],
         )
         if (
@@ -478,25 +570,7 @@ class JointTuner:
             else:
                 layouts = {}
             finalists = [(math.inf, layout_cfg, loop_cfg, layouts)]
-
-        start = task.measurements
-        # round 1: each finalist refines with an equal slice (~1/2 budget)
-        slice_budget = max(budget // (2 * len(finalists)), TOP_K)
-        refined = []
-        for lat_est, l_cfg, seed, lays in finalists:
-            result = self._refine(lays, seed, slice_budget, start, budget)
-            refined.append((result[0], l_cfg, result[1], lays, result[2]))
-            if result[0] < best[0]:
-                best = (result[0], l_cfg, result[1], lays, result[2])
-        # round 2: the winner takes the rest
-        refined.sort(key=lambda r: r[0])
-        lat_w, cfg_w, loop_w, lays_w, sched_w = refined[0]
-        remaining = budget - (task.measurements - start)
-        if remaining > 0:
-            result = self._refine(lays_w, loop_w, remaining, start, budget)
-            if result[0] < best[0]:
-                best = (result[0], cfg_w, result[1], lays_w, result[2])
-        return best
+        return finalists
 
     def _refine(self, layouts, seed_cfg, slice_budget: int, start: int, budget: int):
         """Run loop rounds on one layout within the stage's global budget."""
@@ -523,24 +597,25 @@ class JointTuner:
     # -- layout proposals --------------------------------------------------------------
     def _propose_layout(self, space: ConfigSpace, incumbent: Optional[Config]):
         """Returns ``(config, from_actor)``."""
-        if not hasattr(self, "_anchor_queue"):
+        st = self.state
+        if st.anchor_queue is None:
             # The first episodes evaluate anchor layouts: the template
             # default (small channel tiles), a packed-channel
             # NCHWc-equivalent (what NeoCPU/Ansor predetermine) and a full
             # channel-last NHWO-equivalent.  All three are points of the
             # template space; the joint search then only has to *beat* the
             # prior art's predetermined choices.
-            self._anchor_queue = [
+            st.anchor_queue = [
                 space.default(),
                 self._packed_anchor(space, 16),
                 self._packed_anchor(space, None),
                 self._packed_anchor(space, 1),  # identity: NOHW / KN
             ]
-            self._anchor_sigs = {
-                space.signature(cfg) for cfg in self._anchor_queue
+            st.anchor_sigs = {
+                space.signature(cfg) for cfg in st.anchor_queue
             }
-        if self._anchor_queue:
-            return self._anchor_queue.pop(0), False
+        if st.anchor_queue:
+            return st.anchor_queue.pop(0), False
         if self.layout_actor is None:
             return space.sample(self.rng), False
         if self.rng.random() < 0.25:
@@ -550,6 +625,81 @@ class JointTuner:
         state = encode_space_state(space, incumbent)
         actions = self.layout_actor.act(state)
         return decode_actions(space, actions), True
+
+    # -- checkpoint state --------------------------------------------------------------
+    def full_state(self) -> Dict:
+        """Consistent snapshot of the entire search at a loop boundary.
+
+        Covers both RNG streams, the PPO nets with Adam moments and
+        unflushed transition buffers (the shared critic serialized once),
+        the cost model's training set and forest, the task's budget/cache/
+        history/timeline bookkeeping, the measurer telemetry and the
+        :class:`_SearchState` cursors.  The payload is pickled immediately
+        by the checkpoint writer; it holds live references, not copies.
+        """
+        return {
+            "task_name": self.task.comp.name,
+            "machine": self.task.machine.name,
+            "budget": self.task.budget,
+            "searcher": self.searcher,
+            "seed": self.seed,
+            "rng": self.rng.getstate(),
+            "nprng": self.nprng.bit_generator.state,
+            "cost_model": (
+                self.cost_model.full_state()
+                if self.cost_model is not None
+                else None
+            ),
+            "critic": (
+                self.layout_actor.critic.full_state()
+                if self.layout_actor is not None
+                else None
+            ),
+            "layout_actor": (
+                self.layout_actor.full_state()
+                if self.layout_actor is not None
+                else None
+            ),
+            "loop_actor": (
+                self.loop_actor.full_state()
+                if self.loop_actor is not None
+                else None
+            ),
+            "task": self.task.full_state(),
+            "search": self.state,
+        }
+
+    def load_full_state(self, payload: Dict) -> None:
+        """Restore a :meth:`full_state` snapshot in place.
+
+        Mutates the existing objects (nets, cost model, task) rather than
+        replacing them, so the :class:`LoopTuner`'s shared references stay
+        valid.  Raises :class:`CheckpointError` when the snapshot belongs
+        to a different task/seed/configuration -- resuming it here would
+        silently produce garbage.
+        """
+        for key, mine in (
+            ("task_name", self.task.comp.name),
+            ("machine", self.task.machine.name),
+            ("budget", self.task.budget),
+            ("searcher", self.searcher),
+            ("seed", self.seed),
+        ):
+            if payload.get(key) != mine:
+                raise CheckpointError(
+                    f"checkpoint {key} mismatch: saved "
+                    f"{payload.get(key)!r}, this run has {mine!r}"
+                )
+        self.rng.setstate(payload["rng"])
+        self.nprng.bit_generator.state = payload["nprng"]
+        if self.cost_model is not None and payload["cost_model"] is not None:
+            self.cost_model.load_full_state(payload["cost_model"])
+        if self.layout_actor is not None and payload["layout_actor"] is not None:
+            self.layout_actor.critic.load_full_state(payload["critic"])
+            self.layout_actor.load_full_state(payload["layout_actor"])
+            self.loop_actor.load_full_state(payload["loop_actor"])
+        self.task.load_full_state(payload["task"])
+        self.state = payload["search"]
 
     @staticmethod
     def _cfg_tag(cfg: Optional[Config]) -> str:

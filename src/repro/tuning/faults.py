@@ -1,0 +1,168 @@
+"""Deterministic fault-injection harness for the measurement engine.
+
+Real tuning runs die in mundane ways: a candidate program segfaults the
+worker, a kernel hangs past its timeout, the filesystem hiccups with a
+transient ``OSError``, a noisy machine returns a flaky latency.  The
+measurement engine is supposed to *survive* all of these (TVM/Ansor treat
+measurement failure as routine), so this module gives tests and the CI
+chaos job a way to inject exactly those failures, reproducibly.
+
+A :class:`FaultPlan` is a small frozen (picklable) value that travels into
+pool workers next to the candidate.  Every evaluation gets a monotonically
+increasing *evaluation index* from the measurer; the plan decides the fault
+for an index with a seeded hash, so
+
+- the decision is independent of evaluation order and worker identity,
+- the same ``(seed, index)`` always yields the same fault, and
+- a *retried* evaluation gets a fresh index, which is what makes injected
+  crashes transient: the retry usually heals, and a healed run is
+  bit-identical to a fault-free run (the evaluation itself is pure).
+
+Fault kinds
+-----------
+
+``crash``     the worker process dies abruptly (``os._exit``) -- the pool
+              surfaces ``BrokenProcessPool``; in-process (serial) execution
+              raises :class:`SimulatedCrash` instead.
+``timeout``   the evaluation hangs for ``hang_s`` -- the parent times out
+              and must kill the straggler; serially it raises
+              :class:`SimulatedTimeout`.
+``os_error``  a transient ``OSError`` (I/O hiccup), retryable.
+``flaky``     the latency is perturbed by up to ``flaky_rel`` -- the one
+              fault that *changes* values, so keep it out of determinism
+              gates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, fields
+from typing import Optional, Tuple
+
+CRASH = "crash"
+TIMEOUT = "timeout"
+OS_ERROR = "os_error"
+FLAKY = "flaky"
+
+FAULT_KINDS = (CRASH, TIMEOUT, OS_ERROR, FLAKY)
+
+
+class SimulatedCrash(RuntimeError):
+    """In-process stand-in for a worker dying mid-evaluation."""
+
+
+class SimulatedTimeout(TimeoutError):
+    """In-process stand-in for an evaluation hanging past its timeout."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded, order-independent fault assignment per evaluation index.
+
+    Rate fields are probabilities in ``[0, 1]`` drawn once per index (the
+    kinds are mutually exclusive; their sum should stay <= 1).  The
+    ``*_at`` tuples pin faults to explicit indices for targeted tests and
+    win over the random draw.  ``scope`` limits where faults fire:
+    ``"all"`` (default) injects into pool workers *and* the in-process
+    serial path; ``"workers"`` leaves serial execution clean, which is how
+    tests prove graceful degradation recovers real values.
+    """
+
+    seed: int = 0
+    crash: float = 0.0
+    timeout: float = 0.0
+    os_error: float = 0.0
+    flaky: float = 0.0
+    flaky_rel: float = 0.05
+    hang_s: float = 3600.0
+    scope: str = "all"  # "all" | "workers"
+    crash_at: Tuple[int, ...] = field(default=())
+    timeout_at: Tuple[int, ...] = field(default=())
+    os_error_at: Tuple[int, ...] = field(default=())
+
+    def __post_init__(self):
+        if self.scope not in ("all", "workers"):
+            raise ValueError(f"unknown fault scope {self.scope!r}")
+        for kind in (self.crash, self.timeout, self.os_error, self.flaky):
+            if not 0.0 <= kind <= 1.0:
+                raise ValueError("fault rates must be in [0, 1]")
+
+    # -- per-index decisions -------------------------------------------------
+    def _draw(self, index: int) -> float:
+        # explicit integer mixing (not hash()) so the draw is stable across
+        # processes and interpreter runs
+        return random.Random(self.seed * 1_000_003 + index).random()
+
+    def fault_at(self, index: int) -> Optional[str]:
+        """The fault (or ``None``) for evaluation ``index``; pure."""
+        if index in self.crash_at:
+            return CRASH
+        if index in self.timeout_at:
+            return TIMEOUT
+        if index in self.os_error_at:
+            return OS_ERROR
+        r = self._draw(index)
+        for kind, rate in (
+            (CRASH, self.crash),
+            (TIMEOUT, self.timeout),
+            (OS_ERROR, self.os_error),
+            (FLAKY, self.flaky),
+        ):
+            if r < rate:
+                return kind
+            r -= rate
+        return None
+
+    def flaky_factor(self, index: int) -> float:
+        """Multiplicative latency perturbation in ``1 +/- flaky_rel``."""
+        u = random.Random(self.seed * 1_000_003 + index + 1).random()
+        return 1.0 + self.flaky_rel * (2.0 * u - 1.0)
+
+    def applies_in_process(self) -> bool:
+        return self.scope == "all"
+
+    # -- CLI spec ------------------------------------------------------------
+    _ALIASES = {"oserror": "os_error", "hang": "hang_s"}
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Build a plan from ``key=value`` pairs, e.g.
+        ``"crash=0.02,timeout=0.01,os_error=0.05,seed=7,hang_s=30"``."""
+        kwargs = {}
+        valid = {f.name: f.type for f in fields(cls)}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(f"fault spec item {part!r} is not key=value")
+            key, _, value = part.partition("=")
+            key = cls._ALIASES.get(key.strip(), key.strip())
+            if key not in valid:
+                raise ValueError(
+                    f"unknown fault spec key {key!r} (valid: {sorted(valid)})"
+                )
+            if key == "scope":
+                kwargs[key] = value.strip()
+            elif key.endswith("_at"):
+                kwargs[key] = tuple(
+                    int(v) for v in value.split("+") if v.strip()
+                )
+            elif key == "seed":
+                kwargs[key] = int(value)
+            else:
+                kwargs[key] = float(value)
+        return cls(**kwargs)
+
+    def describe(self) -> str:
+        active = [
+            f"{k}={getattr(self, k)}"
+            for k in ("crash", "timeout", "os_error", "flaky")
+            if getattr(self, k) > 0
+        ]
+        active += [
+            f"{k}={v}" for k in ("crash_at", "timeout_at", "os_error_at")
+            if (v := getattr(self, k))
+        ]
+        body = ",".join(active) if active else "no-op"
+        return f"FaultPlan(seed={self.seed},{body},scope={self.scope})"

@@ -21,10 +21,20 @@ The :class:`Measurer` sits between the tuners and :class:`TuningTask`:
   operator fingerprint, the layout/schedule signatures and a hash of the
   latency-model sources, so repeated bench runs skip recomputation and
   model changes invalidate stale entries automatically.
-- Degradation is graceful: ``jobs <= 1`` or an unavailable pool falls back
-  to in-process serial execution, a worker crash yields an ``inf`` latency
-  for the affected candidates instead of aborting the run, and every pooled
-  candidate has a timeout.
+- Failure is routine, not fatal (the Ansor stance): a dead worker or a
+  ``BrokenProcessPool`` rebuilds the pool with bounded exponential backoff
+  and re-submits only the unfinished candidates; a candidate that keeps
+  failing is *quarantined* as a failed measurement (``inf`` latency) instead
+  of aborting the run; a per-candidate timeout kills-and-rebuilds the pool
+  so a hung straggler cannot occupy a worker slot; and when the pool keeps
+  dying the engine degrades to in-process serial execution for the rest of
+  the task.  Every recovery action is counted (``measure.retries``,
+  ``measure.quarantined``, ``measure.pool_rebuilds``, ``measure.degraded``,
+  ``measure.errors.<kind>``) and emitted as trace events.
+- Faults are injectable: a :class:`~repro.tuning.faults.FaultPlan` on
+  :class:`MeasureOptions` deterministically crashes/hangs/errors chosen
+  evaluations (in workers and/or in-process), which is how the tests and
+  the CI chaos job exercise every recovery path above.
 - Telemetry lives in a per-task :class:`~repro.obs.metrics.MetricsRegistry`
   (``measure.*`` counters, latency histogram, wall time from the tracer's
   ``measure_batch`` spans); :class:`MeasureStats` is a thin backward-compat
@@ -38,6 +48,9 @@ import hashlib
 import json
 import math
 import os
+import pickle
+import time
+from concurrent.futures import BrokenExecutor
 from concurrent.futures import TimeoutError as PoolTimeout
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
@@ -48,7 +61,9 @@ from ..loops.schedule import LoopSchedule
 from ..lower.lower import LoweringError, lower_compute
 from ..machine.latency import estimate_stage
 from ..machine.spec import MachineSpec
+from ..obs.log import log
 from ..obs.metrics import MetricsRegistry
+from .faults import FaultPlan, SimulatedCrash, SimulatedTimeout
 
 
 class BudgetExhausted(RuntimeError):
@@ -83,15 +98,36 @@ def _default_cache_dir() -> Optional[str]:
 class MeasureOptions:
     """Knobs for the measurement engine.
 
-    ``jobs``      worker processes (1 = in-process serial; env default
-                  ``REPRO_MEASURE_JOBS``)
-    ``cache_dir`` root of the persistent evaluation cache; ``None`` disables
-    ``timeout_s`` per-candidate timeout for pooled evaluations
+    ``jobs``        worker processes (1 = in-process serial; env default
+                    ``REPRO_MEASURE_JOBS``)
+    ``cache_dir``   root of the persistent evaluation cache; ``None``
+                    disables
+    ``timeout_s``   per-candidate timeout for pooled evaluations
+
+    Fault-tolerance knobs:
+
+    ``max_candidate_retries``  failed attempts a candidate gets beyond the
+                               first before it is quarantined with ``inf``
+    ``max_pool_rebuilds``      pool rebuilds per batch before the engine
+                               degrades to serial execution for the task
+    ``backoff_s``              base of the bounded exponential backoff
+                               slept before each pool rebuild
+    ``fault_plan``             optional deterministic fault injection (the
+                               disk cache is disabled under a plan so
+                               injected values never poison real runs)
     """
 
     jobs: int = field(default_factory=_default_jobs)
     cache_dir: Optional[str] = field(default_factory=_default_cache_dir)
     timeout_s: Optional[float] = 60.0
+    max_candidate_retries: int = 2
+    max_pool_rebuilds: int = 3
+    backoff_s: float = 0.05
+    fault_plan: Optional[FaultPlan] = None
+
+
+#: cap on a single rebuild backoff sleep, seconds
+_BACKOFF_CAP_S = 2.0
 
 
 #: registry counter names behind each ``MeasureStats`` field
@@ -106,6 +142,12 @@ _STAT_COUNTERS = (
     "timeouts",
     "pool_failures",
     "budget_consumed",
+    # fault-tolerance telemetry
+    "errors",  # all narrowed-exception events (per-kind: measure.errors.*)
+    "retries",  # candidate re-submissions after a failed attempt
+    "quarantined",  # candidates written off as failed (inf) after retries
+    "pool_rebuilds",  # pool kill + rebuild cycles
+    "degraded",  # 1 once the task fell back to serial for good
 )
 
 
@@ -206,6 +248,42 @@ def evaluate_candidate(
     return latency
 
 
+def evaluate_with_faults(
+    plan: FaultPlan,
+    index: int,
+    comp: ComputeDef,
+    machine: MachineSpec,
+    layouts: Mapping[str, Layout],
+    schedule: Optional[LoopSchedule],
+    in_worker: bool = True,
+) -> float:
+    """:func:`evaluate_candidate` behind the fault-injection harness.
+
+    Runs inside pool workers (``in_worker=True``, where a ``crash`` fault
+    really kills the process) or in the serial path (``in_worker=False``,
+    where crash/timeout become raisable stand-ins).  A retried evaluation
+    arrives with a fresh ``index``, so injected faults are transient unless
+    the plan pins them to explicit indices.
+    """
+    fault = plan.fault_at(index)
+    if fault is not None and (in_worker or plan.applies_in_process()):
+        if fault == "crash":
+            if in_worker:
+                os._exit(17)  # abrupt worker death -> BrokenProcessPool
+            raise SimulatedCrash(f"injected worker crash (evaluation {index})")
+        if fault == "timeout":
+            if in_worker:
+                time.sleep(plan.hang_s)  # hang; the parent times out first
+            else:
+                raise SimulatedTimeout(f"injected hang (evaluation {index})")
+        if fault == "os_error":
+            raise OSError(f"injected transient I/O error (evaluation {index})")
+    latency = evaluate_candidate(comp, machine, layouts, schedule)
+    if fault == "flaky" and math.isfinite(latency):
+        latency *= plan.flaky_factor(index)
+    return latency
+
+
 # ---------------------------------------------------------------------------
 # Shared process pools
 # ---------------------------------------------------------------------------
@@ -225,12 +303,27 @@ def _shared_pool(jobs: int):
 
 
 def _discard_pool(jobs: int) -> None:
+    """Drop a pool from the shared registry and kill its workers.
+
+    ``shutdown(wait=False)`` alone leaves a *hung* worker process running
+    forever (and a crashed pool's manager thread wedged), so stragglers are
+    terminated explicitly -- this is what frees the slot a timed-out
+    candidate would otherwise occupy for the rest of the run.
+    """
     pool = _POOLS.pop(jobs, None)
-    if pool is not None:
+    if pool is None:
+        return
+    procs = list((getattr(pool, "_processes", None) or {}).values())
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except (OSError, RuntimeError):
+        pass
+    for p in procs:
         try:
-            pool.shutdown(wait=False, cancel_futures=True)
-        except Exception:
-            pass
+            if p.is_alive():
+                p.terminate()
+        except (OSError, ValueError, AttributeError):
+            continue
 
 
 def shutdown_pools() -> None:
@@ -357,12 +450,47 @@ class Measurer:
         #: only carries spans/events so tasks never mix their counters
         self.metrics = MetricsRegistry()
         self.stats = MeasureStats(self.metrics)
-        self._pool_broken = False
+        #: sticky: the pool kept dying (or never came up) and this task now
+        #: runs serial for good
+        self._pool_degraded = False
+        #: evaluation counter feeding the fault plan (fresh index per
+        #: attempt is what makes injected faults transient)
+        self._eval_index = 0
+        # under fault injection the disk cache is disabled outright: a
+        # quarantined inf or a flaky latency must never be persisted where
+        # a later clean run would trust it
         self._disk: Optional[DiskCache] = (
             DiskCache(self.options.cache_dir, task.machine, task.comp)
-            if self.options.cache_dir
+            if self.options.cache_dir and self.options.fault_plan is None
             else None
         )
+
+    def restore_telemetry(self, registry: MetricsRegistry) -> None:
+        """Adopt a checkpointed metrics registry (resume path)."""
+        self.metrics = registry
+        self.stats = MeasureStats(registry)
+
+    # -- checkpoint state ---------------------------------------------------
+    def full_state(self) -> Dict:
+        """Telemetry registry plus the fault-plan evaluation cursor and the
+        sticky degradation flag (the payload is pickled immediately by the
+        checkpoint writer, so live references are safe)."""
+        return {
+            "metrics": self.metrics,
+            "eval_index": self._eval_index,
+            "degraded": self._pool_degraded,
+        }
+
+    def load_full_state(self, state: Dict) -> None:
+        self.restore_telemetry(state["metrics"])
+        self._eval_index = int(state["eval_index"])
+        self._pool_degraded = bool(state["degraded"])
+
+    def publish_metrics(self) -> None:
+        """Fold this task's ``measure.*`` counters into the run trace's
+        registry so run-level snapshots (``metrics.json``, the trace's
+        final record) carry the fault/recovery counts."""
+        self.task.trace.metrics.merge(self.metrics)
 
     # -- public API ---------------------------------------------------------
     def measure(self, layouts: Mapping[str, Layout], schedule: LoopSchedule) -> float:
@@ -470,58 +598,194 @@ class Measurer:
     def _evaluate(
         self, candidates: Sequence[Candidate], idxs: List[int]
     ) -> Dict[int, float]:
-        comp, machine = self.task.comp, self.task.machine
         out: Dict[int, float] = {}
+        pending = list(idxs)
         # a single candidate never amortizes pool round-trips
-        pool = self._pool() if len(idxs) > 1 else None
-        if pool is not None:
-            futures = []
-            try:
-                for i in idxs:
-                    lay, sched = candidates[i]
-                    futures.append(
-                        (i, pool.submit(evaluate_candidate, comp, machine, lay, sched))
+        if len(pending) > 1 and self.options.jobs > 1 and not self._pool_degraded:
+            pending = self._pool_evaluate(candidates, pending, out)
+        if pending:
+            self._serial_evaluate(candidates, pending, out)
+        return out
+
+    def _pool_evaluate(
+        self, candidates: Sequence[Candidate], pending: List[int],
+        out: Dict[int, float],
+    ) -> List[int]:
+        """Evaluate ``pending`` on the shared pool, healing as it goes.
+
+        Pool-level failures (``BrokenExecutor``, a timed-out straggler, a
+        submit that blows up) kill and rebuild the pool with bounded
+        exponential backoff and re-submit only the unfinished candidates;
+        in-worker failures on a healthy pool retry just that candidate.  A
+        candidate whose own attempts exceed ``max_candidate_retries`` is
+        quarantined with ``inf``; candidates merely caught behind a broken
+        pool re-pend without an attempt charged.  Returns whatever is left
+        for the serial path (non-empty only after the engine degraded).
+        """
+        comp, machine = self.task.comp, self.task.machine
+        attempts: Dict[int, int] = {}
+        rebuilds = 0
+        while pending:
+            pool = self._pool()
+            if pool is None:
+                return pending
+            submitted: List[Tuple[int, object]] = []
+            repend: List[int] = []
+            broken = False
+            for pos, i in enumerate(pending):
+                lay, sched = candidates[i]
+                try:
+                    submitted.append(
+                        (i, self._submit(pool, comp, machine, lay, sched))
                     )
-            except Exception:
-                # pool unavailable at submit time: serial fallback below
-                self._mark_pool_broken()
-                futures = []
-            for i, fut in futures:
-                if self._pool_broken:
-                    # an earlier crash poisoned the pool; this candidate's
-                    # result is an inf latency, not a lost run
-                    out[i] = math.inf
+                except (OSError, RuntimeError, pickle.PicklingError) as exc:
+                    # the pool died at submit time; nothing from here on was
+                    # accepted, so it all re-pends unpenalized
+                    self._note_error(exc, candidate=i, where="submit")
+                    repend = pending[pos:]
+                    broken = True
+                    break
+            next_pending: List[int] = []
+            for i, fut in submitted:
+                if broken:
+                    # an earlier failure poisoned the pool; don't block on
+                    # doomed futures -- re-pend without an attempt charged
+                    next_pending.append(i)
                     continue
                 try:
                     out[i] = fut.result(timeout=self.options.timeout_s)
                     self.metrics.counter("measure.pool_evaluations").inc()
-                except PoolTimeout:
+                    continue
+                except PoolTimeout as exc:
+                    # hung straggler: only killing the pool frees its slot
                     self.metrics.counter("measure.timeouts").inc()
-                    out[i] = math.inf
-                except Exception:
-                    self._mark_pool_broken()
-                    out[i] = math.inf
+                    self._note_error(exc, candidate=i, where="timeout")
+                    broken = True
+                except BrokenExecutor as exc:
+                    # worker death; the first future to observe it is the
+                    # likeliest culprit and carries the attempt
+                    self._note_error(exc, candidate=i, where="pool")
+                    broken = True
+                except (OSError, RuntimeError, pickle.PicklingError) as exc:
+                    # raised *inside* the worker: pool is healthy, the
+                    # candidate alone retries
+                    self._note_error(exc, candidate=i, where="worker")
+                attempts[i] = attempts.get(i, 0) + 1
+                if attempts[i] > self.options.max_candidate_retries:
+                    self._quarantine(i, out)
+                else:
+                    self.metrics.counter("measure.retries").inc()
+                    next_pending.append(i)
+            next_pending.extend(repend)
+            pending = next_pending
+            if broken:
+                self._mark_pool_broken()
+                rebuilds += 1
+                if rebuilds > self.options.max_pool_rebuilds:
+                    self._degrade()
+                    return pending
+                if pending:
+                    self.metrics.counter("measure.pool_rebuilds").inc()
+                    self._backoff(rebuilds)
+        return []
+
+    def _serial_evaluate(
+        self, candidates: Sequence[Candidate], idxs: List[int],
+        out: Dict[int, float],
+    ) -> None:
+        comp, machine = self.task.comp, self.task.machine
+        plan = self.options.fault_plan
         for i in idxs:
-            if i not in out:
-                lay, sched = candidates[i]
+            lay, sched = candidates[i]
+            if plan is None:
                 out[i] = evaluate_candidate(comp, machine, lay, sched)
                 self.metrics.counter("measure.serial_evaluations").inc()
-        return out
+                continue
+            for attempt in range(self.options.max_candidate_retries + 1):
+                try:
+                    out[i] = evaluate_with_faults(
+                        plan, self._next_eval_index(), comp, machine, lay,
+                        sched, in_worker=False,
+                    )
+                    self.metrics.counter("measure.serial_evaluations").inc()
+                    break
+                except (OSError, RuntimeError, TimeoutError) as exc:
+                    self._note_error(exc, candidate=i, where="serial")
+                    if attempt < self.options.max_candidate_retries:
+                        self.metrics.counter("measure.retries").inc()
+            else:
+                self._quarantine(i, out)
+
+    def _submit(self, pool, comp, machine, lay, sched):
+        plan = self.options.fault_plan
+        if plan is None:
+            return pool.submit(evaluate_candidate, comp, machine, lay, sched)
+        return pool.submit(
+            evaluate_with_faults, plan, self._next_eval_index(),
+            comp, machine, lay, sched, True,
+        )
 
     def _pool(self):
-        if self._pool_broken or self.options.jobs <= 1:
+        if self._pool_degraded or self.options.jobs <= 1:
             return None
         try:
             return _shared_pool(self.options.jobs)
-        except Exception:
-            self._mark_pool_broken()
+        except (OSError, RuntimeError) as exc:
+            # the pool never came up at all (fork failure, resource limits):
+            # nothing to rebuild, go serial for the rest of the task
+            self._note_error(exc, where="pool_create")
+            self.metrics.counter("measure.pool_failures").inc()
+            self._degrade()
             return None
 
     def _mark_pool_broken(self) -> None:
-        if not self._pool_broken:
-            self._pool_broken = True
-            self.metrics.counter("measure.pool_failures").inc()
+        """Kill the (possibly wedged) shared pool; a fresh one is built on
+        the next :meth:`_pool` call.  Not sticky -- transient breakage heals."""
+        self.metrics.counter("measure.pool_failures").inc()
         _discard_pool(self.options.jobs)
+
+    def _degrade(self) -> None:
+        if self._pool_degraded:
+            return
+        self._pool_degraded = True
+        self.metrics.counter("measure.degraded").inc()
+        self.task.trace.event("measure_degraded", task=self.task.comp.name)
+        log.warning(
+            "measure: pool for task %s kept failing; degrading to serial "
+            "execution",
+            self.task.comp.name,
+        )
+
+    def _backoff(self, rebuilds: int) -> None:
+        time.sleep(
+            min(self.options.backoff_s * 2 ** (rebuilds - 1), _BACKOFF_CAP_S)
+        )
+
+    def _next_eval_index(self) -> int:
+        i = self._eval_index
+        self._eval_index += 1
+        return i
+
+    def _quarantine(self, i: int, out: Dict[int, float]) -> None:
+        """Write a repeatedly-failing candidate off as a failed measurement
+        (``inf`` latency, the Ansor convention) instead of aborting."""
+        out[i] = math.inf
+        self.metrics.counter("measure.quarantined").inc()
+        self.task.trace.event(
+            "measure_quarantined", task=self.task.comp.name, candidate=i
+        )
+
+    def _note_error(
+        self, exc: BaseException, candidate: Optional[int] = None,
+        where: str = "",
+    ) -> None:
+        kind = type(exc).__name__
+        self.metrics.counter("measure.errors").inc()
+        self.metrics.counter(f"measure.errors.{kind}").inc()
+        self.task.trace.event(
+            "measure_error", task=self.task.comp.name, kind=kind, where=where,
+            candidate=candidate, message=str(exc)[:200],
+        )
 
     # -- disk-cache keys ----------------------------------------------------
     def _candidate_key(

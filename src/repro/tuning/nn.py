@@ -76,6 +76,25 @@ class MLP:
     def state_dict(self) -> List[np.ndarray]:
         return [p.copy() for p in self.params]
 
+    # -- exact checkpoint state ---------------------------------------------------
+    def full_state(self) -> dict:
+        """Everything needed to continue training bit-identically: the
+        parameters *and* the Adam moments/step (``state_dict`` alone would
+        silently reset the optimizer on resume)."""
+        return {
+            "params": [p.copy() for p in self.params],
+            "adam_m": [m.copy() for m in self._adam_m],
+            "adam_v": [v.copy() for v in self._adam_v],
+            "adam_t": self._adam_t,
+        }
+
+    def load_full_state(self, state: dict) -> None:
+        self.load_state_dict(state["params"])
+        self._adam_m = [np.asarray(m, dtype=np.float64).copy() for m in state["adam_m"]]
+        self._adam_v = [np.asarray(v, dtype=np.float64).copy() for v in state["adam_v"]]
+        self._adam_t = int(state["adam_t"])
+        self._cache = None
+
     def load_state_dict(self, params: List[np.ndarray]) -> None:
         if len(params) != len(self.params):
             raise ValueError("state dict size mismatch")

@@ -82,6 +82,12 @@ class SharedCritic:
     def value(self, state: np.ndarray) -> float:
         return float(self.net.forward(state[None, :])[0, 0])
 
+    def full_state(self) -> Dict:
+        return {"net": self.net.full_state()}
+
+    def load_full_state(self, state: Dict) -> None:
+        self.net.load_full_state(state["net"])
+
     def update(self, states: np.ndarray, targets: np.ndarray, lr: float = 3e-3) -> float:
         pred = self.net.forward(states)[:, 0]
         err = pred - targets
@@ -200,3 +206,25 @@ class PPOActor:
         self.net.load_state_dict(state["actor"])
         self.critic.net.load_state_dict(state["critic"])
         self.log_std = float(state["log_std"])
+
+    # -- exact checkpoint state ----------------------------------------------------
+    def full_state(self) -> Dict:
+        """Exact mid-run snapshot: network + Adam moments + the unflushed
+        transition buffer.  The shared critic is *not* included -- the
+        owner serializes it once so actors keep sharing it on restore."""
+        return {
+            "net": self.net.full_state(),
+            "log_std": self.log_std,
+            "buffer": [
+                (t.state.copy(), t.raw_action.copy(), t.logp, t.reward)
+                for t in self.buffer
+            ],
+        }
+
+    def load_full_state(self, state: Dict) -> None:
+        self.net.load_full_state(state["net"])
+        self.log_std = float(state["log_std"])
+        self.buffer = [
+            Transition(np.asarray(s), np.asarray(a), float(lp), float(r))
+            for s, a, lp, r in state["buffer"]
+        ]

@@ -109,6 +109,35 @@ class TuningTask:
     def _expansion_penalty(self, layouts: Mapping[str, Layout]) -> float:
         return expansion_penalty(self.comp, self.machine, layouts)
 
+    # -- checkpoint state -------------------------------------------------------------
+    def full_state(self) -> Dict:
+        """Budget/cache/best-record bookkeeping plus the per-round timeline
+        and the measurer's telemetry -- restoring it makes re-measured
+        signatures free again, which is what keeps a resumed run's budget
+        accounting identical to the uninterrupted run's."""
+        return {
+            "measurements": self.measurements,
+            "best_latency": self.best_latency,
+            "best_record": (
+                (dict(self.best_record[0]), self.best_record[1].copy())
+                if self.best_record is not None
+                else None
+            ),
+            "cache": dict(self._cache),
+            "history": list(self.history),
+            "timeline": [dict(r) for r in self.timeline.rounds],
+            "measurer": self.measurer.full_state(),
+        }
+
+    def load_full_state(self, state: Dict) -> None:
+        self.measurements = int(state["measurements"])
+        self.best_latency = state["best_latency"]
+        self.best_record = state["best_record"]
+        self._cache = dict(state["cache"])
+        self.history = list(state["history"])
+        self.timeline.rounds = [dict(r) for r in state["timeline"]]
+        self.measurer.load_full_state(state["measurer"])
+
     def remaining_budget(self) -> Optional[int]:
         if self.budget is None:
             return None

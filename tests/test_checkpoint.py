@@ -1,0 +1,274 @@
+"""Checkpoint/resume: atomic snapshots and the recovery invariant.
+
+The invariant under test (see ``repro.tuning.checkpoint``): recovery never
+changes results.  Checkpointing on vs. off is bit-identical, and a run
+killed at an arbitrary snapshot boundary and resumed from disk reproduces
+the uninterrupted run's ``TuneResult`` exactly.
+"""
+
+import json
+import os
+import pickle
+
+import pytest
+
+from repro.cli import _single_op, main as cli_main
+from repro.ir.tensor import Tensor
+from repro.machine.spec import get_machine
+from repro.obs.runstore import (
+    STATUS_COMPLETED,
+    STATUS_RUNNING,
+    RunRecord,
+    RunStore,
+)
+from repro.ops.conv import conv2d
+from repro.tuning.baselines import tune_alt
+from repro.tuning.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    CheckpointManager,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.tuning.measurer import MeasureOptions
+
+MACHINE = get_machine("intel_cpu")
+
+
+def small_conv():
+    inp = Tensor("I", (1, 8, 12, 12))
+    ker = Tensor("K", (8, 8, 3, 3))
+    return conv2d(inp, ker, name="c")
+
+
+def mo():
+    return MeasureOptions(jobs=1, cache_dir=None)
+
+
+def fingerprint(result):
+    """Everything observable about a TuneResult except wall-clock noise."""
+    telemetry = dict(result.telemetry or {})
+    telemetry.pop("wall_time_s", None)
+    return (
+        result.best_latency,
+        result.measurements,
+        tuple(result.history),
+        result.best_layout_config,
+        result.best_loop_config,
+        tuple(sorted(telemetry.items())),
+        tuple(
+            (d["round"], d["stage"], d["best_so_far"], d["measurements"])
+            for d in result.timeline
+        ),
+    )
+
+
+class Killer(Exception):
+    """Stands in for SIGKILL right after a snapshot hits disk."""
+
+
+class KillingManager(CheckpointManager):
+    def __init__(self, path, every=1, die_after=3):
+        super().__init__(path, every)
+        self.die_after = die_after
+
+    def save(self, payload):
+        super().save(payload)
+        if self.saves >= self.die_after:
+            raise Killer()
+
+
+# ---------------------------------------------------------------------------
+# Snapshot file + manager mechanics
+# ---------------------------------------------------------------------------
+
+class TestCheckpointFile:
+    def test_round_trip_and_no_tmp_left_behind(self, tmp_path):
+        path = str(tmp_path / "ck.pkl")
+        save_checkpoint(path, {"rng": (1, 2, 3)})
+        back = load_checkpoint(path)
+        assert back["rng"] == (1, 2, 3)
+        assert back["version"] == CHECKPOINT_VERSION
+        assert not os.path.exists(path + ".tmp")
+
+    def test_missing_and_corrupt_raise(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(tmp_path / "nope.pkl"))
+        bad = tmp_path / "torn.pkl"
+        bad.write_bytes(b"\x80\x05 torn mid-write")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(bad))
+
+    def test_version_mismatch_raises(self, tmp_path):
+        path = tmp_path / "old.pkl"
+        path.write_bytes(pickle.dumps({"version": CHECKPOINT_VERSION + 1}))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(path))
+        path.write_bytes(pickle.dumps([1, 2]))  # not even a dict
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(path))
+
+
+class TestCheckpointManager:
+    def test_cadence_counts_units_not_time(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path / "ck.pkl"), every=3)
+        calls = []
+
+        def payload():
+            calls.append(1)
+            return {"n": len(calls)}
+
+        hits = [manager.tick(payload) for _ in range(7)]
+        assert hits == [False, False, True, False, False, True, False]
+        assert manager.saves == 2
+        assert len(calls) == 2  # payload built only when persisted
+        assert load_checkpoint(manager.path)["n"] == 2
+
+    def test_invalid_cadence_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointManager(str(tmp_path / "ck.pkl"), every=0)
+
+    def test_save_failure_never_raises(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path / "ck.pkl"))
+        manager.save({"oops": lambda: None})  # unpicklable
+        assert manager.saves == 0
+        assert manager.load() is None  # nothing (and nothing torn) on disk
+
+
+# ---------------------------------------------------------------------------
+# The recovery invariant
+# ---------------------------------------------------------------------------
+
+@pytest.mark.slow
+class TestRecoveryInvariant:
+    BUDGET = 96
+
+    def _base(self):
+        return tune_alt(
+            small_conv(), MACHINE, budget=self.BUDGET, seed=0, measure=mo()
+        )
+
+    def test_checkpointing_changes_nothing(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path / "ck.pkl"), every=1)
+        with_ck = tune_alt(
+            small_conv(), MACHINE, budget=self.BUDGET, seed=0, measure=mo(),
+            checkpoint=manager,
+        )
+        assert manager.saves > 2  # joint episodes + refine slices + final
+        assert fingerprint(self._base()) == fingerprint(with_ck)
+
+    @pytest.mark.parametrize("die_after", [2, 6])
+    def test_killed_and_resumed_is_bit_identical(self, tmp_path, die_after):
+        path = str(tmp_path / "ck.pkl")
+        with pytest.raises(Killer):
+            tune_alt(
+                small_conv(), MACHINE, budget=self.BUDGET, seed=0,
+                measure=mo(),
+                checkpoint=KillingManager(path, die_after=die_after),
+            )
+        resumed = tune_alt(
+            small_conv(), MACHINE, budget=self.BUDGET, seed=0, measure=mo(),
+            checkpoint=CheckpointManager(path), restore=load_checkpoint(path),
+        )
+        assert fingerprint(self._base()) == fingerprint(resumed)
+
+    def test_restore_refuses_a_different_run(self, tmp_path):
+        path = str(tmp_path / "ck.pkl")
+        tune_alt(
+            small_conv(), MACHINE, budget=self.BUDGET, seed=0, measure=mo(),
+            checkpoint=CheckpointManager(path),
+        )
+        payload = load_checkpoint(path)
+        with pytest.raises(CheckpointError, match="seed"):
+            tune_alt(
+                small_conv(), MACHINE, budget=self.BUDGET, seed=1,
+                measure=mo(), restore=payload,
+            )
+
+
+# ---------------------------------------------------------------------------
+# CLI: interrupt -> flagged -> resume -> identical; chaos completes
+# ---------------------------------------------------------------------------
+
+TUNE_ARGS = ["tune", "gmm", "--size", "16", "--budget", "96", "--seed", "0",
+             "--no-measure-cache"]
+
+
+@pytest.mark.slow
+class TestCliResume:
+    def test_interrupted_run_resumes_to_identical_result(
+        self, tmp_path, capsys
+    ):
+        # 1. uninterrupted reference run
+        ref_store = str(tmp_path / "ref")
+        assert cli_main(TUNE_ARGS + ["--run-store", ref_store]) == 0
+        ref = RunStore(ref_store).latest()
+        assert ref.status == STATUS_COMPLETED
+
+        # 2. a completed run refuses to resume
+        with pytest.raises(SystemExit, match="refusing to resume"):
+            cli_main(["tune", "--resume", ref.path])
+
+        # 3. interrupt a same-config run right after its second snapshot
+        store = RunStore(str(tmp_path / "rs"))
+        writer = store.create(
+            "tune-gmm", machine=ref.manifest["machine"],
+            seed=ref.manifest["seed"], workload=ref.manifest["workload"],
+            config=dict(ref.manifest["config"]),
+        ).begin()
+        with pytest.raises(Killer):
+            tune_alt(
+                _single_op("gmm", 64, 16), MACHINE, budget=96, seed=0,
+                measure=MeasureOptions(cache_dir=None),
+                checkpoint=KillingManager(writer.checkpoint_path, die_after=2),
+            )
+        interrupted = RunRecord(writer.path)
+        assert interrupted.status == STATUS_RUNNING
+        assert interrupted.resumable
+
+        # 4. `runs list` flags it
+        capsys.readouterr()
+        assert cli_main(["runs", "list", store.root]) == 0
+        assert "interrupted" in capsys.readouterr().out
+
+        # 5. resume completes it with the reference result, exactly
+        assert cli_main(["tune", "--resume", writer.path]) == 0
+        resumed = RunRecord(writer.path)
+        assert resumed.status == STATUS_COMPLETED
+        assert resumed.manifest["resumes"] == 1
+
+        def tasks(rec):
+            out = {}
+            for name, t in rec.result["tasks"].items():
+                t = dict(t)
+                (t.get("telemetry") or {}).pop("wall_time_s", None)
+                out[name] = t
+            return out
+
+        assert tasks(resumed) == tasks(ref)
+
+    def test_resume_without_checkpoint_refuses(self, tmp_path):
+        store = RunStore(str(tmp_path / "rs"))
+        writer = store.create(
+            "tune-gmm", machine="intel_cpu", seed=0, workload="tune:gmm",
+            config={"op": "gmm", "tuner": "alt"},
+        ).begin()  # running, but no snapshot ever hit disk
+        with pytest.raises(SystemExit, match="no checkpoint"):
+            cli_main(["tune", "--resume", writer.path])
+
+    def test_chaos_run_completes_and_records_fault_counts(self, tmp_path):
+        store = str(tmp_path / "chaos")
+        assert cli_main(
+            TUNE_ARGS + [
+                "--run-store", store,
+                "--inject-faults", "seed=7,oserror=0.1,crash=0.02",
+            ]
+        ) == 0
+        rec = RunStore(store).latest()
+        assert rec.status == STATUS_COMPLETED
+        metrics = rec.metrics
+        assert metrics.get("measure.errors", 0) > 0
+        assert metrics.get("measure.retries", 0) > 0
+        with open(os.path.join(rec.path, "result.json")) as f:
+            tasks = json.load(f)["tasks"]
+        assert tasks["gmm"]["telemetry"]["errors"] > 0

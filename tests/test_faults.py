@@ -1,0 +1,266 @@
+"""Fault-injection harness + the measurement engine's recovery paths.
+
+The determinism half pins down :class:`FaultPlan` (seeded, order-independent
+fault assignment, spec parsing); the recovery half drives the measurer
+through every healing path the harness can trigger -- transient retry,
+quarantine, pool kill/rebuild, straggler timeout, serial degradation -- and
+checks the telemetry counters that the CI chaos job asserts on.
+"""
+
+import math
+
+import pytest
+
+from repro.ir.tensor import Tensor
+from repro.machine.spec import get_machine
+from repro.ops.conv import conv2d
+from repro.tuning.faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    SimulatedCrash,
+    SimulatedTimeout,
+)
+from repro.tuning.measurer import (
+    MeasureOptions,
+    evaluate_candidate,
+    evaluate_with_faults,
+)
+from repro.tuning.task import TuningTask
+
+MACHINE = get_machine("intel_cpu")
+
+
+def small_conv():
+    inp = Tensor("I", (1, 8, 12, 12))
+    ker = Tensor("K", (8, 8, 3, 3))
+    return conv2d(inp, ker, name="c")
+
+
+def make_task(budget, **measure_kw):
+    measure_kw.setdefault("jobs", 1)
+    measure_kw.setdefault("cache_dir", None)
+    return TuningTask(
+        small_conv(), MACHINE, budget, measure=MeasureOptions(**measure_kw)
+    )
+
+
+def distinct_candidates(task, n):
+    loop_space = task.loop_space_for({})
+    out, seen = [], set()
+    for cfg in loop_space.heuristic_configs():
+        sched = loop_space.schedule(cfg)
+        sig = task._signature({}, sched)
+        if sig not in seen:
+            seen.add(sig)
+            out.append(({}, sched))
+    import random
+
+    rng = random.Random(0)
+    space = loop_space.space()
+    while len(out) < n:
+        sched = loop_space.schedule(space.sample(rng))
+        sig = task._signature({}, sched)
+        if sig not in seen:
+            seen.add(sig)
+            out.append(({}, sched))
+    return out[:n]
+
+
+class TestFaultPlan:
+    def test_fault_at_is_deterministic_and_order_independent(self):
+        plan = FaultPlan(seed=3, crash=0.1, timeout=0.1, os_error=0.2,
+                         flaky=0.1)
+        fwd = [plan.fault_at(i) for i in range(400)]
+        rev = [plan.fault_at(i) for i in reversed(range(400))]
+        assert fwd == list(reversed(rev))
+        # a reconstructed plan (what a pool worker unpickles) agrees
+        again = FaultPlan(seed=3, crash=0.1, timeout=0.1, os_error=0.2,
+                          flaky=0.1)
+        assert fwd == [again.fault_at(i) for i in range(400)]
+        for kind in FAULT_KINDS:
+            assert kind in fwd  # every kind fires at these rates
+
+    def test_rates_roughly_respected(self):
+        plan = FaultPlan(seed=0, os_error=0.25)
+        n = 2000
+        hits = sum(plan.fault_at(i) == "os_error" for i in range(n))
+        assert 0.18 * n < hits < 0.32 * n
+
+    def test_pinned_indices_win_over_rates(self):
+        plan = FaultPlan(seed=0, crash_at=(5,), timeout_at=(6,),
+                         os_error_at=(7,))
+        assert plan.fault_at(5) == "crash"
+        assert plan.fault_at(6) == "timeout"
+        assert plan.fault_at(7) == "os_error"
+        assert plan.fault_at(8) is None  # all rates zero
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(crash=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(os_error=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan(scope="sometimes")
+
+    def test_parse_spec(self):
+        plan = FaultPlan.parse(
+            "crash=0.02, timeout=0.01, oserror=0.04, seed=7, hang=2,"
+            "scope=workers, crash_at=1+3"
+        )
+        assert plan.seed == 7
+        assert plan.crash == 0.02
+        assert plan.os_error == 0.04  # alias
+        assert plan.hang_s == 2.0  # alias
+        assert plan.scope == "workers"
+        assert plan.crash_at == (1, 3)
+        assert not plan.applies_in_process()
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse("crash")
+        with pytest.raises(ValueError):
+            FaultPlan.parse("frobnicate=1")
+        with pytest.raises(ValueError):
+            FaultPlan.parse("crash=2.0")
+
+    def test_describe_names_active_faults(self):
+        assert "no-op" in FaultPlan().describe()
+        desc = FaultPlan(seed=7, crash=0.1, timeout_at=(3,)).describe()
+        assert "seed=7" in desc and "crash=0.1" in desc
+        assert "timeout_at=(3,)" in desc
+
+    def test_flaky_factor_bounded_and_deterministic(self):
+        plan = FaultPlan(seed=1, flaky=1.0, flaky_rel=0.05)
+        for i in range(100):
+            f = plan.flaky_factor(i)
+            assert 0.95 <= f <= 1.05
+            assert f == plan.flaky_factor(i)
+
+
+class TestEvaluateWithFaults:
+    COMP = small_conv()
+
+    def _candidate(self):
+        task = make_task(budget=4)
+        return distinct_candidates(task, 1)[0]
+
+    def test_in_process_faults_raise_standins(self):
+        lay, sched = self._candidate()
+        for plan, exc in (
+            (FaultPlan(crash_at=(0,)), SimulatedCrash),
+            (FaultPlan(timeout_at=(0,)), SimulatedTimeout),
+            (FaultPlan(os_error_at=(0,)), OSError),
+        ):
+            with pytest.raises(exc):
+                evaluate_with_faults(
+                    plan, 0, self.COMP, MACHINE, lay, sched, in_worker=False
+                )
+
+    def test_clean_index_matches_direct_evaluation(self):
+        lay, sched = self._candidate()
+        plan = FaultPlan(crash_at=(5,))
+        assert evaluate_with_faults(
+            plan, 0, self.COMP, MACHINE, lay, sched, in_worker=False
+        ) == evaluate_candidate(self.COMP, MACHINE, lay, sched)
+
+    def test_worker_scope_leaves_serial_clean(self):
+        lay, sched = self._candidate()
+        plan = FaultPlan(os_error_at=(0,), scope="workers")
+        assert evaluate_with_faults(
+            plan, 0, self.COMP, MACHINE, lay, sched, in_worker=False
+        ) == evaluate_candidate(self.COMP, MACHINE, lay, sched)
+
+    def test_flaky_perturbs_within_bounds(self):
+        lay, sched = self._candidate()
+        clean = evaluate_candidate(self.COMP, MACHINE, lay, sched)
+        plan = FaultPlan(seed=2, flaky=1.0, flaky_rel=0.1)
+        lat = evaluate_with_faults(
+            plan, 0, self.COMP, MACHINE, lay, sched, in_worker=False
+        )
+        assert lat != clean
+        assert abs(lat / clean - 1.0) <= 0.1
+
+
+class TestSerialRecovery:
+    def test_transient_fault_heals_on_retry(self):
+        # indices 0.. : the first attempt faults, the retry (fresh index)
+        # succeeds, and the healed value equals the fault-free one
+        clean_task = make_task(budget=4)
+        cands = distinct_candidates(clean_task, 2)
+        clean = clean_task.measure_batch(cands).latencies
+
+        task = make_task(budget=4, fault_plan=FaultPlan(os_error_at=(0,)))
+        assert task.measure_batch(cands).latencies == clean
+        stats = task.measurer.stats
+        assert stats.retries == 1
+        assert stats.quarantined == 0
+        assert stats.errors == 1
+        assert task.measurer.metrics.value("measure.errors.OSError") == 1
+
+    def test_persistent_fault_quarantines_not_aborts(self):
+        plan = FaultPlan(os_error=1.0)  # every evaluation fails
+        task = make_task(budget=8, fault_plan=plan, max_candidate_retries=2)
+        cands = distinct_candidates(task, 3)
+        batch = task.measure_batch(cands)
+        assert all(math.isinf(lat) for lat in batch.latencies)
+        stats = task.measurer.stats
+        assert stats.quarantined == 3
+        assert stats.retries == 3 * 2
+        assert stats.errors == 3 * 3  # every attempt errored
+        # the engine is still alive: a clean follow-up batch would work
+        assert task.measurements == 3
+
+    def test_simulated_crash_and_timeout_are_retryable(self):
+        clean_task = make_task(budget=4)
+        cands = distinct_candidates(clean_task, 2)
+        clean = clean_task.measure_batch(cands).latencies
+        plan = FaultPlan(crash_at=(0,), timeout_at=(2,))
+        task = make_task(budget=4, fault_plan=plan)
+        assert task.measure_batch(cands).latencies == clean
+        m = task.measurer.metrics
+        assert m.value("measure.errors.SimulatedCrash") == 1
+        assert m.value("measure.errors.SimulatedTimeout") == 1
+
+
+@pytest.mark.slow
+class TestPoolRecovery:
+    """Real process-pool faults: worker death, stragglers, degradation."""
+
+    def test_worker_crashes_rebuild_then_degrade_to_serial(self):
+        # every pooled evaluation kills its worker; the serial fallback is
+        # clean (scope="workers"), so the task still gets real values
+        plan = FaultPlan(crash=1.0, scope="workers")
+        task = make_task(
+            budget=6, jobs=2, fault_plan=plan, max_pool_rebuilds=1,
+            backoff_s=0.01, timeout_s=30.0,
+        )
+        cands = distinct_candidates(task, 4)
+        batch = task.measure_batch(cands)
+        assert all(math.isfinite(lat) for lat in batch.latencies)
+        stats = task.measurer.stats
+        assert stats.degraded == 1
+        assert stats.pool_failures >= 2  # every rebuild found a dead pool
+        assert stats.serial_evaluations == 4
+        assert task.measurer.metrics.value(
+            "measure.errors.BrokenProcessPool") >= 1
+        # degradation is sticky for the task: no more pool attempts
+        more = task.measure_batch(distinct_candidates(task, 6)[4:])
+        assert all(math.isfinite(lat) for lat in more.latencies)
+        assert stats.pool_evaluations == 0
+
+    def test_hung_straggler_is_killed_and_retried(self):
+        # evaluation 0 hangs far past the candidate timeout; the engine must
+        # kill the pool (freeing the slot), rebuild, and heal on retry
+        plan = FaultPlan(timeout_at=(0,), hang_s=60.0, scope="workers")
+        task = make_task(
+            budget=4, jobs=2, fault_plan=plan, timeout_s=0.5, backoff_s=0.01,
+        )
+        cands = distinct_candidates(task, 3)
+        clean_task = make_task(budget=4)
+        clean = clean_task.measure_batch(cands).latencies
+        assert task.measure_batch(cands).latencies == clean
+        stats = task.measurer.stats
+        assert stats.timeouts == 1
+        assert stats.pool_rebuilds == 1
+        assert stats.quarantined == 0
+        assert stats.degraded == 0

@@ -135,6 +135,8 @@ class TestParallelDeterminism:
         assert result.telemetry["pool_failures"] >= 1
 
     def test_worker_crash_becomes_inf_not_abort(self):
+        # every attempt raises in-worker -> each candidate retries up to
+        # max_candidate_retries then quarantines as inf; the run never aborts
         task = make_task(budget=8, measure=MeasureOptions(jobs=2, cache_dir=None))
         cands = distinct_candidates(task, 3)
 
@@ -150,8 +152,11 @@ class TestParallelDeterminism:
         batch = task.measure_batch(cands)
         assert len(batch.latencies) == 3
         assert all(lat == math.inf for lat in batch.latencies)
-        assert task.measurer.stats.pool_failures == 1
-        # the pool is poisoned; later batches go serial and still work
+        retries = task.measurer.options.max_candidate_retries
+        assert task.measurer.stats.retries == 3 * retries
+        assert task.measurer.stats.quarantined == 3
+        assert task.measurer.stats.errors == 3 * (retries + 1)
+        # quarantine is per-candidate; later batches still measure fine
         task.measurer._pool = lambda: None
         more = task.measure_batch(distinct_candidates(task, 5)[3:])
         assert all(math.isfinite(lat) for lat in more.latencies)
