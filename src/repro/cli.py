@@ -56,11 +56,16 @@ from .obs.trace import Trace, load_trace
 from .ops.conv import conv1d, conv2d, conv3d, depthwise_conv2d
 from .ops.gemm import gemm
 from .pipeline import CompileOptions, compile_graph
-from .report import full_report
+from .report import full_report, network_report
 from .tuning.baselines import BASELINE_TUNERS, tune_alt
 from .tuning.checkpoint import CheckpointError, CheckpointManager, load_checkpoint
 from .tuning.faults import FaultPlan
 from .tuning.measurer import MeasureOptions
+from .tuning.scheduler import (
+    NETWORK_CHECKPOINT_KIND,
+    SchedulerOptions,
+    tune_network,
+)
 
 
 def _single_op(kind: str, channels: int, size: int):
@@ -216,10 +221,31 @@ def _resume_run(args):
 def cmd_tune(args) -> int:
     writer = None
     restore = None
+    if args.op is not None and getattr(args, "model", None) is not None:
+        raise SystemExit(
+            "pass either an operator or --model <network>, not both"
+        )
     if getattr(args, "resume", None) is not None:
         writer, restore = _resume_run(args)
+    if restore is not None:
+        is_network = restore.get("kind") == NETWORK_CHECKPOINT_KIND
+        if is_network and not getattr(args, "model", None):
+            raise SystemExit(
+                "checkpoint belongs to a network tune but the recorded "
+                "config has no model; refusing to resume"
+            )
+        if not is_network and getattr(args, "model", None):
+            raise SystemExit(
+                "checkpoint belongs to a single-operator tune, not a "
+                "--model run; refusing to resume"
+            )
+    if getattr(args, "model", None) is not None:
+        return _tune_network_cmd(args, writer, restore)
     if args.op is None:
-        raise SystemExit("operator is required (or pass --resume <run-dir>)")
+        raise SystemExit(
+            "operator is required (or pass --model <network>, "
+            "or --resume <run-dir>)"
+        )
     machine = get_machine(args.machine)
     comp = _single_op(args.op, args.channels, args.size)
     tuner = BASELINE_TUNERS.get(args.tuner, tune_alt)
@@ -276,6 +302,81 @@ def cmd_tune(args) -> int:
         print(f"  {name:10s} {layout}")
     if result.best_schedule is not None:
         print(f"  schedule: {result.best_schedule}")
+    return 0
+
+
+def _tune_network_cmd(args, writer, restore) -> int:
+    """``repro tune --model <net>``: whole-network cross-task tuning."""
+    machine = get_machine(args.machine)
+    builder = _MODELS.get(args.model)
+    if builder is None:
+        raise SystemExit(
+            f"unknown model {args.model!r}; choose from {sorted(_MODELS)}"
+        )
+    if args.tuner != "alt":
+        raise SystemExit("--model tuning uses the alt tuner only")
+    measure = _measure_options(args)
+    trace = _make_trace(args, f"tune-net:{args.model}")
+    if writer is None:
+        writer = _make_writer(
+            args, f"tune-net-{args.model}",
+            workload=(
+                f"tune-net:{args.model}:b{args.budget}:batch{args.batch}:"
+                f"{machine.name}"
+            ),
+        )
+    checkpoint = None
+    if writer is not None:
+        checkpoint = CheckpointManager(
+            writer.checkpoint_path, every=max(args.checkpoint_every, 1)
+        )
+    options = SchedulerOptions(round_budget=args.round_budget)
+    try:
+        result = tune_network(
+            lambda: builder(args),
+            machine,
+            budget=args.budget,
+            seed=args.seed,
+            measure=measure,
+            trace=trace,
+            checkpoint=checkpoint,
+            restore=restore,
+            options=options,
+            verify=args.verify,
+        )
+    except BaseException as exc:
+        if writer is not None:
+            writer.fail(repr(exc))
+        raise
+    _finish_trace(trace, args)
+    if writer is not None:
+        record = writer.finish(
+            trace,
+            tasks={
+                name: task_result_dict(res)
+                for name, res in result.tasks.items()
+            },
+            model={
+                "graph": result.graph_name,
+                "mode": "alt-network",
+                "latency_s": result.network_latency_s,
+                "baseline_latency_s": result.baseline_latency_s,
+                "speedup": result.speedup,
+                "used_tuned": result.used_tuned,
+                "verified": result.verified,
+                "budget": result.budget,
+                "tasks": len(result.tasks),
+                "graph_nodes": result.n_nodes,
+                "complex_nodes": result.n_complex_nodes,
+                "n_conversions": getattr(result.model, "n_conversions", None),
+                "fused_stages": len(getattr(result.model, "fuse_groups", {})),
+            },
+            allocations=result.allocations,
+        )
+        print(f"run recorded: {record.run_id} ({record.path})")
+    print(network_report(result))
+    if result.verified is False:
+        return 1
     return 0
 
 
@@ -478,15 +579,33 @@ def build_parser() -> argparse.ArgumentParser:
              "(rates per evaluation; see repro.tuning.faults)",
     )
 
-    p = sub.add_parser("tune", help="tune one operator", parents=[measure_flags])
+    p = sub.add_parser(
+        "tune", help="tune one operator or a whole network (--model)",
+        parents=[measure_flags],
+    )
     p.add_argument("op", nargs="?", default=None,
                    choices=["c2d", "dep", "c1d", "c3d", "gmm"])
+    p.add_argument("--model", default=None, metavar="NET",
+                   help="tune a whole model-zoo network instead of one "
+                        "operator: deduplicated weighted tasks share the "
+                        "budget via the cross-task scheduler "
+                        f"(choose from {sorted(_MODELS)})")
     p.add_argument("--machine", default="intel_cpu")
     p.add_argument("--tuner", default="alt",
                    choices=sorted(BASELINE_TUNERS) + ["alt"])
     p.add_argument("--budget", type=int, default=200)
     p.add_argument("--channels", type=int, default=64)
     p.add_argument("--size", type=int, default=28)
+    p.add_argument("--batch", type=int, default=1)
+    p.add_argument("--image", type=int, default=64)
+    p.add_argument("--seq", type=int, default=32)
+    p.add_argument("--width", type=int, default=None)
+    p.add_argument("--round-budget", type=int, default=None, metavar="N",
+                   help="measurements per scheduler grant in --model runs "
+                        "(default: derived from budget and task count)")
+    p.add_argument("--verify", action="store_true",
+                   help="after a --model tune, execute the network and "
+                        "check outputs against the reference evaluator")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--checkpoint-every", type=int, default=1, metavar="N",
                    help="checkpoint cadence in tuner rounds when a run store "

@@ -138,6 +138,41 @@ def compare_summaries(
             row["status"] = "unchanged"
         rows.append(row)
 
+    # end-to-end network latency: compile and network-tune runs record a
+    # model-level latency; a regression there gates even when every shared
+    # per-task row survived (conversion/fusion overhead is network-level)
+    network: Optional[Dict] = None
+    b_model = base.get("model") or {}
+    c_model = cand.get("model") or {}
+    b_net = b_model.get("latency_s")
+    c_net = c_model.get("latency_s")
+    if (
+        isinstance(b_net, (int, float)) and isinstance(c_net, (int, float))
+        and b_net > 0 and c_net > 0
+        and math.isfinite(b_net) and math.isfinite(c_net)
+    ):
+        delta = c_net / b_net - 1.0
+        if b_net != c_net:
+            identical = False
+        if delta > threshold and (c_net - b_net) > ABS_NOISE_FLOOR_S:
+            status = "regressed"
+            failures.append(
+                f"network latency regressed {delta * 100:+.1f}% "
+                f"(tolerance {threshold * 100:.1f}%)"
+            )
+        elif delta < -threshold:
+            status = "improved"
+        else:
+            status = "unchanged"
+        network = {
+            "graph": c_model.get("graph") or b_model.get("graph"),
+            "base_latency": b_net,
+            "cand_latency": c_net,
+            "delta_rel": delta,
+            "tolerance": threshold,
+            "status": status,
+        }
+
     acc_base = _rank_accuracy(base)
     acc_cand = _rank_accuracy(cand)
     rank_delta = (
@@ -171,6 +206,7 @@ def compare_summaries(
         },
         "threshold": threshold,
         "tasks": rows,
+        "network": network,
         "geomean_latency_ratio": _geomean(ratios),
         "rank_accuracy": {
             "baseline": acc_base,
@@ -202,6 +238,14 @@ def render_compare(result: Dict) -> str:
         lines.append(
             f"  {row['task']:20s} {b_s:>12s} {c_s:>12s} {d_s:>8s} "
             f"{tol_s:>6s}  {row['status']}"
+        )
+    net = result.get("network")
+    if net is not None:
+        lines.append(
+            f"  network {net.get('graph') or '?'}: "
+            f"{net['base_latency'] * 1e3:.4f} ms -> "
+            f"{net['cand_latency'] * 1e3:.4f} ms "
+            f"({net['delta_rel'] * 100:+.1f}%)  {net['status']}"
         )
     gm = result.get("geomean_latency_ratio")
     if gm is not None:

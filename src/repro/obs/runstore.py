@@ -44,6 +44,9 @@ TRACE_FILE = "trace.jsonl"
 ROUNDS_FILE = "rounds.jsonl"
 RESULT_FILE = "result.json"
 METRICS_FILE = "metrics.json"
+#: cross-task scheduler grant log of a network tuning run (one JSON row per
+#: budget grant: phase, task, granted/consumed, gradient, best-so-far)
+ALLOCATIONS_FILE = "allocations.jsonl"
 #: tuner state snapshot inside a run directory (see repro.tuning.checkpoint)
 CHECKPOINT_FILE = "checkpoint.pkl"
 
@@ -165,14 +168,20 @@ class RunWriter:
         trace: Trace,
         tasks: Dict[str, Dict],
         model: Optional[Dict] = None,
+        allocations: Optional[List[Dict]] = None,
     ) -> "RunRecord":
         """Persist the run: manifest, trace, rounds, results, metrics.
 
         ``tasks`` maps task name -> result dict (``best_latency``,
         ``measurements``, optional ``telemetry``/``timeline``); ``model``
-        carries compile-level outcomes (end-to-end latency, conversions).
+        carries compile-level outcomes (end-to-end latency, conversions);
+        ``allocations`` is a network tune's budget-grant log.
         """
         os.makedirs(self.path, exist_ok=True)
+        if allocations is not None:
+            with open(os.path.join(self.path, ALLOCATIONS_FILE), "w") as f:
+                for row in allocations:
+                    f.write(json.dumps(row) + "\n")
         trace.save(os.path.join(self.path, TRACE_FILE))
         rounds: List[Dict] = []
         for name, res in tasks.items():
@@ -295,6 +304,24 @@ class RunRecord:
             except OSError:
                 pass
         return self._rounds
+
+    @property
+    def allocations(self) -> List[Dict]:
+        """Budget-grant log of a network tuning run ([] otherwise)."""
+        rows: List[Dict] = []
+        try:
+            with open(os.path.join(self.path, ALLOCATIONS_FILE)) as f:
+                for line in f:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        rows.append(json.loads(line))
+                    except ValueError:
+                        continue
+        except OSError:
+            pass
+        return rows
 
     @property
     def trace_path(self) -> str:

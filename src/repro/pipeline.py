@@ -397,6 +397,49 @@ def compile_graph(
     )
 
 
+def compile_untuned(
+    graph: Graph, machine: MachineSpec, trace: Optional[Trace] = None
+) -> CompiledModel:
+    """Lower a graph with identity layouts and default schedules.
+
+    The whole-network tuning baseline: no layout transformation, no search
+    -- every node gets :func:`default_schedule` on its natural loop nest,
+    elementwise fusion still applies (all signatures trivially align).
+    Does not mutate ``graph`` (no conversions are ever inserted).
+    """
+    trace = trace if trace is not None else NULL_TRACE
+    graph.validate()
+    with trace.span(
+        "compile_untuned", graph=graph.name, machine=machine.name
+    ) as sp:
+        layouts: Dict[str, Layout] = {}
+        fuse_groups = _assign_fuse_groups(graph, layouts)
+        schedules: Dict[str, LoopSchedule] = {}
+        stages: List[Stage] = []
+        for node in graph.nodes:
+            bare = lower_compute(node, layouts)
+            sched = default_schedule(bare, machine)
+            group = fuse_groups.get(node.name)
+            if group is not None:
+                sched.set_fuse_group(group)
+            schedules[node.name] = sched
+            stages.append(lower_compute(node, layouts, sched))
+        program = Program(stages, name=graph.name)
+        latency = estimate_program(program, machine)
+        sp.set(latency_s=latency)
+    return CompiledModel(
+        graph=graph,
+        program=program,
+        machine=machine,
+        latency_s=latency,
+        layouts=layouts,
+        schedules=schedules,
+        task_results={},
+        n_conversions=0,
+        fuse_groups=fuse_groups,
+    )
+
+
 def _assign_fuse_groups(
     graph: Graph, layouts: Mapping[str, Layout]
 ) -> Dict[str, str]:

@@ -96,6 +96,47 @@ def tuning_report(model: CompiledModel) -> str:
     return "\n".join(lines)
 
 
+def network_report(result) -> str:
+    """Human-readable summary of a whole-network tuning run.
+
+    ``result`` is a :class:`~repro.tuning.scheduler.NetworkTuneResult`:
+    the deduplicated task table with occurrence weights and the scheduler's
+    budget split, then the end-to-end latency against the untuned baseline.
+    """
+    lines = [
+        f"network tune of {result.graph_name} on {result.machine} "
+        f"(budget {result.budget}, seed {result.seed}):",
+        f"  {result.n_complex_nodes} complex operators deduplicated into "
+        f"{len(result.reports)} tasks ({result.n_nodes} graph nodes)",
+        f"  {'task':24s} {'weight':>6s} {'granted':>8s} {'spent':>6s} "
+        f"{'grants':>6s} {'best':>12s}",
+    ]
+    for r in sorted(result.reports, key=lambda r: -r.weight * r.best_latency):
+        lines.append(
+            f"  {r.name:24s} {r.weight:6d} {r.granted:8d} "
+            f"{r.measurements:6d} {r.grants:6d} {_fmt_us(r.best_latency):>12s}"
+        )
+    spent = sum(r.measurements for r in result.reports)
+    lines.append(f"  budget spent: {spent}/{result.budget} measurements "
+                 f"over {len(result.allocations)} grants")
+    lines.append(
+        f"  end-to-end: {result.network_latency_s * 1e3:.4f} ms tuned vs "
+        f"{result.baseline_latency_s * 1e3:.4f} ms untuned baseline "
+        f"({result.speedup:.2f}x)"
+    )
+    if not result.used_tuned:
+        lines.append(
+            "  note: tuned assembly lost to the baseline; the untuned "
+            "program was kept"
+        )
+    if result.verified is not None:
+        lines.append(
+            "  numerics vs reference: "
+            + ("OK" if result.verified else "MISMATCH")
+        )
+    return "\n".join(lines)
+
+
 def full_report(model: CompiledModel, trace=None) -> str:
     """Layout + stage-cost + tuning reports; pass the run's ``Trace`` to
     append the span flamegraph, per-task tuning timeline and the

@@ -342,12 +342,20 @@ class JointTuner:
             self.loop_actor.trace = task.trace
 
     # -- public -----------------------------------------------------------------
-    def tune(self, joint_budget: int, loop_budget: int) -> TuneResult:
+    def tune(
+        self, joint_budget: int, loop_budget: int, publish: bool = True
+    ) -> TuneResult:
         """Run the joint stage then the loop-only stage.
 
         After :meth:`load_full_state` restored a checkpoint, the call picks
         the search back up at the saved stage/episode instead of starting
         over; same seed, same eventual result.
+
+        ``publish=False`` defers folding the per-task ``measure.*`` counters
+        into the run trace's registry: the network scheduler keeps granting
+        more budget to the same tuner afterwards and publishes exactly once
+        per task at the end (the registry merge is additive, so publishing
+        per grant would double-count).
         """
         task = self.task
         with task.trace.span(
@@ -365,10 +373,44 @@ class JointTuner:
                 best_latency=task.best_latency,
                 measurements=task.measurements,
             )
-        # fold the per-task measure.* counters (incl. fault/recovery
-        # telemetry) into the run trace's registry for metrics.json
-        task.measurer.publish_metrics()
-        lat, layout_cfg, loop_cfg, layouts, sched = best
+        if publish:
+            # fold the per-task measure.* counters (incl. fault/recovery
+            # telemetry) into the run trace's registry for metrics.json
+            task.measurer.publish_metrics()
+        return self.result()
+
+    def refine_more(self, budget: int) -> TuneResult:
+        """Spend one more budget grant of loop-only refinement.
+
+        The cross-task scheduler's incremental entry point: after
+        :meth:`tune` consumed the task's first allocation, every further
+        grant continues the random-walk refinement of the incumbent best
+        layout from the saved search state (same RNG streams, cost model
+        and actors).  The caller must first raise ``task.budget`` by the
+        grant size; the work lands in the same ``_SearchState``/task
+        bookkeeping, so :meth:`full_state` checkpoints keep covering it.
+        """
+        task = self.task
+        st = self.state
+        _, layout_cfg, loop_cfg, layouts, _ = st.best
+        if layouts is None:
+            # nothing measured yet (degenerate first grant): refine from the
+            # best recorded point, or the identity layout as a last resort
+            layouts = dict(task.best_record[0]) if task.best_record else {}
+        with task.trace.span(
+            "refine_more", task=task.comp.name, budget=budget
+        ) as sp:
+            self._loop_tuner.stage = "loop"
+            start = task.measurements
+            lat, cfg, sched = self._refine(layouts, loop_cfg, budget, start, budget)
+            if lat < st.best[0]:
+                st.best = (lat, layout_cfg, cfg, layouts, sched)
+            sp.set(best_latency=task.best_latency, spent=task.measurements - start)
+        return self.result()
+
+    def result(self) -> TuneResult:
+        """Build a :class:`TuneResult` from the current search state."""
+        _, layout_cfg, loop_cfg, layouts, sched = self.state.best
         return TuneResult(
             task_name=self.task.comp.name,
             best_latency=self.task.best_latency,

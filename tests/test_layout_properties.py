@@ -1,0 +1,275 @@
+"""Property-based round-trip suite for layout primitives.
+
+Complements ``test_layout_primitives`` (hand-picked cases) with randomized
+coverage: seeded random logical shapes crossed with random primitive
+sequences, checking the algebra the paper's Section 4.1.2 relies on --
+
+- the inverse primitives really invert (``fold`` after ``unfold``,
+  ``unpad`` after ``pad``), restoring the exact dim stack;
+- ``fuse`` after ``split`` is a data-movement no-op (same physical bytes);
+- any legal chain round-trips through ``materialize``/``unmaterialize``
+  and its forward/inverse access expressions agree with the moved data;
+- single-operator programs lowered under random layout chains still match
+  the numpy reference (the executable form of the same guarantee).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.exec.reference import conv2d_ref
+from repro.exec.single_op import run_compute
+from repro.ir.expr import Var
+from repro.ir.tensor import Tensor
+from repro.layout.layout import Layout
+from repro.ops.gemm import gemm
+
+SETTINGS = dict(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+# ---------------------------------------------------------------------------
+# strategies: random shapes and random (legal) primitive chains
+
+
+@st.composite
+def logical_shapes(draw):
+    ndim = draw(st.integers(2, 4))
+    return tuple(draw(st.sampled_from([2, 3, 4, 6, 8])) for _ in range(ndim))
+
+
+def _apply_random_primitive(draw, lay: Layout, advanced=("pad", "unfold")) -> Layout:
+    """Extend ``lay`` by one randomly chosen legal primitive (or return it
+    unchanged when the drawn kind has no legal application)."""
+    kinds = ["split", "reorder", "fuse"] + list(advanced)
+    kind = draw(st.sampled_from(kinds))
+    dims = lay.dims
+    if kind == "split":
+        cands = [
+            (i, f)
+            for i, d in enumerate(dims)
+            for f in (2, 3)
+            if d.size % f == 0 and d.size // f > 1
+        ]
+        if not cands:
+            return lay
+        i, f = draw(st.sampled_from(cands))
+        return lay.split(i, [dims[i].size // f, f])
+    if kind == "reorder":
+        perm = draw(st.permutations(range(len(dims))))
+        return lay.reorder(list(perm))
+    if kind == "fuse":
+        if len(dims) < 2:
+            return lay
+        i = draw(st.integers(0, len(dims) - 2))
+        return lay.fuse([i, i + 1])
+    if kind == "pad":
+        i = draw(st.integers(0, len(dims) - 1))
+        before = draw(st.integers(0, 2))
+        after = draw(st.integers(0 if before else 1, 2))
+        return lay.pad(i, before, after)
+    # unfold: tile size <= dim size, any stride <= tile keeps it legal
+    cands = [i for i, d in enumerate(dims) if d.size >= 2]
+    if not cands:
+        return lay
+    i = draw(st.sampled_from(cands))
+    tile = draw(st.integers(2, min(4, dims[i].size)))
+    stride = draw(st.integers(1, tile))
+    return lay.unfold(i, tile, stride)
+
+
+@st.composite
+def random_layouts(draw, advanced=("pad", "unfold"), max_prims=5):
+    shape = draw(logical_shapes())
+    lay = Layout(shape)
+    for _ in range(draw(st.integers(0, max_prims))):
+        lay = _apply_random_primitive(draw, lay, advanced)
+    return lay
+
+
+def _roundtrip(lay: Layout, seed: int = 0) -> None:
+    """materialize/unmaterialize identity + access agreement with the data."""
+    rng = np.random.default_rng(seed)
+    arr = rng.standard_normal(lay.logical_shape)
+    phys = lay.materialize(arr)
+    assert phys.shape == lay.physical_shape()
+    assert np.array_equal(lay.unmaterialize(phys), arr)
+    # inverse access expressions agree with the moved bytes at sampled
+    # physical positions (forward accesses may be unfold-constrained, the
+    # inverse is total); a mask of ones identifies real data slots -- pad
+    # slots hold zeros and their inverse coordinates are meaningless
+    mask = lay.materialize(np.ones(lay.logical_shape))
+    pnames = [f"p{k}" for k in range(lay.ndim)]
+    inv = lay.inverse_access([Var(n) for n in pnames])
+    idx_rng = np.random.default_rng(seed + 1)
+    for _ in range(25):
+        physical = tuple(int(idx_rng.integers(0, s)) for s in lay.physical_shape())
+        if mask[physical] != 1.0:
+            assert phys[physical] == 0.0  # pad slot
+            continue
+        env = dict(zip(pnames, physical))
+        logical = tuple(e.evaluate(env) for e in inv)
+        assert all(0 <= v < s for v, s in zip(logical, lay.logical_shape))
+        assert phys[physical] == arr[logical]
+
+
+# ---------------------------------------------------------------------------
+# inverse-primitive identities
+
+
+@given(st.data())
+@settings(**SETTINGS)
+def test_fold_undoes_unfold(data):
+    lay = data.draw(random_layouts())
+    dims = lay.dims
+    cands = [i for i, d in enumerate(dims) if d.size >= 2]
+    if not cands:
+        return
+    i = data.draw(st.sampled_from(cands))
+    tile = data.draw(st.integers(2, min(4, dims[i].size)))
+    stride = data.draw(st.integers(1, tile))
+    back = lay.unfold(i, tile, stride).fold()
+    assert back.signature() == lay.signature()
+    assert back.physical_shape() == lay.physical_shape()
+    arr = np.random.default_rng(3).standard_normal(lay.logical_shape)
+    assert np.array_equal(back.materialize(arr), lay.materialize(arr))
+
+
+@given(st.data())
+@settings(**SETTINGS)
+def test_unpad_undoes_pad(data):
+    lay = data.draw(random_layouts())
+    i = data.draw(st.integers(0, lay.ndim - 1))
+    before = data.draw(st.integers(0, 2))
+    after = data.draw(st.integers(0 if before else 1, 2))
+    back = lay.pad(i, before, after).unpad()
+    assert back.signature() == lay.signature()
+    assert back.physical_shape() == lay.physical_shape()
+    arr = np.random.default_rng(4).standard_normal(lay.logical_shape)
+    assert np.array_equal(back.materialize(arr), lay.materialize(arr))
+
+
+@given(st.data())
+@settings(**SETTINGS)
+def test_fuse_undoes_split(data):
+    """Splitting a dim and fusing the two halves back moves no data: the
+    physical bytes (and the dim stack's sizes) match the unsplit layout."""
+    lay = data.draw(random_layouts())
+    dims = lay.dims
+    cands = [
+        (i, f)
+        for i, d in enumerate(dims)
+        for f in (2, 3)
+        if d.size % f == 0 and d.size // f > 1
+    ]
+    if not cands:
+        return
+    i, f = data.draw(st.sampled_from(cands))
+    back = lay.split(i, [dims[i].size // f, f]).fuse([i, i + 1])
+    assert back.physical_shape() == lay.physical_shape()
+    arr = np.random.default_rng(5).standard_normal(lay.logical_shape)
+    assert np.array_equal(back.materialize(arr), lay.materialize(arr))
+    assert np.array_equal(back.unmaterialize(back.materialize(arr)), arr)
+
+
+def test_inverse_on_wrong_primitive_rejected():
+    lay = Layout((4, 4)).split(0, [2, 2])
+    with pytest.raises(Exception, match="fold"):
+        lay.fold()
+    with pytest.raises(Exception, match="unpad"):
+        lay.unpad()
+
+
+# ---------------------------------------------------------------------------
+# random chains round-trip
+
+
+@given(random_layouts(), st.integers(0, 1000))
+@settings(**SETTINGS)
+def test_random_chain_roundtrip(lay, seed):
+    _roundtrip(lay, seed)
+
+
+@given(random_layouts(advanced=()), st.integers(0, 1000))
+@settings(**SETTINGS)
+def test_basic_chain_preserves_element_count(lay, seed):
+    """Basic primitives never copy or drop elements."""
+    n_logical = int(np.prod(lay.logical_shape))
+    n_physical = int(np.prod(lay.physical_shape()))
+    assert n_logical == n_physical
+    assert lay.expansion_ratio() == 1.0
+    _roundtrip(lay, seed)
+
+
+@given(random_layouts())
+@settings(**SETTINGS)
+def test_replay_onto_reproduces_chain(lay):
+    """The propagation copy (Algorithm 1 line 11) is signature-exact."""
+    copy = lay.replay_onto(Layout(lay.logical_shape, lay.logical_names))
+    assert copy.signature() == lay.signature()
+    assert copy.physical_shape() == lay.physical_shape()
+
+
+# ---------------------------------------------------------------------------
+# executable form: transformed single-op programs match the reference
+
+_G_RNG = np.random.default_rng(11)
+_A = _G_RNG.standard_normal((6, 8))
+_B = _G_RNG.standard_normal((8, 4))
+_GEMM_REF = _A @ _B
+
+_X = _G_RNG.standard_normal((1, 4, 8, 8))
+_K = _G_RNG.standard_normal((4, 4, 3, 3))
+_CONV_REF = conv2d_ref(_X, _K, 1)
+
+
+def _gemm():
+    return gemm(Tensor("A", (6, 8)), Tensor("B", (8, 4)), name="pg")
+
+
+@st.composite
+def tensor_layouts(draw, shape, advanced=("pad",), max_prims=3):
+    lay = Layout(shape)
+    for _ in range(draw(st.integers(0, max_prims))):
+        lay = _apply_random_primitive(draw, lay, advanced)
+    return lay
+
+
+@given(st.data())
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_random_layout_chains_preserve_gemm(data):
+    """Basic chains on every tensor; pad chains on the inputs (the lowering
+    rejects output pad by design: it would compute out-of-domain points).
+    Unfold is excluded here -- it is only legal on sliding-window accesses
+    and is covered by the template tests in test_transform_properties."""
+    comp = _gemm()
+    layouts = {
+        "pg.out": data.draw(tensor_layouts(comp.output.shape, advanced=())),
+        "A": data.draw(tensor_layouts((6, 8))),
+        "B": data.draw(tensor_layouts((8, 4))),
+    }
+    got = run_compute(comp, {"A": _A, "B": _B}, layouts)
+    assert np.allclose(got, _GEMM_REF)
+
+
+@given(st.data())
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_padded_layout_chains_preserve_conv(data):
+    """Pad (the alignment primitive) composes with basic chains on every
+    conv tensor without changing results."""
+    from repro.ops.conv import conv2d
+
+    comp = conv2d(Tensor("X", (1, 4, 8, 8)), Tensor("K", (4, 4, 3, 3)), name="pp")
+    layouts = {
+        "pp.out": data.draw(
+            tensor_layouts(comp.output.shape, advanced=(), max_prims=2)
+        ),
+        "X": data.draw(tensor_layouts((1, 4, 8, 8), max_prims=2)),
+        "K": data.draw(tensor_layouts((4, 4, 3, 3), max_prims=2)),
+    }
+    got = run_compute(comp, {"X": _X, "K": _K}, layouts)
+    assert np.allclose(got, _CONV_REF)

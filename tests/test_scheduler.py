@@ -1,0 +1,364 @@
+"""Cross-task scheduler: dedup, budget allocation, assembly, resume, CLI.
+
+The network tuner's contract (see ``repro.tuning.scheduler``):
+
+- repeated operators deduplicate into weighted tasks, deterministically;
+- the shared budget is never exceeded and is split *non-uniformly* by the
+  gradient allocator;
+- the emitted network schedule never loses to the untuned default-layout
+  baseline, and (``verify=True``) matches the numeric reference;
+- a killed-and-resumed network tune is bit-identical to an uninterrupted
+  one, through the library API and through ``repro tune --model``;
+- run summaries carry the network latency into the perf-gate comparator.
+"""
+
+import math
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.graph.builder import GraphBuilder
+from repro.machine.spec import get_machine
+from repro.obs.compare import compare_summaries
+from repro.obs.runstore import STATUS_COMPLETED, RunRecord, RunStore
+from repro.report import network_report
+from repro.tuning.checkpoint import (
+    CheckpointError,
+    CheckpointManager,
+    load_checkpoint,
+)
+from repro.tuning.measurer import MeasureOptions
+from repro.tuning.scheduler import (
+    SchedulerOptions,
+    extract_tasks,
+    tune_network,
+)
+
+MACHINE = get_machine("intel_cpu")
+
+
+def tiny_net():
+    """Two identical convs (one task, weight 2) plus a dense head."""
+    b = GraphBuilder("tinynet")
+    x = b.input((1, 4, 10, 10))
+    x = b.conv2d(x, 4, 3, pad=1)
+    x = b.relu(x)
+    x = b.conv2d(x, 4, 3, pad=1)
+    x = b.relu(x)
+    x = b.global_avg_pool(x)
+    x = b.dense(x, 8)
+    return b.build()
+
+
+def mo():
+    return MeasureOptions(jobs=1, cache_dir=None)
+
+
+def net_fingerprint(res):
+    """Everything observable about a NetworkTuneResult except wall clock."""
+    task_fp = {}
+    for name, t in res.tasks.items():
+        telemetry = dict(t.telemetry or {})
+        telemetry.pop("wall_time_s", None)
+        task_fp[name] = (
+            t.best_latency,
+            t.measurements,
+            tuple(t.history),
+            t.best_layout_config,
+            t.best_loop_config,
+            tuple(sorted(telemetry.items())),
+        )
+    return (
+        res.network_latency_s,
+        res.baseline_latency_s,
+        res.used_tuned,
+        tuple(
+            (
+                a["round"], a["phase"], a["task"], a["granted"],
+                a["consumed"], a["gradient"], a["best_latency"],
+            )
+            for a in res.allocations
+        ),
+        tuple(sorted(task_fp.items())),
+    )
+
+
+class Killer(Exception):
+    """Stands in for SIGKILL right after a snapshot hits disk."""
+
+
+class KillingManager(CheckpointManager):
+    def __init__(self, path, every=1, die_after=3):
+        super().__init__(path, every)
+        self.die_after = die_after
+
+    def save(self, payload):
+        super().save(payload)
+        if self.saves >= self.die_after:
+            raise Killer()
+
+
+# ---------------------------------------------------------------------------
+# task extraction
+# ---------------------------------------------------------------------------
+
+class TestExtractTasks:
+    def test_dedups_repeated_operators(self):
+        g = tiny_net()
+        tasks = extract_tasks(g)
+        assert len(tasks) < len(g.complex_nodes())
+        by_weight = {t.weight for t in tasks}
+        assert 2 in by_weight  # the repeated conv collapsed into one class
+        conv_task = next(t for t in tasks if t.weight == 2)
+        assert len(conv_task.node_names) == 2
+        assert conv_task.name == conv_task.node_names[0]
+        assert sum(t.weight for t in tasks) == len(g.complex_nodes())
+
+    def test_extraction_is_deterministic(self):
+        a = extract_tasks(tiny_net())
+        b = extract_tasks(tiny_net())
+        assert [(t.name, t.weight, t.node_names) for t in a] == [
+            (t.name, t.weight, t.node_names) for t in b
+        ]
+
+    def test_different_shapes_stay_separate(self):
+        b = GraphBuilder("g")
+        x = b.input((1, 4, 10, 10))
+        x = b.conv2d(x, 4, 3, pad=1)
+        x = b.conv2d(x, 8, 3, pad=1)  # different output channels
+        g = b.build()
+        tasks = extract_tasks(g)
+        assert len(tasks) == 2
+        assert all(t.weight == 1 for t in tasks)
+
+    def test_resnet_dedup_is_substantial(self):
+        from repro.graph.models import resnet18
+
+        g = resnet18(batch=1, image=32, width=4, num_classes=8)
+        tasks = extract_tasks(g)
+        assert len(tasks) < len(g.complex_nodes()) < len(g.nodes)
+
+
+# ---------------------------------------------------------------------------
+# allocation + assembly
+# ---------------------------------------------------------------------------
+
+class TestNetworkTune:
+    BUDGET = 160
+
+    def _run(self, **kw):
+        kw.setdefault("seed", 0)
+        kw.setdefault("measure", mo())
+        kw.setdefault("options", SchedulerOptions(round_budget=16))
+        return tune_network(tiny_net, MACHINE, self.BUDGET, **kw)
+
+    def test_completes_within_budget_and_beats_baseline(self):
+        res = self._run(verify=True)
+        spent = sum(r.measurements for r in res.reports)
+        granted = sum(r.granted for r in res.reports)
+        assert spent <= self.BUDGET
+        assert granted >= spent
+        # acceptance: reported latency never worse than the untuned baseline
+        assert res.network_latency_s <= res.baseline_latency_s
+        assert res.speedup >= 1.0
+        assert res.verified is True
+        assert set(res.tasks) == {r.name for r in res.reports}
+        assert res.n_complex_nodes == 3 and len(res.reports) == 2
+
+    def test_allocation_is_nonuniform(self):
+        res = self._run()
+        granted = [r.granted for r in res.reports]
+        assert max(granted) != min(granted)
+        # every grant row is attributable to a task and phase
+        for row in res.allocations:
+            assert row["phase"] in ("warmup", "gradient")
+            assert row["task"] in res.tasks
+        # warmup touched every task once before any gradient grant
+        warmup = [a for a in res.allocations if a["phase"] == "warmup"]
+        assert {a["task"] for a in warmup} == set(res.tasks)
+
+    def test_deterministic_given_seed(self):
+        assert net_fingerprint(self._run()) == net_fingerprint(self._run())
+
+    def test_report_renders(self):
+        res = self._run()
+        text = network_report(res)
+        assert "deduplicated" in text
+        assert "end-to-end" in text
+        for r in res.reports:
+            assert r.name in text
+
+    def test_empty_graph_rejected(self):
+        def no_complex():
+            b = GraphBuilder("ew")
+            x = b.input((1, 4, 8, 8))
+            b.relu(x)
+            return b.build()
+
+        with pytest.raises(ValueError, match="no complex operators"):
+            tune_network(no_complex, MACHINE, 32, measure=mo())
+
+
+# ---------------------------------------------------------------------------
+# checkpoint / resume
+# ---------------------------------------------------------------------------
+
+class TestNetworkResume:
+    BUDGET = 120
+    OPTS = SchedulerOptions(round_budget=16)
+
+    def _reference(self, path=None):
+        checkpoint = CheckpointManager(path) if path else None
+        return tune_network(
+            tiny_net, MACHINE, self.BUDGET, seed=0, measure=mo(),
+            options=self.OPTS, checkpoint=checkpoint,
+        )
+
+    def test_checkpointing_does_not_change_the_result(self, tmp_path):
+        plain = self._reference()
+        ticked = self._reference(str(tmp_path / "ck.pkl"))
+        assert net_fingerprint(plain) == net_fingerprint(ticked)
+
+    @pytest.mark.parametrize("die_after", [1, 3])
+    def test_killed_and_resumed_is_bit_identical(self, tmp_path, die_after):
+        path = str(tmp_path / "ck.pkl")
+        with pytest.raises(Killer):
+            tune_network(
+                tiny_net, MACHINE, self.BUDGET, seed=0, measure=mo(),
+                options=self.OPTS,
+                checkpoint=KillingManager(path, die_after=die_after),
+            )
+        resumed = tune_network(
+            tiny_net, MACHINE, self.BUDGET, seed=0, measure=mo(),
+            options=self.OPTS, checkpoint=CheckpointManager(path),
+            restore=load_checkpoint(path),
+        )
+        assert net_fingerprint(self._reference()) == net_fingerprint(resumed)
+
+    def test_restore_refuses_other_configs(self, tmp_path):
+        path = str(tmp_path / "ck.pkl")
+        self._reference(path)
+        payload = load_checkpoint(path)
+        with pytest.raises(CheckpointError, match="budget"):
+            tune_network(
+                tiny_net, MACHINE, self.BUDGET + 16, seed=0, measure=mo(),
+                options=self.OPTS, restore=payload,
+            )
+
+    def test_restore_refuses_single_op_checkpoints(self, tmp_path):
+        from repro.ir.tensor import Tensor
+        from repro.ops.gemm import gemm
+        from repro.tuning.baselines import tune_alt
+
+        path = str(tmp_path / "op.pkl")
+        tune_alt(
+            gemm(Tensor("A", (16, 16)), Tensor("B", (16, 16))), MACHINE,
+            budget=24, seed=0, measure=mo(),
+            checkpoint=CheckpointManager(path),
+        )
+        with pytest.raises(CheckpointError, match="kind"):
+            tune_network(
+                tiny_net, MACHINE, self.BUDGET, seed=0, measure=mo(),
+                options=self.OPTS, restore=load_checkpoint(path),
+            )
+
+
+# ---------------------------------------------------------------------------
+# CLI + run registry + comparator
+# ---------------------------------------------------------------------------
+
+NET_ARGS = [
+    "tune", "--model", "resnet18", "--budget", "64", "--image", "32",
+    "--width", "4", "--seed", "0", "--no-measure-cache",
+    "--round-budget", "16",
+]
+
+
+class TestCliNetworkTune:
+    def test_op_and_model_are_mutually_exclusive(self):
+        with pytest.raises(SystemExit, match="either"):
+            cli_main(["tune", "gmm", "--model", "resnet18"])
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit, match="unknown model"):
+            cli_main(["tune", "--model", "resnet99", "--budget", "32"])
+
+    @pytest.mark.slow
+    def test_network_tune_records_a_run(self, tmp_path, capsys):
+        store_root = str(tmp_path / "runs")
+        assert cli_main(NET_ARGS + ["--run-store", store_root]) == 0
+        out = capsys.readouterr().out
+        assert "deduplicated" in out and "end-to-end" in out
+        rec = RunStore(store_root).latest()
+        assert rec.status == STATUS_COMPLETED
+        summary = rec.summary()
+        model = summary["model"]
+        assert model["mode"] == "alt-network"
+        assert model["latency_s"] <= model["baseline_latency_s"]
+        assert 0 < model["tasks"] < model["complex_nodes"] < model["graph_nodes"]
+        assert rec.allocations, "allocations.jsonl missing or empty"
+        assert len(summary["tasks"]) == model["tasks"]
+
+    @pytest.mark.slow
+    def test_interrupted_network_run_resumes_identically(self, tmp_path):
+        # 1. uninterrupted reference
+        ref_store = str(tmp_path / "ref")
+        assert cli_main(NET_ARGS + ["--run-store", ref_store]) == 0
+        ref = RunStore(ref_store).latest()
+
+        # 2. same-config run, killed right after its first snapshot
+        store = RunStore(str(tmp_path / "rs"))
+        writer = store.create(
+            ref.manifest["name"], machine=ref.manifest["machine"],
+            seed=ref.manifest["seed"], workload=ref.manifest["workload"],
+            config=dict(ref.manifest["config"]),
+        ).begin()
+        with pytest.raises(Killer):
+            tune_network(
+                lambda: __import__("repro.graph.models", fromlist=["resnet18"])
+                .resnet18(batch=1, image=32, width=4, num_classes=10),
+                MACHINE, 64, seed=0, measure=mo(),
+                options=SchedulerOptions(round_budget=16),
+                checkpoint=KillingManager(writer.checkpoint_path, die_after=1),
+            )
+        assert RunRecord(writer.path).resumable
+
+        # 3. resume through the CLI; outcome matches the reference exactly
+        assert cli_main(["tune", "--resume", writer.path]) == 0
+        resumed = RunRecord(writer.path)
+        assert resumed.status == STATUS_COMPLETED
+
+        def strip(summary):
+            tasks = {}
+            for name, t in summary["tasks"].items():
+                t = dict(t)
+                (t.get("telemetry") or {}).pop("wall_time_s", None)
+                tasks[name] = t
+            return tasks, summary["model"]
+
+        assert strip(ref.summary()) == strip(resumed.summary())
+        assert ref.allocations == resumed.allocations
+
+
+class TestComparatorNetworkRow:
+    def _summary(self, latency):
+        return {
+            "run_id": "r", "seed": 0, "tasks": {},
+            "model": {"graph": "tinynet", "latency_s": latency},
+        }
+
+    def test_network_regression_gates(self):
+        res = compare_summaries(self._summary(1e-3), self._summary(1.2e-3))
+        assert res["network"]["status"] == "regressed"
+        assert res["verdict"] == "fail"
+        assert any("network latency" in f for f in res["failures"])
+
+    def test_network_improvement_passes(self):
+        res = compare_summaries(self._summary(1e-3), self._summary(0.8e-3))
+        assert res["network"]["status"] == "improved"
+        assert res["verdict"] == "pass"
+
+    def test_unchanged_network_stays_identical(self):
+        res = compare_summaries(self._summary(1e-3), self._summary(1e-3))
+        assert res["network"]["status"] == "unchanged"
+        assert res["verdict"] == "identical"
