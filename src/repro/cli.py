@@ -59,8 +59,11 @@ from .pipeline import CompileOptions, compile_graph
 from .report import full_report, network_report
 from .tuning.baselines import BASELINE_TUNERS, tune_alt
 from .tuning.checkpoint import CheckpointError, CheckpointManager, load_checkpoint
+from .tuning.database import TuningDatabase
+from .tuning.explorer import TuneResult
 from .tuning.faults import FaultPlan
 from .tuning.measurer import MeasureOptions
+from .tuning.records import apply_record, record_from_result
 from .tuning.scheduler import (
     NETWORK_CHECKPOINT_KIND,
     SchedulerOptions,
@@ -132,6 +135,20 @@ def _measure_options(args) -> MeasureOptions:
             raise SystemExit(f"--inject-faults: {exc}") from exc
         log.warning("fault injection active: %s", opts.fault_plan.describe())
     return opts
+
+
+def _open_db(args) -> Optional[TuningDatabase]:
+    """The persistent tuning database when ``--db`` was given, else None."""
+    if getattr(args, "db", None) is None:
+        return None
+    return TuningDatabase(args.db)
+
+
+def _record_db_use(writer: Optional[RunWriter], db: Optional[TuningDatabase]):
+    """Stamp database provenance (path + hit/miss/warm-start counters)
+    into the run manifest before the writer closes."""
+    if writer is not None and db is not None:
+        writer.manifest["database"] = db.provenance()
 
 
 def _make_trace(args, name: str) -> Optional[Trace]:
@@ -264,25 +281,49 @@ def cmd_tune(args) -> int:
         checkpoint = CheckpointManager(
             writer.checkpoint_path, every=max(args.checkpoint_every, 1)
         )
+    db = _open_db(args)
+    if db is not None and args.tuner != "alt":
+        raise SystemExit("--db is supported with the alt tuner only")
     try:
-        if args.tuner == "vendor":
+        db_hit = warm = None
+        if db is not None:
+            db_hit = db.lookup(comp, machine.name)
+            if db_hit is None:
+                warm = db.warm_start(comp, machine.name)
+        if db_hit is not None:
+            # cache-first tune: the record IS the result -- rebuild
+            # (layouts, schedule) in-process, zero fresh measurements
+            layouts, schedule = apply_record(db_hit, comp)
+            result = TuneResult(
+                task_name=comp.name,
+                best_latency=db_hit.latency_s,
+                best_layouts=layouts,
+                best_schedule=schedule,
+                measurements=0,
+            )
+        elif args.tuner == "vendor":
             result = tuner(comp, machine, measure=measure, trace=trace)
         elif args.tuner == "alt":
             result = tune_alt(
                 comp, machine, budget=args.budget, seed=args.seed,
                 measure=measure, trace=trace, checkpoint=checkpoint,
                 restore=restore,
+                pretrained=(warm or {}).get("pretrained"),
+                cost_model_seed=(warm or {}).get("cost_model_seed"),
             )
         else:
             result = tuner(
                 comp, machine, budget=args.budget, seed=args.seed,
                 measure=measure, trace=trace,
             )
+        if db is not None and db_hit is None and result.best_schedule is not None:
+            db.add(record_from_result(comp, machine.name, result, warm=True))
     except BaseException as exc:
         if writer is not None:
             writer.fail(repr(exc))
         raise
     _finish_trace(trace, args)
+    _record_db_use(writer, db)
     if writer is not None:
         record = writer.finish(
             trace, tasks={comp.name: task_result_dict(result)}
@@ -291,6 +332,15 @@ def cmd_tune(args) -> int:
     print(f"operator {args.op} on {machine.name} via {args.tuner}:")
     print(f"  best latency: {result.best_latency * 1e3:.4f} ms "
           f"({result.measurements} simulated measurements)")
+    if db is not None:
+        if db_hit is not None:
+            print(f"  tuning database: HIT -- served from {db.path} "
+                  "with zero fresh measurements")
+        elif warm is not None:
+            print(f"  tuning database: warm start (neighbor distance "
+                  f"{warm.get('distance', 0.0):.2f}); result deposited")
+        else:
+            print(f"  tuning database: miss; result deposited to {db.path}")
     telemetry = result.telemetry or {}
     if telemetry:
         print(
@@ -331,6 +381,7 @@ def _tune_network_cmd(args, writer, restore) -> int:
             writer.checkpoint_path, every=max(args.checkpoint_every, 1)
         )
     options = SchedulerOptions(round_budget=args.round_budget)
+    db = _open_db(args)
     try:
         result = tune_network(
             lambda: builder(args),
@@ -343,12 +394,14 @@ def _tune_network_cmd(args, writer, restore) -> int:
             restore=restore,
             options=options,
             verify=args.verify,
+            database=db,
         )
     except BaseException as exc:
         if writer is not None:
             writer.fail(repr(exc))
         raise
     _finish_trace(trace, args)
+    _record_db_use(writer, db)
     if writer is not None:
         record = writer.finish(
             trace,
@@ -374,6 +427,11 @@ def _tune_network_cmd(args, writer, restore) -> int:
             allocations=result.allocations,
         )
         print(f"run recorded: {record.run_id} ({record.path})")
+    if db is not None:
+        p = db.provenance()
+        print(f"tuning database {db.path}: {p['hits']} hit(s), "
+              f"{p['misses']} miss(es), {p['warm_starts']} warm start(s), "
+              f"{p['puts']} deposit(s)")
     print(network_report(result))
     if result.verified is False:
         return 1
@@ -396,6 +454,7 @@ def cmd_compile(args) -> int:
             f"batch{args.batch}:{machine.name}"
         ),
     )
+    db = _open_db(args)
     try:
         model = compile_graph(
             graph,
@@ -406,6 +465,7 @@ def cmd_compile(args) -> int:
                 seed=args.seed,
                 measure=_measure_options(args),
                 trace=trace,
+                records=db,
             ),
         )
     except BaseException as exc:
@@ -413,6 +473,7 @@ def cmd_compile(args) -> int:
             writer.fail(repr(exc))
         raise
     _finish_trace(trace, args)
+    _record_db_use(writer, db)
     if writer is not None:
         record = writer.finish(
             trace,
@@ -429,6 +490,11 @@ def cmd_compile(args) -> int:
             },
         )
         print(f"run recorded: {record.run_id} ({record.path})")
+    if db is not None:
+        p = db.provenance()
+        print(f"tuning database {db.path}: {p['hits']} hit(s), "
+              f"{p['misses']} miss(es), {p['warm_starts']} warm start(s), "
+              f"{p['puts']} deposit(s)")
     print(full_report(model, trace=trace))
     return 0
 
@@ -484,6 +550,15 @@ def cmd_runs_show(args) -> int:
             f"{model.get('latency_s', 0) * 1e3:.4f} ms, "
             f"{model.get('n_conversions')} conversions"
         )
+    database = summary.get("database")
+    if database:
+        print(
+            f"  database: {database.get('path')} "
+            f"({database.get('records')} records) -- "
+            f"{database.get('hits')} hit(s), {database.get('misses')} "
+            f"miss(es), {database.get('warm_starts')} warm start(s), "
+            f"{database.get('puts')} deposit(s)"
+        )
     diag = summary.get("diagnostics")
     if diag:
         print(render_diagnostics(diag))
@@ -514,6 +589,186 @@ def cmd_runs_compare(args) -> int:
         write_compare(result, args.out)
         print(f"comparison written to {args.out}")
     return 0 if result["verdict"] in ("pass", "identical") else 1
+
+
+def cmd_db_stats(args) -> int:
+    db = TuningDatabase(args.db)
+    s = db.stats()
+    print(f"tuning database {s['path']}:")
+    print(f"  records: {s['records']} ({s['warm_capable']} with warm-start "
+          "payloads)")
+    for machine, n in sorted(s["machines"].items()):
+        print(f"    {machine}: {n}")
+    print(f"  on disk: {s['disk_lines']} line(s), {s['disk_bytes']} bytes")
+    if s["disk_lines"] > s["records"]:
+        print(f"  ({s['disk_lines'] - s['records']} superseded/duplicate "
+              "line(s); run `repro db compact`)")
+    return 0
+
+
+def cmd_db_compact(args) -> int:
+    db = TuningDatabase(args.db)
+    out = db.compact()
+    print(f"compacted {db.path}: {out['before']} line(s) -> "
+          f"{out['after']} record(s)")
+    return 0
+
+
+def cmd_db_export(args) -> int:
+    db = TuningDatabase(args.db)
+    n = db.export(args.out)
+    print(f"exported {n} record(s) to {args.out}")
+    return 0
+
+
+def cmd_db_import(args) -> int:
+    db = TuningDatabase(args.db)
+    n = db.import_file(args.src)
+    print(f"imported {n} new-best record(s) from {args.src} "
+          f"({len(db)} total)")
+    return 0
+
+
+def cmd_db_bench(args) -> int:
+    """Cold-vs-warm benchmark (``BENCH_db_hits.json``, CI perf gate).
+
+    Three measurements, exit 1 when a database invariant breaks:
+
+    1. **cold** -- tune the pinned operator from scratch, deposit the record;
+    2. **warm** -- reopen the database (as a second process would) and serve
+       the same operator from its record: must cost zero fresh measurements
+       and emit a byte-identical record;
+    3. **transfer** -- tune a *similar* operator cold and warm-started, and
+       compare the budget each needs to reach the cold run's best latency.
+    """
+    import tempfile
+    import time as _time
+
+    machine = get_machine(args.machine)
+    db_path = args.db or os.path.join(
+        tempfile.mkdtemp(prefix="repro-db-bench-"), "db.jsonl"
+    )
+    comp = _single_op(args.op, args.channels, args.size)
+
+    def _fresh_measure() -> MeasureOptions:
+        opts = MeasureOptions()
+        opts.cache_dir = None  # honest cold runs: no cross-run eval cache
+        return opts
+
+    db = TuningDatabase(db_path)
+    t0 = _time.perf_counter()
+    cold = tune_alt(
+        comp, machine, budget=args.budget, seed=args.seed,
+        measure=_fresh_measure(),
+    )
+    cold_s = _time.perf_counter() - t0
+    deposited = record_from_result(comp, machine.name, cold, warm=True)
+    db.add(deposited)
+
+    # a fresh handle over the same file stands in for the "second run"
+    db2 = TuningDatabase(db_path)
+    t0 = _time.perf_counter()
+    hit = db2.lookup(comp, machine.name)
+    served = None
+    if hit is not None:
+        layouts, schedule = apply_record(hit, comp)
+        served = TuneResult(
+            task_name=comp.name, best_latency=hit.latency_s,
+            best_layouts=layouts, best_schedule=schedule, measurements=0,
+        )
+    warm_s = _time.perf_counter() - t0
+    identical = hit is not None and hit.to_json() == deposited.to_json()
+
+    similar_size = args.similar_size or args.size + max(args.size // 2, 2)
+    sim = _single_op(args.op, args.channels, similar_size)
+    t0 = _time.perf_counter()
+    sim_cold = tune_alt(
+        sim, machine, budget=args.budget, seed=args.seed,
+        measure=_fresh_measure(),
+    )
+    sim_cold_s = _time.perf_counter() - t0
+    warm_kwargs = db2.warm_start(sim, machine.name) or {}
+    t0 = _time.perf_counter()
+    sim_warm = tune_alt(
+        sim, machine, budget=args.budget, seed=args.seed,
+        measure=_fresh_measure(),
+        pretrained=warm_kwargs.get("pretrained"),
+        cost_model_seed=warm_kwargs.get("cost_model_seed"),
+    )
+    sim_warm_s = _time.perf_counter() - t0
+
+    def _budget_to_reach(history, target: float) -> Optional[int]:
+        for n, best in history:
+            if best <= target:
+                return n
+        return None
+
+    target = sim_cold.best_latency * (1.0 + args.tolerance)
+    bench = {
+        "schema": 1,
+        "machine": machine.name,
+        "op": args.op,
+        "channels": args.channels,
+        "size": args.size,
+        "budget": args.budget,
+        "seed": args.seed,
+        "cold": {
+            "wall_s": round(cold_s, 4),
+            "measurements": cold.measurements,
+            "best_latency_s": cold.best_latency,
+        },
+        "warm": {
+            "wall_s": round(warm_s, 4),
+            "measurements": 0 if served is not None else None,
+            "hit": hit is not None,
+            "identical_record": identical,
+            "wall_speedup": round(cold_s / max(warm_s, 1e-9), 1),
+        },
+        "transfer": {
+            "similar_size": similar_size,
+            "neighbor_distance": warm_kwargs.get("distance"),
+            "cold": {
+                "wall_s": round(sim_cold_s, 4),
+                "best_latency_s": sim_cold.best_latency,
+                "budget_to_best": _budget_to_reach(sim_cold.history, target),
+            },
+            "warm_started": {
+                "wall_s": round(sim_warm_s, 4),
+                "best_latency_s": sim_warm.best_latency,
+                "budget_to_cold_best": _budget_to_reach(
+                    sim_warm.history, target
+                ),
+            },
+        },
+    }
+    with open(args.out, "w") as f:
+        json.dump(bench, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"db bench written to {args.out}")
+    print(f"  cold: {cold.measurements} measurements, {cold_s:.2f}s wall")
+    print(f"  warm: 0 fresh measurements, {warm_s * 1e3:.1f}ms wall "
+          f"({bench['warm']['wall_speedup']}x)")
+    reach_cold = bench["transfer"]["cold"]["budget_to_best"]
+    reach_warm = bench["transfer"]["warm_started"]["budget_to_cold_best"]
+    print(f"  transfer: cold reaches best at {reach_cold}, warm-started "
+          f"at {reach_warm} measurements")
+    failures = []
+    if hit is None:
+        failures.append("warm lookup missed a just-deposited record")
+    if not identical:
+        failures.append("warm hit did not emit an identical record")
+    if served is not None and served.measurements != 0:
+        failures.append("warm hit performed fresh measurements")
+    if args.strict_transfer and reach_warm is not None and (
+        reach_cold is not None and reach_warm > reach_cold
+    ):
+        failures.append(
+            f"warm-started transfer needed more budget ({reach_warm}) than "
+            f"cold ({reach_cold}) to reach the cold best"
+        )
+    for msg in failures:
+        log.error("db bench invariant failed: %s", msg)
+    return 1 if failures else 0
 
 
 def cmd_machines(_args) -> int:
@@ -571,6 +826,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--run-store", default=None, metavar="DIR",
         help="persist this run into a run-registry directory (manifest, "
              "trace, rounds, results; inspect with `python -m repro runs`)",
+    )
+    measure_flags.add_argument(
+        "--db", default=None, metavar="PATH",
+        help="persistent tuning database (JSONL file or directory): exact "
+             "task hits compile from their records with zero fresh "
+             "measurements, similar tasks warm-start, and fresh results "
+             "are deposited back (inspect with `python -m repro db`)",
     )
     measure_flags.add_argument(
         "--inject-faults", default=None, metavar="SPEC",
@@ -679,6 +941,62 @@ def build_parser() -> argparse.ArgumentParser:
                     help="machine-readable comparison output "
                          "(default: BENCH_compare.json; '' disables)")
     rp.set_defaults(fn=cmd_runs_compare)
+
+    p = sub.add_parser(
+        "db", help="inspect/maintain the persistent tuning database"
+    )
+    db_sub = p.add_subparsers(dest="db_command", required=True)
+
+    dp = db_sub.add_parser("stats", help="record counts, warm payloads, disk")
+    dp.add_argument("db", help="database file or directory (see --db)")
+    dp.set_defaults(fn=cmd_db_stats)
+
+    dp = db_sub.add_parser(
+        "compact", help="rewrite the append log as its keep-best view"
+    )
+    dp.add_argument("db", help="database file or directory")
+    dp.set_defaults(fn=cmd_db_compact)
+
+    dp = db_sub.add_parser(
+        "export", help="atomically export the keep-best records as JSONL"
+    )
+    dp.add_argument("db", help="database file or directory")
+    dp.add_argument("--out", required=True, help="destination JSONL file")
+    dp.set_defaults(fn=cmd_db_export)
+
+    dp = db_sub.add_parser(
+        "import", help="keep-best merge another record file into the database"
+    )
+    dp.add_argument("db", help="database file or directory")
+    dp.add_argument("src", help="JSONL record file to absorb")
+    dp.set_defaults(fn=cmd_db_import)
+
+    dp = db_sub.add_parser(
+        "bench",
+        help="cold-vs-warm benchmark: exact-hit replay cost and similar-task "
+             "warm-start transfer (writes BENCH_db_hits.json; exits 1 when "
+             "a warm hit measures anything fresh or emits a drifted record)",
+    )
+    dp.add_argument("--db", default=None,
+                    help="database path (default: a throwaway temp dir)")
+    dp.add_argument("--machine", default="intel_cpu")
+    dp.add_argument("--op", default="gmm",
+                    choices=["c2d", "dep", "c1d", "c3d", "gmm"])
+    dp.add_argument("--channels", type=int, default=8)
+    dp.add_argument("--size", type=int, default=16)
+    dp.add_argument("--similar-size", type=int, default=None,
+                    help="size of the transfer target "
+                         "(default: size + size//2)")
+    dp.add_argument("--budget", type=int, default=96)
+    dp.add_argument("--seed", type=int, default=0)
+    dp.add_argument("--tolerance", type=float, default=0.05,
+                    help="relative slack when checking budget-to-reach "
+                         "(default 0.05)")
+    dp.add_argument("--strict-transfer", action="store_true",
+                    help="also fail when warm-started transfer needs more "
+                         "budget than cold to reach the cold best")
+    dp.add_argument("--out", default="BENCH_db_hits.json")
+    dp.set_defaults(fn=cmd_db_bench)
 
     p = sub.add_parser("machines", help="list simulated machines")
     p.set_defaults(fn=cmd_machines)

@@ -364,6 +364,9 @@ class RunRecord:
             "tasks": tasks,
             "model": self.result.get("model"),
             "diagnostics": diag,
+            # tuning-database provenance: which store served the run and the
+            # hit/miss/warm-start counters (None for database-less runs)
+            "database": manifest.get("database"),
         }
 
 
@@ -485,11 +488,14 @@ def merge_summaries(summaries: List[Dict], source: str = "merged") -> Dict:
         "tasks": {},
         "model": None,
         "diagnostics": None,
+        "database": None,
     }
     for s in summaries:  # run_ids sort by creation time: newest wins
         out["tasks"].update(s.get("tasks") or {})
         if s.get("model"):
             out["model"] = s["model"]
+        if s.get("database"):
+            out["database"] = s["database"]
     out["diagnostics"] = _merge_diagnostics(
         [s.get("diagnostics") for s in summaries]
     )

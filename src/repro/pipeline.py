@@ -22,7 +22,7 @@ to a stage and the machine model prices the program.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from .graph.graph import Graph
@@ -61,8 +61,13 @@ class CompileOptions:
     searcher: str = "ppo"
     use_cost_model: bool = True
     pretrained: Optional[Dict] = None
+    #: exported (features, score) pairs to seed the cost model with (the
+    #: warm-start transfer path; see ``repro.tuning.database``)
+    cost_model_seed: Optional[Dict] = None
     #: optional cross-compile tuning cache; matching tasks reuse records
-    #: instead of re-searching (and deposit their results back)
+    #: instead of re-searching (and deposit their results back).  Pass a
+    #: :class:`~repro.tuning.database.TuningDatabase` to additionally get
+    #: persistent cross-run reuse and nearest-neighbor warm starts.
     records: Optional[object] = None
     #: measurement-engine knobs (jobs, disk cache, timeouts); ``None`` uses
     #: the environment defaults (``REPRO_MEASURE_JOBS`` etc.)
@@ -117,6 +122,7 @@ def _tune_representative(
             searcher=opts.searcher,
             use_cost_model=opts.use_cost_model,
             pretrained=opts.pretrained,
+            cost_model_seed=opts.cost_model_seed,
             measure=measure,
             trace=trace,
         )
@@ -148,7 +154,15 @@ def _tune_representative(
 def _cached_or_tuned(
     rep: ComputeDef, machine: MachineSpec, budget: int, opts: CompileOptions
 ) -> TuneResult:
-    """Serve a tuning task from the record store when possible."""
+    """Serve a tuning task from the record store/database when possible.
+
+    Cache-first compile path: an exact ``(task_signature, machine)`` hit
+    rebuilds (layouts, schedule) from the record with **zero** fresh
+    measurements.  On a miss against a :class:`TuningDatabase`, the nearest
+    similar record (if any) warm-starts the search -- PPO weights through
+    ``pretrained=``, cost-model training pairs through ``cost_model_seed=``
+    -- and the fresh result is deposited back with its own warm payload.
+    """
     store = opts.records
     trace = opts.trace if opts.trace is not None else NULL_TRACE
     if store is not None:
@@ -168,11 +182,26 @@ def _cached_or_tuned(
                 best_schedule=schedule,
                 measurements=0,
             )
+        if hasattr(store, "warm_start"):
+            warm = store.warm_start(rep, machine.name)
+            if warm is not None:
+                trace.event(
+                    "record_warm_start", task=rep.name,
+                    distance=warm.get("distance"),
+                )
+                trace.metrics.counter("pipeline.record_warm_starts").inc()
+                opts = replace(
+                    opts,
+                    pretrained=warm.get("pretrained") or opts.pretrained,
+                    cost_model_seed=(
+                        warm.get("cost_model_seed") or opts.cost_model_seed
+                    ),
+                )
     result = _tune_representative(rep, machine, budget, opts)
     if store is not None and result.best_schedule is not None:
         from .tuning.records import record_from_result
 
-        store.add(record_from_result(rep, machine.name, result))
+        store.add(record_from_result(rep, machine.name, result, warm=True))
     return result
 
 

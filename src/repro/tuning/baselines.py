@@ -206,6 +206,7 @@ def tune_alt(
     trace=None,
     checkpoint=None,
     restore: Optional[Dict] = None,
+    cost_model_seed: Optional[Dict] = None,
 ) -> TuneResult:
     """Full ALT: joint stage (30% of budget by default) + loop-only stage.
 
@@ -229,6 +230,7 @@ def tune_alt(
         use_cost_model=use_cost_model,
         pretrained=pretrained,
         checkpoint=checkpoint,
+        cost_model_seed=cost_model_seed,
     )
     if restore is not None:
         tuner.load_full_state(restore)

@@ -64,6 +64,42 @@ class CostModel:
                 time.perf_counter() - t0
             )
 
+    # -- warm-start transfer ---------------------------------------------------------
+    def export_seed(self, max_n: int = 256) -> Optional[dict]:
+        """A JSON-ready sample of the training set (newest ``max_n`` pairs).
+
+        Feature vectors are fixed-length across operators, so a similar
+        task's model can :meth:`seed` from them instead of ranking blind
+        until its own first retrain.
+        """
+        if not self._y:
+            return None
+        return {
+            "X": [[round(float(v), 6) for v in x] for x in self._X[-max_n:]],
+            "y": [round(float(v), 6) for v in self._y[-max_n:]],
+        }
+
+    def seed(self, data: Optional[dict]) -> int:
+        """Preload exported training pairs and fit immediately.
+
+        Returns the number of points absorbed.  Seeding happens before the
+        task's own measurements, so transferred points age out of the
+        :attr:`MAX_TRAIN` window as fresh local data accumulates.
+        """
+        if not data or not data.get("y"):
+            return 0
+        xs = [np.asarray(x, dtype=np.float64) for x in data["X"]]
+        ys = [float(v) for v in data["y"]]
+        if len(xs) != len(ys):
+            raise ValueError("cost-model seed X/y length mismatch")
+        self._X.extend(xs)
+        self._y.extend(ys)
+        if len(self._y) >= self.min_samples:
+            self._fit()
+        if self.metrics is not None:
+            self.metrics.counter("cost_model.seeded_points").inc(len(ys))
+        return len(ys)
+
     @property
     def trained(self) -> bool:
         return self._model is not None

@@ -1,0 +1,346 @@
+"""Persistent cross-run tuning database with warm-start transfer.
+
+This is the layer that amortizes search to near-zero for repeat traffic
+(ROADMAP item 2, the Ansor/TVM tuning-log design): a durable, shareable
+store of :class:`~repro.tuning.records.TuneRecord` entries keyed by
+``(task_signature, machine)``.  A workload any prior run has tuned compiles
+from its record in milliseconds with **zero** fresh measurements; a
+*similar* workload warm-starts -- the nearest recorded neighbor seeds the
+PPO actors (through the existing ``pretrained=`` path) and the cost model's
+training set, so the search starts from transferred knowledge instead of
+from scratch.
+
+Durability model
+----------------
+
+The database is one JSONL file (``db.jsonl`` inside a directory path, or a
+file path used directly):
+
+- **appends** are a single buffered write of one complete line in
+  ``O_APPEND`` mode, flushed per record -- concurrent writers interleave
+  whole lines, and a crash can tear at most the final line;
+- **loads** skip torn/corrupt lines with one summary warning
+  (:meth:`RecordStore.load`), so a torn tail never poisons the store;
+- **compaction** (:meth:`TuningDatabase.compact`) rewrites the keep-best
+  view of the append log through the atomic tmp + ``os.replace`` dump, and
+  merges with any lines other writers appended meanwhile.
+
+The in-memory view is always keep-best deduplicated; the on-disk log only
+grows until compacted, which keeps the hot path append-only.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..ir.compute import ComputeDef
+from ..obs.log import log
+from .records import RecordStore, TuneRecord
+
+#: default file name when the database path is a directory
+DB_FILE = "db.jsonl"
+
+#: neighbors farther than this (see :func:`signature_distance`) are not
+#: similar enough to transfer from -- an empirically safe default: ~3 powers
+#: of two of aggregate shape drift, or a couple of differing attributes
+DEFAULT_MAX_DISTANCE = 8.0
+
+
+# ---------------------------------------------------------------------------
+# task-signature similarity
+# ---------------------------------------------------------------------------
+
+def _shape_distance(a, b) -> float:
+    """Aggregate log2 drift between two shape tuples (inf when unalignable)."""
+    if not isinstance(a, (tuple, list)) or not isinstance(b, (tuple, list)):
+        return 0.0 if a == b else math.inf
+    if len(a) != len(b):
+        return math.inf
+    d = 0.0
+    for x, y in zip(a, b):
+        if not isinstance(x, (int, float)) or not isinstance(y, (int, float)):
+            if x != y:
+                return math.inf
+            continue
+        d += abs(math.log2(max(float(x), 1.0)) - math.log2(max(float(y), 1.0)))
+    return d
+
+
+def signature_distance(sig_a: Tuple, sig_b: Tuple) -> float:
+    """Similarity metric between two ``task_signature`` tuples.
+
+    ``0`` means identical; ``inf`` means structurally incompatible (distinct
+    op families, different tensor counts/ranks).  Finite values sum the
+    per-dimension log2 shape drift of output + inputs plus a unit penalty
+    per differing attribute -- so a conv with twice the channels is distance
+    ~2-3 while a stride change costs an extra 1.
+    """
+    try:
+        tags_a, out_a, ins_a, attrs_a = sig_a
+        tags_b, out_b, ins_b, attrs_b = sig_b
+    except (TypeError, ValueError):
+        return math.inf
+    if tuple(tags_a) != tuple(tags_b):
+        return math.inf
+    if len(ins_a) != len(ins_b):
+        return math.inf
+    dist = _shape_distance(out_a, out_b)
+    for sa, sb in zip(ins_a, ins_b):
+        dist += _shape_distance(sa, sb)
+    if not math.isfinite(dist):
+        return math.inf
+    diff_attrs = set(attrs_a).symmetric_difference(set(attrs_b))
+    return dist + len(diff_attrs) / 2.0
+
+
+# ---------------------------------------------------------------------------
+# warm-start payload (de)serialization
+# ---------------------------------------------------------------------------
+
+def _round_nested(x):
+    if isinstance(x, (list, tuple)):
+        return [_round_nested(v) for v in x]
+    if isinstance(x, np.ndarray):
+        return _round_nested(x.tolist())
+    if isinstance(x, float):
+        return round(x, 6)
+    return x
+
+
+def encode_warm(warm: Optional[Dict]) -> Optional[Dict]:
+    """JSON-ready form of :attr:`TuneResult.warm` (numpy -> rounded lists).
+
+    Weights are rounded to 6 decimals: warm-starting is a prior, not an
+    exact resume, and rounding keeps record lines an order of magnitude
+    smaller.
+    """
+    if not warm:
+        return None
+    out: Dict = {}
+    ppo = warm.get("ppo")
+    if ppo:
+        out["ppo"] = {
+            which: {
+                "actor": _round_nested(state["actor"]),
+                "critic": _round_nested(state["critic"]),
+                "log_std": round(float(state["log_std"]), 6),
+            }
+            for which, state in ppo.items()
+        }
+    cm = warm.get("cost_model")
+    if cm:
+        out["cost_model"] = {"X": _round_nested(cm["X"]), "y": _round_nested(cm["y"])}
+    return out or None
+
+
+def warm_start_payload(record: TuneRecord) -> Optional[Dict]:
+    """Extract ``(pretrained, cost_model_seed)`` kwargs from a record.
+
+    Returns ``{"pretrained":..., "cost_model_seed":..., "source": task}`` or
+    ``None`` when the record carries nothing transferable.  The nested-list
+    weights feed :meth:`MLP.load_state_dict`/:meth:`CostModel.seed`
+    directly (both coerce through ``np.asarray``).
+    """
+    warm = record.warm or {}
+    pretrained = warm.get("ppo")
+    seed = warm.get("cost_model")
+    if not pretrained and not seed:
+        return None
+    return {
+        "pretrained": pretrained,
+        "cost_model_seed": seed,
+        "source": record.task,
+    }
+
+
+# ---------------------------------------------------------------------------
+# the database
+# ---------------------------------------------------------------------------
+
+class TuningDatabase(RecordStore):
+    """Durable keep-best record store + nearest-neighbor warm starts.
+
+    Drop-in for the ``records=`` slot of
+    :class:`~repro.pipeline.CompileOptions`: :meth:`lookup` serves exact
+    hits (and counts hits/misses), :meth:`add` deposits results back and
+    appends them to disk, and :meth:`warm_start` finds the most similar
+    recorded task for transfer when the exact lookup misses.
+    """
+
+    def __init__(self, path: str, autosync: bool = True):
+        super().__init__()
+        if os.path.isdir(path) or path.endswith(os.sep):
+            path = os.path.join(path, DB_FILE)
+        self.path = os.path.abspath(path)
+        self.autosync = autosync
+        #: exact-lookup counters (provenance for run manifests/reports)
+        self.hits = 0
+        self.misses = 0
+        self.warm_starts = 0
+        self.puts = 0
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        if os.path.exists(self.path):
+            self.merge(RecordStore.load(self.path))
+
+    # -- write path -------------------------------------------------------------
+    def add(self, record: TuneRecord) -> bool:
+        """Keep-best insert; new bests are appended to the on-disk log."""
+        kept = super().add(record)
+        if kept:
+            self.puts += 1
+            if self.autosync:
+                self._append(record)
+        return kept
+
+    def _append(self, record: TuneRecord) -> None:
+        # one whole line per write in append mode: concurrent appenders
+        # interleave complete records, and a crash tears at most the tail
+        # line, which the tolerant loader drops
+        with open(self.path, "a") as f:
+            f.write(record.to_json() + "\n")
+            f.flush()
+
+    def compact(self) -> Dict:
+        """Rewrite the append log as its keep-best view (atomic).
+
+        Lines other processes appended since our load are merged in first,
+        so compaction never discards a concurrent writer's better record.
+        Returns ``{"before": lines_on_disk, "after": records_kept}``.
+        """
+        before = 0
+        if os.path.exists(self.path):
+            with open(self.path) as f:
+                before = sum(1 for line in f if line.strip())
+        self.dump(self.path, mode="merge")
+        self.merge(RecordStore.load(self.path))
+        return {"before": before, "after": len(self)}
+
+    def export(self, path: str) -> int:
+        """Atomically write the keep-best view to another JSONL file."""
+        self.dump(path, mode="replace")
+        return len(self)
+
+    def import_file(self, path: str) -> int:
+        """Keep-best merge of another JSONL store; appends what it absorbs."""
+        return sum(1 for rec in RecordStore.load(path).records() if self.add(rec))
+
+    def merge(self, other: RecordStore) -> int:
+        # in-memory only (used by the initial self-load): records already on
+        # disk must not be re-appended or counted as fresh puts
+        absorbed = 0
+        for rec in other.records():
+            if RecordStore.add(self, rec):
+                absorbed += 1
+        return absorbed
+
+    # -- read path --------------------------------------------------------------
+    def lookup(self, comp: ComputeDef, machine_name: str) -> Optional[TuneRecord]:
+        rec = super().lookup(comp, machine_name)
+        if rec is not None:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return rec
+
+    def nearest(
+        self,
+        comp: ComputeDef,
+        machine_name: str,
+        k: int = 1,
+        max_distance: float = DEFAULT_MAX_DISTANCE,
+    ) -> List[Tuple[float, TuneRecord]]:
+        """The ``k`` most similar recorded tasks on this machine.
+
+        Exact matches are excluded (those are :meth:`lookup`'s job); ties
+        break on better recorded latency so transfer favors the strongest
+        neighbor.
+        """
+        from ..pipeline import task_signature
+
+        sig = task_signature(comp)
+        scored = []
+        for rec in self.records():
+            if rec.machine != machine_name or rec.task == sig:
+                continue
+            dist = signature_distance(sig, rec.task)
+            if dist <= max_distance:
+                scored.append((dist, rec))
+        scored.sort(key=lambda s: (s[0], s[1].latency_s))
+        return scored[:k]
+
+    def warm_start(
+        self,
+        comp: ComputeDef,
+        machine_name: str,
+        max_distance: float = DEFAULT_MAX_DISTANCE,
+    ) -> Optional[Dict]:
+        """Transfer kwargs from the nearest similar record, or ``None``.
+
+        Walks outward through the neighbors until one actually carries a
+        warm payload (older records may predate warm capture).
+        """
+        for dist, rec in self.nearest(
+            comp, machine_name, k=8, max_distance=max_distance
+        ):
+            payload = warm_start_payload(rec)
+            if payload is not None:
+                payload["distance"] = dist
+                self.warm_starts += 1
+                log.debug(
+                    "warm-starting %s from neighbor at distance %.2f",
+                    comp.name, dist,
+                )
+                return payload
+        return None
+
+    # -- provenance -------------------------------------------------------------
+    def stats(self) -> Dict:
+        """Counters + on-disk footprint (``repro db stats`` / manifests)."""
+        disk_lines = 0
+        disk_bytes = 0
+        if os.path.exists(self.path):
+            disk_bytes = os.path.getsize(self.path)
+            with open(self.path) as f:
+                disk_lines = sum(1 for line in f if line.strip())
+        per_machine: Dict[str, int] = {}
+        warm_capable = 0
+        for rec in self.records():
+            per_machine[rec.machine] = per_machine.get(rec.machine, 0) + 1
+            if rec.warm:
+                warm_capable += 1
+        return {
+            "path": self.path,
+            "records": len(self),
+            "machines": per_machine,
+            "warm_capable": warm_capable,
+            "disk_lines": disk_lines,
+            "disk_bytes": disk_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "warm_starts": self.warm_starts,
+            "puts": self.puts,
+        }
+
+    def provenance(self) -> Dict:
+        """The manifest-sized view: where records came from and how the run
+        used them (run-registry ``database`` block)."""
+        return {
+            "path": self.path,
+            "records": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+            "warm_starts": self.warm_starts,
+            "puts": self.puts,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"TuningDatabase({self.path!r}, records={len(self)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -96,6 +96,10 @@ class TuneResult:
     telemetry: Optional[Dict] = None
     #: per-round tuning timeline (``repro.obs.timeline`` records)
     timeline: List[Dict] = field(default_factory=list)
+    #: transferable search state for warm-starting similar tasks:
+    #: ``{"ppo": {"layout":..., "loop":...}, "cost_model": {"X":..., "y":...}}``
+    #: (numpy-backed; see :func:`repro.tuning.database.encode_warm`)
+    warm: Optional[Dict] = None
 
 
 class LoopTuner:
@@ -306,6 +310,7 @@ class JointTuner:
         pretrained: Optional[Dict] = None,
         loop_rounds_per_layout: int = 2,
         checkpoint: Optional[CheckpointManager] = None,
+        cost_model_seed: Optional[Dict] = None,
     ):
         if searcher not in ("ppo", "random"):
             raise ValueError(f"unknown searcher {searcher!r}")
@@ -318,6 +323,10 @@ class JointTuner:
         self.nprng = np.random.default_rng(seed)
         self.loop_rounds_per_layout = loop_rounds_per_layout
         self.cost_model = CostModel() if use_cost_model else None
+        if self.cost_model is not None and cost_model_seed:
+            # warm-start transfer: a similar task's measured (features,
+            # score) pairs give the ranker a trained model from round one
+            self.cost_model.seed(cost_model_seed)
         critic = SharedCritic(self.nprng)
         self.layout_actor = PPOActor(critic, self.nprng) if searcher == "ppo" else None
         self.loop_actor = PPOActor(critic, self.nprng) if searcher == "ppo" else None
@@ -426,7 +435,22 @@ class JointTuner:
             best_loop_config=loop_cfg,
             telemetry=self.task.measurer.stats.as_dict(),
             timeline=self.task.timeline.snapshot(),
+            warm=self._warm_state(),
         )
+
+    def _warm_state(self) -> Optional[Dict]:
+        """Transferable search state for warm-starting similar tasks."""
+        warm: Dict = {}
+        if self.layout_actor is not None and self.loop_actor is not None:
+            warm["ppo"] = {
+                "layout": self.layout_actor.state_dict(),
+                "loop": self.loop_actor.state_dict(),
+            }
+        if self.cost_model is not None:
+            seed = self.cost_model.export_seed()
+            if seed is not None:
+                warm["cost_model"] = seed
+        return warm or None
 
     # -- stages ---------------------------------------------------------------------
     def _joint_stage(self, budget: int):

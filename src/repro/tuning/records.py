@@ -13,8 +13,11 @@ against a compatible operator.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
+
+from ..obs.log import log
 
 from ..ir.compute import ComputeDef
 from ..layout.layout import Layout
@@ -123,54 +126,95 @@ class TuneRecord:
     measurements: int = 0
     #: measurement-engine telemetry captured at record time (optional)
     telemetry: Optional[Dict] = None
+    #: warm-start payload for *similar* tasks: PPO actor weights and a cost
+    #: model training-set sample, both JSON-ready (see repro.tuning.database)
+    warm: Optional[Dict] = None
+
+    def key(self) -> Tuple:
+        return (self.task, self.machine)
 
     def to_json(self) -> str:
-        return json.dumps(
-            {
-                "task": _jsonable(self.task),
-                "machine": self.machine,
-                "latency_s": self.latency_s,
-                "layouts": self.layouts,
-                "schedule": self.schedule,
-                "measurements": self.measurements,
-                "telemetry": self.telemetry,
-            }
-        )
+        d = {
+            "task": _jsonable(self.task),
+            "machine": self.machine,
+            "latency_s": self.latency_s,
+            "layouts": self.layouts,
+            "schedule": self.schedule,
+            "measurements": self.measurements,
+            "telemetry": self.telemetry,
+        }
+        if self.warm is not None:
+            d["warm"] = self.warm
+        return json.dumps(d)
 
     @staticmethod
     def from_json(text: str) -> "TuneRecord":
         d = json.loads(text)
-        return TuneRecord(
-            task=_tupled(d["task"]),
-            machine=d["machine"],
-            latency_s=d["latency_s"],
-            layouts=d["layouts"],
-            schedule=d.get("schedule"),
-            measurements=d.get("measurements", 0),
-            telemetry=d.get("telemetry"),
-        )
+        if not isinstance(d, dict):
+            raise RecordError(f"record line is not a JSON object: {text[:40]!r}")
+        try:
+            return TuneRecord(
+                task=_tupled(d["task"]),
+                machine=d["machine"],
+                latency_s=d["latency_s"],
+                layouts=d["layouts"],
+                schedule=d.get("schedule"),
+                measurements=d.get("measurements", 0),
+                telemetry=d.get("telemetry"),
+                warm=d.get("warm"),
+            )
+        except KeyError as exc:
+            raise RecordError(f"record line misses field {exc}") from exc
+
+
+#: list-vs-tuple disambiguation sentinel in the JSON task encoding
+_TUPLE_SENTINEL = "__tuple__"
+_ESCAPE = "\\"
+
+
+def _needs_escape(s: str) -> bool:
+    """Strings that would collide with (an escaped form of) the sentinel."""
+    return s.lstrip(_ESCAPE) == _TUPLE_SENTINEL
 
 
 def _jsonable(x):
     if isinstance(x, tuple):
-        return ["__tuple__"] + [_jsonable(v) for v in x]
+        return [_TUPLE_SENTINEL] + [_jsonable(v) for v in x]
     if isinstance(x, list):
         return [_jsonable(v) for v in x]
+    if isinstance(x, str) and _needs_escape(x):
+        # a *literal* "__tuple__" (or an already-escaped form) in the data
+        # gains one escape level, so it can never masquerade as the marker
+        return _ESCAPE + x
     return x
 
 
 def _tupled(x):
     if isinstance(x, list):
-        if x and x[0] == "__tuple__":
+        if x and x[0] == _TUPLE_SENTINEL:
             return tuple(_tupled(v) for v in x[1:])
         return [_tupled(v) for v in x]
+    if isinstance(x, str) and x.startswith(_ESCAPE) and _needs_escape(x):
+        return x[len(_ESCAPE):]
     return x
 
 
-def record_from_result(comp: ComputeDef, machine_name: str, result) -> TuneRecord:
-    """Build a record from a :class:`~repro.tuning.explorer.TuneResult`."""
+def record_from_result(
+    comp: ComputeDef, machine_name: str, result, warm: bool = False
+) -> TuneRecord:
+    """Build a record from a :class:`~repro.tuning.explorer.TuneResult`.
+
+    ``warm=True`` additionally embeds the tuner's transferable search state
+    (PPO weights + a cost-model training sample) so the record can
+    warm-start *similar* tasks; see :mod:`repro.tuning.database`.
+    """
     from ..pipeline import task_signature
 
+    warm_payload = None
+    if warm and getattr(result, "warm", None):
+        from .database import encode_warm
+
+        warm_payload = encode_warm(result.warm)
     return TuneRecord(
         task=task_signature(comp),
         machine=machine_name,
@@ -185,6 +229,7 @@ def record_from_result(comp: ComputeDef, machine_name: str, result) -> TuneRecor
         ),
         measurements=result.measurements,
         telemetry=getattr(result, "telemetry", None),
+        warm=warm_payload,
     )
 
 
@@ -202,9 +247,10 @@ def apply_record(
         raise RecordError(
             f"record was tuned for a different task than {comp.name}"
         )
-    recorded_names = list(record.layouts)
     layouts: Dict[str, Layout] = {}
-    # positional remap: the recorded dict preserves insertion order
+    # positional remap: the recorded dict preserves insertion order (output
+    # first, then inputs), so tensors sharing a shape consume their bucket's
+    # entries in position order -- deterministic, and stable across clones
     tensors = [comp.output] + comp.inputs
     by_shape: Dict[Tuple[int, ...], List[str]] = {}
     for name, lay_d in record.layouts.items():
@@ -213,6 +259,14 @@ def apply_record(
         bucket = by_shape.get(t.shape)
         if bucket:
             layouts[t.name] = layout_from_dict(record.layouts[bucket.pop(0)])
+    unmatched = [name for bucket in by_shape.values() for name in bucket]
+    if unmatched:
+        # a recorded layout whose shape fits no remaining tensor: silently
+        # dropping it would compile the operator with a half-applied record
+        raise RecordError(
+            f"record layouts {unmatched} match no tensor of {comp.name} "
+            "(shape mismatch -- record does not fit this operator)"
+        )
     schedule = (
         schedule_from_dict(record.schedule) if record.schedule is not None else None
     )
@@ -225,31 +279,78 @@ class RecordStore:
     def __init__(self):
         self._records: Dict[Tuple, TuneRecord] = {}
 
-    def add(self, record: TuneRecord) -> None:
-        key = (record.task, record.machine)
+    def add(self, record: TuneRecord) -> bool:
+        """Keep-best insert; returns True when the record was kept."""
+        key = record.key()
         existing = self._records.get(key)
         if existing is None or record.latency_s < existing.latency_s:
             self._records[key] = record
+            return True
+        return False
 
     def lookup(self, comp: ComputeDef, machine_name: str) -> Optional[TuneRecord]:
         from ..pipeline import task_signature
 
         return self._records.get((task_signature(comp), machine_name))
 
+    def records(self) -> List[TuneRecord]:
+        return list(self._records.values())
+
+    def merge(self, other: "RecordStore") -> int:
+        """Keep-best merge of another store; returns records absorbed."""
+        return sum(1 for rec in other.records() if self.add(rec))
+
     def __len__(self) -> int:
         return len(self._records)
 
-    def dump(self, path: str) -> None:
-        with open(path, "w") as f:
-            for record in self._records.values():
-                f.write(record.to_json() + "\n")
+    def dump(self, path: str, mode: str = "replace") -> None:
+        """Atomically persist the store as JSONL.
+
+        The file is written next to ``path`` and moved into place with
+        ``os.replace``, so a crash mid-write can never truncate an existing
+        store and concurrent dumpers serialize on the rename (last writer
+        wins a whole file, not interleaved lines).  ``mode="merge"``
+        keep-best-merges with whatever is already on disk first, so two
+        concurrent runs lose nothing but duplicate work.
+        """
+        if mode not in ("replace", "merge"):
+            raise ValueError(f"dump mode must be replace|merge, got {mode!r}")
+        out = self
+        if mode == "merge" and os.path.exists(path):
+            out = RecordStore.load(path)
+            out.merge(self)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w") as f:
+                for record in out._records.values():
+                    f.write(record.to_json() + "\n")
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
 
     @staticmethod
     def load(path: str) -> "RecordStore":
+        """Load a JSONL store, skipping corrupt/truncated lines.
+
+        A torn tail line (crashed appender) or a corrupted record must not
+        take the whole store down with it -- bad lines are dropped with one
+        summary warning, mirroring the trace reader's unknown-record policy.
+        """
         store = RecordStore()
+        bad = 0
         with open(path) as f:
             for line in f:
                 line = line.strip()
-                if line:
+                if not line:
+                    continue
+                try:
                     store.add(TuneRecord.from_json(line))
+                except (ValueError, TypeError, RecordError):
+                    bad += 1
+        if bad:
+            log.warning(
+                "%s: skipped %d corrupt record line(s) while loading "
+                "(torn append or incompatible format)", path, bad,
+            )
         return store

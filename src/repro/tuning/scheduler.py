@@ -52,7 +52,7 @@ from ..obs.trace import NULL_TRACE, Trace
 from .checkpoint import CheckpointError, CheckpointManager
 from .explorer import JointTuner, TuneResult
 from .measurer import MeasureOptions
-from .records import RecordStore, record_from_result
+from .records import RecordStore, apply_record, record_from_result
 from .task import TuningTask
 
 #: tag on scheduler checkpoints so a single-op resume cannot consume them
@@ -166,12 +166,18 @@ class _TaskTuner:
         measure: Optional[MeasureOptions],
         trace: Optional[Trace],
         joint_fraction: float,
+        warm: Optional[Dict] = None,
     ):
         self.net = net
         self.task = TuningTask(
             net.rep, machine, budget=0, measure=measure, trace=trace
         )
-        self.tuner = JointTuner(self.task, seed=seed)
+        self.tuner = JointTuner(
+            self.task,
+            seed=seed,
+            pretrained=(warm or {}).get("pretrained"),
+            cost_model_seed=(warm or {}).get("cost_model_seed"),
+        )
         self.joint_fraction = joint_fraction
         self.granted = 0
         self.grants = 0
@@ -179,6 +185,10 @@ class _TaskTuner:
         self.dormant = False
         self.last_consumed = 0
         self.last_improvement = 0.0
+        #: exact database record serving this task (set by the owner); a
+        #: served task never receives grants -- its result costs zero fresh
+        #: measurements
+        self.db_record = None
 
     def grant(self, n: int) -> int:
         """Give the task ``n`` more measurements; returns the consumption."""
@@ -284,6 +294,7 @@ class NetworkTuner:
         trace: Optional[Trace] = None,
         checkpoint: Optional[CheckpointManager] = None,
         options: Optional[SchedulerOptions] = None,
+        database=None,
     ):
         self.graph_factory = graph_factory
         self.graph = graph_factory()
@@ -294,6 +305,7 @@ class NetworkTuner:
         self.trace = trace if trace is not None else NULL_TRACE
         self.checkpoint = checkpoint
         self.opts = options or SchedulerOptions()
+        self.database = database
         net_tasks = extract_tasks(self.graph)
         if not net_tasks:
             raise ValueError(
@@ -307,13 +319,36 @@ class NetworkTuner:
                 self.opts.min_round, min(self.opts.max_round, derived)
             )
         # per-task seeds are offset by position so tasks explore
-        # independently while the whole run stays a function of one seed
-        self.tuners = [
-            _TaskTuner(
-                net, machine, seed + i, measure, trace, self.opts.joint_fraction
+        # independently while the whole run stays a function of one seed;
+        # the database (when given) is consulted per task *before* any
+        # budget flows: an exact hit parks the task (zero grants, zero fresh
+        # measurements), a near miss warm-starts its tuner
+        self.tuners = []
+        for i, net in enumerate(net_tasks):
+            record = warm = None
+            if database is not None:
+                record = database.lookup(net.rep, machine.name)
+                if record is None:
+                    warm = database.warm_start(net.rep, machine.name)
+            tuner = _TaskTuner(
+                net, machine, seed + i, measure, trace,
+                self.opts.joint_fraction, warm=warm,
             )
-            for i, net in enumerate(net_tasks)
-        ]
+            if record is not None:
+                tuner.db_record = record
+                tuner.dormant = True
+                tuner.started = True
+                self.trace.event(
+                    "record_cache_hit", task=net.name, latency=record.latency_s
+                )
+                self.trace.metrics.counter("scheduler.db_hits").inc()
+            elif warm is not None:
+                self.trace.event(
+                    "record_warm_start", task=net.name,
+                    distance=warm.get("distance"),
+                )
+                self.trace.metrics.counter("scheduler.db_warm_starts").inc()
+            self.tuners.append(tuner)
         self.allocations: List[Dict] = []
         self.warmup_idx = 0
 
@@ -404,6 +439,10 @@ class NetworkTuner:
                 # the end of _grant must snapshot the post-grant cursor, or
                 # a resume would re-grant the same task
                 self.warmup_idx += 1
+                if self.tuners[idx].db_record is not None:
+                    # served from the tuning database: assembly will apply
+                    # its record directly, so it never receives budget
+                    continue
                 self._grant(idx, "warmup", None)
             # gradient rounds: always feed the task with the largest
             # estimated end-to-end gain per measurement
@@ -433,16 +472,30 @@ class NetworkTuner:
         """Build the whole-network schedule from the per-task records."""
         from ..pipeline import CompileOptions, compile_graph, compile_untuned
 
-        task_results = {t.net.name: t.tuner.result() for t in self.tuners}
+        task_results: Dict[str, TuneResult] = {}
         store = RecordStore()
         for t in self.tuners:
-            res = task_results[t.net.name]
+            if t.db_record is not None:
+                # database hit: the record IS the result -- apply it without
+                # spending a single fresh measurement
+                task_results[t.net.name] = self._result_from_record(t)
+                store.add(t.db_record)
+                continue
+            res = t.tuner.result()
+            task_results[t.net.name] = res
             if (
                 res.best_schedule is not None
                 and math.isfinite(res.best_latency)
                 and self._beats_default(t.net.rep, res)
             ):
-                store.add(record_from_result(t.net.rep, self.machine.name, res))
+                rec = record_from_result(
+                    t.net.rep, self.machine.name, res, warm=True
+                )
+                store.add(rec)
+                if self.database is not None:
+                    # deposit the freshly tuned winner so the next run of
+                    # this (or a similar) workload starts from it
+                    self.database.add(rec)
             else:
                 # the search lost to the no-tuning heuristic on this task
                 # (possible under tiny grants): record the identity layout
@@ -532,6 +585,17 @@ class NetworkTuner:
             return False
         return tuned <= default
 
+    def _result_from_record(self, t: _TaskTuner) -> TuneResult:
+        """A zero-measurement :class:`TuneResult` serving a database hit."""
+        layouts, schedule = apply_record(t.db_record, t.net.rep)
+        return TuneResult(
+            task_name=t.net.name,
+            best_latency=t.db_record.latency_s,
+            best_layouts=layouts,
+            best_schedule=schedule,
+            measurements=0,
+        )
+
     def _identity_record(self, rep: ComputeDef):
         from ..pipeline import task_signature
         from .records import TuneRecord
@@ -576,6 +640,7 @@ def tune_network(
     restore: Optional[Dict] = None,
     options: Optional[SchedulerOptions] = None,
     verify: bool = False,
+    database=None,
 ) -> NetworkTuneResult:
     """Tune a whole network under one shared measurement budget.
 
@@ -585,7 +650,11 @@ def tune_network(
     :func:`~repro.tuning.baselines.tune_alt`: pass a
     :class:`CheckpointManager` to snapshot at grant boundaries, and a
     loaded payload to resume -- a killed-and-resumed network tune is
-    bit-identical to the uninterrupted run.
+    bit-identical to the uninterrupted run.  ``database`` (a
+    :class:`~repro.tuning.database.TuningDatabase`) is consulted first per
+    task: exact hits compile straight from their records with zero fresh
+    measurements, near misses warm-start, and fresh winners are deposited
+    back for the next run.
     """
     tuner = NetworkTuner(
         graph_factory,
@@ -596,6 +665,7 @@ def tune_network(
         trace=trace,
         checkpoint=checkpoint,
         options=options,
+        database=database,
     )
     if restore is not None:
         tuner.load_full_state(restore)

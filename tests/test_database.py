@@ -1,0 +1,699 @@
+"""The persistent tuning database and the record-layer durability fixes.
+
+Covers the cross-run record store (`repro.tuning.database`): atomic dumps
+with merge mode, corrupt-line recovery, the `__tuple__` sentinel escape,
+strict `apply_record` matching, keep-best append-only persistence with
+compaction, nearest-neighbor warm starts, the cache-first paths through
+`pipeline.compile` and the network scheduler, and the `repro db` CLI.
+Property-based sections fuzz the record round trip with adversarial task
+signatures and random layout/schedule chains.
+"""
+
+import json
+import logging
+import math
+import os
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main as cli_main
+from repro.graph.builder import GraphBuilder
+from repro.ir.tensor import Tensor
+from repro.layout.layout import Layout
+from repro.loops.schedule import LoopSchedule
+from repro.machine.spec import get_machine
+from repro.ops.conv import conv2d
+from repro.ops.gemm import gemm
+from repro.pipeline import CompileOptions, compile_graph, task_signature
+from repro.tuning.baselines import tune_alt
+from repro.tuning.cost_model import CostModel
+from repro.tuning.database import (
+    DEFAULT_MAX_DISTANCE,
+    TuningDatabase,
+    encode_warm,
+    signature_distance,
+    warm_start_payload,
+)
+from repro.tuning.records import (
+    RecordError,
+    RecordStore,
+    TuneRecord,
+    _jsonable,
+    _tupled,
+    apply_record,
+    layout_to_dict,
+    record_from_result,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from repro.tuning.scheduler import tune_network
+
+MACHINE = get_machine("intel_cpu")
+
+
+def small_gemm(n=16, name="g"):
+    return gemm(
+        Tensor(f"{name}.a", (n, n)), Tensor(f"{name}.b", (n, n)), name=name
+    )
+
+
+def small_conv(name="c", ch=8):
+    return conv2d(
+        Tensor(f"{name}.i", (1, ch, 12, 12)),
+        Tensor(f"{name}.k", (ch, ch, 3, 3)),
+        name=name,
+    )
+
+
+def synthetic_record(task=("t",), machine="m", latency=1e-6, **kw):
+    return TuneRecord(
+        task=task, machine=machine, latency_s=latency,
+        layouts={}, schedule=None, **kw,
+    )
+
+
+def tuned_record(comp, budget=32, seed=0, warm=False):
+    res = tune_alt(comp, MACHINE, budget=budget, seed=seed)
+    return record_from_result(comp, MACHINE.name, res, warm=warm)
+
+
+# ---------------------------------------------------------------------------
+# satellite: atomic dump + merge mode
+# ---------------------------------------------------------------------------
+
+class TestAtomicDump:
+    def test_replace_leaves_no_tmp(self, tmp_path):
+        store = RecordStore()
+        store.add(synthetic_record())
+        path = tmp_path / "r.jsonl"
+        store.dump(str(path))
+        assert len(RecordStore.load(str(path))) == 1
+        leftovers = [f for f in os.listdir(tmp_path) if ".tmp" in f]
+        assert leftovers == []
+
+    def test_replace_overwrites_whole_file(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        a = RecordStore()
+        a.add(synthetic_record(task=("a",)))
+        a.dump(str(path))
+        b = RecordStore()
+        b.add(synthetic_record(task=("b",)))
+        b.dump(str(path), mode="replace")
+        loaded = RecordStore.load(str(path))
+        assert [r.task for r in loaded.records()] == [("b",)]
+
+    def test_merge_mode_keeps_best_of_both(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        disk = RecordStore()
+        disk.add(synthetic_record(task=("shared",), latency=1e-7))
+        disk.add(synthetic_record(task=("disk-only",)))
+        disk.dump(str(path))
+        mine = RecordStore()
+        mine.add(synthetic_record(task=("shared",), latency=5e-7))  # worse
+        mine.add(synthetic_record(task=("mine-only",)))
+        mine.dump(str(path), mode="merge")
+        loaded = RecordStore.load(str(path))
+        assert len(loaded) == 3
+        by_task = {r.task: r for r in loaded.records()}
+        assert by_task[("shared",)].latency_s == 1e-7  # disk's better survived
+
+    def test_bad_mode_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            RecordStore().dump(str(tmp_path / "r.jsonl"), mode="append")
+
+
+# ---------------------------------------------------------------------------
+# satellite: corrupt-line recovery
+# ---------------------------------------------------------------------------
+
+class TestCorruptLines:
+    def test_load_skips_bad_lines_with_one_warning(self, tmp_path, caplog):
+        good = synthetic_record(task=("ok",))
+        good2 = synthetic_record(task=("ok2",))
+        path = tmp_path / "r.jsonl"
+        path.write_text(
+            good.to_json() + "\n"
+            + '{"task": ["__tuple__", "torn...' + "\n"  # torn tail write
+            + "complete garbage\n"
+            + '["a", "json", "list"]' + "\n"  # valid JSON, not an object
+            + '{"machine": "m"}' + "\n"  # object missing required fields
+            + good2.to_json() + "\n"
+        )
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            loaded = RecordStore.load(str(path))
+        assert {r.task for r in loaded.records()} == {("ok",), ("ok2",)}
+        warnings = [r for r in caplog.records if "corrupt" in r.getMessage()]
+        assert len(warnings) == 1
+        assert "4" in warnings[0].getMessage()
+
+    def test_malformed_records_raise_record_error(self):
+        from repro.tuning.records import primitive_from_dict
+
+        with pytest.raises(RecordError):
+            primitive_from_dict({"op": "warp"})
+        with pytest.raises(RecordError):
+            TuneRecord.from_json('["not", "an", "object"]')
+        with pytest.raises(RecordError):
+            TuneRecord.from_json('{"task": ["__tuple__"]}')  # missing fields
+
+    def test_torn_tail_after_append(self, tmp_path):
+        db = TuningDatabase(str(tmp_path / "db.jsonl"))
+        db.add(synthetic_record(task=("a",)))
+        db.add(synthetic_record(task=("b",)))
+        with open(db.path, "a") as f:
+            f.write('{"task": ["__tuple__", "c"], "machi')  # crashed appender
+        again = TuningDatabase(db.path)
+        assert len(again) == 2  # torn tail dropped, healthy lines intact
+
+
+# ---------------------------------------------------------------------------
+# satellite: "__tuple__" sentinel escape
+# ---------------------------------------------------------------------------
+
+class TestSentinelEscape:
+    def test_literal_sentinel_string_survives(self):
+        task = ("__tuple__", ("nested", "__tuple__"), "plain")
+        rec = synthetic_record(task=task)
+        assert TuneRecord.from_json(rec.to_json()).task == task
+
+    def test_already_escaped_forms_survive(self):
+        task = ("\\__tuple__", "\\\\__tuple__", "\\not_the_sentinel")
+        rec = synthetic_record(task=task)
+        assert TuneRecord.from_json(rec.to_json()).task == task
+
+    def test_sentinel_never_creates_phantom_tuple(self):
+        # a list whose first element is the literal string must not come
+        # back as a tuple
+        task = (["__tuple__", 1, 2],)
+        back = TuneRecord.from_json(synthetic_record(task=task).to_json()).task
+        assert back == task
+        assert isinstance(back[0], list)
+
+    @given(
+        st.recursive(
+            st.one_of(
+                st.integers(-8, 8),
+                st.sampled_from(
+                    ["__tuple__", "\\__tuple__", "x", "", "\\", "__tuple"]
+                ),
+            ),
+            lambda inner: st.one_of(
+                st.lists(inner, max_size=3),
+                st.lists(inner, max_size=3).map(tuple),
+            ),
+            max_leaves=12,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_jsonable_tupled_inverse(self, value):
+        encoded = _jsonable(value)
+        json.dumps(encoded)  # must be pure JSON
+        assert _tupled(encoded) == value
+
+
+# ---------------------------------------------------------------------------
+# satellite: strict apply_record matching
+# ---------------------------------------------------------------------------
+
+class TestApplyRecordStrict:
+    def test_unmatched_recorded_layout_raises(self):
+        comp = small_gemm(8, "am")
+        rec = tuned_record(comp, budget=24)
+        rec.layouts["phantom"] = {
+            "shape": [7, 7], "names": ["A", "B"], "primitives": [],
+        }
+        with pytest.raises(RecordError, match="phantom"):
+            apply_record(rec, comp)
+
+    def test_shared_shape_positional_matching(self):
+        # gemm 8x8: output and both inputs share the (8, 8) shape; the
+        # record's insertion order must map output-first deterministically
+        comp = small_gemm(8, "ap")
+        out_lay = Layout((8, 8)).split(0, [2, 4])
+        a_lay = Layout((8, 8)).reorder([1, 0])
+        b_lay = Layout((8, 8)).split(1, [4, 2])
+        rec = TuneRecord(
+            task=task_signature(comp),
+            machine=MACHINE.name,
+            latency_s=1e-6,
+            layouts={
+                comp.output.name: layout_to_dict(out_lay),
+                comp.inputs[0].name: layout_to_dict(a_lay),
+                comp.inputs[1].name: layout_to_dict(b_lay),
+            },
+            schedule=None,
+        )
+        for _ in range(3):  # deterministic across repeated applications
+            layouts, _ = apply_record(rec, comp)
+            assert layouts[comp.output.name].signature() == out_lay.signature()
+            assert layouts[comp.inputs[0].name].signature() == a_lay.signature()
+            assert layouts[comp.inputs[1].name].signature() == b_lay.signature()
+
+    def test_clone_with_renamed_tensors_still_applies(self):
+        rec = tuned_record(small_conv("c1"), budget=24)
+        clone = small_conv("c2")
+        layouts, _ = apply_record(rec, clone)
+        assert set(layouts) <= {clone.output.name} | {
+            t.name for t in clone.inputs
+        }
+
+
+# ---------------------------------------------------------------------------
+# the database: persistence, keep-best appends, compaction, import/export
+# ---------------------------------------------------------------------------
+
+def _disk_lines(path):
+    with open(path) as f:
+        return sum(1 for line in f if line.strip())
+
+
+class TestTuningDatabase:
+    def test_reopen_round_trip(self, tmp_path):
+        comp = small_gemm(8, "rr")
+        db = TuningDatabase(str(tmp_path / "db.jsonl"))
+        rec = tuned_record(comp, budget=24)
+        assert db.add(rec)
+        again = TuningDatabase(db.path)
+        hit = again.lookup(comp, MACHINE.name)
+        assert hit is not None
+        assert hit.to_json() == rec.to_json()
+        assert again.hits == 1 and again.misses == 0
+
+    def test_directory_path_uses_db_file(self, tmp_path):
+        db = TuningDatabase(str(tmp_path))
+        assert db.path == str(tmp_path / "db.jsonl")
+        db.add(synthetic_record())
+        assert os.path.exists(db.path)
+
+    def test_keep_best_append_only_on_improvement(self, tmp_path):
+        db = TuningDatabase(str(tmp_path / "db.jsonl"))
+        assert db.add(synthetic_record(latency=4e-6))
+        assert not db.add(synthetic_record(latency=9e-6))  # worse: dropped
+        assert db.add(synthetic_record(latency=1e-6))
+        assert _disk_lines(db.path) == 2  # the worse one never hit disk
+        assert len(db) == 1
+        assert db.puts == 2
+
+    def test_compact_rewrites_keep_best_view(self, tmp_path):
+        db = TuningDatabase(str(tmp_path / "db.jsonl"))
+        for lat in (4e-6, 3e-6, 2e-6):
+            db.add(synthetic_record(latency=lat))
+        assert _disk_lines(db.path) == 3
+        out = db.compact()
+        assert out == {"before": 3, "after": 1}
+        assert _disk_lines(db.path) == 1
+        assert TuningDatabase(db.path).records()[0].latency_s == 2e-6
+
+    def test_compact_preserves_concurrent_appends(self, tmp_path):
+        path = str(tmp_path / "db.jsonl")
+        db1 = TuningDatabase(path)
+        db1.add(synthetic_record(task=("one",), latency=2e-6))
+        db2 = TuningDatabase(path)  # second process
+        db2.add(synthetic_record(task=("two",)))
+        db2.add(synthetic_record(task=("one",), latency=1e-6))  # better
+        db1.compact()  # db1 has never seen db2's appends
+        merged = TuningDatabase(path)
+        assert len(merged) == 2
+        by_task = {r.task: r for r in merged.records()}
+        assert by_task[("one",)].latency_s == 1e-6
+
+    def test_export_import(self, tmp_path):
+        db = TuningDatabase(str(tmp_path / "a.jsonl"))
+        db.add(synthetic_record(task=("x",)))
+        db.add(synthetic_record(task=("y",)))
+        out = str(tmp_path / "export.jsonl")
+        assert db.export(out) == 2
+        other = TuningDatabase(str(tmp_path / "b.jsonl"))
+        other.add(synthetic_record(task=("y",), latency=1e-9))  # better y
+        assert other.import_file(out) == 1  # only x was new-best
+        assert len(other) == 2
+        # absorbed records are durable
+        assert len(TuningDatabase(other.path)) == 2
+
+    def test_stats_and_provenance(self, tmp_path):
+        db = TuningDatabase(str(tmp_path / "db.jsonl"))
+        db.add(synthetic_record(task=("w",), warm={"ppo": {}}))
+        db.add(synthetic_record(task=("p",), machine="m2"))
+        db.lookup(small_gemm(8, "st"), MACHINE.name)  # a miss
+        s = db.stats()
+        assert s["records"] == 2
+        assert s["machines"] == {"m": 1, "m2": 1}
+        assert s["warm_capable"] == 1
+        assert s["disk_lines"] == 2 and s["disk_bytes"] > 0
+        p = db.provenance()
+        assert p["misses"] == 1 and p["hits"] == 0 and p["puts"] == 2
+
+    def test_autosync_off_keeps_disk_untouched(self, tmp_path):
+        db = TuningDatabase(str(tmp_path / "db.jsonl"), autosync=False)
+        db.add(synthetic_record())
+        assert not os.path.exists(db.path) or _disk_lines(db.path) == 0
+        db.dump(db.path, mode="merge")  # explicit sync still works
+        assert _disk_lines(db.path) == 1
+
+
+# ---------------------------------------------------------------------------
+# signature distance + warm-start transfer
+# ---------------------------------------------------------------------------
+
+class TestSignatureDistance:
+    def test_identical_is_zero(self):
+        sig = task_signature(small_gemm(16, "d0"))
+        assert signature_distance(sig, sig) == 0.0
+
+    def test_different_op_family_is_inf(self):
+        a = task_signature(small_gemm(16, "d1"))
+        b = task_signature(small_conv("d2"))
+        assert signature_distance(a, b) == math.inf
+
+    def test_shape_drift_is_monotone_and_symmetric(self):
+        s16 = task_signature(small_gemm(16, "e1"))
+        s24 = task_signature(small_gemm(24, "e2"))
+        s64 = task_signature(small_gemm(64, "e3"))
+        near, far = signature_distance(s16, s24), signature_distance(s16, s64)
+        assert 0 < near < far < math.inf
+        assert signature_distance(s24, s16) == near
+
+    def test_malformed_signature_is_inf(self):
+        assert signature_distance(("bad",), task_signature(small_gemm())) \
+            == math.inf
+
+
+class TestWarmStart:
+    def test_nearest_excludes_exact_and_ranks_by_distance(self, tmp_path):
+        db = TuningDatabase(str(tmp_path / "db.jsonl"))
+        for n, name in ((16, "n16"), (24, "n24"), (32, "n32")):
+            db.add(tuned_record(small_gemm(n, name), budget=24))
+        query = small_gemm(16, "q")
+        assert db.lookup(query, MACHINE.name) is not None  # exact exists
+        ranked = db.nearest(query, MACHINE.name, k=2)
+        assert len(ranked) == 2
+        sizes = [rec.task[1][0] for _, rec in ranked]
+        assert sizes == [24, 32]  # nearest first, exact match excluded
+        assert ranked[0][0] < ranked[1][0]
+        assert db.nearest(query, MACHINE.name, max_distance=0.01) == []
+
+    def test_warm_start_payload_shape(self, tmp_path):
+        db = TuningDatabase(str(tmp_path / "db.jsonl"))
+        db.add(tuned_record(small_gemm(16, "w16"), budget=48, warm=True))
+        payload = db.warm_start(small_gemm(24, "w24"), MACHINE.name)
+        assert payload is not None
+        assert set(payload) >= {"pretrained", "cost_model_seed", "distance"}
+        assert {"layout", "loop"} <= set(payload["pretrained"])
+        assert db.warm_starts == 1
+
+    def test_warm_start_skips_payloadless_neighbors(self, tmp_path):
+        db = TuningDatabase(str(tmp_path / "db.jsonl"))
+        db.add(tuned_record(small_gemm(16, "np16"), budget=24, warm=False))
+        assert db.warm_start(small_gemm(24, "np24"), MACHINE.name) is None
+
+    def test_warm_payload_round_trips_into_tuner(self, tmp_path):
+        db = TuningDatabase(str(tmp_path / "db.jsonl"))
+        db.add(tuned_record(small_gemm(16, "t16"), budget=48, warm=True))
+        warm = TuningDatabase(db.path).warm_start(
+            small_gemm(24, "t24"), MACHINE.name
+        )
+        res = tune_alt(
+            small_gemm(24, "t24b"), MACHINE, budget=24, seed=0,
+            pretrained=warm["pretrained"],
+            cost_model_seed=warm["cost_model_seed"],
+        )
+        assert math.isfinite(res.best_latency)
+
+    def test_encode_warm_rounds_and_jsonifies(self):
+        warm = {
+            "ppo": {
+                "layout": {
+                    "actor": [np.array([[0.123456789, 1.0]])],
+                    "critic": [np.array([0.5])],
+                    "log_std": -0.987654321,
+                }
+            },
+            "cost_model": {"X": [np.arange(3.0)], "y": [1.23456789]},
+        }
+        enc = encode_warm(warm)
+        json.dumps(enc)  # JSON-ready, no numpy left
+        assert enc["ppo"]["layout"]["actor"][0][0][0] == pytest.approx(
+            0.123457
+        )
+        assert encode_warm(None) is None and encode_warm({}) is None
+
+    def test_warm_start_payload_none_without_state(self):
+        assert warm_start_payload(synthetic_record()) is None
+
+    def test_cost_model_seed_round_trip(self):
+        src = CostModel(min_samples=4)
+        rng = np.random.default_rng(0)
+        for _ in range(8):
+            src._X.append(rng.normal(size=5))
+            src._y.append(float(rng.normal()))
+        seed = src.export_seed()
+        json.dumps(seed)
+        dst = CostModel(min_samples=4)
+        assert dst.seed(seed) == 8
+        assert dst._model is not None  # enough points: fitted immediately
+
+
+# ---------------------------------------------------------------------------
+# cache-first compile + network scheduler integration
+# ---------------------------------------------------------------------------
+
+def _one_conv_net():
+    b = GraphBuilder("db_net")
+    x = b.input((1, 8, 14, 14))
+    x = b.conv_bn_act(x, 8, 3)
+    return b.build()
+
+
+class TestPipelineWithDatabase:
+    def test_second_compile_is_all_hits(self, tmp_path):
+        db = TuningDatabase(str(tmp_path / "db.jsonl"))
+        opts = CompileOptions(mode="alt", total_budget=64, seed=0, records=db)
+        first = compile_graph(_one_conv_net(), MACHINE, opts)
+        assert db.puts >= 1
+        reopened = TuningDatabase(db.path)  # fresh process
+        opts2 = CompileOptions(
+            mode="alt", total_budget=64, seed=0, records=reopened
+        )
+        second = compile_graph(_one_conv_net(), MACHINE, opts2)
+        assert all(r.measurements == 0 for r in second.task_results.values())
+        assert reopened.hits >= 1 and reopened.puts == 0
+        assert second.latency_s == pytest.approx(first.latency_s, rel=0.2)
+
+    def test_plain_record_store_still_works(self):
+        store = RecordStore()
+        opts = CompileOptions(
+            mode="alt", total_budget=64, seed=0, records=store
+        )
+        compile_graph(_one_conv_net(), MACHINE, opts)
+        assert len(store) >= 1
+
+
+class TestSchedulerWithDatabase:
+    def test_network_tune_hits_skip_measurement(self, tmp_path):
+        db = TuningDatabase(str(tmp_path / "db.jsonl"))
+        cold = tune_network(
+            _one_conv_net, MACHINE, budget=64, seed=0, database=db
+        )
+        assert db.puts >= 1
+        reopened = TuningDatabase(db.path)
+        warm = tune_network(
+            _one_conv_net, MACHINE, budget=64, seed=0, database=reopened
+        )
+        assert reopened.hits == len(warm.tasks)
+        assert sum(t.measurements for t in warm.tasks.values()) == 0
+        assert all(r.granted == 0 for r in warm.reports)
+        assert warm.network_latency_s == pytest.approx(
+            cold.network_latency_s, rel=0.2
+        )
+
+    def test_database_none_unchanged(self):
+        res = tune_network(_one_conv_net, MACHINE, budget=64, seed=0)
+        assert math.isfinite(res.network_latency_s)
+
+
+# ---------------------------------------------------------------------------
+# CLI: --db on tune, and the `repro db` maintenance commands
+# ---------------------------------------------------------------------------
+
+class TestCLIDatabase:
+    def test_tune_miss_then_hit(self, tmp_path, capsys):
+        db_path = str(tmp_path / "db.jsonl")
+        base = [
+            "-q", "tune", "gmm", "--size", "8", "--budget", "32",
+            "--seed", "0", "--db", db_path,
+        ]
+        assert cli_main(base) == 0
+        out1 = capsys.readouterr().out
+        assert "miss; result deposited" in out1
+        assert cli_main(base) == 0
+        out2 = capsys.readouterr().out
+        assert "HIT" in out2
+        assert "0 simulated measurements" in out2
+
+        # identical emitted layouts/schedule
+        def emitted(out):
+            return [
+                line for line in out.splitlines()
+                if "Layout[" in line or "schedule:" in line
+            ]
+
+        assert emitted(out1) == emitted(out2) and emitted(out1)
+
+    def test_db_flag_rejected_for_baseline_tuners(self, tmp_path):
+        with pytest.raises(SystemExit):
+            cli_main([
+                "-q", "tune", "gmm", "--size", "8", "--tuner", "ansor",
+                "--db", str(tmp_path / "db.jsonl"),
+            ])
+
+    def test_stats_compact_export_import(self, tmp_path, capsys):
+        db_path = str(tmp_path / "db.jsonl")
+        db = TuningDatabase(db_path)
+        for lat in (4e-6, 2e-6):
+            db.add(synthetic_record(latency=lat))
+        assert cli_main(["-q", "db", "stats", db_path]) == 0
+        out = capsys.readouterr().out
+        assert "records: 1" in out and "repro db compact" in out
+        assert cli_main(["-q", "db", "compact", db_path]) == 0
+        assert "2 line(s) -> 1 record(s)" in capsys.readouterr().out
+        exported = str(tmp_path / "out.jsonl")
+        assert cli_main(["-q", "db", "export", db_path, "--out", exported]) == 0
+        capsys.readouterr()
+        dest = str(tmp_path / "dest.jsonl")
+        assert cli_main(["-q", "db", "import", dest, exported]) == 0
+        assert "imported 1 new-best record(s)" in capsys.readouterr().out
+
+    def test_manifest_records_database_provenance(self, tmp_path, capsys):
+        db_path = str(tmp_path / "db.jsonl")
+        store = str(tmp_path / "runs")
+        argv = [
+            "-q", "tune", "gmm", "--size", "8", "--budget", "32",
+            "--seed", "0", "--db", db_path, "--run-store", store,
+        ]
+        assert cli_main(argv) == 0
+        capsys.readouterr()
+        from repro.obs.runstore import RunStore
+
+        rec = RunStore(store).latest()
+        block = rec.manifest["database"]
+        assert block["path"] == os.path.abspath(db_path)
+        assert block["misses"] == 1 and block["puts"] == 1
+        assert rec.summary()["database"] == block
+        # and `runs show` surfaces it
+        assert cli_main(["-q", "runs", "show", "latest", "--store", store]) == 0
+        assert "database:" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# property-based: random record round trips
+# ---------------------------------------------------------------------------
+
+@st.composite
+def random_layout_dicts(draw):
+    """A random legal layout as its serialized dict form."""
+    ndim = draw(st.integers(2, 3))
+    shape = tuple(draw(st.sampled_from([2, 4, 6, 8])) for _ in range(ndim))
+    lay = Layout(shape)
+    for _ in range(draw(st.integers(0, 2))):
+        dims = lay.dims
+        i = draw(st.integers(0, len(dims) - 1))
+        size = dims[i].size
+        factors = [f for f in (2, 3, 4) if size % f == 0 and size // f > 1]
+        if factors:
+            f = draw(st.sampled_from(factors))
+            lay = lay.split(i, [size // f, f])
+    if draw(st.booleans()):
+        perm = draw(st.permutations(range(len(lay.dims))))
+        lay = lay.reorder(list(perm))
+    return layout_to_dict(lay)
+
+
+@st.composite
+def random_schedules(draw):
+    sched = LoopSchedule()
+    for var in draw(st.lists(st.sampled_from(["s0", "s1", "s2"]),
+                             unique=True, max_size=2)):
+        sched.split(var, draw(st.sampled_from([[2, 2], [4, 2], [2, 3]])))
+    if draw(st.booleans()):
+        sched.parallel("s0")
+    if draw(st.booleans()):
+        sched.vectorize("s3")
+    for var in draw(st.lists(st.sampled_from(["k", "s2.1"]),
+                             unique=True, max_size=2)):
+        sched.unroll(var)
+    return sched
+
+
+task_atoms = st.one_of(
+    st.integers(1, 512),
+    st.sampled_from(["conv", "gemm", "__tuple__", "\\__tuple__", "", "x y"]),
+)
+task_signatures = st.tuples(
+    st.lists(task_atoms, max_size=2).map(tuple),  # tags
+    st.lists(st.integers(1, 64), min_size=1, max_size=4).map(tuple),  # out
+    st.lists(
+        st.lists(st.integers(1, 64), min_size=1, max_size=4).map(tuple),
+        max_size=2,
+    ).map(tuple),  # inputs
+    st.lists(st.tuples(task_atoms, task_atoms), max_size=2).map(tuple),
+)
+
+
+class TestRecordRoundTripProperties:
+    @given(
+        task=task_signatures,
+        latency=st.floats(1e-9, 1.0, allow_nan=False),
+        measurements=st.integers(0, 10_000),
+        layouts=st.dictionaries(
+            st.sampled_from(["out", "a", "b"]), random_layout_dicts(),
+            max_size=3,
+        ),
+        schedule=random_schedules(),
+    )
+    @settings(
+        max_examples=40, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_record_json_round_trip(
+        self, task, latency, measurements, layouts, schedule
+    ):
+        rec = TuneRecord(
+            task=task,
+            machine="m",
+            latency_s=latency,
+            layouts=layouts,
+            schedule=schedule_to_dict(schedule),
+            measurements=measurements,
+        )
+        back = TuneRecord.from_json(rec.to_json())
+        assert back.task == task
+        assert back.key() == rec.key()
+        assert back.latency_s == latency
+        assert back.measurements == measurements
+        assert back.layouts == json.loads(json.dumps(layouts))
+        restored = schedule_from_dict(back.schedule)
+        assert restored.signature() == schedule.signature()
+
+    @given(
+        records=st.lists(
+            st.tuples(task_signatures, st.floats(1e-9, 1.0, allow_nan=False)),
+            min_size=1, max_size=8,
+        )
+    )
+    @settings(
+        max_examples=30, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_database_reload_equals_memory_view(self, tmp_path_factory, records):
+        tmp = tmp_path_factory.mktemp("prop-db")
+        db = TuningDatabase(str(tmp / "db.jsonl"))
+        for task, latency in records:
+            db.add(synthetic_record(task=task, latency=latency))
+        again = TuningDatabase(db.path)
+        assert len(again) == len(db)
+        mine = {r.key(): r.latency_s for r in db.records()}
+        theirs = {r.key(): r.latency_s for r in again.records()}
+        assert mine == theirs
