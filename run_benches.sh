@@ -16,5 +16,16 @@ for f in test_table2_prefetch test_motivating_example test_fig13_sensitivity \
     FAILED=1
   fi
 done
+# Re-author the tuner throughput baseline (candidates/sec + per-phase
+# attribution on the pinned CI gate workloads); commit the refreshed
+# BENCH_tuner_throughput.json when the machine is representative.
+echo "=== tuner throughput (BENCH_tuner_throughput.json) ===" >> $OUT
+if PYTHONPATH=/root/repo/src python -m repro profile gate --repeats 3 \
+    --out /root/repo/BENCH_tuner_throughput.json >> $OUT 2>&1; then
+  echo "PASS tuner throughput bench"
+else
+  echo "FAIL tuner throughput bench (see $OUT)"
+  FAILED=1
+fi
 echo "ALL BENCH FILES DONE" >> $OUT
 exit $FAILED

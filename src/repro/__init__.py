@@ -56,7 +56,7 @@ from .lower.lower import LoweringError, lower_compute
 from .machine.latency import estimate_program, estimate_stage
 from .machine.spec import get_machine
 from .machine.trace import profile_program, profile_stage
-from .obs import MetricsRegistry, Trace, load_trace
+from .obs import MetricsRegistry, Profiler, Trace, load_trace, profile_report
 from .obs.log import log, setup_logging
 from .ops.conv import conv1d, conv2d, conv3d, depthwise_conv2d
 from .ops.gemm import batch_gemm, dense, gemm
@@ -88,7 +88,8 @@ __version__ = "0.1.0"
 __all__ = [
     "Access", "Axis", "CompileOptions", "CompiledModel", "ComputeDef",
     "Graph", "GraphBuilder", "Layout", "LoopSchedule", "LoweringError",
-    "MetricsRegistry", "Program", "PropagationEngine", "PropagationState",
+    "MetricsRegistry", "Profiler", "Program", "PropagationEngine",
+    "PropagationState", "profile_report",
     "Stage", "Tensor", "Trace", "TuningTask", "Var", "batch_gemm",
     "compile_graph", "conv1d", "conv2d", "conv3d", "dense",
     "depthwise_conv2d", "estimate_program", "estimate_stage",

@@ -6,6 +6,7 @@ Commands
 ``tune``      tune a single operator and print the result/layouts
 ``compile``   compile a model-zoo network end to end and print the report
 ``trace``     render a saved JSONL trace (flamegraph + tuning timeline)
+``profile``   phase-profile a tuning run / regenerate the throughput bench
 ``runs``      inspect/compare the persistent run registry (perf gate)
 ``machines``  list the simulated hardware targets
 ``models``    list the model zoo
@@ -35,12 +36,16 @@ from .ir.tensor import Tensor
 from .machine.spec import PRESETS, get_machine
 from .obs.compare import (
     DEFAULT_THRESHOLD,
+    THROUGHPUT_THRESHOLD,
     compare_summaries,
+    compare_throughput,
     render_compare,
+    render_throughput_compare,
     write_compare,
 )
 from .obs.diagnostics import render_diagnostics
 from .obs.log import log, setup_logging
+from .obs.profiler import Profiler, attribution_fraction, profile_report
 from .obs.render import timeline_report, trace_report
 from .obs.runstore import (
     STATUS_COMPLETED,
@@ -149,6 +154,23 @@ def _record_db_use(writer: Optional[RunWriter], db: Optional[TuningDatabase]):
     into the run manifest before the writer closes."""
     if writer is not None and db is not None:
         writer.manifest["database"] = db.provenance()
+
+
+def _make_profiler(args) -> Optional[Profiler]:
+    """An enabled Profiler when ``--profile`` was given, else None (the
+    tuners then fall back to the shared null profiler -- zero cost)."""
+    if not getattr(args, "profile", False):
+        return None
+    return Profiler()
+
+
+def _finish_profile(prof: Optional[Profiler], args) -> None:
+    """Print the hot-path table for ``--profile`` runs (the machine-readable
+    payload lands in the run store via ``RunWriter.finish``)."""
+    if prof is None:
+        return
+    print()
+    print(profile_report(prof))
 
 
 def _make_trace(args, name: str) -> Optional[Trace]:
@@ -268,6 +290,9 @@ def cmd_tune(args) -> int:
     tuner = BASELINE_TUNERS.get(args.tuner, tune_alt)
     measure = _measure_options(args)
     trace = _make_trace(args, f"tune:{args.op}")
+    prof = _make_profiler(args)
+    if prof is not None and args.tuner != "alt":
+        raise SystemExit("--profile is supported with the alt tuner only")
     if writer is None:
         writer = _make_writer(
             args, f"tune-{args.op}",
@@ -310,6 +335,7 @@ def cmd_tune(args) -> int:
                 restore=restore,
                 pretrained=(warm or {}).get("pretrained"),
                 cost_model_seed=(warm or {}).get("cost_model_seed"),
+                profiler=prof,
             )
         else:
             result = tuner(
@@ -326,7 +352,7 @@ def cmd_tune(args) -> int:
     _record_db_use(writer, db)
     if writer is not None:
         record = writer.finish(
-            trace, tasks={comp.name: task_result_dict(result)}
+            trace, tasks={comp.name: task_result_dict(result)}, profile=prof,
         )
         print(f"run recorded: {record.run_id} ({record.path})")
     print(f"operator {args.op} on {machine.name} via {args.tuner}:")
@@ -352,6 +378,7 @@ def cmd_tune(args) -> int:
         print(f"  {name:10s} {layout}")
     if result.best_schedule is not None:
         print(f"  schedule: {result.best_schedule}")
+    _finish_profile(prof, args)
     return 0
 
 
@@ -367,6 +394,7 @@ def _tune_network_cmd(args, writer, restore) -> int:
         raise SystemExit("--model tuning uses the alt tuner only")
     measure = _measure_options(args)
     trace = _make_trace(args, f"tune-net:{args.model}")
+    prof = _make_profiler(args)
     if writer is None:
         writer = _make_writer(
             args, f"tune-net-{args.model}",
@@ -395,6 +423,7 @@ def _tune_network_cmd(args, writer, restore) -> int:
             options=options,
             verify=args.verify,
             database=db,
+            profiler=prof,
         )
     except BaseException as exc:
         if writer is not None:
@@ -425,6 +454,7 @@ def _tune_network_cmd(args, writer, restore) -> int:
                 "fused_stages": len(getattr(result.model, "fuse_groups", {})),
             },
             allocations=result.allocations,
+            profile=prof,
         )
         print(f"run recorded: {record.run_id} ({record.path})")
     if db is not None:
@@ -433,6 +463,7 @@ def _tune_network_cmd(args, writer, restore) -> int:
               f"{p['misses']} miss(es), {p['warm_starts']} warm start(s), "
               f"{p['puts']} deposit(s)")
     print(network_report(result))
+    _finish_profile(prof, args)
     if result.verified is False:
         return 1
     return 0
@@ -447,6 +478,7 @@ def cmd_compile(args) -> int:
         )
     graph = builder(args)
     trace = _make_trace(args, f"compile:{args.model}")
+    prof = _make_profiler(args)
     writer = _make_writer(
         args, f"compile-{args.model}",
         workload=(
@@ -466,6 +498,7 @@ def cmd_compile(args) -> int:
                 measure=_measure_options(args),
                 trace=trace,
                 records=db,
+                profiler=prof,
             ),
         )
     except BaseException as exc:
@@ -488,6 +521,7 @@ def cmd_compile(args) -> int:
                 "n_conversions": model.n_conversions,
                 "fused_stages": len(model.fuse_groups),
             },
+            profile=prof,
         )
         print(f"run recorded: {record.run_id} ({record.path})")
     if db is not None:
@@ -496,12 +530,13 @@ def cmd_compile(args) -> int:
               f"{p['misses']} miss(es), {p['warm_starts']} warm start(s), "
               f"{p['puts']} deposit(s)")
     print(full_report(model, trace=trace))
+    _finish_profile(prof, args)
     return 0
 
 
 def cmd_trace(args) -> int:
     data = load_trace(args.trace_file)
-    print(trace_report(data))
+    print(trace_report(data, sort=args.sort))
     print()
     print(timeline_report(data, task=args.task))
     return 0
@@ -509,7 +544,12 @@ def cmd_trace(args) -> int:
 
 def cmd_runs_list(args) -> int:
     store = RunStore(args.store)
-    ids = store.run_ids()
+    ids, skipped = store.scan()
+    if skipped:
+        log.warning(
+            "skipped %d unreadable run dir(s): %s", len(skipped),
+            ", ".join(f"{e} ({reason})" for e, reason in skipped),
+        )
     if not ids:
         print(f"(no runs in {store.root})")
         return 0
@@ -530,8 +570,27 @@ def cmd_runs_list(args) -> int:
     return 0
 
 
+def _resolve_record(ref: str, store: Optional[str]) -> Optional[RunRecord]:
+    """The RunRecord behind a ``runs show`` reference, when it is one
+    (summary JSON files and merged stores have no single record)."""
+    try:
+        if os.path.isdir(ref) and is_run_dir(ref):
+            return RunRecord(ref)
+        if store is not None and not os.path.exists(ref):
+            return RunStore(store).load(ref)
+    except (OSError, FileNotFoundError):
+        return None
+    return None
+
+
 def cmd_runs_show(args) -> int:
-    summary = load_summary(args.run, store=args.store)
+    rec = _resolve_record(args.run, args.store)
+    if rec is not None and rec.manifest_error is not None:
+        log.warning("run %s: %s", rec.run_id, rec.manifest_error)
+    try:
+        summary = load_summary(args.run, store=args.store)
+    except (FileNotFoundError, ValueError) as exc:
+        raise SystemExit(str(exc)) from exc
     print(f"run {summary.get('run_id')}:")
     for key in ("name", "machine", "seed", "git_sha", "repro_version"):
         if summary.get(key) is not None:
@@ -562,6 +621,10 @@ def cmd_runs_show(args) -> int:
     diag = summary.get("diagnostics")
     if diag:
         print(render_diagnostics(diag))
+    profile = rec.profile if rec is not None else {}
+    if profile:
+        print()
+        print(profile_report(profile))
     return 0
 
 
@@ -771,6 +834,145 @@ def cmd_db_bench(args) -> int:
     return 1 if failures else 0
 
 
+#: pinned workloads behind ``repro profile gate`` and the committed
+#: ``BENCH_tuner_throughput.json`` baseline (op, channels, size, budget);
+#: seed is always 0 so the search -- and the candidate count -- is exact
+GATE_WORKLOADS = {
+    "gmm-s16-b96": ("gmm", 8, 16, 96),
+    "c2d-ch8-s8-b96": ("c2d", 8, 8, 96),
+}
+
+
+def _profile_tune(comp, machine, budget: int, seed: int,
+                  mem: bool = False, cprofile: bool = False):
+    """One profiled ALT tune with an honest (uncached) measurement engine.
+
+    Returns ``(profiler, result, wall_s)``; the wall clock brackets exactly
+    the tuner call so candidates/sec is end-to-end, not per-phase.
+    """
+    import time as _time
+
+    measure = MeasureOptions()
+    measure.cache_dir = None
+    prof = Profiler()
+    if mem:
+        prof.memory_start()
+    if cprofile:
+        prof.cprofile_start()
+    t0 = _time.perf_counter()
+    result = tune_alt(
+        comp, machine, budget=budget, seed=seed, measure=measure,
+        profiler=prof,
+    )
+    wall = _time.perf_counter() - t0
+    if cprofile:
+        prof.cprofile_stop()
+    if mem:
+        prof.memory_stop()
+    return prof, result, wall
+
+
+def _throughput_entry(name: str, spec, machine, seed: int,
+                      repeats: int) -> Dict:
+    """One ``BENCH_tuner_throughput.json`` workload row, measured
+    ``repeats`` times; ``noise_rel`` is the relative spread so the CI
+    comparator can widen its tolerance on noisy hosts."""
+    op, channels, size, budget = spec
+    runs = []
+    for _ in range(max(repeats, 1)):
+        comp = _single_op(op, channels, size)
+        prof, result, wall = _profile_tune(comp, machine, budget, seed)
+        runs.append((prof, result, wall, result.measurements / wall))
+    rates = sorted(r[3] for r in runs)
+    mean_cps = sum(rates) / len(rates)
+    noise = (rates[-1] - rates[0]) / mean_cps if len(rates) > 1 else 0.0
+    # the median-wall run donates the phase attribution
+    prof, result, wall, _cps = sorted(runs, key=lambda r: r[2])[len(runs) // 2]
+    return {
+        "wall_s": round(wall, 4),
+        "candidates": result.measurements,
+        "candidates_per_s": round(mean_cps, 2),
+        "noise_rel": round(noise, 4),
+        "repeats": len(runs),
+        "phases": {
+            pname: {
+                "self_s": round(stat.self_s, 4),
+                "items_per_s": stat.items_per_s,
+            }
+            for pname, stat in sorted(prof.phases.items())
+        },
+    }
+
+
+def _profile_gate(args) -> int:
+    """``repro profile gate``: regenerate the pinned throughput bench and
+    (with ``--baseline``) gate against a committed one."""
+    machine = get_machine(args.machine)
+    workloads: Dict[str, Dict] = {}
+    for name, spec in GATE_WORKLOADS.items():
+        workloads[name] = _throughput_entry(
+            name, spec, machine, args.seed, args.repeats
+        )
+        w = workloads[name]
+        print(f"  {name:20s} {w['candidates']} candidates in "
+              f"{w['wall_s']:.2f}s -> {w['candidates_per_s']:.1f}/s "
+              f"(noise ~{w['noise_rel'] * 100:.0f}%, {w['repeats']} repeats)")
+    bench = {
+        "schema": 1,
+        "machine": machine.name,
+        "seed": args.seed,
+        "workloads": workloads,
+    }
+    with open(args.out, "w") as f:
+        json.dump(bench, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"throughput bench written to {args.out}")
+    if args.baseline:
+        with open(args.baseline) as f:
+            base = json.load(f)
+        result = compare_throughput(base, bench, threshold=args.threshold)
+        print()
+        print(render_throughput_compare(result))
+        return 0 if result["verdict"] == "pass" else 1
+    return 0
+
+
+def cmd_profile(args) -> int:
+    """``repro profile``: where does tuning wall time go?
+
+    ``repro profile <op>`` tunes one operator with the phase profiler on
+    and prints the hot-path table (plus optional folded cProfile stacks
+    and tracemalloc snapshots); ``repro profile gate`` measures the pinned
+    CI workloads and writes ``BENCH_tuner_throughput.json``.
+    """
+    if args.workload == "gate":
+        return _profile_gate(args)
+    machine = get_machine(args.machine)
+    comp = _single_op(args.workload, args.channels, args.size)
+    prof, result, wall = _profile_tune(
+        comp, machine, args.budget, args.seed,
+        mem=args.mem, cprofile=args.cprofile_out is not None,
+    )
+    print(f"profiled {args.workload} on {machine.name}: "
+          f"best {result.best_latency * 1e6:.2f} us, "
+          f"{result.measurements} candidates in {wall:.2f}s "
+          f"({result.measurements / wall:.1f}/s)")
+    print(f"  attribution: {attribution_fraction(prof) * 100:.1f}% of tune "
+          "wall time lands in a named phase")
+    print()
+    print(profile_report(prof, sort=args.sort))
+    if args.cprofile_out is not None:
+        n = prof.save_folded(args.cprofile_out)
+        print(f"\nfolded stacks written to {args.cprofile_out} ({n} lines; "
+              "feed to a flamegraph renderer)")
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(prof.to_dict(), f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"profile payload written to {args.out}")
+    return 0
+
+
 def cmd_machines(_args) -> int:
     for name in sorted(PRESETS):
         m = get_machine(name)
@@ -835,6 +1037,12 @@ def build_parser() -> argparse.ArgumentParser:
              "are deposited back (inspect with `python -m repro db`)",
     )
     measure_flags.add_argument(
+        "--profile", action="store_true",
+        help="attribute wall time across tuner phases (space sampling, "
+             "cost model, PPO, measurement...); prints a hot-path table "
+             "and lands profile.json in the run store",
+    )
+    measure_flags.add_argument(
         "--inject-faults", default=None, metavar="SPEC",
         help="deterministic fault injection for chaos testing, e.g. "
              "'seed=7,crash=0.02,timeout=0.01,oserror=0.04,hang=2' "
@@ -896,7 +1104,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("trace_file", help="path to a trace written by --trace-out")
     p.add_argument("--task", default=None,
                    help="restrict the tuning timeline to one task")
+    p.add_argument("--sort", default=None, choices=["self", "total", "name"],
+                   help="sibling span order: self/total time (descending) "
+                        "or name (default: chronological)")
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "profile",
+        help="phase-profile one tuning run (where does the wall time go?) "
+             "or, with 'gate', regenerate the pinned throughput bench",
+    )
+    p.add_argument("workload",
+                   choices=sorted(["c2d", "dep", "c1d", "c3d", "gmm", "gate"]))
+    p.add_argument("--machine", default="intel_cpu")
+    p.add_argument("--budget", type=int, default=96)
+    p.add_argument("--channels", type=int, default=8)
+    p.add_argument("--size", type=int, default=16)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--sort", default="self", choices=["self", "total", "name"],
+                   help="hot-path table order (default: self time)")
+    p.add_argument("--mem", action="store_true",
+                   help="also snapshot tracemalloc at round boundaries "
+                        "(adds allocation overhead; off by default)")
+    p.add_argument("--cprofile-out", default=None, metavar="FILE",
+                   help="capture cProfile under the phases and write folded "
+                        "stacks (flamegraph input) to FILE")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="write the machine-readable profile payload as JSON")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="gate mode: repeat runs per workload for the noise "
+                        "estimate (default 3)")
+    p.add_argument("--baseline", default=None, metavar="FILE",
+                   help="gate mode: compare against a committed "
+                        "BENCH_tuner_throughput.json; exit 1 on regression")
+    p.add_argument("--threshold", type=float, default=THROUGHPUT_THRESHOLD,
+                   help="gate mode: relative candidates/sec regression "
+                        f"tolerance floor (default {THROUGHPUT_THRESHOLD})")
+    p.set_defaults(fn=cmd_profile)
 
     p = sub.add_parser("runs", help="inspect/compare the run registry")
     runs_sub = p.add_subparsers(dest="runs_command", required=True)

@@ -19,9 +19,26 @@ Quick tour::
 
 Or from the CLI: ``python -m repro compile resnet18 --trace-out run.jsonl``
 then ``python -m repro trace run.jsonl``.
+
+For *where the time goes* (aggregated per-phase wall time and throughput
+rather than a span tree), thread a :class:`Profiler` the same way::
+
+    from repro.obs import Profiler, profile_report
+
+    prof = Profiler()
+    result = tune_alt(comp, machine, budget=512, profiler=prof)
+    print(profile_report(prof))      # hot-path table, self-time sorted
+
+Or from the CLI: ``python -m repro profile gmm --size 16 --budget 96``.
 """
 
-from .compare import compare_summaries, render_compare, write_compare
+from .compare import (
+    compare_summaries,
+    compare_throughput,
+    render_compare,
+    render_throughput_compare,
+    write_compare,
+)
 from .diagnostics import (
     cost_model_diagnostics,
     layout_episode_table,
@@ -39,7 +56,15 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
 )
-from .render import span_coverage, timeline_report, trace_report
+from .profiler import (
+    NULL_PROFILER,
+    PROFILE_SCHEMA_VERSION,
+    PhaseStat,
+    Profiler,
+    attribution_fraction,
+    profile_report,
+)
+from .render import span_coverage, span_self_s, timeline_report, trace_report
 from .runstore import (
     RunRecord,
     RunStore,
@@ -62,13 +87,16 @@ from .trace import (
 
 __all__ = [
     "Counter", "DEFAULT_BUCKETS", "Gauge", "Histogram", "MetricsRegistry",
-    "NULL_TRACE", "RunRecord", "RunStore", "RunWriter", "Span",
+    "NULL_PROFILER", "NULL_TRACE", "PROFILE_SCHEMA_VERSION", "PhaseStat",
+    "Profiler", "RunRecord", "RunStore", "RunWriter", "Span",
     "TimelineRecorder", "Trace", "TraceData", "TRACE_SCHEMA_VERSION",
-    "best_so_far_curve", "build_span_tree", "compare_summaries",
-    "cost_model_diagnostics", "git_sha", "layout_episode_table",
-    "load_summary", "load_trace", "log", "merge_summaries",
-    "pairwise_rank_accuracy", "ppo_curves", "render_compare",
-    "render_diagnostics", "run_diagnostics", "setup_logging",
-    "span_coverage", "timeline_from_events", "timeline_report", "top_k_recall",
+    "attribution_fraction", "best_so_far_curve", "build_span_tree",
+    "compare_summaries", "compare_throughput", "cost_model_diagnostics",
+    "git_sha", "layout_episode_table", "load_summary", "load_trace", "log",
+    "merge_summaries", "pairwise_rank_accuracy", "ppo_curves",
+    "profile_report", "render_compare", "render_diagnostics",
+    "render_throughput_compare", "run_diagnostics", "setup_logging",
+    "span_coverage", "span_self_s", "timeline_from_events", "timeline_report",
+    "top_k_recall",
     "trace_meta", "trace_report", "write_compare",
 ]

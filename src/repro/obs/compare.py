@@ -267,3 +267,143 @@ def write_compare(result: Dict, path: str) -> None:
     with open(path, "w") as f:
         json.dump(result, f, indent=2, sort_keys=True)
         f.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# Tuner-throughput gate (BENCH_tuner_throughput.json)
+# ---------------------------------------------------------------------------
+
+#: default relative candidates/sec regression threshold.  Wide on purpose:
+#: unlike the latency gate (deterministic given the seed), wall-clock
+#: throughput varies with the CI machine, so only a large drop is a credible
+#: code regression rather than host noise -- and each workload's measured
+#: repeat noise widens its own tolerance further.
+THROUGHPUT_THRESHOLD = 0.5
+
+
+def compare_throughput(
+    base: Dict,
+    cand: Dict,
+    threshold: float = THROUGHPUT_THRESHOLD,
+) -> Dict:
+    """Diff two ``BENCH_tuner_throughput.json`` payloads.
+
+    Gates on end-to-end ``candidates_per_s`` per workload with tolerance
+    ``max(threshold, noise_rel)`` (noise measured from repeat runs when the
+    bench was generated); per-phase rates ride along as informational rows
+    so a regression arrives with its own attribution.
+    """
+    base_wl: Dict[str, Dict] = base.get("workloads") or {}
+    cand_wl: Dict[str, Dict] = cand.get("workloads") or {}
+    rows: List[Dict] = []
+    failures: List[str] = []
+
+    for name in sorted(set(base_wl) | set(cand_wl)):
+        b = base_wl.get(name)
+        c = cand_wl.get(name)
+        if b is None or c is None:
+            if c is None:
+                failures.append(f"{name}: workload missing from candidate")
+            rows.append({
+                "workload": name,
+                "base_cps": b and b.get("candidates_per_s"),
+                "cand_cps": c and c.get("candidates_per_s"),
+                "delta_rel": None,
+                "tolerance": threshold,
+                "status": (
+                    "missing-in-baseline" if b is None
+                    else "missing-in-candidate"
+                ),
+                "phases": [],
+            })
+            continue
+        b_cps = b.get("candidates_per_s")
+        c_cps = c.get("candidates_per_s")
+        noise = max(b.get("noise_rel") or 0.0, c.get("noise_rel") or 0.0)
+        tolerance = max(threshold, noise)
+        phases = []
+        b_ph = b.get("phases") or {}
+        c_ph = c.get("phases") or {}
+        for ph in sorted(set(b_ph) | set(c_ph)):
+            phases.append({
+                "phase": ph,
+                "base_self_s": (b_ph.get(ph) or {}).get("self_s"),
+                "cand_self_s": (c_ph.get(ph) or {}).get("self_s"),
+            })
+        row = {
+            "workload": name,
+            "base_cps": b_cps,
+            "cand_cps": c_cps,
+            "noise_rel": noise,
+            "tolerance": tolerance,
+            "phases": phases,
+        }
+        if not (
+            isinstance(b_cps, (int, float)) and isinstance(c_cps, (int, float))
+            and b_cps > 0 and c_cps > 0
+            and math.isfinite(b_cps) and math.isfinite(c_cps)
+        ):
+            row.update(delta_rel=None, status="not-comparable")
+            rows.append(row)
+            continue
+        # throughput: *lower* is the regression direction
+        delta = c_cps / b_cps - 1.0
+        row["delta_rel"] = delta
+        if delta < -tolerance:
+            row["status"] = "regressed"
+            failures.append(
+                f"{name}: candidates/sec regressed {delta * 100:+.1f}% "
+                f"({b_cps:.1f} -> {c_cps:.1f}, tolerance "
+                f"{tolerance * 100:.0f}%)"
+            )
+        elif delta > tolerance:
+            row["status"] = "improved"
+        else:
+            row["status"] = "unchanged"
+        rows.append(row)
+
+    return {
+        "schema": COMPARE_SCHEMA_VERSION,
+        "threshold": threshold,
+        "workloads": rows,
+        "failures": failures,
+        "verdict": "fail" if failures else "pass",
+    }
+
+
+def render_throughput_compare(result: Dict) -> str:
+    """Plain-text throughput comparison + verdict."""
+    lines = [
+        "tuner throughput comparison:",
+        f"  {'workload':20s} {'baseline':>12s} {'candidate':>12s} "
+        f"{'delta':>8s} {'tol':>6s}  status",
+    ]
+    for row in result["workloads"]:
+        b, c = row.get("base_cps"), row.get("cand_cps")
+        b_s = f"{b:8.1f}/s" if isinstance(b, (int, float)) else "       -"
+        c_s = f"{c:8.1f}/s" if isinstance(c, (int, float)) else "       -"
+        d = row.get("delta_rel")
+        d_s = f"{d * 100:+.1f}%" if d is not None else "-"
+        tol = row.get("tolerance")
+        tol_s = f"{tol * 100:.0f}%" if tol is not None else "-"
+        lines.append(
+            f"  {row['workload']:20s} {b_s:>12s} {c_s:>12s} {d_s:>8s} "
+            f"{tol_s:>6s}  {row['status']}"
+        )
+        if row.get("status") == "regressed":
+            # attribution rides with the failure: which phase slowed down
+            for ph in row.get("phases") or []:
+                b_ph, c_ph = ph.get("base_self_s"), ph.get("cand_self_s")
+                if not (
+                    isinstance(b_ph, (int, float))
+                    and isinstance(c_ph, (int, float)) and b_ph > 0
+                ):
+                    continue
+                lines.append(
+                    f"    {ph['phase']:24s} self {b_ph:8.3f} s -> "
+                    f"{c_ph:8.3f} s ({(c_ph / b_ph - 1) * 100:+.0f}%)"
+                )
+    for failure in result.get("failures", []):
+        lines.append(f"  FAIL: {failure}")
+    lines.append(f"  verdict: {result['verdict'].upper()}")
+    return "\n".join(lines)

@@ -1,0 +1,444 @@
+"""Phase profiler: wall-time and allocation attribution for the tuner.
+
+The span tracer (:mod:`repro.obs.trace`) answers *what happened* -- one
+record per span, a full tree.  This module answers *where the time goes*:
+the tuning inner loop runs thousands of rounds, and keeping one record per
+round would drown both the trace and the analysis.  A :class:`Profiler`
+instead folds every timed region into one aggregated :class:`PhaseStat`
+per phase name -- count, total time, **self time** (total minus the time
+spent in nested phases) and an item counter (candidates, stages, points)
+that turns into a candidates-per-second throughput figure.  That is the
+report ROADMAP item 3 ("make the tuner itself fast") aims with, and the
+data behind ``BENCH_tuner_throughput.json``.
+
+Phase names are dotted and stable across PRs (see the glossary in
+DESIGN.md): ``tune`` is the root; ``space.sample``, ``space.build``,
+``lower``, ``cost_model.features``, ``cost_model.predict``,
+``cost_model.train``, ``ppo.walk``, ``ppo.update``, ``measure``,
+``measure.eval``, ``measure.cache_sim``, ``checkpoint`` cover the inner
+loop.  Per-retrain-generation inference cost lands in the auxiliary table
+(``aux``) so the per-phase totals stay clean.
+
+Design rules (mirroring the tracer's):
+
+- **Zero observable cost when disabled.**  ``NULL_PROFILER`` (and any
+  ``Profiler(enabled=False)``) hands out a shared no-op context manager,
+  keeps no stack, allocates nothing per call and never touches the RNG --
+  tuned results are bit-identical with profiling on or off, and the
+  per-call overhead is one attribute lookup plus a ``with`` block
+  (asserted against a <2% budget by the tests).
+- **Self time partitions wall time.**  Every phase exit charges its
+  duration to the parent's child-time accumulator, so summing ``self_s``
+  over all phases (plus the root's own self time) reconstructs the root's
+  total exactly -- the hot-path table's percentages are of the same pie.
+- **Opt-in deep capture.**  ``cprofile_start``/``cprofile_stop`` wrap
+  :mod:`cProfile` and export *folded stacks* (``caller;callee value``
+  lines) for external flamegraph tools; ``snapshot_memory`` records
+  :mod:`tracemalloc` deltas at round boundaries.  Both are off unless
+  explicitly started -- they are diagnosis tools, not always-on telemetry.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+#: bump when the profile.json layout changes incompatibly
+PROFILE_SCHEMA_VERSION = 1
+
+
+class PhaseStat:
+    """Aggregated timings for one phase name."""
+
+    __slots__ = ("count", "total_s", "child_s", "items")
+
+    def __init__(self):
+        self.count = 0
+        self.total_s = 0.0
+        self.child_s = 0.0
+        self.items = 0
+
+    @property
+    def self_s(self) -> float:
+        """Time spent in this phase minus time in nested phases."""
+        return max(self.total_s - self.child_s, 0.0)
+
+    @property
+    def items_per_s(self) -> Optional[float]:
+        """Throughput over *total* phase time (None without items)."""
+        if not self.items or self.total_s <= 0:
+            return None
+        return self.items / self.total_s
+
+    def to_dict(self) -> Dict:
+        return {
+            "count": self.count,
+            "total_s": self.total_s,
+            "self_s": self.self_s,
+            "items": self.items,
+            "items_per_s": self.items_per_s,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"PhaseStat(count={self.count}, total={self.total_s:.6f}s, "
+            f"self={self.self_s:.6f}s, items={self.items})"
+        )
+
+
+class _NullPhase:
+    """Shared no-op context manager: the entire disabled-profiler path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullPhase":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def add_items(self, n: int) -> None:
+        return None
+
+
+_NULL_PHASE = _NullPhase()
+
+
+class _Phase:
+    """Live frame of one ``with profiler.phase(...)`` block."""
+
+    __slots__ = ("_profiler", "name", "items", "t0", "child_s")
+
+    def __init__(self, profiler: "Profiler", name: str, items: int):
+        self._profiler = profiler
+        self.name = name
+        self.items = items
+        self.t0 = 0.0
+        self.child_s = 0.0
+
+    def add_items(self, n: int) -> None:
+        """Count work done inside the phase when the amount is only known
+        mid-block (e.g. fresh evaluations within a measured batch)."""
+        self.items += n
+
+    def __enter__(self) -> "_Phase":
+        self.t0 = time.perf_counter()
+        self._profiler._stack.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        dt = time.perf_counter() - self.t0
+        prof = self._profiler
+        stack = prof._stack
+        # tolerate mispaired exits the same way the tracer does: pop back
+        # to (and including) this frame
+        while stack:
+            top = stack.pop()
+            if top is self:
+                break
+        if stack:
+            stack[-1].child_s += dt
+        else:
+            prof._root_s += dt
+        stat = prof.phases.get(self.name)
+        if stat is None:
+            stat = prof.phases[self.name] = PhaseStat()
+        stat.count += 1
+        stat.total_s += dt
+        stat.child_s += self.child_s
+        stat.items += self.items
+
+
+class Profiler:
+    """Aggregating phase profiler for one run.
+
+    ``Profiler(enabled=False)`` is the null profiler: :meth:`phase` returns
+    a shared no-op context manager and nothing is recorded.  Instrumented
+    code holds a profiler reference unconditionally (the
+    :data:`NULL_PROFILER` module default) so call sites never branch.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.phases: Dict[str, PhaseStat] = {}
+        #: auxiliary keyed accumulators (per-generation cost-model stats);
+        #: not part of the self-time pie
+        self.aux: Dict[str, Dict] = {}
+        self.memory_snapshots: List[Dict] = []
+        self._stack: List[_Phase] = []
+        self._root_s = 0.0
+        self._cprofile = None
+        self._tracemalloc_started = False
+
+    # -- phase timing -------------------------------------------------------
+    def phase(self, name: str, items: int = 0):
+        """Open an aggregated timed region::
+
+            with profiler.phase("cost_model.predict", items=len(stages)):
+                ...
+        """
+        if not self.enabled:
+            return _NULL_PHASE
+        return _Phase(self, name, items)
+
+    def tally(self, name: str, seconds: float, items: int = 0) -> None:
+        """Fold an externally measured duration into the auxiliary table.
+
+        For breakdowns that must not double-count against the phase pie --
+        e.g. ``cost_model.predict`` is one phase, but its per-retrain-
+        generation split rides here as ``cost_model.predict.gen<N>``.
+        """
+        if not self.enabled:
+            return
+        row = self.aux.get(name)
+        if row is None:
+            row = self.aux[name] = {"count": 0, "total_s": 0.0, "items": 0}
+        row["count"] += 1
+        row["total_s"] += seconds
+        row["items"] += items
+
+    @property
+    def wall_s(self) -> float:
+        """Total profiled wall time (sum of root-level phase durations)."""
+        if self._root_s > 0:
+            return self._root_s
+        # nothing has closed at root level yet: the pie so far is the sum
+        # of all self times
+        return sum(s.self_s for s in self.phases.values())
+
+    # -- opt-in cProfile capture -------------------------------------------
+    def cprofile_start(self) -> None:
+        """Begin a :mod:`cProfile` capture (heavy; opt-in only)."""
+        if not self.enabled or self._cprofile is not None:
+            return
+        import cProfile
+
+        self._cprofile = cProfile.Profile()
+        self._cprofile.enable()
+
+    def cprofile_stop(self) -> None:
+        if self._cprofile is not None:
+            self._cprofile.disable()
+
+    def cprofile_folded(self, limit: int = 2000) -> List[str]:
+        """The capture as folded-stack lines (``caller;callee value``).
+
+        cProfile records caller/callee *pairs*, not full stacks, so the
+        export is two frames deep: each callee's cumulative time is split
+        across its callers proportionally.  That is exactly the input
+        flamegraph tools accept, and enough to see which call edges are
+        hot.  Values are microseconds (integers, as the tools expect).
+        """
+        if self._cprofile is None:
+            return []
+        import pstats
+
+        stats = pstats.Stats(self._cprofile)
+        lines: List[str] = []
+
+        def _label(func) -> str:
+            filename, lineno, name = func
+            if filename.startswith("<"):
+                return name
+            import os
+
+            return f"{os.path.basename(filename)}:{lineno}:{name}"
+
+        for func, (cc, nc, tt, ct, callers) in stats.stats.items():
+            label = _label(func)
+            if not callers:
+                if tt > 0:
+                    lines.append(f"{label} {int(tt * 1e6)}")
+                continue
+            caller_ct = sum(c[3] for c in callers.values()) or 1.0
+            for caller, (ccc, cnc, ctt, cct) in callers.items():
+                share = tt * (cct / caller_ct)
+                if share <= 0:
+                    continue
+                lines.append(f"{_label(caller)};{label} {int(share * 1e6)}")
+        lines.sort(key=lambda ln: -int(ln.rsplit(" ", 1)[1]))
+        return lines[:limit]
+
+    def save_folded(self, path: str) -> int:
+        """Write the folded stacks; returns the number of lines."""
+        lines = self.cprofile_folded()
+        with open(path, "w") as f:
+            for line in lines:
+                f.write(line + "\n")
+        return len(lines)
+
+    # -- opt-in allocation snapshots ---------------------------------------
+    def memory_start(self) -> None:
+        """Begin :mod:`tracemalloc` tracking (heavy; opt-in only)."""
+        if not self.enabled or self._tracemalloc_started:
+            return
+        import tracemalloc
+
+        tracemalloc.start()
+        self._tracemalloc_started = True
+
+    def snapshot_memory(self, label: str, top: int = 8) -> Optional[Dict]:
+        """Record current/peak traced allocation plus the top allocating
+        sites; call at round boundaries (a no-op unless started)."""
+        if not self._tracemalloc_started:
+            return None
+        import tracemalloc
+
+        current, peak = tracemalloc.get_traced_memory()
+        snap = tracemalloc.take_snapshot()
+        rows = []
+        for stat in snap.statistics("lineno")[:top]:
+            frame = stat.traceback[0]
+            import os
+
+            rows.append({
+                "site": f"{os.path.basename(frame.filename)}:{frame.lineno}",
+                "kb": round(stat.size / 1024, 1),
+                "blocks": stat.count,
+            })
+        entry = {
+            "label": label,
+            "current_kb": round(current / 1024, 1),
+            "peak_kb": round(peak / 1024, 1),
+            "top": rows,
+        }
+        self.memory_snapshots.append(entry)
+        return entry
+
+    def memory_stop(self) -> None:
+        if self._tracemalloc_started:
+            import tracemalloc
+
+            tracemalloc.stop()
+            self._tracemalloc_started = False
+
+    # -- serialization ------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """The ``profile.json`` payload (see :data:`PROFILE_SCHEMA_VERSION`)."""
+        aux = {
+            name: {
+                **row,
+                "items_per_s": (
+                    row["items"] / row["total_s"]
+                    if row["items"] and row["total_s"] > 0 else None
+                ),
+            }
+            for name, row in self.aux.items()
+        }
+        return {
+            "schema": PROFILE_SCHEMA_VERSION,
+            "enabled": self.enabled,
+            "wall_s": self.wall_s,
+            "phases": {
+                name: stat.to_dict() for name, stat in self.phases.items()
+            },
+            "aux": aux,
+            "memory": list(self.memory_snapshots),
+        }
+
+
+#: module-level null profiler for instrumentation sites with no
+#: caller-provided profiler; records nothing, shares no state
+NULL_PROFILER = Profiler(enabled=False)
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+def _fmt_s(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:9.3f} s "
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:9.3f} ms"
+    return f"{seconds * 1e6:9.1f} us"
+
+
+def profile_report(source, sort: str = "self") -> str:
+    """Hot-path table from a :class:`Profiler` or a ``profile.json`` dict.
+
+    One row per phase, sorted by self time (the attribution that tells you
+    what to optimize), with percent-of-wall columns and per-phase
+    throughput.  The ``(untracked)`` row is the root's own self time --
+    control flow between instrumented phases.
+    """
+    data = source.to_dict() if isinstance(source, Profiler) else dict(source)
+    phases = data.get("phases") or {}
+    wall = data.get("wall_s") or 0.0
+    if not phases:
+        return "phase profile: (no phases recorded)"
+    rows = []
+    for name, st in phases.items():
+        if name == "tune":
+            continue  # the root shows up as (untracked) self time
+        rows.append((name, st))
+    root = phases.get("tune")
+    keyfns = {
+        "self": lambda r: -(r[1].get("self_s") or 0.0),
+        "total": lambda r: -(r[1].get("total_s") or 0.0),
+        "name": lambda r: r[0],
+    }
+    rows.sort(key=keyfns.get(sort, keyfns["self"]))
+    lines = [
+        f"phase profile (wall {wall:.3f} s):",
+        f"  {'phase':26s} {'count':>7s} {'total':>12s} {'self':>12s} "
+        f"{'self%':>6s} {'items':>8s} {'items/s':>10s}",
+    ]
+    for name, st in rows:
+        self_s = st.get("self_s") or 0.0
+        pct = (self_s / wall * 100.0) if wall > 0 else 0.0
+        rate = st.get("items_per_s")
+        rate_s = f"{rate:10.1f}" if rate is not None else f"{'-':>10s}"
+        items = st.get("items") or 0
+        items_s = f"{items:8d}" if items else f"{'-':>8s}"
+        lines.append(
+            f"  {name:26s} {st.get('count', 0):7d} "
+            f"{_fmt_s(st.get('total_s') or 0.0)} {_fmt_s(self_s)} "
+            f"{pct:5.1f}% {items_s} {rate_s}"
+        )
+    if root is not None:
+        self_s = root.get("self_s") or 0.0
+        pct = (self_s / wall * 100.0) if wall > 0 else 0.0
+        lines.append(
+            f"  {'(untracked)':26s} {root.get('count', 0):7d} "
+            f"{'':>12s} {_fmt_s(self_s)} {pct:5.1f}% {'-':>8s} {'-':>10s}"
+        )
+    aux = data.get("aux") or {}
+    if aux:
+        lines.append("")
+        lines.append("  per-generation cost-model inference:")
+        for name in sorted(aux):
+            row = aux[name]
+            rate = row.get("items_per_s")
+            rate_s = f"{rate:.0f}/s" if rate is not None else "-"
+            lines.append(
+                f"    {name:30s} n={row.get('count', 0):<6d} "
+                f"{_fmt_s(row.get('total_s') or 0.0)}  "
+                f"items={row.get('items', 0)} ({rate_s})"
+            )
+    mem = data.get("memory") or []
+    if mem:
+        lines.append("")
+        lines.append("  allocation snapshots:")
+        for snap in mem[-6:]:
+            lines.append(
+                f"    {snap.get('label', '?'):24s} "
+                f"current {snap.get('current_kb', 0):>9.1f} KB  "
+                f"peak {snap.get('peak_kb', 0):>9.1f} KB"
+            )
+    return "\n".join(lines)
+
+
+def attribution_fraction(source) -> float:
+    """Fraction of the root ``tune`` phase's wall time attributed to
+    non-root phase self times (the acceptance criterion: >= 0.9)."""
+    data = source.to_dict() if isinstance(source, Profiler) else dict(source)
+    phases = data.get("phases") or {}
+    root = phases.get("tune")
+    if not root or not root.get("total_s"):
+        return 0.0
+    covered = sum(
+        (st.get("self_s") or 0.0)
+        for name, st in phases.items() if name != "tune"
+    )
+    return covered / root["total_s"]

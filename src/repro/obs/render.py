@@ -42,9 +42,31 @@ def _coerce(source: Union[str, Trace, TraceData]) -> TraceData:
 # Span flamegraph
 # ---------------------------------------------------------------------------
 
-def _render_span(node, total: float, depth: int, lines: List[str],
-                 max_children: int) -> None:
+def span_self_s(node) -> float:
+    """A span's *self* time: its duration minus its direct children's."""
+    return max(
+        node.duration_s - sum(c.duration_s for c in node.children), 0.0
+    )
+
+
+def _order_children(children, sort: Optional[str]):
+    """Children in render order; ``None`` keeps chronological t_start order
+    (how the JSONL recorded them)."""
+    if sort == "self":
+        return sorted(children, key=lambda c: -span_self_s(c))
+    if sort == "total":
+        return sorted(children, key=lambda c: -c.duration_s)
+    if sort == "name":
+        return sorted(children, key=lambda c: c.name)
+    return list(children)
+
+
+def _render_span(node, total: float, parent_s: float, depth: int,
+                 lines: List[str], max_children: int,
+                 sort: Optional[str] = None) -> None:
     frac = node.duration_s / total if total > 0 else 0.0
+    parent_frac = node.duration_s / parent_s if parent_s > 0 else 0.0
+    self_s = span_self_s(node)
     bar = "#" * max(int(round(frac * _BAR_WIDTH)), 1 if frac > 0 else 0)
     label = "  " * depth + node.name
     extras = ""
@@ -56,14 +78,16 @@ def _render_span(node, total: float, depth: int, lines: List[str],
         extras = "  " + " ".join(f"{k}={v}" for k, v in sorted(shown.items()))
     lines.append(
         f"  {label:36s} {_fmt_dur(node.duration_s)} {frac * 100:5.1f}%"
+        f" {_fmt_dur(self_s)} self {parent_frac * 100:5.1f}%p"
         f" |{bar:<{_BAR_WIDTH}s}|{extras}"
     )
-    children = node.children
+    children = _order_children(node.children, sort)
     if max_children and len(children) > max_children:
         head = children[:max_children]
         hidden = children[max_children:]
         for child in head:
-            _render_span(child, total, depth + 1, lines, max_children)
+            _render_span(child, total, node.duration_s, depth + 1, lines,
+                         max_children, sort)
         rest = sum(c.duration_s for c in hidden)
         lines.append(
             "  " + "  " * (depth + 1)
@@ -71,7 +95,8 @@ def _render_span(node, total: float, depth: int, lines: List[str],
         )
     else:
         for child in children:
-            _render_span(child, total, depth + 1, lines, max_children)
+            _render_span(child, total, node.duration_s, depth + 1, lines,
+                         max_children, sort)
 
 
 def span_coverage(node) -> float:
@@ -82,8 +107,19 @@ def span_coverage(node) -> float:
 
 
 def trace_report(source: Union[str, Trace, TraceData],
-                 max_children: int = 24) -> str:
-    """Text flamegraph of the recorded span tree plus key metrics."""
+                 max_children: int = 24,
+                 sort: Optional[str] = None) -> str:
+    """Text flamegraph of the recorded span tree plus key metrics.
+
+    Columns per span: total duration, percent of the *root*, self time
+    (duration minus direct children -- the hot-leaf signal), and percent of
+    the *parent*.  ``sort`` reorders siblings: ``"self"``/``"total"``
+    (descending) or ``"name"``; ``None`` keeps chronological order.
+    """
+    if sort not in (None, "self", "total", "name"):
+        raise ValueError(
+            f"sort must be one of None, 'self', 'total', 'name'; got {sort!r}"
+        )
     data = _coerce(source)
     lines = [f"trace {data.name!r}:"]
     # attribution header: who/what produced this trace (seed, source SHA,
@@ -100,7 +136,8 @@ def trace_report(source: Union[str, Trace, TraceData],
     if not data.roots:
         lines.append("  (no spans recorded)")
     for root in data.roots:
-        _render_span(root, root.duration_s, 0, lines, max_children)
+        _render_span(root, root.duration_s, root.duration_s, 0, lines,
+                     max_children, sort)
     if data.metrics:
         lines.append("")
         lines.append("metrics:")

@@ -15,6 +15,8 @@ Directory layout (one run directory per ``tune``/``compile`` invocation)::
         rounds.jsonl            per-round tuning timeline records
         result.json             per-task outcomes + model-level summary
         metrics.json            final metrics snapshot
+        profile.json            phase profile (``repro.obs.profiler``), only
+                                when the run was profiled (``--profile``)
 
 Everything is plain JSON on purpose: runs are diffable with shell tools,
 commit-able as CI baselines, and readable by any future analysis layer.
@@ -44,6 +46,9 @@ TRACE_FILE = "trace.jsonl"
 ROUNDS_FILE = "rounds.jsonl"
 RESULT_FILE = "result.json"
 METRICS_FILE = "metrics.json"
+#: aggregated per-phase wall-time attribution (``repro.obs.profiler``
+#: schema); present only for runs recorded with profiling enabled
+PROFILE_FILE = "profile.json"
 #: cross-task scheduler grant log of a network tuning run (one JSON row per
 #: budget grant: phase, task, granted/consumed, gradient, best-so-far)
 ALLOCATIONS_FILE = "allocations.jsonl"
@@ -169,15 +174,24 @@ class RunWriter:
         tasks: Dict[str, Dict],
         model: Optional[Dict] = None,
         allocations: Optional[List[Dict]] = None,
+        profile=None,
     ) -> "RunRecord":
         """Persist the run: manifest, trace, rounds, results, metrics.
 
         ``tasks`` maps task name -> result dict (``best_latency``,
         ``measurements``, optional ``telemetry``/``timeline``); ``model``
         carries compile-level outcomes (end-to-end latency, conversions);
-        ``allocations`` is a network tune's budget-grant log.
+        ``allocations`` is a network tune's budget-grant log; ``profile``
+        (a :class:`repro.obs.Profiler` or its ``to_dict`` payload) lands in
+        ``profile.json``.
         """
         os.makedirs(self.path, exist_ok=True)
+        if profile is not None:
+            data = (
+                profile.to_dict() if hasattr(profile, "to_dict")
+                else dict(profile)
+            )
+            _write_json(os.path.join(self.path, PROFILE_FILE), data)
         if allocations is not None:
             with open(os.path.join(self.path, ALLOCATIONS_FILE), "w") as f:
                 for row in allocations:
@@ -286,6 +300,24 @@ class RunRecord:
         if self._metrics is None:
             self._metrics = self._json(METRICS_FILE)
         return self._metrics
+
+    @property
+    def profile(self) -> Dict:
+        """Phase-profile payload ({} for runs recorded without --profile)."""
+        return self._json(PROFILE_FILE)
+
+    @property
+    def manifest_error(self) -> Optional[str]:
+        """Why the manifest is unusable (``None`` for a healthy run dir)."""
+        mpath = os.path.join(self.path, MANIFEST_FILE)
+        if not os.path.isfile(mpath):
+            return "missing manifest.json"
+        try:
+            with open(mpath) as f:
+                json.load(f)
+        except (OSError, ValueError):
+            return "corrupt manifest.json"
+        return None
 
     @property
     def rounds(self) -> List[Dict]:
@@ -401,15 +433,34 @@ class RunStore:
         }
         return RunWriter(os.path.join(self.root, run_id), manifest)
 
-    def run_ids(self) -> List[str]:
+    def scan(self) -> "tuple[List[str], List[tuple[str, str]]]":
+        """Valid run ids plus skipped ``(entry, reason)`` pairs.
+
+        A run directory with a missing or unparseable ``manifest.json``
+        (killed before the first atomic write, disk corruption, a stray
+        directory dropped into the store) is reported instead of crashing
+        the listing -- and excluded from every id-based lookup so the rest
+        of the store keeps working.
+        """
         try:
             entries = sorted(os.listdir(self.root))
         except OSError:
-            return []
-        return [
-            e for e in entries
-            if os.path.isfile(os.path.join(self.root, e, MANIFEST_FILE))
-        ]
+            return [], []
+        ids: List[str] = []
+        skipped: List[tuple] = []
+        for e in entries:
+            path = os.path.join(self.root, e)
+            if not os.path.isdir(path):
+                continue  # stray files are not run-like; ignore quietly
+            error = RunRecord(path).manifest_error
+            if error is not None:
+                skipped.append((e, error))
+            else:
+                ids.append(e)
+        return ids, skipped
+
+    def run_ids(self) -> List[str]:
+        return self.scan()[0]
 
     def runs(self) -> List[RunRecord]:
         return [RunRecord(os.path.join(self.root, rid)) for rid in self.run_ids()]

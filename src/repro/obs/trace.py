@@ -23,6 +23,7 @@ Design rules:
 from __future__ import annotations
 
 import json
+import os
 import time
 from typing import Dict, List, Optional
 
@@ -199,9 +200,15 @@ class Trace:
         return out
 
     def save(self, path: str) -> None:
-        with open(path, "w") as f:
+        """Atomic write-then-rename: a run killed mid-save leaves either the
+        previous complete trace or none, never a truncated JSONL file."""
+        tmp = path + ".tmp"
+        with open(tmp, "w") as f:
             for line in self.lines():
                 f.write(line + "\n")
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
 
 
 #: module-level null trace for instrumentation sites with no caller-provided

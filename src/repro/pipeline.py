@@ -36,6 +36,7 @@ from .lower.lower import LoweringError, lower_compute
 from .machine.latency import estimate_program
 from .machine.spec import MachineSpec
 from .obs.log import log
+from .obs.profiler import NULL_PROFILER, Profiler
 from .obs.trace import NULL_TRACE, Trace
 from .tuning.baselines import (
     tune_alt,
@@ -76,6 +77,10 @@ class CompileOptions:
     #: and metrics for the whole compile; ``None`` disables tracing at zero
     #: cost (results are bit-identical either way)
     trace: Optional[Trace] = None
+    #: phase profiler (``repro.obs.Profiler``): aggregated wall-time
+    #: attribution across the compile/tuning phases; ``None`` disables
+    #: profiling at zero cost (results are bit-identical either way)
+    profiler: Optional[Profiler] = None
 
     def __post_init__(self):
         if self.mode not in MODES:
@@ -125,6 +130,7 @@ def _tune_representative(
             cost_model_seed=opts.cost_model_seed,
             measure=measure,
             trace=trace,
+            profiler=opts.profiler,
         )
     if mode == "alt-ol":
         return tune_alt_ol(
@@ -310,6 +316,7 @@ def compile_graph(
     """
     opts = options or CompileOptions()
     trace = opts.trace if opts.trace is not None else NULL_TRACE
+    profiler = opts.profiler if opts.profiler is not None else NULL_PROFILER
     graph.validate()
 
     with trace.span(
@@ -359,7 +366,9 @@ def compile_graph(
             trace=trace,
         )
         schedules: Dict[str, LoopSchedule] = {}
-        with trace.span("propagation") as prop_sp:
+        with profiler.phase("compile.propagation"), trace.span(
+            "propagation"
+        ) as prop_sp:
             for node in list(graph.nodes):  # conversion inserts mutate graph.nodes
                 pair = class_of.get(node.name)
                 if pair is None:
@@ -375,13 +384,15 @@ def compile_graph(
             )
 
         # ---- 3. fusion grouping ---------------------------------------------------------
-        with trace.span("fusion") as fuse_sp:
+        with profiler.phase("compile.fusion"), trace.span("fusion") as fuse_sp:
             fuse_groups = _assign_fuse_groups(graph, state.layouts)
             fuse_sp.set(fused=len(fuse_groups))
         trace.metrics.counter("pipeline.fused_stages").inc(len(fuse_groups))
 
         # ---- 4. lowering ------------------------------------------------------------------
-        with trace.span("lowering") as lower_sp:
+        with profiler.phase("compile.lowering"), trace.span(
+            "lowering"
+        ) as lower_sp:
             fallbacks = 0
             stages: List[Stage] = []
             for node in graph.nodes:
@@ -409,7 +420,7 @@ def compile_graph(
         trace.metrics.counter("pipeline.schedule_fallbacks").inc(fallbacks)
 
         program = Program(stages, name=graph.name)
-        with trace.span("estimate"):
+        with profiler.phase("compile.estimate"), trace.span("estimate"):
             latency = estimate_program(program, machine)
         compile_sp.set(latency_s=latency, conversions=len(state.conversions))
         trace.metrics.gauge("pipeline.latency_s").set(latency)

@@ -204,6 +204,7 @@ def tune_alt(
     pretrained: Optional[Dict] = None,
     measure: Optional[MeasureOptions] = None,
     trace=None,
+    profiler=None,
     checkpoint=None,
     restore: Optional[Dict] = None,
     cost_model_seed: Optional[Dict] = None,
@@ -218,10 +219,13 @@ def tune_alt(
     ``checkpoint`` (a :class:`~.checkpoint.CheckpointManager`) enables
     periodic state snapshots; ``restore`` resumes from a previously loaded
     snapshot payload -- with the same seed and budget the resumed run
-    reproduces the uninterrupted run's result exactly.
+    reproduces the uninterrupted run's result exactly.  ``profiler`` (a
+    :class:`repro.obs.Profiler`) attributes the run's wall time across the
+    inner-loop phases without changing the search.
     """
     task = TuningTask(
-        comp, machine, budget, levels=levels, measure=measure, trace=trace
+        comp, machine, budget, levels=levels, measure=measure, trace=trace,
+        profiler=profiler,
     )
     tuner = JointTuner(
         task,

@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..ir.nest import Stage
+from ..obs.profiler import NULL_PROFILER
 from .boosted_trees import GradientBoostedTrees
 from .features import stage_features
 
@@ -33,6 +34,9 @@ class CostModel:
         #: optional ``repro.obs`` metrics registry: retrain count/timing and
         #: the training-set size are recorded under ``cost_model.*``
         self.metrics = None
+        #: phase profiler (injected by the tuner, like :attr:`metrics`);
+        #: attributes feature extraction, inference and retrains
+        self.profiler = NULL_PROFILER
 
     # -- training data ------------------------------------------------------------
     def update(self, stage: Stage, latency_s: float) -> None:
@@ -52,9 +56,10 @@ class CostModel:
 
     def _fit(self) -> None:
         t0 = time.perf_counter()
-        X = np.vstack(self._X[-self.MAX_TRAIN:])
-        y = np.asarray(self._y[-self.MAX_TRAIN:])
-        self._model = GradientBoostedTrees().fit(X, y)
+        with self.profiler.phase("cost_model.train"):
+            X = np.vstack(self._X[-self.MAX_TRAIN:])
+            y = np.asarray(self._y[-self.MAX_TRAIN:])
+            self._model = GradientBoostedTrees().fit(X, y)
         self._since_retrain = 0
         self._generation += 1
         if self.metrics is not None:
@@ -139,8 +144,21 @@ class CostModel:
             return np.empty(0)
         if self._model is None:
             return np.zeros(len(stages))
-        X = np.vstack([stage_features(s) for s in stages])
-        return self._model.predict(X)
+        t0 = time.perf_counter()
+        with self.profiler.phase("cost_model.predict", items=len(stages)):
+            with self.profiler.phase(
+                "cost_model.features", items=len(stages)
+            ):
+                X = np.vstack([stage_features(s) for s in stages])
+            scores = self._model.predict(X)
+        # per-retrain-generation inference cost: rides in the aux table so
+        # the phase pie is not double-counted
+        self.profiler.tally(
+            f"cost_model.predict.gen{self._generation}",
+            time.perf_counter() - t0,
+            items=len(stages),
+        )
+        return scores
 
     def top_k(self, stages: Sequence[Stage], k: int) -> List[int]:
         """Indices of the predicted-best ``k`` stages."""

@@ -130,18 +130,20 @@ class LoopTuner:
         layout_tag: Optional[str] = None,
     ) -> Tuple[float, Optional[Config], Optional[LoopSchedule]]:
         """One batch + walk round; returns (best latency, cfg, schedule)."""
-        space = loop_space.space()
-        candidates: List[Config] = list(loop_space.heuristic_configs())
-        if seed_cfg is not None:
-            try:
-                space.validate(seed_cfg)
-                candidates.insert(0, seed_cfg)
-                for _ in range(BATCH_SIZE // 4):
-                    candidates.append(space.mutate(seed_cfg, self.rng, n=2))
-            except (KeyError, ValueError):
-                seed_cfg = None
-        while len(candidates) < BATCH_SIZE:
-            candidates.append(space.sample(self.rng))
+        with self.task.profiler.phase("space.sample") as ph:
+            space = loop_space.space()
+            candidates: List[Config] = list(loop_space.heuristic_configs())
+            if seed_cfg is not None:
+                try:
+                    space.validate(seed_cfg)
+                    candidates.insert(0, seed_cfg)
+                    for _ in range(BATCH_SIZE // 4):
+                        candidates.append(space.mutate(seed_cfg, self.rng, n=2))
+                except (KeyError, ValueError):
+                    seed_cfg = None
+            while len(candidates) < BATCH_SIZE:
+                candidates.append(space.sample(self.rng))
+            ph.add_items(len(candidates))
 
         best_lat, best_cfg, best_sched = math.inf, None, None
         top_lats: List[float] = []
@@ -157,17 +159,24 @@ class LoopTuner:
                 walk_budget = max(n_measure // 2, 2)
                 cur = best_cfg
                 try:
-                    for _ in range(walk_budget):
-                        state = encode_space_state(space, cur)
-                        actions = self.loop_actor.act(state)
-                        stepped = self._step(space, cur, actions)
-                        lat = self._measure(layouts, loop_space, stepped)
-                        reward = -math.log2(lat) if math.isfinite(lat) else -60.0
-                        self.loop_actor.record(reward)
-                        if lat < best_lat:
-                            best_lat, best_cfg = lat, stepped
-                            best_sched = loop_space.schedule(stepped)
-                            cur = stepped
+                    # nested measure/ppo.update phases charge themselves, so
+                    # this phase's *self* time is the walk's own overhead
+                    with self.task.profiler.phase(
+                        "ppo.walk", items=walk_budget
+                    ):
+                        for _ in range(walk_budget):
+                            state = encode_space_state(space, cur)
+                            actions = self.loop_actor.act(state)
+                            stepped = self._step(space, cur, actions)
+                            lat = self._measure(layouts, loop_space, stepped)
+                            reward = (
+                                -math.log2(lat) if math.isfinite(lat) else -60.0
+                            )
+                            self.loop_actor.record(reward)
+                            if lat < best_lat:
+                                best_lat, best_cfg = lat, stepped
+                                best_sched = loop_space.schedule(stepped)
+                                cur = stepped
                 finally:
                     # flush even when BudgetExhausted aborts the walk
                     # mid-episode: otherwise the recorded transitions survive
@@ -200,6 +209,11 @@ class LoopTuner:
             round_best=best_lat,
             reward=reward,
             top_k=top_lats,
+        )
+        # allocation snapshot at the round boundary (a no-op unless the
+        # profiler's tracemalloc capture was explicitly started)
+        task.profiler.snapshot_memory(
+            f"round {len(task.timeline.rounds)} ({self.stage})"
         )
 
     # -- helpers -----------------------------------------------------------------
@@ -241,16 +255,17 @@ class LoopTuner:
         schedules: List[Optional[LoopSchedule]] = []
         stages = []
         valid_idx = []
-        for i, cfg in enumerate(candidates):
-            try:
-                sched = loop_space.schedule(cfg)
-                stage = self.task.lower(layouts, sched)
-            except (LoweringError, LayoutError, ValueError):
-                schedules.append(None)
-                continue
-            schedules.append(sched)
-            stages.append(stage)
-            valid_idx.append(i)
+        with self.task.profiler.phase("lower", items=len(candidates)):
+            for i, cfg in enumerate(candidates):
+                try:
+                    sched = loop_space.schedule(cfg)
+                    stage = self.task.lower(layouts, sched)
+                except (LoweringError, LayoutError, ValueError):
+                    schedules.append(None)
+                    continue
+                schedules.append(sched)
+                stages.append(stage)
+                valid_idx.append(i)
         if not stages:
             return []
         scores = None
@@ -341,14 +356,17 @@ class JointTuner:
         metrics = task.trace.metrics
         if self.cost_model is not None:
             self.cost_model.metrics = metrics
+            self.cost_model.profiler = task.profiler
         if self.layout_actor is not None:
             self.layout_actor.metrics = metrics
             self.layout_actor.metrics_prefix = "ppo.layout"
             self.layout_actor.trace = task.trace
+            self.layout_actor.profiler = task.profiler
         if self.loop_actor is not None:
             self.loop_actor.metrics = metrics
             self.loop_actor.metrics_prefix = "ppo.loop"
             self.loop_actor.trace = task.trace
+            self.loop_actor.profiler = task.profiler
 
     # -- public -----------------------------------------------------------------
     def tune(
@@ -367,7 +385,7 @@ class JointTuner:
         per grant would double-count).
         """
         task = self.task
-        with task.trace.span(
+        with task.profiler.phase("tune"), task.trace.span(
             "tune_task",
             task=task.comp.name,
             machine=task.machine.name,
@@ -406,7 +424,7 @@ class JointTuner:
             # nothing measured yet (degenerate first grant): refine from the
             # best recorded point, or the identity layout as a last resort
             layouts = dict(task.best_record[0]) if task.best_record else {}
-        with task.trace.span(
+        with task.profiler.phase("tune"), task.trace.span(
             "refine_more", task=task.comp.name, budget=budget
         ) as sp:
             self._loop_tuner.stage = "loop"
@@ -462,7 +480,8 @@ class JointTuner:
         # stage's state, so the phase flip checkpoints *after* it
         self.state.phase = "loop"
         if self.checkpoint is not None:
-            self.checkpoint.save(self.full_state())
+            with self.task.profiler.phase("checkpoint"):
+                self.checkpoint.save(self.full_state())
         return best
 
     def _run_joint(self, budget: int, sp):
@@ -486,8 +505,9 @@ class JointTuner:
                 st.proposals += 1
                 metrics.counter("tuner.layouts_proposed").inc()
                 try:
-                    layouts = task.layouts_from(layout_cfg)
-                    loop_space = task.loop_space_for(layouts)
+                    with task.profiler.phase("space.build", items=1):
+                        layouts = task.layouts_from(layout_cfg)
+                        loop_space = task.loop_space_for(layouts)
                 except (LayoutError, LoweringError, ValueError):
                     # unbuildable layout: pruned before spending any budget
                     metrics.counter("tuner.layouts_pruned").inc()
@@ -545,7 +565,8 @@ class JointTuner:
                 # episode boundary: every loop variable lives in ``st``, so
                 # this is a consistent point to snapshot
                 if self.checkpoint is not None:
-                    self.checkpoint.tick(self.full_state)
+                    with task.profiler.phase("checkpoint"):
+                        self.checkpoint.tick(self.full_state)
         finally:
             # flush the tail episodes (episode % 4 != 0) and any trajectory a
             # mid-walk BudgetExhausted left behind, so stale rewards cannot
@@ -588,7 +609,8 @@ class JointTuner:
             st.loop_spent = task.measurements - start
             st.best = best
             if self.checkpoint is not None:
-                self.checkpoint.tick(self.full_state)
+                with task.profiler.phase("checkpoint"):
+                    self.checkpoint.tick(self.full_state)
         # round 2: the winner takes the rest
         if not st.winner_done:
             refined = sorted(st.loop_refined, key=lambda r: r[0])
@@ -602,7 +624,8 @@ class JointTuner:
             st.loop_spent = task.measurements - start
             st.best = best
             if self.checkpoint is not None:
-                self.checkpoint.save(self.full_state())
+                with task.profiler.phase("checkpoint"):
+                    self.checkpoint.save(self.full_state())
         return best
 
     def _select_finalists(self, budget: int, best):
@@ -641,7 +664,8 @@ class JointTuner:
     def _refine(self, layouts, seed_cfg, slice_budget: int, start: int, budget: int):
         """Run loop rounds on one layout within the stage's global budget."""
         task = self.task
-        loop_space = task.loop_space_for(layouts)
+        with task.profiler.phase("space.build", items=1):
+            loop_space = task.loop_space_for(layouts)
         best_lat, best_cfg, best_sched = math.inf, seed_cfg, None
         used = 0
         stalls = 0

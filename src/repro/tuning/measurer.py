@@ -519,7 +519,9 @@ class Measurer:
         counter = self.metrics.counter
         counter("measure.batches").inc()
         counter("measure.requests").inc(len(candidates))
-        with task.trace.span(
+        with task.profiler.phase(
+            "measure", items=len(candidates)
+        ), task.trace.span(
             "measure_batch", task=task.comp.name, submitted=len(candidates)
         ) as sp:
             sigs = [task._signature(lay, sched) for lay, sched in candidates]
@@ -542,7 +544,8 @@ class Measurer:
                 fresh_sigs.add(sig)
                 fresh.append(i)
 
-            values = self._resolve(candidates, fresh)
+            with task.profiler.phase("measure.eval", items=len(fresh)):
+                values = self._resolve(candidates, fresh)
 
             latencies: List[float] = []
             hist = self.metrics.histogram("measure.latency_s")
@@ -695,10 +698,17 @@ class Measurer:
     ) -> None:
         comp, machine = self.task.comp, self.task.machine
         plan = self.options.fault_plan
+        profiled = plan is None and self.task.profiler.enabled
         for i in idxs:
             lay, sched = candidates[i]
             if plan is None:
-                out[i] = evaluate_candidate(comp, machine, lay, sched)
+                # the in-process path can split lowering from the cache
+                # simulation per candidate; pool workers can't share the
+                # profiler, so their time lands in ``measure.eval`` only
+                if profiled:
+                    out[i] = self._profiled_evaluate(comp, machine, lay, sched)
+                else:
+                    out[i] = evaluate_candidate(comp, machine, lay, sched)
                 self.metrics.counter("measure.serial_evaluations").inc()
                 continue
             for attempt in range(self.options.max_candidate_retries + 1):
@@ -715,6 +725,22 @@ class Measurer:
                         self.metrics.counter("measure.retries").inc()
             else:
                 self._quarantine(i, out)
+
+    def _profiled_evaluate(self, comp, machine, lay, sched) -> float:
+        """:func:`evaluate_candidate` with lowering and the cache simulation
+        timed as separate phases.  Identical arithmetic and error handling
+        (the evaluation is a pure function either way)."""
+        prof = self.task.profiler
+        try:
+            with prof.phase("measure.lower", items=1):
+                stage = lower_compute(comp, lay, sched)
+            with prof.phase("measure.cache_sim", items=1):
+                cost = estimate_stage(stage, machine)
+            latency = machine.cycles_to_seconds(cost.total_cycles)
+            latency += expansion_penalty(comp, machine, lay)
+        except (LoweringError, ValueError):
+            latency = math.inf
+        return latency
 
     def _submit(self, pool, comp, machine, lay, sched):
         plan = self.options.fault_plan

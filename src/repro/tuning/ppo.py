@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..obs.profiler import NULL_PROFILER
 from .nn import MLP
 from .space import Config, ConfigSpace
 
@@ -123,6 +124,8 @@ class PPOActor:
         #: ``ppo_update`` event so learning *curves* (not just aggregate
         #: histograms) can be reconstructed from a saved trace
         self.trace = None
+        #: phase profiler (injected by the tuner, like :attr:`metrics`)
+        self.profiler = NULL_PROFILER
 
     # -- acting -----------------------------------------------------------------
     def act(self, state: np.ndarray, explore: bool = True) -> np.ndarray:
@@ -146,6 +149,10 @@ class PPOActor:
         """Clipped PPO update over the buffered transitions."""
         if len(self.buffer) < 4:
             return
+        with self.profiler.phase("ppo.update", items=len(self.buffer)):
+            self._update(epochs, lr)
+
+    def _update(self, epochs: int, lr: float) -> None:
         states = np.vstack([t.state for t in self.buffer])
         raws = np.vstack([t.raw_action for t in self.buffer])
         logp_old = np.array([t.logp for t in self.buffer])

@@ -167,10 +167,12 @@ class _TaskTuner:
         trace: Optional[Trace],
         joint_fraction: float,
         warm: Optional[Dict] = None,
+        profiler=None,
     ):
         self.net = net
         self.task = TuningTask(
-            net.rep, machine, budget=0, measure=measure, trace=trace
+            net.rep, machine, budget=0, measure=measure, trace=trace,
+            profiler=profiler,
         )
         self.tuner = JointTuner(
             self.task,
@@ -295,6 +297,7 @@ class NetworkTuner:
         checkpoint: Optional[CheckpointManager] = None,
         options: Optional[SchedulerOptions] = None,
         database=None,
+        profiler=None,
     ):
         self.graph_factory = graph_factory
         self.graph = graph_factory()
@@ -303,6 +306,8 @@ class NetworkTuner:
         self.seed = seed
         self.measure = measure
         self.trace = trace if trace is not None else NULL_TRACE
+        #: shared phase profiler: every task's tuner folds into one profile
+        self.profiler = profiler
         self.checkpoint = checkpoint
         self.opts = options or SchedulerOptions()
         self.database = database
@@ -332,7 +337,7 @@ class NetworkTuner:
                     warm = database.warm_start(net.rep, machine.name)
             tuner = _TaskTuner(
                 net, machine, seed + i, measure, trace,
-                self.opts.joint_fraction, warm=warm,
+                self.opts.joint_fraction, warm=warm, profiler=profiler,
             )
             if record is not None:
                 tuner.db_record = record
@@ -641,6 +646,7 @@ def tune_network(
     options: Optional[SchedulerOptions] = None,
     verify: bool = False,
     database=None,
+    profiler=None,
 ) -> NetworkTuneResult:
     """Tune a whole network under one shared measurement budget.
 
@@ -666,6 +672,7 @@ def tune_network(
         checkpoint=checkpoint,
         options=options,
         database=database,
+        profiler=profiler,
     )
     if restore is not None:
         tuner.load_full_state(restore)

@@ -24,6 +24,7 @@ from ..layout.templates import LayoutTemplate, template_for
 from ..loops.schedule import LoopSchedule
 from ..lower.lower import lower_compute
 from ..machine.spec import MachineSpec
+from ..obs.profiler import NULL_PROFILER, Profiler
 from ..obs.timeline import TimelineRecorder
 from ..obs.trace import Trace
 from .loop_space import LoopSpace
@@ -48,6 +49,7 @@ class TuningTask:
         levels: int = 1,
         measure: Optional[MeasureOptions] = None,
         trace: Optional[Trace] = None,
+        profiler: Optional[Profiler] = None,
     ):
         self.comp = comp
         self.machine = machine
@@ -64,6 +66,9 @@ class TuningTask:
         #: observability context: a caller-provided run trace, or a fresh
         #: disabled one (spans still time, nothing is recorded)
         self.trace = trace if trace is not None else Trace(enabled=False)
+        #: phase profiler: a caller-provided aggregating profiler, or the
+        #: shared null one (``with profiler.phase(...)`` costs one lookup)
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
         #: per-round tuning timeline (surfaces on ``TuneResult.timeline``)
         self.timeline = TimelineRecorder(self)
         self.measurer = Measurer(self, measure)

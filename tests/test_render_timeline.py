@@ -1,0 +1,251 @@
+"""Renderers and the timeline recorder: self-time columns, sibling sort,
+round records -- plus the trace/runstore hardening that rides with them
+(atomic saves, corrupt-manifest tolerance)."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.obs.render import (
+    span_coverage,
+    span_self_s,
+    timeline_report,
+    trace_report,
+)
+from repro.obs.timeline import (
+    TimelineRecorder,
+    best_so_far_curve,
+    timeline_from_events,
+)
+from repro.obs.trace import NULL_TRACE, Trace, build_span_tree, load_trace
+
+
+def _span(name, t0, t1, sid, parent=None):
+    return {"kind": "span", "id": sid, "parent": parent, "name": name,
+            "t_start": t0, "t_end": t1, "attrs": {}}
+
+
+def _tree():
+    """root(10s) > [b(4s) > leaf(1s), a(2s)]; root self 4s, b self 3s."""
+    spans = [
+        _span("root", 0.0, 10.0, 1),
+        _span("b", 1.0, 5.0, 2, parent=1),
+        _span("leaf", 2.0, 3.0, 3, parent=2),
+        _span("a", 6.0, 8.0, 4, parent=1),
+    ]
+    from repro.obs.trace import TraceData
+
+    return TraceData({"name": "t"}, spans, [], {})
+
+
+# ---------------------------------------------------------------------------
+# trace_report: self time, percent-of-parent, sibling sort
+# ---------------------------------------------------------------------------
+
+def test_span_self_s_subtracts_direct_children():
+    data = _tree()
+    root = data.roots[0]
+    assert span_self_s(root) == pytest.approx(4.0)  # 10 - (4 + 2)
+    b = root.children[0]
+    assert span_self_s(b) == pytest.approx(3.0)  # 4 - 1
+    assert span_self_s(b.children[0]) == pytest.approx(1.0)
+    assert span_coverage(root) == pytest.approx(0.6)
+
+
+def test_trace_report_renders_self_and_parent_columns():
+    out = trace_report(_tree())
+    root_line = next(ln for ln in out.splitlines() if "root" in ln)
+    assert "self" in root_line and "100.0%" in root_line
+    b_line = next(ln for ln in out.splitlines() if " b " in ln)
+    # b: 4s total = 40% of root; 3s self; 40% of parent
+    assert "40.0%" in b_line
+    assert "3.000 s" in b_line
+
+
+def test_trace_report_sort_orders_siblings():
+    data = _tree()
+    chron = trace_report(data)  # default: chronological (b before a)
+    assert chron.index(" b ") < chron.index(" a ")
+    by_name = trace_report(data, sort="name")
+    assert by_name.index(" a ") < by_name.index(" b ")
+    by_total = trace_report(data, sort="total")
+    assert by_total.index(" b ") < by_total.index(" a ")
+    by_self = trace_report(data, sort="self")
+    assert by_self.index(" b ") < by_self.index(" a ")
+
+
+def test_trace_report_rejects_unknown_sort():
+    with pytest.raises(ValueError):
+        trace_report(_tree(), sort="duration")
+
+
+def test_trace_report_truncates_wide_spans():
+    spans = [_span("root", 0.0, 10.0, 1)]
+    for i in range(6):
+        spans.append(_span(f"c{i}", i, i + 1.0, 10 + i, parent=1))
+    from repro.obs.trace import TraceData
+
+    data = TraceData({"name": "t"}, spans, [], {})
+    out = trace_report(data, max_children=4)
+    assert "... 2 more spans" in out
+    assert "c5" not in out
+
+
+def test_cli_trace_sort_flag(tmp_path, capsys):
+    trace = Trace(name="t")
+    with trace.span("root"):
+        with trace.span("bbb"):
+            pass
+        with trace.span("aaa"):
+            pass
+    path = str(tmp_path / "t.jsonl")
+    trace.save(path)
+    assert main(["trace", path, "--sort", "name"]) == 0
+    out = capsys.readouterr().out
+    assert out.index("aaa") < out.index("bbb")
+
+
+# ---------------------------------------------------------------------------
+# Timeline recorder
+# ---------------------------------------------------------------------------
+
+class _FakeComp:
+    name = "g"
+
+
+class _FakeTask:
+    comp = _FakeComp()
+    best_latency = 2e-6
+    measurements = 8
+    trace = NULL_TRACE
+
+    def remaining_budget(self):
+        return 40
+
+
+def test_timeline_recorder_round_fields():
+    rec = TimelineRecorder(_FakeTask())
+    entry = rec.record("joint", layout="L0", round_best=3e-6, reward=0.5,
+                       top_k=[3e-6, 4e-6])
+    assert entry == {
+        "round": 0, "stage": "joint", "task": "g", "layout": "L0",
+        "round_best": 3e-6, "reward": 0.5, "top_k": [3e-6, 4e-6],
+        "best_so_far": 2e-6, "measurements": 8, "budget_remaining": 40,
+    }
+    rec.record("loop")
+    assert [r["round"] for r in rec.rounds] == [0, 1]
+    snap = rec.snapshot()
+    snap[0]["stage"] = "mutated"
+    assert rec.rounds[0]["stage"] == "joint"  # snapshot copies
+
+
+def test_timeline_recorder_emits_trace_events():
+    task = _FakeTask()
+    task.trace = Trace(name="t")
+    rec = TimelineRecorder(task)
+    rec.record("joint", reward=1.0)
+    rounds = timeline_from_events(
+        [e for e in task.trace.events if e.get("kind") == "event"]
+    )
+    assert len(rounds) == 1 and rounds[0]["reward"] == 1.0
+
+
+def test_timeline_from_events_ignores_other_events():
+    events = [
+        {"name": "round", "attrs": {"round": 0, "best_so_far": 1.0}},
+        {"name": "cost_model_batch", "attrs": {"generation": 1}},
+        {"name": "round", "attrs": {"round": 1, "best_so_far": None}},
+    ]
+    rounds = timeline_from_events(events)
+    assert len(rounds) == 2
+    assert best_so_far_curve(rounds) == [1.0]
+
+
+def test_timeline_report_from_round_dicts():
+    rounds = [
+        {"task": "g", "stage": "joint", "best_so_far": 2e-6, "reward": 0.1,
+         "measurements": 4, "budget_remaining": 60},
+        {"task": "g", "stage": "loop", "best_so_far": 1e-6, "reward": 0.9,
+         "measurements": 8, "budget_remaining": 56},
+    ]
+    out = timeline_report(rounds)
+    assert "g: 2 rounds (1 joint, 1 loop)" in out
+    assert "best 1.00 us" in out
+    assert "reward" in out and "max 0.900" in out
+
+
+# ---------------------------------------------------------------------------
+# Hardening satellites: atomic trace save, corrupt manifests
+# ---------------------------------------------------------------------------
+
+def test_trace_save_is_atomic(tmp_path):
+    trace = Trace(name="t")
+    with trace.span("root"):
+        pass
+    path = tmp_path / "t.jsonl"
+    path.write_text("old contents\n")
+    trace.save(str(path))
+    assert not os.path.exists(str(path) + ".tmp")  # tmp file replaced away
+    data = load_trace(str(path))
+    assert data.name == "t" and len(data.spans) == 1
+
+
+def test_runs_list_skips_corrupt_manifest_with_warning(tmp_path, caplog,
+                                                       capsys):
+    from repro.obs.runstore import RunStore, trace_meta
+
+    root = str(tmp_path / "runs")
+    store = RunStore(root)
+    writer = store.create("tune-g", machine="intel_cpu", seed=0,
+                          workload="tune:g", config={})
+    trace = Trace(name="t", meta=trace_meta(0))
+    writer.finish(trace, {"g": {"best_latency": 1e-6, "measurements": 4}})
+    os.makedirs(os.path.join(root, "zz-corrupt"))
+    with open(os.path.join(root, "zz-corrupt", "manifest.json"), "w") as f:
+        f.write("{not json")
+    os.makedirs(os.path.join(root, "zz-empty"))  # no manifest at all
+    with open(os.path.join(root, "stray.txt"), "w") as f:
+        f.write("not a run dir\n")
+
+    ids, skipped = store.scan()
+    assert len(ids) == 1
+    assert sorted(reason for _, reason in skipped) == [
+        "corrupt manifest.json", "missing manifest.json",
+    ]
+    with caplog.at_level("WARNING"):
+        assert main(["runs", "list", root]) == 0
+    out = capsys.readouterr().out
+    assert ids[0] in out and "zz-corrupt" not in out
+    warnings = [r for r in caplog.records if r.levelname == "WARNING"]
+    assert len(warnings) == 1  # one summary line, not one per dir
+    assert "2 unreadable run dir(s)" in warnings[0].getMessage()
+
+
+def test_runs_show_warns_on_manifest_error(tmp_path, caplog, capsys):
+    run_dir = tmp_path / "r-20260101-000000-bad"
+    run_dir.mkdir()
+    (run_dir / "manifest.json").write_text("{truncated")
+    (run_dir / "result.json").write_text(json.dumps({"tasks": {}}))
+    with caplog.at_level("WARNING"):
+        assert main(["runs", "show", str(run_dir)]) == 0
+    assert any("corrupt manifest.json" in r.getMessage()
+               for r in caplog.records)
+    capsys.readouterr()
+
+
+def test_runs_show_unresolvable_ref_exits_cleanly(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["runs", "show", "no-such-run", "--store",
+              str(tmp_path / "empty-store")])
+
+
+def test_orphan_spans_still_render():
+    spans = [_span("orphan", 0.0, 1.0, 5, parent=99)]
+    roots = build_span_tree(spans)
+    assert len(roots) == 1
+    from repro.obs.trace import TraceData
+
+    out = trace_report(TraceData({"name": "t"}, spans, [], {}))
+    assert "orphan" in out
