@@ -47,8 +47,11 @@ from .obs.diagnostics import render_diagnostics
 from .obs.log import log, setup_logging
 from .obs.profiler import Profiler, attribution_fraction, profile_report
 from .obs.render import timeline_report, trace_report
+from .obs.dashboard import write_dashboard
 from .obs.runstore import (
     STATUS_COMPLETED,
+    STATUS_FAILED,
+    TRACE_FILE,
     RunRecord,
     RunStore,
     RunWriter,
@@ -58,6 +61,7 @@ from .obs.runstore import (
     trace_meta,
 )
 from .obs.trace import Trace, load_trace
+from .obs.watch import Watchdog, WatchRules, parse_fail_on, watch_run
 from .ops.conv import conv1d, conv2d, conv3d, depthwise_conv2d
 from .ops.gemm import gemm
 from .pipeline import CompileOptions, compile_graph
@@ -173,13 +177,43 @@ def _finish_profile(prof: Optional[Profiler], args) -> None:
     print(profile_report(prof))
 
 
-def _make_trace(args, name: str) -> Optional[Trace]:
+def _make_trace(args, name: str, writer: Optional[RunWriter] = None,
+                append: bool = False) -> Optional[Trace]:
     """An enabled Trace when ``--trace-out`` or ``--run-store`` was given,
-    else None; the trace meta carries seed/git SHA/version attribution."""
+    else None; the trace meta carries seed/git SHA/version attribution.
+
+    With a run-store writer the trace streams live into the run dir's
+    ``trace.jsonl`` (unless ``--no-stream``); a resumed run appends to the
+    interrupted stream (``append=True``)."""
     if (getattr(args, "trace_out", None) is None
             and getattr(args, "run_store", None) is None):
         return None
-    return Trace(name=name, meta=trace_meta(getattr(args, "seed", None)))
+    stream_to = None
+    if writer is not None and not getattr(args, "no_stream", False):
+        stream_to = os.path.join(writer.path, TRACE_FILE)
+    return Trace(
+        name=name, meta=trace_meta(getattr(args, "seed", None)),
+        stream_to=stream_to, stream_append=append,
+    )
+
+
+def _make_watchdog(trace: Optional[Trace],
+                   writer: Optional[RunWriter], args) -> Optional[Watchdog]:
+    """Attach the live health watchdog when the run streams into a run
+    directory (it keeps ``health.json`` current and writes ``health``
+    events into the stream on alert changes)."""
+    if trace is None or writer is None or trace.stream_path is None:
+        return None
+    try:
+        rules = WatchRules.parse(getattr(args, "watch_rules", None))
+    except ValueError as exc:
+        raise SystemExit(f"--watch-rules: {exc}") from exc
+    return Watchdog(trace, run_dir=writer.path, rules=rules).attach()
+
+
+def _finalize_watchdog(watchdog: Optional[Watchdog], status: str) -> None:
+    if watchdog is not None:
+        watchdog.finalize(status)
 
 
 def _finish_trace(trace: Optional[Trace], args) -> None:
@@ -289,10 +323,10 @@ def cmd_tune(args) -> int:
     comp = _single_op(args.op, args.channels, args.size)
     tuner = BASELINE_TUNERS.get(args.tuner, tune_alt)
     measure = _measure_options(args)
-    trace = _make_trace(args, f"tune:{args.op}")
     prof = _make_profiler(args)
     if prof is not None and args.tuner != "alt":
         raise SystemExit("--profile is supported with the alt tuner only")
+    resumed = writer is not None
     if writer is None:
         writer = _make_writer(
             args, f"tune-{args.op}",
@@ -301,6 +335,9 @@ def cmd_tune(args) -> int:
                 f"{args.tuner}:b{args.budget}:{machine.name}"
             ),
         )
+    trace = _make_trace(args, f"tune:{args.op}", writer=writer,
+                        append=resumed)
+    watchdog = _make_watchdog(trace, writer, args)
     checkpoint = None
     if writer is not None and args.tuner == "alt":
         checkpoint = CheckpointManager(
@@ -347,10 +384,12 @@ def cmd_tune(args) -> int:
     except BaseException as exc:
         if writer is not None:
             writer.fail(repr(exc))
+        _finalize_watchdog(watchdog, STATUS_FAILED)
         raise
     _finish_trace(trace, args)
     _record_db_use(writer, db)
     if writer is not None:
+        _finalize_watchdog(watchdog, STATUS_COMPLETED)
         record = writer.finish(
             trace, tasks={comp.name: task_result_dict(result)}, profile=prof,
         )
@@ -393,8 +432,8 @@ def _tune_network_cmd(args, writer, restore) -> int:
     if args.tuner != "alt":
         raise SystemExit("--model tuning uses the alt tuner only")
     measure = _measure_options(args)
-    trace = _make_trace(args, f"tune-net:{args.model}")
     prof = _make_profiler(args)
+    resumed = writer is not None
     if writer is None:
         writer = _make_writer(
             args, f"tune-net-{args.model}",
@@ -403,6 +442,9 @@ def _tune_network_cmd(args, writer, restore) -> int:
                 f"{machine.name}"
             ),
         )
+    trace = _make_trace(args, f"tune-net:{args.model}", writer=writer,
+                        append=resumed)
+    watchdog = _make_watchdog(trace, writer, args)
     checkpoint = None
     if writer is not None:
         checkpoint = CheckpointManager(
@@ -428,10 +470,12 @@ def _tune_network_cmd(args, writer, restore) -> int:
     except BaseException as exc:
         if writer is not None:
             writer.fail(repr(exc))
+        _finalize_watchdog(watchdog, STATUS_FAILED)
         raise
     _finish_trace(trace, args)
     _record_db_use(writer, db)
     if writer is not None:
+        _finalize_watchdog(watchdog, STATUS_COMPLETED)
         record = writer.finish(
             trace,
             tasks={
@@ -477,7 +521,6 @@ def cmd_compile(args) -> int:
             f"unknown model {args.model!r}; choose from {sorted(_MODELS)}"
         )
     graph = builder(args)
-    trace = _make_trace(args, f"compile:{args.model}")
     prof = _make_profiler(args)
     writer = _make_writer(
         args, f"compile-{args.model}",
@@ -486,6 +529,8 @@ def cmd_compile(args) -> int:
             f"batch{args.batch}:{machine.name}"
         ),
     )
+    trace = _make_trace(args, f"compile:{args.model}", writer=writer)
+    watchdog = _make_watchdog(trace, writer, args)
     db = _open_db(args)
     try:
         model = compile_graph(
@@ -504,10 +549,12 @@ def cmd_compile(args) -> int:
     except BaseException as exc:
         if writer is not None:
             writer.fail(repr(exc))
+        _finalize_watchdog(watchdog, STATUS_FAILED)
         raise
     _finish_trace(trace, args)
     _record_db_use(writer, db)
     if writer is not None:
+        _finalize_watchdog(watchdog, STATUS_COMPLETED)
         record = writer.finish(
             trace,
             tasks={
@@ -618,6 +665,27 @@ def cmd_runs_show(args) -> int:
             f"miss(es), {database.get('warm_starts')} warm start(s), "
             f"{database.get('puts')} deposit(s)"
         )
+    metrics = rec.metrics if rec is not None else {}
+    for mname, snap in sorted(metrics.items()):
+        # histogram snapshots carry the latency tails (satellite of the
+        # live-telemetry PR: p50/p95/p99 were previously invisible)
+        if not isinstance(snap, dict) or snap.get("p50") is None:
+            continue
+        is_seconds = mname.endswith("_s")  # convention: *_s metrics are time
+        tails = "  ".join(
+            (f"{p} {snap[p] * 1e6:.2f} us" if is_seconds
+             else f"{p} {snap[p]:.4g}")
+            for p in ("p50", "p95", "p99")
+            if isinstance(snap.get(p), (int, float))
+        )
+        print(f"  {mname}: {tails} (n={snap.get('count')})")
+    health = rec.health if rec is not None else {}
+    if health:
+        alerts = health.get("alerts") or []
+        print(f"  health: {health.get('status')} "
+              f"({len(alerts)} alert(s), run {health.get('run_status')})")
+        for a in alerts:
+            print(f"    [{a.get('rule')}] {a.get('message')}")
     diag = summary.get("diagnostics")
     if diag:
         print(render_diagnostics(diag))
@@ -625,6 +693,85 @@ def cmd_runs_show(args) -> int:
     if profile:
         print()
         print(profile_report(profile))
+    return 0
+
+
+def cmd_runs_gc(args) -> int:
+    store = RunStore(args.store)
+    try:
+        plan = store.gc(
+            keep_last=args.keep_last, keep_days=args.keep_days,
+            apply=args.apply,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    verb = "deleted" if args.apply else "would delete"
+    deletes = errors = 0
+    for row in plan:
+        if row["action"] == "keep":
+            print(f"  keep    {row['run_id']}  ({row['reason']})")
+        elif row["action"] == "delete":
+            deletes += 1
+            print(f"  {verb:7s} {row['run_id']}  ({row['reason']})")
+        else:
+            errors += 1
+            print(f"  ERROR   {row['run_id']}  ({row['reason']})")
+    print(f"{verb} {deletes} of {len(plan)} run(s)")
+    if not args.apply and deletes:
+        print("(dry run -- pass --apply to actually delete)")
+    return 1 if errors else 0
+
+
+def cmd_watch(args) -> int:
+    """``repro watch``: tail a live (or finished) run with health rules."""
+    ref = args.run
+    if os.path.isdir(ref) and is_run_dir(ref):
+        run_dir = ref
+    elif getattr(args, "store", None):
+        try:
+            run_dir = RunStore(args.store).load(ref).path
+        except FileNotFoundError as exc:
+            raise SystemExit(str(exc)) from exc
+    else:
+        raise SystemExit(
+            f"{ref!r} is not a run directory (pass a run dir, or a run "
+            "id with --store)"
+        )
+    try:
+        rules = WatchRules.parse(args.rules)
+        fail_on = parse_fail_on(args.fail_on)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    interactive = sys.stdout.isatty() and not args.once
+
+    def emit(frame: str) -> None:
+        if interactive:  # full-screen refresh on a terminal
+            print("\x1b[2J\x1b[H" + frame, flush=True)
+        else:  # append frames when piped/captured
+            print(frame + "\n", flush=True)
+
+    return watch_run(
+        run_dir, rules=rules, fail_on=fail_on, interval=args.interval,
+        once=args.once, max_seconds=args.max_seconds, emit=emit,
+    )
+
+
+def cmd_dashboard(args) -> int:
+    """``repro dashboard``: render the static HTML aggregation page."""
+    import glob as _glob
+
+    bench: List[str] = []
+    for pattern in args.bench or ["BENCH_*.json"]:
+        bench.extend(sorted(_glob.glob(pattern)))
+    data = write_dashboard(args.store, args.out, bench_paths=bench)
+    alerts = sum(
+        1 for r in data["runs"] if r.get("health_status") == "alert"
+    )
+    print(f"dashboard written to {args.out}: {len(data['runs'])} run(s), "
+          f"{alerts} with active alerts, {len(data['benches'])} bench "
+          "file(s)")
+    if args.fail_on_alert and alerts:
+        return 1
     return 0
 
 
@@ -1030,6 +1177,16 @@ def build_parser() -> argparse.ArgumentParser:
              "trace, rounds, results; inspect with `python -m repro runs`)",
     )
     measure_flags.add_argument(
+        "--no-stream", action="store_true",
+        help="with --run-store: do not stream trace.jsonl live / run the "
+             "health watchdog; write everything at the end as before",
+    )
+    measure_flags.add_argument(
+        "--watch-rules", default=None, metavar="SPEC",
+        help="override health-watchdog thresholds, e.g. "
+             "'stall_rounds=10,error_rate=0.5' (see repro.obs.watch)",
+    )
+    measure_flags.add_argument(
         "--db", default=None, metavar="PATH",
         help="persistent tuning database (JSONL file or directory): exact "
              "task hits compile from their records with zero fresh "
@@ -1185,6 +1342,58 @@ def build_parser() -> argparse.ArgumentParser:
                     help="machine-readable comparison output "
                          "(default: BENCH_compare.json; '' disables)")
     rp.set_defaults(fn=cmd_runs_compare)
+
+    rp = runs_sub.add_parser(
+        "gc",
+        help="prune old run directories (dry run by default; refuses runs "
+             "whose manifest still says running)",
+    )
+    rp.add_argument("store", help="run-store directory")
+    rp.add_argument("--keep-last", type=int, default=None, metavar="N",
+                    help="always keep the N newest runs")
+    rp.add_argument("--keep-days", type=float, default=None, metavar="D",
+                    help="always keep runs younger than D days")
+    rp.add_argument("--apply", action="store_true",
+                    help="actually delete (default: print the plan only)")
+    rp.set_defaults(fn=cmd_runs_gc)
+
+    p = sub.add_parser(
+        "watch",
+        help="tail a live (or finished) run: round progress, best-latency "
+             "curve, throughput, error counters, health alerts",
+    )
+    p.add_argument("run", help="run directory, run id, prefix, or 'latest'")
+    p.add_argument("--store", default=None,
+                   help="run-store directory for resolving run ids")
+    p.add_argument("--interval", type=float, default=1.0, metavar="S",
+                   help="poll interval in seconds (default 1.0)")
+    p.add_argument("--once", action="store_true",
+                   help="render a single frame and exit (scripted checks)")
+    p.add_argument("--max-seconds", type=float, default=None, metavar="S",
+                   help="stop tailing after S seconds even if still running")
+    p.add_argument("--rules", default=None, metavar="SPEC",
+                   help="health-rule thresholds, e.g. "
+                        "'stall_rounds=10,error_rate=0.5'")
+    p.add_argument("--fail-on", default=None, metavar="RULES",
+                   help="exit 1 when any of these alerts is active at the "
+                        "end: comma-separated rule names or 'any' "
+                        "(e.g. --fail-on stall,errors)")
+    p.set_defaults(fn=cmd_watch)
+
+    p = sub.add_parser(
+        "dashboard",
+        help="render a self-contained HTML dashboard over a run store + "
+             "committed BENCH_*.json files (CI artifact)",
+    )
+    p.add_argument("store", help="run-store directory to aggregate")
+    p.add_argument("--out", default="dashboard.html",
+                   help="output HTML file (default: dashboard.html)")
+    p.add_argument("--bench", action="append", default=None, metavar="GLOB",
+                   help="bench JSON glob(s) to include "
+                        "(default: BENCH_*.json in the current directory)")
+    p.add_argument("--fail-on-alert", action="store_true",
+                   help="exit 1 when any aggregated run has active alerts")
+    p.set_defaults(fn=cmd_dashboard)
 
     p = sub.add_parser(
         "db", help="inspect/maintain the persistent tuning database"

@@ -32,6 +32,8 @@ rather than a span tree), thread a :class:`Profiler` the same way::
 Or from the CLI: ``python -m repro profile gmm --size 16 --budget 96``.
 """
 
+from .dashboard import dashboard_data, render_dashboard, write_dashboard
+
 from .compare import (
     compare_summaries,
     compare_throughput,
@@ -82,21 +84,39 @@ from .trace import (
     Trace,
     TraceData,
     build_span_tree,
+    iter_trace_records,
     load_trace,
+)
+from .watch import (
+    HEALTH_SCHEMA_VERSION,
+    TraceTail,
+    Watchdog,
+    WatchRules,
+    WatchState,
+    evaluate,
+    render_watch_frame,
+    watch_run,
+    write_health,
 )
 
 __all__ = [
-    "Counter", "DEFAULT_BUCKETS", "Gauge", "Histogram", "MetricsRegistry",
+    "Counter", "DEFAULT_BUCKETS", "Gauge", "HEALTH_SCHEMA_VERSION",
+    "Histogram", "MetricsRegistry",
     "NULL_PROFILER", "NULL_TRACE", "PROFILE_SCHEMA_VERSION", "PhaseStat",
     "Profiler", "RunRecord", "RunStore", "RunWriter", "Span",
-    "TimelineRecorder", "Trace", "TraceData", "TRACE_SCHEMA_VERSION",
+    "TimelineRecorder", "Trace", "TraceData", "TraceTail",
+    "TRACE_SCHEMA_VERSION", "Watchdog", "WatchRules", "WatchState",
     "attribution_fraction", "best_so_far_curve", "build_span_tree",
     "compare_summaries", "compare_throughput", "cost_model_diagnostics",
-    "git_sha", "layout_episode_table", "load_summary", "load_trace", "log",
+    "dashboard_data", "evaluate",
+    "git_sha", "iter_trace_records", "layout_episode_table", "load_summary",
+    "load_trace", "log",
     "merge_summaries", "pairwise_rank_accuracy", "ppo_curves",
-    "profile_report", "render_compare", "render_diagnostics",
-    "render_throughput_compare", "run_diagnostics", "setup_logging",
+    "profile_report", "render_compare", "render_dashboard",
+    "render_diagnostics", "render_throughput_compare",
+    "render_watch_frame", "run_diagnostics", "setup_logging",
     "span_coverage", "span_self_s", "timeline_from_events", "timeline_report",
     "top_k_recall",
-    "trace_meta", "trace_report", "write_compare",
+    "trace_meta", "trace_report", "watch_run", "write_compare",
+    "write_dashboard", "write_health",
 ]

@@ -1,0 +1,354 @@
+"""Static HTML dashboard over the run registry + committed benchmarks.
+
+``repro dashboard`` renders one self-contained HTML file -- inline CSS,
+inline SVG sparklines, zero JavaScript, zero external fetches -- so the
+page works as a CI artifact, an email attachment, or a file:// open on an
+air-gapped box.  It aggregates:
+
+- every run in a :class:`~repro.obs.runstore.RunStore` (status, watchdog
+  health, per-task best latency, measurements, best-so-far sparkline,
+  with a ``<details>`` drill-down into alerts and config), and
+- the committed ``BENCH_*.json`` history (perf-gate baseline tasks,
+  tuner-throughput phases) as trend context next to the live runs.
+
+Split on purpose into :func:`dashboard_data` (pure aggregation, easy to
+test) and :func:`render_dashboard` (data -> HTML string).
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import math
+import os
+import time
+from typing import Dict, List, Optional, Sequence
+
+from .log import log
+from .runstore import RunStore
+from .timeline import best_so_far_curve
+
+#: bump when the aggregated payload shape changes incompatibly
+DASHBOARD_SCHEMA_VERSION = 1
+
+
+def _fmt_lat(v: Optional[float]) -> str:
+    if v is None or not isinstance(v, (int, float)) or not math.isfinite(v):
+        return "n/a"
+    return f"{v * 1e6:.2f} us"
+
+
+def _svg_spark(values: Sequence[float], width: int = 140,
+               height: int = 28) -> str:
+    """Inline SVG polyline sparkline (empty string without >= 2 points)."""
+    pts = [v for v in values
+           if isinstance(v, (int, float)) and math.isfinite(v)]
+    if len(pts) < 2:
+        return ""
+    lo, hi = min(pts), max(pts)
+    span = (hi - lo) or 1.0
+    n = len(pts)
+    coords = " ".join(
+        f"{i * (width - 2) / (n - 1) + 1:.1f},"
+        f"{height - 2 - (v - lo) / span * (height - 4):.1f}"
+        for i, v in enumerate(pts)
+    )
+    return (
+        f'<svg class="spark" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}">'
+        f'<polyline fill="none" stroke="currentColor" stroke-width="1.2" '
+        f'points="{coords}"/></svg>'
+    )
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+
+def _run_row(rec) -> Dict:
+    manifest = rec.manifest
+    tasks = {}
+    for name, res in (rec.result.get("tasks") or {}).items():
+        tasks[name] = {
+            "best_latency": res.get("best_latency"),
+            "measurements": res.get("measurements"),
+        }
+    health = rec.health
+    curve = best_so_far_curve(rec.rounds)
+    model = rec.result.get("model") or {}
+    return {
+        "run_id": rec.run_id,
+        "name": manifest.get("name"),
+        "workload": manifest.get("workload"),
+        "machine": manifest.get("machine"),
+        "seed": manifest.get("seed"),
+        "created": manifest.get("created"),
+        "status": rec.status,
+        "health_status": health.get("status"),
+        "alerts": [
+            {"rule": a.get("rule"), "severity": a.get("severity"),
+             "message": a.get("message")}
+            for a in (health.get("alerts") or [])
+        ],
+        "progress": health.get("progress") or {},
+        "tasks": tasks,
+        "model_latency": model.get("network_latency_s")
+        or model.get("latency_s"),
+        "curve": curve,
+        "config": manifest.get("config") or {},
+        "error": manifest.get("error"),
+    }
+
+
+def _load_bench(path: str) -> Optional[Dict]:
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, ValueError) as exc:
+        log.warning("dashboard: skipping %s: %s", path, exc)
+        return None
+    return {"file": os.path.basename(path), "data": data}
+
+
+def dashboard_data(
+    store_root: str, bench_paths: Sequence[str] = (),
+) -> Dict:
+    """Aggregate a run store + bench files into the renderable payload."""
+    store = RunStore(store_root)
+    ids, skipped = store.scan()
+    runs = [_run_row(store.load(rid)) for rid in ids]
+    # per-task best-latency trend across the store, in creation order
+    trends: Dict[str, List[float]] = {}
+    for row in runs:
+        for name, t in row["tasks"].items():
+            v = t.get("best_latency")
+            if isinstance(v, (int, float)) and math.isfinite(v):
+                trends.setdefault(name, []).append(v)
+    return {
+        "schema": DASHBOARD_SCHEMA_VERSION,
+        "generated_at": time.time(),
+        "store": os.path.abspath(store_root),
+        "runs": runs,
+        "skipped": [{"entry": e, "reason": r} for e, r in skipped],
+        "trends": trends,
+        "benches": [
+            b for b in (_load_bench(p) for p in bench_paths) if b
+        ],
+    }
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+_CSS = """
+body { font: 13px/1.5 system-ui, sans-serif; margin: 1.5em auto;
+       max-width: 72em; padding: 0 1em; color: #1a1f24; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.6em; }
+table { border-collapse: collapse; width: 100%; }
+th, td { text-align: left; padding: .25em .6em;
+         border-bottom: 1px solid #e2e6ea; vertical-align: top; }
+th { font-weight: 600; border-bottom: 2px solid #c6ccd2; }
+code { background: #f2f4f6; padding: 0 .25em; border-radius: 3px; }
+.ok { color: #1a7f37; font-weight: 600; }
+.alert { color: #b35900; font-weight: 600; }
+.failed { color: #cf222e; font-weight: 600; }
+.running { color: #0969da; font-weight: 600; }
+.muted { color: #6a737d; }
+.spark { color: #0969da; vertical-align: middle; }
+details { margin: .2em 0; } summary { cursor: pointer; }
+.alertbox { background: #fff4e5; border-left: 3px solid #b35900;
+            padding: .3em .6em; margin: .3em 0; }
+"""
+
+
+def _esc(v) -> str:
+    return html.escape(str(v))
+
+
+def _status_cell(row: Dict) -> str:
+    status = row["status"]
+    cls = {"completed": "ok", "failed": "failed",
+           "running": "running"}.get(status, "muted")
+    out = f'<span class="{cls}">{_esc(status)}</span>'
+    hs = row.get("health_status")
+    if hs == "alert":
+        out += ' <span class="alert">⚠</span>'
+    elif hs == "ok":
+        out += ' <span class="ok">✓</span>'
+    return out
+
+
+def _run_details(row: Dict) -> str:
+    parts = []
+    for a in row["alerts"]:
+        parts.append(
+            f'<div class="alertbox">[{_esc(a["rule"])}] '
+            f'{_esc(a["message"])}</div>'
+        )
+    if row.get("error"):
+        parts.append(f'<div class="alertbox">{_esc(row["error"])}</div>')
+    p = row.get("progress") or {}
+    if p:
+        bits = []
+        for key in ("rounds", "measurements", "budget_total", "errors",
+                    "quarantined", "rank_accuracy"):
+            if p.get(key) is not None:
+                v = p[key]
+                bits.append(
+                    f"{key}={v:.3g}" if isinstance(v, float)
+                    else f"{key}={v}"
+                )
+        if bits:
+            parts.append(
+                f'<div class="muted">{_esc("  ".join(bits))}</div>'
+            )
+    if row["config"]:
+        cfg = json.dumps(row["config"], sort_keys=True)
+        parts.append(f"<div><code>{_esc(cfg)}</code></div>")
+    body = "".join(parts) or '<div class="muted">no detail recorded</div>'
+    return (
+        f"<details><summary>{_esc(row['run_id'])}</summary>{body}</details>"
+    )
+
+
+def _runs_section(data: Dict) -> str:
+    rows = []
+    for row in reversed(data["runs"]):  # newest first
+        tasks = "<br>".join(
+            f"{_esc(name)}: {_fmt_lat(t['best_latency'])}"
+            f' <span class="muted">({t.get("measurements")} meas)</span>'
+            for name, t in sorted(row["tasks"].items())
+        ) or '<span class="muted">-</span>'
+        created = row.get("created")
+        when = (
+            time.strftime("%Y-%m-%d %H:%M", time.gmtime(created))
+            if isinstance(created, (int, float)) else "?"
+        )
+        rows.append(
+            "<tr>"
+            f"<td>{_run_details(row)}</td>"
+            f"<td>{_esc(row.get('workload') or row.get('name') or '?')}</td>"
+            f"<td>{_status_cell(row)}</td>"
+            f"<td>{tasks}</td>"
+            f"<td>{_svg_spark(row['curve'])}</td>"
+            f'<td class="muted">{_esc(when)}</td>'
+            "</tr>"
+        )
+    skipped = ""
+    if data["skipped"]:
+        items = ", ".join(
+            f"{_esc(s['entry'])} ({_esc(s['reason'])})"
+            for s in data["skipped"]
+        )
+        skipped = f'<p class="muted">skipped entries: {items}</p>'
+    return (
+        "<h2>Runs</h2>"
+        "<table><tr><th>run</th><th>workload</th><th>status</th>"
+        "<th>best latency</th><th>best-so-far</th><th>created (UTC)</th>"
+        f"</tr>{''.join(rows)}</table>{skipped}"
+    )
+
+
+def _trends_section(data: Dict) -> str:
+    if not data["trends"]:
+        return ""
+    rows = "".join(
+        "<tr>"
+        f"<td><code>{_esc(name)}</code></td>"
+        f"<td>{_svg_spark(vals)}</td>"
+        f"<td>{_fmt_lat(vals[-1])}</td>"
+        f"<td>{_fmt_lat(min(vals))}</td>"
+        f"<td>{len(vals)}</td>"
+        "</tr>"
+        for name, vals in sorted(data["trends"].items())
+    )
+    return (
+        "<h2>Per-task trend (across the store, oldest → newest)</h2>"
+        "<table><tr><th>task</th><th>best latency trend</th><th>latest</th>"
+        f"<th>best</th><th>runs</th></tr>{rows}</table>"
+    )
+
+
+def _bench_section(bench: Dict) -> str:
+    data = bench["data"]
+    title = f"<h2>Benchmark: <code>{_esc(bench['file'])}</code></h2>"
+    if isinstance(data.get("tasks"), dict):  # run-summary shape (baseline)
+        rows = "".join(
+            "<tr>"
+            f"<td><code>{_esc(name)}</code></td>"
+            f"<td>{_fmt_lat(t.get('best_latency'))}</td>"
+            f"<td>{t.get('measurements')}</td>"
+            f"<td>{t.get('noise_rel')}</td>"
+            "</tr>"
+            for name, t in sorted(data["tasks"].items())
+        )
+        return (
+            title + "<table><tr><th>task</th><th>best latency</th>"
+            f"<th>measurements</th><th>noise</th></tr>{rows}</table>"
+        )
+    if isinstance(data.get("workloads"), dict):  # throughput shape
+        rows = []
+        for name, w in sorted(data["workloads"].items()):
+            phases = w.get("phases") or {}
+            spark = _svg_spark(
+                [p.get("self_s") or 0.0 for _, p in sorted(phases.items())]
+            )
+            rows.append(
+                "<tr>"
+                f"<td><code>{_esc(name)}</code></td>"
+                f"<td>{w.get('candidates_per_s')}</td>"
+                f"<td>{w.get('candidates')}</td>"
+                f"<td>{spark} <span class='muted'>"
+                f"{len(phases)} phases</span></td>"
+                "</tr>"
+            )
+        return (
+            title + "<table><tr><th>workload</th><th>candidates/s</th>"
+            f"<th>candidates</th><th>phase self-times</th></tr>"
+            f"{''.join(rows)}</table>"
+        )
+    pretty = json.dumps(data, indent=2, sort_keys=True)[:4000]
+    return title + f"<pre>{_esc(pretty)}</pre>"
+
+
+def render_dashboard(data: Dict) -> str:
+    """Aggregated payload -> one self-contained HTML page."""
+    when = time.strftime(
+        "%Y-%m-%d %H:%M:%S UTC", time.gmtime(data["generated_at"])
+    )
+    n_alert = sum(
+        1 for r in data["runs"] if r.get("health_status") == "alert"
+    )
+    banner = (
+        f'<p><span class="alert">{n_alert} run(s) with active '
+        "alerts</span></p>"
+        if n_alert else '<p><span class="ok">all runs healthy</span></p>'
+    )
+    sections = [_runs_section(data), _trends_section(data)]
+    sections.extend(_bench_section(b) for b in data["benches"])
+    return (
+        "<!doctype html><html><head><meta charset='utf-8'>"
+        "<title>repro dashboard</title>"
+        f"<style>{_CSS}</style></head><body>"
+        f"<h1>repro dashboard</h1>"
+        f'<p class="muted">store <code>{_esc(data["store"])}</code> · '
+        f"{len(data['runs'])} run(s) · generated {when}</p>"
+        f"{banner}{''.join(sections)}"
+        "</body></html>"
+    )
+
+
+def write_dashboard(
+    store_root: str,
+    out_path: str,
+    bench_paths: Sequence[str] = (),
+) -> Dict:
+    """Aggregate + render + write; returns the aggregated payload."""
+    data = dashboard_data(store_root, bench_paths)
+    tmp = out_path + ".tmp"
+    with open(tmp, "w") as f:
+        f.write(render_dashboard(data))
+    os.replace(tmp, out_path)
+    log.info("dashboard written: %s (%d runs)", out_path, len(data["runs"]))
+    return data

@@ -101,13 +101,49 @@ class Histogram:
         finite = self.count - self.nonfinite
         return self.sum / finite if finite else 0.0
 
+    def percentile(self, q: float) -> Optional[float]:
+        """Estimated ``q``-quantile (``q`` in [0, 1]) of the finite
+        observations, by linear interpolation inside the owning bucket.
+
+        Buckets only remember counts, so the estimate is exact at bucket
+        edges and linear in between; the first bucket interpolates up from
+        ``min`` and the overflow bucket caps at ``max``.  Returns ``None``
+        with no finite observations.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"percentile q must be in [0, 1]; got {q}")
+        finite = self.count - self.nonfinite
+        if finite <= 0:
+            return None
+        target = q * finite
+        cum = 0.0
+        for i, c in enumerate(self.counts):
+            if c == 0:
+                continue
+            lo = self.edges[i - 1] if i > 0 else self.min
+            hi = self.edges[i]
+            if cum + c >= target:
+                frac = (target - cum) / c
+                return max(min(lo + frac * (hi - lo), self.max), self.min)
+            cum += c
+        # the target observation sits past the last edge
+        if self.overflow:
+            lo = max(self.edges[-1], self.min)
+            frac = (target - cum) / self.overflow
+            return max(min(lo + frac * (self.max - lo), self.max), self.min)
+        return self.max
+
     def as_dict(self) -> Dict:
+        finite = self.count > self.nonfinite
         return {
             "count": self.count,
             "sum": self.sum,
             "mean": self.mean,
-            "min": self.min if self.count > self.nonfinite else None,
-            "max": self.max if self.count > self.nonfinite else None,
+            "min": self.min if finite else None,
+            "max": self.max if finite else None,
+            "p50": self.percentile(0.50) if finite else None,
+            "p95": self.percentile(0.95) if finite else None,
+            "p99": self.percentile(0.99) if finite else None,
             "nonfinite": self.nonfinite,
             "buckets": [
                 [edge, c] for edge, c in zip(self.edges, self.counts)

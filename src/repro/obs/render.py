@@ -144,9 +144,14 @@ def trace_report(source: Union[str, Trace, TraceData],
         for name in sorted(data.metrics):
             v = data.metrics[name]
             if isinstance(v, dict):  # histogram snapshot
+                tails = "".join(
+                    f" {p}={v[p]:.4g}"
+                    for p in ("p50", "p95", "p99")
+                    if isinstance(v.get(p), (int, float))
+                )
                 lines.append(
                     f"  {name:36s} n={v.get('count', 0)}"
-                    f" mean={v.get('mean', 0.0):.4g}"
+                    f" mean={v.get('mean', 0.0):.4g}{tails}"
                 )
             elif isinstance(v, float):
                 lines.append(f"  {name:36s} {v:.6g}")

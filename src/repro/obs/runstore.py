@@ -54,6 +54,9 @@ PROFILE_FILE = "profile.json"
 ALLOCATIONS_FILE = "allocations.jsonl"
 #: tuner state snapshot inside a run directory (see repro.tuning.checkpoint)
 CHECKPOINT_FILE = "checkpoint.pkl"
+#: latest watchdog verdict (``repro.obs.watch`` schema: status ok/alert,
+#: active alerts, progress/ETA); rewritten atomically as the run tunes
+HEALTH_FILE = "health.json"
 
 #: run lifecycle states recorded in the manifest.  ``begin`` writes
 #: ``running``; exit flips it to ``completed``/``failed``.  A run that still
@@ -307,6 +310,12 @@ class RunRecord:
         return self._json(PROFILE_FILE)
 
     @property
+    def health(self) -> Dict:
+        """Latest watchdog verdict ({} for runs recorded before the
+        watchdog existed or with streaming off)."""
+        return self._json(HEALTH_FILE)
+
+    @property
     def manifest_error(self) -> Optional[str]:
         """Why the manifest is unusable (``None`` for a healthy run dir)."""
         mpath = os.path.join(self.path, MANIFEST_FILE)
@@ -468,6 +477,71 @@ class RunStore:
     def latest(self) -> Optional[RunRecord]:
         ids = self.run_ids()
         return RunRecord(os.path.join(self.root, ids[-1])) if ids else None
+
+    def gc(
+        self,
+        keep_last: Optional[int] = None,
+        keep_days: Optional[float] = None,
+        apply: bool = False,
+        now: Optional[float] = None,
+    ) -> "List[Dict]":
+        """Prune old run directories; plan-only unless ``apply=True``.
+
+        A run survives when *any* keep criterion holds: it is among the
+        ``keep_last`` newest, it is younger than ``keep_days`` days
+        (manifests without a ``created`` stamp count as young -- never
+        delete what cannot be dated), or its manifest still says
+        ``running`` -- live runs are refused outright, whatever the other
+        criteria say.  Returns one row per run: ``{"run_id", "action":
+        "delete" | "keep", "reason"}`` in store order; with ``apply`` the
+        ``delete`` rows are removed from disk (a failed removal flips the
+        row to ``action: "error"``).
+        """
+        import shutil
+
+        if keep_last is None and keep_days is None:
+            raise ValueError("gc needs --keep-last and/or --keep-days")
+        if keep_last is not None and keep_last < 0:
+            raise ValueError("keep_last must be >= 0")
+        ids = self.run_ids()  # sorted; run ids order lexically by creation
+        now = time.time() if now is None else now
+        newest = set(ids[-keep_last:]) if keep_last else set()
+        plan: List[Dict] = []
+        for rid in ids:
+            rec = RunRecord(os.path.join(self.root, rid))
+            if rec.status == STATUS_RUNNING:
+                plan.append({"run_id": rid, "action": "keep",
+                             "reason": "running"})
+                continue
+            if rid in newest:
+                plan.append({"run_id": rid, "action": "keep",
+                             "reason": f"newest {keep_last}"})
+                continue
+            if keep_days is not None:
+                created = rec.manifest.get("created")
+                age_days = (
+                    (now - created) / 86400.0
+                    if isinstance(created, (int, float)) else None
+                )
+                if age_days is None or age_days <= keep_days:
+                    plan.append({"run_id": rid, "action": "keep",
+                                 "reason": (
+                                     "undated" if age_days is None
+                                     else f"{age_days:.1f}d old"
+                                 )})
+                    continue
+                reason = f"{age_days:.1f}d old"
+            else:
+                reason = f"older than newest {keep_last}"
+            row = {"run_id": rid, "action": "delete", "reason": reason}
+            if apply:
+                try:
+                    shutil.rmtree(os.path.join(self.root, rid))
+                except OSError as exc:
+                    row = {"run_id": rid, "action": "error",
+                           "reason": str(exc)}
+            plan.append(row)
+        return plan
 
     def load(self, ref: str) -> RunRecord:
         """Resolve ``ref``: exact id, unique id prefix, or ``latest``."""

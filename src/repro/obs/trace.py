@@ -18,6 +18,14 @@ Design rules:
 - **One file, append-friendly.**  The JSONL stream is a ``meta`` header,
   one ``span`` record per finished span, ``event`` records, and a final
   ``metrics`` snapshot of the trace's registry.
+- **Live streaming is the same file.**  ``Trace(stream_to=path)`` appends
+  every finished record to ``path`` as it happens (one atomic line write +
+  flush per record, with a ``metrics`` snapshot re-emitted every
+  ``stream_metrics_every`` records so a tailing consumer sees counters
+  move).  A completed run's final :meth:`Trace.save` atomically rewrites
+  the same file into the canonical end-save form, so streaming-vs-end-save
+  traces are event-identical; a killed run leaves the streamed prefix --
+  truncated at worst mid-line -- which the reader tolerates.
 """
 
 from __future__ import annotations
@@ -119,7 +127,10 @@ class Trace:
 
     def __init__(self, enabled: bool = True, name: str = "run",
                  metrics: Optional[MetricsRegistry] = None,
-                 meta: Optional[Dict] = None):
+                 meta: Optional[Dict] = None,
+                 stream_to: Optional[str] = None,
+                 stream_append: bool = False,
+                 stream_metrics_every: int = 32):
         self.enabled = enabled
         self.name = name
         #: extra attribution fields merged into the JSONL ``meta`` header
@@ -132,6 +143,116 @@ class Trace:
         self._stack: List[Span] = []
         self._next_id = 1
         self._t0 = time.perf_counter()
+        # -- live streaming / listeners (no-ops unless explicitly enabled)
+        self.stream_metrics_every = max(int(stream_metrics_every), 1)
+        self._stream = None
+        self._stream_path: Optional[str] = None
+        self._since_snapshot = 0
+        self._listeners: List = []
+        self._dispatching = False
+        if stream_to is not None and self.enabled:
+            self.stream_start(stream_to, append=stream_append)
+
+    # -- live streaming ------------------------------------------------------
+    @property
+    def stream_path(self) -> Optional[str]:
+        """The live JSONL file this trace appends to (``None`` when not
+        streaming)."""
+        return self._stream_path
+
+    def stream_start(self, path: str, append: bool = False) -> None:
+        """Start appending every finished record to ``path`` as it happens.
+
+        ``append=True`` continues an existing stream (a resumed run keeps
+        writing to the same ``trace.jsonl``); a fresh ``meta`` header is
+        emitted either way -- the reader keeps the last one, so a resumed
+        stream reads with the resuming session's attribution.
+        """
+        if not self.enabled:
+            return
+        self.stream_close()
+        heal = False
+        if append:
+            # a run killed mid-append leaves a torn final line with no
+            # newline; terminate it so the resumed records stay parseable
+            try:
+                with open(path, "rb") as f:
+                    f.seek(-1, os.SEEK_END)
+                    heal = f.read(1) != b"\n"
+            except (OSError, ValueError):
+                heal = False
+        self._stream = open(path, "a" if append else "w")
+        self._stream_path = path
+        if heal:
+            try:
+                self._stream.write("\n")
+            except OSError:
+                pass
+        header = self._header()
+        if append:
+            header["resumed"] = True
+        self._write_line(header)
+
+    def stream_close(self, final_metrics: bool = False) -> None:
+        """Stop streaming; optionally append a closing metrics snapshot (for
+        consumers of a stream that will never see an end-save rewrite)."""
+        if self._stream is None:
+            return
+        if final_metrics:
+            self._write_line(
+                {"kind": "metrics", "snapshot": self.metrics.snapshot()}
+            )
+        try:
+            self._stream.flush()
+            os.fsync(self._stream.fileno())
+        except (OSError, ValueError):
+            pass
+        try:
+            self._stream.close()
+        except OSError:
+            pass
+        self._stream = None
+        self._stream_path = None
+
+    def add_listener(self, fn) -> None:
+        """Register ``fn(record_dict)`` to observe every finished record
+        (spans at end, events immediately).  Records a listener emits while
+        handling a record are streamed but not re-dispatched, so a watchdog
+        can write ``health`` events into the trace it is watching."""
+        self._listeners.append(fn)
+
+    def _write_line(self, record: Dict) -> None:
+        if self._stream is None:
+            return
+        try:
+            # one write + flush per record: the OS appends a whole line
+            # atomically for a single writer, so a tailing reader sees either
+            # the full line or (after a crash) a truncated final line
+            self._stream.write(json.dumps(record) + "\n")
+            self._stream.flush()
+        except (OSError, ValueError):
+            log.warning("trace stream %s failed; disabling streaming",
+                        self._stream_path)
+            self._stream = None
+            self._stream_path = None
+
+    def _emit(self, record: Dict) -> None:
+        """Deliver a freshly finished record to the stream and listeners."""
+        if self._stream is not None:
+            self._write_line(record)
+            self._since_snapshot += 1
+            if self._since_snapshot >= self.stream_metrics_every:
+                self._since_snapshot = 0
+                self._write_line(
+                    {"kind": "metrics", "snapshot": self.metrics.snapshot()}
+                )
+        if self._listeners and not self._dispatching:
+            self._dispatching = True
+            try:
+                for fn in self._listeners:
+                    fn(record)
+            finally:
+                self._dispatching = False
 
     # -- recording -----------------------------------------------------------
     def _now(self) -> float:
@@ -166,24 +287,27 @@ class Trace:
             if top is span:
                 break
         if self.enabled:
-            self.events.append(span.to_dict())
+            record = span.to_dict()
+            self.events.append(record)
+            self._emit(record)
 
     def event(self, name: str, **attrs) -> None:
         """Record a point event under the current span."""
         if not self.enabled:
             return
         parent = self._stack[-1] if self._stack else None
-        self.events.append({
+        record = {
             "kind": "event",
             "name": name,
             "ts": self._now(),
             "span": parent.span_id if parent else None,
             "attrs": _json_safe(attrs),
-        })
+        }
+        self.events.append(record)
+        self._emit(record)
 
     # -- serialization -------------------------------------------------------
-    def lines(self) -> List[str]:
-        """The trace as JSONL lines (header, events, metrics snapshot)."""
+    def _header(self) -> Dict:
         header = {
             "kind": "meta",
             "version": TRACE_SCHEMA_VERSION,
@@ -191,7 +315,11 @@ class Trace:
         }
         for k, v in self.meta.items():
             header.setdefault(k, _json_safe(v))
-        out = [json.dumps(header)]
+        return header
+
+    def lines(self) -> List[str]:
+        """The trace as JSONL lines (header, events, metrics snapshot)."""
+        out = [json.dumps(self._header())]
         out.extend(json.dumps(e) for e in self.events)
         out.append(json.dumps({
             "kind": "metrics",
@@ -201,7 +329,15 @@ class Trace:
 
     def save(self, path: str) -> None:
         """Atomic write-then-rename: a run killed mid-save leaves either the
-        previous complete trace or none, never a truncated JSONL file."""
+        previous complete trace or none, never a truncated JSONL file.
+
+        A trace streaming to ``path`` closes its stream first, then rewrites
+        the file into the canonical end-save form -- the completed run's
+        trace is byte-for-byte the same whether it streamed or not.
+        """
+        if self._stream is not None and self._stream_path is not None and \
+                os.path.abspath(self._stream_path) == os.path.abspath(path):
+            self.stream_close()
         tmp = path + ".tmp"
         with open(tmp, "w") as f:
             for line in self.lines():
@@ -273,48 +409,84 @@ def build_span_tree(spans: List[Dict]) -> List[_SpanNode]:
     return roots
 
 
+class TraceReadStats:
+    """What a lazy read skipped: corrupt lines and unknown record kinds."""
+
+    __slots__ = ("corrupt", "unknown")
+
+    def __init__(self):
+        self.corrupt = 0
+        self.unknown: Dict[str, int] = {}
+
+
+def parse_trace_line(line: str, stats: Optional[TraceReadStats] = None):
+    """One JSONL line -> record dict, or ``None`` for blank/corrupt lines
+    and unknown record kinds (counted into ``stats`` when given)."""
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        d = json.loads(line)
+    except ValueError:
+        if stats is not None:
+            stats.corrupt += 1
+        return None
+    kind = d.get("kind") if isinstance(d, dict) else None
+    if kind not in KNOWN_RECORD_KINDS:
+        if stats is not None:
+            stats.unknown[str(kind)] = stats.unknown.get(str(kind), 0) + 1
+        return None
+    return d
+
+
+def iter_trace_records(path: str, stats: Optional[TraceReadStats] = None):
+    """Lazily yield the records of a JSONL trace, one line at a time.
+
+    Never loads the file into memory -- a multi-GB streamed trace tails at
+    a constant footprint.  Corrupt/truncated lines (a killed run's partial
+    last write) and unknown record kinds are skipped, counted into
+    ``stats`` when the caller passes a :class:`TraceReadStats`.
+    """
+    with open(path) as f:
+        for line in f:
+            d = parse_trace_line(line, stats)
+            if d is not None:
+                yield d
+
+
 def load_trace(path: str) -> TraceData:
-    """Parse a ``Trace.save`` JSONL file.
+    """Parse a ``Trace.save`` (or live-streamed) JSONL file.
 
     Forward compatible by design: record kinds this reader does not know
     (e.g. written by a newer repro) are skipped with one summary warning,
     and corrupt/truncated lines (a killed run's partial last write) are
     dropped silently -- the renderer never crashes on a foreign trace.
+    Repeated ``meta``/``metrics`` records (a streamed run re-emits both)
+    resolve to the last one seen.
     """
     meta: Dict = {}
     spans: List[Dict] = []
     events: List[Dict] = []
     metrics: Dict = {}
-    unknown: Dict[str, int] = {}
-    corrupt = 0
-    with open(path) as f:
-        for line in f:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                d = json.loads(line)
-            except ValueError:
-                corrupt += 1
-                continue
-            kind = d.get("kind") if isinstance(d, dict) else None
-            if kind == "meta":
-                meta = d
-            elif kind == "span":
-                spans.append(d)
-            elif kind == "event":
-                events.append(d)
-            elif kind == "metrics":
-                metrics = d.get("snapshot", {})
-            else:
-                unknown[str(kind)] = unknown.get(str(kind), 0) + 1
-    if unknown:
+    stats = TraceReadStats()
+    for d in iter_trace_records(path, stats):
+        kind = d.get("kind")
+        if kind == "meta":
+            meta = d
+        elif kind == "span":
+            spans.append(d)
+        elif kind == "event":
+            events.append(d)
+        elif kind == "metrics":
+            metrics = d.get("snapshot", {})
+    if stats.unknown:
         log.warning(
             "%s: skipped %d record(s) of unknown kind %s (newer trace "
             "schema? this reader knows %s)",
-            path, sum(unknown.values()), sorted(unknown),
+            path, sum(stats.unknown.values()), sorted(stats.unknown),
             list(KNOWN_RECORD_KINDS),
         )
-    if corrupt:
-        log.debug("%s: dropped %d corrupt/truncated line(s)", path, corrupt)
+    if stats.corrupt:
+        log.debug("%s: dropped %d corrupt/truncated line(s)",
+                  path, stats.corrupt)
     return TraceData(meta, spans, events, metrics)

@@ -1,0 +1,773 @@
+"""Live run health: a rule engine over the streamed trace, plus the
+``repro watch`` tail view.
+
+The streaming sink (:class:`repro.obs.Trace` with ``stream_to=``) turns a
+run's ``trace.jsonl`` into a live feed; this module is the consumer side:
+
+- :class:`WatchState` folds the record stream into a compact incremental
+  aggregate (rounds, best-so-far curve, error/quarantine marks, cost-model
+  rank pairs, budget burn) at constant memory, so a multi-GB trace tails
+  as cheaply as a small one.
+- :func:`evaluate` runs the health rules over that state and produces the
+  ``health.json`` payload: stall (no best-latency improvement in N
+  rounds), measurement error-rate / quarantine spikes, cost-model
+  rank-accuracy collapse, checkpoint age, plus an ETA from the
+  budget-burn rate.
+- :class:`Watchdog` rides *inside* a tuning process as a trace listener:
+  every round it re-evaluates, writes ``health.json`` atomically into the
+  run directory, and emits a ``health`` event into the stream whenever the
+  active alert set changes (so the alert history is itself in the trace).
+- :class:`TraceTail` + :func:`watch_run` are the *external* consumer: an
+  incremental JSONL reader tolerant of partial last lines and end-save
+  rewrites, and the ``repro watch`` driver that refreshes a terminal frame
+  until the run leaves ``running`` (``--fail-on`` maps active alerts to a
+  nonzero exit code for CI and fleet coordinators).
+
+Health payload schema (``health.json`` and the ``health`` trace event)::
+
+    {"schema": 1, "run_id": ..., "status": "ok" | "alert",
+     "run_status": "running" | "completed" | "failed",
+     "alerts": [{"rule": str, "severity": "warn" | "critical",
+                 "message": str, "data": {...}}, ...],
+     "progress": {"rounds", "best_latency", "measurements",
+                  "budget_total", "budget_spent", "eta_s", ...}}
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from collections import deque
+from dataclasses import dataclass, fields
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .diagnostics import pairwise_rank_accuracy
+from .log import log
+from .runstore import (
+    CHECKPOINT_FILE,
+    HEALTH_FILE,
+    MANIFEST_FILE,
+    STATUS_RUNNING,
+    _write_json,
+)
+from .trace import TraceReadStats, parse_trace_line
+
+#: bump when the health payload schema changes incompatibly
+HEALTH_SCHEMA_VERSION = 1
+
+#: every rule name the engine can raise (``--fail-on any`` expands to this)
+RULE_NAMES = ("stall", "errors", "quarantine", "cost_model", "checkpoint_age")
+
+
+@dataclass
+class WatchRules:
+    """Thresholds for the health rules (see module docstring).
+
+    Defaults are sized for the pinned gate workloads (budget ~100, rounds
+    ~25): loose enough that a healthy run never alerts, tight enough that
+    a dead cost model or an error storm flips within a few rounds.
+    """
+
+    #: alert when the best latency has not improved for this many rounds
+    stall_rounds: int = 30
+    #: error-rate window, counted in fresh evaluations
+    error_window: int = 40
+    #: alert when recent errors / window exceeds this rate ...
+    error_rate: float = 0.25
+    #: ... and at least this many errors happened (absolute floor)
+    error_min: int = 5
+    #: quarantine window, counted in fresh evaluations
+    quarantine_window: int = 40
+    #: alert when more candidates than this were quarantined in-window
+    quarantine_max: int = 3
+    #: alert when recent cost-model rank accuracy drops below this ...
+    rank_floor: float = 0.5
+    #: ... judged only once this many comparable pairs accumulated
+    rank_min_pairs: int = 60
+    #: alert when a running run's checkpoint is older than this (seconds)
+    checkpoint_max_age_s: float = 600.0
+
+    @classmethod
+    def parse(cls, spec: Optional[str]) -> "WatchRules":
+        """``"stall_rounds=10,error_rate=0.5"`` -> rules (CLI ``--rules``)."""
+        rules = cls()
+        if not spec:
+            return rules
+        types = {f.name: f.type for f in fields(cls)}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(f"watch rule {part!r}: expected name=value")
+            key, _, value = part.partition("=")
+            key = key.strip()
+            if key not in types:
+                raise ValueError(
+                    f"unknown watch rule {key!r} (known: {sorted(types)})"
+                )
+            cast = float if "float" in str(types[key]) else int
+            setattr(rules, key, cast(value))
+        return rules
+
+
+def parse_fail_on(spec: Optional[str]) -> Tuple[str, ...]:
+    """``--fail-on`` value -> rule-name tuple (``"any"`` means all)."""
+    if not spec:
+        return ()
+    names = [s.strip() for s in spec.split(",") if s.strip()]
+    if "any" in names:
+        return RULE_NAMES
+    for n in names:
+        if n not in RULE_NAMES:
+            raise ValueError(
+                f"unknown health rule {n!r} (known: {list(RULE_NAMES)})"
+            )
+    return tuple(names)
+
+
+# ---------------------------------------------------------------------------
+# Incremental stream aggregation
+# ---------------------------------------------------------------------------
+
+class WatchState:
+    """Constant-memory fold over a trace record stream.
+
+    ``feed`` every record (from a live :class:`~repro.obs.Trace` listener
+    or a :class:`TraceTail`); read the aggregates any time.  Bounded
+    deques hold only the recent windows the rules and the terminal frame
+    need -- the full stream is never retained.
+    """
+
+    #: cap on the rendered best-so-far curve; beyond it the curve is
+    #: decimated 2:1 (the sparkline downsamples anyway)
+    CURVE_CAP = 4096
+
+    def __init__(self):
+        self.meta: Dict = {}
+        self.metrics: Dict = {}
+        # -- rounds
+        self.rounds_total = 0
+        self.stage_counts: Dict[str, int] = {}
+        self.last_round: Dict = {}
+        self.best_latency = math.inf
+        self.last_improvement_round = 0
+        self.curve: List[float] = []
+        self.recent_round_ts: deque = deque(maxlen=32)
+        # per-task budget bookkeeping (last round per task)
+        self.task_measurements: Dict[str, int] = {}
+        self.task_budget_remaining: Dict[str, int] = {}
+        # -- measurement health
+        self.errors_total = 0
+        self.error_kinds: Dict[str, int] = {}
+        self.error_marks: deque = deque(maxlen=512)  # fresh_total at error
+        self.quarantined_total = 0
+        self.quarantine_marks: deque = deque(maxlen=512)
+        self.degraded = False
+        self.fresh_total = 0
+        self.fresh_inflight = 0
+        self.recent_batches: deque = deque(maxlen=64)  # (t_end, dur, fresh)
+        # -- cost model
+        self.cm_generation: Optional[int] = None
+        self.cm_pairs: deque = deque(maxlen=32)  # (correct, comparable)
+        # -- network scheduler
+        self.network_budget: Optional[int] = None
+        self.network_spent: Optional[int] = None
+        self.grants_total = 0
+        self.last_grant: Dict = {}
+        self.tasks_started: Dict[str, Dict] = {}
+        self.task_results: Dict[str, Dict] = {}
+        self.network_result: Optional[Dict] = None
+        # -- stream shape
+        self.records_total = 0
+        self.last_ts = 0.0
+        self.health_events = 0
+        self.last_health: Dict = {}
+
+    # -- feeding ----------------------------------------------------------
+    def feed(self, record: Dict) -> None:
+        kind = record.get("kind")
+        if kind == "meta":
+            self.meta = record
+            return
+        if kind == "metrics":
+            self.metrics = record.get("snapshot", {})
+            return
+        self.records_total += 1
+        if kind == "span":
+            self._feed_span(record)
+        elif kind == "event":
+            self._feed_event(record)
+
+    def _bump_ts(self, ts) -> None:
+        if isinstance(ts, (int, float)) and math.isfinite(ts):
+            self.last_ts = max(self.last_ts, float(ts))
+
+    def _feed_span(self, record: Dict) -> None:
+        self._bump_ts(record.get("t_end"))
+        if record.get("name") != "measure_batch":
+            return
+        attrs = record.get("attrs") or {}
+        fresh = attrs.get("fresh")
+        if isinstance(fresh, (int, float)):
+            self.fresh_total += int(fresh)
+            self.fresh_inflight = max(self.fresh_inflight - int(fresh), 0)
+        t0, t1 = record.get("t_start"), record.get("t_end")
+        dur = (t1 - t0) if isinstance(t0, (int, float)) and \
+            isinstance(t1, (int, float)) else 0.0
+        self.recent_batches.append(
+            (t1 or 0.0, max(dur, 0.0), int(fresh or 0))
+        )
+
+    def _feed_event(self, record: Dict) -> None:
+        self._bump_ts(record.get("ts"))
+        name = record.get("name")
+        attrs = record.get("attrs") or {}
+        if name == "round":
+            self._feed_round(record, attrs)
+        elif name == "measure_error":
+            self.errors_total += 1
+            kind = str(attrs.get("kind", "?"))
+            self.error_kinds[kind] = self.error_kinds.get(kind, 0) + 1
+            self.error_marks.append(self.fresh_total)
+        elif name == "measure_quarantined":
+            self.quarantined_total += 1
+            self.quarantine_marks.append(self.fresh_total)
+        elif name == "measure_batch_start":
+            f = attrs.get("fresh")
+            if isinstance(f, (int, float)):
+                self.fresh_inflight += int(f)
+        elif name == "measure_degraded":
+            self.degraded = True
+        elif name == "cost_model_batch":
+            gen = attrs.get("generation")
+            if gen is not None:
+                self.cm_generation = gen
+            if not isinstance(gen, (int, float)) or gen < 1:
+                # generation 0 is the untrained model: its ranking is
+                # legitimately uninformative, not a collapse
+                return
+            predicted = attrs.get("predicted") or []
+            measured = [
+                math.inf if m == "Infinity" else float(m)
+                for m in (attrs.get("measured") or [])
+                if isinstance(m, (int, float, str))
+            ]
+            correct, comparable = pairwise_rank_accuracy(predicted, measured)
+            if comparable:
+                self.cm_pairs.append((correct, comparable))
+        elif name == "budget_grant":
+            self.grants_total += 1
+            self.last_grant = attrs
+            spent = attrs.get("spent_total")
+            if isinstance(spent, (int, float)):
+                self.network_spent = int(spent)
+        elif name == "network_start":
+            budget = attrs.get("budget")
+            if isinstance(budget, (int, float)):
+                self.network_budget = int(budget)
+        elif name == "task_start":
+            self.tasks_started[str(attrs.get("task"))] = attrs
+        elif name == "task_result":
+            self.task_results[str(attrs.get("task"))] = attrs
+        elif name == "network_result":
+            self.network_result = attrs
+        elif name == "health":
+            self.health_events += 1
+            self.last_health = attrs
+
+    def _feed_round(self, record: Dict, attrs: Dict) -> None:
+        self.rounds_total += 1
+        self.last_round = attrs
+        stage = str(attrs.get("stage", "?"))
+        self.stage_counts[stage] = self.stage_counts.get(stage, 0) + 1
+        self.recent_round_ts.append(record.get("ts") or self.last_ts)
+        best = attrs.get("best_so_far")
+        if isinstance(best, (int, float)) and math.isfinite(best):
+            if best < self.best_latency:
+                self.best_latency = best
+                self.last_improvement_round = self.rounds_total
+            self.curve.append(best)
+            if len(self.curve) > self.CURVE_CAP:
+                self.curve = self.curve[::2]
+        task = str(attrs.get("task", "?"))
+        m = attrs.get("measurements")
+        if isinstance(m, (int, float)):
+            self.task_measurements[task] = int(m)
+        rem = attrs.get("budget_remaining")
+        if isinstance(rem, (int, float)):
+            self.task_budget_remaining[task] = int(rem)
+
+    # -- derived views -----------------------------------------------------
+    def budget_totals(self) -> Tuple[Optional[int], Optional[int]]:
+        """(budget_total, budget_spent) -- network grants win over the
+        per-task round bookkeeping when both are present."""
+        if self.network_budget is not None:
+            return self.network_budget, self.network_spent or 0
+        if not self.task_measurements:
+            return None, None
+        spent = sum(self.task_measurements.values())
+        total = spent + sum(self.task_budget_remaining.values())
+        return total, spent
+
+    def eta_s(self) -> Optional[float]:
+        """Remaining-budget estimate from the observed burn rate."""
+        total, spent = self.budget_totals()
+        if total is None or not spent or self.last_ts <= 0:
+            return None
+        rate = spent / self.last_ts
+        if rate <= 0:
+            return None
+        return max(total - spent, 0) / rate
+
+    def recent_error_count(self, window: int) -> int:
+        floor = self.fresh_total - window
+        return sum(1 for mark in self.error_marks if mark >= floor)
+
+    def recent_quarantine_count(self, window: int) -> int:
+        floor = self.fresh_total - window
+        return sum(1 for mark in self.quarantine_marks if mark >= floor)
+
+    def recent_rank_accuracy(self) -> Tuple[Optional[float], int]:
+        """(accuracy, comparable-pairs) over the recent cost-model batches."""
+        correct = sum(c for c, _ in self.cm_pairs)
+        total = sum(t for _, t in self.cm_pairs)
+        return (correct / total if total else None), total
+
+    def measure_throughput(self) -> Optional[float]:
+        """Fresh evaluations per second over the recent batch window."""
+        dur = sum(d for _, d, _ in self.recent_batches)
+        fresh = sum(f for _, _, f in self.recent_batches)
+        if dur <= 0 or fresh <= 0:
+            return None
+        return fresh / dur
+
+    def rounds_per_min(self) -> Optional[float]:
+        if len(self.recent_round_ts) < 2:
+            return None
+        ts = [t for t in self.recent_round_ts if isinstance(t, (int, float))]
+        if len(ts) < 2 or ts[-1] <= ts[0]:
+            return None
+        return (len(ts) - 1) / (ts[-1] - ts[0]) * 60.0
+
+
+# ---------------------------------------------------------------------------
+# Rule engine
+# ---------------------------------------------------------------------------
+
+def _alert(rule: str, severity: str, message: str, **data) -> Dict:
+    return {"rule": rule, "severity": severity, "message": message,
+            "data": data}
+
+
+def evaluate(
+    state: WatchState,
+    rules: Optional[WatchRules] = None,
+    *,
+    run_status: str = STATUS_RUNNING,
+    run_id: Optional[str] = None,
+    checkpoint_age_s: Optional[float] = None,
+) -> Dict:
+    """Run every health rule over ``state`` -> the health payload.
+
+    ``run_status`` gates the liveness rules: a completed run that simply
+    converged is not "stalled", and its checkpoint age is meaningless --
+    those two rules only fire while the manifest still says ``running``.
+    """
+    rules = rules or WatchRules()
+    alerts: List[Dict] = []
+    live = run_status == STATUS_RUNNING
+
+    since = state.rounds_total - state.last_improvement_round
+    if live and state.rounds_total >= rules.stall_rounds and \
+            since >= rules.stall_rounds:
+        alerts.append(_alert(
+            "stall", "warn",
+            f"no best-latency improvement in {since} rounds "
+            f"(threshold {rules.stall_rounds})",
+            rounds_since_improvement=since,
+            best_latency=(
+                state.best_latency
+                if math.isfinite(state.best_latency) else None
+            ),
+        ))
+
+    window = min(rules.error_window, max(state.fresh_total, 1))
+    recent_errors = state.recent_error_count(rules.error_window)
+    rate = recent_errors / window
+    if recent_errors >= rules.error_min and rate > rules.error_rate:
+        alerts.append(_alert(
+            "errors", "critical",
+            f"{recent_errors} measurement error(s) in the last "
+            f"{window} fresh evaluation(s) (rate {rate:.2f} > "
+            f"{rules.error_rate:.2f})",
+            recent=recent_errors, window=window, rate=rate,
+            kinds=dict(state.error_kinds),
+        ))
+
+    recent_q = state.recent_quarantine_count(rules.quarantine_window)
+    if recent_q > rules.quarantine_max:
+        alerts.append(_alert(
+            "quarantine", "warn",
+            f"{recent_q} candidate(s) quarantined in the last "
+            f"{rules.quarantine_window} fresh evaluation(s) "
+            f"(threshold {rules.quarantine_max})",
+            recent=recent_q, window=rules.quarantine_window,
+        ))
+
+    accuracy, pairs = state.recent_rank_accuracy()
+    if accuracy is not None and pairs >= rules.rank_min_pairs and \
+            accuracy < rules.rank_floor:
+        alerts.append(_alert(
+            "cost_model", "warn",
+            f"cost-model rank accuracy collapsed to {accuracy:.2f} over "
+            f"{pairs} recent pair(s) (floor {rules.rank_floor:.2f})",
+            rank_accuracy=accuracy, pairs=pairs,
+            generation=state.cm_generation,
+        ))
+
+    if live and checkpoint_age_s is not None and \
+            checkpoint_age_s > rules.checkpoint_max_age_s:
+        alerts.append(_alert(
+            "checkpoint_age", "warn",
+            f"checkpoint is {checkpoint_age_s:.0f}s old "
+            f"(threshold {rules.checkpoint_max_age_s:.0f}s)",
+            age_s=checkpoint_age_s,
+        ))
+
+    total, spent = state.budget_totals()
+    progress = {
+        "rounds": state.rounds_total,
+        "stages": dict(state.stage_counts),
+        "best_latency": (
+            state.best_latency if math.isfinite(state.best_latency) else None
+        ),
+        "rounds_since_improvement": since,
+        "measurements": spent,
+        "fresh_evaluations": state.fresh_total,
+        "budget_total": total,
+        "budget_spent": spent,
+        "eta_s": state.eta_s(),
+        "elapsed_s": state.last_ts,
+        "errors": state.errors_total,
+        "quarantined": state.quarantined_total,
+        "degraded": state.degraded,
+        "tasks": len(state.task_measurements),
+        "rank_accuracy": accuracy,
+        "throughput_fresh_per_s": state.measure_throughput(),
+        "rounds_per_min": state.rounds_per_min(),
+    }
+    return {
+        "schema": HEALTH_SCHEMA_VERSION,
+        "run_id": run_id,
+        "generated_at": time.time(),
+        "status": "alert" if alerts else "ok",
+        "run_status": run_status,
+        "alerts": alerts,
+        "progress": progress,
+    }
+
+
+def checkpoint_age_s(run_dir: Optional[str]) -> Optional[float]:
+    """Age of the run's checkpoint file; ``None`` when absent (a run tuned
+    without ``--checkpoint-every`` has nothing to age-check)."""
+    if not run_dir:
+        return None
+    try:
+        return max(
+            time.time()
+            - os.path.getmtime(os.path.join(run_dir, CHECKPOINT_FILE)),
+            0.0,
+        )
+    except OSError:
+        return None
+
+
+def write_health(run_dir: str, health: Dict) -> str:
+    """Atomically persist the health payload into the run directory."""
+    path = os.path.join(run_dir, HEALTH_FILE)
+    _write_json(path, health)
+    return path
+
+
+# ---------------------------------------------------------------------------
+# In-process watchdog (producer side)
+# ---------------------------------------------------------------------------
+
+class Watchdog:
+    """Trace listener that keeps ``health.json`` current while a run tunes.
+
+    Attach with :meth:`attach`; every ``round``/``budget_grant`` record
+    re-evaluates the rules, rewrites ``health.json`` (atomic), and -- only
+    when the set of active alert rules changes -- emits a ``health`` event
+    into the stream, so the trace itself records when the run went
+    unhealthy and when it recovered.  :meth:`finalize` writes the closing
+    payload with the run's terminal status.
+    """
+
+    #: record names that trigger a re-evaluation (errors/quarantines feed
+    #: state on every record; rules re-run at round granularity plus on the
+    #: first sign of measurement trouble)
+    EVAL_EVENTS = ("round", "budget_grant", "measure_error",
+                   "measure_quarantined", "network_result")
+
+    def __init__(self, trace, run_dir: Optional[str] = None,
+                 rules: Optional[WatchRules] = None,
+                 run_id: Optional[str] = None):
+        self.trace = trace
+        self.run_dir = run_dir
+        self.rules = rules or WatchRules()
+        self.run_id = run_id or (
+            os.path.basename(run_dir.rstrip(os.sep)) if run_dir else None
+        )
+        self.state = WatchState()
+        self.health: Dict = {}
+        self._active: Tuple[str, ...] = ()
+
+    def attach(self) -> "Watchdog":
+        self.trace.add_listener(self._on_record)
+        return self
+
+    def _on_record(self, record: Dict) -> None:
+        self.state.feed(record)
+        if record.get("kind") == "event" and \
+                record.get("name") in self.EVAL_EVENTS:
+            self.check()
+
+    def check(self, run_status: str = STATUS_RUNNING) -> Dict:
+        """Re-run the rules; persist + emit on state change."""
+        self.health = evaluate(
+            self.state, self.rules, run_status=run_status,
+            run_id=self.run_id,
+            checkpoint_age_s=checkpoint_age_s(self.run_dir),
+        )
+        active = tuple(sorted(a["rule"] for a in self.health["alerts"]))
+        if active != self._active:
+            went, cleared = (
+                sorted(set(active) - set(self._active)),
+                sorted(set(self._active) - set(active)),
+            )
+            self._active = active
+            # listener-emitted records stream but are not re-dispatched,
+            # so this cannot recurse into _on_record
+            self.trace.event(
+                "health", status=self.health["status"],
+                alerts=list(active), raised=went, cleared=cleared,
+                messages=[a["message"] for a in self.health["alerts"]],
+            )
+            if went:
+                log.warning("watchdog: alert(s) raised: %s", ", ".join(went))
+            if cleared and not went:
+                log.info("watchdog: alert(s) cleared: %s", ", ".join(cleared))
+        if self.run_dir:
+            try:
+                write_health(self.run_dir, self.health)
+            except OSError as exc:  # health is advisory; never kill the run
+                log.warning("watchdog: cannot write health.json: %s", exc)
+        return self.health
+
+    def finalize(self, run_status: str) -> Dict:
+        """Closing evaluation with the run's terminal status (liveness
+        rules -- stall, checkpoint age -- no longer apply)."""
+        return self.check(run_status=run_status)
+
+
+# ---------------------------------------------------------------------------
+# External tail (consumer side)
+# ---------------------------------------------------------------------------
+
+class TraceTail:
+    """Incremental reader of a (possibly live) ``trace.jsonl``.
+
+    ``poll()`` returns the records appended since the last poll.  A
+    partial last line (the writer is mid-append, or the run was killed
+    mid-write) is buffered, not counted corrupt, and completed on the next
+    poll.  ``Trace.save``'s end-save atomically *replaces* the file; the
+    tail detects the inode swap (or a shrink) and signals a restart so the
+    consumer can rebuild its state from the canonical rewrite.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self.stats = TraceReadStats()
+        self._offset = 0
+        self._carry = ""
+        self._inode: Optional[int] = None
+
+    def poll(self) -> Tuple[bool, List[Dict]]:
+        """-> ``(restarted, records)``; ``restarted`` means the file was
+        swapped/truncated and the returned records start from the top."""
+        try:
+            st = os.stat(self.path)
+        except OSError:
+            return False, []
+        restarted = False
+        if (self._inode is not None and st.st_ino != self._inode) or \
+                st.st_size < self._offset:
+            restarted = True
+            self._offset = 0
+            self._carry = ""
+            self.stats = TraceReadStats()
+        self._inode = st.st_ino
+        if st.st_size <= self._offset:
+            return restarted, []
+        records: List[Dict] = []
+        try:
+            with open(self.path) as f:
+                f.seek(self._offset)
+                chunk = f.read()
+                self._offset = f.tell()
+        except OSError:
+            return restarted, []
+        data = self._carry + chunk
+        lines = data.split("\n")
+        self._carry = lines.pop()  # "" after a complete line, else partial
+        for line in lines:
+            d = parse_trace_line(line, self.stats)
+            if d is not None:
+                records.append(d)
+        return restarted, records
+
+
+def _fmt_s(seconds: Optional[float]) -> str:
+    if seconds is None or not math.isfinite(seconds):
+        return "?"
+    seconds = int(seconds)
+    if seconds >= 3600:
+        return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+    if seconds >= 60:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds}s"
+
+
+def render_watch_frame(state: WatchState, health: Dict,
+                       title: str = "run") -> str:
+    """One terminal frame of the live view (plain text, no escapes)."""
+    from .render import _spark
+
+    p = health.get("progress", {})
+    run_status = health.get("run_status", "?")
+    lines = [
+        f"watch {title}  status={run_status}"
+        f"  elapsed {_fmt_s(p.get('elapsed_s'))}"
+        + (f"  eta ~{_fmt_s(p['eta_s'])}" if p.get("eta_s") else "")
+    ]
+    stages = ", ".join(
+        f"{v} {k}" for k, v in sorted(state.stage_counts.items())
+    ) or "none yet"
+    best = p.get("best_latency")
+    best_txt = f"{best * 1e6:.2f} us" if best is not None else "n/a"
+    total, spent = p.get("budget_total"), p.get("budget_spent")
+    budget_txt = (
+        f"{spent}/{total}" if total is not None else str(spent or 0)
+    )
+    lines.append(
+        f"  rounds {state.rounds_total} ({stages})  best {best_txt}"
+        f"  measurements {budget_txt}"
+    )
+    if state.curve:
+        lines.append(f"  best-so-far  {_spark(state.curve)}")
+    tput = p.get("throughput_fresh_per_s")
+    rpm = p.get("rounds_per_min")
+    lines.append(
+        "  throughput   "
+        + (f"{tput:.1f} fresh/s" if tput else "n/a")
+        + (f"   {rpm:.1f} rounds/min" if rpm else "")
+        + (f"   {state.fresh_inflight} in flight"
+           if state.fresh_inflight else "")
+    )
+    kinds = ", ".join(
+        f"{k}={v}" for k, v in sorted(state.error_kinds.items())
+    )
+    lines.append(
+        f"  errors {state.errors_total}" + (f" ({kinds})" if kinds else "")
+        + f"   quarantined {state.quarantined_total}"
+        + f"   degraded {'yes' if state.degraded else 'no'}"
+    )
+    acc = p.get("rank_accuracy")
+    if acc is not None:
+        gen = state.cm_generation
+        lines.append(
+            f"  cost model   rank-acc {acc:.2f} (recent"
+            + (f", gen {gen}" if gen is not None else "") + ")"
+        )
+    if state.tasks_started or len(state.task_measurements) > 1:
+        done = len(state.task_results)
+        lines.append(
+            f"  tasks        {len(state.task_measurements)} active, "
+            f"{done} finished"
+        )
+    alerts = health.get("alerts") or []
+    if alerts:
+        for a in alerts:
+            lines.append(f"  ALERT [{a['rule']}] {a['message']}")
+    else:
+        lines.append("  alerts: none")
+    return "\n".join(lines)
+
+
+def _run_status(run_dir: str) -> str:
+    """The manifest's current lifecycle state (re-read every poll -- the
+    writer flips it on exit)."""
+    import json
+
+    try:
+        with open(os.path.join(run_dir, MANIFEST_FILE)) as f:
+            return json.load(f).get("status", STATUS_RUNNING)
+    except (OSError, ValueError):
+        return STATUS_RUNNING
+
+
+def watch_run(
+    run_dir: str,
+    *,
+    rules: Optional[WatchRules] = None,
+    fail_on: Tuple[str, ...] = (),
+    interval: float = 1.0,
+    once: bool = False,
+    max_seconds: Optional[float] = None,
+    emit: Optional[Callable[[str], None]] = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> int:
+    """Tail a run directory until it leaves ``running`` (the ``repro
+    watch`` engine).
+
+    Renders a frame through ``emit`` after every poll that changed the
+    stream (and always at exit).  Returns the process exit code: ``1``
+    when any rule named in ``fail_on`` is active in the *final* health
+    evaluation, else ``0``.  ``once`` renders a single frame -- the mode
+    for finished runs and scripted checks; ``max_seconds`` bounds a live
+    tail (the run keeps going; only the watcher stops).
+    """
+    rules = rules or WatchRules()
+    run_id = os.path.basename(os.path.abspath(run_dir).rstrip(os.sep))
+    tail = TraceTail(os.path.join(run_dir, "trace.jsonl"))
+    state = WatchState()
+    health: Dict = {}
+    deadline = (
+        time.monotonic() + max_seconds if max_seconds is not None else None
+    )
+    while True:
+        restarted, records = tail.poll()
+        if restarted:
+            state = WatchState()
+        for r in records:
+            state.feed(r)
+        status = _run_status(run_dir)
+        health = evaluate(
+            state, rules, run_status=status, run_id=run_id,
+            checkpoint_age_s=checkpoint_age_s(run_dir),
+        )
+        done = once or status != STATUS_RUNNING or (
+            deadline is not None and time.monotonic() >= deadline
+        )
+        if emit and (records or restarted or done):
+            emit(render_watch_frame(state, health, title=run_id))
+        if done:
+            break
+        sleep(interval)
+    active = {a["rule"] for a in health.get("alerts", [])}
+    if active & set(fail_on):
+        return 1
+    return 0

@@ -323,6 +323,12 @@ def compile_graph(
         "compile", graph=graph.name, machine=machine.name, mode=opts.mode,
         budget=opts.total_budget,
     ) as compile_sp:
+        # span attrs only reach the stream when the span *ends*; a live
+        # consumer learns what is being compiled from this start event
+        trace.event(
+            "compile_start", graph=graph.name, machine=machine.name,
+            mode=opts.mode, budget=opts.total_budget,
+        )
         # ---- 1. deduplicated tuning tasks over complex operators ------------------
         complex_nodes = graph.complex_nodes()
         classes: Dict[Tuple, List[ComputeDef]] = {}

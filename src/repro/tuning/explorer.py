@@ -391,6 +391,13 @@ class JointTuner:
             machine=task.machine.name,
             budget=(task.budget if task.budget is not None else -1),
         ) as sp:
+            # streamed immediately (the tune_task span only lands at end),
+            # so a live watcher sees the task and its budget up front
+            task.trace.event(
+                "task_start", task=task.comp.name,
+                budget=(task.budget if task.budget is not None else -1),
+                resumed=self.state.phase != "joint",
+            )
             if self.state.phase == "joint":
                 best = self._joint_stage(joint_budget)
             else:

@@ -544,6 +544,14 @@ class Measurer:
                 fresh_sigs.add(sig)
                 fresh.append(i)
 
+            if fresh:
+                # the measure_batch *span* only reaches a live stream when
+                # the batch finishes; this event tells a tailing consumer
+                # how much fresh work just went in flight
+                task.trace.event(
+                    "measure_batch_start", task=task.comp.name,
+                    submitted=len(candidates), fresh=len(fresh),
+                )
             with task.profiler.phase("measure.eval", items=len(fresh)):
                 values = self._resolve(candidates, fresh)
 

@@ -436,6 +436,13 @@ class NetworkTuner:
             tasks=len(self.tuners),
             round_budget=self.round_budget,
         ) as sp:
+            # streamed immediately (the span lands at end): a live watcher
+            # needs the total budget up front for its burn-rate ETA
+            self.trace.event(
+                "network_start", graph=self.graph.name, budget=self.budget,
+                tasks=len(self.tuners), round_budget=self.round_budget,
+                spent=self.spent(),
+            )
             # round-robin warmup: every task gets one grant so each has a
             # best latency and an improvement rate for the gradient rounds
             while self.warmup_idx < len(self.tuners) and self.spent() < self.budget:

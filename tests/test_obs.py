@@ -2,6 +2,7 @@
 
 import json
 import math
+import os
 
 import pytest
 
@@ -159,6 +160,127 @@ def test_load_trace_skips_unknown_kinds_with_one_warning(tmp_path, caplog):
     assert "hologram" in warnings[0].getMessage()
 
 
+# ---------------------------------------------------------------------------
+# Live streaming sink
+# ---------------------------------------------------------------------------
+
+def test_stream_appends_records_as_they_happen(tmp_path):
+    path = str(tmp_path / "live.jsonl")
+    trace = Trace(name="s", stream_to=path)
+    assert trace.stream_path == path
+
+    def kinds():
+        with open(path) as f:
+            return [json.loads(line)["kind"] for line in f]
+
+    assert kinds() == ["meta"]  # header lands at stream start
+    trace.event("round", round=0)
+    assert kinds() == ["meta", "event"]  # flushed per record, no save needed
+    with trace.span("outer"):
+        with trace.span("inner"):
+            pass
+        # spans stream on finish: inner is on disk, outer not yet
+        assert kinds() == ["meta", "event", "span"]
+    assert kinds() == ["meta", "event", "span", "span"]
+
+
+def test_disabled_trace_never_streams(tmp_path):
+    path = str(tmp_path / "null.jsonl")
+    trace = Trace(enabled=False, name="null", stream_to=path)
+    trace.event("round", round=0)
+    with trace.span("a"):
+        pass
+    assert trace.stream_path is None
+    assert not os.path.exists(path)
+
+
+def test_stream_periodic_metrics_snapshots(tmp_path):
+    path = str(tmp_path / "live.jsonl")
+    trace = Trace(name="s", stream_to=path, stream_metrics_every=2)
+    trace.metrics.counter("n").inc()
+    for i in range(5):
+        trace.event("round", round=i)
+    with open(path) as f:
+        kinds = [json.loads(line)["kind"] for line in f]
+    # a tailing consumer sees counters move without waiting for the end
+    assert kinds.count("metrics") == 2
+    data = load_trace(path)
+    assert data.metrics["n"] == 1  # last snapshot wins
+    assert len(data.events) == 5
+
+
+def test_stream_end_save_rewrites_canonical_form(tmp_path):
+    path = str(tmp_path / "run.jsonl")
+    trace = Trace(name="s", stream_to=path, stream_metrics_every=1)
+    with trace.span("tune_task"):
+        trace.event("round", round=0)
+    trace.save(path)
+    # the save closed the stream and replaced the interleaved live form
+    assert trace.stream_path is None
+    with open(path) as f:
+        content = f.read()
+    assert content == "\n".join(trace.lines()) + "\n"
+    # ... which is byte-identical to what a never-streamed trace saves
+    plain = Trace(name="s")
+    with plain.span("tune_task"):
+        plain.event("round", round=0)
+    other = str(tmp_path / "plain.jsonl")
+    plain.save(other)
+    strip = [json.loads(line) for line in content.splitlines()]
+    with open(other) as f:
+        plain_records = [json.loads(line) for line in f]
+
+    def scrub(records):
+        return [
+            {k: v for k, v in r.items()
+             if k not in ("ts", "t_start", "t_end")}
+            for r in records
+        ]
+    assert scrub(strip) == scrub(plain_records)
+
+
+def test_stream_resume_appends_with_marker_and_heals_torn_line(tmp_path):
+    path = str(tmp_path / "run.jsonl")
+    first = Trace(name="s", stream_to=path)
+    first.event("round", round=0)
+    # the process dies mid-append: no close, a torn final line on disk
+    with open(path, "a") as f:
+        f.write('{"kind": "event", "na')
+    resumed = Trace(name="s", stream_to=path, stream_append=True)
+    resumed.event("round", round=1)
+    with open(path) as f:
+        lines = f.read().splitlines()
+    headers = [json.loads(ln) for ln in lines
+               if ln.startswith('{"kind": "meta"')]
+    assert len(headers) == 2 and headers[-1]["resumed"] is True
+    data = load_trace(path)  # torn line is terminated, not merged
+    assert [e["attrs"]["round"] for e in data.events
+            if e.get("name") == "round"] == [0, 1]
+
+
+def test_listener_sees_records_and_own_emits_do_not_redispatch(tmp_path):
+    path = str(tmp_path / "live.jsonl")
+    trace = Trace(name="s", stream_to=path)
+    seen = []
+
+    def listener(record):
+        seen.append((record["kind"], record.get("name")))
+        if record.get("name") == "round":
+            # a watchdog writing back into the trace it observes
+            trace.event("health", status="ok")
+
+    trace.add_listener(listener)
+    trace.event("round", round=0)
+    # the listener saw the round but not its own health event ...
+    assert seen == [("event", "round")]
+    # ... yet the health event was recorded and streamed
+    assert [e["name"] for e in trace.events if e["kind"] == "event"] \
+        == ["round", "health"]
+    with open(path) as f:
+        names = [json.loads(line).get("name") for line in f]
+    assert names == ["s", "round", "health"]  # meta carries the trace name
+
+
 def test_build_span_tree_orphans_become_roots():
     spans = [
         {"kind": "span", "id": 2, "parent": 99, "name": "orphan",
@@ -205,6 +327,46 @@ def test_histogram_bucket_edges():
     assert h.mean == pytest.approx((0.5 + 1.0 + 1.5 + 2.0 + 3.0 + 5.0) / 6)
     d = h.as_dict()
     assert d["buckets"] == [[1.0, 2], [2.0, 2], [4.0, 1], ["inf", 1]]
+
+
+def test_histogram_percentiles_interpolate():
+    h = Histogram(edges=(10.0, 20.0, 30.0, 40.0))
+    for v in range(1, 41):  # 1..40, ten per bucket
+        h.observe(float(v))
+    # exact at bucket edges, linear in between (min seeds the first bucket)
+    assert h.percentile(0.0) == 1.0
+    assert h.percentile(1.0) == 40.0
+    assert h.percentile(0.5) == pytest.approx(20.0)
+    assert h.percentile(0.75) == pytest.approx(30.0)
+    assert h.percentile(0.95) == pytest.approx(38.0, abs=1.0)
+    # quantiles are monotone and clamped into [min, max]
+    qs = [h.percentile(q / 20) for q in range(21)]
+    assert qs == sorted(qs)
+    assert all(h.min <= v <= h.max for v in qs)
+
+
+def test_histogram_percentiles_overflow_and_empty():
+    h = Histogram(edges=(1.0,))
+    assert h.percentile(0.5) is None  # no observations
+    h.observe(math.inf)
+    assert h.percentile(0.5) is None  # non-finite only
+    h.observe(5.0)
+    h.observe(9.0)  # both overflow; capped at max
+    assert h.percentile(0.99) <= 9.0
+    d = h.as_dict()
+    assert d["p50"] is not None and d["p95"] <= 9.0
+    with pytest.raises(ValueError):
+        h.percentile(1.5)
+
+
+def test_histogram_as_dict_carries_percentile_tails():
+    h = Histogram(edges=(1.0, 2.0))
+    for v in (0.5, 1.5, 1.8):
+        h.observe(v)
+    d = h.as_dict()
+    assert set(d) >= {"p50", "p95", "p99"}
+    assert d["p50"] <= d["p95"] <= d["p99"]
+    json.dumps(d)
 
 
 def test_histogram_rejects_bad_edges():
