@@ -8,6 +8,7 @@ Commands
 ``trace``     render a saved JSONL trace (flamegraph + tuning timeline)
 ``profile``   phase-profile a tuning run / regenerate the throughput bench
 ``runs``      inspect/compare the persistent run registry (perf gate)
+``serve``     compile-as-a-service: coordinator/worker tuning fleet
 ``machines``  list the simulated hardware targets
 ``models``    list the model zoo
 
@@ -66,6 +67,14 @@ from .ops.conv import conv1d, conv2d, conv3d, depthwise_conv2d
 from .ops.gemm import gemm
 from .pipeline import CompileOptions, compile_graph
 from .report import full_report, network_report
+from .serve.client import (
+    fetch_status,
+    parse_addr,
+    request_shutdown,
+    submit_and_wait,
+)
+from .serve.coordinator import Coordinator, LocalFleet, ServeOptions
+from .serve.worker import run_worker
 from .tuning.baselines import BASELINE_TUNERS, tune_alt
 from .tuning.checkpoint import CheckpointError, CheckpointManager, load_checkpoint
 from .tuning.database import TuningDatabase
@@ -686,6 +695,37 @@ def cmd_runs_show(args) -> int:
               f"({len(alerts)} alert(s), run {health.get('run_status')})")
         for a in alerts:
             print(f"    [{a.get('rule')}] {a.get('message')}")
+    lease_rows = rec.leases if rec is not None else []
+    if lease_rows:
+        # per-worker lease lifecycle from leases.jsonl (serve runs): the
+        # retry/quarantine rows carry the worker that held the lease when
+        # it failed, so blame lands on the flaky worker, not the healthy
+        # one that eventually completed the re-dispatch
+        per: Dict[str, Dict[str, int]] = {}
+        totals = {"dispatch": 0, "complete": 0, "retry": 0, "evict": 0,
+                  "quarantine": 0, "duplicate": 0, "stale": 0}
+        for row in lease_rows:
+            event = row.get("event")
+            if event in totals:
+                totals[event] += 1
+            worker = row.get("worker")
+            if worker is None or event not in ("dispatch", "complete",
+                                               "retry", "evict"):
+                continue
+            st = per.setdefault(worker, {"dispatch": 0, "complete": 0,
+                                         "retry": 0, "evict": 0})
+            st[event] += 1
+        print(f"  fleet: {totals['dispatch']} lease(s) dispatched, "
+              f"{totals['complete']} completed, {totals['retry']} retried, "
+              f"{totals['quarantine']} quarantined"
+              + (f", {totals['duplicate']} duplicate(s) dropped"
+                 if totals["duplicate"] else "")
+              + (f", {totals['stale']} stale result(s) dropped"
+                 if totals["stale"] else ""))
+        for wname, st in sorted(per.items()):
+            print(f"    worker {wname}: {st['dispatch']} dispatched, "
+                  f"{st['complete']} completed, {st['retry']} retried, "
+                  f"{st['evict']} eviction(s)")
     diag = summary.get("diagnostics")
     if diag:
         print(render_diagnostics(diag))
@@ -1135,6 +1175,272 @@ def cmd_models(_args) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# Compile-as-a-service: the tuning fleet (repro serve ...)
+# ---------------------------------------------------------------------------
+
+def _serve_options(args) -> ServeOptions:
+    return ServeOptions(
+        host=args.host, port=args.port,
+        lease_size=max(args.lease_size, 1),
+        lease_timeout_s=args.lease_timeout,
+        heartbeat_timeout_s=args.heartbeat_timeout,
+        max_lease_retries=args.max_lease_retries,
+        backoff_s=args.backoff,
+        degrade_wait_s=args.degrade_wait,
+        device_ms=args.device_ms,
+    )
+
+
+def cmd_serve_start(args) -> int:
+    """``repro serve start``: coordinator daemon + optional local fleet."""
+    try:
+        rules = WatchRules.parse(args.watch_rules)
+    except ValueError as exc:
+        raise SystemExit(f"--watch-rules: {exc}") from exc
+    opts = _serve_options(args)
+    coord = Coordinator(
+        store_root=args.store, options=opts, watch_rules=rules,
+        checkpoint_every=args.checkpoint_every, max_jobs=args.max_jobs,
+    ).start()
+    print(f"coordinator listening on {opts.host}:{coord.port}", flush=True)
+    if args.resume:
+        resumed = coord.enqueue_resumable()
+        print(f"re-enqueued {resumed} interrupted job(s)", flush=True)
+    fleet = None
+    if args.workers:
+        fleet = LocalFleet(
+            opts.host, coord.port, args.workers,
+            fault_spec=args.inject_faults,
+            respawn=not args.no_respawn,
+        ).start()
+        print(f"spawned {args.workers} local worker process(es)", flush=True)
+    try:
+        coord.wait()
+    except KeyboardInterrupt:
+        print("interrupted; shutting down", flush=True)
+    finally:
+        coord.stop()
+        if fleet is not None:
+            fleet.stop()
+    return 0
+
+
+def cmd_serve_worker(args) -> int:
+    """``repro serve worker``: one measurement worker process."""
+    try:
+        host, port = parse_addr(args.connect)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    return run_worker(
+        host, port, args.name, fault_spec=args.inject_faults,
+        heartbeat_s=args.heartbeat, generation=args.generation,
+    )
+
+
+def cmd_serve_tune(args) -> int:
+    """``repro serve tune``: submit one tune job and wait for the result."""
+    job = {
+        "kind": "tune", "op": args.op, "channels": args.channels,
+        "size": args.size, "budget": args.budget, "seed": args.seed,
+        "machine": args.machine, "no_cache": not args.measure_cache,
+    }
+    try:
+        addr = parse_addr(args.connect)
+        result = submit_and_wait(addr, job, timeout=args.timeout)
+    except (OSError, ConnectionError, ValueError) as exc:
+        raise SystemExit(f"serve tune failed: {exc}") from exc
+    if args.json_out:
+        with open(args.json_out, "w") as f:
+            json.dump(result, f, indent=2, sort_keys=True)
+            f.write("\n")
+    if not result.get("ok"):
+        raise SystemExit(f"job failed: {result.get('error')}")
+    lat = result.get("best_latency")
+    lat_s = f"{lat * 1e6:.2f} us" if isinstance(lat, (int, float)) else "?"
+    print(f"{args.op}: best {lat_s} after {result.get('measurements')} "
+          f"measurements (run {result.get('run_id')})")
+    return 0
+
+
+def cmd_serve_status(args) -> int:
+    """``repro serve status``: one-shot fleet/queue snapshot."""
+    try:
+        status = fetch_status(parse_addr(args.connect))
+    except (OSError, ConnectionError, ValueError) as exc:
+        raise SystemExit(f"serve status failed: {exc}") from exc
+    print(f"coordinator on port {status.get('port')}: "
+          f"{status.get('live_workers')} live worker(s), "
+          f"{status.get('queued_jobs')} queued job(s), "
+          f"{status.get('jobs_done')} done"
+          + (" [DEGRADED]" if status.get("degraded") else ""))
+    for name, st in sorted((status.get("workers") or {}).items()):
+        print(f"  worker {name}: {st.get('dispatched')} dispatched, "
+              f"{st.get('completed')} completed, {st.get('retried')} "
+              f"retried, {st.get('evicted')} eviction(s)")
+    counters = status.get("counters") or {}
+    if any(counters.values()):
+        print("  " + ", ".join(
+            f"{k}={v}" for k, v in sorted(counters.items()) if v))
+    return 0
+
+
+def cmd_serve_stop(args) -> int:
+    """``repro serve stop``: ask the daemon to shut down."""
+    try:
+        addr = parse_addr(args.connect)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    if request_shutdown(addr):
+        print("coordinator acknowledged shutdown")
+        return 0
+    print("coordinator did not acknowledge (already down?)")
+    return 1
+
+
+def _bench_candidates(op: str, channels: int, size: int, machine_name: str,
+                      count: int, seed: int):
+    """A deterministic, de-duplicated candidate set for the scaling bench."""
+    import random
+
+    from .tuning.task import TuningTask
+
+    comp = _single_op(op, channels, size)
+    machine = get_machine(machine_name)
+    probe = TuningTask(comp, machine)
+    layouts = (
+        probe.layouts_from(probe.template.space().sample(random.Random(seed)))
+        if probe.template is not None else {}
+    )
+    loop_space = probe.loop_space_for(layouts)
+    space = loop_space.space()
+    rng = random.Random(seed)
+    candidates, seen = [], set()
+    attempts = 0
+    while len(candidates) < count and attempts < count * 50:
+        attempts += 1
+        sched = loop_space.schedule(space.sample(rng))
+        sig = probe._signature(layouts, sched)
+        if sig in seen:
+            continue
+        seen.add(sig)
+        candidates.append((layouts, sched))
+    return comp, machine, candidates
+
+
+def cmd_serve_bench(args) -> int:
+    """``repro serve bench``: 1-vs-N worker throughput + fault-storm row.
+
+    Each row measures the same candidate set through a fresh coordinator
+    and fleet; latencies must agree bit-identically across rows (crash and
+    timeout faults only force retries, they never change values).  Exits 1
+    when the N-worker speedup over 1 worker falls below ``--min-speedup``
+    or any row disagrees on a latency.
+    """
+    import time as _time
+
+    from .tuning.task import TuningTask
+
+    try:
+        worker_counts = sorted(
+            {int(tok) for tok in args.workers.split(",") if tok.strip()}
+        )
+    except ValueError as exc:
+        raise SystemExit(f"--workers: {exc}") from exc
+    if not worker_counts or min(worker_counts) < 1:
+        raise SystemExit("--workers needs a comma list of counts >= 1")
+    comp, machine, candidates = _bench_candidates(
+        args.op, args.channels, args.size, args.machine,
+        args.candidates, args.seed,
+    )
+    rows = []
+    for n_workers, fault_spec in (
+        [(n, None) for n in worker_counts]
+        + ([(max(worker_counts), args.fault_storm)] if args.fault_storm
+           else [])
+    ):
+        opts = ServeOptions(
+            lease_size=max(args.lease_size, 1),
+            lease_timeout_s=args.lease_timeout,
+            device_ms=args.device_ms,
+            degrade_wait_s=10.0,  # the bench must not degrade at startup
+        )
+        coord = Coordinator(options=opts).start()
+        fleet = LocalFleet(
+            opts.host, coord.port, n_workers, fault_spec=fault_spec,
+        ).start()
+        deadline = _time.monotonic() + 30.0
+        while (coord.dispatcher.live_workers() < n_workers
+               and _time.monotonic() < deadline):
+            _time.sleep(0.02)
+        if coord.dispatcher.live_workers() == 0:
+            coord.stop()
+            fleet.stop()
+            raise SystemExit(f"no worker registered for the {n_workers}-"
+                             "worker row")
+        task = TuningTask(comp, machine, measure=MeasureOptions(
+            jobs=1, cache_dir=None, dispatcher=coord.dispatcher,
+        ))
+        t0 = _time.monotonic()
+        latencies = list(task.measure_batch(candidates).latencies)
+        wall = _time.monotonic() - t0
+        counters = dict(coord.dispatcher.counters)
+        coord.stop()
+        fleet.stop()
+        row = {
+            "workers": n_workers,
+            "fault_spec": fault_spec,
+            "wall_s": round(wall, 6),
+            "candidates_per_s": round(len(candidates) / wall, 3),
+            "fleet_evaluations": counters.get("leases_completed", 0),
+            "lease_retries": counters.get("lease_retries", 0),
+            "workers_evicted": counters.get("workers_evicted", 0),
+            "latencies": latencies,
+        }
+        rows.append(row)
+        label = f"{n_workers} worker(s)" + (
+            f" + faults [{fault_spec}]" if fault_spec else "")
+        print(f"{label:40s} {wall:7.3f}s  "
+              f"{row['candidates_per_s']:8.1f} cand/s  "
+              f"({row['lease_retries']} retries, "
+              f"{row['workers_evicted']} evictions)", flush=True)
+
+    base = rows[0]
+    peak = max(rows[:len(worker_counts)],
+               key=lambda r: r["candidates_per_s"])
+    speedup = peak["candidates_per_s"] / base["candidates_per_s"]
+    identical = all(r["latencies"] == base["latencies"] for r in rows)
+    bench = {
+        "bench": "serve_scaling",
+        "op": args.op, "channels": args.channels, "size": args.size,
+        "machine": args.machine, "seed": args.seed,
+        "candidates": len(candidates),
+        "lease_size": max(args.lease_size, 1),
+        "device_ms": args.device_ms,
+        "rows": [
+            {k: v for k, v in r.items() if k != "latencies"} for r in rows
+        ],
+        "speedup": round(speedup, 3),
+        "min_speedup": args.min_speedup,
+        "identical_latencies": identical,
+    }
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(bench, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"bench written to {args.out}")
+    print(f"speedup {speedup:.2f}x at {peak['workers']} workers "
+          f"(floor {args.min_speedup}x); latencies "
+          + ("identical across rows" if identical else "DIVERGED"))
+    if not identical:
+        print("FAIL: rows disagree on candidate latencies")
+        return 1
+    if speedup < args.min_speedup:
+        print(f"FAIL: speedup {speedup:.2f}x below {args.min_speedup}x")
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="ALT reproduction command-line interface"
@@ -1450,6 +1756,147 @@ def build_parser() -> argparse.ArgumentParser:
                          "budget than cold to reach the cold best")
     dp.add_argument("--out", default="BENCH_db_hits.json")
     dp.set_defaults(fn=cmd_db_bench)
+
+    p = sub.add_parser(
+        "serve",
+        help="compile-as-a-service: fault-tolerant coordinator/worker "
+             "tuning fleet (start/worker/tune/status/stop/bench)",
+    )
+    serve_sub = p.add_subparsers(dest="serve_command", required=True)
+
+    fleet_flags = argparse.ArgumentParser(add_help=False)
+    fleet_flags.add_argument("--host", default="127.0.0.1")
+    fleet_flags.add_argument("--port", type=int, default=0,
+                             help="listen port (default: 0 = ephemeral, "
+                                  "printed at startup)")
+    fleet_flags.add_argument("--lease-size", type=int, default=8,
+                             help="candidates per lease batch (default 8)")
+    fleet_flags.add_argument("--lease-timeout", type=float, default=30.0,
+                             metavar="S",
+                             help="evict a worker holding a lease past S "
+                                  "seconds and re-dispatch (default 30)")
+    fleet_flags.add_argument("--heartbeat-timeout", type=float, default=10.0,
+                             metavar="S",
+                             help="evict a worker silent past S seconds "
+                                  "(default 10)")
+    fleet_flags.add_argument("--max-lease-retries", type=int, default=5,
+                             help="re-dispatches before a lease's candidates "
+                                  "are quarantined as inf (default 5)")
+    fleet_flags.add_argument("--backoff", type=float, default=0.05,
+                             metavar="S",
+                             help="base of the bounded exponential backoff "
+                                  "between lease re-dispatches (default 0.05)")
+    fleet_flags.add_argument("--degrade-wait", type=float, default=2.0,
+                             metavar="S",
+                             help="grace before degrading to local serial "
+                                  "measurement at zero workers (default 2)")
+    fleet_flags.add_argument("--device-ms", type=float, default=0.0,
+                             help="simulated per-candidate device occupancy "
+                                  "on workers in ms (what a fleet overlaps; "
+                                  "0 = off)")
+
+    sp = serve_sub.add_parser(
+        "start",
+        help="run the coordinator daemon (and optionally a local worker "
+             "fleet) until `serve stop` or Ctrl-C",
+        parents=[fleet_flags],
+    )
+    sp.add_argument("--store", default=None, metavar="DIR",
+                    help="run-registry directory: every job lands as a "
+                         "resumable run (checkpoint + trace + health)")
+    sp.add_argument("--workers", type=int, default=0, metavar="N",
+                    help="spawn N local worker processes (they are "
+                         "respawned when they die)")
+    sp.add_argument("--no-respawn", action="store_true",
+                    help="do not resurrect dead local workers")
+    sp.add_argument("--inject-faults", default=None, metavar="SPEC",
+                    help="worker-side fault plan, decorrelated per worker "
+                         "and respawn generation, e.g. "
+                         "'seed=7,crash=0.02,timeout=0.01,hang=0.5'")
+    sp.add_argument("--checkpoint-every", type=int, default=1, metavar="N",
+                    help="checkpoint cadence in tuner rounds (default 1)")
+    sp.add_argument("--max-jobs", type=int, default=None, metavar="N",
+                    help="exit after N jobs (tests/CI)")
+    sp.add_argument("--resume", action="store_true",
+                    help="re-enqueue interrupted serve jobs found in "
+                         "--store (continues from their checkpoints "
+                         "bit-identically)")
+    sp.add_argument("--watch-rules", default=None, metavar="SPEC",
+                    help="health-watchdog thresholds, e.g. "
+                         "'workers_retry_rate=0.3' (see repro.obs.watch)")
+    sp.set_defaults(fn=cmd_serve_start)
+
+    sp = serve_sub.add_parser(
+        "worker", help="run one measurement worker process"
+    )
+    sp.add_argument("--connect", required=True, metavar="HOST:PORT")
+    sp.add_argument("--name", required=True)
+    sp.add_argument("--generation", type=int, default=0,
+                    help="respawn generation (mixed into the fault seed)")
+    sp.add_argument("--heartbeat", type=float, default=0.5, metavar="S")
+    sp.add_argument("--inject-faults", default=None, metavar="SPEC")
+    sp.set_defaults(fn=cmd_serve_worker)
+
+    sp = serve_sub.add_parser(
+        "tune", help="submit one tune job to a coordinator and wait"
+    )
+    sp.add_argument("op", choices=["c2d", "dep", "c1d", "c3d", "gmm"])
+    sp.add_argument("--connect", required=True, metavar="HOST:PORT")
+    sp.add_argument("--machine", default="intel_cpu")
+    sp.add_argument("--budget", type=int, default=96)
+    sp.add_argument("--channels", type=int, default=8)
+    sp.add_argument("--size", type=int, default=16)
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--timeout", type=float, default=None, metavar="S",
+                    help="give up waiting after S seconds (job keeps "
+                         "running; the result stays in the run registry)")
+    sp.add_argument("--measure-cache", action="store_true",
+                    help="let workers use the persistent evaluation cache "
+                         "(serve jobs run uncached by default)")
+    sp.add_argument("--json-out", default=None, metavar="FILE",
+                    help="write the raw job result frame as JSON")
+    sp.set_defaults(fn=cmd_serve_tune)
+
+    sp = serve_sub.add_parser("status", help="fleet/queue snapshot")
+    sp.add_argument("--connect", required=True, metavar="HOST:PORT")
+    sp.set_defaults(fn=cmd_serve_status)
+
+    sp = serve_sub.add_parser("stop", help="shut the coordinator down")
+    sp.add_argument("--connect", required=True, metavar="HOST:PORT")
+    sp.set_defaults(fn=cmd_serve_stop)
+
+    sp = serve_sub.add_parser(
+        "bench",
+        help="1-vs-N worker scaling + fault-storm determinism bench "
+             "(writes BENCH_serve_scaling.json; exits 1 below the "
+             "speedup floor or on any latency divergence)",
+    )
+    sp.add_argument("--workers", default="1,3", metavar="LIST",
+                    help="comma list of fleet sizes (default 1,3)")
+    sp.add_argument("--candidates", type=int, default=192)
+    sp.add_argument("--op", default="gmm",
+                    choices=["c2d", "dep", "c1d", "c3d", "gmm"])
+    sp.add_argument("--channels", type=int, default=8)
+    sp.add_argument("--size", type=int, default=16)
+    sp.add_argument("--machine", default="intel_cpu")
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--lease-size", type=int, default=8)
+    sp.add_argument("--lease-timeout", type=float, default=5.0, metavar="S")
+    sp.add_argument("--device-ms", type=float, default=3.0,
+                    help="simulated per-candidate device occupancy in ms "
+                         "(default 3.0; this is what N workers overlap -- "
+                         "at 0 a single host shows no scaling)")
+    sp.add_argument("--fault-storm", default=(
+        "seed=7,crash=0.05,timeout=0.03,oserror=0.05,hang=0.3"),
+        metavar="SPEC",
+        help="fault plan for the storm row ('' disables); values must "
+             "still match the clean rows bit-identically")
+    sp.add_argument("--min-speedup", type=float, default=2.0,
+                    help="exit 1 when peak speedup over 1 worker falls "
+                         "below this (default 2.0)")
+    sp.add_argument("--out", default="BENCH_serve_scaling.json",
+                    help="bench JSON output ('' disables)")
+    sp.set_defaults(fn=cmd_serve_bench)
 
     p = sub.add_parser("machines", help="list simulated machines")
     p.set_defaults(fn=cmd_machines)

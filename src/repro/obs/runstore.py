@@ -52,6 +52,9 @@ PROFILE_FILE = "profile.json"
 #: cross-task scheduler grant log of a network tuning run (one JSON row per
 #: budget grant: phase, task, granted/consumed, gradient, best-so-far)
 ALLOCATIONS_FILE = "allocations.jsonl"
+#: lease-grant log of a `repro serve` fleet run (one row per lease
+#: lifecycle step), the fleet analog of the allocations log
+LEASES_FILE = "leases.jsonl"
 #: tuner state snapshot inside a run directory (see repro.tuning.checkpoint)
 CHECKPOINT_FILE = "checkpoint.pkl"
 #: latest watchdog verdict (``repro.obs.watch`` schema: status ok/alert,
@@ -352,6 +355,24 @@ class RunRecord:
         rows: List[Dict] = []
         try:
             with open(os.path.join(self.path, ALLOCATIONS_FILE)) as f:
+                for line in f:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        rows.append(json.loads(line))
+                    except ValueError:
+                        continue
+        except OSError:
+            pass
+        return rows
+
+    @property
+    def leases(self) -> List[Dict]:
+        """Lease-grant log of a `repro serve` fleet run ([] otherwise)."""
+        rows: List[Dict] = []
+        try:
+            with open(os.path.join(self.path, LEASES_FILE)) as f:
                 for line in f:
                     line = line.strip()
                     if not line:

@@ -57,7 +57,10 @@ from .trace import TraceReadStats, parse_trace_line
 HEALTH_SCHEMA_VERSION = 1
 
 #: every rule name the engine can raise (``--fail-on any`` expands to this)
-RULE_NAMES = ("stall", "errors", "quarantine", "cost_model", "checkpoint_age")
+RULE_NAMES = (
+    "stall", "errors", "quarantine", "cost_model", "checkpoint_age",
+    "workers",
+)
 
 
 @dataclass
@@ -87,6 +90,12 @@ class WatchRules:
     rank_min_pairs: int = 60
     #: alert when a running run's checkpoint is older than this (seconds)
     checkpoint_max_age_s: float = 600.0
+    #: fleet lease-retry window, counted in lease dispatches
+    workers_window: int = 25
+    #: alert when recent lease retries / window exceeds this rate ...
+    workers_retry_rate: float = 0.5
+    #: ... and at least this many retries happened (absolute floor)
+    workers_retry_min: int = 3
 
     @classmethod
     def parse(cls, spec: Optional[str]) -> "WatchRules":
@@ -171,6 +180,17 @@ class WatchState:
         # -- cost model
         self.cm_generation: Optional[int] = None
         self.cm_pairs: deque = deque(maxlen=32)  # (correct, comparable)
+        # -- serve fleet (worker registrations / lease lifecycle)
+        self.workers: Dict[str, bool] = {}  # name -> currently live
+        self.workers_registered_total = 0
+        self.workers_evicted_total = 0
+        self.leases_dispatched = 0
+        self.leases_completed = 0
+        self.lease_retries = 0
+        self.lease_quarantined = 0
+        #: leases_dispatched mark at each retry (windowed retry rate)
+        self.lease_retry_marks: deque = deque(maxlen=512)
+        self.fleet_degraded = False
         # -- network scheduler
         self.network_budget: Optional[int] = None
         self.network_spent: Optional[int] = None
@@ -240,6 +260,25 @@ class WatchState:
                 self.fresh_inflight += int(f)
         elif name == "measure_degraded":
             self.degraded = True
+        elif name == "worker_registered":
+            self.workers[str(attrs.get("worker"))] = True
+            self.workers_registered_total += 1
+        elif name == "worker_evicted":
+            self.workers[str(attrs.get("worker"))] = False
+            self.workers_evicted_total += 1
+        elif name == "lease_dispatch":
+            self.leases_dispatched += 1
+        elif name == "lease_complete":
+            self.leases_completed += 1
+        elif name == "lease_retry":
+            self.lease_retries += 1
+            self.lease_retry_marks.append(self.leases_dispatched)
+        elif name == "lease_quarantined":
+            self.lease_quarantined += 1
+        elif name == "fleet_degraded":
+            self.fleet_degraded = True
+        elif name == "fleet_restored":
+            self.fleet_degraded = False
         elif name == "cost_model_batch":
             gen = attrs.get("generation")
             if gen is not None:
@@ -328,6 +367,13 @@ class WatchState:
     def recent_quarantine_count(self, window: int) -> int:
         floor = self.fresh_total - window
         return sum(1 for mark in self.quarantine_marks if mark >= floor)
+
+    def live_worker_count(self) -> int:
+        return sum(1 for alive in self.workers.values() if alive)
+
+    def recent_lease_retries(self, window: int) -> int:
+        floor = self.leases_dispatched - window
+        return sum(1 for mark in self.lease_retry_marks if mark >= floor)
 
     def recent_rank_accuracy(self) -> Tuple[Optional[float], int]:
         """(accuracy, comparable-pairs) over the recent cost-model batches."""
@@ -427,6 +473,31 @@ def evaluate(
             generation=state.cm_generation,
         ))
 
+    fleet_active = state.workers_registered_total > 0
+    if fleet_active:
+        live_workers = state.live_worker_count()
+        if live and live_workers == 0:
+            alerts.append(_alert(
+                "workers", "critical",
+                f"fleet is empty ({state.workers_evicted_total} eviction(s) "
+                "so far); measurement degraded to local serial execution",
+                live=0, evicted=state.workers_evicted_total,
+                degraded=state.fleet_degraded,
+            ))
+        window = min(rules.workers_window, max(state.leases_dispatched, 1))
+        recent_retries = state.recent_lease_retries(rules.workers_window)
+        retry_rate = recent_retries / window
+        if recent_retries >= rules.workers_retry_min and \
+                retry_rate > rules.workers_retry_rate:
+            alerts.append(_alert(
+                "workers", "warn",
+                f"{recent_retries} lease retr(ies) in the last {window} "
+                f"dispatch(es) (rate {retry_rate:.2f} > "
+                f"{rules.workers_retry_rate:.2f})",
+                recent=recent_retries, window=window, rate=retry_rate,
+                live=live_workers,
+            ))
+
     if live and checkpoint_age_s is not None and \
             checkpoint_age_s > rules.checkpoint_max_age_s:
         alerts.append(_alert(
@@ -457,6 +528,22 @@ def evaluate(
         "rank_accuracy": accuracy,
         "throughput_fresh_per_s": state.measure_throughput(),
         "rounds_per_min": state.rounds_per_min(),
+        # serve-fleet health (all-zero outside `repro serve` runs)
+        "workers": {
+            "live": state.live_worker_count(),
+            "seen": len(state.workers),
+            "registrations": state.workers_registered_total,
+            "evictions": state.workers_evicted_total,
+            "leases_dispatched": state.leases_dispatched,
+            "leases_completed": state.leases_completed,
+            "lease_retries": state.lease_retries,
+            "lease_retry_rate": (
+                state.lease_retries / state.leases_dispatched
+                if state.leases_dispatched else 0.0
+            ),
+            "lease_quarantined": state.lease_quarantined,
+            "degraded": state.fleet_degraded,
+        },
     }
     return {
         "schema": HEALTH_SCHEMA_VERSION,
@@ -510,7 +597,11 @@ class Watchdog:
     #: state on every record; rules re-run at round granularity plus on the
     #: first sign of measurement trouble)
     EVAL_EVENTS = ("round", "budget_grant", "measure_error",
-                   "measure_quarantined", "network_result")
+                   "measure_quarantined", "network_result",
+                   # fleet transitions re-evaluate immediately so
+                   # health.json reflects evictions/degradation live
+                   "worker_registered", "worker_evicted", "lease_retry",
+                   "fleet_degraded", "fleet_restored")
 
     def __init__(self, trace, run_dir: Optional[str] = None,
                  rules: Optional[WatchRules] = None,
@@ -685,6 +776,16 @@ def render_watch_frame(state: WatchState, health: Dict,
         + f"   quarantined {state.quarantined_total}"
         + f"   degraded {'yes' if state.degraded else 'no'}"
     )
+    if state.workers_registered_total:
+        lines.append(
+            f"  fleet        {state.live_worker_count()} live / "
+            f"{len(state.workers)} seen, "
+            f"{state.workers_evicted_total} evicted   "
+            f"leases {state.leases_completed}/{state.leases_dispatched}"
+            + (f" ({state.lease_retries} retried)"
+               if state.lease_retries else "")
+            + ("   DEGRADED" if state.fleet_degraded else "")
+        )
     acc = p.get("rank_accuracy")
     if acc is not None:
         gen = state.cm_generation

@@ -1,0 +1,20 @@
+"""Compile-as-a-service: coordinator / worker / client for `repro serve`.
+
+The tuning fleet splits the single-process tuner into three roles:
+
+- :mod:`repro.serve.coordinator` -- the daemon.  Owns a job queue of
+  tune requests and a :class:`~repro.serve.coordinator.FleetDispatcher`
+  that leases candidate measurement batches to registered workers,
+  retries/re-dispatches on worker failure, and degrades to local serial
+  measurement when the fleet is empty.
+- :mod:`repro.serve.worker` -- a measurement worker process.  Evaluates
+  leased candidate batches with the same pure evaluation function the
+  in-process measurer uses and sends heartbeats.
+- :mod:`repro.serve.client` -- a thin blocking client used by
+  ``repro serve tune`` / ``status`` / ``stop``.
+
+All three speak the length-prefixed JSON frame protocol defined in
+:mod:`repro.serve.protocol`.
+"""
+
+from .protocol import PROTOCOL_VERSION, ProtocolError  # noqa: F401

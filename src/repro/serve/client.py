@@ -1,0 +1,100 @@
+"""Thin blocking client for the `repro serve` coordinator.
+
+Used by ``repro serve tune`` / ``status`` / ``stop`` and by tests; the
+protocol is simple enough that anything speaking length-prefixed JSON
+frames (:mod:`repro.serve.protocol`) can drive the daemon directly.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, Optional, Tuple
+
+from . import protocol
+
+
+def parse_addr(spec: str) -> Tuple[str, int]:
+    """``host:port`` (or bare ``:port`` for localhost) -> address tuple."""
+    host, sep, port = spec.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(f"address {spec!r} is not host:port")
+    return (host or "127.0.0.1", int(port))
+
+
+def connect(addr: Tuple[str, int], timeout: float = 10.0) -> socket.socket:
+    """Open a client connection and complete the hello/welcome handshake."""
+    sock = socket.create_connection(addr, timeout=timeout)
+    try:
+        protocol.send_frame(sock, protocol.hello("client"))
+        reply = protocol.recv_frame(sock)
+        if reply is None or reply.get("type") != protocol.WELCOME:
+            reason = (reply or {}).get("reason", "connection closed")
+            raise ConnectionError(f"coordinator rejected client: {reason}")
+        sock.settimeout(None)
+        return sock
+    except BaseException:
+        sock.close()
+        raise
+
+
+def submit_and_wait(
+    addr: Tuple[str, int],
+    job: Dict[str, Any],
+    timeout: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Enqueue one tune job and block until its terminal ``job_result``.
+
+    Raises ``ValueError`` if the coordinator refuses the job and
+    ``ConnectionError``/``TimeoutError`` if the daemon goes away first --
+    the run registry still has the result if the job completed.
+    """
+    sock = connect(addr)
+    try:
+        sock.settimeout(timeout)
+        protocol.send_frame(sock, {"type": protocol.SUBMIT, "job": job})
+        ack = protocol.recv_frame(sock)
+        if ack is None:
+            raise ConnectionError("coordinator closed before acknowledging")
+        if ack.get("type") == protocol.JOB_QUEUED and not ack.get("ok", True):
+            raise ValueError(f"job refused: {ack.get('error')}")
+        while True:
+            frame = protocol.recv_frame(sock)
+            if frame is None:
+                raise ConnectionError("coordinator closed mid-job")
+            if frame.get("type") == protocol.JOB_RESULT:
+                return frame
+    finally:
+        sock.close()
+
+
+def fetch_status(addr: Tuple[str, int],
+                 timeout: float = 10.0) -> Dict[str, Any]:
+    sock = connect(addr, timeout=timeout)
+    try:
+        sock.settimeout(timeout)
+        protocol.send_frame(sock, {"type": protocol.STATUS})
+        while True:
+            frame = protocol.recv_frame(sock)
+            if frame is None:
+                raise ConnectionError("coordinator closed during status")
+            if frame.get("type") == protocol.STATUS_REPLY:
+                return frame.get("status") or {}
+    finally:
+        sock.close()
+
+
+def request_shutdown(addr: Tuple[str, int], timeout: float = 10.0) -> bool:
+    """Ask the daemon to stop; True if it acknowledged."""
+    try:
+        sock = connect(addr, timeout=timeout)
+    except (OSError, ConnectionError):
+        return False  # already down
+    try:
+        sock.settimeout(timeout)
+        protocol.send_frame(sock, {"type": protocol.SHUTDOWN})
+        frame = protocol.recv_frame(sock)
+        return bool(frame and frame.get("ok"))
+    except (OSError, protocol.ProtocolError):
+        return False
+    finally:
+        sock.close()

@@ -1,0 +1,1181 @@
+"""The `repro serve` coordinator: job queue + candidate-lease dispatcher.
+
+Architecture (the TVM RPC-tracker shape, collapsed into one daemon):
+
+- A TCP listener accepts *workers* (which register and then evaluate
+  leased candidate batches) and *clients* (which submit tune jobs and
+  block for results).  Every connection starts with a version-checked
+  hello; a connection that cannot produce one is rejected without
+  disturbing anything else.
+- Jobs run strictly one at a time from a FIFO queue (determinism beats
+  throughput at the job level -- parallelism lives *inside* a job, in
+  candidate measurement).  Each job is recorded in the run registry
+  exactly like a local ``repro tune --run-store`` run: manifest, streamed
+  trace, watchdog health, checkpoint -- which is what makes the
+  coordinator crash-safe: kill it mid-job and ``repro serve --resume``
+  picks the job up from its checkpoint, bit-identically.
+- The :class:`FleetDispatcher` is the measurement engine's fleet backend:
+  the in-process :class:`~repro.tuning.measurer.Measurer` hands it
+  ``(candidates, indices)`` and gets back latencies plus the indices it
+  must evaluate locally.  Batches are chunked into *leases*; a lease is
+  dispatched to an idle worker, re-dispatched with bounded exponential
+  backoff when the worker dies / times out / errors, quarantined as
+  ``inf`` after ``max_lease_retries`` (the measurer's own convention),
+  and deduped by an idempotency key when a stale worker completes it
+  twice.  When the fleet is empty the dispatcher *degrades*: the measurer
+  evaluates locally, serially -- a request never fails -- and the sticky
+  degraded flag heals the moment a worker (re-)registers.
+
+Determinism argument, spelled out because CI enforces it: candidate
+evaluation is a pure function of ``(comp, machine, layouts, schedule)``;
+crash/timeout/error faults never produce a *value*, they only force a
+retry or a re-dispatch, and the local serial fallback computes exactly
+what a worker would have; the measurer merges latencies by submission
+index.  Hence a tune through a flaky fleet, through a healthy fleet, and
+through no fleet at all are bit-identical (``flaky`` faults excepted --
+they perturb values by design and stay out of determinism gates).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import math
+import os
+import queue
+import socket
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..obs.log import log
+from ..obs.runstore import (
+    LEASES_FILE,
+    STATUS_COMPLETED,
+    STATUS_FAILED,
+    TRACE_FILE,
+    RunRecord,
+    RunStore,
+    RunWriter,
+    task_result_dict,
+    trace_meta,
+)
+from ..obs.trace import Trace
+from ..obs.watch import Watchdog, WatchRules
+from ..tuning.checkpoint import CheckpointError, CheckpointManager, load_checkpoint
+from ..tuning.measurer import (
+    MeasureOptions,
+    comp_fingerprint,
+    machine_fingerprint,
+)
+from . import protocol
+
+#: cap on a single lease-retry backoff sleep, seconds
+_LEASE_BACKOFF_CAP_S = 2.0
+
+
+@dataclass
+class ServeOptions:
+    """Coordinator knobs (``repro serve start`` flags map 1:1).
+
+    ``lease_size``          candidates per lease; batches amortize the
+                            socket round-trip (evaluation is ~1-2ms per
+                            candidate, a frame exchange ~0.1ms)
+    ``lease_timeout_s``     a worker holding a lease past this is evicted
+                            and the lease re-dispatched
+    ``heartbeat_timeout_s`` a worker silent past this is evicted
+    ``max_lease_retries``   re-dispatches a lease gets before its
+                            candidates are quarantined as ``inf``
+    ``backoff_s``           base of the bounded exponential backoff
+                            between re-dispatches of the same lease
+    ``degrade_wait_s``      grace the dispatcher waits for a worker to
+                            (re-)register before degrading to local
+                            serial measurement
+    ``device_ms``           simulated per-candidate device occupancy on
+                            workers: models the on-accelerator execution
+                            a real fleet overlaps (0 = off; the scaling
+                            bench relies on it -- see ``serve bench``)
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; read back from Coordinator.port
+    lease_size: int = 8
+    lease_timeout_s: float = 30.0
+    heartbeat_timeout_s: float = 10.0
+    max_lease_retries: int = 5
+    backoff_s: float = 0.05
+    degrade_wait_s: float = 2.0
+    device_ms: float = 0.0
+
+
+class _WorkerHandle:
+    """Coordinator-side state for one registered worker connection."""
+
+    def __init__(self, name: str, sock: socket.socket):
+        self.name = name
+        self.sock = sock
+        self.alive = True
+        self.last_heartbeat = time.monotonic()
+        self.lease: Optional["_Lease"] = None
+        self.send_lock = threading.Lock()
+
+
+class _Lease:
+    """One dispatched slice of a measurement batch."""
+
+    __slots__ = (
+        "id", "key", "indices", "payload", "attempts", "worker",
+        "deadline", "not_before", "done", "quarantined", "latencies",
+    )
+
+    def __init__(self, lease_id: int, key: str, indices: List[int],
+                 payload: str):
+        self.id = lease_id
+        self.key = key  # idempotency: (task fingerprint, candidate hashes)
+        self.indices = indices
+        self.payload = payload
+        self.attempts = 0
+        self.worker: Optional[_WorkerHandle] = None
+        self.deadline = math.inf
+        self.not_before = 0.0  # backoff gate for re-dispatch
+        self.done = False
+        self.quarantined = False
+        self.latencies: Optional[List[float]] = None
+
+
+class LeaseLog:
+    """Append-only ``leases.jsonl`` grant log inside a run directory.
+
+    The fleet analog of the network tuner's ``allocations.jsonl``: one row
+    per lease-lifecycle step (register/dispatch/complete/retry/quarantine/
+    evict/degrade), consumed by ``repro runs show`` for the per-worker
+    stats table.  Best-effort: a write failure never gates a run.
+    """
+
+    def __init__(self, run_dir: str):
+        self.path = os.path.join(run_dir, LEASES_FILE)
+        try:
+            self._f = open(self.path, "a")
+        except OSError:
+            self._f = None
+
+    def row(self, event: str, **attrs: Any) -> None:
+        if self._f is None:
+            return
+        rec = {"ts": time.time(), "event": event}
+        rec.update({k: v for k, v in attrs.items() if v is not None})
+        try:
+            self._f.write(json.dumps(rec) + "\n")
+            self._f.flush()
+        except (OSError, ValueError):
+            pass
+
+    def close(self) -> None:
+        if self._f is not None:
+            try:
+                self._f.close()
+            except OSError:
+                pass
+            self._f = None
+
+
+class FleetDispatcher:
+    """Leases measurement batches to the worker fleet; heals around it.
+
+    All mutable state is guarded by one condition variable.  Worker
+    receiver threads and the heartbeat monitor only *record* state changes
+    (completions, evictions) and enqueue trace events; the job thread
+    inside :meth:`evaluate` drains events, writes lease-log rows and emits
+    into the (single-threaded) trace stream, so the run's artifacts are
+    written from exactly one thread.
+    """
+
+    def __init__(self, options: Optional[ServeOptions] = None):
+        self.options = options or ServeOptions()
+        self._cond = threading.Condition()
+        self._workers: Dict[str, _WorkerHandle] = {}
+        #: lifetime per-worker stats, survive eviction and re-admission
+        self._stats: Dict[str, Dict[str, int]] = {}
+        self._lease_seq = itertools.count(1)
+        self._active: Dict[int, _Lease] = {}
+        self._completed_keys: set = set()
+        self._degraded = False  # sticky until a worker (re-)registers
+        self._measurer = None  # bound while a job's evaluate() runs
+        self._events: List[Tuple[str, Dict[str, Any]]] = []
+        self._trace: Optional[Trace] = None
+        self._lease_log: Optional[LeaseLog] = None
+        self._batch_task_payload: str = ""
+        self.counters: Dict[str, int] = {
+            "workers_registered": 0,
+            "workers_evicted": 0,
+            "leases_dispatched": 0,
+            "leases_completed": 0,
+            "lease_retries": 0,
+            "lease_quarantined": 0,
+            "duplicate_completions": 0,
+            "stale_results": 0,
+            "degraded_batches": 0,
+        }
+
+    # -- per-job binding ----------------------------------------------------
+    def bind_run(self, trace: Optional[Trace],
+                 lease_log: Optional[LeaseLog]) -> None:
+        """Point trace events and the lease log at the active job's run."""
+        with self._cond:
+            self._trace = trace
+            self._lease_log = lease_log
+            # announce the current fleet into the new run's stream so its
+            # watchdog starts from the true worker count
+            for w in self._workers.values():
+                if w.alive:
+                    self._events.append(
+                        ("worker_registered", {"worker": w.name,
+                                               "rejoined": True}))
+
+    def unbind_run(self) -> None:
+        with self._cond:
+            self._drain_events_locked()
+            if self._lease_log is not None:
+                self._lease_log.close()
+            self._trace = None
+            self._lease_log = None
+
+    # -- worker registry ----------------------------------------------------
+    def register_worker(self, name: str, sock: socket.socket) -> None:
+        """Admit (or re-admit) a worker and start its receiver thread."""
+        with self._cond:
+            old = self._workers.get(name)
+            if old is not None and old.alive:
+                # a reconnect under a live name supersedes the old
+                # connection (its socket is stale); evict it first
+                self._evict_locked(old, "superseded")
+            handle = _WorkerHandle(name, sock)
+            self._workers[name] = handle
+            stats = self._stats.setdefault(name, {
+                "dispatched": 0, "completed": 0, "retried": 0, "evicted": 0,
+            })
+            stats["registrations"] = stats.get("registrations", 0) + 1
+            self.counters["workers_registered"] += 1
+            if self._degraded:
+                self._degraded = False
+                self._events.append(("fleet_restored", {"worker": name}))
+            self._events.append(("worker_registered", {"worker": name}))
+            self._row("register", worker=name)
+            self._cond.notify_all()
+        log.info("serve: worker %s registered", name)
+        t = threading.Thread(
+            target=self._receiver_loop, args=(handle,), daemon=True,
+            name=f"serve-recv-{name}",
+        )
+        t.start()
+
+    def live_workers(self) -> int:
+        with self._cond:
+            return sum(1 for w in self._workers.values() if w.alive)
+
+    @property
+    def degraded(self) -> bool:
+        with self._cond:
+            return self._degraded
+
+    def worker_stats(self) -> Dict[str, Dict[str, int]]:
+        with self._cond:
+            out = {}
+            for name, stats in sorted(self._stats.items()):
+                d = dict(stats)
+                w = self._workers.get(name)
+                d["alive"] = bool(w is not None and w.alive)
+                out[name] = d
+            return out
+
+    def check_heartbeats(self, now: Optional[float] = None) -> None:
+        """Evict workers silent past the heartbeat timeout."""
+        now = time.monotonic() if now is None else now
+        with self._cond:
+            for w in list(self._workers.values()):
+                if w.alive and (
+                    now - w.last_heartbeat > self.options.heartbeat_timeout_s
+                ):
+                    self._evict_locked(w, "heartbeat")
+
+    def start_monitor(self, stop: threading.Event) -> threading.Thread:
+        interval = max(self.options.heartbeat_timeout_s / 4.0, 0.05)
+
+        def loop():
+            while not stop.wait(interval):
+                self.check_heartbeats()
+
+        t = threading.Thread(target=loop, daemon=True, name="serve-monitor")
+        t.start()
+        return t
+
+    # -- receiver side ------------------------------------------------------
+    def _receiver_loop(self, worker: _WorkerHandle) -> None:
+        reason = "disconnect"
+        try:
+            while True:
+                frame = protocol.recv_frame(worker.sock)
+                if frame is None:
+                    break
+                kind = frame.get("type")
+                if kind == protocol.HEARTBEAT:
+                    with self._cond:
+                        worker.last_heartbeat = time.monotonic()
+                elif kind == protocol.LEASE_RESULT:
+                    self._on_lease_result(worker, frame)
+                elif kind == protocol.LEASE_ERROR:
+                    self._on_lease_error(worker, frame)
+                # unknown frame types from a registered worker are ignored
+        except protocol.ProtocolError as exc:
+            reason = f"protocol: {exc}"
+        except OSError:
+            reason = "socket"
+        with self._cond:
+            if worker.alive:
+                self._evict_locked(worker, reason)
+
+    def _on_lease_result(self, worker: _WorkerHandle,
+                         frame: Dict[str, Any]) -> None:
+        lease_id = frame.get("lease")
+        raw = frame.get("latencies")
+        latencies = [
+            float(v) if v is not None else math.inf
+            for v in (raw if isinstance(raw, list) else [])
+        ]
+        with self._cond:
+            lease = self._active.get(lease_id)
+            if lease is None or lease.done or lease.key in self._completed_keys:
+                # a stale worker finishing a lease that was already
+                # re-dispatched and completed elsewhere: idempotent drop
+                self.counters["duplicate_completions"] += 1
+                self._events.append(("lease_duplicate", {
+                    "lease": lease_id, "worker": worker.name,
+                }))
+                self._row("duplicate", lease=lease_id, worker=worker.name)
+                return
+            if lease.worker is not worker:
+                # the lease is live but owned by another worker now (this
+                # sender was evicted and re-admitted mid-lease): its
+                # result is valid *data* (evaluation is pure) but the
+                # owning dispatch is the one we account; drop as stale
+                self.counters["stale_results"] += 1
+                self._events.append(("lease_stale", {
+                    "lease": lease_id, "worker": worker.name,
+                }))
+                self._row("stale", lease=lease_id, worker=worker.name)
+                return
+            if len(latencies) != len(lease.indices):
+                self._fail_lease_locked(lease, "short result", charge=True)
+                self._release_worker_locked(worker, lease)
+                self._cond.notify_all()
+                return
+            lease.latencies = latencies
+            lease.done = True
+            self._completed_keys.add(lease.key)
+            self.counters["leases_completed"] += 1
+            stats = self._stats.get(worker.name)
+            if stats is not None:
+                stats["completed"] += 1
+            faults = frame.get("faults")
+            if isinstance(faults, dict) and self._measurer is not None:
+                self._measurer.absorb_remote_counters(
+                    faults, worker=worker.name
+                )
+            self._release_worker_locked(worker, lease)
+            self._events.append(("lease_complete", {
+                "lease": lease.id, "worker": worker.name,
+                "n": len(lease.indices), "attempts": lease.attempts + 1,
+            }))
+            self._row("complete", lease=lease.id, worker=worker.name,
+                      n=len(lease.indices))
+            self._cond.notify_all()
+
+    def _on_lease_error(self, worker: _WorkerHandle,
+                        frame: Dict[str, Any]) -> None:
+        lease_id = frame.get("lease")
+        kind = str(frame.get("kind") or "WorkerError")
+        message = str(frame.get("message") or "")
+        with self._cond:
+            if self._measurer is not None:
+                self._measurer.note_remote_error(
+                    kind, message, worker=worker.name
+                )
+            lease = self._active.get(lease_id)
+            if lease is None or lease.done or lease.worker is not worker:
+                self.counters["stale_results"] += 1
+                return
+            self._fail_lease_locked(lease, f"worker error: {kind}",
+                                    charge=True)
+            self._release_worker_locked(worker, lease)
+            self._cond.notify_all()
+
+    def _release_worker_locked(self, worker: _WorkerHandle,
+                               lease: _Lease) -> None:
+        if worker.lease is lease:
+            worker.lease = None
+
+    # -- eviction -----------------------------------------------------------
+    def _evict_locked(self, worker: _WorkerHandle, reason: str) -> None:
+        if not worker.alive:
+            return
+        worker.alive = False
+        try:
+            worker.sock.close()
+        except OSError:
+            pass
+        stats = self._stats.get(worker.name)
+        if stats is not None:
+            stats["evicted"] += 1
+        self.counters["workers_evicted"] += 1
+        lease = worker.lease
+        worker.lease = None
+        if lease is not None and not lease.done:
+            # the lease died with its worker; an eviction for cause
+            # (timeout, crash, protocol abuse) charges the attempt, a
+            # supersede/shutdown does not
+            charge = reason not in ("superseded", "shutdown")
+            self._fail_lease_locked(lease, f"evicted: {reason}", charge=charge)
+        self._events.append(("worker_evicted", {
+            "worker": worker.name, "reason": reason,
+        }))
+        self._row("evict", worker=worker.name, reason=reason)
+        log.warning("serve: worker %s evicted (%s)", worker.name, reason)
+        self._cond.notify_all()
+
+    def _fail_lease_locked(self, lease: _Lease, reason: str,
+                           charge: bool) -> None:
+        """Requeue (with backoff) or quarantine a failed lease."""
+        holder = lease.worker.name if lease.worker is not None else None
+        lease.worker = None
+        lease.deadline = math.inf
+        if not charge:
+            return
+        lease.attempts += 1
+        if lease.attempts > self.options.max_lease_retries:
+            lease.quarantined = True
+            lease.done = True
+            self.counters["lease_quarantined"] += 1
+            self._events.append(("lease_quarantined", {
+                "lease": lease.id, "n": len(lease.indices), "reason": reason,
+            }))
+            self._row("quarantine", lease=lease.id, n=len(lease.indices),
+                      reason=reason, worker=holder)
+            return
+        self.counters["lease_retries"] += 1
+        lease.not_before = time.monotonic() + min(
+            self.options.backoff_s * 2 ** (lease.attempts - 1),
+            _LEASE_BACKOFF_CAP_S,
+        )
+        self._events.append(("lease_retry", {
+            "lease": lease.id, "attempt": lease.attempts, "reason": reason,
+        }))
+        self._row("retry", lease=lease.id, attempt=lease.attempts,
+                  reason=reason, worker=holder)
+
+    # -- event / log plumbing (job thread only) -----------------------------
+    def _row(self, event: str, **attrs: Any) -> None:
+        if self._lease_log is not None:
+            self._lease_log.row(event, **attrs)
+
+    def _drain_events_locked(self) -> None:
+        events, self._events = self._events, []
+        trace = self._trace
+        if trace is None:
+            return
+        for name, attrs in events:
+            trace.event(name, **attrs)
+
+    def drain_events(self) -> None:
+        with self._cond:
+            self._drain_events_locked()
+
+    # -- the measurement backend -------------------------------------------
+    def evaluate(
+        self, measurer, candidates: Sequence, idxs: List[int],
+    ) -> Tuple[Dict[int, float], List[int]]:
+        """Evaluate ``candidates[i] for i in idxs`` on the fleet.
+
+        Returns ``(latencies-by-index, leftover-indices)``; leftover goes
+        to the measurer's local serial path (the degradation ladder's last
+        rung) and is empty whenever the fleet finished the batch.
+        """
+        if not idxs:
+            return {}, []
+        opts = self.options
+        task = measurer.task
+        leases: List[_Lease] = []
+        with self._cond:
+            self._measurer = measurer
+        try:
+            if not self._await_fleet(task):
+                self.counters["degraded_batches"] += 1
+                return {}, list(idxs)
+            leases = self._build_leases(measurer, candidates, idxs)
+            return self._pump(measurer, task, leases, opts)
+        finally:
+            with self._cond:
+                for lease in leases:
+                    self._active.pop(lease.id, None)
+                self._measurer = None
+                self._drain_events_locked()
+
+    def _await_fleet(self, task) -> bool:
+        """Wait briefly for a live worker; False = degrade this batch."""
+        deadline = time.monotonic() + self.options.degrade_wait_s
+        with self._cond:
+            while not any(w.alive for w in self._workers.values()):
+                if self._degraded:
+                    return False
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self._degraded = True
+                    self._events.append(("fleet_degraded", {
+                        "task": task.comp.name,
+                    }))
+                    self._row("degrade", task=task.comp.name)
+                    log.warning(
+                        "serve: fleet empty; degrading to local serial "
+                        "measurement (heals on worker registration)"
+                    )
+                    return False
+                self._cond.wait(timeout=min(remaining, 0.1))
+        return True
+
+    def _build_leases(self, measurer, candidates: Sequence,
+                      idxs: List[int]) -> List[_Lease]:
+        task = measurer.task
+        task_payload = protocol.pack_payload((task.comp, task.machine))
+        task_fp = hashlib.sha256(
+            (machine_fingerprint(task.machine) + comp_fingerprint(task.comp))
+            .encode("utf-8")
+        ).hexdigest()[:16]
+        leases = []
+        size = max(self.options.lease_size, 1)
+        with self._cond:
+            for start in range(0, len(idxs), size):
+                chunk = idxs[start:start + size]
+                cand_keys = [
+                    measurer._candidate_key(*candidates[i]) for i in chunk
+                ]
+                key = hashlib.sha256(
+                    (task_fp + ":" + ":".join(cand_keys)).encode("utf-8")
+                ).hexdigest()[:24]
+                lease = _Lease(
+                    next(self._lease_seq), key, chunk,
+                    protocol.pack_payload([candidates[i] for i in chunk]),
+                )
+                self._active[lease.id] = lease
+                leases.append(lease)
+        # every lease of this batch shares the task payload; stash it once
+        self._batch_task_payload = task_payload
+        return leases
+
+    def _pump(self, measurer, task, leases: List[_Lease],
+              opts: ServeOptions) -> Tuple[Dict[int, float], List[int]]:
+        out: Dict[int, float] = {}
+        reaped: set = set()
+        while True:
+            sends: List[Tuple[_WorkerHandle, Dict[str, Any]]] = []
+            with self._cond:
+                now = time.monotonic()
+                # 1. reap finished leases
+                for lease in leases:
+                    if lease.done and lease.id not in reaped:
+                        reaped.add(lease.id)
+                        if lease.quarantined:
+                            for i in lease.indices:
+                                measurer._quarantine(i, out)
+                        else:
+                            for i, lat in zip(lease.indices, lease.latencies):
+                                out[i] = lat
+                                measurer.metrics.counter(
+                                    "measure.fleet_evaluations").inc()
+                # 2. expire overdue leases by evicting their holder (the
+                #    worker is wedged or gone; only eviction frees the slot)
+                for lease in leases:
+                    if (not lease.done and lease.worker is not None
+                            and now > lease.deadline):
+                        holder = lease.worker
+                        measurer.note_remote_error(
+                            "LeaseTimeout",
+                            f"lease {lease.id} overdue on {holder.name}",
+                            worker=holder.name,
+                        )
+                        self._evict_locked(holder, "lease_timeout")
+                self._drain_events_locked()
+                if all(lease.done for lease in leases):
+                    break
+                # 3. dispatch eligible pending leases to idle workers
+                idle = [
+                    w for w in self._workers.values()
+                    if w.alive and w.lease is None
+                ]
+                pending = [
+                    lease for lease in leases
+                    if not lease.done and lease.worker is None
+                    and lease.not_before <= now
+                ]
+                for worker, lease in zip(idle, pending):
+                    lease.worker = worker
+                    lease.deadline = now + opts.lease_timeout_s
+                    worker.lease = lease
+                    self.counters["leases_dispatched"] += 1
+                    stats = self._stats.get(worker.name)
+                    if stats is not None:
+                        stats["dispatched"] += 1
+                        if lease.attempts:
+                            stats["retried"] += 1
+                    self._events.append(("lease_dispatch", {
+                        "lease": lease.id, "worker": worker.name,
+                        "n": len(lease.indices), "attempt": lease.attempts,
+                        "task": task.comp.name,
+                    }))
+                    self._row("dispatch", lease=lease.id, worker=worker.name,
+                              n=len(lease.indices), attempt=lease.attempts,
+                              task=task.comp.name)
+                    sends.append((worker, {
+                        "type": protocol.LEASE,
+                        "lease": lease.id,
+                        "key": lease.key,
+                        "task": self._batch_task_payload,
+                        "candidates": lease.payload,
+                        "device_ms": opts.device_ms,
+                    }))
+                self._drain_events_locked()
+                if not sends:
+                    # nothing to do until a completion, an eviction, a
+                    # deadline or a backoff gate opens
+                    if not any(w.alive for w in self._workers.values()):
+                        undone = [
+                            i for lease in leases if not lease.done
+                            for i in lease.indices
+                        ]
+                        if undone and not self._await_fleet_locked():
+                            # fleet collapsed mid-batch: hand the rest to
+                            # the local serial path
+                            self.counters["degraded_batches"] += 1
+                            for lease in leases:
+                                if not lease.done:
+                                    lease.done = True  # abandoned
+                            self._drain_events_locked()
+                            return out, undone
+                        continue
+                    self._cond.wait(timeout=self._next_wakeup(leases, now))
+            for worker, frame in sends:
+                try:
+                    with worker.send_lock:
+                        protocol.send_frame(worker.sock, frame)
+                except (OSError, protocol.ProtocolError):
+                    with self._cond:
+                        # never reached the worker: requeue unpenalized
+                        lease = worker.lease
+                        if lease is not None:
+                            self._fail_lease_locked(
+                                lease, "send failed", charge=False)
+                            worker.lease = None
+                        self._evict_locked(worker, "socket")
+        with self._cond:
+            self._drain_events_locked()
+        return out, []
+
+    def _await_fleet_locked(self) -> bool:
+        """Mid-batch variant of :meth:`_await_fleet`; lock already held."""
+        deadline = time.monotonic() + self.options.degrade_wait_s
+        while not any(w.alive for w in self._workers.values()):
+            if self._degraded:
+                return False
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self._degraded = True
+                self._events.append(("fleet_degraded", {}))
+                self._row("degrade")
+                log.warning(
+                    "serve: fleet collapsed mid-batch; finishing locally"
+                )
+                return False
+            self._cond.wait(timeout=min(remaining, 0.1))
+        return True
+
+    def _next_wakeup(self, leases: List[_Lease], now: float) -> float:
+        """Sleep until the nearest deadline / backoff gate, capped for
+        responsiveness to completions (which notify anyway)."""
+        horizon = 0.25
+        for lease in leases:
+            if lease.done:
+                continue
+            if lease.worker is not None and math.isfinite(lease.deadline):
+                horizon = min(horizon, max(lease.deadline - now, 0.01))
+            elif lease.worker is None and lease.not_before > now:
+                horizon = min(horizon, max(lease.not_before - now, 0.01))
+        return horizon
+
+    def shutdown_workers(self) -> None:
+        with self._cond:
+            workers = [w for w in self._workers.values() if w.alive]
+        for w in workers:
+            try:
+                with w.send_lock:
+                    protocol.send_frame(w.sock, {"type": protocol.SHUTDOWN})
+            except (OSError, protocol.ProtocolError):
+                pass
+        with self._cond:
+            for w in workers:
+                if w.alive:
+                    self._evict_locked(w, "shutdown")
+
+
+# ---------------------------------------------------------------------------
+# Local worker supervisor
+# ---------------------------------------------------------------------------
+
+class LocalFleet:
+    """Spawns and resurrects local worker processes (``--workers N``).
+
+    Workers are real subprocesses (``python -m repro serve worker``): an
+    injected crash kills an actual process and the coordinator sees a real
+    socket EOF.  The monitor thread respawns dead workers under the same
+    name with a bumped ``generation`` (mixed into the fault seed so the
+    respawn doesn't replay its predecessor's crash), which is how evicted
+    workers re-admit themselves.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        count: int,
+        fault_spec: Optional[str] = None,
+        respawn: bool = True,
+        max_respawns: int = 50,
+        name_prefix: str = "w",
+    ):
+        self.host = host
+        self.port = port
+        self.count = count
+        self.fault_spec = fault_spec
+        self.respawn = respawn
+        self.max_respawns = max_respawns
+        self.name_prefix = name_prefix
+        self._procs: Dict[str, subprocess.Popen] = {}
+        self._generations: Dict[str, int] = {}
+        self._respawns = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "LocalFleet":
+        for k in range(self.count):
+            self._spawn(f"{self.name_prefix}{k}", 0)
+        self._thread = threading.Thread(
+            target=self._monitor, daemon=True, name="serve-fleet"
+        )
+        self._thread.start()
+        return self
+
+    def _spawn(self, name: str, generation: int) -> None:
+        import repro
+
+        src_root = os.path.dirname(os.path.dirname(os.path.abspath(
+            repro.__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_root + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        cmd = [
+            sys.executable, "-m", "repro", "serve", "worker",
+            "--connect", f"{self.host}:{self.port}",
+            "--name", name, "--generation", str(generation),
+        ]
+        if self.fault_spec:
+            cmd += ["--inject-faults", self.fault_spec]
+        self._procs[name] = subprocess.Popen(
+            cmd, env=env,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        self._generations[name] = generation
+
+    def _monitor(self) -> None:
+        while not self._stop.wait(0.2):
+            for name, proc in list(self._procs.items()):
+                if proc.poll() is None:
+                    continue
+                if not self.respawn or self._respawns >= self.max_respawns:
+                    continue
+                self._respawns += 1
+                gen = self._generations.get(name, 0) + 1
+                log.info("serve: respawning worker %s (generation %d)",
+                         name, gen)
+                self._spawn(name, gen)
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+        for proc in self._procs.values():
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in self._procs.values():
+            try:
+                proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+
+# ---------------------------------------------------------------------------
+# The coordinator daemon
+# ---------------------------------------------------------------------------
+
+def _build_single_op(kind: str, channels: int, size: int):
+    from ..cli import _single_op  # deferred: cli imports this module
+
+    return _single_op(kind, channels, size)
+
+
+class Coordinator:
+    """``repro serve start``: listener + job queue + fleet dispatcher."""
+
+    def __init__(
+        self,
+        store_root: Optional[str] = None,
+        options: Optional[ServeOptions] = None,
+        watch_rules: Optional[WatchRules] = None,
+        checkpoint_every: int = 1,
+        max_jobs: Optional[int] = None,
+    ):
+        self.options = options or ServeOptions()
+        self.store = RunStore(store_root) if store_root else None
+        self.dispatcher = FleetDispatcher(self.options)
+        self.watch_rules = watch_rules
+        self.checkpoint_every = max(checkpoint_every, 1)
+        self.max_jobs = max_jobs
+        self.port: Optional[int] = None
+        self._jobs: "queue.Queue" = queue.Queue()
+        self._job_seq = itertools.count(1)
+        self._jobs_done = 0
+        self._stop = threading.Event()
+        self._listener: Optional[socket.socket] = None
+        self._threads: List[threading.Thread] = []
+        self.last_error: Optional[str] = None
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> "Coordinator":
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.options.host, self.options.port))
+        listener.listen(32)
+        self._listener = listener
+        self.port = listener.getsockname()[1]
+        log.info("serve: coordinator listening on %s:%d",
+                 self.options.host, self.port)
+        for target, name in (
+            (self._accept_loop, "serve-accept"),
+            (self._runner_loop, "serve-runner"),
+        ):
+            t = threading.Thread(target=target, daemon=True, name=name)
+            t.start()
+            self._threads.append(t)
+        self.dispatcher.start_monitor(self._stop)
+        return self
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the coordinator stops; True if it did."""
+        return self._stop.wait(timeout)
+
+    def stop(self) -> None:
+        if self._stop.is_set():
+            return
+        self._stop.set()
+        self.dispatcher.shutdown_workers()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        self._jobs.put(None)  # unblock the runner
+
+    # -- resume -------------------------------------------------------------
+    def enqueue_resumable(self) -> int:
+        """Re-enqueue interrupted serve jobs from the run registry.
+
+        A coordinator killed mid-job left a ``status: running`` manifest
+        with a checkpoint; rebuilding the job from its recorded config and
+        restoring the tuner snapshot continues it bit-identically (the
+        checkpoint subsystem's invariant, enforced by the tests).
+        """
+        if self.store is None:
+            return 0
+        count = 0
+        ids, _skipped = self.store.scan()
+        for run_id in ids:
+            rec = RunRecord(os.path.join(self.store.root, run_id))
+            config = rec.manifest.get("config") or {}
+            if not config.get("serve_job") or not rec.resumable:
+                continue
+            try:
+                payload = load_checkpoint(rec.checkpoint_path)
+            except CheckpointError as exc:
+                log.warning("serve: cannot resume %s: %s", run_id, exc)
+                continue
+            job = {k: config[k] for k in (
+                "op", "channels", "size", "budget", "seed", "machine",
+                "no_cache",
+            ) if k in config}
+            log.info("serve: resuming interrupted job %s", run_id)
+            self._jobs.put({
+                "job": job, "conn": None, "job_id": f"resume-{run_id}",
+                "restore": payload, "rec": rec,
+            })
+            count += 1
+        return count
+
+    # -- accept / client side ----------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            t = threading.Thread(
+                target=self._handshake, args=(conn,), daemon=True,
+                name="serve-handshake",
+            )
+            t.start()
+
+    def _handshake(self, conn: socket.socket) -> None:
+        """First-frame gate: a malformed or mismatched peer is rejected
+        and dropped; the coordinator itself never cares."""
+        try:
+            conn.settimeout(10.0)
+            try:
+                first = protocol.recv_frame(conn)
+            except protocol.ProtocolError as exc:
+                self._reject(conn, str(exc))
+                return
+            error = protocol.check_hello(first)
+            if error is not None:
+                self._reject(conn, error)
+                return
+            conn.settimeout(None)
+            protocol.send_frame(conn, {"type": protocol.WELCOME,
+                                       "version": protocol.PROTOCOL_VERSION})
+            if first["role"] == "worker":
+                self.dispatcher.register_worker(first["name"], conn)
+            else:
+                self._client_loop(conn)
+        except OSError:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _reject(self, conn: socket.socket, reason: str) -> None:
+        log.warning("serve: rejecting connection: %s", reason)
+        try:
+            protocol.send_frame(conn, {"type": protocol.REJECT,
+                                       "reason": reason})
+        except (OSError, protocol.ProtocolError):
+            pass
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+    def _client_loop(self, conn: socket.socket) -> None:
+        while not self._stop.is_set():
+            try:
+                frame = protocol.recv_frame(conn)
+            except protocol.ProtocolError as exc:
+                log.warning("serve: dropping client: %s", exc)
+                break
+            if frame is None:
+                break
+            kind = frame.get("type")
+            if kind == protocol.SUBMIT:
+                self._handle_submit(conn, frame)
+            elif kind == protocol.STATUS:
+                protocol.send_frame(conn, {
+                    "type": protocol.STATUS_REPLY, "status": self.status(),
+                })
+            elif kind == protocol.SHUTDOWN:
+                protocol.send_frame(conn, {"type": protocol.SHUTDOWN,
+                                           "ok": True})
+                self.stop()
+                break
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+    def _handle_submit(self, conn: socket.socket,
+                       frame: Dict[str, Any]) -> None:
+        job = frame.get("job")
+        error = self._validate_job(job)
+        if error is not None:
+            protocol.send_frame(conn, {
+                "type": protocol.JOB_QUEUED, "ok": False, "error": error,
+            })
+            return
+        job_id = f"job-{next(self._job_seq)}"
+        self._jobs.put({"job": dict(job), "conn": conn, "job_id": job_id,
+                        "restore": None, "rec": None})
+        protocol.send_frame(conn, {
+            "type": protocol.JOB_QUEUED, "ok": True, "job_id": job_id,
+            "position": self._jobs.qsize(),
+        })
+
+    @staticmethod
+    def _validate_job(job: Any) -> Optional[str]:
+        if not isinstance(job, dict):
+            return "job must be an object"
+        if job.get("kind", "tune") != "tune":
+            return f"unsupported job kind {job.get('kind')!r}"
+        op = job.get("op")
+        if op not in ("gmm", "c2d", "c1d", "c3d", "dep"):
+            return f"unknown operator {op!r}"
+        for key, default in (("budget", 96), ("seed", 0),
+                             ("channels", 8), ("size", 16)):
+            value = job.get(key, default)
+            if not isinstance(value, int) or value < 0:
+                return f"{key} must be a non-negative integer"
+        return None
+
+    def status(self) -> Dict[str, Any]:
+        return {
+            "port": self.port,
+            "workers": self.dispatcher.worker_stats(),
+            "live_workers": self.dispatcher.live_workers(),
+            "degraded": self.dispatcher.degraded,
+            "queued_jobs": self._jobs.qsize(),
+            "jobs_done": self._jobs_done,
+            "counters": dict(self.dispatcher.counters),
+        }
+
+    # -- job runner ---------------------------------------------------------
+    def _runner_loop(self) -> None:
+        while not self._stop.is_set():
+            item = self._jobs.get()
+            if item is None:
+                return
+            try:
+                result = self._run_job(item)
+            except BaseException as exc:  # a job failure never kills serve
+                log.error("serve: job %s failed: %r", item["job_id"], exc)
+                self.last_error = repr(exc)
+                result = {"ok": False, "error": repr(exc)}
+            self._jobs_done += 1
+            conn = item.get("conn")
+            if conn is not None:
+                try:
+                    protocol.send_frame(conn, {
+                        "type": protocol.JOB_RESULT,
+                        "job_id": item["job_id"], **result,
+                    })
+                except (OSError, protocol.ProtocolError):
+                    pass  # client went away; the run registry has the result
+            if self.max_jobs is not None and self._jobs_done >= self.max_jobs:
+                self.stop()
+                return
+
+    def _run_job(self, item: Dict[str, Any]) -> Dict[str, Any]:
+        from ..machine.spec import get_machine
+        from ..tuning.baselines import tune_alt
+
+        job = item["job"]
+        restore = item.get("restore")
+        rec: Optional[RunRecord] = item.get("rec")
+        op = job["op"]
+        channels = int(job.get("channels", 8))
+        size = int(job.get("size", 16))
+        budget = int(job.get("budget", 96))
+        seed = int(job.get("seed", 0))
+        machine = get_machine(job.get("machine", "default"))
+        comp = _build_single_op(op, channels, size)
+
+        writer = None
+        resumed = rec is not None
+        if resumed:
+            manifest = dict(rec.manifest)
+            manifest["resumes"] = int(manifest.get("resumes") or 0) + 1
+            writer = RunWriter(rec.path, manifest).begin()
+        elif self.store is not None:
+            writer = self.store.create(
+                f"serve-{op}",
+                machine=machine.name, seed=seed,
+                workload=(
+                    f"tune:{op}:ch{channels}:s{size}:alt:b{budget}:"
+                    f"{machine.name}"
+                ),
+                config={**job, "op": op, "channels": channels, "size": size,
+                        "budget": budget, "seed": seed,
+                        "machine": job.get("machine", "default"),
+                        "serve_job": True, "tuner": "alt"},
+            ).begin()
+
+        trace = None
+        watchdog = None
+        checkpoint = None
+        lease_log = None
+        if writer is not None:
+            trace = Trace(
+                name=f"serve:{op}", meta=trace_meta(seed),
+                stream_to=os.path.join(writer.path, TRACE_FILE),
+                stream_append=resumed,
+            )
+            watchdog = Watchdog(
+                trace, run_dir=writer.path, rules=self.watch_rules
+            ).attach()
+            checkpoint = CheckpointManager(
+                writer.checkpoint_path, every=self.checkpoint_every
+            )
+            lease_log = LeaseLog(writer.path)
+
+        # the disk cache would mask fleet dispatch entirely; serve jobs run
+        # uncached unless the job explicitly opts back in (no_cache=False)
+        measure = MeasureOptions(
+            jobs=1,  # the worker fleet replaces the local pool
+            cache_dir=(
+                None if job.get("no_cache", True)
+                else MeasureOptions().cache_dir
+            ),
+            dispatcher=self.dispatcher,
+        )
+        if trace is not None:
+            measure.shared_metrics = trace.metrics
+        self.dispatcher.bind_run(trace, lease_log)
+        try:
+            result = tune_alt(
+                comp, machine, budget=budget, seed=seed, measure=measure,
+                trace=trace, checkpoint=checkpoint, restore=restore,
+            )
+        except BaseException as exc:
+            if writer is not None:
+                writer.fail(repr(exc))
+            if watchdog is not None:
+                watchdog.finalize(STATUS_FAILED)
+            raise
+        finally:
+            self.dispatcher.unbind_run()
+        run_id = None
+        if writer is not None:
+            if watchdog is not None:
+                watchdog.finalize(STATUS_COMPLETED)
+            record = writer.finish(
+                trace, tasks={comp.name: task_result_dict(result)},
+            )
+            run_id = record.run_id
+        log.info(
+            "serve: job %s done: %s best %.6fms (%d measurements)",
+            item["job_id"], op, result.best_latency * 1e3,
+            result.measurements,
+        )
+        return {
+            "ok": True,
+            "op": op,
+            "best_latency": result.best_latency,
+            "measurements": result.measurements,
+            "run_id": run_id,
+            "workers": self.dispatcher.worker_stats(),
+        }

@@ -1,0 +1,180 @@
+"""Wire protocol for the tuning fleet: length-prefixed JSON frames.
+
+Every message is one *frame*: a 4-byte big-endian unsigned length followed
+by that many bytes of UTF-8 JSON encoding a single object (a dict with a
+``"type"`` key).  The format is deliberately boring -- TVM's RPC layer uses
+the same shape -- because the interesting robustness lives above it (lease
+retry, eviction, dedup), not inside the framing.
+
+Binary tuning objects (:class:`~repro.ir.compute.ComputeDef`, layouts,
+schedules) ride inside frames as base64-encoded pickles via
+:func:`pack_payload` / :func:`unpack_payload`; the fleet is a same-trust
+single-user system (coordinator and workers run the same code from the
+same checkout), which is the only setting where pickle over a socket is
+acceptable.
+
+Malformed input never crashes a peer: short reads mid-frame, oversized
+lengths, non-JSON bodies and non-dict values all raise
+:class:`ProtocolError`, which the coordinator turns into "drop this
+connection" and a worker turns into "exit and let the supervisor respawn
+me".  A clean EOF *between* frames returns ``None`` from
+:func:`recv_frame` -- that is the normal way a connection ends.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import socket
+import struct
+from typing import Any, Dict, Optional
+
+#: bump on any incompatible change to frame semantics; peers with a
+#: different version are rejected at hello time
+PROTOCOL_VERSION = 1
+
+#: hard cap on a single frame body -- a garbage length prefix (e.g. a peer
+#: speaking HTTP at us) must not trigger a multi-gigabyte allocation
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+#: frame types, coordinator <-> worker
+HELLO = "hello"  # first frame on any connection, both directions' gate
+WELCOME = "welcome"  # coordinator accepts the peer
+REJECT = "reject"  # coordinator refuses the peer (version/role), then closes
+LEASE = "lease"  # coordinator -> worker: evaluate this candidate batch
+LEASE_RESULT = "lease_result"  # worker -> coordinator: latencies for a lease
+LEASE_ERROR = "lease_error"  # worker -> coordinator: lease failed in-worker
+HEARTBEAT = "heartbeat"  # worker -> coordinator liveness beacon
+
+#: frame types, client <-> coordinator
+SUBMIT = "submit"  # client -> coordinator: enqueue a tune job
+JOB_QUEUED = "job_queued"  # coordinator ack with job id + queue position
+JOB_RESULT = "job_result"  # coordinator -> client: terminal job outcome
+STATUS = "status"  # client -> coordinator: fleet/queue snapshot request
+STATUS_REPLY = "status_reply"
+SHUTDOWN = "shutdown"  # client -> coordinator: drain and exit (CI/tests)
+
+
+class ProtocolError(RuntimeError):
+    """The peer violated the framing or message contract."""
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+
+def send_frame(sock: socket.socket, message: Dict[str, Any]) -> None:
+    """Serialize ``message`` and write one frame; raises ``OSError`` on a
+    dead socket (callers treat that as peer loss, not a protocol bug)."""
+    body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"refusing to send oversized frame ({len(body)} bytes)"
+        )
+    sock.sendall(_LEN.pack(len(body)) + body)
+
+
+def recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
+    """Read exactly ``n`` bytes.
+
+    Returns ``None`` on a clean EOF before the first byte; raises
+    :class:`ProtocolError` on EOF mid-read (a truncated frame).
+    """
+    chunks = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(min(n - got, 1 << 20))
+        if not chunk:
+            if got == 0:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({got}/{n} bytes)"
+            )
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Optional[Dict[str, Any]]:
+    """Read one frame; ``None`` on clean EOF between frames.
+
+    Raises :class:`ProtocolError` for truncated frames, oversized lengths,
+    bodies that are not JSON, and JSON values that are not objects.
+    """
+    header = recv_exact(sock, _LEN.size)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame length {length} exceeds {MAX_FRAME_BYTES}")
+    body = recv_exact(sock, length) if length else b""
+    if body is None:
+        raise ProtocolError("connection closed between header and body")
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"frame body is not JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame body must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+# ---------------------------------------------------------------------------
+# Payloads (pickled tuning objects inside JSON frames)
+# ---------------------------------------------------------------------------
+
+def pack_payload(obj: Any) -> str:
+    """Base64-encode a pickle of ``obj`` for embedding in a frame."""
+    return base64.b64encode(pickle.dumps(obj)).decode("ascii")
+
+
+def unpack_payload(blob: str) -> Any:
+    try:
+        return pickle.loads(base64.b64decode(blob.encode("ascii")))
+    except Exception as exc:  # noqa: BLE001 - any corrupt payload is protocol abuse
+        raise ProtocolError(f"undecodable payload: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Handshake
+# ---------------------------------------------------------------------------
+
+def hello(role: str, name: Optional[str] = None) -> Dict[str, Any]:
+    """First frame either peer sends after connecting."""
+    msg: Dict[str, Any] = {
+        "type": HELLO,
+        "version": PROTOCOL_VERSION,
+        "role": role,
+    }
+    if name is not None:
+        msg["name"] = name
+    return msg
+
+
+def check_hello(message: Optional[Dict[str, Any]]) -> Optional[str]:
+    """Validate an incoming hello; returns a rejection reason or ``None``.
+
+    The coordinator never trusts a connection that cannot produce a
+    well-formed, version-matched hello as its very first frame.
+    """
+    if message is None:
+        return "connection closed before hello"
+    if message.get("type") != HELLO:
+        return f"expected hello, got {message.get('type')!r}"
+    version = message.get("version")
+    if version != PROTOCOL_VERSION:
+        return (
+            f"protocol version mismatch: peer={version!r} "
+            f"coordinator={PROTOCOL_VERSION}"
+        )
+    role = message.get("role")
+    if role not in ("worker", "client"):
+        return f"unknown role {role!r}"
+    if role == "worker" and not isinstance(message.get("name"), str):
+        return "worker hello missing a name"
+    return None

@@ -1,0 +1,240 @@
+"""Measurement worker for the tuning fleet.
+
+A worker is deliberately thin: connect, introduce itself, then loop
+``recv lease -> evaluate candidates -> send lease_result`` while a
+daemon thread heartbeats.  Evaluation calls the same pure
+:func:`~repro.tuning.measurer.evaluate_candidate` the in-process measurer
+uses, which is what makes fleet results bit-identical to serial ones.
+
+Fault injection hooks in at the *lease* granularity: each worker keeps a
+local lease counter and consults its :class:`~repro.tuning.faults.FaultPlan`
+before evaluating, so a seeded plan can crash the whole process
+(``os._exit``), hang it past the coordinator's lease timeout, raise a
+transient error (reported as a ``lease_error`` frame) or perturb latencies
+(``flaky``).  Pinned ``*_at`` indices are *per-worker-local* lease indices:
+``crash_at=(1,)`` makes every worker die on its second lease -- the
+full-fleet-outage scenario the degradation ladder is tested against.
+
+Workers are disposable by design.  Any protocol violation, lost
+coordinator or injected crash ends the process; the
+:class:`~repro.serve.coordinator.LocalFleet` supervisor (or an operator's
+process manager) respawns it and the coordinator re-admits it under the
+same name.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import socket
+import threading
+import time
+from typing import Any, Dict, Optional
+
+from ..obs.log import log
+from ..tuning.faults import FaultPlan
+from ..tuning.measurer import evaluate_candidate
+from . import protocol
+
+
+class ServeWorker:
+    """One fleet worker process (``repro serve worker``)."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        name: str,
+        fault_plan: Optional[FaultPlan] = None,
+        heartbeat_s: float = 0.5,
+        connect_retries: int = 20,
+        connect_backoff_s: float = 0.1,
+    ):
+        self.host = host
+        self.port = port
+        self.name = name
+        self.fault_plan = fault_plan
+        self.heartbeat_s = heartbeat_s
+        self.connect_retries = connect_retries
+        self.connect_backoff_s = connect_backoff_s
+        self._sock: Optional[socket.socket] = None
+        self._send_lock = threading.Lock()
+        self._stop = threading.Event()
+        #: per-worker lease counter feeding the fault plan
+        self._lease_index = 0
+        #: fault/error tallies shipped back inside each lease_result so the
+        #: coordinator can aggregate fleet-wide error rates (the counters
+        #: would otherwise die with this process)
+        self._fault_counts: Dict[str, int] = {}
+
+    # -- lifecycle ----------------------------------------------------------
+    def run(self) -> int:
+        """Blocking worker loop; returns a process exit code."""
+        try:
+            self._sock = self._connect()
+        except OSError as exc:
+            log.error("serve worker %s: cannot reach coordinator: %s",
+                      self.name, exc)
+            return 2
+        try:
+            self._send(protocol.hello("worker", self.name))
+            reply = protocol.recv_frame(self._sock)
+            if reply is None or reply.get("type") != protocol.WELCOME:
+                reason = (reply or {}).get("reason", "connection closed")
+                log.error("serve worker %s: rejected: %s", self.name, reason)
+                return 3
+            hb = threading.Thread(target=self._heartbeat_loop, daemon=True)
+            hb.start()
+            return self._serve_loop()
+        except (OSError, protocol.ProtocolError) as exc:
+            log.warning("serve worker %s: connection lost: %s", self.name, exc)
+            return 1
+        finally:
+            self._stop.set()
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+    def _connect(self) -> socket.socket:
+        # the supervisor may spawn workers before the coordinator's listener
+        # is up; retry briefly instead of racing
+        last: Optional[OSError] = None
+        for attempt in range(self.connect_retries + 1):
+            try:
+                return socket.create_connection(
+                    (self.host, self.port), timeout=10.0
+                )
+            except OSError as exc:
+                last = exc
+                time.sleep(self.connect_backoff_s * min(attempt + 1, 5))
+        raise last if last is not None else OSError("connect failed")
+
+    def _serve_loop(self) -> int:
+        assert self._sock is not None
+        self._sock.settimeout(None)
+        while True:
+            frame = protocol.recv_frame(self._sock)
+            if frame is None:
+                # coordinator went away (or evicted us): exit so a
+                # supervisor can respawn a clean process
+                return 0
+            kind = frame.get("type")
+            if kind == protocol.LEASE:
+                self._handle_lease(frame)
+            elif kind == protocol.SHUTDOWN:
+                return 0
+            # anything else (e.g. a duplicate welcome) is ignored
+
+    def _heartbeat_loop(self) -> None:
+        while not self._stop.wait(self.heartbeat_s):
+            try:
+                self._send({"type": protocol.HEARTBEAT, "worker": self.name})
+            except OSError:
+                return
+
+    def _send(self, message: Dict[str, Any]) -> None:
+        assert self._sock is not None
+        with self._send_lock:
+            protocol.send_frame(self._sock, message)
+
+    # -- lease evaluation ---------------------------------------------------
+    def _handle_lease(self, frame: Dict[str, Any]) -> None:
+        lease_id = frame.get("lease")
+        index = self._lease_index
+        self._lease_index += 1
+        fault = (
+            self.fault_plan.fault_at(index)
+            if self.fault_plan is not None else None
+        )
+        if fault == "crash":
+            log.warning("serve worker %s: injected crash (lease %s)",
+                        self.name, lease_id)
+            os._exit(17)
+        if fault == "timeout":
+            # hang past the coordinator's lease deadline; it will evict us
+            # and re-dispatch.  We still finish and try to send the stale
+            # result afterwards -- exactly the duplicate-completion /
+            # stale-lease path the coordinator must tolerate.
+            self._fault_counts["timeout"] = (
+                self._fault_counts.get("timeout", 0) + 1
+            )
+            time.sleep(self.fault_plan.hang_s)
+        if fault == "os_error":
+            self._fault_counts["os_error"] = (
+                self._fault_counts.get("os_error", 0) + 1
+            )
+            self._send({
+                "type": protocol.LEASE_ERROR,
+                "lease": lease_id,
+                "worker": self.name,
+                "kind": "OSError",
+                "message": f"injected transient I/O error (lease index {index})",
+            })
+            return
+        try:
+            comp, machine = protocol.unpack_payload(frame["task"])
+            candidates = protocol.unpack_payload(frame["candidates"])
+        except (KeyError, protocol.ProtocolError) as exc:
+            self._send({
+                "type": protocol.LEASE_ERROR,
+                "lease": lease_id,
+                "worker": self.name,
+                "kind": "ProtocolError",
+                "message": str(exc)[:200],
+            })
+            return
+        latencies = [
+            evaluate_candidate(comp, machine, layouts, schedule)
+            for layouts, schedule in candidates
+        ]
+        device_ms = frame.get("device_ms") or 0.0
+        if device_ms > 0:
+            # simulated on-device execution: a real fleet's workers spend
+            # most of a lease *waiting on the accelerator*, which is the
+            # occupancy N workers overlap (what `serve bench` measures)
+            time.sleep(device_ms * len(candidates) / 1000.0)
+        if fault == "flaky":
+            self._fault_counts["flaky"] = (
+                self._fault_counts.get("flaky", 0) + 1
+            )
+            latencies = [
+                lat * self.fault_plan.flaky_factor(index)
+                if math.isfinite(lat) else lat
+                for lat in latencies
+            ]
+        self._send({
+            "type": protocol.LEASE_RESULT,
+            "lease": lease_id,
+            "worker": self.name,
+            # inf is not valid JSON; encode as the sentinel the
+            # coordinator decodes symmetrically
+            "latencies": [
+                lat if math.isfinite(lat) else None for lat in latencies
+            ],
+            "faults": dict(self._fault_counts),
+        })
+        self._fault_counts = {}
+
+
+def run_worker(
+    host: str,
+    port: int,
+    name: str,
+    fault_spec: Optional[str] = None,
+    heartbeat_s: float = 0.5,
+    generation: int = 0,
+) -> int:
+    """Entry point for ``repro serve worker`` and the local supervisor.
+
+    ``generation`` counts respawns of the same logical worker; it is mixed
+    into the fault seed so a respawned worker draws a fresh fault sequence
+    instead of replaying the crash that killed its predecessor (pinned
+    ``*_at`` indices are kept -- they are the targeted-outage knob).
+    """
+    plan = None
+    if fault_spec:
+        plan = FaultPlan.parse(fault_spec).for_worker(name, generation)
+    worker = ServeWorker(host, port, name, fault_plan=plan,
+                         heartbeat_s=heartbeat_s)
+    return worker.run()

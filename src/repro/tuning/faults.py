@@ -36,7 +36,8 @@ Fault kinds
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field, fields
+import zlib
+from dataclasses import dataclass, field, fields, replace
 from typing import Optional, Tuple
 
 CRASH = "crash"
@@ -120,6 +121,26 @@ class FaultPlan:
 
     def applies_in_process(self) -> bool:
         return self.scope == "all"
+
+    def for_worker(self, worker_id: str, generation: int = 0) -> "FaultPlan":
+        """Derive a decorrelated plan for one fleet worker.
+
+        Every worker of a ``repro serve`` fleet shares one operator-level
+        plan spec, but a shared *seed* would make all workers draw the same
+        fault at the same local lease index -- a permanent synchronized
+        outage.  Mixing a stable hash of the worker id (crc32, not
+        ``hash()``, so the derivation survives process boundaries) and the
+        respawn ``generation`` into the seed decorrelates the draws while
+        keeping them reproducible.  Pinned ``*_at`` indices are *not*
+        remapped: they address per-worker-local lease indices, which is
+        precisely how a test pins a simultaneous full-fleet outage.
+        """
+        mixed = (
+            self.seed * 1_000_003
+            + zlib.crc32(worker_id.encode("utf-8"))
+            + generation * 7_919
+        )
+        return replace(self, seed=mixed)
 
     # -- CLI spec ------------------------------------------------------------
     _ALIASES = {"oserror": "os_error", "hang": "hang_s"}

@@ -115,6 +115,19 @@ class MeasureOptions:
     ``fault_plan``             optional deterministic fault injection (the
                                disk cache is disabled under a plan so
                                injected values never poison real runs)
+
+    Fleet knobs (``repro serve``):
+
+    ``dispatcher``       a :class:`~repro.serve.coordinator.FleetDispatcher`
+                         to lease fresh evaluations to; indices the fleet
+                         could not finish fall through to the local serial
+                         path (the degradation ladder's last rung)
+    ``shared_metrics``   a run-level :class:`MetricsRegistry` the measurer
+                         mirrors its fault-family counters into *live*
+                         under the ``fleet.*`` namespace -- per-task
+                         ``measure.*`` counters are process/task-local, so
+                         without this, fleet-wide error rates undercount
+                         in metrics and the dashboard
     """
 
     jobs: int = field(default_factory=_default_jobs)
@@ -124,6 +137,10 @@ class MeasureOptions:
     max_pool_rebuilds: int = 3
     backoff_s: float = 0.05
     fault_plan: Optional[FaultPlan] = None
+    dispatcher: Optional[object] = field(default=None, repr=False)
+    shared_metrics: Optional[MetricsRegistry] = field(
+        default=None, repr=False
+    )
 
 
 #: cap on a single rebuild backoff sleep, seconds
@@ -139,6 +156,7 @@ _STAT_COUNTERS = (
     "disk_cache_hits",
     "pool_evaluations",
     "serial_evaluations",
+    "fleet_evaluations",  # candidates measured by serve workers
     "timeouts",
     "pool_failures",
     "budget_consumed",
@@ -611,8 +629,16 @@ class Measurer:
     ) -> Dict[int, float]:
         out: Dict[int, float] = {}
         pending = list(idxs)
+        if self.options.dispatcher is not None and pending:
+            # the serve fleet is the preferred backend; whatever it could
+            # not finish (empty/collapsed fleet) falls through to the
+            # serial path below so a request never fails outright
+            done, pending = self.options.dispatcher.evaluate(
+                self, candidates, pending
+            )
+            out.update(done)
         # a single candidate never amortizes pool round-trips
-        if len(pending) > 1 and self.options.jobs > 1 and not self._pool_degraded:
+        elif len(pending) > 1 and self.options.jobs > 1 and not self._pool_degraded:
             pending = self._pool_evaluate(candidates, pending, out)
         if pending:
             self._serial_evaluate(candidates, pending, out)
@@ -686,6 +712,7 @@ class Measurer:
                     self._quarantine(i, out)
                 else:
                     self.metrics.counter("measure.retries").inc()
+                    self._shared_inc("fleet.retries")
                     next_pending.append(i)
             next_pending.extend(repend)
             pending = next_pending
@@ -731,6 +758,7 @@ class Measurer:
                     self._note_error(exc, candidate=i, where="serial")
                     if attempt < self.options.max_candidate_retries:
                         self.metrics.counter("measure.retries").inc()
+                        self._shared_inc("fleet.retries")
             else:
                 self._quarantine(i, out)
 
@@ -805,6 +833,7 @@ class Measurer:
         (``inf`` latency, the Ansor convention) instead of aborting."""
         out[i] = math.inf
         self.metrics.counter("measure.quarantined").inc()
+        self._shared_inc("fleet.quarantined")
         self.task.trace.event(
             "measure_quarantined", task=self.task.comp.name, candidate=i
         )
@@ -816,10 +845,59 @@ class Measurer:
         kind = type(exc).__name__
         self.metrics.counter("measure.errors").inc()
         self.metrics.counter(f"measure.errors.{kind}").inc()
+        self._shared_inc("fleet.errors")
+        self._shared_inc(f"fleet.errors.{kind}")
         self.task.trace.event(
             "measure_error", task=self.task.comp.name, kind=kind, where=where,
             candidate=candidate, message=str(exc)[:200],
         )
+
+    # -- fleet-wide aggregation (repro serve) -------------------------------
+    def _shared_inc(self, name: str, n: int = 1) -> None:
+        """Mirror a fault-family count into the run-level shared registry.
+
+        Per-task ``measure.*`` counters only reach the run registry at
+        ``publish_metrics`` time and never leave their process at all on a
+        fleet worker; the ``fleet.*`` namespace on ``shared_metrics``
+        accumulates *live* and across sources, so health/watch/dashboard
+        see fleet-wide error rates.  A distinct namespace keeps the
+        exactly-once ``publish_metrics`` merge of ``measure.*`` from
+        double-counting.
+        """
+        registry = self.options.shared_metrics
+        if registry is not None:
+            registry.counter(name).inc(n)
+
+    def note_remote_error(
+        self, kind: str, message: str, worker: Optional[str] = None,
+    ) -> None:
+        """Record an error that happened on (or to) a fleet worker with the
+        same counters/events an in-process failure gets."""
+        self.metrics.counter("measure.errors").inc()
+        self.metrics.counter(f"measure.errors.{kind}").inc()
+        self._shared_inc("fleet.errors")
+        self._shared_inc(f"fleet.errors.{kind}")
+        self.task.trace.event(
+            "measure_error", task=self.task.comp.name, kind=kind,
+            where="fleet", worker=worker, message=str(message)[:200],
+        )
+
+    def absorb_remote_counters(
+        self, counts: Mapping[str, int], worker: Optional[str] = None,
+    ) -> None:
+        """Fold a worker's fault tallies (shipped inside ``lease_result``
+        frames) into this task's metrics and the shared registry -- the
+        counters would otherwise die with the worker process."""
+        for key, value in counts.items():
+            try:
+                n = int(value)
+            except (TypeError, ValueError):
+                continue
+            if n <= 0:
+                continue
+            self.metrics.counter(f"measure.worker_faults.{key}").inc(n)
+            self._shared_inc("fleet.worker_faults", n)
+            self._shared_inc(f"fleet.worker_faults.{key}", n)
 
     # -- disk-cache keys ----------------------------------------------------
     def _candidate_key(

@@ -306,6 +306,18 @@ class NetworkTuner:
         self.seed = seed
         self.measure = measure
         self.trace = trace if trace is not None else NULL_TRACE
+        # fleet-wide error aggregation: per-task `measure.*` counters only
+        # reach the run registry at publish time (exactly-once, per task),
+        # so every task's measurer additionally mirrors its fault-family
+        # counters *live* into the run trace's registry under `fleet.*` --
+        # one shared namespace across tasks and serve workers instead of
+        # process-local tallies that undercount fleet error rates
+        if (
+            self.measure is not None
+            and self.measure.shared_metrics is None
+            and trace is not None
+        ):
+            self.measure.shared_metrics = self.trace.metrics
         #: shared phase profiler: every task's tuner folds into one profile
         self.profiler = profiler
         self.checkpoint = checkpoint

@@ -1,0 +1,668 @@
+"""Compile-as-a-service: the coordinator/worker tuning fleet.
+
+Three layers, mirroring the failure-semantics table in the README:
+
+* protocol -- framing is the trust boundary: truncated, oversized,
+  non-JSON and non-dict frames must surface as :class:`ProtocolError`
+  (never a hang or a crash), and the hello handshake must reject
+  version/role mismatches while the coordinator keeps serving.
+* dispatcher robustness -- duplicate lease completions and stale results
+  from superseded workers are counted and dropped; a worker registering
+  again under its own name heals sticky degradation.
+* end to end -- a fleet-tuned result is bit-identical to the serial
+  tuner, under injected worker crashes/hangs/errors too, and a killed
+  coordinator resumes its jobs from the run registry bit-identically.
+"""
+
+import json
+import math
+import os
+import re
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.cli import _single_op
+from repro.machine.spec import get_machine
+from repro.obs.runstore import LEASES_FILE, STATUS_RUNNING, RunRecord
+from repro.obs.watch import (
+    WatchState,
+    evaluate,
+    render_watch_frame,
+)
+from repro.serve import protocol
+from repro.serve.client import parse_addr, submit_and_wait
+from repro.serve.coordinator import (
+    Coordinator,
+    FleetDispatcher,
+    LocalFleet,
+    ServeOptions,
+)
+from repro.tuning.baselines import tune_alt
+from repro.tuning.faults import FaultPlan
+from repro.tuning.measurer import MeasureOptions
+from repro.tuning.task import TuningTask
+
+MACHINE = get_machine("intel_cpu")
+SRC_ROOT = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+
+
+def serial_reference(budget=48, seed=0):
+    return tune_alt(
+        _single_op("gmm", 8, 16), MACHINE, budget=budget, seed=seed,
+        measure=MeasureOptions(jobs=1, cache_dir=None),
+    )
+
+
+# ---------------------------------------------------------------------------
+# protocol framing
+# ---------------------------------------------------------------------------
+
+def frame_pair():
+    a, b = socket.socketpair()
+    a.settimeout(5.0)
+    b.settimeout(5.0)
+    return a, b
+
+
+def test_frame_roundtrip():
+    a, b = frame_pair()
+    protocol.send_frame(a, {"type": "x", "n": 3, "latencies": [1.0, None]})
+    assert protocol.recv_frame(b) == {
+        "type": "x", "n": 3, "latencies": [1.0, None]
+    }
+    a.close()
+    assert protocol.recv_frame(b) is None  # clean EOF
+    b.close()
+
+
+def test_truncated_frame_is_protocol_error():
+    a, b = frame_pair()
+    # a length prefix promising 100 bytes, then the connection dies
+    a.sendall(struct.pack(">I", 100) + b"partial")
+    a.close()
+    with pytest.raises(protocol.ProtocolError):
+        protocol.recv_frame(b)
+    b.close()
+
+
+def test_oversized_frame_rejected_both_ways():
+    a, b = frame_pair()
+    a.sendall(struct.pack(">I", protocol.MAX_FRAME_BYTES + 1))
+    with pytest.raises(protocol.ProtocolError):
+        protocol.recv_frame(b)
+    with pytest.raises(protocol.ProtocolError):
+        protocol.send_frame(
+            a, {"blob": "x" * (protocol.MAX_FRAME_BYTES + 1)}
+        )
+    a.close()
+    b.close()
+
+
+@pytest.mark.parametrize("body", [b"not json at all", b"[1, 2, 3]", b"42"])
+def test_non_object_bodies_are_protocol_errors(body):
+    a, b = frame_pair()
+    a.sendall(struct.pack(">I", len(body)) + body)
+    with pytest.raises(protocol.ProtocolError):
+        protocol.recv_frame(b)
+    a.close()
+    b.close()
+
+
+def test_payload_roundtrip_and_garbage():
+    obj = {"layouts": [1, 2], "nested": (3, 4)}
+    assert protocol.unpack_payload(protocol.pack_payload(obj)) == obj
+    with pytest.raises(protocol.ProtocolError):
+        protocol.unpack_payload("definitely-not-base64-pickle!")
+
+
+def test_check_hello_rejections():
+    ok = protocol.hello("worker", name="w0")
+    assert protocol.check_hello(ok) is None
+    assert protocol.check_hello(None) is not None
+    assert protocol.check_hello({"type": "submit"}) is not None
+    bad_version = dict(ok, version=protocol.PROTOCOL_VERSION + 1)
+    assert "version" in protocol.check_hello(bad_version)
+    assert protocol.check_hello(dict(ok, role="admin")) is not None
+    nameless = protocol.hello("worker")
+    assert protocol.check_hello(nameless) is not None
+
+
+def test_parse_addr():
+    assert parse_addr("10.0.0.1:99") == ("10.0.0.1", 99)
+    assert parse_addr(":99") == ("127.0.0.1", 99)
+    with pytest.raises(ValueError):
+        parse_addr("no-port")
+    with pytest.raises(ValueError):
+        parse_addr("host:http")
+
+
+# ---------------------------------------------------------------------------
+# coordinator handshake hardening
+# ---------------------------------------------------------------------------
+
+def coordinator(**kw):
+    kw.setdefault("options", ServeOptions(degrade_wait_s=0.05))
+    return Coordinator(**kw).start()
+
+
+def raw_connect(port):
+    sock = socket.create_connection(("127.0.0.1", port), timeout=5.0)
+    sock.settimeout(5.0)
+    return sock
+
+
+def test_malformed_first_frame_rejected_and_coordinator_survives():
+    coord = coordinator()
+    try:
+        sock = raw_connect(coord.port)
+        sock.sendall(struct.pack(">I", 12) + b"not json!!!!")
+        reply = protocol.recv_frame(sock)
+        assert reply["type"] == protocol.REJECT
+        sock.close()
+        # a well-formed client is still served afterwards
+        from repro.serve.client import fetch_status
+
+        status = fetch_status(("127.0.0.1", coord.port))
+        assert status["live_workers"] == 0
+    finally:
+        coord.stop()
+
+
+def test_version_mismatch_hello_rejected():
+    coord = coordinator()
+    try:
+        sock = raw_connect(coord.port)
+        bad = protocol.hello("worker", name="w0")
+        bad["version"] = protocol.PROTOCOL_VERSION + 7
+        protocol.send_frame(sock, bad)
+        reply = protocol.recv_frame(sock)
+        assert reply["type"] == protocol.REJECT
+        assert "version" in reply["reason"]
+        sock.close()
+    finally:
+        coord.stop()
+
+
+def test_bad_job_refused():
+    coord = coordinator()
+    try:
+        with pytest.raises(ValueError, match="refused"):
+            submit_and_wait(
+                ("127.0.0.1", coord.port),
+                {"kind": "tune", "op": "nope"}, timeout=10,
+            )
+    finally:
+        coord.stop()
+
+
+# ---------------------------------------------------------------------------
+# dispatcher robustness: duplicates, stale results, degradation healing
+# ---------------------------------------------------------------------------
+
+def scripted_worker(dispatcher, name):
+    """Register a fake worker over a socketpair; returns the worker end."""
+    coord_end, worker_end = socket.socketpair()
+    worker_end.settimeout(10.0)
+    dispatcher.register_worker(name, coord_end)
+    return worker_end
+
+
+def dispatch_one_lease(dispatcher, worker_end, n=4):
+    """Run one evaluate() against a scripted worker; returns the thread,
+    the result holder, and the lease frame the worker received."""
+    task = TuningTask(
+        _single_op("gmm", 8, 16), MACHINE,
+        measure=MeasureOptions(jobs=1, cache_dir=None,
+                               dispatcher=dispatcher),
+    )
+    measurer = task.measurer
+    candidates = bench_candidates(n)
+    holder = {}
+
+    def run():
+        holder["out"], holder["leftover"] = dispatcher.evaluate(
+            measurer, candidates, list(range(n))
+        )
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    lease_frame = protocol.recv_frame(worker_end)
+    assert lease_frame["type"] == protocol.LEASE
+    return thread, holder, lease_frame
+
+
+_CANDIDATES = None
+
+
+def bench_candidates(n):
+    """A deterministic candidate list (layouts, schedule) for dispatch."""
+    global _CANDIDATES
+    if _CANDIDATES is None or len(_CANDIDATES) < n:
+        import random
+
+        task = TuningTask(_single_op("gmm", 8, 16), MACHINE)
+        layouts = {}
+        loop_space = task.loop_space_for(layouts)
+        space = loop_space.space()
+        rng = random.Random(0)
+        out, seen = [], set()
+        while len(out) < max(n, 8):
+            sched = loop_space.schedule(space.sample(rng))
+            sig = task._signature(layouts, sched)
+            if sig in seen:
+                continue
+            seen.add(sig)
+            out.append((layouts, sched))
+        _CANDIDATES = out
+    return _CANDIDATES[:n]
+
+
+def test_duplicate_lease_completion_is_deduped():
+    dispatcher = FleetDispatcher(ServeOptions(lease_size=8))
+    worker_end = scripted_worker(dispatcher, "fw")
+    thread, holder, lease_frame = dispatch_one_lease(dispatcher, worker_end)
+    result = {
+        "type": protocol.LEASE_RESULT, "lease": lease_frame["lease"],
+        "worker": "fw", "latencies": [0.001, 0.002, 0.003, 0.004],
+        "faults": {},
+    }
+    protocol.send_frame(worker_end, result)
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+    assert holder["out"] == {0: 0.001, 1: 0.002, 2: 0.003, 3: 0.004}
+    assert holder["leftover"] == []
+    # replaying the exact same completion must be counted and dropped
+    protocol.send_frame(worker_end, result)
+    deadline = time.monotonic() + 5
+    while (dispatcher.counters["duplicate_completions"] == 0
+           and time.monotonic() < deadline):
+        time.sleep(0.01)
+    assert dispatcher.counters["duplicate_completions"] == 1
+    assert dispatcher.live_workers() == 1  # nobody got evicted over it
+    worker_end.close()
+
+
+def test_stale_result_from_superseded_worker_dropped():
+    dispatcher = FleetDispatcher(ServeOptions(lease_size=8))
+    worker_end = scripted_worker(dispatcher, "fw")
+    thread, holder, lease_frame = dispatch_one_lease(dispatcher, worker_end)
+    # the worker reconnects under its own name while its lease is in
+    # flight: the old connection is superseded, the lease re-dispatched
+    fresh_end = scripted_worker(dispatcher, "fw")
+    redispatch = protocol.recv_frame(fresh_end)
+    assert redispatch["type"] == protocol.LEASE
+    assert redispatch["lease"] == lease_frame["lease"]
+    # a result frame for a lease the sender no longer owns is stale
+    handle = dispatcher._workers["fw"]
+    stale = {
+        "type": protocol.LEASE_RESULT, "lease": lease_frame["lease"],
+        "worker": "fw-old", "latencies": [9.0, 9.0, 9.0, 9.0],
+        "faults": {},
+    }
+
+    class Impostor:
+        name = "fw-old"
+
+    dispatcher._on_lease_result(Impostor(), stale)
+    assert dispatcher.counters["stale_results"] == 1
+    # the legitimate holder still completes with the real values
+    protocol.send_frame(fresh_end, {
+        "type": protocol.LEASE_RESULT, "lease": redispatch["lease"],
+        "worker": "fw", "latencies": [0.001, 0.002, 0.003, 0.004],
+        "faults": {},
+    })
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+    assert holder["out"][0] == 0.001
+    assert handle.alive
+    worker_end.close()
+    fresh_end.close()
+
+
+def test_supersede_does_not_charge_the_lease():
+    dispatcher = FleetDispatcher(ServeOptions(lease_size=8))
+    worker_end = scripted_worker(dispatcher, "fw")
+    thread, holder, lease_frame = dispatch_one_lease(dispatcher, worker_end)
+    for _ in range(3):  # serial reconnect storms must never quarantine
+        worker_end = scripted_worker(dispatcher, "fw")
+        lease_frame = protocol.recv_frame(worker_end)
+    assert dispatcher.counters["lease_quarantined"] == 0
+    assert dispatcher.counters["lease_retries"] == 0
+    protocol.send_frame(worker_end, {
+        "type": protocol.LEASE_RESULT, "lease": lease_frame["lease"],
+        "worker": "fw", "latencies": [0.001, 0.002, 0.003, 0.004],
+        "faults": {},
+    })
+    thread.join(timeout=10)
+    assert holder["out"][3] == 0.004
+
+
+def test_degradation_heals_on_registration():
+    dispatcher = FleetDispatcher(ServeOptions(degrade_wait_s=0.01))
+    task = TuningTask(
+        _single_op("gmm", 8, 16), MACHINE,
+        measure=MeasureOptions(jobs=1, cache_dir=None,
+                               dispatcher=dispatcher),
+    )
+    out, leftover = dispatcher.evaluate(
+        task.measurer, bench_candidates(4), [0, 1, 2, 3]
+    )
+    assert out == {} and leftover == [0, 1, 2, 3]  # nobody home: degrade
+    assert dispatcher.degraded
+    scripted_worker(dispatcher, "fw")
+    assert not dispatcher.degraded  # re-admission heals the fleet
+
+
+def test_for_worker_decorrelates_but_keeps_pins():
+    plan = FaultPlan.parse("seed=7,crash=0.5,crash_at=3")
+    a0 = plan.for_worker("w0")
+    b0 = plan.for_worker("w1")
+    a1 = plan.for_worker("w0", generation=1)
+    assert len({plan.seed, a0.seed, b0.seed, a1.seed}) == 4
+    assert a0.crash_at == plan.crash_at == (3,)
+    assert a0.crash == plan.crash
+
+
+# ---------------------------------------------------------------------------
+# end to end: fleet == serial, faults and all
+# ---------------------------------------------------------------------------
+
+def wait_for_workers(coord, n, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while (coord.dispatcher.live_workers() < n
+           and time.monotonic() < deadline):
+        time.sleep(0.02)
+    assert coord.dispatcher.live_workers() >= 1
+
+
+def test_fleet_tune_bit_identical_to_serial():
+    ref = serial_reference()
+    coord = Coordinator(options=ServeOptions(lease_size=8)).start()
+    fleet = LocalFleet("127.0.0.1", coord.port, 2).start()
+    try:
+        wait_for_workers(coord, 2)
+        res = submit_and_wait(("127.0.0.1", coord.port), {
+            "kind": "tune", "op": "gmm", "channels": 8, "size": 16,
+            "budget": 48, "seed": 0, "machine": "intel_cpu",
+        }, timeout=120)
+        assert res["ok"]
+        assert res["best_latency"] == ref.best_latency
+        assert res["measurements"] == ref.measurements
+        assert coord.dispatcher.counters["leases_completed"] > 0
+    finally:
+        coord.stop()
+        fleet.stop()
+
+
+def test_zero_worker_fleet_degrades_to_serial():
+    ref = serial_reference()
+    coord = Coordinator(options=ServeOptions(degrade_wait_s=0.05)).start()
+    try:
+        res = submit_and_wait(("127.0.0.1", coord.port), {
+            "kind": "tune", "op": "gmm", "channels": 8, "size": 16,
+            "budget": 48, "seed": 0, "machine": "intel_cpu",
+        }, timeout=120)
+        assert res["ok"]
+        assert res["best_latency"] == ref.best_latency
+        assert res["measurements"] == ref.measurements
+        assert coord.dispatcher.degraded
+        assert coord.dispatcher.counters["degraded_batches"] > 0
+    finally:
+        coord.stop()
+
+
+@pytest.mark.slow
+def test_chaos_fleet_bit_identical_and_observable(tmp_path):
+    """Crashing, hanging and erroring workers force retries/evictions but
+    never change a single measured value; the run registry captures the
+    lease log and an alert-free health file."""
+    ref = serial_reference()
+    store = str(tmp_path / "runs")
+    coord = Coordinator(
+        store_root=store,
+        options=ServeOptions(lease_size=8, lease_timeout_s=2.0),
+    ).start()
+    fleet = LocalFleet(
+        "127.0.0.1", coord.port, 3,
+        fault_spec="seed=7,crash=0.05,timeout=0.05,oserror=0.05,hang=0.4",
+    ).start()
+    try:
+        wait_for_workers(coord, 3)
+        res = submit_and_wait(("127.0.0.1", coord.port), {
+            "kind": "tune", "op": "gmm", "channels": 8, "size": 16,
+            "budget": 48, "seed": 0, "machine": "intel_cpu",
+        }, timeout=200)
+        assert res["ok"]
+        assert res["best_latency"] == ref.best_latency
+        assert res["measurements"] == ref.measurements
+    finally:
+        coord.stop()
+        fleet.stop()
+    run_dir = os.path.join(store, sorted(os.listdir(store))[-1])
+    health = json.load(open(os.path.join(run_dir, "health.json")))
+    assert health["status"] == "ok"
+    assert not health.get("alerts")
+    assert health["progress"]["workers"]["live"] >= 1
+    rows = [json.loads(line) for line in
+            open(os.path.join(run_dir, "leases.jsonl"))]
+    events = {r["event"] for r in rows}
+    assert "dispatch" in events and "complete" in events
+    assert all(r["worker"] for r in rows if r["event"] == "dispatch")
+
+
+@pytest.mark.slow
+def test_serve_resume_bit_identical(tmp_path):
+    """SIGKILL the coordinator mid-job; --resume finishes the run from its
+    checkpoint with exactly the serial tuner's numbers."""
+    ref = serial_reference(budget=200, seed=3)
+    store = str(tmp_path / "runs")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_ROOT + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "start", "--store", store,
+         "--workers", "2", "--device-ms", "2"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    try:
+        line = proc.stdout.readline()
+        port = int(re.search(r":(\d+)\s*$", line.strip()).group(1))
+        sock = socket.create_connection(("127.0.0.1", port), timeout=10)
+        protocol.send_frame(sock, protocol.hello("client"))
+        assert protocol.recv_frame(sock)["type"] == protocol.WELCOME
+        protocol.send_frame(sock, {"type": protocol.SUBMIT, "job": {
+            "kind": "tune", "op": "gmm", "channels": 8, "size": 16,
+            "budget": 200, "seed": 3, "machine": "intel_cpu",
+        }})
+        assert protocol.recv_frame(sock)["ok"]
+        # wait until at least one checkpointed round exists, then murder
+        run_dir = None
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            runs = sorted(os.listdir(store)) if os.path.isdir(store) else []
+            if runs:
+                candidate = os.path.join(store, runs[-1])
+                if os.path.exists(os.path.join(candidate, "checkpoint.pkl")):
+                    run_dir = candidate
+                    break
+            time.sleep(0.1)
+        assert run_dir is not None, "no checkpoint appeared before timeout"
+        time.sleep(1.0)  # a few more rounds mid-flight
+        sock.close()
+    finally:
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=10)
+    manifest = json.load(open(os.path.join(run_dir, "manifest.json")))
+    assert manifest["status"] == "running"  # dirty: the crash left it live
+    out = subprocess.run(
+        [sys.executable, "-m", "repro", "serve", "start", "--store", store,
+         "--workers", "2", "--resume", "--max-jobs", "1"],
+        env=env, capture_output=True, text=True, timeout=300,
+    )
+    assert out.returncode == 0, out.stderr[-2000:]
+    assert "re-enqueued 1" in out.stdout
+    manifest = json.load(open(os.path.join(run_dir, "manifest.json")))
+    assert manifest["status"] == "completed"
+    assert manifest["resumes"] == 1
+    task = json.load(open(os.path.join(run_dir, "result.json")))
+    gmm = task["tasks"]["gmm"]
+    assert gmm["best_latency"] == ref.best_latency
+    assert gmm["measurements"] == ref.measurements
+
+
+def test_quarantine_after_max_retries():
+    """A lease that can never complete (its only worker eats it and dies,
+    repeatedly) ends up quarantined as inf instead of hanging the batch."""
+    dispatcher = FleetDispatcher(ServeOptions(
+        lease_size=4, max_lease_retries=2, backoff_s=0.01,
+        degrade_wait_s=0.2,
+    ))
+    stop = threading.Event()
+
+    def devourer():
+        gen = 0
+        while not stop.is_set():
+            end = scripted_worker(dispatcher, f"eater{gen}")
+            try:
+                frame = protocol.recv_frame(end)
+            except (protocol.ProtocolError, OSError):
+                continue
+            if frame is None:
+                continue
+            end.close()  # crash with the lease in its teeth
+            gen += 1
+
+    thread = threading.Thread(target=devourer, daemon=True)
+    thread.start()
+    task = TuningTask(
+        _single_op("gmm", 8, 16), MACHINE,
+        measure=MeasureOptions(jobs=1, cache_dir=None,
+                               dispatcher=dispatcher),
+    )
+    try:
+        out, leftover = dispatcher.evaluate(
+            task.measurer, bench_candidates(4), [0, 1, 2, 3]
+        )
+    finally:
+        stop.set()
+    if leftover:  # the fleet collapsed first: serial fallback owns the rest
+        assert dispatcher.counters["degraded_batches"] >= 1
+    else:
+        assert dispatcher.counters["lease_quarantined"] >= 1
+        assert all(math.isinf(v) for v in out.values())
+    assert task.measurer.metrics.counter("measure.quarantined").value >= 0
+
+
+# ---------------------------------------------------------------------------
+# Fleet observability: the `workers` watch rule and the lease log
+# ---------------------------------------------------------------------------
+
+class TestFleetWatchRules:
+    """The watchdog's view of a fleet, driven with synthetic trace events."""
+
+    @staticmethod
+    def _ev(name, **attrs):
+        return {"kind": "event", "name": name, "ts": 0.0, "span": None,
+                "attrs": attrs}
+
+    def _fleet_state(self, workers=2):
+        state = WatchState()
+        for i in range(workers):
+            state.feed(self._ev("worker_registered", worker=f"w{i}"))
+        return state
+
+    def test_quiet_without_a_fleet(self):
+        # single-process runs never registered a worker: the rule is inert
+        state = WatchState()
+        for _ in range(10):
+            state.feed(self._ev("lease_retry"))
+        health = evaluate(state, run_status=STATUS_RUNNING)
+        assert health["alerts"] == []
+        assert health["progress"]["workers"]["registrations"] == 0
+
+    def test_empty_fleet_is_critical_only_while_live(self):
+        state = self._fleet_state(workers=2)
+        for i in range(2):
+            state.feed(self._ev("worker_evicted", worker=f"w{i}"))
+        state.feed(self._ev("fleet_degraded"))
+        health = evaluate(state, run_status=STATUS_RUNNING)
+        (alert,) = health["alerts"]
+        assert alert["rule"] == "workers" and alert["severity"] == "critical"
+        assert alert["data"]["live"] == 0 and alert["data"]["degraded"]
+        # a finished run with a drained fleet is not an incident
+        assert evaluate(state, run_status="completed")["alerts"] == []
+        # re-admission heals the alert and clears the degraded flag
+        state.feed(self._ev("worker_registered", worker="w0"))
+        state.feed(self._ev("fleet_restored"))
+        health = evaluate(state, run_status=STATUS_RUNNING)
+        assert health["alerts"] == []
+        assert not state.fleet_degraded
+
+    def test_lease_retry_storm_warns_and_window_recovers(self):
+        state = self._fleet_state(workers=1)
+        for _ in range(6):
+            state.feed(self._ev("lease_dispatch"))
+        for _ in range(4):
+            state.feed(self._ev("lease_retry"))
+        (alert,) = evaluate(state)["alerts"]
+        assert alert["rule"] == "workers" and alert["severity"] == "warn"
+        assert alert["data"]["recent"] == 4
+        # a long clean stretch pushes the storm out of the window
+        for _ in range(40):
+            state.feed(self._ev("lease_dispatch"))
+        assert evaluate(state)["alerts"] == []
+        assert state.lease_retries == 4  # totals are forever
+
+    def test_progress_payload_and_frame(self):
+        state = self._fleet_state(workers=3)
+        state.feed(self._ev("worker_evicted", worker="w2"))
+        for _ in range(5):
+            state.feed(self._ev("lease_dispatch"))
+        for _ in range(4):
+            state.feed(self._ev("lease_complete"))
+        state.feed(self._ev("lease_retry"))
+        state.feed(self._ev("lease_quarantined"))
+        health = evaluate(state)
+        w = health["progress"]["workers"]
+        assert w["registrations"] == 3 and w["evictions"] == 1
+        assert w["live"] == 2 and w["seen"] == 3
+        assert w["leases_dispatched"] == 5
+        assert w["leases_completed"] == 4
+        assert w["lease_retries"] == 1
+        assert w["lease_quarantined"] == 1
+        frame = render_watch_frame(state, health, title="fleet")
+        assert "fleet" in frame and "2 live / 3 seen" in frame
+        assert "leases 4/5" in frame and "1 retried" in frame
+        state.feed(self._ev("fleet_degraded"))
+        frame = render_watch_frame(state, evaluate(state), title="fleet")
+        assert "DEGRADED" in frame
+
+
+class TestLeaseLog:
+    def test_run_record_leases_skips_garbage(self, tmp_path):
+        run = os.path.join(str(tmp_path), "r1")
+        os.makedirs(run)
+        rows = [
+            {"event": "dispatch", "lease": 1, "worker": "w0"},
+            {"event": "complete", "lease": 1, "worker": "w0"},
+        ]
+        with open(os.path.join(run, LEASES_FILE), "w") as f:
+            for row in rows:
+                f.write(json.dumps(row) + "\n")
+            f.write("\n{not json\n")
+        rec = RunRecord(run)
+        assert rec.leases == rows
+
+    def test_run_record_without_lease_log(self, tmp_path):
+        run = os.path.join(str(tmp_path), "r2")
+        os.makedirs(run)
+        assert RunRecord(run).leases == []
