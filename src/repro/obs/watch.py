@@ -484,8 +484,12 @@ def evaluate(
                 live=0, evicted=state.workers_evicted_total,
                 degraded=state.fleet_degraded,
             ))
+        # one window for numerator and denominator: early in a run the
+        # window clamps to the dispatch count, and counting retries over
+        # the full rules window while dividing by the clamp would inflate
+        # the rate past its documented retries-per-dispatch meaning
         window = min(rules.workers_window, max(state.leases_dispatched, 1))
-        recent_retries = state.recent_lease_retries(rules.workers_window)
+        recent_retries = state.recent_lease_retries(window)
         retry_rate = recent_retries / window
         if recent_retries >= rules.workers_retry_min and \
                 retry_rate > rules.workers_retry_rate:

@@ -202,6 +202,12 @@ class FleetDispatcher:
         self._stats: Dict[str, Dict[str, int]] = {}
         self._lease_seq = itertools.count(1)
         self._active: Dict[int, _Lease] = {}
+        #: idempotency keys completed in the *current* batch only; cleared
+        #: when evaluate() finishes.  Keys are deterministic hashes of
+        #: (task fingerprint, candidate keys), so a second job with the
+        #: same op/seed/machine regenerates them -- a lifetime set would
+        #: drop every fresh completion of the repeat job as a duplicate
+        #: (and grow without bound in a long-running daemon)
         self._completed_keys: set = set()
         self._degraded = False  # sticky until a worker (re-)registers
         self._measurer = None  # bound while a job's evaluate() runs
@@ -334,13 +340,23 @@ class FleetDispatcher:
             reason = f"protocol: {exc}"
         except OSError:
             reason = "socket"
+        except Exception as exc:  # a bad frame must never leak the thread
+            reason = f"receiver error: {exc!r}"
+            log.warning("serve: receiver for %s died: %r", worker.name, exc)
         with self._cond:
             if worker.alive:
                 self._evict_locked(worker, reason)
 
+    @staticmethod
+    def _lease_id(frame: Dict[str, Any]) -> Optional[int]:
+        """Lease ids are ints; anything else (e.g. an unhashable JSON
+        array from a broken worker) is treated as an unknown lease."""
+        lease_id = frame.get("lease")
+        return lease_id if isinstance(lease_id, int) else None
+
     def _on_lease_result(self, worker: _WorkerHandle,
                          frame: Dict[str, Any]) -> None:
-        lease_id = frame.get("lease")
+        lease_id = self._lease_id(frame)
         raw = frame.get("latencies")
         latencies = [
             float(v) if v is not None else math.inf
@@ -396,7 +412,7 @@ class FleetDispatcher:
 
     def _on_lease_error(self, worker: _WorkerHandle,
                         frame: Dict[str, Any]) -> None:
-        lease_id = frame.get("lease")
+        lease_id = self._lease_id(frame)
         kind = str(frame.get("kind") or "WorkerError")
         message = str(frame.get("message") or "")
         with self._cond:
@@ -520,6 +536,7 @@ class FleetDispatcher:
             with self._cond:
                 for lease in leases:
                     self._active.pop(lease.id, None)
+                self._completed_keys.clear()
                 self._measurer = None
                 self._drain_events_locked()
 
@@ -984,6 +1001,11 @@ class Coordinator:
             pass
 
     def _client_loop(self, conn: socket.socket) -> None:
+        # the runner thread sends JOB_RESULT on this same socket while this
+        # loop may be answering STATUS; a shared lock keeps the
+        # length-prefixed frame stream whole (workers get theirs in
+        # _WorkerHandle.send_lock)
+        send_lock = threading.Lock()
         while not self._stop.is_set():
             try:
                 frame = protocol.recv_frame(conn)
@@ -994,14 +1016,17 @@ class Coordinator:
                 break
             kind = frame.get("type")
             if kind == protocol.SUBMIT:
-                self._handle_submit(conn, frame)
+                self._handle_submit(conn, send_lock, frame)
             elif kind == protocol.STATUS:
-                protocol.send_frame(conn, {
-                    "type": protocol.STATUS_REPLY, "status": self.status(),
-                })
+                with send_lock:
+                    protocol.send_frame(conn, {
+                        "type": protocol.STATUS_REPLY,
+                        "status": self.status(),
+                    })
             elif kind == protocol.SHUTDOWN:
-                protocol.send_frame(conn, {"type": protocol.SHUTDOWN,
-                                           "ok": True})
+                with send_lock:
+                    protocol.send_frame(conn, {"type": protocol.SHUTDOWN,
+                                               "ok": True})
                 self.stop()
                 break
         try:
@@ -1009,22 +1034,24 @@ class Coordinator:
         except OSError:
             pass
 
-    def _handle_submit(self, conn: socket.socket,
+    def _handle_submit(self, conn: socket.socket, send_lock: threading.Lock,
                        frame: Dict[str, Any]) -> None:
         job = frame.get("job")
         error = self._validate_job(job)
         if error is not None:
-            protocol.send_frame(conn, {
-                "type": protocol.JOB_QUEUED, "ok": False, "error": error,
-            })
+            with send_lock:
+                protocol.send_frame(conn, {
+                    "type": protocol.JOB_QUEUED, "ok": False, "error": error,
+                })
             return
         job_id = f"job-{next(self._job_seq)}"
         self._jobs.put({"job": dict(job), "conn": conn, "job_id": job_id,
-                        "restore": None, "rec": None})
-        protocol.send_frame(conn, {
-            "type": protocol.JOB_QUEUED, "ok": True, "job_id": job_id,
-            "position": self._jobs.qsize(),
-        })
+                        "send_lock": send_lock, "restore": None, "rec": None})
+        with send_lock:
+            protocol.send_frame(conn, {
+                "type": protocol.JOB_QUEUED, "ok": True, "job_id": job_id,
+                "position": self._jobs.qsize(),
+            })
 
     @staticmethod
     def _validate_job(job: Any) -> Optional[str]:
@@ -1068,11 +1095,13 @@ class Coordinator:
             self._jobs_done += 1
             conn = item.get("conn")
             if conn is not None:
+                send_lock = item.get("send_lock") or threading.Lock()
                 try:
-                    protocol.send_frame(conn, {
-                        "type": protocol.JOB_RESULT,
-                        "job_id": item["job_id"], **result,
-                    })
+                    with send_lock:
+                        protocol.send_frame(conn, {
+                            "type": protocol.JOB_RESULT,
+                            "job_id": item["job_id"], **result,
+                        })
                 except (OSError, protocol.ProtocolError):
                     pass  # client went away; the run registry has the result
             if self.max_jobs is not None and self._jobs_done >= self.max_jobs:

@@ -202,6 +202,38 @@ def test_bad_job_refused():
         coord.stop()
 
 
+def test_client_socket_multiplexes_status_and_result():
+    """Status polls and the job result share one client socket; the
+    per-client send lock must keep the frame stream parseable while the
+    runner and the client loop send concurrently."""
+    coord = coordinator()  # no workers: degrades to local serial
+    try:
+        sock = raw_connect(coord.port)
+        protocol.send_frame(sock, protocol.hello("client"))
+        assert protocol.recv_frame(sock)["type"] == protocol.WELCOME
+        protocol.send_frame(sock, {"type": protocol.SUBMIT, "job": {
+            "kind": "tune", "op": "gmm", "channels": 8, "size": 16,
+            "budget": 32, "seed": 0, "machine": "intel_cpu",
+        }})
+        queued = protocol.recv_frame(sock)
+        assert queued["type"] == protocol.JOB_QUEUED and queued["ok"]
+        result = None
+        deadline = time.monotonic() + 120
+        while result is None and time.monotonic() < deadline:
+            protocol.send_frame(sock, {"type": protocol.STATUS})
+            frame = protocol.recv_frame(sock)  # raises on a torn stream
+            assert frame is not None
+            if frame["type"] == protocol.JOB_RESULT:
+                result = frame
+            else:
+                assert frame["type"] == protocol.STATUS_REPLY
+                time.sleep(0.005)
+        assert result is not None and result["ok"]
+        sock.close()
+    finally:
+        coord.stop()
+
+
 # ---------------------------------------------------------------------------
 # dispatcher robustness: duplicates, stale results, degradation healing
 # ---------------------------------------------------------------------------
@@ -286,6 +318,58 @@ def test_duplicate_lease_completion_is_deduped():
         time.sleep(0.01)
     assert dispatcher.counters["duplicate_completions"] == 1
     assert dispatcher.live_workers() == 1  # nobody got evicted over it
+    worker_end.close()
+
+
+def test_repeat_job_with_identical_candidates_is_not_deduped():
+    """Idempotency keys are deterministic hashes of (task, candidates), so
+    a second identical batch (a client retry, a repeat job) regenerates
+    them; the dedup set must be scoped per batch or every completion of
+    the repeat is dropped as a 'duplicate' and the batch stalls out."""
+    dispatcher = FleetDispatcher(ServeOptions(lease_size=8))
+    worker_end = scripted_worker(dispatcher, "fw")
+    for _ in range(2):
+        thread, holder, lease_frame = dispatch_one_lease(
+            dispatcher, worker_end)
+        protocol.send_frame(worker_end, {
+            "type": protocol.LEASE_RESULT, "lease": lease_frame["lease"],
+            "worker": "fw", "latencies": [0.001, 0.002, 0.003, 0.004],
+            "faults": {},
+        })
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert holder["out"] == {0: 0.001, 1: 0.002, 2: 0.003, 3: 0.004}
+        assert holder["leftover"] == []
+    assert dispatcher.counters["leases_completed"] == 2
+    assert dispatcher.counters["duplicate_completions"] == 0
+    assert not dispatcher._completed_keys  # no unbounded daemon growth
+    worker_end.close()
+
+
+def test_malformed_lease_id_does_not_kill_receiver():
+    """A worker frame whose lease id is a JSON array/object (unhashable)
+    must be dropped as unknown, not raise inside the receiver thread --
+    a dead receiver leaves the worker a zombie until heartbeat timeout."""
+    dispatcher = FleetDispatcher(ServeOptions(lease_size=8))
+    worker_end = scripted_worker(dispatcher, "fw")
+    thread, holder, lease_frame = dispatch_one_lease(dispatcher, worker_end)
+    protocol.send_frame(worker_end, {
+        "type": protocol.LEASE_RESULT, "lease": [1, 2],
+        "latencies": [0.001], "faults": {},
+    })
+    protocol.send_frame(worker_end, {
+        "type": protocol.LEASE_ERROR, "lease": {"id": 1}, "kind": "X",
+    })
+    # the real completion still lands on the same, live connection
+    protocol.send_frame(worker_end, {
+        "type": protocol.LEASE_RESULT, "lease": lease_frame["lease"],
+        "worker": "fw", "latencies": [0.001, 0.002, 0.003, 0.004],
+        "faults": {},
+    })
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+    assert holder["out"][0] == 0.001
+    assert dispatcher.live_workers() == 1
     worker_end.close()
 
 
