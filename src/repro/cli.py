@@ -114,6 +114,21 @@ def _single_op(kind: str, channels: int, size: int):
             Tensor("ker", (channels, channels, 3, 3, 3)),
             name="c3d",
         )
+    if kind == "grp":
+        groups = 2 if channels % 2 == 0 else 1
+        return conv2d(
+            Tensor("inp", (1, channels, size + 2, size + 2)),
+            Tensor("ker", (channels, channels // groups, 3, 3)),
+            groups=groups,
+            name="grp",
+        )
+    if kind == "dil":
+        return conv2d(
+            Tensor("inp", (1, channels, size + 4, size + 4)),
+            Tensor("ker", (channels, channels, 3, 3)),
+            dilation=2,
+            name="dil",
+        )
     if kind == "gmm":
         return gemm(
             Tensor("a", (size, size)), Tensor("b", (size, size)), name="gmm"
@@ -1160,6 +1175,110 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def _fuzz_oracle_options(args):
+    from .testing.oracle import OracleOptions
+
+    return OracleOptions(
+        machine=args.machine,
+        compile_budget=args.budget,
+        tune_budget=args.tune_budget,
+    )
+
+
+def _fuzz_checks(args):
+    from .testing.oracle import DEFAULT_CHECKS
+
+    if not args.checks:
+        return DEFAULT_CHECKS
+    checks = tuple(c.strip() for c in args.checks.split(",") if c.strip())
+    for c in checks:
+        if c not in DEFAULT_CHECKS:
+            raise SystemExit(
+                f"unknown check {c!r}; choose from {','.join(DEFAULT_CHECKS)}"
+            )
+    return checks
+
+
+def cmd_fuzz(args) -> int:
+    from .testing.fuzz import export_corpus, replay_failure, run_fuzz
+    from .testing.generator import GraphSpec
+
+    opts = _fuzz_oracle_options(args)
+    families = (
+        tuple(f.strip() for f in args.families.split(",") if f.strip())
+        if args.families else None
+    )
+
+    if args.action == "corpus":
+        if not args.out:
+            raise SystemExit("fuzz corpus needs --out FILE")
+        summary = export_corpus(
+            args.out, seeds=args.seeds, start=args.start,
+            samples_per_task=args.samples, options=opts,
+            max_ops=args.max_ops, families=families,
+            progress=lambda i, n: log.info(
+                "corpus: %d/%d seeds, %d task classes", i, args.seeds, n
+            ) if i % 25 == 0 else None,
+        )
+        print(
+            f"corpus: {summary['tasks']} task classes, "
+            f"{summary['samples']} measured samples from "
+            f"{summary['seeds']} seeds -> {summary['path']}"
+        )
+        return 0
+
+    if args.action == "replay":
+        if not args.spec:
+            raise SystemExit("fuzz replay needs --spec FILE")
+        with open(args.spec) as f:
+            payload = json.load(f)
+        if payload.get("kind") == "fuzz_failure":
+            report = replay_failure(payload, opts)
+            spec = GraphSpec.from_dict(payload["spec"])
+        else:  # a bare spec JSON: run the full oracle on it
+            from .testing.oracle import run_oracle
+
+            spec = GraphSpec.from_dict(payload)
+            report = run_oracle(spec, _fuzz_checks(args), opts)
+        print(f"replayed {spec!r} (hash {spec.spec_hash()[:12]})")
+        for failure in report.failures:
+            print(f"  [{failure.check}] {failure.node}: {failure.message}")
+        if report.failures:
+            print(f"{len(report.failures)} failure(s) reproduced")
+            return 1
+        print("no failures: spec passes the oracle now")
+        return 0
+
+    store = RunStore(args.run_store) if args.run_store else None
+    checks = _fuzz_checks(args)
+
+    def progress(i, seed, n_failures):
+        if i % 25 == 0:
+            log.info("fuzz: %d seeds done (last %d), %d failures",
+                     i, seed, n_failures)
+
+    result = run_fuzz(
+        seeds=args.seeds, start=args.start,
+        soak_s=args.soak * 60.0 if args.soak is not None else None,
+        checks=checks, options=opts, store=store,
+        minimize=not args.no_minimize, fail_fast=args.fail_fast,
+        max_ops=args.max_ops, families=families, progress=progress,
+    )
+    print(
+        f"fuzz: {result.seeds_run} seeds, {len(result.failures)} failures "
+        f"in {result.duration_s:.1f}s (checks: {','.join(checks)})"
+    )
+    for payload in result.failures:
+        print(
+            f"  seed {payload['seed']} [{payload['check']}] "
+            f"{payload['node']}: {payload['message']} "
+            f"(minimized to {len(payload['spec']['ops'])} ops)"
+        )
+    if result.run_path:
+        print(f"run recorded: {result.run_path}")
+    return 1 if result.failures else 0
+
+
 def cmd_machines(_args) -> int:
     for name in sorted(PRESETS):
         m = get_machine(name)
@@ -1517,7 +1636,7 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[measure_flags],
     )
     p.add_argument("op", nargs="?", default=None,
-                   choices=["c2d", "dep", "c1d", "c3d", "gmm"])
+                   choices=["c2d", "dep", "grp", "dil", "c1d", "c3d", "gmm"])
     p.add_argument("--model", default=None, metavar="NET",
                    help="tune a whole model-zoo network instead of one "
                         "operator: deduplicated weighted tasks share the "
@@ -1897,6 +2016,54 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--out", default="BENCH_serve_scaling.json",
                     help="bench JSON output ('' disables)")
     sp.set_defaults(fn=cmd_serve_bench)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="seeded random-workload fuzzing: differential-oracle seed "
+             "sweeps and soaks, failure replay, cost-model corpus export",
+    )
+    p.add_argument("action", nargs="?", default="run",
+                   choices=["run", "corpus", "replay"],
+                   help="run: sweep seeds through the oracle (default); "
+                        "corpus: export generated tasks as pretraining "
+                        "data; replay: re-run a recorded failure spec")
+    p.add_argument("--seeds", type=int, default=200, metavar="N",
+                   help="number of consecutive generator seeds (default 200)")
+    p.add_argument("--start", type=int, default=0, metavar="SEED",
+                   help="first generator seed (default 0)")
+    p.add_argument("--soak", type=float, default=None, metavar="MINS",
+                   help="run until the wall clock expires instead of a "
+                        "fixed seed count")
+    p.add_argument("--budget", type=int, default=48,
+                   help="tuning budget of the numerics-check compile "
+                        "(default 48)")
+    p.add_argument("--tune-budget", type=int, default=96,
+                   help="budget of the tuned-never-loses scheduler run "
+                        "(default 96)")
+    p.add_argument("--machine", default="intel_cpu")
+    p.add_argument("--checks", default=None, metavar="LIST",
+                   help="comma list from numerics,propagation,tuned "
+                        "(default: all)")
+    p.add_argument("--max-ops", type=int, default=6, metavar="N",
+                   help="max follow-on ops per generated graph (default 6)")
+    p.add_argument("--families", default=None, metavar="LIST",
+                   help="comma list of generator families "
+                        "(image,matrix,seq,conv1d,volume)")
+    p.add_argument("--run-store", default=None, metavar="DIR",
+                   help="record the sweep (and every minimized failure "
+                        "spec) into this run registry")
+    p.add_argument("--no-minimize", action="store_true",
+                   help="record failures without shrinking their specs")
+    p.add_argument("--fail-fast", action="store_true",
+                   help="stop the sweep at the first failing seed")
+    p.add_argument("--spec", default=None, metavar="FILE",
+                   help="replay: a recorded failure JSON (or bare spec)")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="corpus: destination JSONL file")
+    p.add_argument("--samples", type=int, default=8, metavar="N",
+                   help="corpus: measured candidates per task class "
+                        "(default 8)")
+    p.set_defaults(fn=cmd_fuzz)
 
     p = sub.add_parser("machines", help="list simulated machines")
     p.set_defaults(fn=cmd_machines)

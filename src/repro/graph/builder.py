@@ -79,14 +79,31 @@ class GraphBuilder:
         )
 
     def depthwise_conv2d(
-        self, x: Tensor, kernel: int, stride: int = 1, pad: Optional[int] = None
+        self, x: Tensor, kernel: int, stride: int = 1, pad: Optional[int] = None,
+        dilation: int = 1,
     ) -> Tensor:
         if pad is None:
-            pad = (kernel - 1) // 2
+            pad = ((kernel - 1) * dilation) // 2
         x = self.pad(x, (pad, pad))
         ker = self.const("dw", (x.shape[1], kernel, kernel))
         return self._emit(
-            conv_ops.depthwise_conv2d(x, ker, stride=stride, name=self._name("dwconv"))
+            conv_ops.depthwise_conv2d(
+                x, ker, stride=stride, dilation=dilation, name=self._name("dwconv")
+            )
+        )
+
+    def conv1d(
+        self, x: Tensor, out_channels: int, kernel: int, stride: int = 1,
+        pad: Optional[int] = None, dilation: int = 1,
+    ) -> Tensor:
+        if pad is None:
+            pad = ((kernel - 1) * dilation) // 2
+        x = self.pad(x, (pad,))
+        ker = self.const("w1", (out_channels, x.shape[1], kernel))
+        return self._emit(
+            conv_ops.conv1d(
+                x, ker, stride=stride, dilation=dilation, name=self._name("conv1d")
+            )
         )
 
     def conv3d(
@@ -151,6 +168,12 @@ class GraphBuilder:
         x = self.pad(x, (pad, pad))
         return self._emit(
             pool_ops.max_pool2d(x, window, stride, name=self._name("maxpool"))
+        )
+
+    def avg_pool2d(self, x: Tensor, window: int, stride: int, pad: int = 0) -> Tensor:
+        x = self.pad(x, (pad, pad))
+        return self._emit(
+            pool_ops.avg_pool2d(x, window, stride, name=self._name("avgpool"))
         )
 
     def global_avg_pool(self, x: Tensor) -> Tensor:

@@ -60,6 +60,10 @@ CHECKPOINT_FILE = "checkpoint.pkl"
 #: latest watchdog verdict (``repro.obs.watch`` schema: status ok/alert,
 #: active alerts, progress/ETA); rewritten atomically as the run tunes
 HEALTH_FILE = "health.json"
+#: subdirectory of minimized, replayable fuzz-failure records (one JSON per
+#: failing spec: seed, graph-spec JSON, violated check, message); written by
+#: ``repro fuzz`` and replayable with ``repro fuzz replay --spec``
+FAILURES_DIR = "failures"
 
 #: run lifecycle states recorded in the manifest.  ``begin`` writes
 #: ``running``; exit flips it to ``completed``/``failed``.  A run that still
@@ -165,6 +169,20 @@ class RunWriter:
         self.manifest["status"] = STATUS_RUNNING
         _write_json(os.path.join(self.path, MANIFEST_FILE), self.manifest)
         return self
+
+    def record_failure(self, payload: Dict) -> str:
+        """Persist one replayable fuzz-failure record; returns its path.
+
+        Records are numbered in arrival order and written atomically, so a
+        crashed sweep still leaves every failure it found replayable.
+        """
+        fdir = os.path.join(self.path, FAILURES_DIR)
+        os.makedirs(fdir, exist_ok=True)
+        n = len([e for e in os.listdir(fdir) if e.endswith(".json")])
+        check = _slug(str(payload.get("check", "failure")))
+        path = os.path.join(fdir, f"{n:04d}-{check}.json")
+        _write_json(path, payload)
+        return path
 
     def fail(self, error: Optional[str] = None) -> None:
         """Mark the run ``failed`` (the exception path of the CLI)."""
@@ -384,6 +402,25 @@ class RunRecord:
         except OSError:
             pass
         return rows
+
+    @property
+    def failures(self) -> List[Dict]:
+        """Replayable fuzz-failure records of this run ([] otherwise)."""
+        fdir = os.path.join(self.path, FAILURES_DIR)
+        out: List[Dict] = []
+        try:
+            names = sorted(os.listdir(fdir))
+        except OSError:
+            return out
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            try:
+                with open(os.path.join(fdir, name)) as f:
+                    out.append(json.load(f))
+            except (OSError, ValueError):
+                continue
+        return out
 
     @property
     def trace_path(self) -> str:

@@ -1,0 +1,32 @@
+"""Operator factories, re-exported by family.
+
+Each factory returns a :class:`~repro.ir.compute.ComputeDef`; see the
+family modules for semantics.  The flat namespace here is what the workload
+generator (:mod:`repro.testing.generator`) and external callers enumerate.
+"""
+
+from .conv import conv1d, conv2d, conv3d, depthwise_conv2d  # noqa: F401
+from .elementwise import (  # noqa: F401
+    add,
+    bias_add_channel,
+    bias_add_last,
+    gelu,
+    identity,
+    multiply,
+    relu,
+    relu6,
+    scale_shift,
+    sigmoid,
+    tanh,
+)
+# NOTE: the plain ``gemm`` *function* is deliberately not re-exported: the
+# name must keep resolving to the ``repro.ops.gemm`` submodule (importers
+# use ``from ..ops import gemm as gemm_ops``); reach it via ``gemm.gemm``.
+from .gemm import batch_gemm, dense  # noqa: F401
+from .pool import avg_pool2d, global_avg_pool, max_pool2d  # noqa: F401
+from .reduce import layer_norm_last, softmax_last  # noqa: F401
+from .transform import (  # noqa: F401
+    layout_conversion,
+    pad_spatial,
+    zero_stuff,
+)

@@ -8,6 +8,7 @@ frames (:mod:`repro.serve.protocol`) can drive the daemon directly.
 from __future__ import annotations
 
 import socket
+import time
 from typing import Any, Dict, Optional, Tuple
 
 from . import protocol
@@ -21,20 +22,41 @@ def parse_addr(spec: str) -> Tuple[str, int]:
     return (host or "127.0.0.1", int(port))
 
 
-def connect(addr: Tuple[str, int], timeout: float = 10.0) -> socket.socket:
-    """Open a client connection and complete the hello/welcome handshake."""
-    sock = socket.create_connection(addr, timeout=timeout)
-    try:
-        protocol.send_frame(sock, protocol.hello("client"))
-        reply = protocol.recv_frame(sock)
-        if reply is None or reply.get("type") != protocol.WELCOME:
-            reason = (reply or {}).get("reason", "connection closed")
-            raise ConnectionError(f"coordinator rejected client: {reason}")
-        sock.settimeout(None)
-        return sock
-    except BaseException:
-        sock.close()
-        raise
+def connect(
+    addr: Tuple[str, int],
+    timeout: float = 10.0,
+    retries: int = 0,
+    retry_delay: float = 0.2,
+) -> socket.socket:
+    """Open a client connection and complete the hello/welcome handshake.
+
+    ``retries`` extra attempts are made when the TCP connect itself fails
+    (coordinator not up yet / transient refusal), with exponential backoff
+    starting at ``retry_delay`` seconds.  Handshake rejections and protocol
+    errors are **not** retried: the daemon is reachable and said no --
+    retrying would just repeat the answer.
+    """
+    attempt = 0
+    while True:
+        try:
+            sock = socket.create_connection(addr, timeout=timeout)
+        except OSError:
+            if attempt >= retries:
+                raise
+            time.sleep(retry_delay * (2 ** attempt))
+            attempt += 1
+            continue
+        try:
+            protocol.send_frame(sock, protocol.hello("client"))
+            reply = protocol.recv_frame(sock)
+            if reply is None or reply.get("type") != protocol.WELCOME:
+                reason = (reply or {}).get("reason", "connection closed")
+                raise ConnectionError(f"coordinator rejected client: {reason}")
+            sock.settimeout(None)
+            return sock
+        except BaseException:
+            sock.close()
+            raise
 
 
 def submit_and_wait(

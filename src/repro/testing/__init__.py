@@ -1,0 +1,42 @@
+"""Seeded workload generation and differential fuzzing.
+
+The paper validates ALT on four fixed networks; this package turns the
+whole compile -> propagate -> tune -> execute pipeline into something that
+can be exercised on *thousands* of generated workloads:
+
+- :mod:`repro.testing.generator` -- a seeded random graph generator
+  emitting operator chains/DAGs over every op family (gemm, conv including
+  the depthwise/grouped/dilated variants, pool, reduce, elementwise,
+  transform) as replayable, JSON-serializable :class:`GraphSpec`\\ s;
+- :mod:`repro.testing.oracle` -- the differential oracle: compiled-vs-
+  reference numerics node by node, propagation invariants (zero
+  conversions on pure elementwise chains, fusion preserved, complex-op
+  barriers), and tuned-never-loses-to-untuned via a micro-budget
+  scheduler run;
+- :mod:`repro.testing.fuzz` -- the harness behind ``repro fuzz``: seed
+  sweeps and wall-clock soaks, failure minimization, replayable failure
+  records in the run registry, and the cost-model pretraining corpus
+  exporter.
+"""
+
+from .generator import (  # noqa: F401
+    SPEC_VERSION,
+    GraphSpec,
+    SpecError,
+    generate_spec,
+    graph_fingerprint,
+)
+from .oracle import (  # noqa: F401
+    DEFAULT_CHECKS,
+    OracleFailure,
+    OracleOptions,
+    OracleReport,
+    run_oracle,
+)
+from .fuzz import (  # noqa: F401
+    FuzzResult,
+    export_corpus,
+    minimize_spec,
+    replay_failure,
+    run_fuzz,
+)

@@ -1,0 +1,325 @@
+"""Fuzz driver: seed sweeps, soaks, minimization, and the corpus exporter.
+
+``run_fuzz`` sweeps generator seeds through the differential oracle.  Every
+failure is shrunk by :func:`minimize_spec` (greedy delta-debugging over the
+spec's op list -- the smallest spec that still trips the *same* check) and
+recorded as a replayable JSON payload: the seed, the minimized graph-spec,
+the violated check.  With a :class:`~repro.obs.runstore.RunStore` attached,
+payloads land in the run registry (``failures/`` inside the run directory)
+so ``repro fuzz replay --spec`` can reproduce them bit-identically later.
+
+``export_corpus`` reuses the generator as a workload synthesizer: every
+*new* tuning-task class found across the seed range is sampled (random
+layout/schedule candidates, simulated measurements) and exported in the
+exact ``CostModel.export_seed`` format, giving the tuning database and
+``tuning/pretrain.py`` a pretraining corpus that covers far more operator
+shapes than the four paper networks.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .generator import GraphSpec, SpecError, generate_spec
+from .oracle import DEFAULT_CHECKS, OracleOptions, run_oracle
+
+
+@dataclass
+class FuzzResult:
+    """Outcome of one fuzz sweep."""
+
+    seeds_run: int
+    failures: List[Dict] = field(default_factory=list)
+    duration_s: float = 0.0
+    run_path: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _failure_payload(
+    spec: GraphSpec, minimized: GraphSpec, failure, minimized_ok: bool
+) -> Dict:
+    """The replayable record of one oracle failure."""
+    return {
+        "kind": "fuzz_failure",
+        "check": failure.check,
+        "seed": spec.seed,
+        "node": failure.node,
+        "message": failure.message,
+        "details": failure.details,
+        "spec": minimized.to_dict(),
+        "spec_hash": minimized.spec_hash(),
+        "original_spec": (
+            spec.to_dict() if minimized_ok and
+            minimized.to_json() != spec.to_json() else None
+        ),
+        "ops_removed": len(spec.ops) - len(minimized.ops),
+    }
+
+
+def run_fuzz(
+    seeds: int = 200,
+    start: int = 0,
+    soak_s: Optional[float] = None,
+    checks: Sequence[str] = DEFAULT_CHECKS,
+    options: Optional[OracleOptions] = None,
+    store=None,
+    run_name: str = "fuzz",
+    minimize: bool = True,
+    fail_fast: bool = False,
+    max_ops: int = 6,
+    families: Optional[Sequence[str]] = None,
+    progress: Optional[Callable[[int, int, int], None]] = None,
+) -> FuzzResult:
+    """Sweep ``seeds`` consecutive generator seeds through the oracle.
+
+    With ``soak_s`` the sweep instead runs until the wall clock expires
+    (seed range open-ended from ``start``).  ``store`` may be a
+    :class:`~repro.obs.runstore.RunStore`; failures are then recorded into
+    a run directory as minimized, replayable spec JSON.  ``progress`` is
+    called as ``progress(i, seed, n_failures)`` after every seed.
+    """
+    opts = options or OracleOptions()
+    writer = None
+    if store is not None:
+        writer = store.create(
+            run_name,
+            machine=opts.machine,
+            seed=start,
+            workload=f"fuzz[{start}:{start + seeds}]",
+            config={
+                "checks": list(checks), "seeds": seeds, "start": start,
+                "soak_s": soak_s, "compile_budget": opts.compile_budget,
+                "tune_budget": opts.tune_budget, "minimize": minimize,
+            },
+        ).begin()
+
+    t0 = time.monotonic()
+    failures: List[Dict] = []
+    i = 0
+    try:
+        while True:
+            if soak_s is not None:
+                if time.monotonic() - t0 >= soak_s:
+                    break
+            elif i >= seeds:
+                break
+            seed = start + i
+            spec = generate_spec(seed, max_ops=max_ops, families=families)
+            report = run_oracle(spec, checks, opts)
+            for failure in report.failures:
+                minimized, shrunk = spec, False
+                if minimize:
+                    try:
+                        minimized = minimize_spec(spec, failure.check, opts)
+                        shrunk = True
+                    except Exception:  # a shrink bug must not eat the find
+                        minimized = spec
+                payload = _failure_payload(spec, minimized, failure, shrunk)
+                failures.append(payload)
+                if writer is not None:
+                    writer.record_failure(payload)
+            i += 1
+            if progress is not None:
+                progress(i, seed, len(failures))
+            if fail_fast and failures:
+                break
+    finally:
+        duration = time.monotonic() - t0
+        if writer is not None:
+            from ..obs.trace import Trace
+
+            trace = Trace(name=run_name)
+            trace.event(
+                "fuzz_summary", seeds=i, failures=len(failures),
+                duration_s=duration,
+            )
+            writer.finish(trace, tasks={})
+            if failures:  # flip the completed manifest to failed + reason
+                writer.fail(f"{len(failures)} oracle failures")
+
+    return FuzzResult(
+        seeds_run=i, failures=failures, duration_s=duration,
+        run_path=writer.path if writer is not None else None,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Minimization
+# ---------------------------------------------------------------------------
+
+def _drop_op(spec: GraphSpec, index: int) -> GraphSpec:
+    """Spec without op ``index``, residual references remapped.
+
+    Removing ops[index] removes produced[index + 1]; residuals pointing at
+    it fall back to the removed op's input, later references shift down.
+    """
+    out = spec.copy()
+    del out.ops[index]
+    for op in out.ops[index:]:
+        if op.get("kind") == "residual":
+            ref = int(op["from"])
+            if ref == index + 1:
+                op["from"] = index
+            elif ref > index + 1:
+                op["from"] = ref - 1
+    return out
+
+
+def minimize_spec(
+    spec: GraphSpec,
+    check: str,
+    options: Optional[OracleOptions] = None,
+    max_evals: int = 64,
+) -> GraphSpec:
+    """Greedy shrink: remove ops while the spec still fails ``check``.
+
+    A candidate that no longer builds (shape mismatch after removal, no
+    complex op left) is rejected; a candidate that builds but passes the
+    check is rejected; a candidate that still fails replaces the spec and
+    the scan restarts.  Bounded by ``max_evals`` oracle evaluations.
+    """
+    opts = options or OracleOptions()
+    evals = 0
+
+    def still_fails(candidate: GraphSpec) -> bool:
+        nonlocal evals
+        if evals >= max_evals:
+            return False
+        try:
+            candidate.build()
+        except SpecError:
+            return False
+        evals += 1
+        report = run_oracle(candidate, [check], opts)
+        return any(f.check == check for f in report.failures)
+
+    current = spec
+    shrunk = True
+    while shrunk and evals < max_evals:
+        shrunk = False
+        # scan back to front: tail ops are the cheapest to discharge
+        for i in range(len(current.ops) - 1, -1, -1):
+            candidate = _drop_op(current, i)
+            if still_fails(candidate):
+                current = candidate
+                shrunk = True
+                break
+    return current
+
+
+def replay_failure(payload: Dict, options: Optional[OracleOptions] = None):
+    """Re-run the oracle on a recorded failure payload.
+
+    Returns the fresh :class:`~repro.testing.oracle.OracleReport` for the
+    payload's spec and check -- the reproduction path of ``repro fuzz
+    replay``.  Raises ``ValueError`` if the payload's spec no longer
+    rebuilds to the recorded hash (generator drift would silently
+    invalidate every pinned failure otherwise).
+    """
+    spec = GraphSpec.from_dict(payload["spec"])
+    want = payload.get("spec_hash")
+    if want is not None and spec.spec_hash() != want:
+        raise ValueError(
+            f"replayed spec hash {spec.spec_hash()[:12]} != recorded "
+            f"{str(want)[:12]} (spec schema drift?)"
+        )
+    return run_oracle(spec, [payload["check"]], options or OracleOptions())
+
+
+# ---------------------------------------------------------------------------
+# Corpus export
+# ---------------------------------------------------------------------------
+
+def export_corpus(
+    out: str,
+    seeds: int = 100,
+    start: int = 0,
+    samples_per_task: int = 8,
+    options: Optional[OracleOptions] = None,
+    max_ops: int = 6,
+    families: Optional[Sequence[str]] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> Dict:
+    """Dump generated tuning tasks as cost-model pretraining data (JSONL).
+
+    One line per *new* task class found across the seed range (dedup by
+    :func:`~repro.pipeline.task_signature`): the originating seed and node
+    (so the ComputeDef can be rebuilt via ``generate_spec(seed).build()``),
+    plus measured training pairs in the exact ``CostModel.export_seed``
+    format that :meth:`CostModel.seed` and the tuning database's warm-start
+    path consume.
+    """
+    from ..pipeline import task_signature
+
+    opts = options or OracleOptions()
+    machine = opts.machine_spec()
+    seen = set()
+    rows: List[Dict] = []
+    for i in range(seeds):
+        seed = start + i
+        spec = generate_spec(seed, max_ops=max_ops, families=families)
+        try:
+            graph = spec.build()
+        except SpecError:
+            continue
+        for node in graph.complex_nodes():
+            sig = task_signature(node)
+            if sig in seen:
+                continue
+            seen.add(sig)
+            data, measured = _sample_task(
+                node, machine, samples_per_task, seed
+            )
+            if data is None:
+                continue
+            rows.append({
+                "kind": "fuzz_corpus_task",
+                "seed": spec.seed,
+                "family": spec.family,
+                "node": node.name,
+                "tags": list(node.tags),
+                "machine": machine.name,
+                "spec_hash": spec.spec_hash(),
+                "samples": measured,
+                "cost_model_seed": data,
+            })
+        if progress is not None:
+            progress(i + 1, len(rows))
+
+    with open(out, "w") as f:
+        for row in rows:
+            f.write(json.dumps(row, sort_keys=True) + "\n")
+    return {"path": out, "tasks": len(rows), "seeds": seeds,
+            "samples": sum(r["samples"] for r in rows)}
+
+
+def _sample_task(comp, machine, n_samples: int, seed: int):
+    """Measure random layout/schedule candidates of one task through a
+    :class:`CostModel` and export the accumulated training pairs."""
+    from ..tuning.cost_model import CostModel
+    from ..tuning.task import TuningTask
+
+    rng = random.Random(seed)
+    task = TuningTask(comp, machine, budget=max(2 * n_samples, 8))
+    model = CostModel(retrain_every=1 << 30)  # accumulate only, never fit
+    layout_space = task.layout_space()
+    measured = 0
+    for _ in range(n_samples):
+        try:
+            cfg = layout_space.sample(rng) if len(layout_space) else {}
+            layouts = task.layouts_from(cfg)
+            loop_space = task.loop_space_for(layouts)
+            schedule = loop_space.schedule(loop_space.space().sample(rng))
+            latency = task.measure(layouts, schedule)
+            model.update(task.lower(layouts, schedule), latency)
+            measured += 1
+        except Exception:  # invalid candidate / budget cut: skip, keep going
+            continue
+    return model.export_seed(), measured

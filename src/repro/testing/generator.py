@@ -1,0 +1,522 @@
+"""Seeded random workload generator (in the spirit of loop_tool's generators).
+
+A :class:`GraphSpec` is a *replayable* description of one generated model:
+a seed, a family, an input shape and a list of plain-dict operator specs.
+Everything downstream (the differential oracle, failure records, the
+pretraining corpus) works in terms of specs, because specs -- unlike live
+:class:`~repro.graph.graph.Graph` objects -- serialize to canonical JSON,
+hash stably across processes, and rebuild the *identical* graph on replay:
+
+- :func:`generate_spec` draws a spec from a seed (``random.Random`` only;
+  no ``hash()``, no set iteration, so ``PYTHONHASHSEED`` cannot leak in);
+- :meth:`GraphSpec.build` deterministically turns a spec into a graph --
+  the same spec always yields the same node names, shapes and attrs;
+- :func:`graph_fingerprint` digests a graph's structure so replay
+  identity is checkable (``build(spec) == build(from_json(to_json(spec)))``).
+
+Shape *bucketing* keeps the workloads diverse but interpreter-sized:
+channel and spatial extents are drawn from named buckets (powers of two,
+awkward primes, mixed composites) so tiling templates, divisor-based
+schedules and propagation all see hostile sizes, not just 2^n.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..graph.builder import GraphBuilder
+from ..graph.graph import Graph
+from ..ops.common import out_size
+
+SPEC_VERSION = 1
+
+#: channel/size buckets -- "prime" is the paper-unfriendly one (nothing
+#: divides, so layout templates degenerate and divisor schedules get lonely)
+CHANNEL_BUCKETS: Dict[str, Sequence[int]] = {
+    "pow2": (4, 8, 16),
+    "prime": (3, 5, 7),
+    "mixed": (6, 10, 12),
+}
+SPATIAL_BUCKETS: Dict[str, Sequence[int]] = {
+    "pow2": (8, 16),
+    "prime": (7, 11, 13),
+    "mixed": (6, 9, 10, 12),
+}
+
+FAMILIES = ("image", "matrix", "seq", "conv1d", "volume")
+
+#: elementwise vocabulary shared by every family
+_ACTS = ("relu", "relu6", "sigmoid", "tanh", "gelu")
+_SCALES = (0.5, 2.0, -1.5, 0.25)
+
+
+class SpecError(ValueError):
+    """A spec that cannot be built (invalid after editing/minimization)."""
+
+
+@dataclass
+class GraphSpec:
+    """One generated workload: replayable, serializable, hashable."""
+
+    seed: int
+    family: str
+    input_shape: Tuple[int, ...]
+    ops: List[Dict] = field(default_factory=list)
+    version: int = SPEC_VERSION
+
+    # -- serialization ----------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "version": self.version,
+            "seed": self.seed,
+            "family": self.family,
+            "input_shape": list(self.input_shape),
+            "ops": [dict(op) for op in self.ops],
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, no whitespace -- the hash substrate."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "GraphSpec":
+        if int(data.get("version", -1)) != SPEC_VERSION:
+            raise SpecError(
+                f"spec version {data.get('version')!r} != {SPEC_VERSION}"
+            )
+        return cls(
+            seed=int(data["seed"]),
+            family=str(data["family"]),
+            input_shape=tuple(int(s) for s in data["input_shape"]),
+            ops=[dict(op) for op in data["ops"]],
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "GraphSpec":
+        return cls.from_dict(json.loads(text))
+
+    def spec_hash(self) -> str:
+        """Stable content digest of the canonical serialization."""
+        return hashlib.sha256(self.to_json().encode()).hexdigest()
+
+    def copy(self) -> "GraphSpec":
+        return GraphSpec(
+            seed=self.seed, family=self.family,
+            input_shape=tuple(self.input_shape),
+            ops=copy.deepcopy(self.ops),
+        )
+
+    # -- construction ------------------------------------------------------------
+    def build(self, name: Optional[str] = None) -> Graph:
+        """Deterministically rebuild the graph this spec describes.
+
+        Raises :class:`SpecError` when the op list is inconsistent (shape
+        mismatches, bad residual references) -- the minimizer relies on
+        this to reject invalid op removals.
+        """
+        b = GraphBuilder(name or f"fuzz{self.seed}")
+        x = b.input(tuple(self.input_shape))
+        produced = [x]  # index 0 = graph input, i+1 = output of ops[i]
+        try:
+            for op in self.ops:
+                x = _apply_op(b, x, produced, op)
+                produced.append(x)
+            graph = b.build()
+        except SpecError:
+            raise
+        except (ValueError, KeyError, IndexError, ZeroDivisionError) as exc:
+            raise SpecError(f"spec does not build: {exc}") from exc
+        if not graph.complex_nodes():
+            raise SpecError("spec has no complex operator")
+        return graph
+
+    def __repr__(self) -> str:
+        kinds = ",".join(op["kind"] for op in self.ops)
+        return (f"GraphSpec(seed={self.seed}, family={self.family!r}, "
+                f"input={self.input_shape}, ops=[{kinds}])")
+
+
+def _apply_op(b: GraphBuilder, x, produced: List, op: Dict):
+    """Emit one spec op through the graph builder."""
+    kind = op["kind"]
+    if kind == "conv2d":
+        return b.conv2d(
+            x, op["out_channels"], op["kernel"], stride=op.get("stride", 1),
+            pad=op.get("pad"), groups=op.get("groups", 1),
+            dilation=op.get("dilation", 1),
+        )
+    if kind == "depthwise":
+        return b.depthwise_conv2d(
+            x, op["kernel"], stride=op.get("stride", 1), pad=op.get("pad"),
+            dilation=op.get("dilation", 1),
+        )
+    if kind == "conv1d":
+        return b.conv1d(
+            x, op["out_channels"], op["kernel"], stride=op.get("stride", 1),
+            pad=op.get("pad"), dilation=op.get("dilation", 1),
+        )
+    if kind == "conv3d":
+        return b.conv3d(
+            x, op["out_channels"], op["kernel"], stride=op.get("stride", 1),
+            pad=op.get("pad"),
+        )
+    if kind == "max_pool":
+        return b.max_pool2d(x, op["window"], op["stride"],
+                            pad=op.get("pad", 0))
+    if kind == "avg_pool":
+        return b.avg_pool2d(x, op["window"], op["stride"])
+    if kind == "global_avg_pool":
+        return b.global_avg_pool(x)
+    if kind == "pad":
+        return b.pad(x, tuple(op["pad"]))
+    if kind == "batch_norm":
+        return b.batch_norm(x)
+    if kind == "bias":
+        return b.bias_add(x, op.get("dim", "channel"))
+    if kind == "act":
+        if op["fn"] not in _ACTS:
+            raise SpecError(f"unknown activation {op['fn']!r}")
+        return b.activate(x, op["fn"])
+    if kind == "scale":
+        return b.scale(x, float(op["factor"]))
+    if kind == "add_const":
+        return b.add(x, b.const("fc", x.shape))
+    if kind == "residual":
+        ref = int(op["from"])
+        if not 0 <= ref < len(produced):
+            raise SpecError(f"residual from {ref} out of range")
+        other = produced[ref]
+        if tuple(other.shape) != tuple(x.shape):
+            raise SpecError(
+                f"residual shape mismatch {other.shape} vs {x.shape}"
+            )
+        return b.add(x, other)
+    if kind == "dense":
+        return b.dense(x, op["units"], bias=bool(op.get("bias", True)),
+                       act=op.get("act"))
+    if kind == "softmax":
+        return b.softmax_last(x)
+    if kind == "layer_norm":
+        return b.layer_norm(x)
+    if kind == "batch_gemm":
+        bsz, _m, k = x.shape
+        return b.batch_gemm(x, b.const("bg", (bsz, k, op["units"])))
+    if kind == "transpose_last":
+        return b.transpose_last(x)
+    raise SpecError(f"unknown op kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Generation
+# ---------------------------------------------------------------------------
+
+def _bucket(rng: random.Random, buckets: Dict[str, Sequence[int]]) -> int:
+    return rng.choice(buckets[rng.choice(sorted(buckets))])
+
+
+def _divisors(n: int) -> List[int]:
+    return [d for d in range(1, n + 1) if n % d == 0]
+
+
+def _conv2d_spec(rng: random.Random, shape: Tuple[int, ...],
+                 grouped: bool, dilated: bool) -> Optional[Dict]:
+    """A valid conv2d op spec for the current shape, or None."""
+    _n, c, h, w = shape
+    kernel = rng.choice([1, 3, 3])
+    dilation = rng.choice([2, 3]) if (dilated and kernel > 1) else 1
+    stride = rng.choice([1, 1, 2])
+    out_channels = _bucket(rng, CHANNEL_BUCKETS)
+    groups = 1
+    if grouped:
+        shared = [d for d in _divisors(c) if d > 1 and out_channels % d == 0]
+        if not shared:
+            return None
+        groups = rng.choice(shared)
+    pad = rng.choice([0, ((kernel - 1) * dilation) // 2])
+    span = (kernel - 1) * dilation + 1
+    if min(h, w) + 2 * pad < span:
+        return None
+    return {
+        "kind": "conv2d", "out_channels": out_channels, "kernel": kernel,
+        "stride": stride, "pad": pad, "groups": groups, "dilation": dilation,
+    }
+
+
+def _image_op(rng: random.Random, shape: Tuple[int, ...],
+              produced_shapes: List[Tuple[int, ...]]) -> Optional[Dict]:
+    """One random op for a 4-D NCHW tensor (None = no valid op this draw)."""
+    if len(shape) != 4:  # e.g. after global_avg_pool -> [N, C]
+        return _elementwise_op(rng, channelwise=False)
+    _n, c, h, w = shape
+    kind = rng.choice(
+        ["conv2d", "conv2d", "grouped", "dilated", "depthwise", "pool",
+         "elementwise", "elementwise", "elementwise", "residual", "pad"]
+    )
+    if kind in ("conv2d", "grouped", "dilated"):
+        return _conv2d_spec(rng, shape, grouped=(kind == "grouped"),
+                            dilated=(kind == "dilated"))
+    if kind == "depthwise":
+        kernel = rng.choice([3, 3, 5])
+        dilation = rng.choice([1, 1, 2])
+        span = (kernel - 1) * dilation + 1
+        pad = ((kernel - 1) * dilation) // 2
+        if min(h, w) + 2 * pad < span:
+            return None
+        return {"kind": "depthwise", "kernel": kernel,
+                "stride": rng.choice([1, 1, 2]), "pad": pad,
+                "dilation": dilation}
+    if kind == "pool":
+        which = rng.choice(["max_pool", "avg_pool", "global_avg_pool"])
+        if which == "global_avg_pool":
+            return {"kind": which}
+        window = rng.choice([2, 3])
+        stride = rng.choice([1, 2])
+        if min(h, w) < window:
+            return None
+        return {"kind": which, "window": window, "stride": stride}
+    if kind == "pad":
+        p = rng.choice([1, 2])
+        return {"kind": "pad", "pad": [p, p]}
+    if kind == "residual":
+        matches = [i for i, s in enumerate(produced_shapes)
+                   if tuple(s) == tuple(shape) and i < len(produced_shapes) - 1]
+        if not matches:
+            return None
+        return {"kind": "residual", "from": rng.choice(matches)}
+    return _elementwise_op(rng, channelwise=True)
+
+
+def _elementwise_op(rng: random.Random, channelwise: bool) -> Dict:
+    kind = rng.choice(
+        ["act", "act", "scale", "add_const", "bias", "batch_norm"]
+        if channelwise else ["act", "act", "scale", "add_const", "bias"]
+    )
+    if kind == "act":
+        return {"kind": "act", "fn": rng.choice(_ACTS)}
+    if kind == "scale":
+        return {"kind": "scale", "factor": rng.choice(_SCALES)}
+    if kind == "bias":
+        return {"kind": "bias", "dim": "channel" if channelwise else "last"}
+    return {"kind": kind}
+
+
+def _matrix_op(rng: random.Random, shape: Tuple[int, ...],
+               produced_shapes: List[Tuple[int, ...]]) -> Optional[Dict]:
+    kind = rng.choice(
+        ["dense", "dense", "softmax", "layer_norm", "elementwise",
+         "elementwise", "residual"]
+    )
+    if kind == "dense":
+        return {"kind": "dense", "units": _bucket(rng, CHANNEL_BUCKETS) * 2,
+                "bias": rng.random() < 0.7,
+                "act": rng.choice([None, "relu", "gelu"])}
+    if kind in ("softmax", "layer_norm"):
+        return {"kind": kind}
+    if kind == "residual":
+        matches = [i for i, s in enumerate(produced_shapes)
+                   if tuple(s) == tuple(shape) and i < len(produced_shapes) - 1]
+        if not matches:
+            return None
+        return {"kind": "residual", "from": rng.choice(matches)}
+    return _elementwise_op(rng, channelwise=False)
+
+
+def _seq_op(rng: random.Random, shape: Tuple[int, ...],
+            produced_shapes: List[Tuple[int, ...]]) -> Optional[Dict]:
+    _b, m, k = shape
+    kind = rng.choice(
+        ["batch_gemm", "softmax", "transpose_last", "elementwise",
+         "elementwise", "residual", "scale"]
+    )
+    if kind == "batch_gemm":
+        return {"kind": "batch_gemm", "units": _bucket(rng, CHANNEL_BUCKETS)}
+    if kind == "transpose_last":
+        return {"kind": "transpose_last"}
+    if kind == "softmax":
+        return {"kind": "softmax"}
+    if kind == "scale":
+        return {"kind": "scale", "factor": rng.choice(_SCALES)}
+    if kind == "residual":
+        matches = [i for i, s in enumerate(produced_shapes)
+                   if tuple(s) == tuple(shape) and i < len(produced_shapes) - 1]
+        if not matches:
+            return None
+        return {"kind": "residual", "from": rng.choice(matches)}
+    return {"kind": "act", "fn": rng.choice(_ACTS)}
+
+
+def _shape_after(shape: Tuple[int, ...], op: Dict) -> Tuple[int, ...]:
+    """Output shape of one spec op (mirrors the builder's shape logic)."""
+    kind = op["kind"]
+    if kind in ("conv2d", "depthwise"):
+        n, c, h, w = shape
+        k, s = op["kernel"], op.get("stride", 1)
+        d, p = op.get("dilation", 1), op.get("pad")
+        if p is None:
+            p = ((k - 1) * d) // 2
+        oh = out_size(h + 2 * p, k, s, d)
+        ow = out_size(w + 2 * p, k, s, d)
+        oc = op["out_channels"] if kind == "conv2d" else c
+        return (n, oc, oh, ow)
+    if kind == "conv1d":
+        n, _c, w = shape
+        k, s, d = op["kernel"], op.get("stride", 1), op.get("dilation", 1)
+        p = op.get("pad")
+        if p is None:
+            p = ((k - 1) * d) // 2
+        return (n, op["out_channels"], out_size(w + 2 * p, k, s, d))
+    if kind == "conv3d":
+        n, _c, dd, h, w = shape
+        k, s = op["kernel"], op.get("stride", 1)
+        p = op.get("pad")
+        if p is None:
+            p = (k - 1) // 2
+        return (n, op["out_channels"], out_size(dd + 2 * p, k, s),
+                out_size(h + 2 * p, k, s), out_size(w + 2 * p, k, s))
+    if kind in ("max_pool", "avg_pool"):
+        n, c, h, w = shape
+        win, s = op["window"], op["stride"]
+        p = op.get("pad", 0)
+        return (n, c, out_size(h + 2 * p, win, s), out_size(w + 2 * p, win, s))
+    if kind == "global_avg_pool":
+        return (shape[0], shape[1])
+    if kind == "pad":
+        pads = tuple(op["pad"])
+        lead = shape[: len(shape) - len(pads)]
+        return lead + tuple(s + 2 * p for s, p in zip(shape[len(lead):], pads))
+    if kind == "dense":
+        return (shape[0], op["units"])
+    if kind == "batch_gemm":
+        return (shape[0], shape[1], op["units"])
+    if kind == "transpose_last":
+        return (shape[0], shape[2], shape[1])
+    return tuple(shape)  # elementwise / softmax / layer_norm / residual
+
+
+_FAMILY_OPS = {"image": _image_op, "matrix": _matrix_op, "seq": _seq_op}
+
+
+def generate_spec(
+    seed: int,
+    max_ops: int = 6,
+    families: Optional[Sequence[str]] = None,
+) -> GraphSpec:
+    """Draw one workload spec from a seed.
+
+    The first op is always a complex anchor (convolution or GMM variant) so
+    every generated graph carries at least one tuning task; subsequent ops
+    are drawn from the family's transition table with validity re-rolls.
+    """
+    rng = random.Random(seed)
+    pool = sorted(families) if families else list(FAMILIES)
+    for fam in pool:
+        if fam not in FAMILIES:
+            raise ValueError(f"unknown family {fam!r}; choose from {FAMILIES}")
+    # rare families get less probability mass
+    weights = {"image": 5, "matrix": 3, "seq": 2, "conv1d": 1, "volume": 1}
+    family = rng.choices(pool, weights=[weights[f] for f in pool])[0]
+
+    batch = rng.choice([1, 1, 2])
+    ops: List[Dict] = []
+    if family == "image":
+        shape: Tuple[int, ...] = (
+            batch, _bucket(rng, CHANNEL_BUCKETS),
+            _bucket(rng, SPATIAL_BUCKETS), _bucket(rng, SPATIAL_BUCKETS),
+        )
+        anchor = None
+        while anchor is None:
+            style = rng.choice(["plain", "grouped", "dilated", "depthwise"])
+            if style == "depthwise":
+                anchor = {"kind": "depthwise", "kernel": 3, "stride": 1,
+                          "pad": 1, "dilation": rng.choice([1, 1, 2])}
+            else:
+                anchor = _conv2d_spec(rng, shape,
+                                      grouped=(style == "grouped"),
+                                      dilated=(style == "dilated"))
+        ops.append(anchor)
+    elif family == "matrix":
+        shape = (
+            rng.choice([4, 6, 8, 16]) * batch, _bucket(rng, CHANNEL_BUCKETS),
+        )
+        ops.append({"kind": "dense", "units": _bucket(rng, CHANNEL_BUCKETS),
+                    "bias": rng.random() < 0.7, "act": None})
+    elif family == "seq":
+        shape = (batch * rng.choice([2, 4]), rng.choice([4, 6, 8]),
+                 _bucket(rng, CHANNEL_BUCKETS))
+        ops.append({"kind": "batch_gemm",
+                    "units": _bucket(rng, CHANNEL_BUCKETS)})
+    elif family == "conv1d":
+        shape = (batch, _bucket(rng, CHANNEL_BUCKETS),
+                 rng.choice([12, 16, 19, 24]))
+        ops.append({"kind": "conv1d",
+                    "out_channels": _bucket(rng, CHANNEL_BUCKETS),
+                    "kernel": 3, "stride": rng.choice([1, 2]),
+                    "pad": 1, "dilation": rng.choice([1, 2])})
+    else:  # volume
+        shape = (1, rng.choice([2, 3, 4]), rng.choice([4, 6]),
+                 rng.choice([6, 7, 8]), rng.choice([6, 7, 8]))
+        ops.append({"kind": "conv3d", "out_channels": rng.choice([3, 4, 6]),
+                    "kernel": 3, "stride": 1, "pad": 1})
+
+    produced_shapes: List[Tuple[int, ...]] = [tuple(shape)]
+    cur = _shape_after(shape, ops[0])
+    produced_shapes.append(cur)
+
+    pick = _FAMILY_OPS.get(family)
+    budget = {"image": max_ops, "matrix": max_ops, "seq": max_ops,
+              "conv1d": max(max_ops - 2, 2), "volume": 2}[family]
+    n_more = rng.randint(1, budget)
+    for _ in range(n_more):
+        op = None
+        for _attempt in range(8):
+            if pick is not None:
+                op = pick(rng, cur, produced_shapes)
+            elif family == "conv1d":
+                op = {"kind": "act", "fn": rng.choice(_ACTS)} \
+                    if rng.random() < 0.7 else \
+                    {"kind": "scale", "factor": rng.choice(_SCALES)}
+            else:  # volume: elementwise only (interpreter cost)
+                op = {"kind": "act", "fn": rng.choice(_ACTS)}
+            if op is not None:
+                break
+        if op is None:
+            continue
+        ops.append(op)
+        cur = _shape_after(cur, op)
+        produced_shapes.append(cur)
+
+    return GraphSpec(seed=seed, family=family, input_shape=tuple(shape),
+                     ops=ops)
+
+
+# ---------------------------------------------------------------------------
+# Graph fingerprinting (replay identity)
+# ---------------------------------------------------------------------------
+
+def graph_fingerprint(graph: Graph) -> str:
+    """Stable structural digest of a built graph.
+
+    Covers node names, tags, attrs, axes and tensor shapes/edges -- enough
+    to prove that a replayed spec rebuilt the *same* graph, independent of
+    process, hash seed or dict identity.
+    """
+    payload = []
+    for node in graph.nodes:
+        payload.append({
+            "name": node.name,
+            "tags": list(node.tags),
+            "attrs": sorted((k, str(v)) for k, v in node.attrs.items()),
+            "axes": [[a.name, a.extent] for a in node.axes],
+            "reduce": [[a.name, a.extent] for a in node.reduce_axes],
+            "reduce_op": node.reduce_op,
+            "out": [node.output.name, list(node.output.shape)],
+            "ins": [[t.name, list(t.shape)] for t in node.inputs],
+        })
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode()).hexdigest()

@@ -1,0 +1,353 @@
+"""Differential oracle over generated workloads.
+
+Three independent checks, each against a *fresh* build of the spec
+(:func:`~repro.pipeline.compile_graph` mutates graphs, so every check gets
+its own graph instance):
+
+``numerics``
+    Compile the graph with a micro budget and execute the lowered program
+    over physically laid-out buffers; every original node's output --
+    unmaterialized through its assigned layout -- must match the logical
+    reference evaluator *node by node* (not just at the graph outputs, so
+    a bug cannot hide behind a downstream op that masks it).
+
+``propagation``
+    Algorithm-1 invariants on the untouched graph: a basic tiled layout
+    assigned to a complex anchor replicates across its pure-elementwise
+    consumer chain with **zero** conversion operators; fusion grouping is
+    preserved versus identity layouts; propagation stops at the next
+    complex operator; advanced (data-duplicating) layouts never cross the
+    operator that owns them.
+
+``tuned``
+    A micro-budget :func:`~repro.tuning.scheduler.tune_network` run must
+    never emit a schedule slower than the untuned default-layout baseline
+    (the scheduler's never-lose guarantee, checked end to end).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..exec.graph_runner import random_inputs, run_graph_reference
+from ..exec.interpreter import run_program
+from ..layout.layout import Layout
+from ..layout.propagation import PropagationEngine
+from ..machine.spec import MachineSpec, get_machine
+from ..pipeline import CompileOptions, _assign_fuse_groups, compile_graph
+from .generator import GraphSpec
+
+DEFAULT_CHECKS = ("numerics", "propagation", "tuned")
+
+
+@dataclass
+class OracleOptions:
+    """Knobs of one oracle evaluation."""
+
+    machine: str = "intel_cpu"
+    #: tuning budget for the ``numerics`` compile (kept micro -- the oracle
+    #: cares about correctness of whatever schedule won, not its quality)
+    compile_budget: int = 48
+    #: budget for the ``tuned`` scheduler run
+    tune_budget: int = 96
+    mode: str = "alt"
+    atol: float = 1e-6
+    rtol: float = 1e-5
+
+    def machine_spec(self) -> MachineSpec:
+        return get_machine(self.machine)
+
+
+@dataclass
+class OracleFailure:
+    """One violated invariant, with enough detail to reproduce it."""
+
+    check: str
+    seed: int
+    node: Optional[str]
+    message: str
+    details: Dict = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        return {
+            "check": self.check, "seed": self.seed, "node": self.node,
+            "message": self.message, "details": self.details,
+        }
+
+
+@dataclass
+class OracleReport:
+    """Outcome of running the oracle on one spec."""
+
+    spec: GraphSpec
+    checks_run: List[str]
+    failures: List[OracleFailure]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def run_oracle(
+    spec: GraphSpec,
+    checks: Sequence[str] = DEFAULT_CHECKS,
+    options: Optional[OracleOptions] = None,
+) -> OracleReport:
+    """Evaluate every requested check on one generated spec."""
+    opts = options or OracleOptions()
+    for c in checks:
+        if c not in DEFAULT_CHECKS:
+            raise ValueError(f"unknown check {c!r}; choose from {DEFAULT_CHECKS}")
+    failures: List[OracleFailure] = []
+    if "numerics" in checks:
+        failures.extend(check_numerics(spec, opts))
+    if "propagation" in checks:
+        failures.extend(check_propagation(spec, opts))
+    if "tuned" in checks:
+        failures.extend(check_tuned(spec, opts))
+    return OracleReport(spec=spec, checks_run=list(checks), failures=failures)
+
+
+# ---------------------------------------------------------------------------
+# (a) compiled vs reference numerics, node by node
+# ---------------------------------------------------------------------------
+
+def check_numerics(spec: GraphSpec, opts: OracleOptions) -> List[OracleFailure]:
+    machine = opts.machine_spec()
+    reference_graph = spec.build()  # never compiled, stays pristine
+    graph = spec.build()
+    try:
+        model = compile_graph(
+            graph, machine,
+            CompileOptions(mode=opts.mode, total_budget=opts.compile_budget,
+                           seed=spec.seed),
+        )
+    except Exception as exc:  # compile crash is itself a finding
+        return [OracleFailure(
+            check="numerics", seed=spec.seed, node=None,
+            message=f"compile_graph raised {type(exc).__name__}: {exc}",
+        )]
+
+    inputs = random_inputs(reference_graph, seed=spec.seed + 1)
+    ref = run_graph_reference(reference_graph, inputs)
+
+    physical: Dict[str, np.ndarray] = {}
+    for t in graph.graph_inputs() + graph.constants():
+        lay = model.layouts.get(t.name)
+        arr = np.asarray(inputs[t.name], dtype=np.float64)
+        physical[t.name] = lay.materialize(arr) if lay is not None else arr
+    try:
+        buffers = run_program(model.program, physical)
+    except Exception as exc:
+        return [OracleFailure(
+            check="numerics", seed=spec.seed, node=None,
+            message=f"run_program raised {type(exc).__name__}: {exc}",
+        )]
+
+    failures: List[OracleFailure] = []
+    for node in reference_graph.nodes:
+        tname = node.output.name
+        if tname not in buffers:
+            failures.append(OracleFailure(
+                check="numerics", seed=spec.seed, node=node.name,
+                message=f"no buffer produced for {tname}",
+            ))
+            continue
+        lay = model.layouts.get(tname)
+        phys = buffers[tname]
+        if lay is not None:
+            expect = lay.physical_shape()
+            if tuple(phys.shape) != tuple(expect):
+                # store_at extension slots trail the data; trim them
+                phys = phys[tuple(slice(0, s) for s in expect)]
+            logical = lay.unmaterialize(phys)
+        else:
+            logical = phys
+        want = ref[tname]
+        if logical.shape != want.shape:
+            failures.append(OracleFailure(
+                check="numerics", seed=spec.seed, node=node.name,
+                message=(f"shape mismatch: compiled {logical.shape} vs "
+                         f"reference {want.shape}"),
+            ))
+            continue
+        if not np.allclose(logical, want, atol=opts.atol, rtol=opts.rtol):
+            err = float(np.max(np.abs(logical - want)))
+            failures.append(OracleFailure(
+                check="numerics", seed=spec.seed, node=node.name,
+                message=f"value mismatch, max abs err {err:.3e}",
+                details={"max_abs_err": err},
+            ))
+    return failures
+
+
+# ---------------------------------------------------------------------------
+# (b) propagation invariants
+# ---------------------------------------------------------------------------
+
+def _elementwise_chain(graph, node):
+    """Single-consumer pure-elementwise chain downstream of ``node``."""
+    chain = []
+    cur = node
+    while True:
+        consumers = graph.consumers_of(cur.output.name)
+        if len(consumers) != 1 or not consumers[0].is_elementwise:
+            return chain
+        cur = consumers[0]
+        chain.append(cur)
+
+
+def _tiled_layout(shape) -> Optional[Layout]:
+    """A basic (replicable) non-identity layout for ``shape``: split the
+    largest splittable dim, move its inner half innermost; fall back to a
+    plain reorder when every extent is prime-ish."""
+    lay = Layout(shape)
+    dims = lay.dim_names()
+    best = None
+    for i, extent in enumerate(shape):
+        for f in (2, 3):
+            if extent % f == 0 and extent > f:
+                if best is None or extent > shape[best[0]]:
+                    best = (i, f)
+                break
+    if best is not None:
+        i, f = best
+        name = dims[i]
+        split = lay.split(name, [shape[i] // f, f])
+        perm = [d for d in split.dim_names() if d != f"{name}.1"] + [f"{name}.1"]
+        return split.reorder(perm)
+    if len(shape) >= 2:
+        perm = list(dims[:-2]) + [dims[-1], dims[-2]]
+        return lay.reorder(perm)
+    return None
+
+
+def check_propagation(spec: GraphSpec, opts: OracleOptions) -> List[OracleFailure]:
+    failures: List[OracleFailure] = []
+    probe_graph = spec.build()
+    anchors = [
+        n for n in probe_graph.complex_nodes()
+        if _elementwise_chain(probe_graph, n)
+    ]
+    for anchor_probe in anchors:
+        lay = _tiled_layout(anchor_probe.output.shape)
+        if lay is None:
+            continue
+        graph = spec.build()  # fresh instance per anchor (engine mutates state)
+        anchor = next(n for n in graph.nodes if n.name == anchor_probe.name)
+        chain = _elementwise_chain(graph, anchor)
+        n_nodes = len(graph.nodes)
+        engine = PropagationEngine(graph)
+        engine.assign_operator_layouts(anchor, {anchor.output.name: lay})
+
+        if engine.state.conversions:
+            failures.append(OracleFailure(
+                check="propagation", seed=spec.seed, node=anchor.name,
+                message=(f"{len(engine.state.conversions)} conversions "
+                         "inserted on a pure elementwise chain"),
+                details={"conversions": list(engine.state.conversions)},
+            ))
+        if len(graph.nodes) != n_nodes:
+            failures.append(OracleFailure(
+                check="propagation", seed=spec.seed, node=anchor.name,
+                message="graph grew during elementwise replication",
+            ))
+        for node in chain:
+            got = engine.state.layouts.get(node.output.name)
+            if got is None or got.signature() != lay.signature():
+                failures.append(OracleFailure(
+                    check="propagation", seed=spec.seed, node=node.name,
+                    message="layout did not replicate down elementwise chain",
+                ))
+                break
+
+        # fusion preserved: layout replication must not lose any fuse pair
+        # that identity layouts would have formed along the anchor chain
+        baseline = _assign_fuse_groups(graph, {})
+        groups = _assign_fuse_groups(graph, engine.state.layouts)
+        want = {anchor.name} | {n.name for n in chain}
+        for name in want:
+            if (name in baseline) and (name not in groups):
+                failures.append(OracleFailure(
+                    check="propagation", seed=spec.seed, node=name,
+                    message="fuse group lost under replicated layouts",
+                ))
+
+        # barrier: the next complex operator after the chain stays untouched
+        tail = chain[-1] if chain else anchor
+        downstream = probe_graph.consumers_of(tail.output.name) \
+            if chain else []
+        for consumer in downstream:
+            if consumer.is_complex and \
+                    consumer.output.name in engine.state.layouts:
+                failures.append(OracleFailure(
+                    check="propagation", seed=spec.seed, node=consumer.name,
+                    message="propagation crossed a complex-operator barrier",
+                ))
+
+    # advanced layouts must not replicate (constraint 1), on any anchor
+    for anchor_probe in anchors:
+        shape = anchor_probe.output.shape
+        dims = Layout(shape).dim_names()
+        unfold_dim = None
+        for i, extent in enumerate(shape):
+            if extent >= 4:
+                unfold_dim = dims[i]
+                break
+        if unfold_dim is None:
+            continue
+        graph = spec.build()
+        anchor = next(n for n in graph.nodes if n.name == anchor_probe.name)
+        chain = _elementwise_chain(graph, anchor)
+        adv = Layout(shape).unfold(unfold_dim, 2, 1)
+        engine = PropagationEngine(graph)
+        engine.assign_operator_layouts(anchor, {anchor.output.name: adv})
+        if engine.state.conversions:
+            failures.append(OracleFailure(
+                check="propagation", seed=spec.seed, node=anchor.name,
+                message="advanced layout assignment inserted conversions",
+            ))
+        for node in chain:
+            if node.output.name in engine.state.layouts:
+                failures.append(OracleFailure(
+                    check="propagation", seed=spec.seed, node=node.name,
+                    message="advanced (unfolded) layout replicated downstream",
+                ))
+                break
+        break  # one advanced probe per spec is enough
+    return failures
+
+
+# ---------------------------------------------------------------------------
+# (c) tuned never loses to untuned
+# ---------------------------------------------------------------------------
+
+def check_tuned(spec: GraphSpec, opts: OracleOptions) -> List[OracleFailure]:
+    from ..tuning.scheduler import tune_network
+
+    machine = opts.machine_spec()
+    try:
+        result = tune_network(
+            lambda: spec.build(), machine, budget=opts.tune_budget,
+            seed=spec.seed,
+        )
+    except Exception as exc:
+        return [OracleFailure(
+            check="tuned", seed=spec.seed, node=None,
+            message=f"tune_network raised {type(exc).__name__}: {exc}",
+        )]
+    if result.network_latency_s > result.baseline_latency_s * (1 + 1e-9):
+        return [OracleFailure(
+            check="tuned", seed=spec.seed, node=None,
+            message=(f"tuned schedule lost to untuned baseline: "
+                     f"{result.network_latency_s:.3e}s vs "
+                     f"{result.baseline_latency_s:.3e}s"),
+            details={
+                "network_latency_s": result.network_latency_s,
+                "baseline_latency_s": result.baseline_latency_s,
+            },
+        )]
+    return []

@@ -8,6 +8,7 @@ state dict plugs into :class:`~repro.tuning.explorer.JointTuner` through the
 
 from __future__ import annotations
 
+import json
 from typing import Dict, List, Optional, Sequence
 
 from ..ir.compute import ComputeDef
@@ -58,3 +59,65 @@ def pretrain(
     if state is None:
         raise ValueError("no pretraining workloads given")
     return state
+
+
+# ---------------------------------------------------------------------------
+# Generated-corpus loaders (``repro fuzz corpus --out``)
+# ---------------------------------------------------------------------------
+
+def _corpus_rows(path: str) -> List[Dict]:
+    rows: List[Dict] = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except ValueError:
+                continue
+            if row.get("kind") == "fuzz_corpus_task":
+                rows.append(row)
+    return rows
+
+
+def corpus_workloads(path: str, limit: Optional[int] = None) -> List[ComputeDef]:
+    """Rebuild the complex operators of an exported fuzz corpus.
+
+    Every corpus row records the generator seed and the node name, so the
+    exact :class:`ComputeDef` is reconstructed by replaying the seed --
+    the corpus file itself never has to serialize tensor expressions.
+    Rows whose spec no longer rebuilds (generator drift) are skipped.
+    """
+    from ..testing.generator import SpecError, generate_spec
+
+    comps: List[ComputeDef] = []
+    for row in _corpus_rows(path):
+        if limit is not None and len(comps) >= limit:
+            break
+        try:
+            graph = generate_spec(int(row["seed"])).build()
+        except (SpecError, KeyError, ValueError):
+            continue
+        node = next(
+            (n for n in graph.complex_nodes() if n.name == row.get("node")),
+            None,
+        )
+        if node is not None:
+            comps.append(node)
+    return comps
+
+
+def corpus_cost_model_seed(path: str, max_n: int = 256) -> Optional[Dict]:
+    """Merge a corpus file's measured pairs into one ``CostModel.seed``
+    payload (newest ``max_n`` pairs win, matching ``export_seed``)."""
+    xs: List[List[float]] = []
+    ys: List[float] = []
+    for row in _corpus_rows(path):
+        data = row.get("cost_model_seed") or {}
+        if data.get("X") and data.get("y"):
+            xs.extend(data["X"])
+            ys.extend(data["y"])
+    if not ys:
+        return None
+    return {"X": xs[-max_n:], "y": ys[-max_n:]}

@@ -1,0 +1,469 @@
+"""The generated-workload fuzzer: generator, oracle, minimizer, corpus.
+
+Four properties carry the subsystem:
+
+* determinism -- the same seed yields a byte-identical spec in any
+  process (``PYTHONHASHSEED`` included), and a replayed spec rebuilds a
+  graph with the *same* structural fingerprint;
+* the oracle actually discriminates -- pinned seeds pass, planted
+  violations fail with the right check name;
+* failures are durable -- minimized, hash-stamped, recorded into the run
+  registry, and bit-identically replayable;
+* the corpus exporter emits data the tuning stack can really consume
+  (``CostModel.seed`` format, rebuildable ComputeDefs).
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import _single_op
+from repro.machine.spec import get_machine
+from repro.obs.runstore import RunRecord, RunStore
+from repro.testing import (
+    GraphSpec,
+    SpecError,
+    generate_spec,
+    graph_fingerprint,
+    minimize_spec,
+    replay_failure,
+    run_fuzz,
+)
+from repro.testing import fuzz as fuzz_mod
+from repro.testing.fuzz import _drop_op, export_corpus
+from repro.testing.generator import FAMILIES, _shape_after
+from repro.testing.oracle import (
+    OracleFailure,
+    OracleOptions,
+    OracleReport,
+    check_numerics,
+    run_oracle,
+)
+from repro.tuning.baselines import tune_alt
+from repro.tuning.cost_model import CostModel
+from repro.tuning.measurer import MeasureOptions
+from repro.tuning.pretrain import corpus_cost_model_seed, corpus_workloads
+from repro.tuning.scheduler import tune_network
+
+MACHINE = get_machine("intel_cpu")
+SRC_ROOT = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+
+FAST = OracleOptions(compile_budget=16, tune_budget=24)
+
+
+def src_env(hash_seed):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_ROOT + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env["PYTHONHASHSEED"] = str(hash_seed)
+    return env
+
+
+# ---------------------------------------------------------------------------
+# generator: determinism, round-trip, build validity
+# ---------------------------------------------------------------------------
+
+def test_same_seed_same_spec():
+    for seed in range(30):
+        a, b = generate_spec(seed), generate_spec(seed)
+        assert a.to_json() == b.to_json()
+        assert a.spec_hash() == b.spec_hash()
+
+
+def test_spec_roundtrip_and_replay_identity():
+    for seed in (0, 7, 23, 101):
+        spec = generate_spec(seed)
+        back = GraphSpec.from_json(spec.to_json())
+        assert back.to_json() == spec.to_json()
+        assert back.spec_hash() == spec.spec_hash()
+        assert graph_fingerprint(back.build()) == \
+            graph_fingerprint(spec.build())
+
+
+def test_spec_version_gate():
+    data = generate_spec(0).to_dict()
+    data["version"] = 99
+    with pytest.raises(SpecError, match="version"):
+        GraphSpec.from_dict(data)
+
+
+def test_every_seed_builds_with_a_complex_anchor():
+    seen_families = set()
+    for seed in range(60):
+        spec = generate_spec(seed)
+        graph = spec.build()
+        assert graph.complex_nodes(), spec
+        seen_families.add(spec.family)
+    assert len(seen_families) >= 3  # the weighted draw really mixes
+
+
+def test_shape_after_mirrors_builder():
+    """The generator's shape oracle must agree with the real builder, op
+    by op -- a drift here silently starves whole op kinds of coverage."""
+    for seed in range(40):
+        spec = generate_spec(seed)
+        graph = spec.build()
+        shape = tuple(spec.input_shape)
+        by_name = {n.output.name: n for n in graph.nodes}
+        outputs = [n.output for n in graph.nodes
+                   if n.name.startswith("fuzz") or True]
+        assert outputs  # graph is non-trivial
+        for op in spec.ops:
+            shape = _shape_after(shape, op)
+        # final predicted shape matches the graph's terminal tensor
+        terminal = [t for t in (n.output for n in graph.nodes)
+                    if not graph.consumers_of(t.name)]
+        assert tuple(shape) in {tuple(t.shape) for t in terminal}, \
+            (spec, shape, by_name.keys())
+
+
+def test_family_filter_and_unknown_family():
+    for seed in range(20):
+        assert generate_spec(seed, families=["matrix"]).family == "matrix"
+    with pytest.raises(ValueError, match="unknown family"):
+        generate_spec(0, families=["imaginary"])
+    assert set(FAMILIES) >= {"image", "matrix", "seq"}
+
+
+def test_residual_out_of_range_and_shape_mismatch_rejected():
+    spec = GraphSpec(seed=1, family="image", input_shape=(1, 4, 8, 8), ops=[
+        {"kind": "conv2d", "out_channels": 4, "kernel": 3, "stride": 1,
+         "pad": 1, "groups": 1, "dilation": 1},
+        {"kind": "residual", "from": 9},
+    ])
+    with pytest.raises(SpecError, match="out of range"):
+        spec.build()
+    spec.ops[1] = {"kind": "residual", "from": 0}
+    spec.ops[0]["out_channels"] = 6  # shapes now differ from the input
+    with pytest.raises(SpecError, match="shape mismatch"):
+        spec.build()
+
+
+def test_spec_without_complex_op_rejected():
+    spec = GraphSpec(seed=1, family="image", input_shape=(1, 4, 8, 8),
+                     ops=[{"kind": "act", "fn": "relu"}])
+    with pytest.raises(SpecError, match="no complex operator"):
+        spec.build()
+
+
+def test_unknown_op_kind_rejected():
+    spec = GraphSpec(seed=1, family="image", input_shape=(1, 4, 8, 8),
+                     ops=[{"kind": "warp_drive"}])
+    with pytest.raises(SpecError, match="unknown op kind"):
+        spec.build()
+
+
+# ---------------------------------------------------------------------------
+# satellite: cross-process seed reproducibility
+# ---------------------------------------------------------------------------
+
+_SUBPROCESS_HASH = """\
+import hashlib
+from repro.testing import generate_spec
+h = hashlib.sha256()
+for seed in range(25):
+    h.update(generate_spec(seed).to_json().encode())
+print(h.hexdigest())
+"""
+
+_SUBPROCESS_REPLAY = """\
+import sys
+from repro.testing import GraphSpec, graph_fingerprint
+spec = GraphSpec.from_json(sys.stdin.read())
+print(spec.spec_hash())
+print(graph_fingerprint(spec.build()))
+"""
+
+
+def test_specs_byte_identical_across_processes():
+    """Two subprocesses with *different* PYTHONHASHSEEDs hash the same 25
+    generated specs identically -- nothing about generation leaks
+    interpreter state."""
+    outs = [
+        subprocess.run(
+            [sys.executable, "-c", _SUBPROCESS_HASH],
+            env=src_env(hash_seed), capture_output=True, text=True,
+            timeout=120, check=True,
+        ).stdout.strip()
+        for hash_seed in (0, 4242)
+    ]
+    assert outs[0] == outs[1]
+    assert len(outs[0]) == 64
+
+
+def test_replayed_spec_rebuilds_identical_graph_in_fresh_process():
+    spec = generate_spec(11)
+    out = subprocess.run(
+        [sys.executable, "-c", _SUBPROCESS_REPLAY],
+        input=spec.to_json(), env=src_env(1), capture_output=True,
+        text=True, timeout=120, check=True,
+    )
+    got_hash, got_fp = out.stdout.split()
+    assert got_hash == spec.spec_hash()
+    assert got_fp == graph_fingerprint(spec.build())
+
+
+# ---------------------------------------------------------------------------
+# oracle: pinned seeds pass, planted violations fail
+# ---------------------------------------------------------------------------
+
+def test_oracle_clean_on_pinned_seeds():
+    for seed in (0, 3, 5):
+        report = run_oracle(generate_spec(seed),
+                            checks=("numerics", "propagation"), options=FAST)
+        assert report.ok, [f.to_dict() for f in report.failures]
+        assert report.checks_run == ["numerics", "propagation"]
+
+
+def test_oracle_tuned_check_on_pinned_seed():
+    report = run_oracle(generate_spec(2), checks=("tuned",), options=FAST)
+    assert report.ok, [f.to_dict() for f in report.failures]
+
+
+def test_oracle_rejects_unknown_check():
+    with pytest.raises(ValueError, match="unknown check"):
+        run_oracle(generate_spec(0), checks=("vibes",), options=FAST)
+
+
+def test_numerics_flags_planted_reference_drift(monkeypatch):
+    """Perturb the reference evaluator's output for one tensor: the
+    node-by-node comparison must name that very node."""
+    from repro.exec import graph_runner
+
+    spec = generate_spec(0)
+    victim = spec.build().nodes[0]
+    real = graph_runner.run_graph_reference
+
+    def skewed(graph, inputs):
+        out = real(graph, inputs)
+        out[victim.output.name] = out[victim.output.name] + 0.5
+        return out
+
+    monkeypatch.setattr("repro.testing.oracle.run_graph_reference", skewed)
+    failures = check_numerics(spec, FAST)
+    assert failures
+    assert any(f.node == victim.name for f in failures)
+    assert all(f.check == "numerics" for f in failures)
+
+
+def test_generated_conv_variants_numerics_and_scheduler():
+    """Depthwise + grouped + dilated convs tune end to end through the
+    network scheduler and agree with the reference numerics."""
+    spec = GraphSpec(seed=5, family="image", input_shape=(1, 4, 10, 10), ops=[
+        {"kind": "depthwise", "kernel": 3, "stride": 1, "pad": 2,
+         "dilation": 2},
+        {"kind": "conv2d", "out_channels": 6, "kernel": 3, "stride": 1,
+         "pad": 2, "groups": 2, "dilation": 2},
+        {"kind": "act", "fn": "relu"},
+    ])
+    assert check_numerics(spec, FAST) == []
+    result = tune_network(lambda: spec.build(), MACHINE, budget=24, seed=0)
+    assert result.network_latency_s <= \
+        result.baseline_latency_s * (1 + 1e-9)
+
+
+@pytest.mark.parametrize("op", ["dep", "grp", "dil"])
+def test_conv_variants_tune_alt_end_to_end(op):
+    res = tune_alt(_single_op(op, 8, 10), MACHINE, budget=12, seed=0,
+                   measure=MeasureOptions(jobs=1, cache_dir=None))
+    assert res.best_latency > 0 and res.measurements > 0
+
+
+# ---------------------------------------------------------------------------
+# minimizer: greedy shrink with residual remapping
+# ---------------------------------------------------------------------------
+
+def chain_spec():
+    return GraphSpec(seed=1, family="image", input_shape=(1, 4, 8, 8), ops=[
+        {"kind": "conv2d", "out_channels": 4, "kernel": 3, "stride": 1,
+         "pad": 1, "groups": 1, "dilation": 1},
+        {"kind": "act", "fn": "relu"},
+        {"kind": "scale", "factor": 2.0},
+        {"kind": "residual", "from": 1},
+        {"kind": "act", "fn": "tanh"},
+    ])
+
+
+def test_drop_op_remaps_residual_references():
+    spec = chain_spec()
+    dropped = _drop_op(spec, 1)  # remove the relu; refs past it shift down
+    assert [op["kind"] for op in dropped.ops] == \
+        ["conv2d", "scale", "residual", "act"]
+    # the residual pointed at produced[1] (the conv); index 1 survives
+    assert dropped.ops[2]["from"] == 1
+    dropped2 = _drop_op(spec, 0)  # remove the conv the residual points at
+    assert dropped2.ops[2]["from"] == 0  # falls back to the conv's input
+    with pytest.raises(SpecError, match="no complex operator"):
+        dropped2.build()  # and the candidate is correctly unbuildable
+
+
+def test_minimize_converges_to_smallest_failing_spec(monkeypatch):
+    """Against a synthetic oracle that fails iff a ``scale`` op is present,
+    the greedy shrink must strip everything else (the conv stays only
+    because specs without a complex op cannot build)."""
+    def fake_oracle(spec, checks, options=None):
+        failing = any(op["kind"] == "scale" for op in spec.ops)
+        fails = [OracleFailure(check="numerics", seed=spec.seed, node=None,
+                               message="planted")] if failing else []
+        return OracleReport(spec=spec, checks_run=list(checks),
+                            failures=fails)
+
+    monkeypatch.setattr(fuzz_mod, "run_oracle", fake_oracle)
+    out = minimize_spec(chain_spec(), "numerics", FAST)
+    assert [op["kind"] for op in out.ops] == ["conv2d", "scale"]
+    out.build()  # the minimized spec is still a valid graph
+
+
+def test_minimize_respects_eval_budget(monkeypatch):
+    calls = {"n": 0}
+
+    def fake_oracle(spec, checks, options=None):
+        calls["n"] += 1
+        return OracleReport(spec=spec, checks_run=list(checks), failures=[
+            OracleFailure(check="numerics", seed=spec.seed, node=None,
+                          message="always failing"),
+        ])
+
+    monkeypatch.setattr(fuzz_mod, "run_oracle", fake_oracle)
+    minimize_spec(chain_spec(), "numerics", FAST, max_evals=3)
+    assert calls["n"] <= 3
+
+
+# ---------------------------------------------------------------------------
+# run_fuzz: sweep, recording, replay
+# ---------------------------------------------------------------------------
+
+def planted_oracle(bad_seeds):
+    def fake_oracle(spec, checks, options=None):
+        fails = []
+        if spec.seed in bad_seeds:
+            fails = [OracleFailure(
+                check="numerics", seed=spec.seed, node="n0",
+                message="planted failure", details={"max_abs_err": 1.0},
+            )]
+        return OracleReport(spec=spec, checks_run=list(checks),
+                            failures=fails)
+    return fake_oracle
+
+
+def test_run_fuzz_records_minimized_replayable_failures(
+        monkeypatch, tmp_path):
+    monkeypatch.setattr(fuzz_mod, "run_oracle", planted_oracle({1}))
+    store = RunStore(str(tmp_path))
+    progress_rows = []
+    result = run_fuzz(
+        seeds=3, checks=("numerics",), options=FAST, store=store,
+        progress=lambda i, seed, n: progress_rows.append((i, seed, n)),
+    )
+    assert result.seeds_run == 3 and not result.ok
+    assert len(result.failures) == 1
+    assert progress_rows[-1] == (3, 2, 1)
+    payload = result.failures[0]
+    assert payload["kind"] == "fuzz_failure"
+    assert payload["seed"] == 1 and payload["check"] == "numerics"
+    assert payload["spec_hash"] == \
+        GraphSpec.from_dict(payload["spec"]).spec_hash()
+
+    # the run registry holds the same payload, and the run is marked failed
+    rec = RunRecord(result.run_path)
+    assert rec.manifest["status"] == "failed"
+    assert rec.failures == [payload]
+
+    # bit-identical replay: same seed -> same spec -> same failure
+    report = replay_failure(payload, FAST)
+    assert not report.ok
+    assert report.failures[0].check == "numerics"
+    assert report.spec.spec_hash() == payload["spec_hash"]
+
+
+def test_run_fuzz_clean_sweep_completes_run(monkeypatch, tmp_path):
+    monkeypatch.setattr(fuzz_mod, "run_oracle", planted_oracle(set()))
+    result = run_fuzz(seeds=4, checks=("numerics",), options=FAST,
+                      store=RunStore(str(tmp_path)))
+    assert result.ok and result.seeds_run == 4
+    rec = RunRecord(result.run_path)
+    assert rec.manifest["status"] == "completed"
+    assert rec.failures == []
+
+
+def test_run_fuzz_fail_fast_and_soak(monkeypatch):
+    monkeypatch.setattr(fuzz_mod, "run_oracle", planted_oracle({0}))
+    result = run_fuzz(seeds=50, checks=("numerics",), options=FAST,
+                      fail_fast=True)
+    assert result.seeds_run == 1 and len(result.failures) == 1
+    # soak mode: wall-clock bounded, open-ended seed range
+    monkeypatch.setattr(fuzz_mod, "run_oracle", planted_oracle(set()))
+    result = run_fuzz(soak_s=0.2, checks=("numerics",), options=FAST)
+    assert result.seeds_run >= 1 and result.ok
+
+
+def test_replay_failure_detects_spec_drift():
+    spec = generate_spec(3)
+    payload = {
+        "kind": "fuzz_failure", "check": "numerics", "seed": 3,
+        "spec": spec.to_dict(), "spec_hash": "0" * 64,
+    }
+    with pytest.raises(ValueError, match="drift"):
+        replay_failure(payload, FAST)
+
+
+def test_record_failure_numbering_and_corrupt_tolerance(tmp_path):
+    store = RunStore(str(tmp_path))
+    writer = store.create("t", machine="intel_cpu", seed=0, workload="w",
+                          config={}).begin()
+    p0 = writer.record_failure({"check": "numerics", "i": 0})
+    p1 = writer.record_failure({"check": "tuned!", "i": 1})
+    assert os.path.basename(p0).startswith("0000-numerics")
+    assert os.path.basename(p1).startswith("0001-")
+    with open(os.path.join(os.path.dirname(p0), "zzzz-bad.json"), "w") as f:
+        f.write("{corrupt")
+    rec = RunRecord(writer.path)
+    assert [p["i"] for p in rec.failures] == [0, 1]  # corrupt one skipped
+
+
+# ---------------------------------------------------------------------------
+# corpus export: pretraining data the tuning stack can consume
+# ---------------------------------------------------------------------------
+
+def test_export_corpus_format_and_loaders(tmp_path):
+    out = str(tmp_path / "corpus.jsonl")
+    summary = export_corpus(out, seeds=4, samples_per_task=2, options=FAST)
+    assert summary["path"] == out and summary["tasks"] >= 1
+    rows = [json.loads(line) for line in open(out)]
+    assert len(rows) == summary["tasks"]
+    sigs = set()
+    for row in rows:
+        assert row["kind"] == "fuzz_corpus_task"
+        assert row["machine"] == "intel_cpu"
+        assert isinstance(row["seed"], int) and row["node"]
+        assert len(row["spec_hash"]) == 64
+        data = row["cost_model_seed"]
+        assert len(data["X"]) == len(data["y"]) == row["samples"]
+        sigs.add((row["seed"], row["node"]))
+    assert len(sigs) == len(rows)  # task classes are deduped
+
+    # the exported pairs are consumable by a fresh cost model
+    merged = corpus_cost_model_seed(out)
+    assert merged is not None
+    assert len(merged["X"]) == len(merged["y"]) == summary["samples"]
+    model = CostModel()
+    model.seed(merged)
+
+    # the originating ComputeDefs rebuild from (seed, node) alone
+    comps = corpus_workloads(out, limit=2)
+    assert 1 <= len(comps) <= 2
+    names = {row["node"] for row in rows}
+    assert all(c.name in names for c in comps)
+
+
+def test_corpus_loaders_tolerate_garbage(tmp_path):
+    path = str(tmp_path / "junk.jsonl")
+    with open(path, "w") as f:
+        f.write("{not json\n\n")
+        f.write(json.dumps({"kind": "other_row"}) + "\n")
+    assert corpus_workloads(path) == []
+    assert corpus_cost_model_seed(path) is None

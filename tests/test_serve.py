@@ -37,7 +37,12 @@ from repro.obs.watch import (
     render_watch_frame,
 )
 from repro.serve import protocol
-from repro.serve.client import parse_addr, submit_and_wait
+from repro.serve.client import (
+    connect,
+    fetch_status,
+    parse_addr,
+    submit_and_wait,
+)
 from repro.serve.coordinator import (
     Coordinator,
     FleetDispatcher,
@@ -141,6 +146,260 @@ def test_parse_addr():
         parse_addr("no-port")
     with pytest.raises(ValueError):
         parse_addr("host:http")
+    with pytest.raises(ValueError):
+        parse_addr("9999")  # no separator at all
+
+
+# ---------------------------------------------------------------------------
+# client: connect/retry, protocol-error surfacing, malformed replies
+# ---------------------------------------------------------------------------
+
+class StubServer:
+    """A one-thread TCP stub whose per-connection behaviour is scripted.
+
+    ``handler(conn)`` runs for every accepted connection; the stub counts
+    accepts so tests can assert how many times a client really dialed in.
+    """
+
+    def __init__(self, handler):
+        self.handler = handler
+        self.accepts = 0
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.listen(8)
+        self.port = self.sock.getsockname()[1]
+        self._stop = threading.Event()
+        self.thread = threading.Thread(target=self._serve, daemon=True)
+        self.thread.start()
+
+    def _serve(self):
+        self.sock.settimeout(0.1)
+        while not self._stop.is_set():
+            try:
+                conn, _ = self.sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            self.accepts += 1
+            conn.settimeout(5.0)
+            try:
+                self.handler(conn)
+            except (OSError, protocol.ProtocolError):
+                pass
+            finally:
+                conn.close()
+
+    def close(self):
+        self._stop.set()
+        self.sock.close()
+        self.thread.join(timeout=5)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+def welcome_handler(conn):
+    hello = protocol.recv_frame(conn)
+    assert hello["type"] == protocol.HELLO
+    protocol.send_frame(conn, {"type": protocol.WELCOME})
+    # keep the connection open until the client hangs up
+    while protocol.recv_frame(conn) is not None:
+        pass
+
+
+def closed_port():
+    """A localhost port with nothing listening on it."""
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+def test_connect_handshake_ok():
+    with StubServer(welcome_handler) as srv:
+        sock = connect(("127.0.0.1", srv.port), timeout=5.0)
+        sock.close()
+        assert srv.accepts == 1
+
+
+def test_connect_refused_without_retries_raises_immediately():
+    port = closed_port()
+    t0 = time.monotonic()
+    with pytest.raises(OSError):
+        connect(("127.0.0.1", port), timeout=2.0)
+    assert time.monotonic() - t0 < 1.0  # no hidden backoff by default
+
+
+def test_connect_retries_until_server_appears():
+    port = closed_port()
+    srv_holder = {}
+
+    def bring_up():
+        time.sleep(0.3)
+        s = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        s.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        s.bind(("127.0.0.1", port))
+        s.listen(1)
+        srv_holder["sock"] = s
+        conn, _ = s.accept()
+        conn.settimeout(5.0)
+        welcome_handler(conn)
+        conn.close()
+
+    thread = threading.Thread(target=bring_up, daemon=True)
+    thread.start()
+    try:
+        sock = connect(("127.0.0.1", port), timeout=5.0,
+                       retries=20, retry_delay=0.05)
+        sock.close()
+    finally:
+        thread.join(timeout=10)
+        if "sock" in srv_holder:
+            srv_holder["sock"].close()
+
+
+def test_connect_retries_exhausted_raise_the_connect_error():
+    port = closed_port()
+    with pytest.raises(OSError):
+        connect(("127.0.0.1", port), timeout=2.0,
+                retries=2, retry_delay=0.01)
+
+
+def test_connect_rejection_is_not_retried():
+    def reject(conn):
+        protocol.recv_frame(conn)
+        protocol.send_frame(
+            conn, {"type": protocol.REJECT, "reason": "version mismatch"}
+        )
+
+    with StubServer(reject) as srv:
+        with pytest.raises(ConnectionError, match="version mismatch"):
+            connect(("127.0.0.1", srv.port), timeout=5.0,
+                    retries=5, retry_delay=0.01)
+        assert srv.accepts == 1  # the daemon said no; asking again is noise
+
+
+def test_connect_server_slams_door_is_connection_error():
+    def slam(conn):
+        protocol.recv_frame(conn)  # read the hello, then just hang up
+
+    with StubServer(slam) as srv:
+        with pytest.raises(ConnectionError, match="connection closed"):
+            connect(("127.0.0.1", srv.port), timeout=5.0)
+
+
+def test_connect_malformed_welcome_surfaces_protocol_error():
+    def garbage(conn):
+        protocol.recv_frame(conn)
+        body = b"<html>this is not a frame"
+        conn.sendall(struct.pack(">I", len(body)) + body)
+
+    with StubServer(garbage) as srv:
+        with pytest.raises(protocol.ProtocolError):
+            connect(("127.0.0.1", srv.port), timeout=5.0)
+
+
+def test_connect_truncated_welcome_surfaces_protocol_error():
+    def truncate(conn):
+        protocol.recv_frame(conn)
+        conn.sendall(struct.pack(">I", 500) + b"short")  # then close
+
+    with StubServer(truncate) as srv:
+        with pytest.raises(protocol.ProtocolError):
+            connect(("127.0.0.1", srv.port), timeout=5.0)
+
+
+def test_submit_and_wait_coordinator_closes_before_ack():
+    def vanish(conn):
+        protocol.recv_frame(conn)
+        protocol.send_frame(conn, {"type": protocol.WELCOME})
+        protocol.recv_frame(conn)  # swallow the submit, then disappear
+
+    with StubServer(vanish) as srv:
+        with pytest.raises(ConnectionError, match="before acknowledging"):
+            submit_and_wait(("127.0.0.1", srv.port), {"kind": "tune"},
+                            timeout=5.0)
+
+
+def test_submit_and_wait_coordinator_closes_mid_job():
+    def tease(conn):
+        protocol.recv_frame(conn)
+        protocol.send_frame(conn, {"type": protocol.WELCOME})
+        protocol.recv_frame(conn)
+        protocol.send_frame(
+            conn, {"type": protocol.JOB_QUEUED, "ok": True, "job": "j0"}
+        )
+        protocol.send_frame(conn, {"type": protocol.STATUS_REPLY,
+                                   "status": {}})  # unrelated chatter
+
+    with StubServer(tease) as srv:
+        with pytest.raises(ConnectionError, match="mid-job"):
+            submit_and_wait(("127.0.0.1", srv.port), {"kind": "tune"},
+                            timeout=5.0)
+
+
+def test_submit_and_wait_refusal_is_value_error_with_reason():
+    def refuse(conn):
+        protocol.recv_frame(conn)
+        protocol.send_frame(conn, {"type": protocol.WELCOME})
+        protocol.recv_frame(conn)
+        protocol.send_frame(conn, {
+            "type": protocol.JOB_QUEUED, "ok": False,
+            "error": "unknown op 'nope'",
+        })
+
+    with StubServer(refuse) as srv:
+        with pytest.raises(ValueError, match="unknown op"):
+            submit_and_wait(("127.0.0.1", srv.port), {"kind": "tune"},
+                            timeout=5.0)
+
+
+def test_submit_and_wait_skips_interleaved_frames():
+    def chatty(conn):
+        protocol.recv_frame(conn)
+        protocol.send_frame(conn, {"type": protocol.WELCOME})
+        protocol.recv_frame(conn)
+        protocol.send_frame(
+            conn, {"type": protocol.JOB_QUEUED, "ok": True, "job": "j0"}
+        )
+        protocol.send_frame(conn, {"type": protocol.STATUS_REPLY,
+                                   "status": {"live_workers": 1}})
+        protocol.send_frame(conn, {"type": protocol.JOB_RESULT, "ok": True,
+                                   "job": "j0", "best_latency": 1.25e-6})
+
+    with StubServer(chatty) as srv:
+        res = submit_and_wait(("127.0.0.1", srv.port), {"kind": "tune"},
+                              timeout=5.0)
+        assert res["ok"] and res["best_latency"] == 1.25e-6
+
+
+def test_fetch_status_closed_mid_reply():
+    def cutoff(conn):
+        protocol.recv_frame(conn)
+        protocol.send_frame(conn, {"type": protocol.WELCOME})
+        protocol.recv_frame(conn)  # read the status request, then die
+
+    with StubServer(cutoff) as srv:
+        with pytest.raises(ConnectionError, match="during status"):
+            fetch_status(("127.0.0.1", srv.port), timeout=5.0)
+
+
+def test_fetch_status_null_status_payload_is_empty_dict():
+    def reply_null(conn):
+        protocol.recv_frame(conn)
+        protocol.send_frame(conn, {"type": protocol.WELCOME})
+        protocol.recv_frame(conn)
+        protocol.send_frame(
+            conn, {"type": protocol.STATUS_REPLY, "status": None}
+        )
+
+    with StubServer(reply_null) as srv:
+        assert fetch_status(("127.0.0.1", srv.port), timeout=5.0) == {}
 
 
 # ---------------------------------------------------------------------------
